@@ -1,0 +1,17 @@
+"""Shared configuration for the benchmark suite.
+
+Every bench reproduces one figure or table of the paper.  Benches run at
+the scaled-down default configuration unless ``REPRO_FULL_SCALE=1`` is
+set (see ``repro.experiments.scale``).  Results print under ``-s`` in
+the same row/series layout as the paper; EXPERIMENTS.md records the
+paper-vs-measured comparison.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _print_spacing(capsys):
+    """Keep printed experiment tables readable between benches."""
+    print()
+    yield

@@ -1,0 +1,88 @@
+"""Ablation A2 — CRSS's activation upper bound u.
+
+The paper fixes ``u = NumOfDisks``, arguing this balances "parallelism
+exploitation and similarity search refinement".  This bench sweeps u:
+``u = 1`` turns CRSS into a near-serial search (BBSS-like behaviour),
+``u = ∞`` removes fetch control (FPSS-like behaviour), and intermediate
+values trade fetched-node count against critical path.  The paper's
+choice should sit at or near the response-time minimum.
+"""
+
+import statistics
+
+from repro.core import CRSS, CountingExecutor
+from repro.datasets import sample_queries
+from repro.experiments import build_tree, current_scale, format_table
+from repro.simulation import simulate_workload
+
+PAPER_POPULATION = 40_000
+NUM_DISKS = 10
+K = 30
+ARRIVAL_RATE = 8.0
+
+
+def _run():
+    scale = current_scale()
+    tree = build_tree(
+        "gaussian",
+        scale.population(PAPER_POPULATION),
+        dims=2,
+        num_disks=NUM_DISKS,
+        page_size=scale.page_size,
+    )
+    points = [p for p, _ in tree.tree.iter_points()]
+    queries = sample_queries(points, scale.queries, seed=3)
+
+    bounds = [1, NUM_DISKS // 2, NUM_DISKS, 2 * NUM_DISKS, 10_000]
+    executor = CountingExecutor(tree)
+    rows = []
+    for bound in bounds:
+        def factory(query, bound=bound):
+            return CRSS(query, K, num_disks=NUM_DISKS, max_active=bound)
+
+        nodes, paths = [], []
+        for query in queries:
+            executor.execute(factory(query))
+            nodes.append(executor.last_stats.nodes_visited)
+            paths.append(executor.last_stats.critical_path)
+        workload = simulate_workload(
+            tree,
+            factory,
+            queries,
+            arrival_rate=ARRIVAL_RATE,
+            params=scale.system_parameters(),
+            seed=3,
+        )
+        rows.append(
+            (
+                bound,
+                statistics.fmean(nodes),
+                statistics.fmean(paths),
+                workload.mean_response,
+            )
+        )
+    return rows
+
+
+def test_ablation_activation_bound(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print(
+        format_table(
+            ["u", "mean nodes", "mean critical path", "mean response (s)"],
+            rows,
+            precision=3,
+            title=f"Ablation A2: CRSS activation bound u "
+            f"(k={K}, disks={NUM_DISKS}, λ={ARRIVAL_RATE})",
+        )
+    )
+    by_bound = {row[0]: row for row in rows}
+
+    # Monotone structure: fetched nodes grow with u, critical path
+    # shrinks as parallelism is allowed.
+    assert by_bound[1][1] <= by_bound[10_000][1] + 1e-9
+    assert by_bound[1][2] >= by_bound[10_000][2] - 1e-9
+
+    # The paper's choice u = NumOfDisks is competitive: within 25 % of
+    # the best response time in the sweep.
+    best = min(row[3] for row in rows)
+    assert by_bound[NUM_DISKS][3] <= best * 1.25

@@ -1,0 +1,110 @@
+"""Extension A4b — the search algorithms across all five access methods.
+
+The paper's future work names SS-tree, SR-tree, TV-tree and X-tree as
+targets for the CRSS family (§5).  All four are implemented here next
+to the paper's R*-tree; this bench runs BBSS / CRSS / WOPTSS over each
+on the *same 8-d Gaussian data* — the regime the alternative methods
+were designed for — and reports mean visited nodes plus index size.
+
+Expected shape: WOPTSS ≤ {BBSS, CRSS} on every method (weak-optimality
+is method-independent); the SR-tree's combined bound prunes at least as
+well as the SS-tree's sphere; the TV view trades looser bounds for a
+much smaller directory; the X-tree spends supernode reads to avoid
+overlapped directories.
+"""
+
+import statistics
+
+from repro.core import BBSS, CRSS, CountingExecutor, WOPTSS
+from repro.datasets import sample_queries
+from repro.experiments import current_scale, format_table
+from repro.experiments.setup import dataset
+from repro.extensions.srtree import build_parallel_srtree
+from repro.extensions.sstree import build_parallel_sstree
+from repro.extensions.tvtree import build_tv_view
+from repro.extensions.xtree import build_parallel_xtree
+from repro.parallel import build_parallel_tree
+from repro.rtree.capacity import capacity_for_page
+
+PAPER_POPULATION = 40_000
+NUM_DISKS = 10
+K = 20
+DIMS = 8
+
+
+def _run():
+    scale = current_scale()
+    population = scale.population(PAPER_POPULATION) // 2  # 8-d builds cost
+    data = dataset("gaussian", population, DIMS, seed=0)
+    queries = sample_queries(data, scale.queries, seed=29)
+    fanout = capacity_for_page(scale.page_size, DIMS)
+
+    trees = {
+        "R*-tree": build_parallel_tree(
+            data, dims=DIMS, num_disks=NUM_DISKS, page_size=scale.page_size
+        ),
+        "SS-tree": build_parallel_sstree(
+            data, dims=DIMS, num_disks=NUM_DISKS, max_entries=fanout
+        ),
+        "SR-tree": build_parallel_srtree(
+            data, dims=DIMS, num_disks=NUM_DISKS, max_entries=fanout
+        ),
+        "X-tree": build_parallel_xtree(
+            data, dims=DIMS, num_disks=NUM_DISKS,
+            page_size=scale.page_size, max_overlap=0.05,
+        ),
+        "TV view (a=3)": build_tv_view(
+            data, dims=DIMS, num_disks=NUM_DISKS, active=3,
+            page_size=scale.page_size,
+        ),
+    }
+
+    rows = []
+    for label, tree in trees.items():
+        executor = CountingExecutor(tree)
+        means = {}
+        for name, make in (
+            ("BBSS", lambda q: BBSS(q, K)),
+            ("CRSS", lambda q: CRSS(q, K, num_disks=NUM_DISKS)),
+            (
+                "WOPTSS",
+                lambda q: WOPTSS(
+                    q, K, oracle_dk=tree.kth_nearest_distance(q, K)
+                ),
+            ),
+        ):
+            counts = []
+            for query in queries:
+                executor.execute(make(query))
+                counts.append(executor.last_stats.nodes_visited)
+            means[name] = statistics.fmean(counts)
+        if label == "TV view (a=3)":
+            pages = len(tree._tree.tree.pages)
+        else:
+            pages = len(tree.tree.pages)
+        rows.append(
+            (label, pages, means["BBSS"], means["CRSS"], means["WOPTSS"])
+        )
+    return rows
+
+
+def test_ext_all_access_methods(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print(
+        format_table(
+            ["index", "pages", "BBSS", "CRSS", "WOPTSS"],
+            rows,
+            precision=1,
+            title=f"Extension A4b: mean visited nodes per access method "
+            f"(gaussian {DIMS}-d, k={K}, disks={NUM_DISKS})",
+        )
+    )
+    by_label = {row[0]: row for row in rows}
+    for label, pages, bbss, crss, woptss in rows:
+        # The weak-optimal floor is universal.
+        assert woptss <= bbss * 1.01, label
+        assert woptss <= crss * 1.01, label
+    # The TV directory is much smaller than the full-dimensional one.
+    assert by_label["TV view (a=3)"][1] < by_label["R*-tree"][1]
+    # SR's combined bound prunes at least as well as SS's sphere alone.
+    assert by_label["SR-tree"][3] <= by_label["SS-tree"][3] * 1.1

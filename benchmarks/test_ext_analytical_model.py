@@ -1,0 +1,96 @@
+"""Extension A12 — analytical response-time model vs. simulation.
+
+The paper's first future-work item: "the derivation and exploitation of
+analytical results in similarity search for disk arrays, estimating the
+response time of a query."  `repro.extensions.analysis` provides an
+M/G/1-based estimator (Pollaczek–Khinchine waits per disk, critical-path
+legs per query); this bench sweeps the arrival rate and reports
+estimated vs. simulated mean response for CRSS, asserting the model
+tracks the simulator through the stable-load regime.
+"""
+
+import statistics
+
+from repro.core import CountingExecutor
+from repro.datasets import sample_queries
+from repro.experiments import (
+    build_tree,
+    current_scale,
+    format_table,
+    make_factory,
+)
+from repro.extensions.analysis import estimate_query_response_time
+from repro.simulation import simulate_workload
+
+PAPER_POPULATION = 40_000
+NUM_DISKS = 10
+K = 20
+LAMBDAS = [1, 4, 8, 12]
+
+
+def _run():
+    scale = current_scale()
+    tree = build_tree(
+        "gaussian",
+        scale.population(PAPER_POPULATION),
+        dims=2,
+        num_disks=NUM_DISKS,
+        page_size=scale.page_size,
+    )
+    points = [p for p, _ in tree.tree.iter_points()]
+    queries = sample_queries(points, scale.queries, seed=27)
+    params = scale.system_parameters()
+    factory = make_factory("CRSS", tree, K)
+
+    executor = CountingExecutor(tree)
+    pages, paths = [], []
+    for query in queries:
+        executor.execute(factory(query))
+        pages.append(executor.last_stats.nodes_visited)
+        paths.append(executor.last_stats.critical_path)
+    mean_pages = statistics.fmean(pages)
+    mean_path = statistics.fmean(paths)
+
+    rows = []
+    for rate in scale.sweep(LAMBDAS):
+        simulated = simulate_workload(
+            tree, factory, queries, arrival_rate=float(rate),
+            params=params, seed=27,
+        )
+        estimated = estimate_query_response_time(
+            params, NUM_DISKS, float(rate), mean_pages, mean_path
+        )
+        rows.append(
+            (
+                rate,
+                simulated.mean_response,
+                estimated,
+                simulated.mean_response / estimated,
+                max(simulated.mean_queue_lengths),
+            )
+        )
+    return rows
+
+
+def test_ext_analytical_response_model(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print(
+        format_table(
+            ["lambda", "simulated (s)", "estimated (s)", "ratio",
+             "worst mean queue"],
+            rows,
+            precision=4,
+            title=f"Extension A12: M/G/1 response estimate vs simulation "
+            f"(CRSS, k={K}, disks={NUM_DISKS})",
+        )
+    )
+    for rate, simulated, estimated, ratio, _ in rows:
+        # The model tracks the simulator within a factor of 2 across
+        # the stable-load sweep (it is exact in neither direction: real
+        # arrivals are batched, and the critical path is an average).
+        assert 0.5 <= ratio <= 2.0, rate
+    # Both series grow with load.
+    simulated_series = [row[1] for row in rows]
+    estimated_series = [row[2] for row in rows]
+    assert estimated_series == sorted(estimated_series)
+    assert simulated_series[-1] >= simulated_series[0] * 0.9

@@ -1,0 +1,82 @@
+"""Extension A6 — parallel range queries (the paper's §3 contrast case).
+
+The paper motivates CRSS by contrasting k-NN search with range queries,
+whose fixed region makes full breadth-first activation optimal.  This
+bench measures window and similarity-range queries over the parallel
+R*-tree across array sizes: range queries should show near-ideal
+speed-up from added disks (their critical path shrinks as declustering
+spreads the fixed node set), unlike BBSS-style serial k-NN.
+"""
+
+import statistics
+
+from repro.core import CountingExecutor
+from repro.datasets import sample_queries
+from repro.experiments import build_tree, current_scale, format_series_table
+from repro.extensions.range_search import ParallelSphereSearch
+from repro.simulation import simulate_workload
+
+PAPER_POPULATION = 40_000
+DISKS = [2, 5, 10, 20]
+EPSILON = 0.05
+ARRIVAL_RATE = 5.0
+
+
+def _run():
+    scale = current_scale()
+    population = scale.population(PAPER_POPULATION)
+    disks = scale.sweep(DISKS)
+    series = {"response (s)": [], "critical path": [], "nodes": []}
+    for num_disks in disks:
+        tree = build_tree(
+            "california_places",
+            population,
+            dims=2,
+            num_disks=num_disks,
+            page_size=scale.page_size,
+        )
+        points = [p for p, _ in tree.tree.iter_points()]
+        queries = sample_queries(points, scale.queries, seed=11)
+
+        executor = CountingExecutor(tree)
+        paths, nodes = [], []
+        for query in queries:
+            executor.execute(ParallelSphereSearch(query, EPSILON))
+            paths.append(executor.last_stats.critical_path)
+            nodes.append(executor.last_stats.nodes_visited)
+
+        workload = simulate_workload(
+            tree,
+            lambda q: ParallelSphereSearch(q, EPSILON),
+            queries,
+            arrival_rate=ARRIVAL_RATE,
+            params=scale.system_parameters(),
+            seed=11,
+        )
+        series["response (s)"].append(workload.mean_response)
+        series["critical path"].append(statistics.fmean(paths))
+        series["nodes"].append(statistics.fmean(nodes))
+    return disks, series
+
+
+def test_ext_parallel_range_queries(benchmark):
+    disks, series = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print(
+        format_series_table(
+            "disks",
+            disks,
+            series,
+            precision=3,
+            title=f"Extension A6: similarity range query (ε={EPSILON}) vs "
+            "array size",
+        )
+    )
+    nodes = series["nodes"]
+    paths = series["critical path"]
+    responses = series["response (s)"]
+    # The visited node set is a property of the data, not the array.
+    assert max(nodes) <= min(nodes) * 1.3
+    # Declustering spreads that fixed set: the critical path shrinks
+    # and response time improves as disks are added.
+    assert paths[-1] < paths[0]
+    assert responses[-1] < responses[0]

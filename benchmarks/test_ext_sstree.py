@@ -1,0 +1,82 @@
+"""Extension A4 — the search algorithms over an SS-tree (future work §5).
+
+"The application of the algorithm on other access methods for
+similarity search, like SS-tree, SR-tree, TV-tree and X-tree."  Runs
+BBSS / CRSS / WOPTSS over a parallel SS-tree and the parallel R*-tree
+built from the same data, comparing visited nodes.  The qualitative
+result (CRSS bounded, WOPTSS the floor, CRSS ≈ optimal) must carry over
+to the sphere-bounded index.
+"""
+
+import statistics
+
+from repro.core import BBSS, CRSS, CountingExecutor, WOPTSS
+from repro.datasets import gaussian, sample_queries
+from repro.experiments import build_tree, current_scale, format_table
+from repro.experiments.setup import dataset
+from repro.extensions.sstree import build_parallel_sstree
+from repro.rtree.capacity import capacity_for_page
+
+PAPER_POPULATION = 40_000
+NUM_DISKS = 10
+K = 20
+DIMS = 2
+
+
+def _run():
+    scale = current_scale()
+    population = scale.population(PAPER_POPULATION)
+    data = dataset("gaussian", population, DIMS, seed=0)
+    queries = sample_queries(data, scale.queries, seed=7)
+    fanout = capacity_for_page(scale.page_size, DIMS)
+
+    rstar = build_tree(
+        "gaussian", population, dims=DIMS, num_disks=NUM_DISKS,
+        page_size=scale.page_size,
+    )
+    sstree = build_parallel_sstree(
+        data, dims=DIMS, num_disks=NUM_DISKS, max_entries=fanout
+    )
+
+    rows = []
+    for label, tree in (("R*-tree", rstar), ("SS-tree", sstree)):
+        executor = CountingExecutor(tree)
+        means = {}
+        for name, make in (
+            ("BBSS", lambda q: BBSS(q, K)),
+            ("CRSS", lambda q: CRSS(q, K, num_disks=NUM_DISKS)),
+            (
+                "WOPTSS",
+                lambda q: WOPTSS(
+                    q, K, oracle_dk=tree.kth_nearest_distance(q, K)
+                ),
+            ),
+        ):
+            counts = []
+            for query in queries:
+                executor.execute(make(query))
+                counts.append(executor.last_stats.nodes_visited)
+            means[name] = statistics.fmean(counts)
+        rows.append(
+            (label, means["BBSS"], means["CRSS"], means["WOPTSS"])
+        )
+    return rows
+
+
+def test_ext_sstree_access_method(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print(
+        format_table(
+            ["index", "BBSS", "CRSS", "WOPTSS"],
+            rows,
+            precision=1,
+            title=f"Extension A4: mean visited nodes over R*-tree vs "
+            f"SS-tree (gaussian {DIMS}-d, k={K}, disks={NUM_DISKS})",
+        )
+    )
+    for label, bbss, crss, woptss in rows:
+        # The weak-optimal floor holds on both access methods.
+        assert woptss <= bbss + 1e-9
+        assert woptss <= crss + 1e-9
+        # CRSS stays within a reasonable factor of optimal on both.
+        assert crss <= woptss * 3.0

@@ -1,0 +1,76 @@
+"""Figure 8 — visited nodes vs. query size on the 2-d real-data sets.
+
+Paper setup: California Places (62,173 points) and Long Beach (53,145
+points), 10 disks, 2 dimensions, k swept from 1 to 700, 100 queries per
+point.  Expected shape (paper §4.2): WOPTSS visits the fewest nodes
+everywhere; BBSS is most effective among the real algorithms for small
+k but deteriorates as k grows; CRSS overtakes BBSS at larger k and
+always beats FPSS, which over-fetches at every k.
+"""
+
+import pytest
+
+from repro.datasets import CP_POPULATION, LB_POPULATION
+from repro.experiments import (
+    build_tree,
+    current_scale,
+    effectiveness_experiment,
+    format_series_table,
+)
+
+PAPER_K_SWEEP = [1, 100, 200, 300, 400, 500, 600, 700]
+NUM_DISKS = 10
+
+
+def _run(dataset_name: str, population: int):
+    scale = current_scale()
+    tree = build_tree(
+        dataset_name,
+        scale.population(population),
+        dims=2,
+        num_disks=NUM_DISKS,
+        page_size=scale.page_size,
+    )
+    k_values = scale.sweep(PAPER_K_SWEEP)
+    return effectiveness_experiment(
+        tree, k_values, num_queries=scale.queries
+    )
+
+
+@pytest.mark.parametrize(
+    "dataset_name,population",
+    [("california_places", CP_POPULATION), ("long_beach", LB_POPULATION)],
+    ids=["california", "long_beach"],
+)
+def test_fig08_visited_nodes_vs_k(benchmark, dataset_name, population):
+    result = benchmark.pedantic(
+        _run, args=(dataset_name, population), rounds=1, iterations=1
+    )
+    print(
+        format_series_table(
+            "k",
+            result.k_values,
+            result.nodes,
+            precision=1,
+            title=f"Figure 8 ({dataset_name}): mean visited nodes vs. k "
+            f"(disks={NUM_DISKS})",
+        )
+    )
+
+    bbss = result.nodes["BBSS"]
+    fpss = result.nodes["FPSS"]
+    crss = result.nodes["CRSS"]
+    woptss = result.nodes["WOPTSS"]
+    last = len(result.k_values) - 1
+
+    # WOPTSS is the lower bound at every k.
+    for i in range(len(result.k_values)):
+        assert woptss[i] <= bbss[i] + 1e-9
+        assert woptss[i] <= fpss[i] + 1e-9
+        assert woptss[i] <= crss[i] + 1e-9
+    # CRSS controls its fetches: never above full-parallel FPSS.
+    for i in range(len(result.k_values)):
+        assert crss[i] <= fpss[i] + 1e-9
+    # BBSS deteriorates with k: by the top of the sweep CRSS is the more
+    # effective of the two (the paper's crossover).
+    assert crss[last] <= bbss[last] * 1.05

@@ -1,0 +1,104 @@
+"""Figure 10 — response time vs. query arrival rate (multi-user load).
+
+Paper setup, left panel: Long Beach, 5 disks, k = 10, λ swept 1–10
+queries/s.  Right panel: California Places, 10 disks, k = 100, λ swept
+2–20 queries/s.  100 queries per run.  Expected shape: FPSS is the most
+sensitive to workload (no control over fetched nodes) and degrades
+fastest with λ; CRSS tracks WOPTSS; for small workloads with many disks
+FPSS can be marginally better than CRSS (right panel, low λ) because
+the spare disks absorb its extra fetches.
+"""
+
+import pytest
+
+from repro.datasets import CP_POPULATION, LB_POPULATION
+from repro.experiments import (
+    build_tree,
+    current_scale,
+    format_series_table,
+    response_experiment,
+)
+
+PANELS = {
+    "long_beach": dict(
+        population=LB_POPULATION,
+        num_disks=5,
+        k=10,
+        lambdas=[1, 2, 4, 6, 8, 10],
+    ),
+    "california": dict(
+        population=CP_POPULATION,
+        num_disks=10,
+        k=100,
+        lambdas=[2, 4, 8, 12, 16, 20],
+    ),
+}
+
+
+def _run(panel):
+    scale = current_scale()
+    tree = build_tree(
+        "long_beach" if panel is PANELS["long_beach"] else "california_places",
+        scale.population(panel["population"]),
+        dims=2,
+        num_disks=panel["num_disks"],
+        page_size=scale.page_size,
+    )
+    lambdas = scale.sweep(panel["lambdas"])
+    series = {name: [] for name in ("BBSS", "FPSS", "CRSS", "WOPTSS")}
+    fpss_peak_utilization = 0.0
+    for arrival_rate in lambdas:
+        result = response_experiment(
+            tree,
+            k=panel["k"],
+            arrival_rate=float(arrival_rate),
+            num_queries=scale.queries,
+            params=scale.system_parameters(),
+        )
+        for name, value in result.mean_response.items():
+            series[name].append(value)
+        utilizations = result.workloads["FPSS"].disk_utilizations
+        fpss_peak_utilization = max(
+            fpss_peak_utilization, sum(utilizations) / len(utilizations)
+        )
+    return lambdas, series, fpss_peak_utilization
+
+
+@pytest.mark.parametrize("panel_name", list(PANELS))
+def test_fig10_response_vs_arrival_rate(benchmark, panel_name):
+    panel = PANELS[panel_name]
+    lambdas, series, fpss_peak_utilization = benchmark.pedantic(
+        _run, args=(panel,), rounds=1, iterations=1
+    )
+    print(
+        format_series_table(
+            "lambda",
+            lambdas,
+            series,
+            precision=4,
+            title=f"Figure 10 ({panel_name}): mean response time (s) vs. λ "
+            f"(disks={panel['num_disks']}, k={panel['k']})",
+        )
+    )
+
+    # WOPTSS is the fastest at every arrival rate.
+    for i in range(len(lambdas)):
+        for name in ("BBSS", "FPSS", "CRSS"):
+            assert series["WOPTSS"][i] <= series[name][i] * 1.05
+
+    # FPSS's collapse is a saturation effect — its over-fetching only
+    # hurts once the disks are actually contended.  The paper itself
+    # notes FPSS is *marginally better* than CRSS "for small workloads
+    # and large number of disks" (right panel, low λ), so these checks
+    # are gated on the array having been driven into contention.
+    if fpss_peak_utilization >= 0.5:
+        def degradation(name):
+            return series[name][-1] / series[name][0]
+
+        assert degradation("FPSS") >= degradation("CRSS") * 0.85
+        assert series["CRSS"][-1] <= series["FPSS"][-1] * 1.1
+    else:
+        print(
+            f"(load too light for saturation checks: peak FPSS disk "
+            f"utilization {fpss_peak_utilization:.2f})"
+        )

@@ -1,0 +1,78 @@
+"""Figure 11 — response time normalized to WOPTSS vs. number of disks.
+
+Paper setup: Gaussian 5-d, 50,000 points, λ = 5 queries/s, k = 10 (left
+panel) and k = 100 (right panel), disks swept 5–30.  Expected shape:
+CRSS's speed-up is better than BBSS's — CRSS sits between 2× and 4×
+faster than BBSS and within a small factor of WOPTSS, because BBSS
+cannot use additional disks within a query (no intra-query parallelism).
+"""
+
+import pytest
+
+from repro.experiments import (
+    build_tree,
+    current_scale,
+    format_series_table,
+    response_experiment,
+)
+
+PAPER_POPULATION = 50_000
+PAPER_DISK_SWEEP = [5, 10, 15, 20, 25, 30]
+ARRIVAL_RATE = 5.0
+DIMS = 5
+ALGORITHMS = ("BBSS", "CRSS", "WOPTSS")  # FPSS dropped, as in the paper
+
+
+def _run(k: int):
+    scale = current_scale()
+    disks = scale.sweep(PAPER_DISK_SWEEP)
+    population = scale.population(PAPER_POPULATION)
+    series = {name: [] for name in ALGORITHMS}
+    for num_disks in disks:
+        tree = build_tree(
+            "gaussian",
+            population,
+            dims=DIMS,
+            num_disks=num_disks,
+            page_size=scale.page_size,
+        )
+        result = response_experiment(
+            tree,
+            k=k,
+            arrival_rate=ARRIVAL_RATE,
+            algorithms=ALGORITHMS,
+            num_queries=scale.queries,
+            params=scale.system_parameters(),
+        )
+        for name, value in result.mean_response.items():
+            series[name].append(value)
+    return disks, series
+
+
+@pytest.mark.parametrize("k", [10, 100])
+def test_fig11_normalized_response_vs_disks(benchmark, k):
+    disks, series = benchmark.pedantic(_run, args=(k,), rounds=1, iterations=1)
+    normalized = {
+        name: [v / series["WOPTSS"][i] for i, v in enumerate(values)]
+        for name, values in series.items()
+    }
+    print(
+        format_series_table(
+            "disks",
+            disks,
+            normalized,
+            precision=3,
+            title=f"Figure 11 (gaussian {DIMS}-d, k={k}, λ={ARRIVAL_RATE}): "
+            "response time normalized to WOPTSS vs. disks",
+        )
+    )
+
+    for i in range(len(disks)):
+        # Normalized ratios: WOPTSS = 1 by construction, others above.
+        assert normalized["BBSS"][i] >= 0.95
+        assert normalized["CRSS"][i] >= 0.95
+    # CRSS exploits added disks better than BBSS: averaged over the
+    # sweep it is the faster algorithm (paper: 2–4x).
+    bbss_mean = sum(series["BBSS"]) / len(disks)
+    crss_mean = sum(series["CRSS"]) / len(disks)
+    assert crss_mean <= bbss_mean

@@ -1,0 +1,79 @@
+"""Figure 12 — response time normalized to WOPTSS vs. query size k.
+
+Paper setup: uniform 5-d, 80,000 points, 10 disks, k swept 1–100, at a
+light load (λ = 1, left panel) and a heavy load (λ = 20, right panel).
+Expected shape: CRSS shows the best performance among the real
+algorithms, outperforming BBSS by factors (3–4× in the paper), and the
+gap widens under the heavy load where BBSS's long serial fetch chains
+pile up in the disk queues.
+"""
+
+import pytest
+
+from repro.experiments import (
+    build_tree,
+    current_scale,
+    format_series_table,
+    response_experiment,
+)
+
+PAPER_POPULATION = 80_000
+PAPER_K_SWEEP = [1, 20, 40, 60, 80, 100]
+NUM_DISKS = 10
+DIMS = 5
+ALGORITHMS = ("BBSS", "CRSS", "WOPTSS")
+
+
+def _run(arrival_rate: float):
+    scale = current_scale()
+    tree = build_tree(
+        "uniform",
+        scale.population(PAPER_POPULATION),
+        dims=DIMS,
+        num_disks=NUM_DISKS,
+        page_size=scale.page_size,
+    )
+    k_values = scale.sweep(PAPER_K_SWEEP)
+    series = {name: [] for name in ALGORITHMS}
+    for k in k_values:
+        result = response_experiment(
+            tree,
+            k=k,
+            arrival_rate=arrival_rate,
+            algorithms=ALGORITHMS,
+            num_queries=scale.queries,
+            params=scale.system_parameters(),
+        )
+        for name, value in result.mean_response.items():
+            series[name].append(value)
+    return k_values, series
+
+
+@pytest.mark.parametrize("arrival_rate", [1.0, 20.0], ids=["lambda1", "lambda20"])
+def test_fig12_normalized_response_vs_k(benchmark, arrival_rate):
+    k_values, series = benchmark.pedantic(
+        _run, args=(arrival_rate,), rounds=1, iterations=1
+    )
+    normalized = {
+        name: [v / series["WOPTSS"][i] for i, v in enumerate(values)]
+        for name, values in series.items()
+    }
+    print(
+        format_series_table(
+            "k",
+            k_values,
+            normalized,
+            precision=3,
+            title=f"Figure 12 (uniform {DIMS}-d, disks={NUM_DISKS}, "
+            f"λ={arrival_rate}): response normalized to WOPTSS vs. k",
+        )
+    )
+
+    # CRSS beats BBSS on average over the sweep.
+    bbss_mean = sum(series["BBSS"]) / len(k_values)
+    crss_mean = sum(series["CRSS"]) / len(k_values)
+    assert crss_mean <= bbss_mean
+    # Nobody beats the weak-optimal lower bound.
+    for i in range(len(k_values)):
+        assert normalized["BBSS"][i] >= 0.95
+        assert normalized["CRSS"][i] >= 0.95

@@ -1,0 +1,105 @@
+"""Library micro-benchmarks (wall-clock, not simulated time).
+
+Unlike every other file in this directory — which regenerates *paper
+results in simulated time* — these measure the Python library itself:
+insertion throughput, in-memory k-NN latency, the metric kernels and
+the Hilbert encoder.  They guard against performance regressions in the
+hot paths that dominate experiment runtime.
+"""
+
+import random
+
+import pytest
+
+from repro.core import CRSS, CountingExecutor
+from repro.core.distances import (
+    maximum_distance_sq,
+    minimum_distance_sq,
+    minmax_distance_sq,
+)
+from repro.datasets import uniform
+from repro.geometry.rect import Rect
+from repro.parallel import build_parallel_tree
+from repro.rtree import RStarTree, hilbert_index
+
+
+@pytest.fixture(scope="module")
+def built_tree():
+    points = uniform(5000, 2, seed=99)
+    return build_parallel_tree(points, dims=2, num_disks=8), points
+
+
+def test_perf_insert_2d(benchmark):
+    points = uniform(2000, 2, seed=98)
+
+    def build():
+        tree = RStarTree(2)
+        for oid, point in enumerate(points):
+            tree.insert(point, oid)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(tree) == 2000
+
+
+def test_perf_inmemory_knn(benchmark, built_tree):
+    tree, _ = built_tree
+    rng = random.Random(1)
+    queries = [(rng.random(), rng.random()) for _ in range(100)]
+
+    def run():
+        total = 0
+        for q in queries:
+            total += len(tree.knn(q, 10))
+        return total
+
+    assert benchmark(run) == 1000
+
+
+def test_perf_crss_counting(benchmark, built_tree):
+    tree, _ = built_tree
+    executor = CountingExecutor(tree)
+    rng = random.Random(2)
+    queries = [(rng.random(), rng.random()) for _ in range(50)]
+
+    def run():
+        total = 0
+        for q in queries:
+            total += len(executor.execute(CRSS(q, 10, num_disks=8)))
+        return total
+
+    assert benchmark(run) == 500
+
+
+def test_perf_distance_kernels(benchmark):
+    rng = random.Random(3)
+    rects = [
+        Rect(
+            (rng.random() * 0.9, rng.random() * 0.9),
+            (rng.random() * 0.1 + 0.9, rng.random() * 0.1 + 0.9),
+        )
+        for _ in range(200)
+    ]
+    q = (0.5, 0.5)
+
+    def run():
+        total = 0.0
+        for rect in rects:
+            total += minimum_distance_sq(q, rect)
+            total += minmax_distance_sq(q, rect)
+            total += maximum_distance_sq(q, rect)
+        return total
+
+    assert benchmark(run) > 0.0
+
+
+def test_perf_hilbert_encoding(benchmark):
+    rng = random.Random(4)
+    coords = [
+        (rng.randrange(1 << 16), rng.randrange(1 << 16)) for _ in range(500)
+    ]
+
+    def run():
+        return sum(hilbert_index(c, 16) for c in coords)
+
+    assert benchmark(run) > 0

@@ -1,0 +1,87 @@
+"""Table 3 — scalability with respect to population growth.
+
+Paper setup: Gaussian 5-d, k = 20, λ = 5 queries/s; population and disk
+count grow together: (10k, 5), (20k, 10), (40k, 20), (80k, 40).  Paper
+numbers (response time, seconds):
+
+    population  disks  BBSS  CRSS  WOPTSS
+        10,000      5  0.76  0.47    0.23
+        20,000     10  0.74  0.28    0.15
+        40,000     20  1.07  0.29    0.15
+        80,000     40  1.59  0.33    0.16
+
+Expected shape: CRSS scales — its response time stays roughly flat as
+the problem and the array grow together — while BBSS's grows (it cannot
+use the added disks within a query).  CRSS ≈ 4× faster than BBSS and
+≈ 2× slower than WOPTSS on average.
+"""
+
+from repro.experiments import (
+    build_tree,
+    current_scale,
+    format_table,
+    response_experiment,
+)
+
+PAPER_STEPS = [(10_000, 5), (20_000, 10), (40_000, 20), (80_000, 40)]
+DIMS = 5
+K = 20
+ARRIVAL_RATE = 5.0
+ALGORITHMS = ("BBSS", "CRSS", "WOPTSS")
+
+
+def _run():
+    scale = current_scale()
+    rows = []
+    for paper_population, num_disks in PAPER_STEPS:
+        population = scale.population(paper_population)
+        tree = build_tree(
+            "gaussian",
+            population,
+            dims=DIMS,
+            num_disks=num_disks,
+            page_size=scale.page_size,
+        )
+        result = response_experiment(
+            tree,
+            k=K,
+            arrival_rate=ARRIVAL_RATE,
+            algorithms=ALGORITHMS,
+            num_queries=scale.queries,
+            params=scale.system_parameters(),
+        )
+        rows.append(
+            (
+                population,
+                num_disks,
+                result.mean_response["BBSS"],
+                result.mean_response["CRSS"],
+                result.mean_response["WOPTSS"],
+            )
+        )
+    return rows
+
+
+def test_table3_population_scaleup(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print(
+        format_table(
+            ["population", "disks", "BBSS", "CRSS", "WOPTSS"],
+            rows,
+            precision=3,
+            title=f"Table 3 (gaussian {DIMS}-d, k={K}, λ={ARRIVAL_RATE}): "
+            "response time (s) vs. population growth",
+        )
+    )
+
+    bbss = [row[2] for row in rows]
+    crss = [row[3] for row in rows]
+    woptss = [row[4] for row in rows]
+
+    # CRSS is stable under scale-up: its largest-config response is not
+    # far above its smallest-config response (paper: it *drops*).
+    assert crss[-1] <= crss[0] * 1.5
+    # BBSS deteriorates relative to CRSS as the system grows.
+    assert bbss[-1] / crss[-1] >= bbss[0] / crss[0]
+    # Ordering: WOPTSS <= CRSS <= BBSS at the largest configuration.
+    assert woptss[-1] <= crss[-1] <= bbss[-1]

@@ -1,0 +1,82 @@
+"""Table 4 — scalability with respect to query size growth.
+
+Paper setup: Gaussian 5-d, 80,000 points, λ = 5 queries/s; k and disk
+count grow together: (10, 5), (20, 10), (40, 20), (80, 40).  Paper
+numbers (response time, seconds):
+
+    k   disks  BBSS  CRSS  WOPTSS
+    10      5  2.48  1.30    0.48
+    20     10  2.14  0.32    0.19
+    40     20  2.37  0.55    0.28
+    80     40  2.95  0.40    0.21
+
+Expected shape: CRSS absorbs bigger queries with more disks (roughly
+flat after the smallest array) while BBSS stays expensive regardless of
+the array size; CRSS is ~4× faster than BBSS on average.
+"""
+
+from repro.experiments import (
+    build_tree,
+    current_scale,
+    format_table,
+    response_experiment,
+)
+
+PAPER_POPULATION = 80_000
+PAPER_STEPS = [(10, 5), (20, 10), (40, 20), (80, 40)]
+DIMS = 5
+ARRIVAL_RATE = 5.0
+ALGORITHMS = ("BBSS", "CRSS", "WOPTSS")
+
+
+def _run():
+    scale = current_scale()
+    population = scale.population(PAPER_POPULATION)
+    rows = []
+    for k, num_disks in PAPER_STEPS:
+        tree = build_tree(
+            "gaussian",
+            population,
+            dims=DIMS,
+            num_disks=num_disks,
+            page_size=scale.page_size,
+        )
+        result = response_experiment(
+            tree,
+            k=k,
+            arrival_rate=ARRIVAL_RATE,
+            algorithms=ALGORITHMS,
+            num_queries=scale.queries,
+            params=scale.system_parameters(),
+        )
+        rows.append(
+            (
+                k,
+                num_disks,
+                result.mean_response["BBSS"],
+                result.mean_response["CRSS"],
+                result.mean_response["WOPTSS"],
+            )
+        )
+    return rows
+
+
+def test_table4_query_scaleup(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print(
+        format_table(
+            ["k", "disks", "BBSS", "CRSS", "WOPTSS"],
+            rows,
+            precision=3,
+            title=f"Table 4 (gaussian {DIMS}-d, pop={PAPER_POPULATION} scaled, "
+            f"λ={ARRIVAL_RATE}): response time (s) vs. query size growth",
+        )
+    )
+
+    for k, num_disks, bbss, crss, woptss in rows:
+        assert woptss <= crss * 1.05
+        assert crss <= bbss * 1.05
+    # Averaged over the table CRSS clearly outperforms BBSS.
+    mean_bbss = sum(r[2] for r in rows) / len(rows)
+    mean_crss = sum(r[3] for r in rows) / len(rows)
+    assert mean_crss < mean_bbss

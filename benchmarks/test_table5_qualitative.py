@@ -1,0 +1,147 @@
+"""Table 5 — qualitative comparison of the algorithms.
+
+The paper closes its evaluation with a check-mark grid:
+
+    characteristic          BBSS  FPSS  CRSS  WOPTSS
+    number of disk accesses  ✓          ✓      ✓
+    mean response time             (*)   ✓      ✓
+    speed-up                              ✓      ✓
+    scalability                           ✓      ✓
+    intraquery parallelism          ✓     ✓      ✓
+    interquery parallelism   ✓    ltd    ✓      ✓
+
+This bench derives each cell from measured data on one mid-size
+configuration and asserts the paper's verdicts hold: BBSS fetches few
+nodes but has no intra-query parallelism; FPSS parallelizes but wastes
+fetches and collapses under load; CRSS earns every check mark.
+"""
+
+from repro.core import CountingExecutor
+from repro.datasets import sample_queries
+from repro.experiments import (
+    build_tree,
+    current_scale,
+    format_table,
+    make_factory,
+    response_experiment,
+)
+
+DIMS = 5
+PAPER_POPULATION = 40_000
+NUM_DISKS = 10
+K = 20
+ALGORITHMS = ("BBSS", "FPSS", "CRSS", "WOPTSS")
+
+
+def _run():
+    scale = current_scale()
+    population = scale.population(PAPER_POPULATION)
+    tree = build_tree(
+        "gaussian",
+        population,
+        dims=DIMS,
+        num_disks=NUM_DISKS,
+        page_size=scale.page_size,
+    )
+    points = [point for point, _ in tree.tree.iter_points()]
+    queries = sample_queries(points, scale.queries, seed=1)
+
+    # Access counts and intra-query parallelism via the counting executor.
+    executor = CountingExecutor(tree)
+    accesses = {}
+    parallelism = {}
+    for name in ALGORITHMS:
+        factory = make_factory(name, tree, K)
+        counts, widths = [], []
+        for query in queries:
+            executor.execute(factory(query))
+            counts.append(executor.last_stats.nodes_visited)
+            widths.append(executor.last_stats.parallelism)
+        accesses[name] = sum(counts) / len(counts)
+        parallelism[name] = sum(widths) / len(widths)
+
+    # Response time under light and heavy load (inter-query behaviour).
+    light = response_experiment(
+        tree, k=K, arrival_rate=1.0, algorithms=ALGORITHMS,
+        num_queries=scale.queries, queries=queries,
+        params=scale.system_parameters(),
+    )
+    heavy = response_experiment(
+        tree, k=K, arrival_rate=15.0, algorithms=ALGORITHMS,
+        num_queries=scale.queries, queries=queries,
+        params=scale.system_parameters(),
+    )
+    return accesses, parallelism, light, heavy
+
+
+def test_table5_qualitative_grid(benchmark):
+    accesses, parallelism, light, heavy = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+
+    def good_accesses(name):
+        # "Few disk accesses": within 2.5x of the optimal count.
+        return accesses[name] <= accesses["WOPTSS"] * 2.5
+
+    def good_response(name):
+        # "Good mean response time": within 3x of optimal under load.
+        return heavy.mean_response[name] <= heavy.mean_response["WOPTSS"] * 3.0
+
+    def good_intraquery(name):
+        # Fetches more than one page per round on average.
+        return parallelism[name] > 1.2
+
+    def good_interquery(name):
+        # Degrades gracefully from light to heavy load (bounded blowup).
+        return (
+            heavy.mean_response[name]
+            <= light.mean_response[name]
+            * (heavy.mean_response["WOPTSS"] / light.mean_response["WOPTSS"])
+            * 2.0
+        )
+
+    def mark(flag):
+        return "yes" if flag else "-"
+
+    rows = [
+        ["number of disk accesses"]
+        + [mark(good_accesses(n)) for n in ALGORITHMS],
+        ["mean response time"] + [mark(good_response(n)) for n in ALGORITHMS],
+        ["intraquery parallelism"]
+        + [mark(good_intraquery(n)) for n in ALGORITHMS],
+        ["interquery parallelism"]
+        + [mark(good_interquery(n)) for n in ALGORITHMS],
+    ]
+    print(
+        format_table(
+            ["characteristic"] + list(ALGORITHMS),
+            rows,
+            title="Table 5: qualitative comparison (derived from measurements)",
+        )
+    )
+    print(
+        format_table(
+            ["metric"] + list(ALGORITHMS),
+            [
+                ["mean accesses"] + [accesses[n] for n in ALGORITHMS],
+                ["mean batch width"] + [parallelism[n] for n in ALGORITHMS],
+                ["resp @ light (s)"]
+                + [light.mean_response[n] for n in ALGORITHMS],
+                ["resp @ heavy (s)"]
+                + [heavy.mean_response[n] for n in ALGORITHMS],
+            ],
+            precision=3,
+            title="Underlying measurements",
+        )
+    )
+
+    # The paper's verdicts.
+    assert good_accesses("BBSS")            # BBSS: few accesses...
+    assert not good_intraquery("BBSS")      # ...but strictly serial.
+    assert good_intraquery("FPSS")          # FPSS parallelizes...
+    assert not good_accesses("FPSS")        # ...by over-fetching.
+    for characteristic in (
+        good_accesses, good_response, good_intraquery, good_interquery,
+    ):
+        assert characteristic("CRSS")       # CRSS: every check mark.
+        assert characteristic("WOPTSS")     # the bound trivially too.

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Capacity planning: how many disks for a target latency?
+
+A systems-flavored use of the simulator: given a similarity-search
+workload (data distribution, k, arrival rate) and a latency budget, how
+many disks does the array need?  We sweep array sizes, simulate the
+paper's CRSS under the expected load, and cross-check the measured
+response time against the analytical lower bound of
+:mod:`repro.extensions.analysis` — the bound tells you when no amount
+of tuning (short of a different algorithm) can meet the budget.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import statistics
+
+from repro import CRSS, CountingExecutor, build_parallel_tree
+from repro.datasets import sample_queries, uniform
+from repro.extensions.analysis import response_time_lower_bound
+from repro.simulation import simulate_workload
+from repro.simulation.parameters import SystemParameters
+
+POPULATION = 15_000
+DIMS = 4
+K = 25
+ARRIVAL_RATE = 10.0      # queries per second, Poisson
+LATENCY_BUDGET = 0.250   # seconds, mean response
+
+
+def main():
+    data = uniform(POPULATION, DIMS, seed=17)
+    queries = sample_queries(data, 40, seed=18)
+    params = SystemParameters(page_size=2048)
+
+    print(
+        f"workload: {POPULATION:,} points in {DIMS}-d, k={K}, "
+        f"λ={ARRIVAL_RATE}/s, budget {LATENCY_BUDGET * 1000:.0f} ms\n"
+    )
+    print(f"{'disks':>5} {'mean resp':>10} {'p-worst':>9} "
+          f"{'analytic floor':>14} {'verdict':>8}")
+
+    chosen = None
+    for num_disks in (2, 4, 8, 12, 16, 24):
+        tree = build_parallel_tree(
+            data, dims=DIMS, num_disks=num_disks, page_size=2048, seed=1
+        )
+        factory = lambda q: CRSS(q, K, num_disks=num_disks)
+        result = simulate_workload(
+            tree, factory, queries, arrival_rate=ARRIVAL_RATE,
+            params=params, seed=2,
+        )
+
+        # Analytical floor: the mean critical path of this workload,
+        # priced at the expected per-access service time.
+        counting = CountingExecutor(tree)
+        paths = []
+        for query in queries:
+            counting.execute(factory(query))
+            paths.append(counting.last_stats.critical_path)
+        floor = response_time_lower_bound(
+            round(statistics.fmean(paths)), params
+        )
+
+        meets = result.mean_response <= LATENCY_BUDGET
+        print(
+            f"{num_disks:>5} {result.mean_response * 1000:>8.1f}ms "
+            f"{result.max_response * 1000:>7.1f}ms "
+            f"{floor * 1000:>12.1f}ms {'OK' if meets else 'over':>8}"
+        )
+        if meets and chosen is None:
+            chosen = num_disks
+
+    print()
+    if chosen is None:
+        print("no array size in the sweep meets the budget — the analytic")
+        print("floor shows whether a budget is reachable at all.")
+    else:
+        print(f"smallest array meeting the budget: {chosen} disks.")
+        print("note how added disks stop helping once the response time")
+        print("approaches the analytic floor: beyond that point the")
+        print("critical path, not the queueing, is what you pay for.")
+
+
+if __name__ == "__main__":
+    main()

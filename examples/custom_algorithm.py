@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Extending the library: write your own search algorithm.
+
+Everything an algorithm needs is the *fetch protocol*: yield the page
+ids you want, receive the pages, return your answers.  This example
+implements the classic **best-first (incremental) k-NN** of Hjaltason &
+Samet — a global priority queue over branches ordered by ``Dmin`` —
+which is famously *node-optimal* for a sequential machine: it visits
+exactly the weak-optimal node set, without needing WOPTSS's oracle.
+
+Running it against the paper's algorithms shows both of the paper's
+points at once: best-first matches WOPTSS's page count (so BBSS's DFS
+over-fetch is avoidable), yet like BBSS it fetches one page at a time —
+no intra-query parallelism — so on a loaded disk array CRSS still wins
+where it matters.
+
+Run:  python examples/custom_algorithm.py
+"""
+
+import heapq
+import itertools
+
+from repro import BBSS, CRSS, CountingExecutor, WOPTSS, build_parallel_tree
+from repro.core.protocol import (
+    FetchRequest,
+    SearchAlgorithm,
+    child_refs,
+    leaf_points,
+)
+from repro.core.regions import region_minimum_distance_sq
+from repro.core.results import NeighborList
+from repro.datasets import gaussian, sample_queries
+from repro.simulation import simulate_workload
+
+
+class BestFirstSearch(SearchAlgorithm):
+    """Hjaltason–Samet best-first k-NN through the fetch protocol."""
+
+    name = "BEST-FIRST"
+
+    def run(self, root_page_id):
+        neighbors = NeighborList(self.query, self.k)
+        counter = itertools.count()  # tie-breaker for the heap
+        frontier = [(0.0, next(counter), root_page_id)]
+        while frontier:
+            dmin_sq, _, page_id = heapq.heappop(frontier)
+            # Global cut-off: nothing in the queue can improve the
+            # answer once its Dmin exceeds the k-th best distance.
+            if dmin_sq > neighbors.kth_distance_sq():
+                break
+            fetched = yield FetchRequest([page_id])
+            node = fetched[page_id]
+            if node.is_leaf:
+                neighbors.offer_many(leaf_points(node))
+            else:
+                for ref in child_refs(node):
+                    d = region_minimum_distance_sq(self.query, ref.rect)
+                    heapq.heappush(frontier, (d, next(counter), ref.page_id))
+        return neighbors.as_sorted()
+
+
+def main():
+    # The paper's Figure 10 right-panel regime: large k on a big 2-d
+    # set, light load — a query touches dozens of leaves, so serial
+    # algorithms pay dozens of sequential disk accesses while CRSS
+    # spreads them over the array.
+    print("building a 20,000-point index over 10 disks ...")
+    data = gaussian(20_000, 2, seed=31)
+    tree = build_parallel_tree(data, dims=2, num_disks=10, page_size=1024)
+    queries = sample_queries(data, 30, seed=32)
+    k = 100
+
+    def factories():
+        yield "BBSS", lambda q: BBSS(q, k)
+        yield "BEST-FIRST", lambda q: BestFirstSearch(q, k)
+        yield "CRSS", lambda q: CRSS(q, k, num_disks=10)
+        yield "WOPTSS", lambda q: WOPTSS(
+            q, k, oracle_dk=tree.kth_nearest_distance(q, k)
+        )
+
+    print(f"\n{'algorithm':>10} {'pages/query':>12} {'batch width':>12} "
+          f"{'resp @ λ=2':>12}")
+    executor = CountingExecutor(tree)
+    reference = None
+    for name, factory in factories():
+        pages = widths = 0
+        for q in queries:
+            answers = executor.execute(factory(q))
+            pages += executor.last_stats.nodes_visited
+            widths += executor.last_stats.parallelism
+            if reference is None:
+                reference = {}
+            expected = reference.setdefault(
+                q, [n.oid for n in tree.knn(q, k)]
+            )
+            assert [n.oid for n in answers] == expected  # always exact
+        loaded = simulate_workload(
+            tree, factory, queries, arrival_rate=2.0, seed=33
+        )
+        print(
+            f"{name:>10} {pages / len(queries):>12.1f} "
+            f"{widths / len(queries):>12.2f} "
+            f"{loaded.mean_response * 1000:>10.1f}ms"
+        )
+
+    print("""
+Best-first matches the oracle's page count — the classic optimality
+result — but pays for its serial fetches under load, where CRSS's
+bounded parallel batches deliver the better response time.  Forty lines
+of protocol code were enough to join the comparison.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Multimedia scenario: content-based image retrieval by color histogram.
+
+The paper's introduction motivates similarity search with exactly this
+workload: images represented as color-histogram feature vectors,
+queried by example ("find the 12 images most similar to this one").
+Here we synthesize a library of "images" as 8-d reduced color
+histograms drawn from a handful of visual styles (sunsets, forests,
+ocean scenes, ...), index them on a disk array, and run
+query-by-example retrieval — over both the paper's R*-tree and the
+future-work SS-tree, which was designed for this very workload.
+
+Run:  python examples/image_retrieval.py
+"""
+
+import math
+import random
+
+from repro import CRSS, CountingExecutor, build_parallel_tree
+from repro.extensions.sstree import build_parallel_sstree
+
+STYLES = {
+    "sunset": (0.30, 0.15, 0.05, 0.10, 0.05, 0.05, 0.10, 0.20),
+    "forest": (0.05, 0.10, 0.35, 0.25, 0.05, 0.05, 0.10, 0.05),
+    "ocean": (0.05, 0.05, 0.10, 0.10, 0.35, 0.25, 0.05, 0.05),
+    "portrait": (0.15, 0.20, 0.05, 0.05, 0.05, 0.10, 0.25, 0.15),
+    "night": (0.02, 0.03, 0.05, 0.05, 0.10, 0.15, 0.20, 0.40),
+}
+
+
+def synthesize_library(count, seed=0):
+    """Feature vectors for *count* images, with their style labels."""
+    rng = random.Random(seed)
+    names = list(STYLES)
+    vectors, labels = [], []
+    for _ in range(count):
+        style = rng.choice(names)
+        base = STYLES[style]
+        noisy = [max(0.0, channel + rng.gauss(0, 0.04)) for channel in base]
+        total = sum(noisy) or 1.0
+        vectors.append(tuple(channel / total for channel in noisy))
+        labels.append(style)
+    return vectors, labels
+
+
+def main():
+    print("synthesizing a library of 15,000 images (8-d histograms) ...")
+    vectors, labels = synthesize_library(15_000, seed=11)
+
+    print("indexing on a 10-disk array: R*-tree and SS-tree ...")
+    rstar = build_parallel_tree(vectors, dims=8, num_disks=10, page_size=2048)
+    sstree = build_parallel_sstree(
+        vectors, dims=8, num_disks=10, max_entries=rstar.tree.max_entries
+    )
+    print(
+        f"  R*-tree: height {rstar.height}, {len(rstar.tree.pages)} pages; "
+        f"SS-tree: height {sstree.height}, {len(sstree.tree.pages)} pages\n"
+    )
+
+    # Query by example: perturb a known sunset image.
+    rng = random.Random(5)
+    example_id = next(i for i, s in enumerate(labels) if s == "sunset")
+    example = tuple(
+        max(0.0, channel + rng.gauss(0, 0.01))
+        for channel in vectors[example_id]
+    )
+    k = 12
+
+    for name, tree in (("R*-tree", rstar), ("SS-tree", sstree)):
+        executor = CountingExecutor(tree)
+        result = executor.execute(
+            CRSS(example, k, num_disks=tree.num_disks)
+        )
+        stats = executor.last_stats
+        matched_styles = [labels[n.oid] for n in result]
+        precision = matched_styles.count("sunset") / k
+        print(f"{name}: {k} most similar images "
+              f"({stats.nodes_visited} pages, {stats.rounds} rounds)")
+        print(f"  styles returned: {matched_styles}")
+        print(f"  retrieval precision for 'sunset': {precision:.0%}\n")
+
+    print("Both access methods return style-consistent matches; CRSS keeps")
+    print("the page budget bounded even in 8 dimensions, where MBR overlap")
+    print("makes the serial branch-and-bound search wander (paper Fig. 9).")
+
+
+if __name__ == "__main__":
+    main()

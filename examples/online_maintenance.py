@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Online index maintenance: searching while the data changes.
+
+The paper's setting is explicitly dynamic — "insertions, deletions and
+updates can be intermixed with read-only operations" (§1) — and this
+example simulates exactly that day-2 scenario: a fleet of users runs
+k-NN queries against a place index while a feed of new places arrives
+and stale places are retired, all against the same disk array, with
+index-level latching keeping searches consistent.
+
+Run:  python examples/online_maintenance.py
+"""
+
+from repro import CRSS, build_parallel_tree
+from repro.datasets import california_places_surrogate, sample_queries, uniform
+from repro.experiments.report import format_table
+from repro.rtree import check_invariants
+from repro.simulation import simulate_mixed_workload
+from repro.simulation.parameters import SystemParameters
+
+
+def main():
+    print("building the place index (15,000 places, 8 disks) ...")
+    places = california_places_surrogate(n=15_000, seed=21)
+    tree = build_parallel_tree(places, dims=2, num_disks=8, page_size=1024)
+    k = 15
+    queries = sample_queries(places, 60, seed=22)
+    new_places = uniform(40, 2, seed=23)
+    retired = [(places[i], i) for i in range(0, 120, 3)]
+
+    print(
+        f"workload: {len(queries)} queries @ 6/s, "
+        f"{len(new_places)} insertions @ 3/s, "
+        f"{len(retired)} deletions @ 2/s, all concurrent\n"
+    )
+    result = simulate_mixed_workload(
+        tree,
+        lambda q: CRSS(q, k, num_disks=tree.num_disks),
+        queries,
+        new_places,
+        query_rate=6.0,
+        insert_rate=3.0,
+        deletes=retired,
+        delete_rate=2.0,
+        params=SystemParameters(page_size=1024, buffer_pages=64),
+        seed=24,
+    )
+
+    inserts = [u for u in result.updates if u.kind == "insert"]
+    deletes = [u for u in result.updates if u.kind == "delete"]
+    rows = [
+        [
+            "queries",
+            len(result.queries.records),
+            result.queries.mean_response * 1000,
+            result.queries.percentile(0.95) * 1000,
+        ],
+        [
+            "insertions",
+            len(inserts),
+            1000 * sum(u.response_time for u in inserts) / len(inserts),
+            1000 * max(u.response_time for u in inserts),
+        ],
+        [
+            "deletions",
+            len(deletes),
+            1000 * sum(u.response_time for u in deletes) / len(deletes),
+            1000 * max(u.response_time for u in deletes),
+        ],
+    ]
+    print(
+        format_table(
+            ["operation", "count", "mean (ms)", "p95/max (ms)"],
+            rows,
+            precision=1,
+        )
+    )
+
+    check_invariants(tree.tree)
+    print(
+        f"\nafter the storm: {len(tree):,} places "
+        f"({len(places)} + {len(inserts)} - {len(deletes)}), "
+        "index structurally valid,"
+    )
+    print(
+        f"every search exact (latch grants: {result.reads_granted} shared, "
+        f"{result.writes_granted} exclusive)."
+    )
+    print("\nWrite traffic is cheap — each update touches a root-to-leaf")
+    print("path — so the array's capacity stays available for queries.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro — similarity query processing on disk arrays.
+
+A faithful, from-scratch reproduction of *"Similarity Query Processing
+Using Disk Arrays"* (Papadopoulos & Manolopoulos, SIGMOD 1998):
+
+* a dynamic **R\\*-tree** with per-branch object counts
+  (:mod:`repro.rtree`),
+* **declustering** of the tree over a RAID-0 disk array with the
+  Proximity Index heuristic (:mod:`repro.parallel`),
+* the four k-NN search algorithms **BBSS / FPSS / CRSS / WOPTSS**
+  (:mod:`repro.core`),
+* an **event-driven simulator** of the disk array — seek model, FCFS
+  queues, SCSI bus, CPU cost model, Poisson workloads
+  (:mod:`repro.simulation`),
+* dataset generators and the full experiment harness reproducing every
+  figure and table of the paper (:mod:`repro.datasets`,
+  :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import build_parallel_tree, CRSS, CountingExecutor
+    from repro.datasets import uniform
+
+    data = uniform(n=10_000, dims=2, seed=7)
+    tree = build_parallel_tree(data, dims=2, num_disks=10)
+    result = CountingExecutor(tree).execute(
+        CRSS(query=(0.5, 0.5), k=10, num_disks=tree.num_disks)
+    )
+"""
+
+from repro.core import (
+    ALGORITHMS,
+    BBSS,
+    CRSS,
+    CountingExecutor,
+    FPSS,
+    Neighbor,
+    SearchStats,
+    WOPTSS,
+)
+from repro.geometry import Rect, Sphere
+from repro.parallel import ParallelRStarTree, build_parallel_tree
+from repro.rtree import RStarTree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "BBSS",
+    "CRSS",
+    "CountingExecutor",
+    "FPSS",
+    "Neighbor",
+    "ParallelRStarTree",
+    "RStarTree",
+    "Rect",
+    "SearchStats",
+    "Sphere",
+    "WOPTSS",
+    "build_parallel_tree",
+    "__version__",
+]

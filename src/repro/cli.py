@@ -1,0 +1,260 @@
+"""Command-line interface.
+
+Three subcommands cover the library's everyday uses without writing
+Python:
+
+* ``repro info`` — build a declustered tree and print its shape and
+  placement statistics;
+* ``repro knn`` — answer one k-NN query with a chosen algorithm and
+  report the I/O it paid;
+* ``repro simulate`` — run a Poisson multi-user workload through the
+  disk-array simulation and print per-algorithm response times.
+
+Invoke via ``python -m repro <subcommand> --help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core import ALGORITHMS, CountingExecutor
+from repro.datasets import DATASETS, sample_queries
+from repro.experiments.report import format_table
+from repro.experiments.setup import make_factory
+from repro.parallel import build_parallel_tree
+from repro.parallel.declustering import make_policy
+from repro.simulation import simulate_workload
+
+
+def _add_tree_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        default="gaussian",
+        choices=sorted(DATASETS),
+        help="data set generator (default: gaussian)",
+    )
+    parser.add_argument(
+        "--n", type=int, default=10_000, help="population (default: 10000)"
+    )
+    parser.add_argument(
+        "--dims", type=int, default=2, help="dimensionality (default: 2)"
+    )
+    parser.add_argument(
+        "--disks", type=int, default=10, help="disks in the array (default: 10)"
+    )
+    parser.add_argument(
+        "--page-size", type=int, default=4096,
+        help="disk page size in bytes (default: 4096)",
+    )
+    parser.add_argument(
+        "--policy",
+        default="proximity",
+        choices=["proximity", "round_robin", "random", "data_balance",
+                 "area_balance"],
+        help="declustering heuristic (default: proximity)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="RNG seed (default: 0)"
+    )
+
+
+def _build_tree(args: argparse.Namespace):
+    generator = DATASETS[args.dataset]
+    if args.dataset in ("california_places", "long_beach"):
+        if args.dims != 2:
+            raise SystemExit(f"{args.dataset} is a 2-d data set")
+        data = generator(n=args.n, seed=args.seed)
+    else:
+        data = generator(n=args.n, dims=args.dims, seed=args.seed)
+    tree = build_parallel_tree(
+        data,
+        dims=args.dims,
+        num_disks=args.disks,
+        policy=make_policy(args.policy, seed=args.seed),
+        seed=args.seed,
+        page_size=args.page_size,
+    )
+    return data, tree
+
+
+def _parse_point(text: str, dims: int):
+    try:
+        coords = tuple(float(c) for c in text.split(","))
+    except ValueError:
+        raise SystemExit(f"cannot parse point {text!r}; expected e.g. 0.5,0.5")
+    if len(coords) != dims:
+        raise SystemExit(
+            f"query has {len(coords)} coordinates but the data is {dims}-d"
+        )
+    return coords
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    _, tree = _build_tree(args)
+    print(f"dataset       : {args.dataset} (n={args.n:,}, dims={args.dims})")
+    print(f"tree          : height {tree.height}, "
+          f"{len(tree.tree.pages)} pages, fan-out {tree.tree.max_entries}")
+    print(f"declustering  : {args.policy} over {args.disks} disks")
+    histogram = tree.placement_histogram()
+    rows = [(disk, histogram.get(disk, 0)) for disk in range(args.disks)]
+    print(format_table(["disk", "pages"], rows))
+    return 0
+
+
+def _cmd_knn(args: argparse.Namespace) -> int:
+    data, tree = _build_tree(args)
+    query = (
+        _parse_point(args.query, args.dims)
+        if args.query
+        else sample_queries(data, 1, seed=args.seed + 1)[0]
+    )
+    executor = CountingExecutor(tree)
+    factory = make_factory(args.algorithm, tree, args.k)
+    neighbors = executor.execute(factory(query))
+    stats = executor.last_stats
+    print(f"query  : {tuple(round(c, 4) for c in query)}  (k={args.k}, "
+          f"algorithm={args.algorithm})")
+    print(f"cost   : {stats.nodes_visited} pages in {stats.rounds} rounds "
+          f"(mean batch width {stats.parallelism:.2f})")
+    rows = [
+        (n.oid, ", ".join(f"{c:.4f}" for c in n.point), n.distance)
+        for n in neighbors
+    ]
+    print(format_table(["oid", "point", "distance"], rows, precision=5))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    data, tree = _build_tree(args)
+    queries = sample_queries(data, args.queries, seed=args.seed + 1)
+    names = [name.strip().upper() for name in args.algorithms.split(",")]
+    for name in names:
+        if name not in ALGORITHMS:
+            raise SystemExit(
+                f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
+            )
+    rows = []
+    for name in names:
+        result = simulate_workload(
+            tree,
+            make_factory(name, tree, args.k),
+            queries,
+            arrival_rate=args.arrival_rate,
+            seed=args.seed,
+        )
+        rows.append(
+            (
+                name,
+                result.mean_response,
+                result.median_response,
+                result.max_response,
+                result.mean_pages,
+            )
+        )
+    mode = (
+        f"λ={args.arrival_rate}/s Poisson"
+        if args.arrival_rate
+        else "single-user serial"
+    )
+    print(
+        format_table(
+            ["algorithm", "mean (s)", "median (s)", "max (s)", "pages/query"],
+            rows,
+            precision=4,
+            title=f"{args.queries} queries, k={args.k}, {mode}, "
+            f"{args.disks} disks",
+        )
+    )
+    return 0
+
+
+def _cmd_paper(args: argparse.Namespace) -> int:
+    from repro.experiments.paper import run_paper_experiment
+
+    print(run_paper_experiment(args.experiment))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro argument parser (exposed for shell-completion tools)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Similarity query processing on disk arrays "
+        "(SIGMOD 1998 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    info = subparsers.add_parser("info", help="build a tree and describe it")
+    _add_tree_arguments(info)
+    info.set_defaults(handler=_cmd_info)
+
+    knn = subparsers.add_parser("knn", help="answer one k-NN query")
+    _add_tree_arguments(knn)
+    knn.add_argument("--k", type=int, default=10, help="neighbors (default: 10)")
+    knn.add_argument(
+        "--algorithm",
+        default="CRSS",
+        choices=sorted(ALGORITHMS),
+        help="search algorithm (default: CRSS)",
+    )
+    knn.add_argument(
+        "--query",
+        default="",
+        help="comma-separated query point (default: sampled from the data)",
+    )
+    knn.set_defaults(handler=_cmd_knn)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="simulate a multi-user workload"
+    )
+    _add_tree_arguments(simulate)
+    simulate.add_argument("--k", type=int, default=10)
+    simulate.add_argument(
+        "--queries", type=int, default=50, help="queries in the workload"
+    )
+    simulate.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=5.0,
+        help="Poisson λ in queries/second; 0 for single-user serial mode",
+    )
+    simulate.add_argument(
+        "--algorithms",
+        default="BBSS,FPSS,CRSS,WOPTSS",
+        help="comma-separated algorithm list",
+    )
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    paper = subparsers.add_parser(
+        "paper", help="regenerate one of the paper's figures/tables"
+    )
+    paper.add_argument(
+        "experiment",
+        choices=sorted(
+            __import__(
+                "repro.experiments.paper", fromlist=["PAPER_EXPERIMENTS"]
+            ).PAPER_EXPERIMENTS
+        ),
+        help="which figure/table to run",
+    )
+    paper.set_defaults(handler=_cmd_paper)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "arrival_rate", None) == 0.0:
+        args.arrival_rate = None
+    if getattr(args, "n", 1) < 1:
+        raise SystemExit("--n must be positive")
+    if getattr(args, "disks", 1) < 1:
+        raise SystemExit("--disks must be positive")
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""The paper's primary contribution: similarity search on disk arrays.
+
+This package contains the four k-NN search algorithms evaluated in the
+paper, written against a common *fetch protocol* so the identical
+algorithm code runs both under a synchronous counting executor (node
+effectiveness experiments, Figures 8–9) and inside the event-driven disk
+array simulation (response-time experiments, Figures 10–12, Tables 3–4).
+
+* :class:`~repro.core.bbss.BBSS` — branch-and-bound DFS
+  (Roussopoulos, Kelley & Vincent 1995), paper §3.1.
+* :class:`~repro.core.fpss.FPSS` — full-parallel BFS, paper §3.2.
+* :class:`~repro.core.crss.CRSS` — the proposed candidate-reduction
+  search, paper §3.3.
+* :class:`~repro.core.woptss.WOPTSS` — the hypothetical weak-optimal
+  algorithm, paper §3.4.
+"""
+
+from repro.core.distances import (
+    maximum_distance,
+    maximum_distance_sq,
+    minimum_distance,
+    minimum_distance_sq,
+    minmax_distance,
+    minmax_distance_sq,
+)
+from repro.core.protocol import FetchRequest, SearchAlgorithm
+from repro.core.results import Neighbor, NeighborList
+from repro.core.threshold import threshold_distance_sq
+from repro.core.bbss import BBSS
+from repro.core.fpss import FPSS
+from repro.core.crss import CRSS
+from repro.core.woptss import WOPTSS
+from repro.core.executor import CountingExecutor, SearchStats
+
+ALGORITHMS = {
+    "BBSS": BBSS,
+    "FPSS": FPSS,
+    "CRSS": CRSS,
+    "WOPTSS": WOPTSS,
+}
+
+__all__ = [
+    "ALGORITHMS",
+    "BBSS",
+    "CRSS",
+    "CountingExecutor",
+    "FPSS",
+    "FetchRequest",
+    "Neighbor",
+    "NeighborList",
+    "SearchAlgorithm",
+    "SearchStats",
+    "WOPTSS",
+    "maximum_distance",
+    "maximum_distance_sq",
+    "minimum_distance",
+    "minimum_distance_sq",
+    "minmax_distance",
+    "minmax_distance_sq",
+    "threshold_distance_sq",
+]

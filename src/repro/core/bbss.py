@@ -1,0 +1,75 @@
+"""BBSS — Branch and Bound Similarity Search (paper §3.1).
+
+The sequential branch-and-bound k-NN algorithm of Roussopoulos, Kelley &
+Vincent (SIGMOD 1995), run unchanged on the disk array: a depth-first
+descent that visits **one node at a time**, ordering sibling branches by
+ascending ``Dmin`` and pruning with the three rules of the paper:
+
+1. discard an MBR whose ``Dmin`` exceeds another MBR's ``Dmm``
+   (applicable downward only for k = 1, since ``Dmm`` guarantees just a
+   single object);
+2. an MBR's ``Dmm`` bounds the best achievable distance from above;
+3. discard every MBR whose ``Dmin`` exceeds the current k-th best actual
+   distance (applied when returning from each subtree).
+
+Because it fetches a single page per step, BBSS exhibits no intra-query
+parallelism — that is exactly the weakness the paper's CRSS addresses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from repro.core.regions import (
+    region_minimum_distance_sq as minimum_distance_sq,
+    region_minmax_distance_sq as minmax_distance_sq,
+)
+from repro.core.protocol import (
+    FetchRequest,
+    SearchAlgorithm,
+    SearchCoroutine,
+    child_refs,
+    leaf_points,
+)
+from repro.core.results import Neighbor, NeighborList
+from repro.rtree.node import Node
+
+
+class BBSS(SearchAlgorithm):
+    """Depth-first branch-and-bound search (Roussopoulos et al. 1995)."""
+
+    name = "BBSS"
+
+    def run(self, root_page_id: int) -> SearchCoroutine:
+        neighbors = NeighborList(self.query, self.k)
+        fetched: Mapping[int, Node] = yield FetchRequest([root_page_id])
+        yield from self._visit(fetched[root_page_id], neighbors)
+        return neighbors.as_sorted()
+
+    def _visit(self, node: Node, neighbors: NeighborList):
+        """Recursive DFS over *node*, yielding one fetch per child visited."""
+        if node.is_leaf:
+            neighbors.offer_many(leaf_points(node))
+            return
+
+        # Build the Active Branch List ordered by ascending Dmin.
+        branches = []
+        for ref in child_refs(node):
+            dmin_sq = minimum_distance_sq(self.query, ref.rect)
+            dmm_sq = minmax_distance_sq(self.query, ref.rect)
+            branches.append((dmin_sq, dmm_sq, ref.page_id))
+        branches.sort()
+
+        # Rule 1 (downward pruning, k = 1 only): an MBR whose Dmin exceeds
+        # the smallest Dmm of any sibling cannot hold the nearest object.
+        if self.k == 1 and branches:
+            best_dmm_sq = min(dmm_sq for _, dmm_sq, _ in branches)
+            branches = [b for b in branches if b[0] <= best_dmm_sq]
+
+        for dmin_sq, _, page_id in branches:
+            # Rule 3 (upward pruning): re-checked before every descent,
+            # since the pruning radius shrinks as subtrees complete.
+            if dmin_sq > neighbors.kth_distance_sq():
+                continue
+            fetched = yield FetchRequest([page_id])
+            yield from self._visit(fetched[page_id], neighbors)

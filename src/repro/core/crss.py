@@ -1,0 +1,163 @@
+"""CRSS — Candidate Reduction Similarity Search (paper §3.3).
+
+The paper's proposed algorithm.  It combines breadth-first activation
+(for parallelism) with depth-first deferral (for pruning precision):
+
+* a **threshold distance** ``D_th`` is maintained — from Lemma 1 while
+  descending (ADAPTIVE mode), from the k-th best actual distance once
+  data objects have been reached (UPDATE / NORMAL modes);
+* the **candidate reduction criterion** sorts each fetched branch into
+  *rejected* (``Dmin > D_th``), *active* (``Dmm < D_th`` — it surely
+  contains relevant objects), or *saved* on the candidate stack for
+  possible later use;
+* the number of simultaneously activated branches is bounded between
+  ``l`` (enough MBRs to guarantee k objects, from Lemma 1's prefix) and
+  ``u = NumOfDisks`` — "a balance between parallelism exploitation and
+  similarity search refinement";
+* saved candidates go onto a **stack of runs** so deeper (more precise)
+  candidates are always re-inspected before shallower ones.
+
+The four operating modes of the paper's Figure 6 (ADAPTIVE, UPDATE,
+NORMAL, TERMINATE) appear here as the phases of the main loop.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping, Sequence, Tuple
+
+from repro.core.regions import (
+    region_minimum_distance_sq as minimum_distance_sq,
+    region_minmax_distance_sq as minmax_distance_sq,
+)
+from repro.core.protocol import (
+    ChildRef,
+    FetchRequest,
+    SearchAlgorithm,
+    SearchCoroutine,
+    child_refs,
+    leaf_points,
+)
+from repro.core.results import NeighborList
+from repro.core.stack import Candidate, CandidateStack
+from repro.core.threshold import threshold_distance_sq
+from repro.rtree.node import Node
+
+
+class CRSS(SearchAlgorithm):
+    """The paper's candidate-reduction search.
+
+    :param query: query point.
+    :param k: neighbors requested.
+    :param num_disks: the activation upper bound ``u`` (§3.3 sets
+        ``u = NumOfDisks`` so one step can keep every disk busy without
+        over-fetching).
+    :param max_active: override for ``u`` — used by the activation-bound
+        ablation bench; defaults to *num_disks*.
+    """
+
+    name = "CRSS"
+
+    def __init__(
+        self,
+        query: Sequence[float],
+        k: int,
+        num_disks: int = 1,
+        max_active: int = 0,
+    ):
+        super().__init__(query, k, num_disks)
+        self.max_active = max_active if max_active > 0 else num_disks
+
+    def run(self, root_page_id: int) -> SearchCoroutine:
+        neighbors = NeighborList(self.query, self.k)
+        stack = CandidateStack()
+        dth_sq = math.inf          # Lemma 1 threshold (ADAPTIVE phase)
+        reached_leaves = False     # switches ADAPTIVE -> NORMAL/UPDATE
+
+        batch = [root_page_id]
+        while batch:
+            fetched: Mapping[int, Node] = yield FetchRequest(batch)
+
+            # Split the fetched pages into data and branch information.
+            frontier: List[ChildRef] = []
+            for page_id in batch:
+                node = fetched[page_id]
+                if node.is_leaf:
+                    # UPDATE mode: new data objects refine the k-th best.
+                    neighbors.offer_many(leaf_points(node))
+                    reached_leaves = True
+                elif node.entries:
+                    frontier.extend(child_refs(node))
+
+            if not reached_leaves:
+                # ADAPTIVE mode: tighten D_th from Lemma 1.  Only safe to
+                # tighten when the frontier alone guarantees k objects —
+                # otherwise answers may hide in stacked candidates beyond
+                # the frontier's reach.
+                threshold = threshold_distance_sq(self.query, frontier, self.k)
+                lower_bound = 1
+                if threshold.guaranteed:
+                    dth_sq = min(dth_sq, threshold.dth_sq)
+                    lower_bound = min(threshold.prefix_length, self.max_active)
+                radius_sq = dth_sq
+            else:
+                # NORMAL mode: the query sphere is now bounded by actual
+                # data (or still infinite if fewer than k objects seen).
+                radius_sq = min(dth_sq, neighbors.kth_distance_sq())
+                lower_bound = 1
+
+            active, saved = self._reduce(frontier, radius_sq, lower_bound)
+            stack.push_run(saved)
+
+            # No activation from the frontier: fall back to the stack
+            # (the paper's Get-Candidate-Run), run by run.
+            while not active and not stack.empty:
+                radius_sq = min(dth_sq, neighbors.kth_distance_sq())
+                run = stack.pop_run()
+                survivors = stack.filter_popped(run, radius_sq)
+                if not survivors:
+                    continue
+                active = survivors[: self.max_active]
+                leftover = survivors[self.max_active:]
+                if leftover:
+                    stack.push_run(leftover)
+
+            # TERMINATE mode: nothing active and nothing stacked.
+            batch = [candidate.ref.page_id for candidate in active]
+        return neighbors.as_sorted()
+
+    def _reduce(
+        self, frontier: List[ChildRef], radius_sq: float, lower_bound: int
+    ) -> Tuple[List[Candidate], List[Candidate]]:
+        """Apply the candidate reduction criterion plus the l..u bound.
+
+        Returns ``(active, saved)``; rejected branches are dropped.
+        """
+        qualified: List[Candidate] = []
+        preferred: List[Candidate] = []  # Dmm < D_th: surely useful
+        for ref in frontier:
+            dmin_sq = minimum_distance_sq(self.query, ref.rect)
+            if dmin_sq > radius_sq:
+                continue  # criterion (i): rejected outright
+            candidate = Candidate(dmin_sq, ref)
+            if minmax_distance_sq(self.query, ref.rect) < radius_sq:
+                preferred.append(candidate)  # criterion (ii): activate
+            else:
+                qualified.append(candidate)  # criterion (iii): save
+
+        preferred.sort(key=lambda c: c.dmin_sq)
+        qualified.sort(key=lambda c: c.dmin_sq)
+
+        # Upper bound u: overflow becomes the head of the saved run.
+        active = preferred[: self.max_active]
+        saved = sorted(
+            preferred[self.max_active:] + qualified, key=lambda c: c.dmin_sq
+        )
+
+        # Lower bound l: promote the most promising saved candidates so
+        # at least l branches (enough to guarantee k objects) are active.
+        promote = min(max(lower_bound - len(active), 0), len(saved))
+        if promote:
+            active.extend(saved[:promote])
+            saved = saved[promote:]
+        return active, saved

@@ -1,0 +1,113 @@
+"""Point-to-rectangle distance metrics (paper Definitions 3, 4, 5).
+
+Three distances between a query point ``P_q`` and an MBR ``R`` drive all
+pruning in the R-tree similarity search literature:
+
+* ``Dmin`` — the **optimistic** bound: the smallest distance any object
+  inside ``R`` can have from ``P_q`` (0 if the point is inside the MBR).
+* ``Dmm`` (MINMAXDIST) — the **pessimistic** bound: the smallest distance
+  within which an object inside ``R`` is *guaranteed* to exist, exploiting
+  the fact that an MBR is minimal (every face touches some object).
+* ``Dmax`` — the distance to the farthest vertex of ``R``: no object in
+  ``R`` can be farther.  Lemma 1 of the paper sorts MBRs by this distance
+  to derive the threshold ``D_th``.
+
+All functions come in squared (fast, used internally) and plain variants.
+``Dmin <= Dmm <= Dmax`` always holds (property-tested in the suite), with
+the convention that ``Dmm`` of a degenerate (point) MBR equals the point
+distance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.geometry.rect import Rect
+
+
+def _check_dims(point: Sequence[float], rect: Rect) -> None:
+    if len(point) != rect.dims:
+        raise ValueError(f"dimension mismatch: point {len(point)}-d, MBR {rect.dims}-d")
+
+
+def minimum_distance_sq(point: Sequence[float], rect: Rect) -> float:
+    """Squared ``Dmin``: squared distance to the nearest point of *rect*."""
+    _check_dims(point, rect)
+    total = 0.0
+    for p, lo, hi in zip(point, rect.low, rect.high):
+        if p < lo:
+            total += (lo - p) * (lo - p)
+        elif p > hi:
+            total += (p - hi) * (p - hi)
+    return total
+
+
+def minimum_distance(point: Sequence[float], rect: Rect) -> float:
+    """``Dmin(P_q, R)`` — paper Definition 3 (the optimistic metric)."""
+    return math.sqrt(minimum_distance_sq(point, rect))
+
+
+def maximum_distance_sq(point: Sequence[float], rect: Rect) -> float:
+    """Squared ``Dmax``: squared distance to the farthest vertex of *rect*."""
+    _check_dims(point, rect)
+    total = 0.0
+    for p, lo, hi in zip(point, rect.low, rect.high):
+        total += max(abs(p - lo), abs(hi - p)) ** 2
+    return total
+
+
+def maximum_distance(point: Sequence[float], rect: Rect) -> float:
+    """``Dmax(P_q, R)`` — paper Definition 5 (farthest-vertex distance)."""
+    return math.sqrt(maximum_distance_sq(point, rect))
+
+
+def minmax_distance_sq(point: Sequence[float], rect: Rect) -> float:
+    """Squared ``Dmm`` (MINMAXDIST) — paper Definition 4.
+
+    For each axis *k*, consider the face of the MBR nearest to the query
+    along *k*; an object must touch that face somewhere, and the farthest
+    it can be is the opposite extreme on every other axis.  ``Dmm`` is the
+    minimum of those per-axis guarantees:
+
+    .. math::
+
+        Dmm^2 = \\min_k \\Big( (p_k - rm_k)^2
+                 + \\sum_{j \\ne k} (p_j - rM_j)^2 \\Big)
+
+    with ``rm_k`` the nearer edge of axis *k* and ``rM_j`` the farther
+    edge of axis *j*.
+    """
+    _check_dims(point, rect)
+    # Precompute the "far edge" squared distances and their total.
+    far_sq = []
+    near_sq = []
+    for p, lo, hi in zip(point, rect.low, rect.high):
+        mid = (lo + hi) / 2.0
+        near_edge = lo if p <= mid else hi
+        far_edge = lo if p >= mid else hi
+        near_sq.append((p - near_edge) * (p - near_edge))
+        far_sq.append((p - far_edge) * (p - far_edge))
+    far_total = sum(far_sq)
+    return min(far_total - f + n for f, n in zip(far_sq, near_sq))
+
+
+def minmax_distance(point: Sequence[float], rect: Rect) -> float:
+    """``Dmm(P_q, R)`` — paper Definition 4 (the pessimistic metric)."""
+    return math.sqrt(minmax_distance_sq(point, rect))
+
+
+def squared_radius(radius: float) -> float:
+    """*radius*² padded by a relative epsilon for boundary safety.
+
+    Internally the library compares squared distances, but radii arrive
+    from users (and from the WOPTSS oracle) as plain distances that were
+    produced by a square root.  Round-tripping ``sqrt`` then ``*`` can
+    land up to ~2 ulp *below* the original squared value, which would
+    silently exclude objects lying exactly on the sphere — e.g. the k-th
+    neighbor itself.  The padding is far below any geometric tolerance
+    that could matter but safely above the round-trip error.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    return radius * radius * (1.0 + 1e-12)

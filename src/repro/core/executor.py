@@ -1,0 +1,100 @@
+"""Synchronous execution of search coroutines with access accounting.
+
+This executor resolves every fetch immediately (no timing model) and
+tallies what the algorithm touched.  It powers the *effectiveness*
+experiments of the paper (Figures 8 and 9: visited nodes vs. query size)
+and the weak-optimality assertions in the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.protocol import FetchRequest, SearchAlgorithm
+from repro.core.results import Neighbor
+from repro.rtree.node import Node
+
+
+@dataclass
+class SearchStats:
+    """Access statistics of one executed search."""
+
+    #: Total pages fetched (the paper's "number of visited nodes").
+    nodes_visited: int = 0
+    #: Leaf pages among them.
+    leaf_nodes: int = 0
+    #: Number of fetch batches (parallel rounds).
+    rounds: int = 0
+    #: Largest single batch.
+    max_batch: int = 0
+    #: Accesses per disk id (empty when the tree has no disk placement).
+    per_disk: Counter = field(default_factory=Counter)
+    #: Sum over rounds of the busiest disk's accesses in that round — a
+    #: lower bound on I/O time in units of single-page service times,
+    #: assuming perfectly parallel disks.
+    critical_path: int = 0
+    #: Page ids fetched, in fetch order (deduplicated per batch only).
+    pages: List[int] = field(default_factory=list)
+
+    @property
+    def parallelism(self) -> float:
+        """Average batch width — the intra-query parallelism achieved."""
+        return self.nodes_visited / self.rounds if self.rounds else 0.0
+
+
+class CountingExecutor:
+    """Drive a search coroutine against a tree, counting page accesses.
+
+    :param tree: any object with ``root_page_id`` and ``page(page_id)``;
+        if it also exposes ``disk_of(page_id)`` (the parallel tree does),
+        per-disk statistics are collected.
+    """
+
+    def __init__(self, tree):
+        self._tree = tree
+        self._disk_of = getattr(tree, "disk_of", None)
+        # X-tree supernodes span several pages; trees that have them
+        # expose pages_spanned(page_id).
+        self._pages_spanned = getattr(tree, "pages_spanned", lambda pid: 1)
+        self.last_stats: Optional[SearchStats] = None
+
+    def execute(self, algorithm: SearchAlgorithm) -> List[Neighbor]:
+        """Run *algorithm* to completion; returns its answer list.
+
+        Statistics for the run are left in :attr:`last_stats`.
+        """
+        stats = SearchStats()
+        coroutine = algorithm.run(self._tree.root_page_id)
+        try:
+            request: FetchRequest = next(coroutine)
+            while True:
+                fetched = self._fetch(request, stats)
+                request = coroutine.send(fetched)
+        except StopIteration as stop:
+            self.last_stats = stats
+            return stop.value if stop.value is not None else []
+
+    def _fetch(self, request: FetchRequest, stats: SearchStats) -> Dict[int, Node]:
+        fetched: Dict[int, Node] = {}
+        round_disks: Counter = Counter()
+        for page_id in request.pages:
+            node = self._tree.page(page_id)
+            fetched[page_id] = node
+            spanned = self._pages_spanned(page_id)
+            stats.nodes_visited += spanned
+            stats.pages.append(page_id)
+            if node.is_leaf:
+                stats.leaf_nodes += spanned
+            if self._disk_of is not None:
+                disk = self._disk_of(page_id)
+                stats.per_disk[disk] += spanned
+                round_disks[disk] += spanned
+        stats.rounds += 1
+        stats.max_batch = max(stats.max_batch, len(request.pages))
+        if round_disks:
+            stats.critical_path += max(round_disks.values())
+        else:
+            stats.critical_path += 1
+        return fetched

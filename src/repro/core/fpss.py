@@ -1,0 +1,66 @@
+"""FPSS — Full Parallel Similarity Search (paper §3.2).
+
+A breadth-first sweep that is maximally optimistic about node usefulness:
+at every level it computes the Lemma 1 threshold distance over the
+current frontier, discards only the branches that *provably* cannot
+matter (``Dmin > D_th``), and activates **all** remaining branches at
+once.  Intra-query parallelism is maximal, but so is wasted work — the
+paper shows FPSS collapses under multi-user load because it has no
+control over the number of fetched nodes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from repro.core.regions import region_minimum_distance_sq as minimum_distance_sq
+from repro.core.protocol import (
+    ChildRef,
+    FetchRequest,
+    SearchAlgorithm,
+    SearchCoroutine,
+    child_refs,
+    leaf_points,
+)
+from repro.core.results import NeighborList
+from repro.core.threshold import threshold_distance_sq
+from repro.rtree.node import Node
+
+
+class FPSS(SearchAlgorithm):
+    """Breadth-first, fully parallel search."""
+
+    name = "FPSS"
+
+    def run(self, root_page_id: int) -> SearchCoroutine:
+        neighbors = NeighborList(self.query, self.k)
+        batch = [root_page_id]
+        while batch:
+            fetched: Mapping[int, Node] = yield FetchRequest(batch)
+            frontier: List[ChildRef] = []
+            for page_id in batch:
+                node = fetched[page_id]
+                if node.is_leaf:
+                    neighbors.offer_many(leaf_points(node))
+                elif node.entries:
+                    frontier.extend(child_refs(node))
+            batch = self._activate(frontier, neighbors)
+        return neighbors.as_sorted()
+
+    def _activate(
+        self, frontier: List[ChildRef], neighbors: NeighborList
+    ) -> List[int]:
+        """Every frontier branch that intersects the current query sphere.
+
+        The sphere radius is the tighter of the Lemma 1 threshold over the
+        frontier and the k-th best actual distance seen so far.
+        """
+        if not frontier:
+            return []
+        dth_sq = threshold_distance_sq(self.query, frontier, self.k).dth_sq
+        radius_sq = min(dth_sq, neighbors.kth_distance_sq())
+        return [
+            ref.page_id
+            for ref in frontier
+            if minimum_distance_sq(self.query, ref.rect) <= radius_sq
+        ]

@@ -1,0 +1,117 @@
+"""The fetch protocol connecting search algorithms to executors.
+
+Every similarity search algorithm in this package is a *coroutine over
+page fetches*: it yields a :class:`FetchRequest` naming the disk pages it
+wants next (its *activation list*, in the paper's terms), suspends, and is
+resumed with the fetched pages.  The algorithm never touches the tree
+directly — which pages it sees is exactly which pages it paid for.
+
+Two executors drive such coroutines:
+
+* :class:`repro.core.executor.CountingExecutor` resolves fetches
+  immediately and tallies node accesses (effectiveness experiments), and
+* :class:`repro.simulation.simulator.SimulatedExecutor` resolves them
+  through the event-driven disk array model (response-time experiments).
+
+The one-batch-at-a-time, barrier-per-batch semantics mirrors the paper's
+activation structure: requests for a step are collected, sent to the
+disks, and processing resumes when the whole step has been fetched.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Mapping, NamedTuple, Sequence, Tuple
+
+from repro.geometry.point import Point, validate_point
+from repro.geometry.rect import Rect
+from repro.rtree.node import Node
+
+
+class FetchRequest:
+    """A batch of page ids the algorithm wants fetched in parallel."""
+
+    __slots__ = ("pages",)
+
+    def __init__(self, pages: Sequence[int]):
+        unique = tuple(dict.fromkeys(int(p) for p in pages))
+        if not unique:
+            raise ValueError("a fetch request must name at least one page")
+        self.pages: Tuple[int, ...] = unique
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    def __repr__(self) -> str:
+        return f"FetchRequest(pages={self.pages})"
+
+
+#: What an algorithm coroutine looks like to an executor.
+SearchCoroutine = Generator[FetchRequest, Mapping[int, Node], "list"]
+
+
+class ChildRef(NamedTuple):
+    """The on-page data describing one branch of an internal node.
+
+    This corresponds to the paper's modified internal entry
+    ``(R, count, child_ptr)`` — the subtree object count is the §2.1
+    structural addition that Lemma 1 relies on.
+    """
+
+    rect: Rect
+    count: int
+    page_id: int
+
+
+def child_refs(node: Node) -> List[ChildRef]:
+    """The branch entries stored in an internal *node*'s page."""
+    if node.is_leaf:
+        raise ValueError(f"page {node.page_id} is a leaf; it has no child entries")
+    return [
+        ChildRef(child.mbr, child.object_count, child.page_id)
+        for child in node.entries
+    ]
+
+
+def leaf_points(node: Node) -> List[Tuple[Point, int]]:
+    """The ``(point, oid)`` data entries stored in a leaf *node*'s page."""
+    if not node.is_leaf:
+        raise ValueError(f"page {node.page_id} is not a leaf")
+    return [(entry.point, entry.oid) for entry in node.entries]
+
+
+class SearchAlgorithm:
+    """Base class for the four k-NN search algorithms.
+
+    Subclasses implement :meth:`run` as a generator following the fetch
+    protocol.  The constructor validates the query once so every algorithm
+    rejects bad input identically.
+
+    :param query: the query point ``P_q``.
+    :param k: number of nearest neighbors requested.
+    :param num_disks: disks in the array — CRSS uses it as the activation
+        upper bound *u*; the others ignore it.
+    """
+
+    #: Short name used in experiment reports ("BBSS", "CRSS", ...).
+    name = "abstract"
+
+    #: True for algorithms needing oracle knowledge (WOPTSS only).
+    requires_oracle = False
+
+    def __init__(self, query: Sequence[float], k: int, num_disks: int = 1):
+        self.query: Point = validate_point(query)
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        if num_disks < 1:
+            raise ValueError(f"num_disks must be positive, got {num_disks}")
+        self.k = k
+        self.num_disks = num_disks
+
+    def run(self, root_page_id: int) -> SearchCoroutine:
+        """Start the search; yields fetch requests, returns the answer.
+
+        The return value (via ``StopIteration.value``) is a list of
+        :class:`~repro.core.results.Neighbor` sorted by ascending
+        distance.
+        """
+        raise NotImplementedError

@@ -1,0 +1,90 @@
+"""Maintaining the k current best answers during a search.
+
+The paper keeps "an ordered sequence of the current k most promising
+answers" and prunes against the distance to the k-th of them.  The
+classic structure for this is a bounded max-heap: insertion is O(log k)
+and the pruning distance (the k-th best so far) is the heap top.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, NamedTuple, Sequence, Tuple
+
+from repro.geometry.point import Point, squared_euclidean
+
+
+class Neighbor(NamedTuple):
+    """One answer of a k-NN query."""
+
+    distance: float
+    point: Point
+    oid: int
+
+
+class NeighborList:
+    """A bounded list of the k nearest objects seen so far.
+
+    Internally a max-heap on squared distance so the current pruning
+    radius — the distance to the k-th best — is O(1).  Ties at equal
+    distance are broken by object id, which makes every algorithm return
+    the identical answer set and keeps the oracle comparisons in the test
+    suite exact.
+    """
+
+    def __init__(self, query: Sequence[float], k: int):
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        self.query = tuple(query)
+        self.k = k
+        # Max-heap via negated key; key = (dist_sq, oid) so ties break
+        # deterministically toward smaller oids.
+        self._heap: List[Tuple[float, int, Point]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def full(self) -> bool:
+        """True once k candidates have been collected."""
+        return len(self._heap) >= self.k
+
+    def kth_distance_sq(self) -> float:
+        """Squared pruning radius: distance to the current k-th best.
+
+        Infinite while fewer than k objects have been seen — nothing can
+        be pruned yet (paper §3.2: "until the first k objects are visited
+        there is no available information concerning the upper bound").
+        """
+        if not self.full:
+            return math.inf
+        neg_dist_sq, neg_oid, _ = self._heap[0]
+        return -neg_dist_sq
+
+    def offer(self, point: Sequence[float], oid: int) -> float:
+        """Consider one data object; returns its squared distance."""
+        dist_sq = squared_euclidean(self.query, point)
+        item = (-dist_sq, -oid, tuple(point))
+        if not self.full:
+            heapq.heappush(self._heap, item)
+        elif item > self._heap[0]:
+            # Better than the current k-th (smaller distance, or equal
+            # distance with smaller oid) — replace the worst.
+            heapq.heapreplace(self._heap, item)
+        return dist_sq
+
+    def offer_many(self, items: Sequence[Tuple[Point, int]]) -> None:
+        """Consider several ``(point, oid)`` data objects."""
+        for point, oid in items:
+            self.offer(point, oid)
+
+    def as_sorted(self) -> List[Neighbor]:
+        """The answers, ascending by (distance, oid)."""
+        ordered = sorted(
+            ((-neg_d, -neg_oid, point) for neg_d, neg_oid, point in self._heap)
+        )
+        return [
+            Neighbor(math.sqrt(dist_sq), point, oid)
+            for dist_sq, oid, point in ordered
+        ]

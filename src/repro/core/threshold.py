@@ -1,0 +1,71 @@
+"""The threshold distance of Lemma 1 (paper §3.2).
+
+Given MBRs ``R_1..R_m`` with subtree object counts ``O(R_j)``, sort them
+by ascending ``Dmax`` from the query point and take the shortest prefix
+whose counts sum to at least *k*.  The sphere centered at the query with
+radius ``Dmax`` of the last prefix element is then **guaranteed** to
+contain the k nearest neighbors: those prefix MBRs alone already hold k
+objects, and none of their objects can lie outside that sphere.
+
+Both FPSS and CRSS prune with this threshold before any data object has
+been seen; CRSS additionally uses the prefix length as the lower bound
+``l`` on how many branches must be activated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple, Sequence
+
+from repro.core.regions import region_maximum_distance_sq as maximum_distance_sq
+from repro.core.protocol import ChildRef
+from repro.geometry.point import Point
+
+
+class Threshold(NamedTuple):
+    """Result of the Lemma 1 computation."""
+
+    #: Squared threshold distance D_th (``inf`` if there are no MBRs).
+    dth_sq: float
+    #: Number of prefix MBRs needed to guarantee k objects — CRSS's
+    #: activation lower bound ``l``.  Equals ``len(entries)`` when the
+    #: entries hold fewer than k objects in total.
+    prefix_length: int
+    #: True when the entries collectively hold at least k objects, i.e.
+    #: the Lemma 1 guarantee actually applies.  When False the threshold
+    #: only bounds the objects *inside these entries* — a caller whose
+    #: candidate set extends beyond them (CRSS with a non-empty stack)
+    #: must not prune with it.
+    guaranteed: bool = True
+
+
+def threshold_distance_sq(
+    query: Point, entries: Sequence[ChildRef], k: int
+) -> Threshold:
+    """Compute Lemma 1's threshold over *entries* for a k-NN query.
+
+    :param query: the query point ``P_q``.
+    :param entries: candidate branches with their MBRs and object counts.
+    :param k: number of neighbors requested.
+    :returns: squared ``D_th`` and the qualifying prefix length.
+
+    If the entries together hold fewer than k objects, every entry is
+    needed and ``D_th`` is the largest ``Dmax`` (the k best answers may
+    use any object available).
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    if not entries:
+        return Threshold(math.inf, 0, guaranteed=False)
+
+    by_dmax = sorted(
+        (maximum_distance_sq(query, ref.rect), ref.count) for ref in entries
+    )
+    covered = 0
+    for prefix_length, (dmax_sq, count) in enumerate(by_dmax, start=1):
+        covered += count
+        if covered >= k:
+            return Threshold(dmax_sq, prefix_length, guaranteed=True)
+    # Fewer than k objects in total: all entries qualify and the bound
+    # only covers what these entries themselves contain.
+    return Threshold(by_dmax[-1][0], len(by_dmax), guaranteed=False)

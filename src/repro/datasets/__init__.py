@@ -1,0 +1,41 @@
+"""Data set generators for the experiments (paper Appendix I).
+
+The paper evaluates on two synthetic sets — uniform (SU) and Gaussian
+(SG) — and two real-life 2-d sets: California Places (CP, Sequoia 2000,
+62,173 points) and Long Beach road intersections (LB, TIGER, 53,145
+points).  The real files are not redistributable/available offline, so
+:mod:`repro.datasets.surrogates` generates seeded synthetic stand-ins
+reproducing their statistical character (clusteredness and skew), which
+is what drives R*-tree overlap and therefore search behaviour.  See
+DESIGN.md §4 for the substitution rationale.
+"""
+
+from repro.datasets.synthetic import gaussian, uniform
+from repro.datasets.surrogates import (
+    CP_POPULATION,
+    LB_POPULATION,
+    california_places_surrogate,
+    long_beach_surrogate,
+)
+from repro.datasets.queries import sample_queries
+from repro.datasets.workloads import hotspot_queries, sliding_window_queries
+
+DATASETS = {
+    "uniform": uniform,
+    "gaussian": gaussian,
+    "california_places": california_places_surrogate,
+    "long_beach": long_beach_surrogate,
+}
+
+__all__ = [
+    "CP_POPULATION",
+    "DATASETS",
+    "LB_POPULATION",
+    "california_places_surrogate",
+    "gaussian",
+    "hotspot_queries",
+    "long_beach_surrogate",
+    "sample_queries",
+    "sliding_window_queries",
+    "uniform",
+]

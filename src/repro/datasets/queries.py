@@ -1,0 +1,46 @@
+"""Query-point generation for the experiments.
+
+The paper does not describe the query distribution explicitly; the
+standard protocol of the era (and of the authors' companion work [17])
+draws query points from the data distribution itself, which is what
+:func:`sample_queries` does: it picks random data points and perturbs
+them slightly so queries rarely coincide with a stored object.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.geometry.point import Point
+
+
+def sample_queries(
+    data: Sequence[Sequence[float]],
+    count: int,
+    seed: int = 0,
+    jitter: float = 0.01,
+) -> List[Point]:
+    """Draw *count* query points near randomly chosen data points.
+
+    :param data: the data set the queries should follow.
+    :param count: number of query points.
+    :param seed: RNG seed; same seed → identical queries.
+    :param jitter: uniform perturbation per coordinate (the data lives in
+        the unit cube, so 0.01 is one percent of the address space).
+    :raises ValueError: if *data* is empty and *count* is positive.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if count == 0:
+        return []
+    if not data:
+        raise ValueError("cannot sample queries from an empty data set")
+    rng = random.Random(seed)
+    queries: List[Point] = []
+    for _ in range(count):
+        base = data[rng.randrange(len(data))]
+        queries.append(
+            tuple(c + rng.uniform(-jitter, jitter) for c in base)
+        )
+    return queries

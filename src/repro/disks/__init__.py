@@ -1,0 +1,12 @@
+"""Magnetic disk modeling (paper §4.1, Table 2).
+
+The paper charges each disk access the sum of seek time, rotational
+latency, transfer time and controller overhead, with seek time following
+the two-phase non-linear model of Ruemmler & Wilkes / Manolopoulos:
+square-root acceleration for short seeks, linear travel for long ones.
+"""
+
+from repro.disks.model import DiskModel
+from repro.disks.specs import HP_C2240A, DiskSpec
+
+__all__ = ["DiskModel", "DiskSpec", "HP_C2240A"]

@@ -1,0 +1,85 @@
+"""Per-disk service time computation with head-position state.
+
+Each disk in the array owns one :class:`DiskModel` instance: it tracks
+where the head currently is (the paper initializes all arms at cylinder
+zero and lets them move independently, §4.1) and converts a page request
+into a service time via the two-phase seek model, a uniformly sampled
+rotational latency, the page transfer time and the controller overhead.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from repro.disks.specs import DiskSpec
+
+
+class DiskModel:
+    """Dynamic state and timing model of one disk drive.
+
+    :param spec: the drive's static characteristics.
+    :param rng: random source for rotational latency (pass a seeded
+        :class:`random.Random` for reproducible simulations); if omitted,
+        the *expected* latency (half a revolution) is charged instead of
+        a sampled one, making the model deterministic.
+    """
+
+    def __init__(self, spec: DiskSpec, rng: Optional[random.Random] = None):
+        self.spec = spec
+        self.rng = rng
+        #: Current head cylinder; the paper starts all arms at zero.
+        self.head_cylinder = 0
+        #: Monitoring: cumulative busy time and requests served.
+        self.busy_time = 0.0
+        self.requests_served = 0
+
+    def seek_time(self, distance: int) -> float:
+        """Two-phase non-linear seek time for a *distance*-cylinder travel."""
+        if distance < 0:
+            raise ValueError(f"seek distance must be non-negative, got {distance}")
+        spec = self.spec
+        if distance == 0:
+            return 0.0
+        if distance <= spec.short_seek_threshold:
+            return spec.c1 + spec.c2 * math.sqrt(distance)
+        return spec.c3 + spec.c4 * distance
+
+    def rotational_latency(self) -> float:
+        """Sampled (or expected, if no RNG) rotational delay."""
+        if self.rng is None:
+            return self.spec.revolution_time / 2.0
+        return self.rng.uniform(0.0, self.spec.revolution_time)
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Media transfer time for *nbytes*."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        return nbytes / self.spec.transfer_rate
+
+    def service(self, cylinder: int, nbytes: int) -> float:
+        """Full service time of a read at *cylinder*; moves the head.
+
+        seek + rotational latency + transfer + controller overhead.
+        """
+        if not 0 <= cylinder < self.spec.cylinders:
+            raise ValueError(
+                f"cylinder {cylinder} outside [0, {self.spec.cylinders})"
+            )
+        duration = (
+            self.seek_time(abs(cylinder - self.head_cylinder))
+            + self.rotational_latency()
+            + self.transfer_time(nbytes)
+            + self.spec.controller_overhead
+        )
+        self.head_cylinder = cylinder
+        self.busy_time += duration
+        self.requests_served += 1
+        return duration
+
+    def reset(self) -> None:
+        """Park the head at cylinder zero and clear the counters."""
+        self.head_cylinder = 0
+        self.busy_time = 0.0
+        self.requests_served = 0

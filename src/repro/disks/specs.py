@@ -1,0 +1,79 @@
+"""Disk drive parameter sets.
+
+The experiments use the HP C2240A drive of the paper's Table 2.  The
+table is partially illegible in the scanned paper; the legible cells
+(1449 cylinders, 0.0149 s revolution) are taken verbatim and the seek
+curve constants come from the paper's cited source for the model,
+Ruemmler & Wilkes, "An Introduction to Disk Drive Modeling", IEEE
+Computer 27(3), 1994 (see DESIGN.md §4 for the substitution note).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Static characteristics of one disk drive.
+
+    Seek time for a head travel of ``d`` cylinders:
+
+    * ``0`` if ``d == 0`` (no seek);
+    * ``c1 + c2 * sqrt(d)`` for ``0 < d <= short_seek_threshold``
+      (acceleration phase);
+    * ``c3 + c4 * d`` beyond (steady-speed phase).
+
+    All times are in **seconds** (the paper's tables quote ms; they are
+    converted here once so the simulator never mixes units).
+    """
+
+    name: str
+    #: Number of cylinders (seek distances range over [0, cylinders-1]).
+    cylinders: int
+    #: Full revolution time in seconds; expected rotational latency is
+    #: half of it, the simulator samples it uniformly.
+    revolution_time: float
+    #: Seek curve constants, in seconds (c2 multiplies sqrt(cylinders),
+    #: c4 multiplies cylinders).
+    c1: float
+    c2: float
+    c3: float
+    c4: float
+    #: Seek distance separating the acceleration and linear phases.
+    short_seek_threshold: int
+    #: Fixed controller overhead per request, seconds.
+    controller_overhead: float
+    #: Sustained media transfer rate, bytes/second.
+    transfer_rate: float
+
+    def __post_init__(self):
+        if self.cylinders < 1:
+            raise ValueError(f"cylinders must be positive, got {self.cylinders}")
+        if self.revolution_time <= 0:
+            raise ValueError("revolution_time must be positive")
+        if self.transfer_rate <= 0:
+            raise ValueError("transfer_rate must be positive")
+        if not 0 < self.short_seek_threshold <= self.cylinders:
+            raise ValueError(
+                f"short_seek_threshold must be in [1, {self.cylinders}]"
+            )
+
+
+#: The paper's drive (Table 2): HP C2240A.  Legible table cells are used
+#: verbatim; the seek constants are the HP C2240 figures published by
+#: Ruemmler & Wilkes (3.45 + 0.597*sqrt(d) ms short, 10.8 + 0.012*d ms
+#: long, threshold 616 cylinders), controller overhead 2.2 ms, sustained
+#: transfer ~2 MB/s.
+HP_C2240A = DiskSpec(
+    name="HP-C2240A",
+    cylinders=1449,
+    revolution_time=0.0149,
+    c1=3.45e-3,
+    c2=0.597e-3,
+    c3=10.8e-3,
+    c4=0.012e-3,
+    short_seek_threshold=616,
+    controller_overhead=2.2e-3,
+    transfer_rate=2_000_000.0,
+)

@@ -1,0 +1,40 @@
+"""The experiment harness reproducing the paper's evaluation (§4).
+
+Each figure and table of the paper maps to one function here (and one
+bench under ``benchmarks/``).  The harness separates three concerns:
+
+* :mod:`repro.experiments.scale` — scaling paper-size configurations
+  down to bench-friendly defaults (set ``REPRO_FULL_SCALE=1`` for the
+  paper's exact populations and sweep densities);
+* :mod:`repro.experiments.setup` — dataset/tree construction with an
+  in-process cache so a sweep builds each tree once;
+* :mod:`repro.experiments.effectiveness` and
+  :mod:`repro.experiments.response` — the two experiment families
+  (visited nodes under the counting executor; response times under the
+  event-driven simulation);
+* :mod:`repro.experiments.report` — plain-text tables matching the rows
+  and series the paper prints.
+"""
+
+from repro.experiments.scale import Scale, current_scale
+from repro.experiments.setup import build_tree, dataset, make_factory
+from repro.experiments.effectiveness import (
+    EffectivenessResult,
+    effectiveness_experiment,
+)
+from repro.experiments.response import ResponseResult, response_experiment
+from repro.experiments.report import format_series_table, format_table
+
+__all__ = [
+    "EffectivenessResult",
+    "ResponseResult",
+    "Scale",
+    "build_tree",
+    "current_scale",
+    "dataset",
+    "effectiveness_experiment",
+    "format_series_table",
+    "format_table",
+    "make_factory",
+    "response_experiment",
+]

@@ -1,0 +1,73 @@
+"""Effectiveness experiments: visited nodes per query (Figures 8, 9).
+
+The counting executor tallies how many tree pages each algorithm fetches
+for a k-NN query.  The paper reports the absolute count for the 2-d sets
+(Figure 8) and the count *normalized to WOPTSS* for the 10-d synthetic
+sets (Figure 9).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core import CountingExecutor
+from repro.datasets import sample_queries
+from repro.experiments.setup import make_factory
+from repro.geometry.point import Point
+from repro.parallel.tree import ParallelRStarTree
+
+
+@dataclass
+class EffectivenessResult:
+    """Mean visited nodes per algorithm over a k sweep."""
+
+    k_values: List[int]
+    #: algorithm name -> mean visited nodes, aligned with ``k_values``.
+    nodes: Dict[str, List[float]] = field(default_factory=dict)
+
+    def normalized_to(self, reference: str) -> Dict[str, List[float]]:
+        """Series divided pointwise by *reference*'s series (Figure 9)."""
+        base = self.nodes[reference]
+        return {
+            name: [value / ref for value, ref in zip(series, base)]
+            for name, series in self.nodes.items()
+        }
+
+
+def effectiveness_experiment(
+    tree: ParallelRStarTree,
+    k_values: Sequence[int],
+    algorithms: Sequence[str] = ("BBSS", "FPSS", "CRSS", "WOPTSS"),
+    num_queries: int = 100,
+    seed: int = 0,
+    queries: Sequence[Point] = (),
+) -> EffectivenessResult:
+    """Mean visited nodes vs. query size k, per algorithm.
+
+    :param tree: the declustered tree under test.
+    :param k_values: the query sizes to sweep (paper: 1–700).
+    :param algorithms: which algorithms to run.
+    :param num_queries: queries averaged per data point (paper: 100).
+    :param seed: query sampling seed.
+    :param queries: explicit query points (overrides sampling).
+    """
+    if not queries:
+        data = list(tree.tree.iter_points())
+        points = [point for point, _ in data]
+        queries = sample_queries(points, num_queries, seed=seed)
+
+    executor = CountingExecutor(tree)
+    result = EffectivenessResult(k_values=list(k_values))
+    for name in algorithms:
+        series: List[float] = []
+        for k in k_values:
+            factory = make_factory(name, tree, k)
+            counts = []
+            for query in queries:
+                executor.execute(factory(query))
+                counts.append(executor.last_stats.nodes_visited)
+            series.append(statistics.fmean(counts))
+        result.nodes[name] = series
+    return result

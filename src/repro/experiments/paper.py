@@ -1,0 +1,251 @@
+"""Programmatic runners for the paper's figures and tables.
+
+The pytest benches under ``benchmarks/`` remain the canonical,
+assertion-carrying reproduction; this module exposes the same
+experiments as plain functions so they can be run without pytest —
+``python -m repro paper fig8`` — returning the formatted tables the
+paper's figures plot.  Configurations mirror the benches (which hold
+the authoritative constants and the shape assertions).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.datasets import CP_POPULATION, LB_POPULATION
+from repro.experiments.effectiveness import effectiveness_experiment
+from repro.experiments.report import format_series_table, format_table
+from repro.experiments.response import response_experiment
+from repro.experiments.scale import Scale, current_scale
+from repro.experiments.setup import build_tree
+
+K_SWEEP = [1, 100, 200, 300, 400, 500, 600, 700]
+
+
+def _fig8(scale: Scale) -> str:
+    blocks: List[str] = []
+    for name, population in (
+        ("california_places", CP_POPULATION),
+        ("long_beach", LB_POPULATION),
+    ):
+        tree = build_tree(
+            name, scale.population(population), dims=2, num_disks=10,
+            page_size=scale.page_size,
+        )
+        result = effectiveness_experiment(
+            tree, scale.sweep(K_SWEEP), num_queries=scale.queries
+        )
+        blocks.append(
+            format_series_table(
+                "k", result.k_values, result.nodes, precision=1,
+                title=f"Figure 8 ({name}): mean visited nodes vs. k",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def _fig9(scale: Scale) -> str:
+    blocks: List[str] = []
+    for name in ("gaussian", "uniform"):
+        tree = build_tree(
+            name, scale.population(60_000), dims=10, num_disks=10,
+            page_size=scale.page_size,
+        )
+        result = effectiveness_experiment(
+            tree, scale.sweep(K_SWEEP), num_queries=scale.queries
+        )
+        blocks.append(
+            format_series_table(
+                "k", result.k_values, result.normalized_to("WOPTSS"),
+                precision=3,
+                title=f"Figure 9 ({name}, 10-d): nodes normalized to "
+                "WOPTSS vs. k",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def _fig10(scale: Scale) -> str:
+    panels = (
+        ("long_beach", LB_POPULATION, 5, 10, [1, 2, 4, 6, 8, 10]),
+        ("california_places", CP_POPULATION, 10, 100, [2, 4, 8, 12, 16, 20]),
+    )
+    blocks: List[str] = []
+    for name, population, disks, k, lambdas in panels:
+        tree = build_tree(
+            name, scale.population(population), dims=2, num_disks=disks,
+            page_size=scale.page_size,
+        )
+        series: Dict[str, List[float]] = {}
+        swept = scale.sweep(lambdas)
+        for rate in swept:
+            result = response_experiment(
+                tree, k=k, arrival_rate=float(rate),
+                num_queries=scale.queries,
+                params=scale.system_parameters(),
+            )
+            for algorithm, value in result.mean_response.items():
+                series.setdefault(algorithm, []).append(value)
+        blocks.append(
+            format_series_table(
+                "lambda", swept, series, precision=4,
+                title=f"Figure 10 ({name}, disks={disks}, k={k}): "
+                "mean response (s) vs. λ",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def _sweep_response(
+    scale: Scale,
+    dataset: str,
+    population: int,
+    dims: int,
+    configurations: List[tuple],
+    title: str,
+    headers: List[str],
+) -> str:
+    rows = []
+    for k, disks, rate in configurations:
+        tree = build_tree(
+            dataset, scale.population(population), dims=dims,
+            num_disks=disks, page_size=scale.page_size,
+        )
+        result = response_experiment(
+            tree, k=k, arrival_rate=rate,
+            algorithms=("BBSS", "CRSS", "WOPTSS"),
+            num_queries=scale.queries,
+            params=scale.system_parameters(),
+        )
+        rows.append(
+            (
+                k,
+                disks,
+                result.mean_response["BBSS"],
+                result.mean_response["CRSS"],
+                result.mean_response["WOPTSS"],
+            )
+        )
+    return format_table(headers, rows, precision=3, title=title)
+
+
+def _fig11(scale: Scale) -> str:
+    blocks = []
+    for k in (10, 100):
+        configurations = [
+            (k, disks, 5.0) for disks in scale.sweep([5, 10, 15, 20, 25, 30])
+        ]
+        blocks.append(
+            _sweep_response(
+                scale, "gaussian", 50_000, 5, configurations,
+                f"Figure 11 (gaussian 5-d, k={k}, λ=5): response (s) "
+                "vs. disks",
+                ["k", "disks", "BBSS", "CRSS", "WOPTSS"],
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def _fig12(scale: Scale) -> str:
+    blocks = []
+    for rate in (1.0, 20.0):
+        configurations = [
+            (k, 10, rate) for k in scale.sweep([1, 20, 40, 60, 80, 100])
+        ]
+        blocks.append(
+            _sweep_response(
+                scale, "uniform", 80_000, 5, configurations,
+                f"Figure 12 (uniform 5-d, disks=10, λ={rate}): "
+                "response (s) vs. k",
+                ["k", "disks", "BBSS", "CRSS", "WOPTSS"],
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def _table3(scale: Scale) -> str:
+    rows = []
+    for population, disks in [
+        (10_000, 5), (20_000, 10), (40_000, 20), (80_000, 40)
+    ]:
+        tree = build_tree(
+            "gaussian", scale.population(population), dims=5,
+            num_disks=disks, page_size=scale.page_size,
+        )
+        result = response_experiment(
+            tree, k=20, arrival_rate=5.0,
+            algorithms=("BBSS", "CRSS", "WOPTSS"),
+            num_queries=scale.queries,
+            params=scale.system_parameters(),
+        )
+        rows.append(
+            (
+                scale.population(population),
+                disks,
+                result.mean_response["BBSS"],
+                result.mean_response["CRSS"],
+                result.mean_response["WOPTSS"],
+            )
+        )
+    return format_table(
+        ["population", "disks", "BBSS", "CRSS", "WOPTSS"], rows,
+        precision=3,
+        title="Table 3 (gaussian 5-d, k=20, λ=5): population scale-up",
+    )
+
+
+def _table4(scale: Scale) -> str:
+    rows = []
+    for k, disks in [(10, 5), (20, 10), (40, 20), (80, 40)]:
+        tree = build_tree(
+            "gaussian", scale.population(80_000), dims=5,
+            num_disks=disks, page_size=scale.page_size,
+        )
+        result = response_experiment(
+            tree, k=k, arrival_rate=5.0,
+            algorithms=("BBSS", "CRSS", "WOPTSS"),
+            num_queries=scale.queries,
+            params=scale.system_parameters(),
+        )
+        rows.append(
+            (
+                k,
+                disks,
+                result.mean_response["BBSS"],
+                result.mean_response["CRSS"],
+                result.mean_response["WOPTSS"],
+            )
+        )
+    return format_table(
+        ["k", "disks", "BBSS", "CRSS", "WOPTSS"], rows, precision=3,
+        title="Table 4 (gaussian 5-d, λ=5): query-size scale-up",
+    )
+
+
+PAPER_EXPERIMENTS: Dict[str, Callable[[Scale], str]] = {
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "table3": _table3,
+    "table4": _table4,
+}
+
+
+def run_paper_experiment(name: str, scale: Optional[Scale] = None) -> str:
+    """Run one of the paper's experiments; returns the printable tables.
+
+    :param name: one of ``fig8``, ``fig9``, ``fig10``, ``fig11``,
+        ``fig12``, ``table3``, ``table4`` (Table 5 is derived from the
+        others; see ``benchmarks/test_table5_qualitative.py``).
+    :param scale: experiment scale (default: from the environment).
+    """
+    try:
+        runner = PAPER_EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; "
+            f"choose from {sorted(PAPER_EXPERIMENTS)}"
+        )
+    return runner(scale if scale is not None else current_scale())

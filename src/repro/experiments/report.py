@@ -1,0 +1,66 @@
+"""Plain-text reporting of experiment results.
+
+The benches print the same rows/series the paper's figures and tables
+show, in aligned fixed-width text so ``pytest -s`` output is directly
+comparable against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _format_cell(value, width: int, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:>{width}.{precision}f}"
+    return f"{value!s:>{width}}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    precision: int = 3,
+    title: str = "",
+) -> str:
+    """An aligned fixed-width table, one string ready for printing."""
+    widths = [
+        max(
+            len(str(header)),
+            *(len(_format_cell(row[i], 0, precision).strip()) for row in rows),
+        )
+        if rows
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(f"{h:>{w}}" for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                _format_cell(cell, width, precision)
+                for cell, width in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_name: str,
+    x_values: Sequence[Number],
+    series: Dict[str, Sequence[Number]],
+    precision: int = 3,
+    title: str = "",
+) -> str:
+    """A figure-style table: one x column, one column per series."""
+    names = list(series)
+    headers = [x_name] + names
+    rows = [
+        [x] + [series[name][i] for name in names]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, precision=precision, title=title)

@@ -1,0 +1,80 @@
+"""Response-time experiments under the event-driven simulation.
+
+These drive the multi-user workloads of Figures 10–12 and Tables 3–4:
+Poisson arrivals at rate λ, 100 queries, mean response time per
+algorithm, swept over λ, the number of disks, k, or the population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.datasets import sample_queries
+from repro.experiments.setup import make_factory
+from repro.geometry.point import Point
+from repro.parallel.tree import ParallelRStarTree
+from repro.simulation.parameters import SystemParameters
+from repro.simulation.simulator import WorkloadResult, simulate_workload
+
+
+@dataclass
+class ResponseResult:
+    """Mean response times per algorithm for one configuration."""
+
+    #: algorithm name -> mean response time in seconds.
+    mean_response: Dict[str, float] = field(default_factory=dict)
+    #: algorithm name -> mean pages fetched per query.
+    mean_pages: Dict[str, float] = field(default_factory=dict)
+    #: algorithm name -> full workload result (for deeper inspection).
+    workloads: Dict[str, WorkloadResult] = field(default_factory=dict)
+
+    def normalized_to(self, reference: str) -> Dict[str, float]:
+        """Response times divided by *reference*'s (Figures 11, 12)."""
+        base = self.mean_response[reference]
+        return {
+            name: value / base for name, value in self.mean_response.items()
+        }
+
+
+def response_experiment(
+    tree: ParallelRStarTree,
+    k: int,
+    arrival_rate: Optional[float],
+    algorithms: Sequence[str] = ("BBSS", "FPSS", "CRSS", "WOPTSS"),
+    num_queries: int = 100,
+    seed: int = 0,
+    queries: Sequence[Point] = (),
+    params: Optional[SystemParameters] = None,
+) -> ResponseResult:
+    """Mean response time per algorithm for one workload configuration.
+
+    :param tree: the declustered tree under test.
+    :param k: neighbors per query.
+    :param arrival_rate: Poisson λ in queries/second (``None`` = serial
+        single-user execution).
+    :param algorithms: which algorithms to run.
+    :param num_queries: queries in the workload (paper: 100).
+    :param seed: seeds query sampling, arrivals and rotational latency.
+    :param queries: explicit query points (overrides sampling).
+    :param params: system parameters override.
+    """
+    if not queries:
+        points = [point for point, _ in tree.tree.iter_points()]
+        queries = sample_queries(points, num_queries, seed=seed)
+
+    result = ResponseResult()
+    for name in algorithms:
+        factory = make_factory(name, tree, k)
+        workload = simulate_workload(
+            tree,
+            factory,
+            queries,
+            arrival_rate=arrival_rate,
+            params=params,
+            seed=seed,
+        )
+        result.mean_response[name] = workload.mean_response
+        result.mean_pages[name] = workload.mean_pages
+        result.workloads[name] = workload
+    return result

@@ -1,0 +1,98 @@
+"""Dataset and tree construction for experiments, with caching.
+
+Building an 80,000-point R*-tree by one-by-one insertion is by far the
+most expensive step of any experiment, and every sweep reuses the same
+tree for four algorithms and many parameter values.  This module caches
+datasets and built trees per configuration key within the process.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core import BBSS, CRSS, FPSS, WOPTSS
+from repro.core.protocol import SearchAlgorithm
+from repro.datasets import DATASETS
+from repro.geometry.point import Point
+from repro.parallel.declustering import make_policy
+from repro.parallel.tree import ParallelRStarTree, build_parallel_tree
+
+_dataset_cache: Dict[Tuple, List[Point]] = {}
+_tree_cache: Dict[Tuple, ParallelRStarTree] = {}
+
+
+def dataset(name: str, n: int, dims: int, seed: int = 0) -> List[Point]:
+    """A (cached) data set by generator name.
+
+    :param name: one of ``uniform``, ``gaussian``, ``california_places``,
+        ``long_beach`` (the 2-d surrogates ignore *dims*).
+    """
+    key = (name, n, dims, seed)
+    if key not in _dataset_cache:
+        generator = DATASETS.get(name)
+        if generator is None:
+            raise ValueError(
+                f"unknown dataset {name!r}; choose from {sorted(DATASETS)}"
+            )
+        if name in ("california_places", "long_beach"):
+            if dims != 2:
+                raise ValueError(f"{name} is a 2-d data set, got dims={dims}")
+            _dataset_cache[key] = generator(n=n, seed=seed)
+        else:
+            _dataset_cache[key] = generator(n=n, dims=dims, seed=seed)
+    return _dataset_cache[key]
+
+
+def build_tree(
+    name: str,
+    n: int,
+    dims: int,
+    num_disks: int,
+    seed: int = 0,
+    policy: str = "proximity",
+    page_size: int = 4096,
+    max_entries: Optional[int] = None,
+) -> ParallelRStarTree:
+    """A (cached) declustered R*-tree for the given configuration."""
+    key = (name, n, dims, num_disks, seed, policy, page_size, max_entries)
+    if key not in _tree_cache:
+        data = dataset(name, n, dims, seed)
+        _tree_cache[key] = build_parallel_tree(
+            data,
+            dims=dims,
+            num_disks=num_disks,
+            policy=make_policy(policy, seed=seed),
+            seed=seed,
+            page_size=page_size,
+            max_entries=max_entries,
+        )
+    return _tree_cache[key]
+
+
+def clear_caches() -> None:
+    """Drop all cached datasets and trees (frees memory between suites)."""
+    _dataset_cache.clear()
+    _tree_cache.clear()
+
+
+def make_factory(
+    algorithm: str, tree: ParallelRStarTree, k: int
+) -> Callable[[Point], SearchAlgorithm]:
+    """An algorithm factory bound to *tree* and *k* for the simulator.
+
+    For WOPTSS the factory computes the oracle distance ``D_k`` per
+    query — outside simulated time, as the paper's hypothetical
+    construction requires.
+    """
+    classes = {"BBSS": BBSS, "FPSS": FPSS, "CRSS": CRSS, "WOPTSS": WOPTSS}
+    try:
+        cls = classes[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(classes)}"
+        )
+    if cls is WOPTSS:
+        return lambda query: WOPTSS(
+            query, k, oracle_dk=tree.kth_nearest_distance(query, k)
+        )
+    return lambda query: cls(query, k, num_disks=tree.num_disks)

@@ -1,0 +1,238 @@
+"""Analytical performance estimates (paper future work).
+
+"Future research may include the derivation and exploitation of
+analytical results in similarity search for disk arrays, estimating the
+response time of a query" (§5).  This module provides the classic
+building blocks, each validated against the simulator by the test and
+bench suite:
+
+* the expected k-NN sphere radius for uniform data (the volume
+  argument behind the cost models of Berchtold et al. [4]),
+* the expected number of node accesses of a window query over an
+  R-tree (the Kamel–Faloutsos / Pagel et al. formula the paper cites
+  as [16]),
+* the expected service time of one disk access under the two-phase
+  seek model with uniformly scattered cylinders (the paper's §4.1
+  allocation), and
+* a response-time lower bound combining the last item with a search's
+  critical path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.disks.specs import DiskSpec
+from repro.simulation.parameters import SystemParameters
+
+
+def unit_ball_volume(dims: int) -> float:
+    """Volume of the unit ball in *dims* dimensions."""
+    if dims < 1:
+        raise ValueError(f"dims must be positive, got {dims}")
+    return math.pi ** (dims / 2.0) / math.gamma(dims / 2.0 + 1.0)
+
+
+def expected_knn_radius(population: int, dims: int, k: int) -> float:
+    """Expected distance to the k-th nearest neighbor, uniform unit cube.
+
+    Volume argument: the sphere around the query holding k of the
+    *population* uniform points has volume ``k / population``, hence
+
+    .. math:: r_k = \\Big( \\frac{k}{population \\cdot V_{dims}} \\Big)^{1/dims}
+
+    Boundary effects are ignored, so the estimate degrades for radii
+    approaching the cube side (large k / small population) — the
+    validation tests stay well inside that regime.
+    """
+    if population < 1:
+        raise ValueError(f"population must be positive, got {population}")
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    return (k / (population * unit_ball_volume(dims))) ** (1.0 / dims)
+
+
+def expected_range_query_nodes(
+    node_extents: Sequence[Sequence[float]], query_extents: Sequence[float]
+) -> float:
+    """Expected nodes accessed by a uniformly placed window query.
+
+    The Kamel–Faloutsos / Pagel formula: a node whose MBR has side
+    lengths ``s_i`` intersects a random query window with side lengths
+    ``q_i`` (both in the unit space) with probability
+    ``prod_i min(s_i + q_i, 1)``; summing over nodes gives the expected
+    access count.
+
+    :param node_extents: per node, its MBR side lengths.
+    :param query_extents: the query window's side lengths.
+    """
+    total = 0.0
+    for extents in node_extents:
+        if len(extents) != len(query_extents):
+            raise ValueError(
+                f"dimension mismatch: node has {len(extents)} extents, "
+                f"query has {len(query_extents)}"
+            )
+        prob = 1.0
+        for s, q in zip(extents, query_extents):
+            prob *= min(s + q, 1.0)
+        total += prob
+    return total
+
+
+def expected_knn_node_accesses(
+    node_extents: Sequence[Sequence[float]],
+    population: int,
+    dims: int,
+    k: int,
+) -> float:
+    """Expected nodes a weak-optimal k-NN search accesses (uniform data).
+
+    Combines the two estimates above: the query sphere has the expected
+    radius :func:`expected_knn_radius`, and a node whose MBR has side
+    lengths ``s_i`` intersects a randomly placed sphere of radius *r*
+    approximately when it intersects the enclosing cube — giving the
+    Minkowski-sum probability ``prod_i min(s_i + 2r, 1)``.  The cube
+    approximation overestimates slightly (by the sphere/cube volume
+    ratio at the corners); the validation test allows for that bias.
+    """
+    radius = expected_knn_radius(population, dims, k)
+    return expected_range_query_nodes(
+        node_extents, tuple(2.0 * radius for _ in range(dims))
+    )
+
+
+def expected_seek_time(spec: DiskSpec) -> float:
+    """Expected seek time between two uniformly random cylinders.
+
+    The head position and the target are i.i.d. uniform over the
+    cylinders (the paper assigns pages to cylinders uniformly), so the
+    seek distance d has ``P(d) = 2(C - d) / C^2`` for d ≥ 1 and
+    ``P(0) = 1/C``.  The expectation is evaluated exactly against the
+    two-phase seek curve.
+    """
+    cylinders = spec.cylinders
+    total = 0.0  # d = 0 contributes zero seek time
+    for distance in range(1, cylinders):
+        probability = 2.0 * (cylinders - distance) / (cylinders * cylinders)
+        if distance <= spec.short_seek_threshold:
+            seek = spec.c1 + spec.c2 * math.sqrt(distance)
+        else:
+            seek = spec.c3 + spec.c4 * distance
+        total += probability * seek
+    return total
+
+
+def expected_disk_service_time(spec: DiskSpec, page_size: int) -> float:
+    """Expected full service time of one page read.
+
+    expected seek + half a revolution + transfer + controller overhead.
+    """
+    if page_size < 0:
+        raise ValueError(f"page_size must be non-negative, got {page_size}")
+    return (
+        expected_seek_time(spec)
+        + spec.revolution_time / 2.0
+        + page_size / spec.transfer_rate
+        + spec.controller_overhead
+    )
+
+
+def service_time_moments(
+    spec: DiskSpec, page_size: int
+) -> "tuple[float, float]":
+    """First and second moments of the disk service time.
+
+    Service = seek + rotational latency + constant (transfer +
+    controller overhead), with seek and rotation independent.  The seek
+    moments come from the exact distance distribution of two i.i.d.
+    uniform cylinders (as in :func:`expected_seek_time`); rotation is
+    uniform on ``[0, T_rev]``.
+    """
+    cylinders = spec.cylinders
+    seek_mean = 0.0
+    seek_sq_mean = 0.0
+    for distance in range(1, cylinders):
+        probability = 2.0 * (cylinders - distance) / (cylinders * cylinders)
+        if distance <= spec.short_seek_threshold:
+            seek = spec.c1 + spec.c2 * math.sqrt(distance)
+        else:
+            seek = spec.c3 + spec.c4 * distance
+        seek_mean += probability * seek
+        seek_sq_mean += probability * seek * seek
+
+    rotation_mean = spec.revolution_time / 2.0
+    rotation_var = spec.revolution_time ** 2 / 12.0
+    constant = page_size / spec.transfer_rate + spec.controller_overhead
+
+    mean = seek_mean + rotation_mean + constant
+    variance = (seek_sq_mean - seek_mean ** 2) + rotation_var
+    second_moment = variance + mean * mean
+    return mean, second_moment
+
+
+def estimate_query_response_time(
+    params: SystemParameters,
+    num_disks: int,
+    arrival_rate: float,
+    pages_per_query: float,
+    critical_path: float,
+) -> float:
+    """M/G/1 estimate of the mean query response time under load.
+
+    This is the paper's first future-work item made concrete:
+    "the derivation and exploitation of analytical results in
+    similarity search for disk arrays, estimating the response time of
+    a query."
+
+    Model: each disk is an independent M/G/1 queue.  Queries arrive at
+    rate λ and fetch ``pages_per_query`` pages spread evenly over the
+    array, so each disk sees Poisson arrivals at
+    ``λ · pages/num_disks``.  The Pollaczek–Khinchine formula gives the
+    mean wait ``W = λ_d·E[S²] / (2(1 − ρ))``; a query pays
+    ``critical_path`` sequential (wait + service + bus) legs plus its
+    startup cost.
+
+    The estimate is approximate — real arrivals at a disk are batched
+    and correlated — but tracks the simulation within tens of percent
+    up to moderate utilization, and diverges (correctly) as ρ → 1.
+
+    :raises ValueError: if the offered load saturates the disks (ρ ≥ 1),
+        where no steady state exists.
+    """
+    if num_disks < 1:
+        raise ValueError(f"num_disks must be positive, got {num_disks}")
+    if arrival_rate < 0 or pages_per_query < 0 or critical_path < 0:
+        raise ValueError("workload parameters must be non-negative")
+    mean_service, second_moment = service_time_moments(
+        params.disk, params.page_size
+    )
+    per_disk_rate = arrival_rate * pages_per_query / num_disks
+    utilization = per_disk_rate * mean_service
+    if utilization >= 1.0:
+        raise ValueError(
+            f"offered load saturates the disks (utilization "
+            f"{utilization:.2f} >= 1); no steady-state response time"
+        )
+    wait = per_disk_rate * second_moment / (2.0 * (1.0 - utilization))
+    return params.query_startup + critical_path * (
+        wait + mean_service + params.bus_time
+    )
+
+
+def response_time_lower_bound(
+    critical_path: int, params: SystemParameters
+) -> float:
+    """Analytical lower bound on one query's response time.
+
+    A search whose fetch schedule has *critical_path* sequential disk
+    accesses on its busiest disk cannot finish faster than paying that
+    many expected service times, plus one bus slot per step and the
+    query startup cost.  Queueing from other queries only adds to this,
+    so the bound holds at any load.
+    """
+    if critical_path < 0:
+        raise ValueError(f"critical_path must be >= 0, got {critical_path}")
+    per_access = expected_disk_service_time(params.disk, params.page_size)
+    return params.query_startup + critical_path * (per_access + params.bus_time)

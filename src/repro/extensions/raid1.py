@@ -1,0 +1,188 @@
+"""Shadowed (mirrored) disks — RAID level-1 reads (paper future work).
+
+"The study of similarity search on shadowed disks" (§5): under RAID-1
+every page exists on two physical drives, so a *read* can be served by
+either replica.  The classic benefit for read-heavy workloads is
+shorter queues: the scheduler sends each request to the replica that
+can serve it sooner.  This module models a mirrored pair per logical
+disk with a shortest-queue-then-nearest-head dispatch rule, and a
+workload runner mirroring :func:`repro.simulation.simulator.simulate_workload`
+so the RAID-0 vs RAID-1 comparison is one bench away.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, List, Optional, Sequence
+
+from repro.disks.model import DiskModel
+from repro.geometry.point import Point
+from repro.simulation.cpu import CpuModel
+from repro.simulation.engine import Environment, Resource
+from repro.simulation.parameters import SystemParameters
+from repro.simulation.simulator import (
+    AlgorithmFactory,
+    QueryRecord,
+    SimulatedExecutor,
+    WorkloadResult,
+)
+
+
+class MirroredDiskArraySystem:
+    """A disk array whose logical disks are mirrored pairs.
+
+    Interface-compatible with
+    :class:`~repro.simulation.system.DiskArraySystem` (``fetch_page``,
+    ``cpu_work``, ``disk_utilizations``), so the simulated executor
+    drives it unchanged.
+
+    :param env: simulation environment.
+    :param num_disks: number of *logical* disks (physical drives are
+        twice that).
+    :param params: timing parameters.
+    :param seed: rotational-latency RNG seed.
+    """
+
+    REPLICAS = 2
+
+    def __init__(
+        self,
+        env: Environment,
+        num_disks: int,
+        params: Optional[SystemParameters] = None,
+        seed: int = 0,
+    ):
+        if num_disks < 1:
+            raise ValueError(f"num_disks must be positive, got {num_disks}")
+        self.env = env
+        self.params = params if params is not None else SystemParameters()
+        self.num_disks = num_disks
+        self.cpu_model = CpuModel(self.params.cpu_mips)
+
+        # replica_queues[logical][replica]
+        self.replica_queues: List[List[Resource]] = []
+        self.replica_models: List[List[DiskModel]] = []
+        for disk_id in range(num_disks):
+            queues, models = [], []
+            for replica in range(self.REPLICAS):
+                rng = (
+                    random.Random((seed << 9) ^ (disk_id * 2 + replica))
+                    if self.params.sample_rotation
+                    else None
+                )
+                queues.append(Resource(env))
+                models.append(DiskModel(self.params.disk, rng))
+            self.replica_queues.append(queues)
+            self.replica_models.append(models)
+        self.bus = Resource(env)
+        self.cpu = Resource(env)
+        self.pages_fetched = 0
+
+    def _pick_replica(self, disk_id: int, cylinder: int) -> int:
+        """Shortest queue first; ties broken by nearest head position."""
+        queues = self.replica_queues[disk_id]
+        models = self.replica_models[disk_id]
+
+        def cost(replica: int) -> tuple:
+            queue = queues[replica]
+            backlog = queue.queue_length + queue.in_use
+            seek = abs(models[replica].head_cylinder - cylinder)
+            return (backlog, seek, replica)
+
+        return min(range(self.REPLICAS), key=cost)
+
+    def fetch_page(self, disk_id: int, cylinder: int, pages: int = 1) -> Generator:
+        """Process: read one node from the better replica of the pair."""
+        if not 0 <= disk_id < self.num_disks:
+            raise ValueError(f"disk {disk_id} outside [0, {self.num_disks})")
+        if pages < 1:
+            raise ValueError(f"pages must be positive, got {pages}")
+        replica = self._pick_replica(disk_id, cylinder)
+        queue = self.replica_queues[disk_id][replica]
+        grant = queue.request()
+        yield grant
+        try:
+            duration = self.replica_models[disk_id][replica].service(
+                cylinder, self.params.page_size * pages
+            )
+            yield self.env.timeout(duration)
+        finally:
+            queue.release(grant)
+
+        grant = self.bus.request()
+        yield grant
+        try:
+            yield self.env.timeout(self.params.bus_time)
+        finally:
+            self.bus.release(grant)
+        self.pages_fetched += 1
+
+    def cpu_work(self, scanned: int, sorted_count: int) -> Generator:
+        """Process: charge CPU time for one fetched batch."""
+        grant = self.cpu.request()
+        yield grant
+        try:
+            yield self.env.timeout(
+                self.cpu_model.batch_time(scanned, sorted_count)
+            )
+        finally:
+            self.cpu.release(grant)
+
+    def disk_utilizations(self, elapsed: float) -> List[float]:
+        """Busy fraction per *physical* drive over *elapsed* seconds."""
+        if elapsed <= 0:
+            return [0.0] * (self.num_disks * self.REPLICAS)
+        return [
+            model.busy_time / elapsed
+            for pair in self.replica_models
+            for model in pair
+        ]
+
+
+def simulate_mirrored_workload(
+    tree,
+    factory: AlgorithmFactory,
+    queries: Sequence[Point],
+    arrival_rate: Optional[float] = None,
+    params: Optional[SystemParameters] = None,
+    seed: int = 0,
+) -> WorkloadResult:
+    """Like :func:`~repro.simulation.simulator.simulate_workload`, on a
+    RAID-1 (shadowed) array instead of RAID-0."""
+    if not queries:
+        raise ValueError("a workload needs at least one query")
+    if arrival_rate is not None and arrival_rate <= 0:
+        raise ValueError(f"arrival_rate must be positive, got {arrival_rate}")
+
+    env = Environment()
+    system = MirroredDiskArraySystem(
+        env, tree.num_disks, params=params, seed=seed
+    )
+    executor = SimulatedExecutor(env, system, tree)
+    result = WorkloadResult()
+    arrival_rng = random.Random(seed ^ 0xA5A5A5)
+
+    def run_one(query: Point) -> Generator:
+        record: QueryRecord = yield env.process(
+            executor.query_process(factory(query))
+        )
+        result.records.append(record)
+
+    def open_arrivals() -> Generator:
+        for query in queries:
+            yield env.timeout(arrival_rng.expovariate(arrival_rate))
+            env.process(run_one(query))
+
+    def closed_serial() -> Generator:
+        for query in queries:
+            record = yield env.process(executor.query_process(factory(query)))
+            result.records.append(record)
+
+    if arrival_rate is None:
+        env.process(closed_serial())
+    else:
+        env.process(open_arrivals())
+    env.run()
+    result.makespan = env.now
+    result.disk_utilizations = system.disk_utilizations(env.now)
+    return result

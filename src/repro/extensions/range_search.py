@@ -1,0 +1,136 @@
+"""Parallel range queries through the fetch protocol.
+
+The paper contrasts similarity search with range queries (§3): a range
+query has a fixed, well-defined region, so after a node is read every
+intersecting child can be activated at once — the visiting order is
+irrelevant, unlike k-NN.  This is exactly how the multiplexed R-tree of
+Kamel & Faloutsos processes window queries, and it is the paper's
+Definition 1 ("range query" = similarity query with known ε) when the
+region is a sphere.
+
+Both searches are expressed as :class:`~repro.core.protocol.SearchAlgorithm`
+coroutines, so the counting executor and the disk-array simulation
+drive them exactly like the k-NN algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping, Sequence
+
+from repro.core.protocol import (
+    FetchRequest,
+    SearchAlgorithm,
+    SearchCoroutine,
+    child_refs,
+    leaf_points,
+)
+from repro.core.regions import region_minimum_distance_sq
+from repro.core.results import Neighbor
+from repro.geometry.point import squared_euclidean
+from repro.geometry.rect import Rect
+from repro.geometry.sphere import Sphere
+
+
+class ParallelSphereSearch(SearchAlgorithm):
+    """Similarity *range* query: all objects within ε of the query point.
+
+    This is paper Definition 1 — the easy case where the radius is
+    known in advance, processed breadth-first with full parallelism
+    (which is optimal here: every activated node is provably needed).
+
+    :param query: query point ``P_q``.
+    :param epsilon: the similarity radius ε.
+    """
+
+    name = "RANGE-SPHERE"
+
+    def __init__(self, query: Sequence[float], epsilon: float, num_disks: int = 1):
+        super().__init__(query, 1, num_disks)
+        if not math.isfinite(epsilon) or epsilon < 0.0:
+            raise ValueError(f"epsilon must be finite and >= 0, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    def run(self, root_page_id: int) -> SearchCoroutine:
+        radius_sq = self.epsilon * self.epsilon
+        answers: List[Neighbor] = []
+        batch = [root_page_id]
+        while batch:
+            fetched: Mapping[int, object] = yield FetchRequest(batch)
+            next_batch: List[int] = []
+            for page_id in batch:
+                node = fetched[page_id]
+                if node.is_leaf:
+                    for point, oid in leaf_points(node):
+                        dist_sq = squared_euclidean(self.query, point)
+                        if dist_sq <= radius_sq:
+                            answers.append(
+                                Neighbor(math.sqrt(dist_sq), point, oid)
+                            )
+                else:
+                    for ref in child_refs(node):
+                        dmin_sq = region_minimum_distance_sq(
+                            self.query, ref.rect
+                        )
+                        if dmin_sq <= radius_sq:
+                            next_batch.append(ref.page_id)
+            batch = next_batch
+        answers.sort(key=lambda n: (n.distance, n.oid))
+        return answers
+
+
+class ParallelRangeSearch(SearchAlgorithm):
+    """Window query: all objects inside an axis-aligned rectangle.
+
+    Processed breadth-first over the parallel tree (the multiplexed
+    R-tree operation the paper cites from [11]).
+
+    :param window: the query rectangle.
+    """
+
+    name = "RANGE-WINDOW"
+
+    def __init__(self, window: Rect, num_disks: int = 1):
+        super().__init__(window.center, 1, num_disks)
+        self.window = window
+
+    def run(self, root_page_id: int) -> SearchCoroutine:
+        answers: List[Neighbor] = []
+        batch = [root_page_id]
+        while batch:
+            fetched: Mapping[int, object] = yield FetchRequest(batch)
+            next_batch: List[int] = []
+            for page_id in batch:
+                node = fetched[page_id]
+                if node.is_leaf:
+                    for point, oid in leaf_points(node):
+                        if self.window.contains_point(point):
+                            answers.append(
+                                Neighbor(
+                                    math.sqrt(
+                                        squared_euclidean(self.query, point)
+                                    ),
+                                    point,
+                                    oid,
+                                )
+                            )
+                else:
+                    for ref in child_refs(node):
+                        if self._region_intersects_window(ref.rect):
+                            next_batch.append(ref.page_id)
+            batch = next_batch
+        answers.sort(key=lambda n: (n.distance, n.oid))
+        return answers
+
+    def _region_intersects_window(self, region) -> bool:
+        if isinstance(region, Rect):
+            return self.window.intersects(region)
+        if isinstance(region, Sphere):
+            return region.intersects_rect(self.window)
+        # Composite (SR-tree) region: objects live in the intersection,
+        # so both parts must reach the window.
+        if hasattr(region, "rect") and hasattr(region, "sphere"):
+            return self.window.intersects(region.rect) and (
+                region.sphere.intersects_rect(self.window)
+            )
+        raise TypeError(f"unsupported region type: {type(region).__name__}")

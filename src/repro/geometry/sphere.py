@@ -1,0 +1,110 @@
+"""Hyper-spheres.
+
+Spheres appear in two places in the reproduction: the *query sphere*
+``sphere(P_q, D_k)`` that defines weak optimality (paper §3.4), and the
+bounding spheres of the SS-tree extension (paper future work).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.geometry.point import euclidean, validate_point
+from repro.geometry.rect import Rect
+
+
+class Sphere:
+    """An immutable hyper-sphere given by its center and radius."""
+
+    __slots__ = ("center", "radius")
+
+    def __init__(self, center: Sequence[float], radius: float):
+        c = validate_point(center)
+        r = float(radius)
+        if not math.isfinite(r) or r < 0.0:
+            raise ValueError(f"radius must be finite and non-negative, got {radius}")
+        object.__setattr__(self, "center", c)
+        object.__setattr__(self, "radius", r)
+
+    def __setattr__(self, name, value):  # immutability guard
+        raise AttributeError("Sphere is immutable")
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the sphere."""
+        return len(self.center)
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """True if *point* lies inside or on the sphere."""
+        return euclidean(self.center, point) <= self.radius
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """True if the sphere and the rectangle share at least one point.
+
+        Equivalent to ``Dmin(center, rect) <= radius``; computed directly
+        here so :mod:`repro.geometry` has no dependency on the metrics
+        module (which depends back on :class:`Rect`).
+        """
+        if rect.dims != self.dims:
+            raise ValueError(f"dimension mismatch: {rect.dims} vs {self.dims}")
+        dist_sq = 0.0
+        for c, lo, hi in zip(self.center, rect.low, rect.high):
+            if c < lo:
+                dist_sq += (lo - c) ** 2
+            elif c > hi:
+                dist_sq += (c - hi) ** 2
+        return dist_sq <= self.radius * self.radius
+
+    def contains_rect(self, rect: Rect) -> bool:
+        """True if every corner of *rect* lies inside the sphere."""
+        if rect.dims != self.dims:
+            raise ValueError(f"dimension mismatch: {rect.dims} vs {self.dims}")
+        # The farthest point of an axis-aligned box from a point is the
+        # corner maximizing the per-axis distance, so one check suffices.
+        dist_sq = 0.0
+        for c, lo, hi in zip(self.center, rect.low, rect.high):
+            dist_sq += max(abs(c - lo), abs(hi - c)) ** 2
+        return dist_sq <= self.radius * self.radius
+
+    def union(self, other: "Sphere") -> "Sphere":
+        """Smallest sphere enclosing *self* and *other*.
+
+        Used by the SS-tree when propagating bounding spheres upward.
+        """
+        if other.dims != self.dims:
+            raise ValueError(f"dimension mismatch: {other.dims} vs {self.dims}")
+        d = euclidean(self.center, other.center)
+        # One sphere may already contain the other.
+        if d + other.radius <= self.radius:
+            return self
+        if d + self.radius <= other.radius:
+            return other
+        radius = (d + self.radius + other.radius) / 2.0
+        # Center sits on the segment between the two centers, pushed so the
+        # new sphere touches the far side of both.
+        t = (radius - self.radius) / d
+        center = tuple(
+            a + (b - a) * t for a, b in zip(self.center, other.center)
+        )
+        return Sphere(center, radius)
+
+    def bounding_rect(self) -> Rect:
+        """The tightest axis-aligned box enclosing the sphere."""
+        return Rect(
+            tuple(c - self.radius for c in self.center),
+            tuple(c + self.radius for c in self.center),
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Sphere)
+            and self.center == other.center
+            and self.radius == other.radius
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.center, self.radius))
+
+    def __repr__(self) -> str:
+        return f"Sphere(center={self.center}, radius={self.radius})"

@@ -1,0 +1,36 @@
+"""Declustering the R*-tree over a RAID level-0 disk array.
+
+The paper distributes one R*-tree over the disks of the array: each node
+(= page) lives on exactly one disk, and when an insertion splits a node,
+the newly created page must be assigned to some disk.  The assignment
+heuristic drives how much intra-query I/O parallelism a search can
+exploit.  This package implements the heuristics the paper discusses
+(§2.2) — the **Proximity Index** scheme of Kamel & Faloutsos, which the
+paper adopts after finding it consistently best, plus the baselines it
+was compared against (round-robin, random, data balance, area balance).
+"""
+
+from repro.parallel.declustering import (
+    AreaBalance,
+    DataBalance,
+    DeclusteringPolicy,
+    ProximityIndex,
+    RandomAssignment,
+    RoundRobin,
+    make_policy,
+)
+from repro.parallel.proximity import proximity
+from repro.parallel.tree import ParallelRStarTree, build_parallel_tree
+
+__all__ = [
+    "AreaBalance",
+    "DataBalance",
+    "DeclusteringPolicy",
+    "ParallelRStarTree",
+    "ProximityIndex",
+    "RandomAssignment",
+    "RoundRobin",
+    "build_parallel_tree",
+    "make_policy",
+    "proximity",
+]

@@ -1,0 +1,167 @@
+"""Disk-assignment heuristics for newly created tree pages (paper §2.2).
+
+When an insertion splits a page, the new page must be placed on a disk.
+The paper surveys the known heuristics and adopts the Proximity Index;
+all of them are implemented here so the declustering ablation bench can
+re-verify the paper's claim that PI "shows consistently the best
+performance in similarity query processing over a parallel R*-tree".
+
+A policy sees a :class:`PlacementContext` describing the new node, its
+siblings (with their current disks) and array-wide statistics, and
+returns a disk id.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.geometry.rect import Rect
+from repro.parallel.proximity import proximity
+
+
+@dataclass
+class PlacementContext:
+    """Everything a declustering policy may look at when placing a page."""
+
+    #: MBR of the page being placed.
+    rect: Rect
+    #: The new page's siblings under the same father, as (MBR, disk id).
+    siblings: List[Tuple[Rect, int]]
+    #: Number of disks in the array.
+    num_disks: int
+    #: Live pages per disk.
+    nodes_per_disk: Sequence[int]
+    #: Data objects per disk (sum of subtree counts of resident leaves).
+    objects_per_disk: Sequence[int]
+    #: Total MBR area per disk.
+    area_per_disk: Sequence[float]
+
+
+class DeclusteringPolicy:
+    """Interface: pick the disk for a freshly created page."""
+
+    #: Identifier used by :func:`make_policy` and in reports.
+    name = "abstract"
+
+    #: True if the policy reads ``objects_per_disk`` / ``area_per_disk``.
+    #: These statistics are costly to gather, so the tree only computes
+    #: them for policies that declare the need.
+    needs_object_stats = False
+    needs_area_stats = False
+
+    def choose_disk(self, context: PlacementContext) -> int:
+        """Pick the disk (0-based id) for the page described by *context*."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget any internal state (called when a tree is rebuilt)."""
+
+
+class RoundRobin(DeclusteringPolicy):
+    """Cyclic assignment — ignores geometry entirely."""
+
+    name = "round_robin"
+
+    def __init__(self):
+        self._next = 0
+
+    def choose_disk(self, context: PlacementContext) -> int:
+        disk = self._next % context.num_disks
+        self._next += 1
+        return disk
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+class RandomAssignment(DeclusteringPolicy):
+    """Uniform random assignment."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def choose_disk(self, context: PlacementContext) -> int:
+        return self._rng.randrange(context.num_disks)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+
+class DataBalance(DeclusteringPolicy):
+    """The disk currently holding the fewest data objects."""
+
+    name = "data_balance"
+    needs_object_stats = True
+
+    def choose_disk(self, context: PlacementContext) -> int:
+        return min(
+            range(context.num_disks),
+            key=lambda d: (context.objects_per_disk[d], d),
+        )
+
+
+class AreaBalance(DeclusteringPolicy):
+    """The disk currently covering the least total MBR area."""
+
+    name = "area_balance"
+    needs_area_stats = True
+
+    def choose_disk(self, context: PlacementContext) -> int:
+        return min(
+            range(context.num_disks),
+            key=lambda d: (context.area_per_disk[d], d),
+        )
+
+
+class ProximityIndex(DeclusteringPolicy):
+    """Kamel & Faloutsos's Proximity Index — the paper's choice.
+
+    The new page goes to the disk whose resident *siblings* are least
+    proximal to it, so that pages likely to be requested by the same
+    query land on different disks.  A disk hosting no sibling has
+    proximity 0 and is preferred; among equals, the least-loaded disk
+    (by page count) wins, which keeps the array balanced.
+    """
+
+    name = "proximity"
+
+    def choose_disk(self, context: PlacementContext) -> int:
+        scores = [0.0] * context.num_disks
+        for sibling_rect, disk in context.siblings:
+            if 0 <= disk < context.num_disks:
+                scores[disk] += proximity(context.rect, sibling_rect)
+        return min(
+            range(context.num_disks),
+            key=lambda d: (scores[d], context.nodes_per_disk[d], d),
+        )
+
+
+_POLICIES = {
+    policy.name: policy
+    for policy in (RoundRobin, RandomAssignment, DataBalance, AreaBalance,
+                   ProximityIndex)
+}
+
+
+def make_policy(name: str, seed: int = 0) -> DeclusteringPolicy:
+    """Instantiate a policy by name.
+
+    :param name: one of ``round_robin``, ``random``, ``data_balance``,
+        ``area_balance``, ``proximity``.
+    :param seed: RNG seed (only the random policy uses it).
+    """
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown declustering policy {name!r}; "
+            f"choose from {sorted(_POLICIES)}"
+        )
+    if cls is RandomAssignment:
+        return cls(seed)
+    return cls()

@@ -1,0 +1,54 @@
+"""Rectangle proximity — the measure behind Proximity Index declustering.
+
+Kamel & Faloutsos ("Parallel R-trees", SIGMOD 1992) assign a freshly
+split page to the disk whose resident sibling pages are *least proximal*
+to the new page's MBR: a query that touches the new page then tends to
+touch pages on *other* disks, so the fetches parallelize instead of
+queueing behind one another.
+
+The proximity measure used here is a per-axis score in ``[0, 1]``
+combined multiplicatively:
+
+* two intervals overlapping over their whole common frame score 1;
+* touching intervals score 1/2;
+* intervals separated by the full frame width score 0;
+
+i.e. per axis ``score = (overlap_or_negative_gap / frame + 1) / 2``,
+where *frame* is the extent of the two intervals' bounding interval.
+The product over axes makes rectangles overlapping in every dimension
+highly proximal and rectangles far apart along any axis non-proximal —
+the monotonicity properties Kamel & Faloutsos's measure is built on.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.rect import Rect
+
+
+def interval_proximity(a_lo: float, a_hi: float, b_lo: float, b_hi: float) -> float:
+    """Proximity of two 1-d intervals, in ``[0, 1]``."""
+    frame = max(a_hi, b_hi) - min(a_lo, b_lo)
+    if frame <= 0.0:
+        # Both intervals are the same single point.
+        return 1.0
+    # Positive for overlap, negative for a gap.
+    signed_overlap = min(a_hi, b_hi) - max(a_lo, b_lo)
+    return (signed_overlap / frame + 1.0) / 2.0
+
+
+def proximity(a: Rect, b: Rect) -> float:
+    """Proximity of two rectangles, in ``[0, 1]``.
+
+    1 means identical extents in every dimension, values near 0 mean far
+    apart along at least one axis.
+    """
+    if a.dims != b.dims:
+        raise ValueError(f"dimension mismatch: {a.dims} vs {b.dims}")
+    score = 1.0
+    for axis in range(a.dims):
+        score *= interval_proximity(
+            a.low[axis], a.high[axis], b.low[axis], b.high[axis]
+        )
+        if score == 0.0:
+            break
+    return score

@@ -1,0 +1,49 @@
+"""Derive node fan-out from the disk page size.
+
+The paper assumes one tree node per disk block (§2.1: "Each node of the
+tree corresponds to one disk page") and a striping unit of one block
+(§2.2).  The experiments therefore size the fan-out from the page size and
+the dimensionality, the way a disk-resident implementation would.
+"""
+
+from __future__ import annotations
+
+#: Bytes of node header: level, entry count, page id, padding.
+NODE_HEADER_BYTES = 16
+
+#: Bytes per coordinate (C double, as in the original C/C++ implementation).
+COORD_BYTES = 8
+
+#: Bytes for a child pointer / object pointer.
+POINTER_BYTES = 4
+
+#: Bytes for the per-branch subtree object count (the paper's modification).
+COUNT_BYTES = 4
+
+
+def entry_bytes(dims: int) -> int:
+    """On-disk size of one internal entry: MBR + child pointer + count."""
+    if dims < 1:
+        raise ValueError(f"dimensionality must be positive, got {dims}")
+    return 2 * dims * COORD_BYTES + POINTER_BYTES + COUNT_BYTES
+
+
+def capacity_for_page(page_size: int, dims: int) -> int:
+    """Maximum entries per node for a given page size and dimensionality.
+
+    >>> capacity_for_page(4096, 2)
+    102
+    >>> capacity_for_page(4096, 10)
+    24
+
+    :raises ValueError: if the page cannot hold even two entries (a node
+        must be splittable into two non-empty halves).
+    """
+    if page_size <= NODE_HEADER_BYTES:
+        raise ValueError(f"page size {page_size} too small for a node header")
+    capacity = (page_size - NODE_HEADER_BYTES) // entry_bytes(dims)
+    if capacity < 2:
+        raise ValueError(
+            f"page size {page_size} holds fewer than 2 entries in {dims}-d"
+        )
+    return capacity

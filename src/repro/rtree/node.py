@@ -1,0 +1,121 @@
+"""Tree nodes and leaf entries.
+
+A node corresponds to exactly one disk page (paper §2.1).  Internal nodes
+hold child nodes directly; the child's cached MBR and subtree object count
+play the role of the on-disk ``(R, count, child_ptr)`` entry.  Leaf nodes
+hold :class:`LeafEntry` records ``(R, object_ptr)`` — for point data the
+MBR is degenerate and the raw point is kept alongside for fast distance
+computation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.geometry.point import Point, validate_point
+from repro.geometry.rect import Rect
+
+
+class LeafEntry:
+    """A leaf-level entry: the MBR of one data object plus its pointer.
+
+    For the point data sets of the paper the MBR degenerates to the point
+    itself; ``point`` stores it unwrapped so distance computations avoid
+    re-deriving it from the rectangle.
+    """
+
+    __slots__ = ("rect", "point", "oid")
+
+    def __init__(self, point: Sequence[float], oid: int):
+        self.point: Point = validate_point(point)
+        self.rect: Rect = Rect(self.point, self.point)
+        self.oid = int(oid)
+
+    def __repr__(self) -> str:
+        return f"LeafEntry(oid={self.oid}, point={self.point})"
+
+
+class Node:
+    """One R*-tree node (= one disk page).
+
+    ``level`` is 0 for leaves and grows toward the root.  ``entries`` holds
+    :class:`LeafEntry` objects at level 0 and child :class:`Node` objects
+    above.  ``mbr`` and ``object_count`` are caches refreshed by
+    :meth:`refresh` whenever the entry list changes; the tree code is
+    responsible for calling it (and :meth:`refresh_path` for ancestors).
+    """
+
+    __slots__ = ("page_id", "level", "entries", "parent", "mbr", "object_count")
+
+    def __init__(self, page_id: int, level: int):
+        self.page_id = page_id
+        self.level = level
+        self.entries: List[Union[LeafEntry, "Node"]] = []
+        self.parent: Optional["Node"] = None
+        self.mbr: Optional[Rect] = None
+        self.object_count = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for level-0 nodes, which store data entries."""
+        return self.level == 0
+
+    def refresh(self) -> None:
+        """Recompute the cached MBR and subtree object count from entries."""
+        if not self.entries:
+            self.mbr = None
+            self.object_count = 0
+            return
+        rects = [
+            e.rect if isinstance(e, LeafEntry) else e.mbr
+            for e in self.entries
+        ]
+        present = [r for r in rects if r is not None]
+        self.mbr = Rect.union_of(present) if present else None
+        if self.is_leaf:
+            self.object_count = len(self.entries)
+        else:
+            self.object_count = sum(child.object_count for child in self.entries)
+
+    def refresh_path(self) -> None:
+        """Refresh this node and every ancestor up to the root."""
+        node: Optional[Node] = self
+        while node is not None:
+            node.refresh()
+            node = node.parent
+
+    def extend_path(self, rect: Rect, added_objects: int) -> None:
+        """Incrementally grow caches after appending one entry.
+
+        Cheaper than :meth:`refresh_path` — O(height · dims) instead of
+        O(height · fan-out · dims) — and exact for pure additions: the
+        MBR can only grow and the count only increases.  Callers removing
+        or replacing entries must use :meth:`refresh_path` instead.
+        """
+        node: Optional[Node] = self
+        while node is not None:
+            node.mbr = rect if node.mbr is None else node.mbr.union(rect)
+            node.object_count += added_objects
+            node = node.parent
+
+    def add(self, entry: Union[LeafEntry, "Node"]) -> None:
+        """Append *entry*, fixing parent pointers for child nodes.
+
+        Does **not** refresh caches — callers batch modifications and then
+        call :meth:`refresh` / :meth:`refresh_path` once.
+        """
+        if isinstance(entry, Node):
+            entry.parent = self
+        self.entries.append(entry)
+
+    def entry_rect(self, index: int) -> Rect:
+        """MBR of the entry at *index*, uniform over leaf/internal nodes."""
+        entry = self.entries[index]
+        return entry.rect if isinstance(entry, LeafEntry) else entry.mbr
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"internal(level={self.level})"
+        return f"Node(page={self.page_id}, {kind}, entries={len(self.entries)})"

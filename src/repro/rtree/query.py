@@ -1,0 +1,155 @@
+"""In-memory reference queries over an R*-tree.
+
+These run directly on the in-memory node graph with no disk model and no
+search heuristics.  They serve three purposes:
+
+* a correctness oracle for the four disk-array search algorithms,
+* the source of the oracle distance ``D_k`` that the hypothetical
+  WOPTSS algorithm (paper §3.4) assumes known in advance,
+* plain sequential query support for library users who just want an
+  R*-tree.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import TYPE_CHECKING, List, Sequence, Set, Tuple
+
+from repro.core.distances import minimum_distance_sq, squared_radius
+from repro.core.results import Neighbor
+from repro.geometry.point import Point, squared_euclidean
+from repro.geometry.rect import Rect
+from repro.rtree.node import LeafEntry, Node
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.rtree.tree import RStarTree
+
+
+def range_query(tree: "RStarTree", rect: Rect) -> List[Tuple[Point, int]]:
+    """All ``(point, oid)`` pairs whose point lies inside *rect*."""
+    if rect.dims != tree.dims:
+        raise ValueError(f"dimension mismatch: {rect.dims} vs {tree.dims}")
+    results: List[Tuple[Point, int]] = []
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            for entry in node.entries:
+                if rect.contains_point(entry.point):
+                    results.append((entry.point, entry.oid))
+        else:
+            for child in node.entries:
+                if child.mbr is not None and rect.intersects(child.mbr):
+                    stack.append(child)
+    return results
+
+
+def sphere_query(
+    tree: "RStarTree", center: Sequence[float], radius: float
+) -> List[Tuple[Point, int]]:
+    """All ``(point, oid)`` within Euclidean *radius* of *center*.
+
+    This is the paper's *range query* flavor of similarity search
+    (Definition 1).
+    """
+    radius_sq = radius * radius
+    results: List[Tuple[Point, int]] = []
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            for entry in node.entries:
+                if squared_euclidean(center, entry.point) <= radius_sq:
+                    results.append((entry.point, entry.oid))
+        else:
+            for child in node.entries:
+                if child.mbr is not None:
+                    if minimum_distance_sq(center, child.mbr) <= radius_sq:
+                        stack.append(child)
+    return results
+
+
+def knn(tree: "RStarTree", point: Point, k: int) -> List[Neighbor]:
+    """Exact k-NN by best-first traversal (Hjaltason–Samet style).
+
+    Returns at most *k* :class:`~repro.core.results.Neighbor` records
+    sorted by ascending distance; exact ties are broken by object id so
+    every component of the library reports identical answer sets.
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    # Heap key: (distance², kind, id).  Nodes carry kind 0 so at equal
+    # distance they expand *before* any data entry is finalized (a node
+    # at distance d may still contain a smaller-oid tie at d); entries
+    # carry kind 1 and their oid, so exact ties resolve by ascending oid
+    # — the same deterministic policy NeighborList uses.
+    counter = itertools.count()
+    heap: List[Tuple[float, int, int, object]] = [
+        (0.0, 0, next(counter), tree.root)
+    ]
+    results: List[Neighbor] = []
+    while heap:
+        dist_sq, kind, _, item = heapq.heappop(heap)
+        if kind == 1:
+            entry: LeafEntry = item
+            results.append(Neighbor(math.sqrt(dist_sq), entry.point, entry.oid))
+            if len(results) == k:
+                break
+            continue
+        node: Node = item
+        if node.is_leaf:
+            for entry in node.entries:
+                d = squared_euclidean(point, entry.point)
+                heapq.heappush(heap, (d, 1, entry.oid, entry))
+        else:
+            for child in node.entries:
+                if child.mbr is not None:
+                    d = minimum_distance_sq(point, child.mbr)
+                    heapq.heappush(heap, (d, 0, next(counter), child))
+    return results
+
+
+def kth_nearest_distance(tree: "RStarTree", point: Point, k: int) -> float:
+    """Distance from *point* to its k-th nearest neighbor.
+
+    If the tree holds fewer than *k* objects, the distance to the farthest
+    stored object is returned (matching the paper's convention that a
+    query on a small database reports everything).
+
+    :raises ValueError: if the tree is empty.
+    """
+    results = knn(tree, point, k)
+    if not results:
+        raise ValueError("k-th nearest distance is undefined on an empty tree")
+    return results[-1][0]
+
+
+def nodes_intersecting_sphere(
+    tree: "RStarTree", center: Sequence[float], radius: float
+) -> Set[int]:
+    """Page ids of every node whose MBR intersects the given sphere.
+
+    This is exactly the node set a *weak-optimal* algorithm accesses
+    (paper Definition 6); WOPTSS fetches it level by level, and the test
+    suite asserts every real algorithm fetches a superset of it.  The
+    radius is padded identically to WOPTSS's (see
+    :func:`~repro.core.distances.squared_radius`) so the two node sets
+    agree at sphere boundaries.
+    """
+    radius_sq = squared_radius(radius)
+    pages: Set[int] = set()
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if node.mbr is None:
+            # Empty root: the sphere trivially "reaches" it but there is
+            # nothing below.
+            pages.add(node.page_id)
+            continue
+        if minimum_distance_sq(center, node.mbr) <= radius_sq:
+            pages.add(node.page_id)
+            if not node.is_leaf:
+                stack.extend(node.entries)
+    return pages

@@ -1,0 +1,275 @@
+"""Saving and loading trees as binary page files.
+
+A production index outlives the process that built it.  This module
+serializes an R*-tree — and the parallel tree's disk/cylinder placement
+— into a compact binary page file and restores it exactly: same page
+ids, same entry order, same placement, so searches over a reloaded tree
+fetch the identical page sequence.
+
+File layout (little-endian)::
+
+    header : magic "RPRT" | version u16 | dims u16 | max_entries u32
+             min_entries u32 | page_size u32 | object_count u64
+             root_page u64 | next_page u64 | page_count u64
+    page   : page_id u64 | level u32 | entry_count u32
+             leaf   -> entry_count × (oid u64, dims × f64)
+             inner  -> entry_count × (child_page u64)
+
+Cached MBRs and subtree counts are not stored; they are rebuilt on load
+(and verified by the caller via ``check_invariants`` if desired).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Callable, Dict, List, Optional
+
+from repro.rtree.node import LeafEntry, Node
+from repro.rtree.tree import RStarTree
+
+_MAGIC = b"RPRT"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHHIIIQQQQ")
+_PAGE_HEADER = struct.Struct("<QII")
+_U64 = struct.Struct("<Q")
+
+
+class StorageError(RuntimeError):
+    """Raised when a page file is malformed or incompatible."""
+
+
+def save_tree(tree: RStarTree, path: str) -> int:
+    """Write *tree* to *path*; returns the number of pages written."""
+    with open(path, "wb") as stream:
+        return _write_tree(tree, stream)
+
+
+def _write_tree(tree: RStarTree, stream: BinaryIO) -> int:
+    pages = list(tree.pages.values())
+    stream.write(
+        _HEADER.pack(
+            _MAGIC,
+            _VERSION,
+            tree.dims,
+            tree.max_entries,
+            tree.min_entries,
+            tree.page_size,
+            len(tree),
+            tree.root_page_id,
+            tree._next_page_id,
+            len(pages),
+        )
+    )
+    point_struct = struct.Struct(f"<Q{tree.dims}d")
+    for node in pages:
+        stream.write(
+            _PAGE_HEADER.pack(node.page_id, node.level, len(node.entries))
+        )
+        if node.is_leaf:
+            for entry in node.entries:
+                stream.write(point_struct.pack(entry.oid, *entry.point))
+        else:
+            for child in node.entries:
+                stream.write(_U64.pack(child.page_id))
+    return len(pages)
+
+
+def load_tree(
+    path: str,
+    on_split: Optional[Callable[[Node, Node], None]] = None,
+    on_new_root: Optional[Callable[[Node], None]] = None,
+    on_page_freed: Optional[Callable[[int], None]] = None,
+) -> RStarTree:
+    """Load a tree written by :func:`save_tree`.
+
+    The structural hooks are attached to the restored tree so dynamic
+    operations keep working (the parallel loader uses them to resume
+    placement).
+    """
+    with open(path, "rb") as stream:
+        return _read_tree(stream, on_split, on_new_root, on_page_freed)
+
+
+def _read_exact(stream: BinaryIO, count: int) -> bytes:
+    data = stream.read(count)
+    if len(data) != count:
+        raise StorageError("unexpected end of page file")
+    return data
+
+
+def _read_tree(stream, on_split, on_new_root, on_page_freed) -> RStarTree:
+    header = _read_exact(stream, _HEADER.size)
+    (
+        magic,
+        version,
+        dims,
+        max_entries,
+        min_entries,
+        page_size,
+        object_count,
+        root_page,
+        next_page,
+        page_count,
+    ) = _HEADER.unpack(header)
+    if magic != _MAGIC:
+        raise StorageError(f"not a repro page file (magic {magic!r})")
+    if version != _VERSION:
+        raise StorageError(f"unsupported page file version {version}")
+
+    # Build an empty shell with the stored geometry parameters.  The
+    # bootstrap root it creates is discarded below.
+    tree = RStarTree(
+        dims,
+        max_entries=max_entries,
+        min_entries=min_entries,
+        page_size=page_size,
+        on_split=on_split,
+        on_new_root=on_new_root,
+        on_page_freed=on_page_freed,
+    )
+    tree.pages.clear()
+
+    point_struct = struct.Struct(f"<Q{dims}d")
+    nodes: Dict[int, Node] = {}
+    children: Dict[int, List[int]] = {}
+    for _ in range(page_count):
+        page_id, level, entry_count = _PAGE_HEADER.unpack(
+            _read_exact(stream, _PAGE_HEADER.size)
+        )
+        node = Node(page_id, level)
+        nodes[page_id] = node
+        if level == 0:
+            for _ in range(entry_count):
+                values = point_struct.unpack(
+                    _read_exact(stream, point_struct.size)
+                )
+                node.entries.append(LeafEntry(values[1:], values[0]))
+        else:
+            children[page_id] = [
+                _U64.unpack(_read_exact(stream, _U64.size))[0]
+                for _ in range(entry_count)
+            ]
+
+    # Wire children and rebuild caches bottom-up.
+    for page_id, child_ids in children.items():
+        parent = nodes[page_id]
+        for child_id in child_ids:
+            child = nodes.get(child_id)
+            if child is None:
+                raise StorageError(
+                    f"page {page_id} references missing child {child_id}"
+                )
+            parent.add(child)
+    for node in sorted(nodes.values(), key=lambda n: n.level):
+        node.refresh()
+
+    if root_page not in nodes:
+        raise StorageError(f"root page {root_page} missing from file")
+    tree.pages.update(nodes)
+    tree.root = nodes[root_page]
+    tree.root.parent = None
+    tree.size = object_count
+    tree._next_page_id = next_page
+    if tree.root.object_count != object_count:
+        raise StorageError(
+            f"object count mismatch: header says {object_count}, "
+            f"pages hold {tree.root.object_count}"
+        )
+    return tree
+
+
+# -- parallel tree persistence ------------------------------------------------
+
+_PLACEMENT_HEADER = struct.Struct("<4sHIIQ")
+_PLACEMENT_ROW = struct.Struct("<QII")
+_PLACEMENT_MAGIC = b"RPRP"
+
+
+def save_parallel_tree(tree, tree_path: str, placement_path: str) -> None:
+    """Persist a :class:`~repro.parallel.tree.ParallelRStarTree`.
+
+    Two files: the page file (:func:`save_tree`) and a placement file
+    mapping every page to its disk and cylinder.
+    """
+    save_tree(tree.tree, tree_path)
+    with open(placement_path, "wb") as stream:
+        stream.write(
+            _PLACEMENT_HEADER.pack(
+                _PLACEMENT_MAGIC,
+                _VERSION,
+                tree.num_disks,
+                tree.num_cylinders,
+                len(tree._placement),
+            )
+        )
+        for page_id, disk in sorted(tree._placement.items()):
+            stream.write(
+                _PLACEMENT_ROW.pack(page_id, disk, tree._cylinder[page_id])
+            )
+
+
+def load_parallel_tree(
+    tree_path: str,
+    placement_path: str,
+    policy=None,
+    seed: int = 0,
+):
+    """Restore a parallel tree saved by :func:`save_parallel_tree`.
+
+    The declustering *policy* (for pages created by future insertions)
+    is not serialized — pass the one you want; it defaults to Proximity
+    Index like a fresh tree.
+    """
+    from repro.parallel.tree import ParallelRStarTree
+
+    with open(placement_path, "rb") as stream:
+        magic, version, num_disks, num_cylinders, rows = (
+            _PLACEMENT_HEADER.unpack(
+                _read_exact(stream, _PLACEMENT_HEADER.size)
+            )
+        )
+        if magic != _PLACEMENT_MAGIC:
+            raise StorageError(f"not a placement file (magic {magic!r})")
+        if version != _VERSION:
+            raise StorageError(f"unsupported placement version {version}")
+        placement: Dict[int, int] = {}
+        cylinder: Dict[int, int] = {}
+        for _ in range(rows):
+            page_id, disk, cyl = _PLACEMENT_ROW.unpack(
+                _read_exact(stream, _PLACEMENT_ROW.size)
+            )
+            if not 0 <= disk < num_disks:
+                raise StorageError(f"page {page_id} on invalid disk {disk}")
+            placement[page_id] = disk
+            cylinder[page_id] = cyl
+
+    loaded = load_tree(tree_path)
+    parallel = ParallelRStarTree(
+        loaded.dims,
+        num_disks,
+        policy=policy,
+        num_cylinders=num_cylinders,
+        seed=seed,
+        max_entries=loaded.max_entries,
+        min_entries=loaded.min_entries,
+        page_size=loaded.page_size,
+    )
+    # Swap the bootstrap tree for the loaded one, re-wiring the hooks so
+    # future splits keep placing pages.
+    loaded.on_split = parallel._on_split
+    loaded.on_new_root = parallel._on_new_root
+    loaded.on_page_freed = parallel._on_page_freed
+    parallel.tree = loaded
+    parallel._placement = placement
+    parallel._cylinder = cylinder
+    counts = [0] * num_disks
+    for page_id, disk in placement.items():
+        counts[disk] += 1
+    parallel._nodes_per_disk = counts
+
+    missing = set(loaded.pages) - set(placement)
+    if missing:
+        raise StorageError(
+            f"{len(missing)} pages have no placement (e.g. {min(missing)})"
+        )
+    return parallel

@@ -1,0 +1,123 @@
+"""Structural invariant checking for R*-trees.
+
+Used pervasively by the test suite after randomized insert/delete
+interleavings; also handy for users debugging custom split policies.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.geometry.rect import Rect
+from repro.rtree.node import LeafEntry, Node
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.rtree.tree import RStarTree
+
+
+class InvariantViolation(AssertionError):
+    """Raised by :func:`check_invariants` when the tree is malformed."""
+
+
+def check_invariants(tree: "RStarTree") -> int:
+    """Verify every structural invariant of *tree*; returns object count.
+
+    Checked invariants:
+
+    * the root has no parent; every other node's parent pointer is right;
+    * every node except the root holds between ``min_entries`` and
+      ``max_entries`` entries; the root holds at most ``max_entries``
+      (and at least 2 if it is internal);
+    * all leaves are at level 0 and levels decrease by exactly 1 per step
+      (height balance);
+    * every node's cached MBR equals the union of its entries' MBRs;
+    * every node's cached object count equals the objects in its subtree
+      (the paper's §2.1 branch counts);
+    * every live node is registered in the page table under its page id;
+    * the total object count equals ``len(tree)``.
+
+    :raises InvariantViolation: on the first violated invariant.
+    """
+    seen_pages: List[int] = []
+    total = _check_node(tree, tree.root, expected_parent=None)
+    _collect_pages(tree.root, seen_pages)
+    if sorted(seen_pages) != sorted(tree.pages.keys()):
+        raise InvariantViolation(
+            f"page table out of sync: tree has {len(seen_pages)} reachable "
+            f"nodes but the table holds {len(tree.pages)}"
+        )
+    if total != len(tree):
+        raise InvariantViolation(
+            f"tree.size is {len(tree)} but {total} objects are stored"
+        )
+    return total
+
+
+def _collect_pages(node: Node, out: List[int]) -> None:
+    out.append(node.page_id)
+    if not node.is_leaf:
+        for child in node.entries:
+            _collect_pages(child, out)
+
+
+def _check_node(tree: "RStarTree", node: Node, expected_parent) -> int:
+    if node.parent is not expected_parent:
+        raise InvariantViolation(
+            f"page {node.page_id}: bad parent pointer "
+            f"(expected {expected_parent!r}, found {node.parent!r})"
+        )
+    if tree.pages.get(node.page_id) is not node:
+        raise InvariantViolation(
+            f"page {node.page_id} is not registered in the page table"
+        )
+
+    is_root = node is tree.root
+    if len(node.entries) > tree.node_capacity(node):
+        raise InvariantViolation(
+            f"page {node.page_id} overflows: {len(node.entries)} entries"
+        )
+    if not is_root and len(node.entries) < tree.min_entries:
+        raise InvariantViolation(
+            f"page {node.page_id} underflows: {len(node.entries)} entries"
+        )
+    if is_root and not node.is_leaf and len(node.entries) < 2:
+        raise InvariantViolation("internal root must have at least 2 children")
+
+    if node.is_leaf:
+        for entry in node.entries:
+            if not isinstance(entry, LeafEntry):
+                raise InvariantViolation(
+                    f"leaf page {node.page_id} holds a non-leaf entry"
+                )
+        expected_count = len(node.entries)
+        expected_mbr = (
+            Rect.union_of(e.rect for e in node.entries) if node.entries else None
+        )
+    else:
+        expected_count = 0
+        child_mbrs = []
+        for child in node.entries:
+            if not isinstance(child, Node):
+                raise InvariantViolation(
+                    f"internal page {node.page_id} holds a raw leaf entry"
+                )
+            if child.level != node.level - 1:
+                raise InvariantViolation(
+                    f"page {node.page_id} (level {node.level}) has child "
+                    f"page {child.page_id} at level {child.level}"
+                )
+            expected_count += _check_node(tree, child, expected_parent=node)
+            child_mbrs.append(child.mbr)
+        expected_mbr = Rect.union_of(child_mbrs) if child_mbrs else None
+
+    if node.mbr != expected_mbr:
+        raise InvariantViolation(
+            f"page {node.page_id}: cached MBR {node.mbr} differs from "
+            f"recomputed {expected_mbr}"
+        )
+    if node.object_count != expected_count:
+        raise InvariantViolation(
+            f"page {node.page_id}: cached object count {node.object_count} "
+            f"differs from actual {expected_count}"
+        )
+    return expected_count

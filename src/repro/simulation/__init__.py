@@ -1,0 +1,58 @@
+"""Event-driven simulation of the disk array (paper §4.1).
+
+The paper evaluates the algorithms on a simulated RAID level-0 system: a
+network-queue model where each disk has its own FCFS queue, the shared
+SCSI bus is a queue with constant service time, and the CPU charges a
+simple instruction-count cost model.  Query arrivals are Poisson.
+
+This package contains
+
+* :mod:`repro.simulation.engine` — a small process-based discrete-event
+  simulation kernel (simpy is unavailable offline, so we ship our own:
+  environment, process coroutines, timeouts, FCFS resources, barriers);
+* :mod:`repro.simulation.cpu` — the ``2·N + 3·M·log2 M`` instruction
+  cost model at a configurable MIPS rate;
+* :mod:`repro.simulation.system` — the disk array: per-disk queues and
+  head state, the bus, the CPU, and the page-fetch path through them;
+* :mod:`repro.simulation.simulator` — query processes driving the search
+  coroutines of :mod:`repro.core` through the system, plus the Poisson
+  multi-user workload driver the experiments use.
+"""
+
+from repro.simulation.engine import AllOf, Environment, Process, Resource, Timeout
+from repro.simulation.buffer import BufferPool
+from repro.simulation.cpu import CpuModel
+from repro.simulation.locks import ReadWriteLock
+from repro.simulation.parameters import SystemParameters
+from repro.simulation.system import DiskArraySystem
+from repro.simulation.simulator import (
+    QueryRecord,
+    SimulatedExecutor,
+    WorkloadResult,
+    simulate_workload,
+)
+from repro.simulation.updates import (
+    MixedWorkloadResult,
+    UpdateRecord,
+    simulate_mixed_workload,
+)
+
+__all__ = [
+    "AllOf",
+    "BufferPool",
+    "CpuModel",
+    "DiskArraySystem",
+    "Environment",
+    "MixedWorkloadResult",
+    "Process",
+    "QueryRecord",
+    "ReadWriteLock",
+    "Resource",
+    "SimulatedExecutor",
+    "SystemParameters",
+    "Timeout",
+    "UpdateRecord",
+    "WorkloadResult",
+    "simulate_mixed_workload",
+    "simulate_workload",
+]

@@ -1,0 +1,37 @@
+"""The paper's CPU cost model (§4.1).
+
+Computation time is dominated by scanning and sorting the MBR entries of
+each fetched batch.  Scanning N entries costs ``2·N`` instructions (two
+memory fetches per comparison operand); sorting the M entries that
+survive pruning costs ``3·M·log2(M)`` instructions (heapsort/mergesort
+comparisons at three instructions each).  Dividing by the MIPS rate
+yields seconds.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class CpuModel:
+    """Instruction-count cost model at a fixed MIPS rate."""
+
+    def __init__(self, mips: float):
+        if mips <= 0:
+            raise ValueError(f"mips must be positive, got {mips}")
+        self.mips = mips
+
+    def instructions(self, scanned: int, sorted_count: int) -> float:
+        """``2·N + 3·M·log2 M`` for N scanned and M sorted entries."""
+        if scanned < 0 or sorted_count < 0:
+            raise ValueError("entry counts must be non-negative")
+        sort_cost = (
+            3.0 * sorted_count * math.log2(sorted_count)
+            if sorted_count > 1
+            else 0.0
+        )
+        return 2.0 * scanned + sort_cost
+
+    def batch_time(self, scanned: int, sorted_count: int) -> float:
+        """Seconds of CPU work to process one fetched batch."""
+        return self.instructions(scanned, sorted_count) / (self.mips * 1e6)

@@ -1,0 +1,254 @@
+"""A small process-based discrete-event simulation kernel.
+
+The offline environment has no simpy, so this module provides the subset
+the disk-array model needs, with simpy-compatible semantics:
+
+* an :class:`Environment` holding the clock and the event calendar;
+* :class:`Process` — a Python generator that ``yield``\\ s events and is
+  resumed when they fire; a process is itself an event that succeeds with
+  the generator's return value;
+* :class:`Timeout` — fires after a simulated delay;
+* :class:`AllOf` — a barrier over several events (the per-batch barrier
+  of the fetch protocol);
+* :class:`Resource` — a counted FCFS resource (disk queues, the bus, the
+  CPU are all FCFS per the paper's model).
+
+Events scheduled at the same instant fire in scheduling order (a
+monotonic sequence number breaks ties), so simulations are fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class Event:
+    """Something that will happen at a simulated instant.
+
+    An event is *triggered* once given a value and scheduled, and
+    *processed* once its callbacks have run.  Processes waiting on the
+    event are resumed with its value.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.processed = False
+        self._value: Any = None
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (None until triggered)."""
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event *delay* time units from now."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self.triggered = True
+        self._value = value
+        self.env._schedule(self, delay)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        super().__init__(env)
+        self.triggered = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The generator yields :class:`Event` instances; each time one fires,
+    the generator resumes with the event's value.  When the generator
+    returns, the process (itself an event) succeeds with the returned
+    value, waking any process waiting on it.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        super().__init__(env)
+        self._generator = generator
+        # Bootstrap: resume once "immediately" at the current time.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    def _resume(self, event: Event) -> None:
+        try:
+            target = self._generator.send(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process yielded {target!r}; processes must yield events"
+            )
+        if target.processed:
+            # Already fired and handled: resume on a fresh tick.
+            relay = Event(self.env)
+            relay.callbacks.append(self._resume)
+            relay.succeed(target.value)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class AllOf(Event):
+    """A barrier: fires once every event in *events* has fired.
+
+    The value is the list of the sub-events' values, in input order.
+    Fires immediately if *events* is empty.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._pending = 0
+        for event in self._events:
+            if not event.processed:
+                self._pending += 1
+                event.callbacks.append(self._one_done)
+        if self._pending == 0:
+            self.succeed([e.value for e in self._events])
+
+    def _one_done(self, event: Event) -> None:
+        self._pending -= 1
+        if self._pending == 0 and not self.triggered:
+            self.succeed([e.value for e in self._events])
+
+
+class Environment:
+    """The simulation clock and event calendar."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._calendar: List = []  # heap of (time, seq, event)
+        self._seq = 0
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._calendar, (self.now + delay, self._seq, event))
+        self._seq += 1
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing *delay* time units from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """A fresh untriggered event (trigger it with ``succeed``)."""
+        return Event(self)
+
+    def process(self, generator: Generator) -> Process:
+        """Start *generator* as a simulation process."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Barrier over *events*."""
+        return AllOf(self, events)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the calendar empties or *until* is hit.
+
+        Returns the final simulation time.
+        """
+        while self._calendar:
+            time, _, event = self._calendar[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._calendar)
+            self.now = time
+            callbacks, event.callbacks = event.callbacks, []
+            event.processed = True
+            for callback in callbacks:
+                callback(event)
+        return self.now
+
+
+class Resource:
+    """A counted resource with FCFS granting (paper: every queue is FCFS).
+
+    Usage inside a process::
+
+        request = resource.request()
+        yield request
+        ...            # hold the resource
+        resource.release(request)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: List[Event] = []
+        self.grants = 0
+        # Time-weighted queue-length accounting: the integral of
+        # queue_length over time, updated event-driven at every change.
+        self._queue_area = 0.0
+        self._last_change = env.now
+        self.max_queue_length = 0
+
+    def _account(self) -> None:
+        """Fold the elapsed interval into the queue-length integral."""
+        now = self.env.now
+        self._queue_area += len(self._waiting) * (now - self._last_change)
+        self._last_change = now
+
+    def mean_queue_length(self, until: Optional[float] = None) -> float:
+        """Time-weighted mean queue length up to *until* (default: now)."""
+        horizon = self.env.now if until is None else until
+        if horizon <= 0:
+            return 0.0
+        area = self._queue_area + len(self._waiting) * (
+            horizon - self._last_change
+        )
+        return area / horizon
+
+    @property
+    def queue_length(self) -> int:
+        """Requests currently waiting (excluding holders)."""
+        return len(self._waiting)
+
+    @property
+    def in_use(self) -> int:
+        """Requests currently holding the resource."""
+        return self._in_use
+
+    def request(self) -> Event:
+        """An event that fires when the resource is granted."""
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self.grants += 1
+            event.succeed()
+        else:
+            self._account()
+            self._waiting.append(event)
+            if len(self._waiting) > self.max_queue_length:
+                self.max_queue_length = len(self._waiting)
+        return event
+
+    def release(self, request: Event) -> None:
+        """Return the resource; the oldest waiter (if any) gets it."""
+        if not request.triggered:
+            # The request never got the resource (still queued): cancel.
+            self._account()
+            self._waiting.remove(request)
+            return
+        if self._waiting:
+            self._account()
+            waiter = self._waiting.pop(0)
+            self.grants += 1
+            waiter.succeed()
+        else:
+            self._in_use -= 1

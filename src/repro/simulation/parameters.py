@@ -1,0 +1,51 @@
+"""Query-processing parameters (paper §4.1, Table 1).
+
+Two rows of the paper's Table 1 are legible — CPU speed (100 MIPS) and
+query startup time (0.001 s) — and are used verbatim.  The bus service
+time is a free constant of the paper's model ("the time it takes to
+transmit a page from the disk controller through the I/O bus"); the
+default corresponds to a 4 KB page on an ~8 MB/s SCSI-2 bus.  A
+sensitivity bench (`benchmarks/test_ablation_parameters.py`) varies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.disks.specs import HP_C2240A, DiskSpec
+
+
+@dataclass(frozen=True)
+class SystemParameters:
+    """All tunables of the simulated system, in seconds/bytes."""
+
+    #: CPU execution speed, million instructions per second (Table 1).
+    cpu_mips: float = 100.0
+    #: Fixed cost charged when a query enters the system (Table 1).
+    query_startup: float = 0.001
+    #: Constant bus service time per transmitted page.
+    bus_time: float = 0.0005
+    #: Disk page (= striping unit = tree node) size in bytes.
+    page_size: int = 4096
+    #: LRU buffer pool capacity in pages.  0 (the default) disables the
+    #: buffer — the paper's model charges every request a disk access.
+    buffer_pages: int = 0
+    #: The disk drive model.
+    disk: DiskSpec = field(default_factory=lambda: HP_C2240A)
+    #: Sample rotational latency uniformly (True, the paper's model) or
+    #: charge the expected half-revolution (False, deterministic runs).
+    sample_rotation: bool = True
+
+    def __post_init__(self):
+        if self.cpu_mips <= 0:
+            raise ValueError(f"cpu_mips must be positive, got {self.cpu_mips}")
+        if self.query_startup < 0:
+            raise ValueError("query_startup must be non-negative")
+        if self.bus_time < 0:
+            raise ValueError("bus_time must be non-negative")
+        if self.page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {self.page_size}")
+        if self.buffer_pages < 0:
+            raise ValueError(
+                f"buffer_pages must be non-negative, got {self.buffer_pages}"
+            )

@@ -1,0 +1,243 @@
+"""Driving search algorithms through the simulated disk array.
+
+A *query process* walks a search coroutine (the fetch protocol of
+:mod:`repro.core.protocol`) through the system model: each requested
+batch becomes parallel disk fetches (queue → service → bus), the batch
+completion is a barrier, and the CPU cost model is charged per processed
+batch.  Response time is measured from arrival (the query "enters the
+system immediately without waiting", §4.1) to delivery of the answers.
+
+:func:`simulate_workload` implements the paper's multi-user experiment:
+query arrivals follow a Poisson process with rate λ, 100 queries are
+executed, and the mean response time is reported.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Generator, List, Optional, Sequence
+
+from repro.core.protocol import SearchAlgorithm
+from repro.core.results import Neighbor
+from repro.geometry.point import Point
+from repro.simulation.engine import Environment
+from repro.simulation.parameters import SystemParameters
+from repro.simulation.system import DiskArraySystem
+
+#: Builds a fresh algorithm instance for a query point (the harness binds
+#: k, the disk count and — for WOPTSS — the oracle distance).
+AlgorithmFactory = Callable[[Point], SearchAlgorithm]
+
+
+@dataclass
+class QueryRecord:
+    """Outcome of one simulated query."""
+
+    query: Point
+    arrival: float
+    completion: float
+    pages_fetched: int
+    rounds: int
+    answers: List[Neighbor]
+
+    @property
+    def response_time(self) -> float:
+        """Seconds from arrival to answer delivery."""
+        return self.completion - self.arrival
+
+
+@dataclass
+class WorkloadResult:
+    """Aggregate outcome of a simulated workload."""
+
+    records: List[QueryRecord] = field(default_factory=list)
+    #: Simulated seconds until the last query completed.
+    makespan: float = 0.0
+    #: Per-disk busy fraction over the makespan.
+    disk_utilizations: List[float] = field(default_factory=list)
+    #: Per-disk time-weighted mean queue length over the makespan.
+    mean_queue_lengths: List[float] = field(default_factory=list)
+    #: Per-disk worst-case queue length observed.
+    max_queue_lengths: List[int] = field(default_factory=list)
+
+    @property
+    def mean_response(self) -> float:
+        """Mean query response time — the paper's headline metric."""
+        return statistics.fmean(r.response_time for r in self.records)
+
+    @property
+    def median_response(self) -> float:
+        """Median query response time."""
+        return statistics.median(r.response_time for r in self.records)
+
+    @property
+    def max_response(self) -> float:
+        """Worst query response time."""
+        return max(r.response_time for r in self.records)
+
+    @property
+    def mean_pages(self) -> float:
+        """Mean pages fetched per query (the effectiveness metric)."""
+        return statistics.fmean(r.pages_fetched for r in self.records)
+
+    @property
+    def throughput(self) -> float:
+        """Completed queries per simulated second over the makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return len(self.records) / self.makespan
+
+    def percentile(self, fraction: float) -> float:
+        """Response-time percentile, e.g. ``percentile(0.95)`` for p95.
+
+        Uses the nearest-rank method on the recorded queries.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if not self.records:
+            raise ValueError("no queries recorded")
+        ordered = sorted(r.response_time for r in self.records)
+        rank = max(1, math.ceil(fraction * len(ordered)))
+        return ordered[rank - 1]
+
+
+class SimulatedExecutor:
+    """Runs search coroutines as processes inside a simulation.
+
+    :param env: simulation environment.
+    :param system: the disk array model.
+    :param tree: a placed tree — must expose ``root_page_id``,
+        ``page(pid)``, ``disk_of(pid)`` and ``cylinder_of(pid)``.
+    """
+
+    def __init__(self, env: Environment, system: DiskArraySystem, tree):
+        self.env = env
+        self.system = system
+        self.tree = tree
+        self._pages_spanned = getattr(tree, "pages_spanned", lambda pid: 1)
+
+    def query_process(self, algorithm: SearchAlgorithm) -> Generator:
+        """Process body executing one query; returns its QueryRecord."""
+        arrival = self.env.now
+        yield self.env.timeout(self.system.params.query_startup)
+
+        coroutine = algorithm.run(self.tree.root_page_id)
+        pages_fetched = 0
+        rounds = 0
+        answers: List[Neighbor] = []
+        try:
+            request = next(coroutine)
+            while True:
+                buffer = getattr(self.system, "buffer", None)
+                fetches = []
+                for page_id in request.pages:
+                    # Buffer hits cost no I/O; the paper's model has no
+                    # buffer (SystemParameters.buffer_pages = 0).
+                    if buffer is not None and buffer.lookup(page_id):
+                        continue
+                    fetches.append(
+                        self.env.process(
+                            self.system.fetch_page(
+                                self.tree.disk_of(page_id),
+                                self.tree.cylinder_of(page_id),
+                                pages=self._pages_spanned(page_id),
+                            )
+                        )
+                    )
+                # Barrier: the algorithm resumes when the whole batch
+                # (its activation list for this step) has arrived.
+                yield self.env.all_of(fetches)
+                if buffer is not None:
+                    for page_id in request.pages:
+                        buffer.admit(page_id)
+                fetched = {pid: self.tree.page(pid) for pid in request.pages}
+                pages_fetched += len(request.pages)
+                rounds += 1
+
+                # CPU: scan every fetched entry, sort the survivors.  The
+                # survivor count is bounded by the scanned count; charging
+                # the bound keeps the model conservative (CPU time is
+                # orders of magnitude below one disk access either way).
+                scanned = sum(len(node.entries) for node in fetched.values())
+                yield self.env.process(self.system.cpu_work(scanned, scanned))
+
+                request = coroutine.send(fetched)
+        except StopIteration as stop:
+            answers = stop.value if stop.value is not None else []
+
+        return QueryRecord(
+            query=algorithm.query,
+            arrival=arrival,
+            completion=self.env.now,
+            pages_fetched=pages_fetched,
+            rounds=rounds,
+            answers=answers,
+        )
+
+
+def simulate_workload(
+    tree,
+    factory: AlgorithmFactory,
+    queries: Sequence[Point],
+    arrival_rate: Optional[float] = None,
+    params: Optional[SystemParameters] = None,
+    seed: int = 0,
+) -> WorkloadResult:
+    """Simulate a stream of k-NN queries against a placed tree.
+
+    :param tree: a :class:`~repro.parallel.tree.ParallelRStarTree` (or
+        anything exposing the same placement interface).
+    :param factory: builds the algorithm instance for each query point.
+    :param queries: the query points, issued in order.
+    :param arrival_rate: Poisson arrival rate λ (queries/second); if
+        ``None``, queries run back-to-back (single-user mode — the next
+        query arrives when the previous one completes).
+    :param params: system parameters (default: the paper's).
+    :param seed: seeds interarrival sampling and rotational latencies.
+    :returns: per-query records plus aggregate statistics.
+    """
+    if not queries:
+        raise ValueError("a workload needs at least one query")
+    if arrival_rate is not None and arrival_rate <= 0:
+        raise ValueError(f"arrival_rate must be positive, got {arrival_rate}")
+
+    env = Environment()
+    system = DiskArraySystem(env, tree.num_disks, params=params, seed=seed)
+    executor = SimulatedExecutor(env, system, tree)
+    result = WorkloadResult()
+    arrival_rng = random.Random(seed ^ 0xA5A5A5)
+
+    def run_one(query: Point) -> Generator:
+        record = yield env.process(executor.query_process(factory(query)))
+        result.records.append(record)
+
+    def open_arrivals() -> Generator:
+        """Poisson arrivals: exponential interarrival times at rate λ."""
+        for query in queries:
+            yield env.timeout(arrival_rng.expovariate(arrival_rate))
+            env.process(run_one(query))
+
+    def closed_serial() -> Generator:
+        """Single-user mode: one query in the system at a time."""
+        for query in queries:
+            record = yield env.process(executor.query_process(factory(query)))
+            result.records.append(record)
+
+    if arrival_rate is None:
+        env.process(closed_serial())
+    else:
+        env.process(open_arrivals())
+    env.run()
+
+    result.makespan = env.now
+    result.disk_utilizations = system.disk_utilizations(env.now)
+    result.mean_queue_lengths = [
+        queue.mean_queue_length(env.now) for queue in system.disk_queues
+    ]
+    result.max_queue_lengths = [
+        queue.max_queue_length for queue in system.disk_queues
+    ]
+    return result

@@ -1,0 +1,117 @@
+"""The simulated disk array system (paper Figure 7).
+
+The network-queue model: every disk has its own FCFS queue and
+independent head; pages read from a disk travel over a shared I/O bus
+modeled as a queue with constant service time; the CPU is a single
+server charging the instruction-count cost model.  The system exposes
+one operation — fetch a page — which flows queue → disk service → bus,
+plus a CPU work primitive used per processed batch.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, List, Optional
+
+from repro.disks.model import DiskModel
+from repro.simulation.buffer import BufferPool
+from repro.simulation.cpu import CpuModel
+from repro.simulation.engine import Environment, Resource
+from repro.simulation.parameters import SystemParameters
+
+
+class DiskArraySystem:
+    """Disks + bus + CPU wired into a simulation environment.
+
+    :param env: the simulation environment.
+    :param num_disks: disks in the RAID-0 array.
+    :param params: timing parameters (defaults to the paper's Table 1/2).
+    :param seed: seeds the rotational-latency RNG per disk; ignored when
+        ``params.sample_rotation`` is False.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        num_disks: int,
+        params: Optional[SystemParameters] = None,
+        seed: int = 0,
+    ):
+        if num_disks < 1:
+            raise ValueError(f"num_disks must be positive, got {num_disks}")
+        self.env = env
+        self.params = params if params is not None else SystemParameters()
+        self.num_disks = num_disks
+        self.cpu_model = CpuModel(self.params.cpu_mips)
+
+        self.disk_queues: List[Resource] = []
+        self.disk_models: List[DiskModel] = []
+        for disk_id in range(num_disks):
+            rng = (
+                random.Random((seed << 8) ^ disk_id)
+                if self.params.sample_rotation
+                else None
+            )
+            self.disk_queues.append(Resource(env))
+            self.disk_models.append(DiskModel(self.params.disk, rng))
+        self.bus = Resource(env)
+        self.cpu = Resource(env)
+        #: Optional LRU page buffer (None when buffer_pages == 0 — the
+        #: paper's model).  The executor consults it per page.
+        self.buffer: Optional[BufferPool] = (
+            BufferPool(self.params.buffer_pages)
+            if self.params.buffer_pages > 0
+            else None
+        )
+
+        #: Monitoring: pages fetched through the system.
+        self.pages_fetched = 0
+
+    def fetch_page(self, disk_id: int, cylinder: int, pages: int = 1) -> Generator:
+        """Process: read one node — disk queue, disk service, then bus.
+
+        :param pages: physical pages the node spans (1 for ordinary
+            nodes; X-tree supernodes span several, read sequentially in
+            one service: a single seek plus *pages* transfers).
+        """
+        if not 0 <= disk_id < self.num_disks:
+            raise ValueError(f"disk {disk_id} outside [0, {self.num_disks})")
+        if pages < 1:
+            raise ValueError(f"pages must be positive, got {pages}")
+        queue = self.disk_queues[disk_id]
+        grant = queue.request()
+        yield grant
+        try:
+            # Head position is only touched while holding the disk, so
+            # the seek distance reflects the true service order.
+            duration = self.disk_models[disk_id].service(
+                cylinder, self.params.page_size * pages
+            )
+            yield self.env.timeout(duration)
+        finally:
+            queue.release(grant)
+
+        grant = self.bus.request()
+        yield grant
+        try:
+            yield self.env.timeout(self.params.bus_time)
+        finally:
+            self.bus.release(grant)
+        self.pages_fetched += 1
+
+    def cpu_work(self, scanned: int, sorted_count: int) -> Generator:
+        """Process: charge CPU time for processing one fetched batch."""
+        grant = self.cpu.request()
+        yield grant
+        try:
+            yield self.env.timeout(
+                self.cpu_model.batch_time(scanned, sorted_count)
+            )
+        finally:
+            self.cpu.release(grant)
+
+    def disk_utilizations(self, elapsed: float) -> List[float]:
+        """Fraction of *elapsed* each disk spent servicing requests."""
+        if elapsed <= 0:
+            return [0.0] * self.num_disks
+        return [model.busy_time / elapsed for model in self.disk_models]

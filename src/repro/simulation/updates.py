@@ -1,0 +1,352 @@
+"""Mixed read/write workloads: queries intermixed with insertions.
+
+The paper's setting is explicitly dynamic (§1: "insertions, deletions
+and updates can be intermixed with read-only operations"), and its
+trees are built incrementally for exactly that reason — but its
+experiments measure read-only workloads.  This module closes the loop:
+it simulates Poisson streams of k-NN queries *and* insertions against
+the same declustered tree, with index-level latching
+(:class:`~repro.simulation.locks.ReadWriteLock`) serializing structural
+changes against searches.
+
+An insertion's I/O cost is charged from the real tree operation: the
+root-to-leaf path is read sequentially (each level's page must arrive
+before the child pointer is known), the modified path pages are written
+back, and every page a split creates is written too.  The in-memory
+mutation itself is atomic under the write latch, so concurrent queries
+never observe a half-built tree.
+
+One deliberate simplification: when an insertion triggers the R*-tree's
+forced reinsertion, the entries it relocates may dirty pages off the
+original descent path; those writes are charged only insofar as they
+create pages.  Reinsertion fires for a small minority of insertions, so
+update costs here are a slight *under*-estimate — conservative in the
+right direction for the query-latency measurements, which contend with
+update traffic.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Sequence, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.simulation.engine import Environment
+from repro.simulation.locks import ReadWriteLock
+from repro.simulation.parameters import SystemParameters
+from repro.simulation.simulator import (
+    AlgorithmFactory,
+    SimulatedExecutor,
+    WorkloadResult,
+)
+from repro.simulation.system import DiskArraySystem
+
+
+@dataclass
+class UpdateRecord:
+    """Outcome of one simulated structural update (insert or delete)."""
+
+    point: Point
+    arrival: float
+    completion: float
+    pages_read: int
+    pages_written: int
+    pages_created: int
+    #: "insert" or "delete".
+    kind: str = "insert"
+    #: For deletes: whether the object was found and removed.
+    applied: bool = True
+
+    @property
+    def response_time(self) -> float:
+        """Seconds from arrival to durable completion."""
+        return self.completion - self.arrival
+
+
+@dataclass
+class MixedWorkloadResult:
+    """Aggregate outcome of a mixed query/update workload."""
+
+    queries: WorkloadResult = field(default_factory=WorkloadResult)
+    updates: List[UpdateRecord] = field(default_factory=list)
+    #: Lock statistics: grants observed.
+    reads_granted: int = 0
+    writes_granted: int = 0
+
+    @property
+    def mean_update_response(self) -> float:
+        """Mean insertion response time."""
+        return statistics.fmean(u.response_time for u in self.updates)
+
+
+def _insertion_process(
+    env: Environment,
+    system: DiskArraySystem,
+    tree,
+    lock: ReadWriteLock,
+    point: Point,
+    oid: int,
+    result: MixedWorkloadResult,
+) -> Generator:
+    """Process body performing one insertion under the write latch."""
+    arrival = env.now
+    grant = lock.acquire_write()
+    yield grant
+    try:
+        # Path determination: read root..leaf sequentially — each page
+        # must arrive before the next child pointer is known.
+        rect = Rect.from_point(point)
+        leaf = tree.tree._choose_subtree(rect, 0)
+        path = []
+        node = leaf
+        while node is not None:
+            path.append(node.page_id)
+            node = node.parent
+        for page_id in reversed(path):  # root first
+            yield env.process(
+                system.fetch_page(
+                    tree.disk_of(page_id), tree.cylinder_of(page_id)
+                )
+            )
+
+        # The in-memory mutation is instantaneous under the latch.
+        created_before = tree.tree._next_page_id
+        tree.insert(point, oid)
+        created = tree.tree._next_page_id - created_before
+
+        # Write back the (possibly split) path pages plus every page the
+        # insertion created; writes to distinct disks proceed in
+        # parallel.
+        dirty = [pid for pid in path if pid in tree.tree.pages]
+        dirty += [
+            pid
+            for pid in range(created_before, tree.tree._next_page_id)
+            if pid in tree.tree.pages
+        ]
+        buffer = getattr(system, "buffer", None)
+        if buffer is not None:
+            for page_id in dirty:
+                buffer.invalidate(page_id)
+        writes = [
+            env.process(
+                system.fetch_page(
+                    tree.disk_of(page_id), tree.cylinder_of(page_id)
+                )
+            )
+            for page_id in dirty
+        ]
+        yield env.all_of(writes)
+    finally:
+        lock.release_write()
+
+    result.updates.append(
+        UpdateRecord(
+            point=point,
+            arrival=arrival,
+            completion=env.now,
+            pages_read=len(path),
+            pages_written=len(dirty),
+            pages_created=created,
+            kind="insert",
+        )
+    )
+
+
+def _deletion_process(
+    env: Environment,
+    system: DiskArraySystem,
+    tree,
+    lock: ReadWriteLock,
+    point: Point,
+    oid: int,
+    result: MixedWorkloadResult,
+) -> Generator:
+    """Process body deleting ``(point, oid)`` under the write latch.
+
+    The search for the victim leaf is charged as sequential page reads
+    along the (single, containment-guided) descent; condensing may free
+    pages and reinsert orphans, all of whose surviving touched pages
+    are written back.
+    """
+    arrival = env.now
+    grant = lock.acquire_write()
+    yield grant
+    try:
+        found = tree.tree._find_leaf(tree.tree.root, tuple(point), oid)
+        if found is None:
+            # Charge the failed descent: one path's worth of reads.
+            reads = tree.tree.height
+            for _ in range(reads):
+                yield env.process(
+                    system.fetch_page(
+                        tree.disk_of(tree.root_page_id),
+                        tree.cylinder_of(tree.root_page_id),
+                    )
+                )
+            record = UpdateRecord(
+                point=tuple(point),
+                arrival=arrival,
+                completion=env.now,
+                pages_read=reads,
+                pages_written=0,
+                pages_created=0,
+                kind="delete",
+                applied=False,
+            )
+            result.updates.append(record)
+            return
+
+        leaf, _ = found
+        path = []
+        node = leaf
+        while node is not None:
+            path.append(node.page_id)
+            node = node.parent
+        for page_id in reversed(path):
+            yield env.process(
+                system.fetch_page(
+                    tree.disk_of(page_id), tree.cylinder_of(page_id)
+                )
+            )
+
+        created_before = tree.tree._next_page_id
+        assert tree.delete(point, oid)
+        created = tree.tree._next_page_id - created_before
+
+        # Write back whatever survived of the path plus reinsertion
+        # fallout; freed pages cost nothing (their blocks are simply
+        # released).
+        dirty = [pid for pid in path if pid in tree.tree.pages]
+        dirty += [
+            pid
+            for pid in range(created_before, tree.tree._next_page_id)
+            if pid in tree.tree.pages
+        ]
+        buffer = getattr(system, "buffer", None)
+        if buffer is not None:
+            for page_id in path:
+                buffer.invalidate(page_id)
+        writes = [
+            env.process(
+                system.fetch_page(
+                    tree.disk_of(page_id), tree.cylinder_of(page_id)
+                )
+            )
+            for page_id in dirty
+        ]
+        yield env.all_of(writes)
+    finally:
+        lock.release_write()
+
+    result.updates.append(
+        UpdateRecord(
+            point=tuple(point),
+            arrival=arrival,
+            completion=env.now,
+            pages_read=len(path),
+            pages_written=len(dirty),
+            pages_created=created,
+            kind="delete",
+        )
+    )
+
+
+def simulate_mixed_workload(
+    tree,
+    factory: AlgorithmFactory,
+    queries: Sequence[Point],
+    inserts: Sequence[Point],
+    query_rate: float,
+    insert_rate: float,
+    params: Optional[SystemParameters] = None,
+    seed: int = 0,
+    first_insert_oid: Optional[int] = None,
+    deletes: Sequence[Tuple[Point, int]] = (),
+    delete_rate: float = 0.0,
+) -> MixedWorkloadResult:
+    """Simulate concurrent Poisson streams of queries and updates.
+
+    :param tree: a parallel tree — **mutated** by the updates; build a
+        fresh one per run.
+    :param factory: algorithm factory for the queries.
+    :param queries: query points.
+    :param inserts: points to insert.
+    :param query_rate: Poisson λ for query arrivals (queries/second).
+    :param insert_rate: Poisson λ for insertion arrivals.
+    :param params: system parameters.
+    :param seed: seeds both arrival streams and the disk model.
+    :param first_insert_oid: oid assigned to the first inserted point
+        (default: ``len(tree)``).
+    :param deletes: ``(point, oid)`` pairs to delete (the paper's §1
+        names deletions alongside insertions).
+    :param delete_rate: Poisson λ for deletion arrivals.
+    """
+    if not queries and not inserts and not deletes:
+        raise ValueError("a mixed workload needs queries or updates")
+    if queries and query_rate <= 0:
+        raise ValueError(f"query_rate must be positive, got {query_rate}")
+    if inserts and insert_rate <= 0:
+        raise ValueError(f"insert_rate must be positive, got {insert_rate}")
+    if deletes and delete_rate <= 0:
+        raise ValueError(f"delete_rate must be positive, got {delete_rate}")
+
+    env = Environment()
+    system = DiskArraySystem(env, tree.num_disks, params=params, seed=seed)
+    executor = SimulatedExecutor(env, system, tree)
+    lock = ReadWriteLock(env)
+    result = MixedWorkloadResult()
+    next_oid = first_insert_oid if first_insert_oid is not None else len(tree)
+
+    def guarded_query(query: Point) -> Generator:
+        grant = lock.acquire_read()
+        yield grant
+        try:
+            record = yield env.process(executor.query_process(factory(query)))
+        finally:
+            lock.release_read()
+        result.queries.records.append(record)
+
+    def query_arrivals() -> Generator:
+        rng = random.Random(seed ^ 0x0DDBA11)
+        for query in queries:
+            yield env.timeout(rng.expovariate(query_rate))
+            env.process(guarded_query(query))
+
+    def insert_arrivals() -> Generator:
+        nonlocal next_oid
+        rng = random.Random(seed ^ 0x145E27)
+        for point in inserts:
+            yield env.timeout(rng.expovariate(insert_rate))
+            env.process(
+                _insertion_process(
+                    env, system, tree, lock, tuple(point), next_oid, result
+                )
+            )
+            next_oid += 1
+
+    def delete_arrivals() -> Generator:
+        rng = random.Random(seed ^ 0xDE1E7E)
+        for point, oid in deletes:
+            yield env.timeout(rng.expovariate(delete_rate))
+            env.process(
+                _deletion_process(
+                    env, system, tree, lock, tuple(point), oid, result
+                )
+            )
+
+    if queries:
+        env.process(query_arrivals())
+    if inserts:
+        env.process(insert_arrivals())
+    if deletes:
+        env.process(delete_arrivals())
+    env.run()
+
+    result.queries.makespan = env.now
+    result.queries.disk_utilizations = system.disk_utilizations(env.now)
+    result.reads_granted = lock.reads_granted
+    result.writes_granted = lock.writes_granted
+    return result

@@ -1,0 +1,166 @@
+"""Tests for the Dmin / Dmm / Dmax metrics (paper Definitions 3–5)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.distances import (
+    maximum_distance,
+    maximum_distance_sq,
+    minimum_distance,
+    minimum_distance_sq,
+    minmax_distance,
+    minmax_distance_sq,
+)
+from repro.geometry.point import euclidean
+from repro.geometry.rect import Rect
+
+coord = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+def point_strategy(dims):
+    return st.tuples(*([coord] * dims))
+
+
+def rect_strategy(dims):
+    return st.tuples(*([st.tuples(coord, coord)] * dims)).map(
+        lambda pairs: Rect(
+            [min(a, b) for a, b in pairs], [max(a, b) for a, b in pairs]
+        )
+    )
+
+
+UNIT = Rect((0.0, 0.0), (1.0, 1.0))
+
+
+class TestMinimumDistance:
+    def test_point_inside_is_zero(self):
+        assert minimum_distance((0.5, 0.5), UNIT) == 0.0
+
+    def test_point_on_boundary_is_zero(self):
+        assert minimum_distance((0.0, 0.5), UNIT) == 0.0
+
+    def test_point_beside(self):
+        assert minimum_distance((2.0, 0.5), UNIT) == 1.0
+
+    def test_point_diagonal(self):
+        assert minimum_distance((2.0, 2.0), UNIT) == pytest.approx(math.sqrt(2))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            minimum_distance((0.5,), UNIT)
+
+
+class TestMaximumDistance:
+    def test_center_to_corner(self):
+        assert maximum_distance((0.5, 0.5), UNIT) == pytest.approx(
+            math.sqrt(0.5)
+        )
+
+    def test_outside_point(self):
+        # Farthest vertex from (2, 2) is (0, 0).
+        assert maximum_distance((2.0, 2.0), UNIT) == pytest.approx(
+            math.sqrt(8)
+        )
+
+    def test_degenerate_rect(self):
+        r = Rect.from_point((1.0, 1.0))
+        assert maximum_distance((0.0, 0.0), r) == pytest.approx(math.sqrt(2))
+
+
+class TestMinmaxDistance:
+    def test_known_value(self):
+        # From (0.5, 2.0) against the unit square: the nearest face along
+        # y is the top edge (y=1); the guarantee there is
+        # sqrt((0.5-0.5)^2 + (2-1)^2) = 1.0 with the far x-corner at
+        # x=0 or 1: sqrt(0.25 + 1). Along x, nearest edge x=0 (tie -> low),
+        # far y-edge y=0: sqrt(0.25 + 4). Minimum combination:
+        # min(sqrt(0.5^2 + 1^2), ...) -- check against brute force below.
+        value = minmax_distance((0.5, 2.0), UNIT)
+        assert value == pytest.approx(math.sqrt(0.25 + 1.0))
+
+    def test_degenerate_rect_equals_point_distance(self):
+        r = Rect.from_point((3.0, 4.0))
+        assert minmax_distance((0.0, 0.0), r) == pytest.approx(5.0)
+
+    def test_brute_force_small_grid(self):
+        """Dmm per its definition: min over axes of the worst distance to
+        the nearest face along that axis."""
+        rect = Rect((1.0, 2.0), (4.0, 7.0))
+        for q in [(0.0, 0.0), (2.0, 3.0), (10.0, 5.0), (2.5, 4.5)]:
+            per_axis = []
+            for k in range(2):
+                mid_k = (rect.low[k] + rect.high[k]) / 2.0
+                rm_k = rect.low[k] if q[k] <= mid_k else rect.high[k]
+                total = (q[k] - rm_k) ** 2
+                for j in range(2):
+                    if j == k:
+                        continue
+                    mid_j = (rect.low[j] + rect.high[j]) / 2.0
+                    rM_j = rect.low[j] if q[j] >= mid_j else rect.high[j]
+                    total += (q[j] - rM_j) ** 2
+                per_axis.append(math.sqrt(total))
+            assert minmax_distance(q, rect) == pytest.approx(min(per_axis))
+
+
+class TestOrderingProperties:
+    @given(point_strategy(2), rect_strategy(2))
+    def test_dmin_le_dmm_le_dmax_2d(self, point, rect):
+        dmin = minimum_distance_sq(point, rect)
+        dmm = minmax_distance_sq(point, rect)
+        dmax = maximum_distance_sq(point, rect)
+        assert dmin <= dmm + 1e-9
+        assert dmm <= dmax + 1e-9
+
+    @given(point_strategy(4), rect_strategy(4))
+    def test_dmin_le_dmm_le_dmax_4d(self, point, rect):
+        dmin = minimum_distance_sq(point, rect)
+        dmm = minmax_distance_sq(point, rect)
+        dmax = maximum_distance_sq(point, rect)
+        assert dmin <= dmm + 1e-9
+        assert dmm <= dmax + 1e-9
+
+    @given(point_strategy(3), rect_strategy(3))
+    def test_squared_consistency(self, point, rect):
+        assert minimum_distance(point, rect) == pytest.approx(
+            math.sqrt(minimum_distance_sq(point, rect))
+        )
+        assert maximum_distance(point, rect) == pytest.approx(
+            math.sqrt(maximum_distance_sq(point, rect))
+        )
+        assert minmax_distance(point, rect) == pytest.approx(
+            math.sqrt(minmax_distance_sq(point, rect))
+        )
+
+    @given(point_strategy(2), rect_strategy(2), point_strategy(2))
+    def test_dmin_is_lower_bound_for_contained_points(self, q, rect, other):
+        """Any point inside the rect is at least Dmin away from q."""
+        clamped = tuple(
+            min(max(c, lo), hi)
+            for c, lo, hi in zip(other, rect.low, rect.high)
+        )
+        assert euclidean(q, clamped) >= minimum_distance(q, rect) - 1e-9
+
+    @given(point_strategy(2), rect_strategy(2), point_strategy(2))
+    def test_dmax_is_upper_bound_for_contained_points(self, q, rect, other):
+        """No point inside the rect is farther than Dmax from q."""
+        clamped = tuple(
+            min(max(c, lo), hi)
+            for c, lo, hi in zip(other, rect.low, rect.high)
+        )
+        assert euclidean(q, clamped) <= maximum_distance(q, rect) + 1e-9
+
+    @given(point_strategy(2), rect_strategy(2))
+    def test_dmin_zero_for_inside_points(self, q, rect):
+        # One-directional: squaring a sub-normal offset can underflow to
+        # exactly 0.0, so "Dmin == 0" does not strictly imply containment
+        # in floating point — but containment always implies Dmin == 0,
+        # and a positive Dmin always implies the point is outside.
+        if rect.contains_point(q):
+            assert minimum_distance_sq(q, rect) == 0.0
+        if minimum_distance_sq(q, rect) > 0.0:
+            assert not rect.contains_point(q)

@@ -1,0 +1,125 @@
+"""Property tests: every algorithm returns the exact k nearest neighbors.
+
+This is the central correctness guarantee of the library (paper
+Theorem 1 for CRSS, plus the corresponding claims for BBSS, FPSS and
+WOPTSS): on arbitrary data, in any dimension, for any k, all four
+algorithms agree exactly with a brute-force oracle — including tie
+handling and the k > population edge case.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import BBSS, CRSS, CountingExecutor, FPSS, WOPTSS
+from repro.geometry.point import squared_euclidean
+from repro.parallel import build_parallel_tree
+
+coord = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, width=32
+)
+
+
+def points_strategy(dims, max_size=60):
+    return st.lists(
+        st.tuples(*([coord] * dims)), min_size=1, max_size=max_size
+    )
+
+
+def oracle(points, query, k):
+    ranked = sorted(
+        (squared_euclidean(query, p), oid) for oid, p in enumerate(points)
+    )
+    return [oid for _, oid in ranked[:k]]
+
+
+def run_all(points, query, k, dims, num_disks=4, max_entries=4):
+    tree = build_parallel_tree(
+        points, dims=dims, num_disks=num_disks, max_entries=max_entries
+    )
+    executor = CountingExecutor(tree)
+    dk = tree.kth_nearest_distance(query, k)
+    answers = {}
+    for algorithm in (
+        BBSS(query, k),
+        FPSS(query, k),
+        CRSS(query, k, num_disks=num_disks),
+        WOPTSS(query, k, oracle_dk=dk),
+    ):
+        result = executor.execute(algorithm)
+        answers[algorithm.name] = [n.oid for n in result]
+    return answers
+
+
+@settings(max_examples=40, deadline=None)
+@given(points_strategy(2), st.tuples(coord, coord), st.integers(1, 15))
+def test_all_algorithms_exact_2d(points, query, k):
+    expected = oracle(points, query, k)
+    for name, got in run_all(points, query, k, dims=2).items():
+        assert got == expected, name
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    points_strategy(4, max_size=40),
+    st.tuples(coord, coord, coord, coord),
+    st.integers(1, 8),
+)
+def test_all_algorithms_exact_4d(points, query, k):
+    expected = oracle(points, query, k)
+    for name, got in run_all(points, query, k, dims=4).items():
+        assert got == expected, name
+
+
+@settings(max_examples=20, deadline=None)
+@given(points_strategy(1, max_size=30), st.tuples(coord), st.integers(1, 6))
+def test_all_algorithms_exact_1d(points, query, k):
+    expected = oracle(points, query, k)
+    for name, got in run_all(points, query, k, dims=1).items():
+        assert got == expected, name
+
+
+@settings(max_examples=15, deadline=None)
+@given(points_strategy(2, max_size=25), st.tuples(coord, coord))
+def test_k_exceeding_population_returns_all(points, query):
+    k = len(points) + 10
+    expected = oracle(points, query, k)
+    for name, got in run_all(points, query, k, dims=2).items():
+        assert got == expected, name
+        assert len(got) == len(points), name
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(st.tuples(coord, coord), min_size=3, max_size=20),
+    st.integers(1, 6),
+    st.integers(1, 8),
+)
+def test_exact_with_duplicate_points(base_points, copies, k):
+    """Heavy ties: every point duplicated several times."""
+    points = [p for p in base_points for _ in range(copies)]
+    query = base_points[0]
+    expected = oracle(points, query, k)
+    for name, got in run_all(points, query, k, dims=2).items():
+        assert got == expected, name
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    points_strategy(2, max_size=50),
+    st.tuples(coord, coord),
+    st.integers(1, 10),
+    st.integers(1, 12),
+)
+def test_crss_exact_for_any_disk_count(points, query, k, num_disks):
+    """CRSS's activation bound u = NumOfDisks never affects the answer."""
+    tree = build_parallel_tree(
+        points, dims=2, num_disks=num_disks, max_entries=4
+    )
+    executor = CountingExecutor(tree)
+    got = [
+        n.oid
+        for n in executor.execute(CRSS(query, k, num_disks=num_disks))
+    ]
+    assert got == oracle(points, query, k)

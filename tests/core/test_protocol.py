@@ -1,0 +1,78 @@
+"""Tests for the fetch protocol primitives."""
+
+import pytest
+
+from repro.core.protocol import (
+    FetchRequest,
+    SearchAlgorithm,
+    child_refs,
+    leaf_points,
+)
+from repro.rtree.node import LeafEntry, Node
+
+
+class TestFetchRequest:
+    def test_deduplicates_preserving_order(self):
+        request = FetchRequest([3, 1, 3, 2, 1])
+        assert request.pages == (3, 1, 2)
+        assert len(request) == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one page"):
+            FetchRequest([])
+
+    def test_repr(self):
+        assert "pages=(1,)" in repr(FetchRequest([1]))
+
+
+class TestNodeViews:
+    def _leaf(self):
+        leaf = Node(1, 0)
+        leaf.add(LeafEntry((0.0, 0.0), 10))
+        leaf.add(LeafEntry((1.0, 1.0), 11))
+        leaf.refresh()
+        return leaf
+
+    def test_leaf_points(self):
+        assert leaf_points(self._leaf()) == [
+            ((0.0, 0.0), 10),
+            ((1.0, 1.0), 11),
+        ]
+
+    def test_leaf_points_rejects_internal(self):
+        with pytest.raises(ValueError, match="not a leaf"):
+            leaf_points(Node(0, 1))
+
+    def test_child_refs(self):
+        leaf = self._leaf()
+        parent = Node(0, 1)
+        parent.add(leaf)
+        parent.refresh()
+        refs = child_refs(parent)
+        assert len(refs) == 1
+        assert refs[0].page_id == 1
+        assert refs[0].count == 2
+        assert refs[0].rect == leaf.mbr
+
+    def test_child_refs_rejects_leaf(self):
+        with pytest.raises(ValueError, match="leaf"):
+            child_refs(self._leaf())
+
+
+class TestSearchAlgorithmBase:
+    def test_validates_query(self):
+        with pytest.raises(ValueError):
+            SearchAlgorithm((float("nan"),), 1)
+
+    def test_validates_k(self):
+        with pytest.raises(ValueError, match="k must be positive"):
+            SearchAlgorithm((0.0,), 0)
+
+    def test_validates_num_disks(self):
+        with pytest.raises(ValueError, match="num_disks"):
+            SearchAlgorithm((0.0,), 1, num_disks=0)
+
+    def test_run_is_abstract(self):
+        algorithm = SearchAlgorithm((0.0,), 1)
+        with pytest.raises(NotImplementedError):
+            algorithm.run(0)

@@ -1,0 +1,97 @@
+"""Tests for the region-generic distance dispatchers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.distances import (
+    maximum_distance_sq,
+    minimum_distance_sq,
+    minmax_distance_sq,
+)
+from repro.core.regions import (
+    region_maximum_distance_sq,
+    region_minimum_distance_sq,
+    region_minmax_distance_sq,
+)
+from repro.geometry.point import euclidean
+from repro.geometry.rect import Rect
+from repro.geometry.sphere import Sphere
+
+coord = st.floats(min_value=-20.0, max_value=20.0, allow_nan=False, width=32)
+radius = st.floats(min_value=0.0, max_value=10.0, allow_nan=False, width=32)
+
+
+class TestRectDispatch:
+    """For rectangles, the dispatchers defer to the exact metrics."""
+
+    @given(st.tuples(coord, coord), st.tuples(coord, coord),
+           st.tuples(coord, coord))
+    def test_matches_rect_metrics(self, q, a, b):
+        rect = Rect(
+            (min(a[0], b[0]), min(a[1], b[1])),
+            (max(a[0], b[0]), max(a[1], b[1])),
+        )
+        assert region_minimum_distance_sq(q, rect) == minimum_distance_sq(
+            q, rect
+        )
+        assert region_minmax_distance_sq(q, rect) == minmax_distance_sq(
+            q, rect
+        )
+        assert region_maximum_distance_sq(q, rect) == maximum_distance_sq(
+            q, rect
+        )
+
+
+class TestSphereDispatch:
+    def test_point_inside_sphere(self):
+        s = Sphere((0.0, 0.0), 2.0)
+        assert region_minimum_distance_sq((1.0, 0.0), s) == 0.0
+
+    def test_point_outside_sphere(self):
+        s = Sphere((0.0, 0.0), 1.0)
+        assert region_minimum_distance_sq((3.0, 0.0), s) == pytest.approx(4.0)
+        assert region_maximum_distance_sq((3.0, 0.0), s) == pytest.approx(16.0)
+
+    def test_minmax_equals_max_for_spheres(self):
+        s = Sphere((1.0, 1.0), 0.5)
+        q = (0.0, 0.0)
+        assert region_minmax_distance_sq(q, s) == region_maximum_distance_sq(
+            q, s
+        )
+
+    @given(st.tuples(coord, coord), st.tuples(coord, coord), radius)
+    def test_ordering_property(self, q, center, r):
+        s = Sphere(center, r)
+        dmin = region_minimum_distance_sq(q, s)
+        dmm = region_minmax_distance_sq(q, s)
+        dmax = region_maximum_distance_sq(q, s)
+        assert dmin <= dmm + 1e-9
+        assert dmm <= dmax + 1e-9
+
+    @given(st.tuples(coord, coord), st.tuples(coord, coord), radius,
+           st.floats(0, 6.25, allow_nan=False, width=32),
+           st.floats(0, 1, allow_nan=False, width=32))
+    def test_bounds_hold_for_contained_points(self, q, center, r, angle, t):
+        """Any point inside the sphere respects both bounds."""
+        s = Sphere(center, r)
+        inside = (
+            center[0] + t * r * math.cos(angle),
+            center[1] + t * r * math.sin(angle),
+        )
+        d = euclidean(q, inside)
+        assert d * d >= region_minimum_distance_sq(q, s) - 1e-6
+        assert d * d <= region_maximum_distance_sq(q, s) + 1e-6
+
+    @given(st.tuples(coord, coord), st.tuples(coord, coord), radius)
+    def test_sphere_tighter_or_equal_to_bounding_rect_dmin(self, q, center, r):
+        """The sphere's Dmin is at least its bounding box's (the box is
+        a looser region, so its optimistic bound is smaller)."""
+        s = Sphere(center, r)
+        box = s.bounding_rect()
+        assert (
+            region_minimum_distance_sq(q, s)
+            >= region_minimum_distance_sq(q, box) - 1e-6
+        )

@@ -1,0 +1,120 @@
+"""Tests for the Lemma 1 threshold distance."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.distances import maximum_distance_sq
+from repro.core.protocol import ChildRef
+from repro.core.threshold import threshold_distance_sq
+from repro.geometry.point import euclidean
+from repro.geometry.rect import Rect
+
+
+def ref(low, high, count, page_id=0):
+    return ChildRef(Rect(low, high), count, page_id)
+
+
+class TestThresholdBasics:
+    def test_empty_entries(self):
+        result = threshold_distance_sq((0.0, 0.0), [], k=3)
+        assert result.dth_sq == math.inf
+        assert result.prefix_length == 0
+        assert not result.guaranteed
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            threshold_distance_sq((0.0,), [], k=0)
+
+    def test_single_entry_covers_k(self):
+        entries = [ref((1.0, 0.0), (2.0, 1.0), count=10)]
+        result = threshold_distance_sq((0.0, 0.0), entries, k=5)
+        assert result.guaranteed
+        assert result.prefix_length == 1
+        assert result.dth_sq == pytest.approx(
+            maximum_distance_sq((0.0, 0.0), entries[0].rect)
+        )
+
+    def test_prefix_accumulates_counts(self):
+        # Three MBRs at increasing distance, 3 objects each; k=5 needs
+        # the two nearest.
+        entries = [
+            ref((3.0, 0.0), (4.0, 1.0), count=3),
+            ref((1.0, 0.0), (2.0, 1.0), count=3),
+            ref((6.0, 0.0), (7.0, 1.0), count=3),
+        ]
+        result = threshold_distance_sq((0.0, 0.5), entries, k=5)
+        assert result.guaranteed
+        assert result.prefix_length == 2
+        # The threshold is the Dmax of the second-nearest (by Dmax) MBR.
+        second = sorted(
+            maximum_distance_sq((0.0, 0.5), e.rect) for e in entries
+        )[1]
+        assert result.dth_sq == pytest.approx(second)
+
+    def test_insufficient_objects_not_guaranteed(self):
+        entries = [
+            ref((1.0, 0.0), (2.0, 1.0), count=2),
+            ref((3.0, 0.0), (4.0, 1.0), count=2),
+        ]
+        result = threshold_distance_sq((0.0, 0.0), entries, k=100)
+        assert not result.guaranteed
+        assert result.prefix_length == 2
+        # Falls back to the largest Dmax: everything must be inspected.
+        worst = max(maximum_distance_sq((0.0, 0.0), e.rect) for e in entries)
+        assert result.dth_sq == pytest.approx(worst)
+
+
+coord = st.floats(min_value=0.0, max_value=10.0, allow_nan=False, width=32)
+
+
+@st.composite
+def entries_with_points(draw):
+    """Random MBRs, each with the points it actually contains."""
+    n_rects = draw(st.integers(min_value=1, max_value=8))
+    entries = []
+    all_points = []
+    for page_id in range(n_rects):
+        pairs = draw(
+            st.tuples(st.tuples(coord, coord), st.tuples(coord, coord))
+        )
+        (x1, y1), (x2, y2) = pairs
+        rect = Rect((min(x1, x2), min(y1, y2)), (max(x1, x2), max(y1, y2)))
+        n_points = draw(st.integers(min_value=1, max_value=5))
+        points = []
+        for _ in range(n_points):
+            fx = draw(st.floats(min_value=0.0, max_value=1.0, width=32))
+            fy = draw(st.floats(min_value=0.0, max_value=1.0, width=32))
+            points.append(
+                (
+                    rect.low[0] + fx * (rect.high[0] - rect.low[0]),
+                    rect.low[1] + fy * (rect.high[1] - rect.low[1]),
+                )
+            )
+        entries.append(ChildRef(rect, n_points, page_id))
+        all_points.extend(points)
+    return entries, all_points
+
+
+class TestLemma1Property:
+    @given(
+        entries_with_points(),
+        st.tuples(coord, coord),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_threshold_sphere_contains_k_best(self, setup, query, k):
+        """Lemma 1: the k best answers lie within distance D_th.
+
+        Built directly from the lemma's own premises: MBRs with known
+        object counts and actual member points inside each MBR.
+        """
+        entries, points = setup
+        result = threshold_distance_sq(query, entries, k)
+        if not result.guaranteed:
+            return  # fewer than k objects: the lemma does not apply
+        dth = math.sqrt(result.dth_sq)
+        distances = sorted(euclidean(query, p) for p in points)
+        for d in distances[:k]:
+            assert d <= dth + 1e-6

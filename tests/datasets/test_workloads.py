@@ -1,0 +1,114 @@
+"""Tests for the skewed query workload generators."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.datasets import (
+    hotspot_queries,
+    sliding_window_queries,
+    uniform,
+)
+
+
+class TestHotspotQueries:
+    def test_shape_and_determinism(self):
+        data = uniform(500, 2, seed=1)
+        a = hotspot_queries(data, 40, seed=2)
+        b = hotspot_queries(data, 40, seed=2)
+        assert a == b
+        assert len(a) == 40
+        assert all(len(q) == 2 for q in a)
+
+    def test_queries_actually_cluster(self):
+        """Hotspot queries have far smaller pairwise spread than the
+        default uniform-over-data workload."""
+        data = uniform(500, 2, seed=3)
+        hot = hotspot_queries(
+            data, 60, hotspots=1, hot_fraction=1.0, spread=0.01, seed=4
+        )
+        centroid = tuple(
+            statistics.fmean(q[i] for q in hot) for i in range(2)
+        )
+        mean_dev = statistics.fmean(math.dist(q, centroid) for q in hot)
+        assert mean_dev < 0.05
+
+    def test_zero_hot_fraction_like_default(self):
+        data = uniform(500, 2, seed=5)
+        queries = hotspot_queries(data, 30, hot_fraction=0.0, seed=6)
+        # Every query must be within jitter of some data point.
+        for q in queries:
+            nearest = min(math.dist(q, p) for p in data)
+            assert nearest <= 0.02 * math.sqrt(2) + 1e-9
+
+    def test_zero_count(self):
+        assert hotspot_queries([(0.5, 0.5)], 0) == []
+
+    def test_validation(self):
+        data = [(0.5, 0.5)]
+        with pytest.raises(ValueError, match="count"):
+            hotspot_queries(data, -1)
+        with pytest.raises(ValueError, match="empty"):
+            hotspot_queries([], 5)
+        with pytest.raises(ValueError, match="hotspots"):
+            hotspot_queries(data, 5, hotspots=0)
+        with pytest.raises(ValueError, match="hot_fraction"):
+            hotspot_queries(data, 5, hot_fraction=1.5)
+        with pytest.raises(ValueError, match="spread"):
+            hotspot_queries(data, 5, spread=-0.1)
+
+
+class TestSlidingWindowQueries:
+    def test_drifts_from_start_to_end(self):
+        queries = sliding_window_queries(
+            50, dims=2, start=(0.1, 0.1), end=(0.9, 0.9), spread=0.0, seed=1
+        )
+        assert queries[0] == pytest.approx((0.1, 0.1))
+        assert queries[-1] == pytest.approx((0.9, 0.9))
+        xs = [q[0] for q in queries]
+        assert xs == sorted(xs)
+
+    def test_default_diagonal(self):
+        queries = sliding_window_queries(10, dims=3, spread=0.0)
+        assert queries[0] == pytest.approx((0.2, 0.2, 0.2))
+        assert queries[-1] == pytest.approx((0.8, 0.8, 0.8))
+
+    def test_single_query(self):
+        queries = sliding_window_queries(1, dims=2, spread=0.0)
+        assert len(queries) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="count"):
+            sliding_window_queries(-1, dims=2)
+        with pytest.raises(ValueError, match="dims"):
+            sliding_window_queries(5, dims=0)
+        with pytest.raises(ValueError, match="mismatch"):
+            sliding_window_queries(5, dims=2, start=(0.1,))
+
+
+class TestPercentile:
+    def test_percentile_of_workload(self):
+        from repro.core import CRSS
+        from repro.parallel import build_parallel_tree
+        from repro.simulation import simulate_workload
+
+        data = uniform(400, 2, seed=7)
+        tree = build_parallel_tree(data, dims=2, num_disks=3, max_entries=8)
+        from repro.datasets import sample_queries
+
+        queries = sample_queries(data, 20, seed=8)
+        result = simulate_workload(
+            tree, lambda q: CRSS(q, 5, num_disks=3), queries,
+            arrival_rate=5.0, seed=9,
+        )
+        p50 = result.percentile(0.5)
+        p95 = result.percentile(0.95)
+        assert p50 <= p95 <= result.max_response
+        assert result.percentile(1.0) == result.max_response
+        with pytest.raises(ValueError, match="fraction"):
+            result.percentile(0.0)
+        # Throughput is consistent with the records and the makespan.
+        assert result.throughput == pytest.approx(
+            len(result.records) / result.makespan
+        )

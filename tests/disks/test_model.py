@@ -1,0 +1,117 @@
+"""Tests for the disk timing model."""
+
+import random
+
+import pytest
+
+from repro.disks import HP_C2240A, DiskModel, DiskSpec
+
+
+class TestDiskSpec:
+    def test_paper_drive_parameters(self):
+        assert HP_C2240A.cylinders == 1449
+        assert HP_C2240A.revolution_time == pytest.approx(0.0149)
+        assert HP_C2240A.short_seek_threshold == 616
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="cylinders"):
+            DiskSpec("x", 0, 0.01, 1e-3, 1e-3, 1e-3, 1e-3, 1, 1e-3, 1e6)
+        with pytest.raises(ValueError, match="revolution_time"):
+            DiskSpec("x", 10, 0.0, 1e-3, 1e-3, 1e-3, 1e-3, 5, 1e-3, 1e6)
+        with pytest.raises(ValueError, match="transfer_rate"):
+            DiskSpec("x", 10, 0.01, 1e-3, 1e-3, 1e-3, 1e-3, 5, 1e-3, 0.0)
+        with pytest.raises(ValueError, match="short_seek_threshold"):
+            DiskSpec("x", 10, 0.01, 1e-3, 1e-3, 1e-3, 1e-3, 99, 1e-3, 1e6)
+
+
+class TestSeekTime:
+    def test_zero_distance_is_free(self):
+        model = DiskModel(HP_C2240A)
+        assert model.seek_time(0) == 0.0
+
+    def test_two_phase_model(self):
+        model = DiskModel(HP_C2240A)
+        spec = HP_C2240A
+        # Short seek: square-root law.
+        assert model.seek_time(100) == pytest.approx(
+            spec.c1 + spec.c2 * 10.0
+        )
+        # Long seek: linear law.
+        assert model.seek_time(1000) == pytest.approx(
+            spec.c3 + spec.c4 * 1000
+        )
+
+    def test_monotone_within_phases(self):
+        model = DiskModel(HP_C2240A)
+        short = [model.seek_time(d) for d in range(1, 617)]
+        assert short == sorted(short)
+        long = [model.seek_time(d) for d in range(617, 1449)]
+        assert long == sorted(long)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            DiskModel(HP_C2240A).seek_time(-1)
+
+
+class TestRotationAndTransfer:
+    def test_expected_latency_without_rng(self):
+        model = DiskModel(HP_C2240A)
+        assert model.rotational_latency() == HP_C2240A.revolution_time / 2.0
+
+    def test_sampled_latency_bounded(self):
+        model = DiskModel(HP_C2240A, random.Random(3))
+        for _ in range(200):
+            latency = model.rotational_latency()
+            assert 0.0 <= latency <= HP_C2240A.revolution_time
+
+    def test_transfer_time(self):
+        model = DiskModel(HP_C2240A)
+        assert model.transfer_time(HP_C2240A.transfer_rate) == 1.0
+        assert model.transfer_time(0) == 0.0
+        with pytest.raises(ValueError, match="non-negative"):
+            model.transfer_time(-1)
+
+
+class TestService:
+    def test_moves_head_and_accumulates(self):
+        model = DiskModel(HP_C2240A)
+        t1 = model.service(cylinder=100, nbytes=4096)
+        assert model.head_cylinder == 100
+        assert model.requests_served == 1
+        assert model.busy_time == pytest.approx(t1)
+        t2 = model.service(cylinder=100, nbytes=4096)  # no seek this time
+        assert t2 < t1
+        assert model.busy_time == pytest.approx(t1 + t2)
+
+    def test_service_includes_all_components(self):
+        model = DiskModel(HP_C2240A)
+        t = model.service(cylinder=50, nbytes=4096)
+        expected = (
+            model.seek_time(0) * 0  # head already moved; recompute parts:
+            + HP_C2240A.c1 + HP_C2240A.c2 * 50 ** 0.5
+            + HP_C2240A.revolution_time / 2.0
+            + 4096 / HP_C2240A.transfer_rate
+            + HP_C2240A.controller_overhead
+        )
+        assert t == pytest.approx(expected)
+
+    def test_rejects_out_of_range_cylinder(self):
+        model = DiskModel(HP_C2240A)
+        with pytest.raises(ValueError, match="cylinder"):
+            model.service(cylinder=HP_C2240A.cylinders, nbytes=1)
+        with pytest.raises(ValueError, match="cylinder"):
+            model.service(cylinder=-1, nbytes=1)
+
+    def test_reset(self):
+        model = DiskModel(HP_C2240A)
+        model.service(cylinder=200, nbytes=4096)
+        model.reset()
+        assert model.head_cylinder == 0
+        assert model.busy_time == 0.0
+        assert model.requests_served == 0
+
+    def test_deterministic_with_seeded_rng(self):
+        a = DiskModel(HP_C2240A, random.Random(7))
+        b = DiskModel(HP_C2240A, random.Random(7))
+        for cylinder in (10, 500, 3, 1200):
+            assert a.service(cylinder, 4096) == b.service(cylinder, 4096)

@@ -1,0 +1,150 @@
+"""Tests for the experiment harness."""
+
+import os
+
+import pytest
+
+from repro.experiments import (
+    build_tree,
+    current_scale,
+    dataset,
+    effectiveness_experiment,
+    format_series_table,
+    format_table,
+    make_factory,
+    response_experiment,
+)
+from repro.experiments.scale import DEFAULT, FULL, SMOKE, Scale
+from repro.experiments.setup import clear_caches
+
+
+class TestScale:
+    def test_population_scaling(self):
+        assert FULL.population(62_173) == 62_173
+        assert DEFAULT.population(80_000) == 10_000
+        # Never below the floor.
+        assert DEFAULT.population(2_000) == 1000
+
+    def test_sweep_thinning_keeps_endpoints(self):
+        values = [1, 2, 3, 4, 5, 6, 7]
+        assert FULL.sweep(values) == values
+        thinned = Scale(1.0, 10, sweep_step=3).sweep(values)
+        assert thinned[0] == 1
+        assert thinned[-1] == 7
+        assert len(thinned) < len(values)
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_SMOKE", raising=False)
+        assert current_scale() == DEFAULT
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        assert current_scale() == FULL
+        monkeypatch.delenv("REPRO_FULL_SCALE")
+        monkeypatch.setenv("REPRO_SMOKE", "1")
+        assert current_scale() == SMOKE
+
+    def test_system_parameters_follow_page_size(self):
+        assert DEFAULT.system_parameters().page_size == DEFAULT.page_size
+
+
+class TestSetup:
+    def test_dataset_caching(self):
+        a = dataset("uniform", 100, 2, seed=1)
+        b = dataset("uniform", 100, 2, seed=1)
+        assert a is b  # cached object identity
+
+    def test_dataset_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            dataset("mystery", 10, 2)
+
+    def test_surrogates_require_2d(self):
+        with pytest.raises(ValueError, match="2-d"):
+            dataset("california_places", 100, 5)
+
+    def test_tree_caching(self):
+        a = build_tree("uniform", 200, 2, num_disks=3, max_entries=8)
+        b = build_tree("uniform", 200, 2, num_disks=3, max_entries=8)
+        assert a is b
+        c = build_tree("uniform", 200, 2, num_disks=4, max_entries=8)
+        assert c is not a
+        clear_caches()
+        d = build_tree("uniform", 200, 2, num_disks=3, max_entries=8)
+        assert d is not a
+
+    def test_make_factory_names(self):
+        tree = build_tree("uniform", 200, 2, num_disks=3, max_entries=8)
+        for name in ("BBSS", "FPSS", "CRSS", "WOPTSS"):
+            algorithm = make_factory(name, tree, 3)((0.5, 0.5))
+            assert algorithm.name == name
+            assert algorithm.k == 3
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            make_factory("DIJKSTRA", tree, 3)
+
+
+class TestExperiments:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return build_tree("gaussian", 1200, 2, num_disks=4, max_entries=8)
+
+    def test_effectiveness_runs_all_algorithms(self, tree):
+        result = effectiveness_experiment(
+            tree, k_values=[1, 5], num_queries=4, seed=1
+        )
+        assert set(result.nodes) == {"BBSS", "FPSS", "CRSS", "WOPTSS"}
+        for series in result.nodes.values():
+            assert len(series) == 2
+            assert all(v >= 1.0 for v in series)
+
+    def test_effectiveness_normalization(self, tree):
+        result = effectiveness_experiment(
+            tree, k_values=[3], num_queries=4, seed=1
+        )
+        normalized = result.normalized_to("WOPTSS")
+        assert normalized["WOPTSS"] == [1.0]
+        assert normalized["FPSS"][0] >= 1.0
+
+    def test_response_experiment(self, tree):
+        result = response_experiment(
+            tree, k=5, arrival_rate=3.0, num_queries=4, seed=1
+        )
+        assert set(result.mean_response) == {"BBSS", "FPSS", "CRSS", "WOPTSS"}
+        assert all(v > 0 for v in result.mean_response.values())
+        ratios = result.normalized_to("WOPTSS")
+        assert ratios["WOPTSS"] == 1.0
+
+    def test_response_single_user(self, tree):
+        result = response_experiment(
+            tree, k=5, arrival_rate=None, algorithms=("CRSS",),
+            num_queries=3, seed=2,
+        )
+        assert list(result.mean_response) == ["CRSS"]
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["b", 22.25]],
+            precision=2,
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "alpha" in lines[2]
+        assert "22.25" in lines[3]
+        # All rows align to the same width.
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_format_series_table(self):
+        text = format_series_table(
+            "k", [1, 2], {"A": [0.1, 0.2], "B": [0.3, 0.4]}, precision=1
+        )
+        assert "k" in text and "A" in text and "B" in text
+        assert "0.4" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text

@@ -1,0 +1,51 @@
+"""Tests for the programmatic paper-experiment runners."""
+
+import pytest
+
+from repro.experiments.paper import PAPER_EXPERIMENTS, run_paper_experiment
+from repro.experiments.scale import SMOKE
+
+
+class TestPaperRunners:
+    def test_registry_covers_the_paper(self):
+        assert set(PAPER_EXPERIMENTS) == {
+            "fig8", "fig9", "fig10", "fig11", "fig12", "table3", "table4",
+        }
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_paper_experiment("fig99")
+
+    def test_fig8_produces_both_panels(self):
+        text = run_paper_experiment("fig8", scale=SMOKE)
+        assert "california_places" in text
+        assert "long_beach" in text
+        assert "WOPTSS" in text
+        # A numeric table, not an error dump.
+        assert any(ch.isdigit() for ch in text)
+
+    def test_fig9_normalized_output(self):
+        text = run_paper_experiment("fig9", scale=SMOKE)
+        assert "normalized to WOPTSS" in text
+        assert "gaussian" in text and "uniform" in text
+
+    def test_table4_shape(self):
+        text = run_paper_experiment("table4", scale=SMOKE)
+        lines = [l for l in text.splitlines() if l.strip()]
+        # Title + header + rule + four configuration rows.
+        assert len(lines) == 7
+        assert "BBSS" in lines[1]
+
+    @pytest.mark.parametrize("name", ["fig10", "fig11", "fig12", "table3"])
+    def test_response_experiments_run(self, name):
+        text = run_paper_experiment(name, scale=SMOKE)
+        assert "CRSS" in text
+        assert "WOPTSS" in text
+
+    def test_cli_paper_subcommand(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SMOKE", "1")
+        from repro.cli import main
+
+        assert main(["paper", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out

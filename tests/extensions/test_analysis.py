@@ -1,0 +1,282 @@
+"""Tests for the analytical models, validated against measurement."""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.core import CRSS, CountingExecutor
+from repro.datasets import sample_queries, uniform
+from repro.disks import HP_C2240A, DiskModel
+from repro.extensions.analysis import (
+    expected_disk_service_time,
+    expected_knn_node_accesses,
+    expected_knn_radius,
+    expected_range_query_nodes,
+    expected_seek_time,
+    response_time_lower_bound,
+    unit_ball_volume,
+)
+from repro.geometry.rect import Rect
+from repro.parallel import build_parallel_tree
+from repro.rtree.query import range_query
+from repro.simulation import simulate_workload
+from repro.simulation.parameters import SystemParameters
+
+
+class TestUnitBallVolume:
+    def test_known_values(self):
+        assert unit_ball_volume(1) == pytest.approx(2.0)
+        assert unit_ball_volume(2) == pytest.approx(math.pi)
+        assert unit_ball_volume(3) == pytest.approx(4.0 / 3.0 * math.pi)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="dims"):
+            unit_ball_volume(0)
+
+
+class TestExpectedKnnRadius:
+    def test_matches_measured_uniform_2d(self):
+        points = uniform(4000, 2, seed=30)
+        tree = build_parallel_tree(points, dims=2, num_disks=2,
+                                   max_entries=20)
+        queries = sample_queries(points, 30, seed=31, jitter=0.0)
+        # Keep queries off the boundary where the estimate degrades.
+        queries = [
+            q for q in queries if all(0.2 <= c <= 0.8 for c in q)
+        ] or [(0.5, 0.5)]
+        measured = statistics.fmean(
+            tree.kth_nearest_distance(q, 10) for q in queries
+        )
+        predicted = expected_knn_radius(4000, 2, 10)
+        assert measured == pytest.approx(predicted, rel=0.25)
+
+    def test_monotone_in_k(self):
+        radii = [expected_knn_radius(1000, 3, k) for k in (1, 5, 25, 100)]
+        assert radii == sorted(radii)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="population"):
+            expected_knn_radius(0, 2, 1)
+        with pytest.raises(ValueError, match="k"):
+            expected_knn_radius(10, 2, 0)
+
+
+class TestExpectedRangeQueryNodes:
+    def test_matches_measured(self):
+        points = uniform(3000, 2, seed=32)
+        tree = build_parallel_tree(points, dims=2, num_disks=2,
+                                   max_entries=20)
+        extents = [
+            (node.mbr.extent(0), node.mbr.extent(1))
+            for node in tree.tree.iter_nodes()
+            if node.mbr is not None
+        ]
+        q = 0.2
+        predicted = expected_range_query_nodes(extents, (q, q))
+
+        # Measure: random windows of side q placed uniformly.
+        rng = random.Random(33)
+        counts = []
+        for _ in range(60):
+            x, y = rng.uniform(0, 1 - q), rng.uniform(0, 1 - q)
+            window = Rect((x, y), (x + q, y + q))
+            visited = sum(
+                1
+                for node in tree.tree.iter_nodes()
+                if node.mbr is not None and node.mbr.intersects(window)
+            )
+            counts.append(visited)
+        measured = statistics.fmean(counts)
+        assert measured == pytest.approx(predicted, rel=0.35)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            expected_range_query_nodes([(0.1, 0.1)], (0.1,))
+
+
+class TestExpectedKnnNodeAccesses:
+    def test_matches_weak_optimal_measurement(self):
+        """The estimate tracks WOPTSS's actual access counts on uniform
+        data (cube-for-sphere approximation biases it high)."""
+        from repro.core import WOPTSS, CountingExecutor
+
+        population = 3000
+        points = uniform(population, 2, seed=37)
+        tree = build_parallel_tree(points, dims=2, num_disks=2,
+                                   max_entries=20)
+        extents = [
+            (node.mbr.extent(0), node.mbr.extent(1))
+            for node in tree.tree.iter_nodes()
+            if node.mbr is not None
+        ]
+        k = 20
+        predicted = expected_knn_node_accesses(extents, population, 2, k)
+
+        executor = CountingExecutor(tree)
+        queries = [
+            q for q in sample_queries(points, 40, seed=38, jitter=0.0)
+            if all(0.2 <= c <= 0.8 for c in q)
+        ]
+        counts = []
+        for q in queries:
+            dk = tree.kth_nearest_distance(q, k)
+            executor.execute(WOPTSS(q, k, oracle_dk=dk))
+            counts.append(executor.last_stats.nodes_visited)
+        measured = statistics.fmean(counts)
+        # Same ballpark: between half and twice the prediction.
+        assert predicted * 0.5 <= measured <= predicted * 2.0
+
+
+class TestDiskServiceModel:
+    def test_expected_seek_matches_sampled(self):
+        rng = random.Random(34)
+        model = DiskModel(HP_C2240A)
+        samples = []
+        position = 0
+        for _ in range(20000):
+            target = rng.randrange(HP_C2240A.cylinders)
+            samples.append(model.seek_time(abs(target - position)))
+            position = target
+        assert statistics.fmean(samples) == pytest.approx(
+            expected_seek_time(HP_C2240A), rel=0.05
+        )
+
+    def test_expected_service_decomposition(self):
+        service = expected_disk_service_time(HP_C2240A, 4096)
+        assert service > expected_seek_time(HP_C2240A)
+        assert service == pytest.approx(
+            expected_seek_time(HP_C2240A)
+            + HP_C2240A.revolution_time / 2
+            + 4096 / HP_C2240A.transfer_rate
+            + HP_C2240A.controller_overhead
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="page_size"):
+            expected_disk_service_time(HP_C2240A, -1)
+
+
+class TestServiceTimeMoments:
+    def test_mean_matches_expected_service(self):
+        from repro.extensions.analysis import service_time_moments
+
+        mean, second = service_time_moments(HP_C2240A, 4096)
+        assert mean == pytest.approx(
+            expected_disk_service_time(HP_C2240A, 4096)
+        )
+        # Second moment exceeds the squared mean (positive variance).
+        assert second > mean * mean
+
+    def test_moments_against_sampling(self):
+        from repro.extensions.analysis import service_time_moments
+
+        rng = random.Random(40)
+        model = DiskModel(HP_C2240A, random.Random(41))
+        samples = []
+        position = 0
+        for _ in range(20000):
+            target = rng.randrange(HP_C2240A.cylinders)
+            samples.append(model.service(target, 4096))
+        mean, second = service_time_moments(HP_C2240A, 4096)
+        assert statistics.fmean(samples) == pytest.approx(mean, rel=0.05)
+        assert statistics.fmean(s * s for s in samples) == pytest.approx(
+            second, rel=0.1
+        )
+
+
+class TestResponseTimeEstimate:
+    def test_tracks_simulation_at_moderate_load(self):
+        """The M/G/1 estimate stays within ~35% of the simulator."""
+        from repro.core import CountingExecutor
+        from repro.extensions.analysis import estimate_query_response_time
+
+        data = uniform(2500, 2, seed=42)
+        tree = build_parallel_tree(data, dims=2, num_disks=6,
+                                   page_size=1024)
+        queries = sample_queries(data, 40, seed=43)
+        params = SystemParameters(page_size=1024)
+        factory = lambda q: CRSS(q, 10, num_disks=6)
+
+        executor = CountingExecutor(tree)
+        pages, paths = [], []
+        for q in queries:
+            executor.execute(factory(q))
+            pages.append(executor.last_stats.nodes_visited)
+            paths.append(executor.last_stats.critical_path)
+        mean_pages = statistics.fmean(pages)
+        mean_path = statistics.fmean(paths)
+
+        for rate in (2.0, 6.0):
+            simulated = simulate_workload(
+                tree, factory, queries, arrival_rate=rate,
+                params=params, seed=44,
+            ).mean_response
+            estimated = estimate_query_response_time(
+                params, 6, rate, mean_pages, mean_path
+            )
+            assert estimated == pytest.approx(simulated, rel=0.35)
+
+    def test_estimate_grows_with_load(self):
+        from repro.extensions.analysis import estimate_query_response_time
+
+        params = SystemParameters()
+        estimates = [
+            estimate_query_response_time(params, 5, rate, 10.0, 4.0)
+            for rate in (1.0, 5.0, 10.0)
+        ]
+        assert estimates == sorted(estimates)
+
+    def test_saturation_rejected(self):
+        from repro.extensions.analysis import estimate_query_response_time
+
+        params = SystemParameters()
+        with pytest.raises(ValueError, match="saturates"):
+            # 1000 q/s x 10 pages over 5 disks ~ 2000 pages/s/disk at
+            # ~27 ms each: hopeless.
+            estimate_query_response_time(params, 5, 1000.0, 10.0, 4.0)
+
+    def test_validation(self):
+        from repro.extensions.analysis import estimate_query_response_time
+
+        params = SystemParameters()
+        with pytest.raises(ValueError, match="num_disks"):
+            estimate_query_response_time(params, 0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            estimate_query_response_time(params, 2, -1.0, 1.0, 1.0)
+
+
+class TestResponseTimeLowerBound:
+    def test_bound_holds_in_simulation(self):
+        """No simulated query beats the analytical lower bound."""
+        points = uniform(800, 2, seed=35)
+        tree = build_parallel_tree(points, dims=2, num_disks=4,
+                                   max_entries=8)
+        queries = sample_queries(points, 10, seed=36)
+        params = SystemParameters()
+        counting = CountingExecutor(tree)
+        result = simulate_workload(
+            tree,
+            lambda q: CRSS(q, 8, num_disks=4),
+            queries,
+            arrival_rate=None,
+            params=params,
+            seed=4,
+        )
+        for record in result.records:
+            counting.execute(CRSS(record.query, 8, num_disks=4))
+            critical_path = counting.last_stats.critical_path
+            # The expected-value bound is not a hard per-sample bound
+            # (rotational latency is sampled), so compare with slack.
+            bound = response_time_lower_bound(critical_path, params)
+            assert record.response_time > bound * 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="critical_path"):
+            response_time_lower_bound(-1, SystemParameters())
+
+    def test_monotone_in_critical_path(self):
+        params = SystemParameters()
+        bounds = [response_time_lower_bound(c, params) for c in range(5)]
+        assert bounds == sorted(bounds)

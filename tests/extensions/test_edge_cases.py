@@ -1,0 +1,116 @@
+"""Edge cases across the extension access methods."""
+
+import pytest
+
+from repro.core import CRSS, CountingExecutor
+from repro.extensions.sstree import SSTree
+from repro.extensions.srtree import SRTree
+from repro.extensions.xtree import XTree
+from repro.simulation.engine import Environment
+from repro.simulation.system import DiskArraySystem
+
+
+class TestDegenerateData:
+    @pytest.mark.parametrize("tree_cls", [SSTree, SRTree])
+    def test_sphere_trees_handle_identical_points(self, tree_cls):
+        """All-identical points give zero variance on every axis; the
+        split must still partition and the tree must stay exact."""
+        tree = tree_cls(2, max_entries=4, min_entries=1)
+        for i in range(40):
+            tree.insert((0.5, 0.5), i)
+        assert len(tree) == 40
+        results = tree.knn((0.5, 0.5), 40)
+        assert len(results) == 40
+        assert all(r[0] == 0.0 for r in results)
+        # Ties broke by ascending oid.
+        assert [r[2] for r in results] == list(range(40))
+
+    @pytest.mark.parametrize("tree_cls", [SSTree, SRTree])
+    def test_collinear_points(self, tree_cls):
+        tree = tree_cls(2, max_entries=4, min_entries=1)
+        for i in range(30):
+            tree.insert((i / 30.0, 0.5), i)
+        nearest = tree.knn((0.0, 0.5), 3)
+        assert [r[2] for r in nearest] == [0, 1, 2]
+
+    def test_xtree_with_identical_points(self):
+        tree = XTree(2, max_entries=4, min_entries=1)
+        for i in range(30):
+            tree.insert((0.25, 0.75), i)
+        assert len(tree) == 30
+        assert len(tree.knn((0.25, 0.75), 30)) == 30
+
+
+class TestMultiPageFetchValidation:
+    def test_zero_pages_rejected(self):
+        env = Environment()
+        system = DiskArraySystem(env, 1)
+
+        def fetch():
+            yield env.process(system.fetch_page(0, cylinder=0, pages=0))
+
+        env.process(fetch())
+        with pytest.raises(ValueError, match="pages"):
+            env.run()
+
+    def test_multi_page_read_costs_more(self):
+        from repro.simulation.parameters import SystemParameters
+
+        def fetch_time(pages):
+            env = Environment()
+            system = DiskArraySystem(
+                env, 1, params=SystemParameters(sample_rotation=False)
+            )
+            done = []
+
+            def fetch():
+                yield env.process(
+                    system.fetch_page(0, cylinder=100, pages=pages)
+                )
+                done.append(env.now)
+
+            env.process(fetch())
+            env.run()
+            return done[0]
+
+        one = fetch_time(1)
+        four = fetch_time(4)
+        # Extra pages cost transfer only (no extra seek): strictly more
+        # than one page, far less than four separate accesses.
+        assert one < four < 4 * one
+
+
+class TestSupernodeSimulationCost:
+    def test_supernode_fetch_slower_than_plain(self):
+        """In simulated time, fetching a 3-page supernode takes longer
+        than a 1-page node on an idle disk."""
+        from repro.datasets import gaussian
+        from repro.extensions.xtree import build_parallel_xtree
+        from repro.simulation import SimulatedExecutor
+        from repro.simulation.parameters import SystemParameters
+
+        points = gaussian(400, 6, seed=90)
+        xtree = build_parallel_xtree(
+            points, dims=6, num_disks=2, max_entries=8, max_overlap=0.0
+        )
+        spans = {
+            pid: xtree.pages_spanned(pid) for pid in xtree.tree.pages
+        }
+        assert max(spans.values()) >= 2  # supernodes exist
+
+        env = Environment()
+        system = DiskArraySystem(
+            env, 2, params=SystemParameters(sample_rotation=False)
+        )
+        executor = SimulatedExecutor(env, system, xtree)
+        record_holder = []
+
+        def run():
+            record = yield env.process(
+                executor.query_process(CRSS((0.5,) * 6, 5, num_disks=2))
+            )
+            record_holder.append(record)
+
+        env.process(run())
+        env.run()
+        assert record_holder[0].response_time > 0

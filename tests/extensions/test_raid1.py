@@ -1,0 +1,111 @@
+"""Tests for the shadowed-disks (RAID-1) extension."""
+
+import pytest
+
+from repro.core import CRSS
+from repro.datasets import sample_queries, uniform
+from repro.extensions.raid1 import (
+    MirroredDiskArraySystem,
+    simulate_mirrored_workload,
+)
+from repro.parallel import build_parallel_tree
+from repro.simulation import simulate_workload
+from repro.simulation.engine import Environment
+from repro.simulation.parameters import SystemParameters
+
+
+@pytest.fixture(scope="module")
+def workload():
+    points = uniform(600, 2, seed=15)
+    tree = build_parallel_tree(points, dims=2, num_disks=4, max_entries=8)
+    queries = sample_queries(points, 15, seed=16)
+    factory = lambda q: CRSS(q, 8, num_disks=tree.num_disks)
+    return tree, queries, factory
+
+
+class TestMirroredSystem:
+    def test_invalid_disk_count(self):
+        with pytest.raises(ValueError, match="num_disks"):
+            MirroredDiskArraySystem(Environment(), 0)
+
+    def test_two_replicas_per_logical_disk(self):
+        system = MirroredDiskArraySystem(Environment(), 3)
+        assert len(system.replica_queues) == 3
+        assert all(len(pair) == 2 for pair in system.replica_queues)
+        assert len(system.disk_utilizations(1.0)) == 6
+
+    def test_out_of_range_disk(self):
+        env = Environment()
+        system = MirroredDiskArraySystem(env, 2)
+
+        def fetch():
+            yield env.process(system.fetch_page(2, cylinder=0))
+
+        env.process(fetch())
+        with pytest.raises(ValueError, match="disk 2"):
+            env.run()
+
+    def test_replica_selection_prefers_idle(self):
+        env = Environment()
+        system = MirroredDiskArraySystem(
+            env, 1, params=SystemParameters(sample_rotation=False)
+        )
+        done = []
+
+        def fetch():
+            yield env.process(system.fetch_page(0, cylinder=100))
+            done.append(env.now)
+
+        # Two simultaneous reads of the same logical disk: with
+        # mirroring they run on different replicas and finish together.
+        env.process(fetch())
+        env.process(fetch())
+        env.run()
+        assert abs(done[0] - done[1]) <= system.params.bus_time + 1e-9
+        served = [
+            m.requests_served for m in system.replica_models[0]
+        ]
+        assert served == [1, 1]
+
+
+class TestMirroredWorkload:
+    def test_same_answers_as_raid0(self, workload):
+        tree, queries, factory = workload
+        raid0 = simulate_workload(
+            tree, factory, queries, arrival_rate=5.0, seed=3
+        )
+        raid1 = simulate_mirrored_workload(
+            tree, factory, queries, arrival_rate=5.0, seed=3
+        )
+        for a, b in zip(raid0.records, raid1.records):
+            assert [n.oid for n in a.answers] == [n.oid for n in b.answers]
+
+    def test_mirroring_helps_under_contention(self, workload):
+        """Shadowed disks shorten queues on read-heavy load."""
+        tree, queries, factory = workload
+        rate = 60.0  # drive the 4-disk array into contention
+        raid0 = simulate_workload(
+            tree, factory, queries, arrival_rate=rate, seed=7
+        )
+        raid1 = simulate_mirrored_workload(
+            tree, factory, queries, arrival_rate=rate, seed=7
+        )
+        assert raid1.mean_response < raid0.mean_response
+
+    def test_serial_mode(self, workload):
+        tree, queries, factory = workload
+        result = simulate_mirrored_workload(
+            tree, factory, queries[:5], arrival_rate=None
+        )
+        assert len(result.records) == 5
+        for before, after in zip(result.records, result.records[1:]):
+            assert after.arrival == pytest.approx(before.completion)
+
+    def test_validation(self, workload):
+        tree, queries, factory = workload
+        with pytest.raises(ValueError, match="at least one query"):
+            simulate_mirrored_workload(tree, factory, [])
+        with pytest.raises(ValueError, match="arrival_rate"):
+            simulate_mirrored_workload(
+                tree, factory, queries, arrival_rate=-1.0
+            )

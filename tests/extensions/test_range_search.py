@@ -1,0 +1,117 @@
+"""Tests for parallel range queries."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import CountingExecutor
+from repro.datasets import uniform
+from repro.extensions.range_search import (
+    ParallelRangeSearch,
+    ParallelSphereSearch,
+)
+from repro.extensions.sstree import build_parallel_sstree
+from repro.geometry.rect import Rect
+from repro.parallel import build_parallel_tree
+
+
+@pytest.fixture(scope="module")
+def setup():
+    points = uniform(500, 2, seed=19)
+    tree = build_parallel_tree(points, dims=2, num_disks=4, max_entries=8)
+    return points, tree
+
+
+class TestSphereSearch:
+    def test_exact_answers(self, setup):
+        points, tree = setup
+        executor = CountingExecutor(tree)
+        rng = random.Random(3)
+        for _ in range(10):
+            q = (rng.random(), rng.random())
+            eps = rng.uniform(0.02, 0.3)
+            result = executor.execute(ParallelSphereSearch(q, eps))
+            got = sorted(n.oid for n in result)
+            expected = sorted(
+                i for i, p in enumerate(points) if math.dist(q, p) <= eps
+            )
+            assert got == expected
+
+    def test_results_sorted_by_distance(self, setup):
+        _, tree = setup
+        executor = CountingExecutor(tree)
+        result = executor.execute(ParallelSphereSearch((0.5, 0.5), 0.25))
+        distances = [n.distance for n in result]
+        assert distances == sorted(distances)
+
+    def test_empty_result(self, setup):
+        _, tree = setup
+        executor = CountingExecutor(tree)
+        assert executor.execute(ParallelSphereSearch((5.0, 5.0), 0.1)) == []
+
+    def test_bfs_rounds_bounded_by_height(self, setup):
+        _, tree = setup
+        executor = CountingExecutor(tree)
+        executor.execute(ParallelSphereSearch((0.5, 0.5), 0.2))
+        assert executor.last_stats.rounds <= tree.height
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            ParallelSphereSearch((0.0, 0.0), -0.1)
+        with pytest.raises(ValueError, match="epsilon"):
+            ParallelSphereSearch((0.0, 0.0), float("nan"))
+
+    def test_works_over_sstree(self):
+        points = uniform(300, 2, seed=20)
+        sstree = build_parallel_sstree(points, dims=2, num_disks=3,
+                                       max_entries=8)
+        executor = CountingExecutor(sstree)
+        q, eps = (0.4, 0.6), 0.2
+        got = sorted(
+            n.oid for n in executor.execute(ParallelSphereSearch(q, eps))
+        )
+        expected = sorted(
+            i for i, p in enumerate(points) if math.dist(q, p) <= eps
+        )
+        assert got == expected
+
+
+class TestWindowSearch:
+    def test_exact_answers(self, setup):
+        points, tree = setup
+        executor = CountingExecutor(tree)
+        rng = random.Random(5)
+        for _ in range(10):
+            x, y = rng.random() * 0.7, rng.random() * 0.7
+            window = Rect((x, y), (x + 0.3, y + 0.3))
+            result = executor.execute(ParallelRangeSearch(window))
+            got = sorted(n.oid for n in result)
+            expected = sorted(
+                i for i, p in enumerate(points) if window.contains_point(p)
+            )
+            assert got == expected
+
+    def test_whole_space(self, setup):
+        points, tree = setup
+        executor = CountingExecutor(tree)
+        result = executor.execute(
+            ParallelRangeSearch(Rect((0.0, 0.0), (1.0, 1.0)))
+        )
+        assert len(result) == len(points)
+        # A full-space window touches every page.
+        assert executor.last_stats.nodes_visited == len(tree.tree.pages)
+
+    def test_works_over_sstree(self):
+        points = uniform(300, 2, seed=21)
+        sstree = build_parallel_sstree(points, dims=2, num_disks=3,
+                                       max_entries=8)
+        executor = CountingExecutor(sstree)
+        window = Rect((0.25, 0.25), (0.7, 0.6))
+        got = sorted(
+            n.oid for n in executor.execute(ParallelRangeSearch(window))
+        )
+        expected = sorted(
+            i for i, p in enumerate(points) if window.contains_point(p)
+        )
+        assert got == expected

@@ -1,0 +1,154 @@
+"""Tests for the X-tree extension."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import BBSS, CRSS, CountingExecutor, WOPTSS
+from repro.datasets import gaussian, uniform
+from repro.extensions.xtree import (
+    ParallelXTree,
+    XTree,
+    build_parallel_xtree,
+)
+from repro.rtree import check_invariants
+from tests.conftest import brute_force_knn
+
+
+class TestXTreeStructure:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="max_overlap"):
+            XTree(2, max_overlap=1.5)
+        with pytest.raises(ValueError, match="max_supernode_pages"):
+            XTree(2, max_supernode_pages=0)
+
+    def test_low_dimension_behaves_like_rstar(self):
+        """In 2-d overlap is low: no supernodes should form."""
+        tree = XTree(2, max_entries=8, max_overlap=0.2)
+        points = uniform(400, 2, seed=41)
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        assert tree.supernode_count() == 0
+        check_invariants(tree)
+
+    def test_supernodes_form_in_high_dimension(self):
+        """In 8-d with a strict overlap limit, supernodes must appear."""
+        tree = XTree(8, max_entries=10, max_overlap=0.02)
+        points = gaussian(800, 8, seed=42)
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        assert tree.supernode_count() > 0
+        check_invariants(tree)  # supernode capacities respected
+
+    def test_supernode_spans_multiple_pages(self):
+        tree = XTree(6, max_entries=8, max_overlap=0.0)
+        points = gaussian(500, 6, seed=43)
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        spans = [
+            tree.pages_spanned(page_id)
+            for page_id in tree.pages
+            if tree.is_supernode(page_id)
+        ]
+        assert spans  # max_overlap=0 forces supernodes
+        assert all(span >= 2 for span in spans)
+        assert all(span <= tree.max_supernode_pages for span in spans)
+
+    def test_supernode_cap_respected(self):
+        tree = XTree(6, max_entries=6, max_overlap=0.0, max_supernode_pages=2)
+        points = gaussian(600, 6, seed=44)
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        for page_id in tree.pages:
+            assert tree.pages_spanned(page_id) <= 2
+        check_invariants(tree)
+
+    def test_knn_exact_with_supernodes(self):
+        points = gaussian(400, 5, seed=45)
+        tree = XTree(5, max_entries=8, max_overlap=0.01)
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        assert tree.supernode_count() > 0
+        rng = random.Random(4)
+        for _ in range(10):
+            q = tuple(rng.random() for _ in range(5))
+            got = [(round(r.distance, 9), r.oid) for r in tree.knn(q, 8)]
+            expected = [
+                (round(d, 9), oid) for d, oid in brute_force_knn(points, q, 8)
+            ]
+            assert got == expected
+
+    def test_deleting_frees_supernode_bookkeeping(self):
+        points = gaussian(300, 5, seed=46)
+        tree = XTree(5, max_entries=6, max_overlap=0.0)
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        for i, p in enumerate(points):
+            assert tree.delete(p, i)
+        # Every capacity override for a freed page is gone.
+        for page_id in tree._supernode_capacity:
+            assert page_id in tree.pages
+
+
+class TestParallelXTree:
+    @pytest.fixture(scope="class")
+    def xtree(self):
+        points = gaussian(900, 6, seed=47)
+        return build_parallel_xtree(
+            points, dims=6, num_disks=5, max_entries=10, max_overlap=0.02
+        )
+
+    def test_supernodes_exist(self, xtree):
+        assert xtree.tree.supernode_count() > 0
+
+    def test_all_algorithms_exact(self, xtree):
+        pairs = list(xtree.tree.iter_points())
+        executor = CountingExecutor(xtree)
+        rng = random.Random(6)
+        for _ in range(6):
+            q = tuple(rng.random() for _ in range(6))
+            k = rng.choice([1, 5, 15])
+            expected = [
+                oid
+                for _, oid in sorted(
+                    (math.dist(q, p), oid) for p, oid in pairs
+                )[:k]
+            ]
+            dk = xtree.kth_nearest_distance(q, k)
+            for algorithm in (
+                BBSS(q, k),
+                CRSS(q, k, num_disks=5),
+                WOPTSS(q, k, oracle_dk=dk),
+            ):
+                got = [n.oid for n in executor.execute(algorithm)]
+                assert got == expected, algorithm.name
+
+    def test_executor_charges_supernode_pages(self, xtree):
+        """Visiting a supernode costs its full span, not one page."""
+        executor = CountingExecutor(xtree)
+        q = (0.5,) * 6
+        dk = xtree.kth_nearest_distance(q, 10)
+        executor.execute(WOPTSS(q, 10, oracle_dk=dk))
+        stats = executor.last_stats
+        expected_cost = sum(
+            xtree.pages_spanned(page_id) for page_id in stats.pages
+        )
+        assert stats.nodes_visited == expected_cost
+        assert expected_cost >= len(stats.pages)
+
+    def test_simulation_runs_with_supernodes(self, xtree):
+        from repro.datasets import sample_queries
+        from repro.simulation import simulate_workload
+
+        points = [p for p, _ in xtree.tree.iter_points()]
+        queries = sample_queries(points, 5, seed=7)
+        result = simulate_workload(
+            xtree,
+            lambda q: CRSS(q, 8, num_disks=xtree.num_disks),
+            queries,
+            arrival_rate=3.0,
+            seed=8,
+        )
+        assert len(result.records) == 5
+        assert result.mean_response > 0

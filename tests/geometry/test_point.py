@@ -1,0 +1,77 @@
+"""Unit tests for point helpers."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import (
+    euclidean,
+    midpoint,
+    squared_euclidean,
+    validate_point,
+)
+
+
+class TestValidatePoint:
+    def test_converts_to_float_tuple(self):
+        assert validate_point([1, 2, 3]) == (1.0, 2.0, 3.0)
+
+    def test_accepts_tuples_and_generators(self):
+        assert validate_point((0.5,)) == (0.5,)
+        assert validate_point(iter([1.0, 2.0])) == (1.0, 2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one coordinate"):
+            validate_point([])
+
+    def test_enforces_dimensionality(self):
+        assert validate_point([1.0, 2.0], dims=2) == (1.0, 2.0)
+        with pytest.raises(ValueError, match="2-dimensional"):
+            validate_point([1.0, 2.0, 3.0], dims=2)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            validate_point([float("nan"), 0.0])
+        with pytest.raises(ValueError, match="non-finite"):
+            validate_point([float("inf")])
+
+
+class TestDistances:
+    def test_squared_euclidean_basic(self):
+        assert squared_euclidean((0.0, 0.0), (3.0, 4.0)) == 25.0
+
+    def test_euclidean_basic(self):
+        assert euclidean((0.0, 0.0), (3.0, 4.0)) == 5.0
+
+    def test_distance_to_self_is_zero(self):
+        p = (1.5, -2.5, 0.25)
+        assert squared_euclidean(p, p) == 0.0
+        assert euclidean(p, p) == 0.0
+
+    def test_symmetry(self):
+        a, b = (1.0, 2.0), (4.0, 6.0)
+        assert euclidean(a, b) == euclidean(b, a)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            squared_euclidean((1.0,), (1.0, 2.0))
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            euclidean((1.0, 2.0, 3.0), (1.0, 2.0))
+
+    def test_high_dimensional(self):
+        a = tuple(range(10))
+        b = tuple(c + 1 for c in range(10))
+        assert squared_euclidean(a, b) == 10.0
+        assert euclidean(a, b) == pytest.approx(math.sqrt(10))
+
+
+class TestMidpoint:
+    def test_basic(self):
+        assert midpoint((0.0, 0.0), (2.0, 4.0)) == (1.0, 2.0)
+
+    def test_midpoint_of_identical_points(self):
+        assert midpoint((1.0, 1.0), (1.0, 1.0)) == (1.0, 1.0)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            midpoint((1.0,), (1.0, 2.0))

@@ -1,0 +1,167 @@
+"""Unit and property tests for rectangles (MBRs)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect
+
+
+def rect_strategy(dims=2, lo=-100.0, hi=100.0):
+    """Random well-formed rectangles of the given dimensionality."""
+    coord = st.floats(
+        min_value=lo, max_value=hi, allow_nan=False, allow_infinity=False
+    )
+    corners = st.tuples(*([st.tuples(coord, coord)] * dims))
+    return corners.map(
+        lambda pairs: Rect(
+            [min(a, b) for a, b in pairs], [max(a, b) for a, b in pairs]
+        )
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = Rect((0, 0), (2, 3))
+        assert r.low == (0.0, 0.0)
+        assert r.high == (2.0, 3.0)
+        assert r.dims == 2
+
+    def test_degenerate_point_rect_allowed(self):
+        r = Rect.from_point((1.0, 2.0))
+        assert r.low == r.high == (1.0, 2.0)
+        assert r.area() == 0.0
+
+    def test_rejects_inverted_corners(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            Rect((1.0,), (0.0,))
+
+    def test_rejects_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            Rect((0.0,), (1.0, 2.0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one dimension"):
+            Rect((), ())
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            Rect((0.0,), (float("inf"),))
+
+    def test_immutable(self):
+        r = Rect((0.0,), (1.0,))
+        with pytest.raises(AttributeError):
+            r.low = (5.0,)
+
+    def test_equality_and_hash(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((0.0, 0.0), (1.0, 1.0))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Rect((0, 0), (1, 2))
+        assert a != "not a rect"
+
+
+class TestMeasures:
+    def test_area(self):
+        assert Rect((0, 0), (2, 3)).area() == 6.0
+
+    def test_margin(self):
+        assert Rect((0, 0), (2, 3)).margin() == 5.0
+
+    def test_center(self):
+        assert Rect((0, 0), (2, 4)).center == (1.0, 2.0)
+
+    def test_extent(self):
+        r = Rect((0, 1), (2, 5))
+        assert r.extent(0) == 2.0
+        assert r.extent(1) == 4.0
+
+
+class TestRelations:
+    def test_union(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((2, -1), (3, 0.5))
+        assert a.union(b) == Rect((0, -1), (3, 1))
+
+    def test_union_of_many(self):
+        rects = [Rect((i, i), (i + 1, i + 1)) for i in range(4)]
+        assert Rect.union_of(rects) == Rect((0, 0), (4, 4))
+
+    def test_union_of_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            Rect.union_of([])
+
+    def test_intersects_overlap(self):
+        assert Rect((0, 0), (2, 2)).intersects(Rect((1, 1), (3, 3)))
+
+    def test_intersects_touching_boundary(self):
+        assert Rect((0, 0), (1, 1)).intersects(Rect((1, 1), (2, 2)))
+
+    def test_intersects_disjoint(self):
+        assert not Rect((0, 0), (1, 1)).intersects(Rect((2, 0), (3, 1)))
+
+    def test_intersection_area(self):
+        a = Rect((0, 0), (2, 2))
+        b = Rect((1, 1), (3, 3))
+        assert a.intersection_area(b) == 1.0
+        assert a.intersection_area(Rect((5, 5), (6, 6))) == 0.0
+
+    def test_contains_point(self):
+        r = Rect((0, 0), (2, 2))
+        assert r.contains_point((1, 1))
+        assert r.contains_point((0, 0))  # boundary
+        assert not r.contains_point((3, 1))
+
+    def test_contains_point_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            Rect((0, 0), (1, 1)).contains_point((0.5,))
+
+    def test_contains_rect(self):
+        outer = Rect((0, 0), (4, 4))
+        assert outer.contains_rect(Rect((1, 1), (2, 2)))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect((3, 3), (5, 5)))
+
+    def test_enlargement(self):
+        a = Rect((0, 0), (1, 1))
+        assert a.enlargement(Rect((0, 0), (1, 1))) == 0.0
+        assert a.enlargement(Rect((1, 0), (2, 1))) == pytest.approx(1.0)
+
+
+class TestRectProperties:
+    @given(rect_strategy(), rect_strategy())
+    def test_union_commutes_and_contains(self, a, b):
+        u = a.union(b)
+        assert u == b.union(a)
+        assert u.contains_rect(a)
+        assert u.contains_rect(b)
+
+    @given(rect_strategy(), rect_strategy())
+    def test_union_area_at_least_max(self, a, b):
+        u = a.union(b)
+        assert u.area() >= max(a.area(), b.area()) - 1e-9
+
+    @given(rect_strategy(), rect_strategy())
+    def test_enlargement_consistent_with_union(self, a, b):
+        assert a.enlargement(b) == pytest.approx(
+            a.union(b).area() - a.area(), abs=1e-6
+        )
+
+    @given(rect_strategy(), rect_strategy())
+    def test_intersection_area_symmetric_and_bounded(self, a, b):
+        ia = a.intersection_area(b)
+        assert ia == pytest.approx(b.intersection_area(a))
+        assert 0.0 <= ia <= min(a.area(), b.area()) + 1e-9
+
+    @given(rect_strategy(), rect_strategy())
+    def test_intersects_iff_positive_or_touching(self, a, b):
+        # intersection_area > 0 implies intersects; disjoint implies 0.
+        if a.intersection_area(b) > 0:
+            assert a.intersects(b)
+        if not a.intersects(b):
+            assert a.intersection_area(b) == 0.0
+
+    @given(rect_strategy(dims=3))
+    def test_center_inside(self, r):
+        assert r.contains_point(r.center)

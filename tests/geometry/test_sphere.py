@@ -1,0 +1,124 @@
+"""Unit and property tests for hyper-spheres."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect
+from repro.geometry.sphere import Sphere
+
+coord = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+radius = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+
+
+def sphere_strategy(dims=2):
+    return st.tuples(st.tuples(*([coord] * dims)), radius).map(
+        lambda cr: Sphere(cr[0], cr[1])
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = Sphere((1.0, 2.0), 3.0)
+        assert s.center == (1.0, 2.0)
+        assert s.radius == 3.0
+        assert s.dims == 2
+
+    def test_zero_radius_allowed(self):
+        assert Sphere((0.0,), 0.0).contains_point((0.0,))
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Sphere((0.0,), -1.0)
+
+    def test_rejects_nan_radius(self):
+        with pytest.raises(ValueError, match="finite"):
+            Sphere((0.0,), float("nan"))
+
+    def test_immutable(self):
+        s = Sphere((0.0,), 1.0)
+        with pytest.raises(AttributeError):
+            s.radius = 2.0
+
+    def test_equality_and_hash(self):
+        assert Sphere((0.0,), 1.0) == Sphere((0.0,), 1.0)
+        assert hash(Sphere((0.0,), 1.0)) == hash(Sphere((0.0,), 1.0))
+        assert Sphere((0.0,), 1.0) != Sphere((0.0,), 2.0)
+
+
+class TestContainment:
+    def test_contains_point(self):
+        s = Sphere((0.0, 0.0), 5.0)
+        assert s.contains_point((3.0, 4.0))  # exactly on the boundary
+        assert s.contains_point((1.0, 1.0))
+        assert not s.contains_point((4.0, 4.0))
+
+    def test_intersects_rect_inside(self):
+        s = Sphere((0.0, 0.0), 1.0)
+        assert s.intersects_rect(Rect((-0.1, -0.1), (0.1, 0.1)))
+
+    def test_intersects_rect_overlapping_corner(self):
+        s = Sphere((0.0, 0.0), 1.5)
+        assert s.intersects_rect(Rect((1.0, 1.0), (2.0, 2.0)))
+
+    def test_intersects_rect_disjoint(self):
+        s = Sphere((0.0, 0.0), 1.0)
+        assert not s.intersects_rect(Rect((1.0, 1.0), (2.0, 2.0)))
+
+    def test_intersects_rect_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            Sphere((0.0,), 1.0).intersects_rect(Rect((0, 0), (1, 1)))
+
+    def test_contains_rect(self):
+        s = Sphere((0.0, 0.0), 2.0)
+        assert s.contains_rect(Rect((-1.0, -1.0), (1.0, 1.0)))
+        assert not s.contains_rect(Rect((-2.0, -2.0), (2.0, 2.0)))
+
+    def test_bounding_rect(self):
+        s = Sphere((1.0, 2.0), 0.5)
+        assert s.bounding_rect() == Rect((0.5, 1.5), (1.5, 2.5))
+
+
+class TestUnion:
+    def test_union_contained(self):
+        big = Sphere((0.0, 0.0), 10.0)
+        small = Sphere((1.0, 0.0), 1.0)
+        assert big.union(small) == big
+        assert small.union(big) == big
+
+    def test_union_disjoint(self):
+        a = Sphere((0.0, 0.0), 1.0)
+        b = Sphere((4.0, 0.0), 1.0)
+        u = a.union(b)
+        assert u.radius == pytest.approx(3.0)
+        assert u.center == pytest.approx((2.0, 0.0))
+
+    def test_union_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            Sphere((0.0,), 1.0).union(Sphere((0.0, 0.0), 1.0))
+
+    @given(sphere_strategy(), sphere_strategy())
+    def test_union_encloses_both(self, a, b):
+        u = a.union(b)
+        # Sample each sphere's extreme points along each axis.
+        for s in (a, b):
+            for axis in range(s.dims):
+                for sign in (-1.0, 1.0):
+                    point = list(s.center)
+                    point[axis] += sign * s.radius
+                    d = math.dist(u.center, point)
+                    assert d <= u.radius + 1e-6
+
+
+class TestSphereRectProperties:
+    @given(sphere_strategy(dims=3))
+    def test_bounding_rect_contains_center(self, s):
+        assert s.bounding_rect().contains_point(s.center)
+
+    @given(sphere_strategy(dims=2))
+    def test_sphere_intersects_own_bounding_rect(self, s):
+        assert s.intersects_rect(s.bounding_rect())

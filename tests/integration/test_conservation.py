@@ -1,0 +1,130 @@
+"""Conservation laws: bookkeeping invariants across random workloads.
+
+Whatever the workload, certain identities must hold exactly: access
+counts split by disk must sum to the total, utilizations are physical
+(0..1), simulated I/O equals the counting executor's I/O for the same
+queries, and no response time beats its own critical-path floor.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import CRSS, CountingExecutor
+from repro.datasets import sample_queries, uniform
+from repro.parallel import build_parallel_tree
+from repro.simulation import simulate_workload
+from repro.simulation.parameters import SystemParameters
+
+
+@pytest.fixture(scope="module")
+def fixed_tree():
+    points = uniform(700, 2, seed=111)
+    tree = build_parallel_tree(points, dims=2, num_disks=5, max_entries=8)
+    return tree, points
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    k=st.integers(min_value=1, max_value=30),
+)
+def test_per_disk_accesses_sum_to_total(fixed_tree, seed, k):
+    tree, points = fixed_tree
+    rng = random.Random(seed)
+    query = (rng.random(), rng.random())
+    executor = CountingExecutor(tree)
+    executor.execute(CRSS(query, k, num_disks=tree.num_disks))
+    stats = executor.last_stats
+    assert sum(stats.per_disk.values()) == stats.nodes_visited
+    assert stats.rounds <= stats.nodes_visited
+    assert stats.critical_path <= stats.nodes_visited
+    assert stats.max_batch <= tree.num_disks
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    rate=st.floats(min_value=0.5, max_value=30.0, allow_nan=False),
+)
+def test_simulated_io_matches_counting_io(fixed_tree, seed, rate):
+    """The simulator fetches exactly the pages the algorithm asked for —
+    timing never changes what is read."""
+    tree, points = fixed_tree
+    queries = sample_queries(points, 6, seed=seed)
+    factory = lambda q: CRSS(q, 8, num_disks=tree.num_disks)
+
+    counting = CountingExecutor(tree)
+    expected_pages = {}
+    for q in queries:
+        counting.execute(factory(q))
+        expected_pages[q] = counting.last_stats.nodes_visited
+
+    result = simulate_workload(
+        tree, factory, queries, arrival_rate=rate, seed=seed
+    )
+    # Records complete in simulation order, not submission order, so
+    # match each record back to its query point.
+    assert len(result.records) == len(queries)
+    for record in result.records:
+        assert record.pages_fetched == expected_pages[record.query]
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_utilizations_physical(fixed_tree, seed):
+    tree, points = fixed_tree
+    queries = sample_queries(points, 8, seed=seed)
+    result = simulate_workload(
+        tree,
+        lambda q: CRSS(q, 10, num_disks=tree.num_disks),
+        queries,
+        arrival_rate=20.0,
+        seed=seed,
+    )
+    assert len(result.disk_utilizations) == tree.num_disks
+    for utilization in result.disk_utilizations:
+        assert 0.0 <= utilization <= 1.0 + 1e-9
+    for mean_q, max_q in zip(
+        result.mean_queue_lengths, result.max_queue_lengths
+    ):
+        assert 0.0 <= mean_q <= max_q + 1e-9
+
+
+def test_response_never_beats_its_own_io(fixed_tree):
+    """Every query's response exceeds its pure transfer+overhead cost —
+    a per-record sanity floor independent of the analytical model."""
+    tree, points = fixed_tree
+    params = SystemParameters(sample_rotation=False)
+    queries = sample_queries(points, 10, seed=9)
+    result = simulate_workload(
+        tree,
+        lambda q: CRSS(q, 8, num_disks=tree.num_disks),
+        queries,
+        arrival_rate=None,
+        params=params,
+        seed=9,
+    )
+    per_page_floor = (
+        params.page_size / params.disk.transfer_rate
+        + params.disk.controller_overhead
+    )
+    counting = CountingExecutor(tree)
+    for record in result.records:
+        counting.execute(CRSS(record.query, 8, num_disks=tree.num_disks))
+        critical = counting.last_stats.critical_path
+        assert record.response_time >= critical * per_page_floor

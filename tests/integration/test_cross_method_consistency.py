@@ -1,0 +1,75 @@
+"""Fuzz-style consistency: all access methods agree on every query.
+
+The strongest integration property the library offers: the same data
+indexed five different ways (R*-tree, SS-tree, SR-tree, X-tree, TV
+view) must return byte-identical k-NN answers under every search
+algorithm, for randomized datasets, dimensions and query mixes.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core import BBSS, CRSS, CountingExecutor, FPSS, WOPTSS
+from repro.datasets import gaussian, uniform
+from repro.extensions.srtree import build_parallel_srtree
+from repro.extensions.sstree import build_parallel_sstree
+from repro.extensions.tvtree import build_tv_view
+from repro.extensions.xtree import build_parallel_xtree
+from repro.parallel import build_parallel_tree
+
+
+@pytest.mark.parametrize(
+    "dims,n,seed",
+    [(2, 400, 101), (4, 350, 102), (6, 300, 103)],
+    ids=["2d", "4d", "6d"],
+)
+def test_all_methods_agree(dims, n, seed):
+    data = (
+        gaussian(n // 2, dims, seed=seed)
+        + uniform(n - n // 2, dims, seed=seed + 1)
+    )
+    num_disks = 4
+    trees = {
+        "rstar": build_parallel_tree(
+            data, dims=dims, num_disks=num_disks, max_entries=8
+        ),
+        "sstree": build_parallel_sstree(
+            data, dims=dims, num_disks=num_disks, max_entries=8
+        ),
+        "srtree": build_parallel_srtree(
+            data, dims=dims, num_disks=num_disks, max_entries=8
+        ),
+        "xtree": build_parallel_xtree(
+            data, dims=dims, num_disks=num_disks, max_entries=8,
+            max_overlap=0.1,
+        ),
+    }
+    if dims > 2:
+        trees["tv"] = build_tv_view(
+            data, dims=dims, num_disks=num_disks,
+            active=max(1, dims // 2), page_size=1024,
+        )
+
+    rng = random.Random(seed + 2)
+    for _ in range(6):
+        q = tuple(rng.random() for _ in range(dims))
+        k = rng.choice([1, 7, 23])
+        oracle = [
+            oid
+            for _, oid in sorted(
+                (math.dist(q, p), oid) for oid, p in enumerate(data)
+            )[:k]
+        ]
+        for label, tree in trees.items():
+            executor = CountingExecutor(tree)
+            dk = tree.kth_nearest_distance(q, k)
+            for algorithm in (
+                BBSS(q, k),
+                FPSS(q, k),
+                CRSS(q, k, num_disks=num_disks),
+                WOPTSS(q, k, oracle_dk=dk),
+            ):
+                got = [n.oid for n in executor.execute(algorithm)]
+                assert got == oracle, (label, algorithm.name, k)

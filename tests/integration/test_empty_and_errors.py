@@ -1,0 +1,97 @@
+"""Degenerate inputs and failure propagation across the stack."""
+
+import pytest
+
+from repro.core import BBSS, CRSS, CountingExecutor, FPSS, WOPTSS
+from repro.extensions.range_search import (
+    ParallelRangeSearch,
+    ParallelSphereSearch,
+)
+from repro.geometry.rect import Rect
+from repro.parallel import ParallelRStarTree
+from repro.simulation.engine import Environment
+
+
+class TestEmptyTree:
+    @pytest.fixture
+    def empty(self):
+        return ParallelRStarTree(2, num_disks=3, max_entries=8)
+
+    def test_knn_algorithms_return_nothing(self, empty):
+        executor = CountingExecutor(empty)
+        q = (0.5, 0.5)
+        for algorithm in (
+            BBSS(q, 5),
+            FPSS(q, 5),
+            CRSS(q, 5, num_disks=3),
+            WOPTSS(q, 5, oracle_dk=0.0),
+        ):
+            assert executor.execute(algorithm) == []
+            # Only the (empty) root page is touched.
+            assert executor.last_stats.nodes_visited == 1
+
+    def test_range_searches_return_nothing(self, empty):
+        executor = CountingExecutor(empty)
+        assert executor.execute(ParallelSphereSearch((0.5, 0.5), 1.0)) == []
+        assert executor.execute(
+            ParallelRangeSearch(Rect((0.0, 0.0), (1.0, 1.0)))
+        ) == []
+
+    def test_single_object_tree(self):
+        tree = ParallelRStarTree(2, num_disks=2, max_entries=8)
+        tree.insert((0.25, 0.75), 42)
+        executor = CountingExecutor(tree)
+        for algorithm in (
+            BBSS((0.5, 0.5), 3),
+            FPSS((0.5, 0.5), 3),
+            CRSS((0.5, 0.5), 3, num_disks=2),
+        ):
+            result = executor.execute(algorithm)
+            assert [n.oid for n in result] == [42]
+
+
+class TestFailurePropagation:
+    def test_process_exception_surfaces_from_run(self):
+        """An exception inside a process must not be swallowed."""
+        env = Environment()
+
+        def broken():
+            yield env.timeout(1.0)
+            raise RuntimeError("deliberate failure")
+
+        env.process(broken())
+        with pytest.raises(RuntimeError, match="deliberate failure"):
+            env.run()
+
+    def test_algorithm_requesting_unknown_page(self):
+        """Fetching a page id that does not exist is a hard error, not
+        a silent skip — a symptom of a corrupted stack or placement."""
+        from repro.core.protocol import FetchRequest, SearchAlgorithm
+
+        class Rogue(SearchAlgorithm):
+            name = "ROGUE"
+
+            def run(self, root_page_id):
+                yield FetchRequest([999_999])
+                return []
+
+        tree = ParallelRStarTree(2, num_disks=2, max_entries=8)
+        tree.insert((0.5, 0.5), 0)
+        with pytest.raises(KeyError):
+            CountingExecutor(tree).execute(Rogue((0.5, 0.5), 1))
+
+    def test_simulated_executor_unknown_disk_page(self):
+        from repro.core import CRSS
+        from repro.simulation import simulate_workload
+
+        tree = ParallelRStarTree(2, num_disks=2, max_entries=8)
+        tree.insert((0.5, 0.5), 0)
+        # Sabotage the placement of the root.
+        del tree._placement[tree.root_page_id]
+        with pytest.raises(KeyError):
+            simulate_workload(
+                tree,
+                lambda q: CRSS(q, 1, num_disks=2),
+                [(0.5, 0.5)],
+                arrival_rate=1.0,
+            )

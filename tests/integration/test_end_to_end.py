@@ -1,0 +1,102 @@
+"""End-to-end integration tests: the full pipeline of the paper.
+
+Data generation → incremental declustered R*-tree construction → k-NN
+search under all four algorithms → event-driven multi-user simulation,
+asserting both exactness and the paper's qualitative orderings.
+"""
+
+import pytest
+
+from repro.core import BBSS, CRSS, CountingExecutor, FPSS, WOPTSS
+from repro.datasets import gaussian, sample_queries
+from repro.experiments import make_factory
+from repro.parallel import build_parallel_tree
+from repro.rtree import check_invariants
+from repro.simulation import simulate_workload
+from repro.simulation.parameters import SystemParameters
+
+
+@pytest.fixture(scope="module")
+def system():
+    points = gaussian(1500, 3, seed=21)
+    tree = build_parallel_tree(points, dims=3, num_disks=8, max_entries=10)
+    queries = sample_queries(points, 15, seed=22)
+    return points, tree, queries
+
+
+class TestFullPipeline:
+    def test_tree_is_valid(self, system):
+        _, tree, _ = system
+        check_invariants(tree.tree)
+        assert tree.height >= 3
+
+    def test_all_algorithms_agree(self, system):
+        _, tree, queries = system
+        executor = CountingExecutor(tree)
+        for query in queries:
+            k = 12
+            reference = [n.oid for n in tree.knn(query, k)]
+            for name in ("BBSS", "FPSS", "CRSS", "WOPTSS"):
+                got = [
+                    n.oid
+                    for n in executor.execute(make_factory(name, tree, k)(query))
+                ]
+                assert got == reference, name
+
+    def test_access_count_ordering(self, system):
+        """Mean accesses: WOPTSS <= {BBSS, CRSS} <= FPSS on this workload."""
+        _, tree, queries = system
+        executor = CountingExecutor(tree)
+        means = {}
+        for name in ("BBSS", "FPSS", "CRSS", "WOPTSS"):
+            total = 0
+            for query in queries:
+                executor.execute(make_factory(name, tree, 12)(query))
+                total += executor.last_stats.nodes_visited
+            means[name] = total / len(queries)
+        assert means["WOPTSS"] <= means["BBSS"]
+        assert means["WOPTSS"] <= means["CRSS"]
+        assert means["CRSS"] <= means["FPSS"]
+
+    def test_simulated_ordering_under_load(self, system):
+        """Mean response under load: WOPTSS fastest; CRSS beats BBSS."""
+        _, tree, queries = system
+        params = SystemParameters(page_size=1024)
+        means = {}
+        for name in ("BBSS", "CRSS", "WOPTSS"):
+            result = simulate_workload(
+                tree,
+                make_factory(name, tree, 12),
+                queries,
+                arrival_rate=8.0,
+                params=params,
+                seed=5,
+            )
+            means[name] = result.mean_response
+        assert means["WOPTSS"] <= means["CRSS"] * 1.05
+        assert means["CRSS"] <= means["BBSS"] * 1.05
+
+    def test_dynamic_updates_then_search(self, system):
+        """Insertions and deletions intermixed with queries (the paper's
+        dynamic-environment setting) keep everything consistent."""
+        points, _, _ = system
+        tree = build_parallel_tree(
+            points[:400], dims=3, num_disks=4, max_entries=8
+        )
+        # Delete a third, insert replacements.
+        for oid in range(0, 400, 3):
+            assert tree.delete(points[oid], oid)
+        extra = gaussian(200, 3, seed=33)
+        for j, p in enumerate(extra):
+            tree.insert(p, 1000 + j)
+        check_invariants(tree.tree)
+
+        executor = CountingExecutor(tree)
+        query = (0.5, 0.5, 0.5)
+        reference = [n.oid for n in tree.knn(query, 10)]
+        for name in ("BBSS", "FPSS", "CRSS", "WOPTSS"):
+            got = [
+                n.oid
+                for n in executor.execute(make_factory(name, tree, 10)(query))
+            ]
+            assert got == reference, name

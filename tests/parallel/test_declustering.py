@@ -1,0 +1,133 @@
+"""Tests for the declustering policies."""
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.parallel.declustering import (
+    AreaBalance,
+    DataBalance,
+    PlacementContext,
+    ProximityIndex,
+    RandomAssignment,
+    RoundRobin,
+    make_policy,
+)
+
+
+def context(
+    rect=Rect((0.0, 0.0), (1.0, 1.0)),
+    siblings=(),
+    num_disks=4,
+    nodes=(0, 0, 0, 0),
+    objects=(0, 0, 0, 0),
+    areas=(0.0, 0.0, 0.0, 0.0),
+):
+    return PlacementContext(
+        rect=rect,
+        siblings=list(siblings),
+        num_disks=num_disks,
+        nodes_per_disk=list(nodes),
+        objects_per_disk=list(objects),
+        area_per_disk=list(areas),
+    )
+
+
+class TestRoundRobin:
+    def test_cycles(self):
+        policy = RoundRobin()
+        picks = [policy.choose_disk(context()) for _ in range(8)]
+        assert picks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_reset(self):
+        policy = RoundRobin()
+        policy.choose_disk(context())
+        policy.reset()
+        assert policy.choose_disk(context()) == 0
+
+
+class TestRandomAssignment:
+    def test_in_range_and_reproducible(self):
+        a = RandomAssignment(seed=5)
+        b = RandomAssignment(seed=5)
+        picks_a = [a.choose_disk(context()) for _ in range(20)]
+        picks_b = [b.choose_disk(context()) for _ in range(20)]
+        assert picks_a == picks_b
+        assert all(0 <= p < 4 for p in picks_a)
+
+    def test_reset_restores_sequence(self):
+        policy = RandomAssignment(seed=9)
+        first = [policy.choose_disk(context()) for _ in range(10)]
+        policy.reset()
+        assert [policy.choose_disk(context()) for _ in range(10)] == first
+
+
+class TestBalancePolicies:
+    def test_data_balance_picks_least_loaded(self):
+        policy = DataBalance()
+        ctx = context(objects=(10, 3, 7, 5))
+        assert policy.choose_disk(ctx) == 1
+
+    def test_area_balance_picks_least_area(self):
+        policy = AreaBalance()
+        ctx = context(areas=(4.0, 2.0, 0.5, 3.0))
+        assert policy.choose_disk(ctx) == 2
+
+    def test_ties_break_by_disk_id(self):
+        assert DataBalance().choose_disk(context()) == 0
+        assert AreaBalance().choose_disk(context()) == 0
+
+
+class TestProximityIndex:
+    def test_avoids_disk_with_proximal_sibling(self):
+        new_rect = Rect((0.0, 0.0), (1.0, 1.0))
+        near = Rect((0.5, 0.5), (1.5, 1.5))   # heavily overlapping
+        far = Rect((50.0, 50.0), (51.0, 51.0))
+        ctx = context(
+            rect=new_rect,
+            siblings=[(near, 0), (far, 1)],
+            nodes=(1, 1, 5, 5),
+        )
+        # Disks 2, 3 host no sibling at all -> proximity 0, but they are
+        # more loaded; among the zero-proximity disks the least loaded
+        # wins; disk 0 (near sibling) must not be chosen.
+        choice = ProximityIndex().choose_disk(ctx)
+        assert choice != 0
+        assert choice in (2, 3)
+
+    def test_prefers_disk_with_farthest_siblings(self):
+        new_rect = Rect((0.0, 0.0), (1.0, 1.0))
+        ctx = context(
+            rect=new_rect,
+            siblings=[
+                (Rect((0.2, 0.2), (0.8, 0.8)), 0),
+                (Rect((10.0, 10.0), (11.0, 11.0)), 1),
+            ],
+            num_disks=2,
+            nodes=(1, 1),
+            objects=(0, 0),
+            areas=(0.0, 0.0),
+        )
+        assert ProximityIndex().choose_disk(ctx) == 1
+
+    def test_no_siblings_falls_back_to_load(self):
+        ctx = context(nodes=(3, 1, 2, 9))
+        assert ProximityIndex().choose_disk(ctx) == 1
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("round_robin", RoundRobin),
+            ("random", RandomAssignment),
+            ("data_balance", DataBalance),
+            ("area_balance", AreaBalance),
+            ("proximity", ProximityIndex),
+        ],
+    )
+    def test_by_name(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown declustering policy"):
+            make_policy("hash_ring")

@@ -1,0 +1,67 @@
+"""Tests for the rectangle proximity measure."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect
+from repro.parallel.proximity import interval_proximity, proximity
+
+coord = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False, width=32)
+
+
+def rect_strategy(dims=2):
+    return st.tuples(*([st.tuples(coord, coord)] * dims)).map(
+        lambda pairs: Rect(
+            [min(a, b) for a, b in pairs], [max(a, b) for a, b in pairs]
+        )
+    )
+
+
+class TestIntervalProximity:
+    def test_identical_intervals_score_one(self):
+        assert interval_proximity(0.0, 1.0, 0.0, 1.0) == 1.0
+
+    def test_touching_intervals_score_half(self):
+        assert interval_proximity(0.0, 1.0, 1.0, 2.0) == 0.5
+
+    def test_maximally_separated_points_score_zero(self):
+        # Two points at the frame's ends: gap equals the frame.
+        assert interval_proximity(0.0, 0.0, 1.0, 1.0) == 0.0
+
+    def test_identical_point_intervals(self):
+        assert interval_proximity(1.0, 1.0, 1.0, 1.0) == 1.0
+
+    def test_monotone_in_gap(self):
+        scores = [
+            interval_proximity(0.0, 1.0, 1.0 + gap, 2.0 + gap)
+            for gap in (0.0, 0.5, 1.0, 2.0)
+        ]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestProximity:
+    def test_identical_rects_score_one(self):
+        r = Rect((0.0, 0.0), (1.0, 2.0))
+        assert proximity(r, r) == 1.0
+
+    def test_far_apart_scores_near_zero(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((100.0, 100.0), (101.0, 101.0))
+        assert proximity(a, b) < 0.02
+
+    def test_overlapping_beats_disjoint(self):
+        base = Rect((0.0, 0.0), (2.0, 2.0))
+        overlapping = Rect((1.0, 1.0), (3.0, 3.0))
+        disjoint = Rect((5.0, 5.0), (7.0, 7.0))
+        assert proximity(base, overlapping) > proximity(base, disjoint)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            proximity(Rect((0.0,), (1.0,)), Rect((0.0, 0.0), (1.0, 1.0)))
+
+    @given(rect_strategy(), rect_strategy())
+    def test_bounded_and_symmetric(self, a, b):
+        score = proximity(a, b)
+        assert 0.0 <= score <= 1.0
+        assert score == pytest.approx(proximity(b, a))

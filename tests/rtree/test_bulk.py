@@ -1,0 +1,94 @@
+"""Tests for STR bulk loading."""
+
+import random
+
+import pytest
+
+from repro.rtree import RStarTree, check_invariants, str_bulk_load
+from tests.conftest import brute_force_knn
+
+
+def make_points(n, seed=0, dims=2):
+    rng = random.Random(seed)
+    return [tuple(rng.random() for _ in range(dims)) for _ in range(n)]
+
+
+class TestStrBulkLoad:
+    def test_empty(self):
+        tree = str_bulk_load([], dims=2, max_entries=8)
+        assert len(tree) == 0
+        check_invariants(tree)
+
+    def test_single_point(self):
+        tree = str_bulk_load([((0.5, 0.5), 0)], dims=2, max_entries=8)
+        assert len(tree) == 1
+        assert tree.height == 1
+        check_invariants(tree)
+
+    def test_packs_leaves_tightly(self):
+        points = [(p, i) for i, p in enumerate(make_points(256))]
+        tree = str_bulk_load(points, dims=2, max_entries=8)
+        leaves = [n for n in tree.iter_nodes() if n.is_leaf]
+        # STR at fill factor 1.0 packs leaves near capacity: 256 points
+        # at fan-out 8 need at least 32 leaves, and tiling slack keeps
+        # the total well below a dynamic build's leaf count.
+        assert 32 <= len(leaves) <= 44
+        check_invariants(tree)
+
+    def test_fill_factor(self):
+        points = [(p, i) for i, p in enumerate(make_points(256))]
+        tree = str_bulk_load(points, dims=2, max_entries=10, fill_factor=0.8)
+        leaves = [n for n in tree.iter_nodes() if n.is_leaf]
+        assert all(len(leaf.entries) <= 8 for leaf in leaves)
+
+    def test_invalid_fill_factor(self):
+        with pytest.raises(ValueError, match="fill_factor"):
+            str_bulk_load([], dims=2, fill_factor=0.0)
+
+    def test_queries_exact_after_bulk_load(self):
+        raw = make_points(300, seed=5)
+        tree = str_bulk_load(
+            [(p, i) for i, p in enumerate(raw)], dims=2, max_entries=8
+        )
+        rng = random.Random(1)
+        for _ in range(10):
+            q = (rng.random(), rng.random())
+            got = [(round(r.distance, 9), r.oid) for r in tree.knn(q, 9)]
+            expected = [
+                (round(d, 9), oid) for d, oid in brute_force_knn(raw, q, 9)
+            ]
+            assert got == expected
+
+    def test_dynamic_inserts_after_bulk_load(self):
+        raw = make_points(200, seed=6)
+        tree = str_bulk_load(
+            [(p, i) for i, p in enumerate(raw)], dims=2, max_entries=8
+        )
+        extra = make_points(100, seed=7)
+        for j, p in enumerate(extra):
+            tree.insert(p, 200 + j)
+        check_invariants(tree)
+        assert len(tree) == 300
+
+    def test_higher_dimension(self):
+        raw = make_points(200, seed=8, dims=5)
+        tree = str_bulk_load(
+            [(p, i) for i, p in enumerate(raw)], dims=5, max_entries=10
+        )
+        check_invariants(tree)
+        q = raw[0]
+        assert tree.knn(q, 1)[0].oid == 0
+
+    def test_on_split_hook_sees_every_node(self):
+        seen = []
+        raw = make_points(100, seed=9)
+        tree = str_bulk_load(
+            [(p, i) for i, p in enumerate(raw)],
+            dims=2,
+            max_entries=8,
+            on_split=lambda old, new: seen.append(new.page_id),
+        )
+        live = set(tree.pages.keys())
+        assert live <= set(seen) | {tree.root_page_id}
+        # Every created node was reported exactly once.
+        assert len(seen) == len(set(seen))

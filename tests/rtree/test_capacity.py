@@ -1,0 +1,44 @@
+"""Tests for page-size-derived node capacity."""
+
+import pytest
+
+from repro.rtree.capacity import capacity_for_page, entry_bytes
+
+
+class TestEntryBytes:
+    def test_2d(self):
+        # 2 * 2 dims * 8 bytes + 4 (pointer) + 4 (count) = 40.
+        assert entry_bytes(2) == 40
+
+    def test_10d(self):
+        assert entry_bytes(10) == 168
+
+    def test_rejects_non_positive_dims(self):
+        with pytest.raises(ValueError, match="positive"):
+            entry_bytes(0)
+
+
+class TestCapacityForPage:
+    def test_4k_page_2d(self):
+        assert capacity_for_page(4096, 2) == 102
+
+    def test_4k_page_10d(self):
+        assert capacity_for_page(4096, 10) == 24
+
+    def test_1k_page_2d(self):
+        assert capacity_for_page(1024, 2) == 25
+
+    def test_capacity_monotone_in_page_size(self):
+        sizes = [512, 1024, 2048, 4096, 8192]
+        caps = [capacity_for_page(s, 3) for s in sizes]
+        assert caps == sorted(caps)
+
+    def test_capacity_decreases_with_dimension(self):
+        caps = [capacity_for_page(4096, d) for d in range(1, 16)]
+        assert caps == sorted(caps, reverse=True)
+
+    def test_too_small_page_raises(self):
+        with pytest.raises(ValueError):
+            capacity_for_page(16, 2)
+        with pytest.raises(ValueError, match="fewer than 2"):
+            capacity_for_page(64, 10)

@@ -1,0 +1,167 @@
+"""Tests for the Hilbert curve and Hilbert bulk loading."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtree import check_invariants, hilbert_bulk_load, hilbert_index
+from repro.rtree.hilbert import hilbert_center_key, hilbert_sort_key
+from tests.conftest import brute_force_knn
+
+
+class TestHilbertIndex:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="order"):
+            hilbert_index((0, 0), 0)
+        with pytest.raises(ValueError, match="at least one"):
+            hilbert_index((), 3)
+        with pytest.raises(ValueError, match="outside"):
+            hilbert_index((8, 0), 3)
+        with pytest.raises(ValueError, match="outside"):
+            hilbert_index((-1, 0), 3)
+
+    def test_order_one_2d_is_a_hilbert_cell_walk(self):
+        """The four order-1 cells are visited once each, adjacently."""
+        indices = {
+            hilbert_index(c, 1): c
+            for c in itertools.product(range(2), repeat=2)
+        }
+        assert sorted(indices) == [0, 1, 2, 3]
+        for i in range(3):
+            a, b = indices[i], indices[i + 1]
+            assert sum(abs(x - y) for x, y in zip(a, b)) == 1
+
+    @pytest.mark.parametrize("dims,order", [(2, 3), (2, 4), (3, 2), (4, 2)])
+    def test_bijective_and_adjacent(self, dims, order):
+        """The defining Hilbert properties: a bijection onto the grid
+        whose consecutive positions are unit-distance neighbors."""
+        side = 1 << order
+        cells = {}
+        for coords in itertools.product(range(side), repeat=dims):
+            index = hilbert_index(coords, order)
+            assert index not in cells
+            cells[index] = coords
+        assert set(cells) == set(range(side ** dims))
+        for i in range(side ** dims - 1):
+            step = sum(
+                abs(a - b) for a, b in zip(cells[i], cells[i + 1])
+            )
+            assert step == 1
+
+    def test_locality_beats_row_major(self):
+        """A contiguous Hilbert segment stays spatially compact — the
+        property that makes Hilbert *packing* produce square-ish pages.
+        Metric: mean bounding-box margin of each run of 16 consecutive
+        curve positions (one "page"), vs. row-major order whose runs are
+        long thin strips."""
+        order, side = 4, 16
+        run = 16
+
+        def mean_run_margin(key):
+            by_index = sorted(
+                ((key((x, y)), (x, y))
+                 for x in range(side) for y in range(side))
+            )
+            margins = []
+            for start in range(0, side * side, run):
+                cells = [c for _, c in by_index[start:start + run]]
+                xs = [c[0] for c in cells]
+                ys = [c[1] for c in cells]
+                margins.append((max(xs) - min(xs)) + (max(ys) - min(ys)))
+            return sum(margins) / len(margins)
+
+        hilbert_margin = mean_run_margin(lambda c: hilbert_index(c, order))
+        row_major_margin = mean_run_margin(lambda c: c[0] * side + c[1])
+        # Hilbert runs of 16 cells are ~4x4 squares (margin 6); row-major
+        # runs are full 16x1 strips (margin 15).
+        assert hilbert_margin <= row_major_margin / 2
+
+
+class TestHilbertSortKey:
+    def test_clamps_out_of_cube(self):
+        assert hilbert_sort_key((-0.5, 0.2)) == hilbert_sort_key((0.0, 0.2))
+        assert hilbert_sort_key((1.5, 0.2)) == hilbert_sort_key((1.0, 0.2))
+
+    def test_center_key_uses_rect_center(self):
+        from repro.geometry.rect import Rect
+
+        rect = Rect((0.2, 0.4), (0.4, 0.6))
+        assert hilbert_center_key(rect) == hilbert_sort_key((0.3, 0.5))
+
+    @given(
+        st.tuples(
+            st.floats(0, 1, allow_nan=False, width=32),
+            st.floats(0, 1, allow_nan=False, width=32),
+        )
+    )
+    def test_key_in_range(self, point):
+        key = hilbert_sort_key(point, order=8)
+        assert 0 <= key < (1 << 16)
+
+
+class TestHilbertBulkLoad:
+    def make_points(self, n, seed=0, dims=2):
+        rng = random.Random(seed)
+        return [
+            (tuple(rng.random() for _ in range(dims)), i) for i in range(n)
+        ]
+
+    def test_empty_and_single(self):
+        assert len(hilbert_bulk_load([], dims=2, max_entries=8)) == 0
+        tree = hilbert_bulk_load([((0.5, 0.5), 0)], dims=2, max_entries=8)
+        assert len(tree) == 1
+
+    def test_valid_tree(self):
+        tree = hilbert_bulk_load(
+            self.make_points(400, seed=81), dims=2, max_entries=8
+        )
+        check_invariants(tree)
+        assert len(tree) == 400
+        assert tree.height >= 3
+
+    def test_queries_exact(self):
+        points = self.make_points(300, seed=82)
+        raw = [p for p, _ in points]
+        tree = hilbert_bulk_load(points, dims=2, max_entries=8)
+        rng = random.Random(1)
+        for _ in range(8):
+            q = (rng.random(), rng.random())
+            got = [(round(r.distance, 9), r.oid) for r in tree.knn(q, 7)]
+            expected = [
+                (round(d, 9), oid) for d, oid in brute_force_knn(raw, q, 7)
+            ]
+            assert got == expected
+
+    def test_packs_better_than_dynamic_build(self):
+        """Hilbert packing yields fewer leaves (fuller pages) than the
+        one-by-one R* build of the same data."""
+        from repro.rtree import RStarTree
+
+        points = self.make_points(500, seed=83)
+        packed = hilbert_bulk_load(points, dims=2, max_entries=8)
+        dynamic = RStarTree(2, max_entries=8)
+        for p, oid in points:
+            dynamic.insert(p, oid)
+        packed_leaves = sum(1 for n in packed.iter_nodes() if n.is_leaf)
+        dynamic_leaves = sum(1 for n in dynamic.iter_nodes() if n.is_leaf)
+        assert packed_leaves < dynamic_leaves
+
+    def test_dynamic_operations_after_load(self):
+        points = self.make_points(200, seed=84)
+        tree = hilbert_bulk_load(points, dims=2, max_entries=8)
+        for j, (p, _) in enumerate(self.make_points(100, seed=85)):
+            tree.insert(p, 500 + j)
+        assert tree.delete(points[0][0], 0)
+        check_invariants(tree)
+
+    def test_three_dimensional(self):
+        points = self.make_points(250, seed=86, dims=3)
+        tree = hilbert_bulk_load(points, dims=3, max_entries=10)
+        check_invariants(tree)
+
+    def test_fill_factor_validation(self):
+        with pytest.raises(ValueError, match="fill_factor"):
+            hilbert_bulk_load([], dims=2, fill_factor=1.5)

@@ -1,0 +1,146 @@
+"""Tests for the in-memory reference queries."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.rtree import RStarTree
+from repro.rtree.query import (
+    knn,
+    kth_nearest_distance,
+    nodes_intersecting_sphere,
+    range_query,
+    sphere_query,
+)
+from tests.conftest import brute_force_knn
+
+
+@pytest.fixture
+def tree_and_points():
+    rng = random.Random(17)
+    points = [(rng.random(), rng.random()) for _ in range(250)]
+    tree = RStarTree(2, max_entries=6, min_entries=2)
+    for i, p in enumerate(points):
+        tree.insert(p, i)
+    return tree, points
+
+
+class TestRangeQuery:
+    def test_matches_linear_scan(self, tree_and_points):
+        tree, points = tree_and_points
+        rect = Rect((0.2, 0.3), (0.6, 0.7))
+        got = {oid for _, oid in range_query(tree, rect)}
+        expected = {
+            i for i, p in enumerate(points) if rect.contains_point(p)
+        }
+        assert got == expected
+        assert expected  # the window is big enough to be non-trivial
+
+    def test_empty_window(self, tree_and_points):
+        tree, _ = tree_and_points
+        assert range_query(tree, Rect((5.0, 5.0), (6.0, 6.0))) == []
+
+    def test_whole_space(self, tree_and_points):
+        tree, points = tree_and_points
+        got = range_query(tree, Rect((0.0, 0.0), (1.0, 1.0)))
+        assert len(got) == len(points)
+
+    def test_dimension_mismatch(self, tree_and_points):
+        tree, _ = tree_and_points
+        with pytest.raises(ValueError, match="mismatch"):
+            range_query(tree, Rect((0.0,), (1.0,)))
+
+    def test_empty_tree(self):
+        tree = RStarTree(2, max_entries=4)
+        assert range_query(tree, Rect((0, 0), (1, 1))) == []
+
+
+class TestSphereQuery:
+    def test_matches_linear_scan(self, tree_and_points):
+        tree, points = tree_and_points
+        center, radius = (0.5, 0.5), 0.2
+        got = {oid for _, oid in sphere_query(tree, center, radius)}
+        expected = {
+            i
+            for i, p in enumerate(points)
+            if math.dist(center, p) <= radius
+        }
+        assert got == expected
+
+    def test_zero_radius(self, tree_and_points):
+        tree, points = tree_and_points
+        got = sphere_query(tree, points[0], 0.0)
+        assert any(oid == 0 for _, oid in got)
+
+
+class TestKnn:
+    def test_matches_brute_force(self, tree_and_points):
+        tree, points = tree_and_points
+        rng = random.Random(3)
+        for _ in range(20):
+            q = (rng.random(), rng.random())
+            k = rng.choice([1, 2, 5, 17, 80])
+            got = [(round(r[0], 9), r[2]) for r in knn(tree, q, k)]
+            expected = [
+                (round(d, 9), oid) for d, oid in brute_force_knn(points, q, k)
+            ]
+            assert got == expected
+
+    def test_k_larger_than_population(self, tree_and_points):
+        tree, points = tree_and_points
+        results = knn(tree, (0.5, 0.5), 10_000)
+        assert len(results) == len(points)
+
+    def test_k_must_be_positive(self, tree_and_points):
+        tree, _ = tree_and_points
+        with pytest.raises(ValueError, match="positive"):
+            knn(tree, (0.5, 0.5), 0)
+
+    def test_results_sorted(self, tree_and_points):
+        tree, _ = tree_and_points
+        results = knn(tree, (0.1, 0.9), 40)
+        distances = [r[0] for r in results]
+        assert distances == sorted(distances)
+
+    def test_empty_tree(self):
+        tree = RStarTree(2, max_entries=4)
+        assert knn(tree, (0.5, 0.5), 3) == []
+
+
+class TestKthNearestDistance:
+    def test_matches_knn(self, tree_and_points):
+        tree, points = tree_and_points
+        q = (0.3, 0.3)
+        assert kth_nearest_distance(tree, q, 7) == pytest.approx(
+            brute_force_knn(points, q, 7)[-1][0]
+        )
+
+    def test_empty_tree_raises(self):
+        tree = RStarTree(2, max_entries=4)
+        with pytest.raises(ValueError, match="empty"):
+            kth_nearest_distance(tree, (0.0, 0.0), 1)
+
+
+class TestNodesIntersectingSphere:
+    def test_includes_root_and_matches_walk(self, tree_and_points):
+        tree, points = tree_and_points
+        q, k = (0.4, 0.6), 12
+        dk = kth_nearest_distance(tree, q, k)
+        pages = nodes_intersecting_sphere(tree, q, dk)
+        assert tree.root_page_id in pages
+
+        # Independent check: walk every node and test its MBR directly.
+        from repro.core.distances import minimum_distance
+
+        for node in tree.iter_nodes():
+            if node.mbr is None:
+                continue
+            intersects = minimum_distance(q, node.mbr) <= dk
+            assert (node.page_id in pages) == intersects
+
+    def test_huge_radius_covers_every_node(self, tree_and_points):
+        tree, _ = tree_and_points
+        pages = nodes_intersecting_sphere(tree, (0.5, 0.5), 100.0)
+        assert pages == set(tree.pages.keys())

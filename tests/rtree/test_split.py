@@ -1,0 +1,110 @@
+"""Tests for the three node-split policies."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect
+from repro.rtree.split import LinearSplit, QuadraticSplit, RStarSplit
+
+POLICIES = [RStarSplit(), QuadraticSplit(), LinearSplit()]
+
+
+def identity(rect):
+    return rect
+
+
+def make_rects(n, seed=0):
+    rng = random.Random(seed)
+    rects = []
+    for _ in range(n):
+        x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+        w, h = rng.uniform(0, 5), rng.uniform(0, 5)
+        rects.append(Rect((x, y), (x + w, y + h)))
+    return rects
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.name)
+class TestSplitContracts:
+    def test_partitions_all_entries(self, policy):
+        rects = make_rects(20)
+        g1, g2 = policy.split(rects, min_fill=4, rect_of=identity)
+        assert len(g1) + len(g2) == 20
+        # Same multiset of entries, nothing lost or duplicated.
+        assert sorted(map(id, g1 + g2)) == sorted(map(id, rects))
+
+    def test_respects_min_fill(self, policy):
+        for seed in range(5):
+            rects = make_rects(11, seed=seed)
+            g1, g2 = policy.split(rects, min_fill=4, rect_of=identity)
+            assert len(g1) >= 4
+            assert len(g2) >= 4
+
+    def test_min_fill_one(self, policy):
+        rects = make_rects(3)
+        g1, g2 = policy.split(rects, min_fill=1, rect_of=identity)
+        assert len(g1) >= 1 and len(g2) >= 1
+        assert len(g1) + len(g2) == 3
+
+    def test_too_few_entries_raises(self, policy):
+        rects = make_rects(5)
+        with pytest.raises(ValueError, match="cannot split"):
+            policy.split(rects, min_fill=3, rect_of=identity)
+
+    def test_identical_rects_still_split(self, policy):
+        rects = [Rect((1.0, 1.0), (2.0, 2.0)) for _ in range(10)]
+        g1, g2 = policy.split(rects, min_fill=4, rect_of=identity)
+        assert len(g1) + len(g2) == 10
+        assert len(g1) >= 4 and len(g2) >= 4
+
+    def test_works_in_higher_dimension(self, policy):
+        rng = random.Random(3)
+        rects = [
+            Rect(
+                [rng.uniform(0, 10) for _ in range(5)],
+                [rng.uniform(10, 20) for _ in range(5)],
+            )
+            for _ in range(12)
+        ]
+        g1, g2 = policy.split(rects, min_fill=5, rect_of=identity)
+        assert len(g1) + len(g2) == 12
+
+
+class TestRStarQuality:
+    def test_separates_two_clusters(self):
+        """Two well-separated clusters should split cleanly apart."""
+        left = [Rect((i * 0.1, 0.0), (i * 0.1 + 0.05, 1.0)) for i in range(6)]
+        right = [
+            Rect((100 + i * 0.1, 0.0), (100 + i * 0.1 + 0.05, 1.0))
+            for i in range(6)
+        ]
+        g1, g2 = RStarSplit().split(left + right, min_fill=4, rect_of=identity)
+        bb1 = Rect.union_of(g1)
+        bb2 = Rect.union_of(g2)
+        assert bb1.intersection_area(bb2) == 0.0
+
+    def test_prefers_low_overlap_over_guttman_seeds(self):
+        """On a stripe pattern, R* overlap is at most quadratic's."""
+        rects = make_rects(30, seed=9)
+        r1, r2 = RStarSplit().split(rects, min_fill=12, rect_of=identity)
+        q1, q2 = QuadraticSplit().split(rects, min_fill=12, rect_of=identity)
+        rstar_overlap = Rect.union_of(r1).intersection_area(Rect.union_of(r2))
+        quad_overlap = Rect.union_of(q1).intersection_area(Rect.union_of(q2))
+        assert rstar_overlap <= quad_overlap + 1e-9
+
+
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=8, max_value=24),
+)
+def test_split_property_random(seed, count):
+    """All policies satisfy the partition contract on random inputs."""
+    rects = make_rects(count, seed=seed)
+    min_fill = max(1, count * 2 // 5 - 1)
+    for policy in POLICIES:
+        g1, g2 = policy.split(rects, min_fill=min_fill, rect_of=identity)
+        assert len(g1) + len(g2) == count
+        assert len(g1) >= min_fill
+        assert len(g2) >= min_fill

@@ -1,0 +1,185 @@
+"""Tests for tree persistence (binary page files)."""
+
+import struct
+
+import pytest
+
+from repro.core import CRSS, CountingExecutor
+from repro.datasets import sample_queries, uniform
+from repro.parallel import build_parallel_tree
+from repro.rtree import (
+    RStarTree,
+    StorageError,
+    check_invariants,
+    load_parallel_tree,
+    load_tree,
+    save_parallel_tree,
+    save_tree,
+)
+
+
+@pytest.fixture
+def built_tree():
+    tree = RStarTree(3, max_entries=6)
+    points = uniform(300, 3, seed=71)
+    for i, p in enumerate(points):
+        tree.insert(p, i)
+    return tree, points
+
+
+class TestTreeRoundTrip:
+    def test_round_trip_preserves_everything(self, built_tree, tmp_path):
+        tree, points = built_tree
+        path = str(tmp_path / "tree.rprt")
+        pages_written = save_tree(tree, path)
+        assert pages_written == len(tree.pages)
+
+        loaded = load_tree(path)
+        check_invariants(loaded)
+        assert len(loaded) == len(tree)
+        assert loaded.height == tree.height
+        assert loaded.root_page_id == tree.root_page_id
+        assert set(loaded.pages) == set(tree.pages)
+        # Same points, same oids.
+        assert sorted(loaded.iter_points()) == sorted(tree.iter_points())
+
+    def test_identical_page_structure(self, built_tree, tmp_path):
+        """Every page holds the same entries in the same order."""
+        tree, _ = built_tree
+        path = str(tmp_path / "tree.rprt")
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        for page_id, node in tree.pages.items():
+            other = loaded.pages[page_id]
+            assert other.level == node.level
+            assert other.mbr == node.mbr
+            assert other.object_count == node.object_count
+            if node.is_leaf:
+                assert [e.oid for e in other.entries] == [
+                    e.oid for e in node.entries
+                ]
+            else:
+                assert [c.page_id for c in other.entries] == [
+                    c.page_id for c in node.entries
+                ]
+
+    def test_queries_identical_after_reload(self, built_tree, tmp_path):
+        tree, _ = built_tree
+        path = str(tmp_path / "tree.rprt")
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        for q in [(0.1, 0.5, 0.9), (0.5, 0.5, 0.5)]:
+            assert [n.oid for n in loaded.knn(q, 12)] == [
+                n.oid for n in tree.knn(q, 12)
+            ]
+
+    def test_dynamic_operations_after_reload(self, built_tree, tmp_path):
+        tree, points = built_tree
+        path = str(tmp_path / "tree.rprt")
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        for j, p in enumerate(uniform(100, 3, seed=72)):
+            loaded.insert(p, 1000 + j)
+        assert loaded.delete(points[0], 0)
+        check_invariants(loaded)
+        assert len(loaded) == 300 + 100 - 1
+
+    def test_empty_tree_round_trip(self, tmp_path):
+        tree = RStarTree(2, max_entries=8)
+        path = str(tmp_path / "empty.rprt")
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        assert len(loaded) == 0
+        loaded.insert((0.5, 0.5), 0)
+        assert len(loaded) == 1
+
+
+class TestCorruption:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.rprt"
+        path.write_bytes(b"NOPE" + b"\x00" * 60)
+        with pytest.raises(StorageError, match="magic"):
+            load_tree(str(path))
+
+    def test_truncated_file(self, built_tree, tmp_path):
+        tree, _ = built_tree
+        path = tmp_path / "trunc.rprt"
+        save_tree(tree, str(path))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(StorageError, match="unexpected end"):
+            load_tree(str(path))
+
+    def test_bad_version(self, built_tree, tmp_path):
+        tree, _ = built_tree
+        path = tmp_path / "ver.rprt"
+        save_tree(tree, str(path))
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<H", data, 4, 999)  # version field
+        path.write_bytes(bytes(data))
+        with pytest.raises(StorageError, match="version"):
+            load_tree(str(path))
+
+
+class TestParallelRoundTrip:
+    def test_placement_preserved(self, tmp_path):
+        points = uniform(500, 2, seed=73)
+        tree = build_parallel_tree(points, dims=2, num_disks=5,
+                                   max_entries=8, seed=9)
+        tree_path = str(tmp_path / "t.rprt")
+        place_path = str(tmp_path / "t.rprp")
+        save_parallel_tree(tree, tree_path, place_path)
+
+        loaded = load_parallel_tree(tree_path, place_path)
+        assert loaded.num_disks == 5
+        assert len(loaded) == 500
+        for page_id in tree.tree.pages:
+            assert loaded.disk_of(page_id) == tree.disk_of(page_id)
+            assert loaded.cylinder_of(page_id) == tree.cylinder_of(page_id)
+
+    def test_identical_search_io_after_reload(self, tmp_path):
+        """Reloaded trees fetch the exact same page sequence."""
+        points = uniform(400, 2, seed=74)
+        tree = build_parallel_tree(points, dims=2, num_disks=4, max_entries=8)
+        tree_path = str(tmp_path / "t.rprt")
+        place_path = str(tmp_path / "t.rprp")
+        save_parallel_tree(tree, tree_path, place_path)
+        loaded = load_parallel_tree(tree_path, place_path)
+
+        queries = sample_queries(points, 5, seed=75)
+        original = CountingExecutor(tree)
+        restored = CountingExecutor(loaded)
+        for q in queries:
+            original.execute(CRSS(q, 7, num_disks=4))
+            restored.execute(CRSS(q, 7, num_disks=4))
+            assert restored.last_stats.pages == original.last_stats.pages
+
+    def test_inserts_after_reload_get_placed(self, tmp_path):
+        points = uniform(300, 2, seed=76)
+        tree = build_parallel_tree(points, dims=2, num_disks=3, max_entries=6)
+        tree_path = str(tmp_path / "t.rprt")
+        place_path = str(tmp_path / "t.rprp")
+        save_parallel_tree(tree, tree_path, place_path)
+        loaded = load_parallel_tree(tree_path, place_path)
+
+        for j, p in enumerate(uniform(200, 2, seed=77)):
+            loaded.insert(p, 500 + j)
+        check_invariants(loaded.tree)
+        for page_id in loaded.tree.pages:
+            assert 0 <= loaded.disk_of(page_id) < 3
+
+    def test_missing_placement_detected(self, tmp_path):
+        points = uniform(200, 2, seed=78)
+        tree = build_parallel_tree(points, dims=2, num_disks=3, max_entries=6)
+        tree_path = str(tmp_path / "t.rprt")
+        place_path = str(tmp_path / "t.rprp")
+        save_parallel_tree(tree, tree_path, place_path)
+        # Corrupt: drop the last placement row and fix up the row count
+        # (header layout: 4s magic + H version + I disks + I cylinders,
+        # so the u64 row count sits at byte offset 14).
+        data = open(place_path, "rb").read()
+        trimmed = bytearray(data[:-16])
+        struct.pack_into("<Q", trimmed, 14, len(tree._placement) - 1)
+        open(place_path, "wb").write(bytes(trimmed))
+        with pytest.raises(StorageError, match="no placement"):
+            load_parallel_tree(tree_path, place_path)

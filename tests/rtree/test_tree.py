@@ -1,0 +1,254 @@
+"""Tests for R*-tree construction, insertion and deletion."""
+
+import random
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.rtree import (
+    LinearSplit,
+    QuadraticSplit,
+    RStarTree,
+    check_invariants,
+)
+from repro.rtree.validate import InvariantViolation
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = RStarTree(2, max_entries=8)
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert tree.root.is_leaf
+        check_invariants(tree)
+
+    def test_capacity_from_page_size(self):
+        tree = RStarTree(2, page_size=4096)
+        assert tree.max_entries == 102
+        assert tree.min_entries == 40
+
+    def test_explicit_capacity(self):
+        tree = RStarTree(3, max_entries=10)
+        assert tree.max_entries == 10
+        assert tree.min_entries == 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="dimensionality"):
+            RStarTree(0)
+        with pytest.raises(ValueError, match="min_entries"):
+            RStarTree(2, max_entries=10, min_entries=6)
+        with pytest.raises(ValueError, match="reinsert_fraction"):
+            RStarTree(2, max_entries=10, reinsert_fraction=1.5)
+
+
+class TestInsertion:
+    def test_single_insert(self):
+        tree = RStarTree(2, max_entries=8)
+        tree.insert((0.5, 0.5), 0)
+        assert len(tree) == 1
+        assert tree.root.mbr == Rect((0.5, 0.5), (0.5, 0.5))
+        check_invariants(tree)
+
+    def test_insert_validates_dimensionality(self):
+        tree = RStarTree(2, max_entries=8)
+        with pytest.raises(ValueError, match="2-dimensional"):
+            tree.insert((1.0, 2.0, 3.0), 0)
+
+    def test_fill_one_node_no_split(self):
+        tree = RStarTree(2, max_entries=8)
+        for i in range(8):
+            tree.insert((float(i), 0.0), i)
+        assert tree.height == 1
+        check_invariants(tree)
+
+    def test_overflow_splits_root(self):
+        tree = RStarTree(2, max_entries=4, min_entries=2)
+        for i in range(5):
+            tree.insert((float(i), float(i)), i)
+        assert tree.height == 2
+        assert len(tree) == 5
+        check_invariants(tree)
+
+    def test_grows_to_three_levels(self):
+        tree = RStarTree(2, max_entries=4, min_entries=2)
+        rng = random.Random(0)
+        for i in range(100):
+            tree.insert((rng.random(), rng.random()), i)
+        assert tree.height >= 3
+        assert len(tree) == 100
+        check_invariants(tree)
+
+    def test_duplicate_points_allowed(self):
+        tree = RStarTree(2, max_entries=4, min_entries=2)
+        for i in range(30):
+            tree.insert((0.5, 0.5), i)
+        assert len(tree) == 30
+        check_invariants(tree)
+        results = tree.knn((0.5, 0.5), 30)
+        assert len(results) == 30
+        assert all(r.distance == 0.0 for r in results)
+
+    def test_subtree_counts_maintained(self):
+        tree = RStarTree(2, max_entries=4, min_entries=2)
+        rng = random.Random(1)
+        for i in range(60):
+            tree.insert((rng.random(), rng.random()), i)
+            assert tree.root.object_count == i + 1
+        check_invariants(tree)
+
+    def test_forced_reinsert_happens(self):
+        """With fan-out 4 and clustered input, reinsertion must fire at
+        least once; the tree stays valid throughout."""
+        tree = RStarTree(2, max_entries=6, min_entries=2)
+        rng = random.Random(5)
+        for i in range(200):
+            # Clustered around two centers to provoke reinsert.
+            cx = 0.2 if i % 2 else 0.8
+            tree.insert((cx + rng.gauss(0, 0.05), rng.gauss(0.5, 0.05)), i)
+        check_invariants(tree)
+        assert len(tree) == 200
+
+
+@pytest.mark.parametrize(
+    "policy", [QuadraticSplit(), LinearSplit()], ids=lambda p: p.name
+)
+def test_alternative_split_policies_build_valid_trees(policy):
+    tree = RStarTree(2, max_entries=6, min_entries=2, split_policy=policy)
+    rng = random.Random(2)
+    points = [(rng.random(), rng.random()) for _ in range(150)]
+    for i, p in enumerate(points):
+        tree.insert(p, i)
+    check_invariants(tree)
+    # The tree is still exact regardless of how nodes were split.
+    got = {r.oid for r in tree.knn((0.5, 0.5), 10)}
+    import math
+
+    expected = {
+        oid
+        for _, oid in sorted(
+            (math.dist((0.5, 0.5), p), i) for i, p in enumerate(points)
+        )[:10]
+    }
+    assert got == expected
+
+
+class TestDeletion:
+    def _build(self, n=120, seed=3):
+        tree = RStarTree(2, max_entries=5, min_entries=2)
+        rng = random.Random(seed)
+        points = [(rng.random(), rng.random()) for _ in range(n)]
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        return tree, points
+
+    def test_delete_existing(self):
+        tree, points = self._build()
+        assert tree.delete(points[7], 7)
+        assert len(tree) == 119
+        check_invariants(tree)
+        assert all(oid != 7 for _, oid in tree.iter_points())
+
+    def test_delete_missing_returns_false(self):
+        tree, points = self._build()
+        assert not tree.delete((555.0, 555.0), 999)
+        assert not tree.delete(points[3], 999)  # right point, wrong oid
+        assert len(tree) == 120
+        check_invariants(tree)
+
+    def test_delete_all(self):
+        tree, points = self._build(n=60)
+        order = list(range(60))
+        random.Random(9).shuffle(order)
+        for count, oid in enumerate(order, 1):
+            assert tree.delete(points[oid], oid)
+            check_invariants(tree)
+        assert len(tree) == 0
+        assert tree.height == 1
+
+    def test_root_shrinks_after_mass_deletion(self):
+        tree, points = self._build(n=120)
+        assert tree.height >= 3
+        for oid in range(110):
+            assert tree.delete(points[oid], oid)
+        check_invariants(tree)
+        assert tree.height < 3
+
+    def test_delete_then_reinsert(self):
+        tree, points = self._build(n=80)
+        for oid in range(40):
+            assert tree.delete(points[oid], oid)
+        for oid in range(40):
+            tree.insert(points[oid], oid)
+        check_invariants(tree)
+        assert len(tree) == 80
+
+
+class TestHooks:
+    def test_on_split_fires_with_both_nodes(self):
+        splits = []
+        tree = RStarTree(
+            2,
+            max_entries=4,
+            min_entries=2,
+            on_split=lambda old, new: splits.append((old.page_id, new.page_id)),
+        )
+        rng = random.Random(4)
+        for i in range(80):
+            tree.insert((rng.random(), rng.random()), i)
+        assert splits
+        for old_id, new_id in splits:
+            assert old_id != new_id
+
+    def test_on_new_root_fires_on_growth(self):
+        roots = []
+        tree = RStarTree(
+            2,
+            max_entries=4,
+            min_entries=2,
+            on_new_root=lambda root: roots.append(root.page_id),
+        )
+        rng = random.Random(4)
+        for i in range(80):
+            tree.insert((rng.random(), rng.random()), i)
+        # Bootstrap root + one event per height increase.
+        assert len(roots) == tree.height
+        assert roots[-1] == tree.root_page_id
+
+    def test_on_page_freed_fires_on_condense(self):
+        freed = []
+        tree = RStarTree(
+            2,
+            max_entries=4,
+            min_entries=2,
+            on_page_freed=freed.append,
+        )
+        rng = random.Random(4)
+        points = [(rng.random(), rng.random()) for _ in range(80)]
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        for i, p in enumerate(points):
+            tree.delete(p, i)
+        assert freed
+        # Freed pages are gone from the page table.
+        for page_id in freed:
+            assert page_id not in tree.pages
+
+
+class TestValidateCatchesCorruption:
+    def test_detects_wrong_count(self, ):
+        tree = RStarTree(2, max_entries=4, min_entries=2)
+        rng = random.Random(6)
+        for i in range(30):
+            tree.insert((rng.random(), rng.random()), i)
+        tree.root.object_count += 1
+        with pytest.raises(InvariantViolation, match="object count"):
+            check_invariants(tree)
+
+    def test_detects_wrong_mbr(self):
+        tree = RStarTree(2, max_entries=4, min_entries=2)
+        rng = random.Random(6)
+        for i in range(30):
+            tree.insert((rng.random(), rng.random()), i)
+        tree.root.mbr = Rect((0.0, 0.0), (99.0, 99.0))
+        with pytest.raises(InvariantViolation, match="MBR"):
+            check_invariants(tree)

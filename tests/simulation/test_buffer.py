@@ -1,0 +1,125 @@
+"""Tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.core import CRSS
+from repro.datasets import sample_queries, uniform
+from repro.parallel import build_parallel_tree
+from repro.simulation import simulate_workload
+from repro.simulation.buffer import BufferPool
+from repro.simulation.parameters import SystemParameters
+
+
+class TestBufferPool:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            BufferPool(0)
+
+    def test_miss_then_hit(self):
+        pool = BufferPool(4)
+        assert not pool.lookup(1)
+        pool.admit(1)
+        assert pool.lookup(1)
+        assert pool.hits == 1
+        assert pool.misses == 1
+        assert pool.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        pool = BufferPool(2)
+        pool.admit(1)
+        pool.admit(2)
+        pool.lookup(1)      # 1 becomes most recent
+        pool.admit(3)       # evicts 2
+        assert 1 in pool
+        assert 2 not in pool
+        assert 3 in pool
+
+    def test_admit_existing_refreshes(self):
+        pool = BufferPool(2)
+        pool.admit(1)
+        pool.admit(2)
+        pool.admit(1)       # refresh, no eviction
+        pool.admit(3)       # evicts 2, not 1
+        assert 1 in pool and 3 in pool and 2 not in pool
+        assert len(pool) == 2
+
+    def test_invalidate(self):
+        pool = BufferPool(2)
+        pool.admit(7)
+        pool.invalidate(7)
+        assert 7 not in pool
+        pool.invalidate(99)  # unknown page: no-op
+
+    def test_capacity_never_exceeded(self):
+        pool = BufferPool(3)
+        for page in range(10):
+            pool.admit(page)
+        assert len(pool) == 3
+
+    def test_hit_rate_empty(self):
+        assert BufferPool(1).hit_rate == 0.0
+
+
+class TestBufferedSimulation:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        data = uniform(800, 2, seed=51)
+        tree = build_parallel_tree(data, dims=2, num_disks=4, max_entries=8)
+        queries = sample_queries(data, 25, seed=52)
+        factory = lambda q: CRSS(q, 8, num_disks=4)
+        return tree, queries, factory
+
+    def test_buffer_reduces_response_time(self, setup):
+        tree, queries, factory = setup
+        plain = simulate_workload(
+            tree, factory, queries, arrival_rate=8.0, seed=1
+        )
+        buffered = simulate_workload(
+            tree, factory, queries, arrival_rate=8.0, seed=1,
+            params=SystemParameters(buffer_pages=32),
+        )
+        assert buffered.mean_response < plain.mean_response
+
+    def test_buffer_does_not_change_answers(self, setup):
+        tree, queries, factory = setup
+        plain = simulate_workload(
+            tree, factory, queries, arrival_rate=None, seed=1
+        )
+        buffered = simulate_workload(
+            tree, factory, queries, arrival_rate=None, seed=1,
+            params=SystemParameters(buffer_pages=16),
+        )
+        for a, b in zip(plain.records, buffered.records):
+            assert [n.oid for n in a.answers] == [n.oid for n in b.answers]
+
+    def test_root_always_hits_after_warmup(self, setup):
+        """Every query starts at the root, so with any buffer the root
+        is resident from the second query on."""
+        tree, queries, factory = setup
+        from repro.simulation.engine import Environment
+        from repro.simulation.system import DiskArraySystem
+        from repro.simulation.simulator import SimulatedExecutor
+
+        env = Environment()
+        # The buffer must outsize a single query's working set (~11
+        # pages for k=8 here), or the leaves of each query evict the
+        # root before the next query arrives.
+        system = DiskArraySystem(
+            env, tree.num_disks, params=SystemParameters(buffer_pages=48)
+        )
+        executor = SimulatedExecutor(env, system, tree)
+
+        def run():
+            for query in queries[:5]:
+                yield env.process(executor.query_process(factory(query)))
+
+        env.process(run())
+        env.run()
+        assert system.buffer.hits >= 4  # root hit for queries 2..5
+
+    def test_paper_default_has_no_buffer(self):
+        from repro.simulation.engine import Environment
+        from repro.simulation.system import DiskArraySystem
+
+        system = DiskArraySystem(Environment(), 2)
+        assert system.buffer is None

@@ -1,0 +1,46 @@
+"""Tests for the CPU cost model."""
+
+import math
+
+import pytest
+
+from repro.simulation.cpu import CpuModel
+
+
+class TestCpuModel:
+    def test_invalid_mips(self):
+        with pytest.raises(ValueError, match="mips"):
+            CpuModel(0.0)
+
+    def test_instruction_formula(self):
+        cpu = CpuModel(100.0)
+        # 2*N + 3*M*log2(M) with N=10, M=8 -> 20 + 3*8*3 = 92.
+        assert cpu.instructions(10, 8) == pytest.approx(92.0)
+
+    def test_sorting_zero_or_one_is_free(self):
+        cpu = CpuModel(100.0)
+        assert cpu.instructions(5, 0) == 10.0
+        assert cpu.instructions(5, 1) == 10.0
+
+    def test_negative_counts_rejected(self):
+        cpu = CpuModel(100.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            cpu.instructions(-1, 0)
+        with pytest.raises(ValueError, match="non-negative"):
+            cpu.instructions(0, -1)
+
+    def test_batch_time_at_paper_rate(self):
+        """At 100 MIPS the per-batch CPU time is microseconds — orders of
+        magnitude below a single ~20 ms disk access, as the paper's cost
+        model intends."""
+        cpu = CpuModel(100.0)
+        time = cpu.batch_time(scanned=102, sorted_count=102)
+        assert time == pytest.approx(
+            (2 * 102 + 3 * 102 * math.log2(102)) / 100e6
+        )
+        assert time < 1e-4
+
+    def test_time_scales_inversely_with_mips(self):
+        slow = CpuModel(10.0).batch_time(50, 50)
+        fast = CpuModel(1000.0).batch_time(50, 50)
+        assert slow == pytest.approx(fast * 100.0)

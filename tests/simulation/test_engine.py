@@ -1,0 +1,312 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.simulation.engine import (
+    AllOf,
+    Environment,
+    Event,
+    Process,
+    Resource,
+    Timeout,
+)
+
+
+class TestTimeoutsAndOrdering:
+    def test_clock_advances(self):
+        env = Environment()
+        log = []
+
+        def process():
+            yield env.timeout(1.0)
+            log.append(env.now)
+            yield env.timeout(2.5)
+            log.append(env.now)
+
+        env.process(process())
+        env.run()
+        assert log == [1.0, 3.5]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError, match="negative delay"):
+            env.timeout(-1.0)
+
+    def test_simultaneous_events_fifo(self):
+        """Events at the same instant fire in scheduling order."""
+        env = Environment()
+        log = []
+
+        def worker(name):
+            yield env.timeout(1.0)
+            log.append(name)
+
+        for name in "abc":
+            env.process(worker(name))
+        env.run()
+        assert log == ["a", "b", "c"]
+
+    def test_run_until(self):
+        env = Environment()
+        log = []
+
+        def ticker():
+            while True:
+                yield env.timeout(1.0)
+                log.append(env.now)
+
+        env.process(ticker())
+        env.run(until=3.5)
+        assert log == [1.0, 2.0, 3.0]
+        assert env.now == 3.5
+
+    def test_deterministic_replay(self):
+        def scenario():
+            env = Environment()
+            log = []
+
+            def worker(delay, name):
+                yield env.timeout(delay)
+                log.append((env.now, name))
+
+            env.process(worker(2.0, "x"))
+            env.process(worker(1.0, "y"))
+            env.process(worker(2.0, "z"))
+            env.run()
+            return log
+
+        assert scenario() == scenario()
+
+
+class TestProcesses:
+    def test_process_return_value(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(1.0)
+            return 42
+
+        def parent(results):
+            value = yield env.process(child())
+            results.append(value)
+
+        results = []
+        env.process(parent(results))
+        env.run()
+        assert results == [42]
+
+    def test_yielding_non_event_raises(self):
+        env = Environment()
+
+        def bad():
+            yield "not an event"
+
+        env.process(bad())
+        with pytest.raises(TypeError, match="must yield events"):
+            env.run()
+
+    def test_waiting_on_already_processed_event(self):
+        env = Environment()
+        log = []
+        timeout = env.timeout(1.0, value="early")
+
+        def late_waiter():
+            yield env.timeout(5.0)
+            value = yield timeout  # fired long ago
+            log.append((env.now, value))
+
+        env.process(late_waiter())
+        env.run()
+        assert log == [(5.0, "early")]
+
+
+class TestAllOf:
+    def test_barrier_waits_for_slowest(self):
+        env = Environment()
+        log = []
+
+        def worker(delay):
+            yield env.timeout(delay)
+            return delay
+
+        def coordinator():
+            procs = [env.process(worker(d)) for d in (3.0, 1.0, 2.0)]
+            values = yield AllOf(env, procs)
+            log.append((env.now, values))
+
+        env.process(coordinator())
+        env.run()
+        assert log == [(3.0, [3.0, 1.0, 2.0])]
+
+    def test_empty_barrier_fires_immediately(self):
+        env = Environment()
+        log = []
+
+        def coordinator():
+            values = yield AllOf(env, [])
+            log.append((env.now, values))
+
+        env.process(coordinator())
+        env.run()
+        assert log == [(0.0, [])]
+
+
+class TestResource:
+    def test_mutual_exclusion_fcfs(self):
+        env = Environment()
+        resource = Resource(env)
+        log = []
+
+        def user(name, hold):
+            grant = resource.request()
+            yield grant
+            start = env.now
+            yield env.timeout(hold)
+            resource.release(grant)
+            log.append((name, start, env.now))
+
+        env.process(user("a", 2.0))
+        env.process(user("b", 1.0))
+        env.process(user("c", 1.0))
+        env.run()
+        # FCFS: a holds [0,2], b [2,3], c [3,4].
+        assert log == [("a", 0.0, 2.0), ("b", 2.0, 3.0), ("c", 3.0, 4.0)]
+
+    def test_capacity_two(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        finish = []
+
+        def user(hold):
+            grant = resource.request()
+            yield grant
+            yield env.timeout(hold)
+            resource.release(grant)
+            finish.append(env.now)
+
+        for _ in range(4):
+            env.process(user(1.0))
+        env.run()
+        assert finish == [1.0, 1.0, 2.0, 2.0]
+
+    def test_queue_length_and_in_use(self):
+        env = Environment()
+        resource = Resource(env)
+        observed = []
+
+        def holder():
+            grant = resource.request()
+            yield grant
+            yield env.timeout(2.0)
+            observed.append((resource.in_use, resource.queue_length))
+            resource.release(grant)
+
+        def waiter():
+            yield env.timeout(0.5)
+            grant = resource.request()
+            yield grant
+            resource.release(grant)
+
+        env.process(holder())
+        env.process(waiter())
+        env.run()
+        assert observed == [(1, 1)]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Resource(Environment(), capacity=0)
+
+    def test_cancel_pending_request(self):
+        env = Environment()
+        resource = Resource(env)
+        grant1 = resource.request()
+        grant2 = resource.request()
+        assert resource.queue_length == 1
+        resource.release(grant2)  # cancel the queued request
+        assert resource.queue_length == 0
+        resource.release(grant1)
+        assert resource.in_use == 0
+
+
+class TestQueueAccounting:
+    def test_no_queue_means_zero(self):
+        env = Environment()
+        resource = Resource(env)
+
+        def user():
+            grant = resource.request()
+            yield grant
+            yield env.timeout(5.0)
+            resource.release(grant)
+
+        env.process(user())
+        env.run()
+        assert resource.mean_queue_length() == 0.0
+        assert resource.max_queue_length == 0
+
+    def test_time_weighted_mean(self):
+        """One waiter queued for 2 of 4 time units: mean = 0.5."""
+        env = Environment()
+        resource = Resource(env)
+
+        def holder():
+            grant = resource.request()
+            yield grant
+            yield env.timeout(2.0)
+            resource.release(grant)
+
+        def waiter():
+            grant = resource.request()  # queued at t=0, granted at t=2
+            yield grant
+            yield env.timeout(2.0)
+            resource.release(grant)
+
+        env.process(holder())
+        env.process(waiter())
+        env.run()
+        assert env.now == 4.0
+        assert resource.mean_queue_length() == pytest.approx(0.5)
+        assert resource.max_queue_length == 1
+
+    def test_max_queue_tracks_peak(self):
+        env = Environment()
+        resource = Resource(env)
+
+        def user(delay):
+            yield env.timeout(delay)
+            grant = resource.request()
+            yield grant
+            yield env.timeout(10.0)
+            resource.release(grant)
+
+        for delay in (0.0, 1.0, 2.0, 3.0):
+            env.process(user(delay))
+        env.run()
+        assert resource.max_queue_length == 3
+
+    def test_mean_queue_length_zero_horizon(self):
+        env = Environment()
+        assert Resource(env).mean_queue_length(until=0.0) == 0.0
+
+
+class TestEvent:
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(1)
+        with pytest.raises(RuntimeError, match="already been triggered"):
+            event.succeed(2)
+
+    def test_value_propagates(self):
+        env = Environment()
+        event = env.event()
+        log = []
+
+        def waiter():
+            value = yield event
+            log.append(value)
+
+        env.process(waiter())
+        event.succeed("payload")
+        env.run()
+        assert log == ["payload"]

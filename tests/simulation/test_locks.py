@@ -1,0 +1,146 @@
+"""Tests for the FIFO readers–writer lock."""
+
+import pytest
+
+from repro.simulation.engine import Environment
+from repro.simulation.locks import ReadWriteLock
+
+
+def run_scenario(builder):
+    """Run *builder(env, lock, log)* processes to completion."""
+    env = Environment()
+    lock = ReadWriteLock(env)
+    log = []
+    builder(env, lock, log)
+    env.run()
+    return log, lock
+
+
+class TestReadWriteLock:
+    def test_readers_share(self):
+        def build(env, lock, log):
+            def reader(name):
+                grant = lock.acquire_read()
+                yield grant
+                log.append((name, "in", env.now))
+                yield env.timeout(1.0)
+                lock.release_read()
+                log.append((name, "out", env.now))
+
+            env.process(reader("r1"))
+            env.process(reader("r2"))
+
+        log, _ = run_scenario(build)
+        # Both readers are inside concurrently: both enter at t=0.
+        enters = [t for name, what, t in log if what == "in"]
+        assert enters == [0.0, 0.0]
+
+    def test_writer_excludes_everyone(self):
+        def build(env, lock, log):
+            def writer():
+                grant = lock.acquire_write()
+                yield grant
+                log.append(("w", "in", env.now))
+                yield env.timeout(2.0)
+                lock.release_write()
+
+            def reader():
+                yield env.timeout(0.5)
+                grant = lock.acquire_read()
+                yield grant
+                log.append(("r", "in", env.now))
+                lock.release_read()
+
+            env.process(writer())
+            env.process(reader())
+
+        log, _ = run_scenario(build)
+        assert ("w", "in", 0.0) in log
+        assert ("r", "in", 2.0) in log  # reader waits for the writer
+
+    def test_fifo_prevents_writer_starvation(self):
+        """A writer queued behind readers is served before readers that
+        arrive after it."""
+
+        def build(env, lock, log):
+            def long_reader():
+                grant = lock.acquire_read()
+                yield grant
+                yield env.timeout(2.0)
+                lock.release_read()
+
+            def writer():
+                yield env.timeout(0.5)
+                grant = lock.acquire_write()
+                yield grant
+                log.append(("w", env.now))
+                yield env.timeout(1.0)
+                lock.release_write()
+
+            def late_reader():
+                yield env.timeout(1.0)
+                grant = lock.acquire_read()
+                yield grant
+                log.append(("late_r", env.now))
+                lock.release_read()
+
+            env.process(long_reader())
+            env.process(writer())
+            env.process(late_reader())
+
+        log, _ = run_scenario(build)
+        # Writer enters when the long reader finishes (t=2); the late
+        # reader, although it arrived while only a reader was active,
+        # must wait behind the queued writer (t=3).
+        assert ("w", 2.0) in log
+        assert ("late_r", 3.0) in log
+
+    def test_release_without_hold_raises(self):
+        env = Environment()
+        lock = ReadWriteLock(env)
+        with pytest.raises(RuntimeError, match="release_read"):
+            lock.release_read()
+        with pytest.raises(RuntimeError, match="release_write"):
+            lock.release_write()
+
+    def test_grant_counters_and_queue_length(self):
+        def build(env, lock, log):
+            def writer(delay):
+                yield env.timeout(delay)
+                grant = lock.acquire_write()
+                yield grant
+                log.append(lock.queue_length)
+                yield env.timeout(1.0)
+                lock.release_write()
+
+            env.process(writer(0.0))
+            env.process(writer(0.1))
+            env.process(writer(0.2))
+
+        log, lock = run_scenario(build)
+        assert lock.writes_granted == 3
+        assert lock.reads_granted == 0
+
+    def test_consecutive_readers_granted_as_batch(self):
+        def build(env, lock, log):
+            def writer():
+                grant = lock.acquire_write()
+                yield grant
+                yield env.timeout(1.0)
+                lock.release_write()
+
+            def reader(name):
+                yield env.timeout(0.2)
+                grant = lock.acquire_read()
+                yield grant
+                log.append((name, env.now))
+                yield env.timeout(0.5)
+                lock.release_read()
+
+            env.process(writer())
+            env.process(reader("a"))
+            env.process(reader("b"))
+
+        log, _ = run_scenario(build)
+        # Both queued readers enter together when the writer leaves.
+        assert log == [("a", 1.0), ("b", 1.0)]

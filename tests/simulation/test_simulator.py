@@ -1,0 +1,164 @@
+"""Tests for the workload simulator."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.core import BBSS, CRSS, FPSS
+from repro.simulation.parameters import SystemParameters
+from repro.simulation.simulator import simulate_workload
+
+
+def factory(cls, k, tree):
+    return lambda query: cls(query, k, num_disks=tree.num_disks)
+
+
+@pytest.fixture(scope="module")
+def queries(parallel_tree):
+    # Module-scope queries over the session tree.
+    from repro.datasets import sample_queries
+
+    points = [p for p, _ in parallel_tree.tree.iter_points()]
+    return sample_queries(points, 10, seed=4)
+
+
+class TestSingleUserMode:
+    def test_serial_execution_no_overlap(self, parallel_tree, queries):
+        result = simulate_workload(
+            parallel_tree,
+            factory(BBSS, 5, parallel_tree),
+            queries,
+            arrival_rate=None,
+        )
+        assert len(result.records) == len(queries)
+        # Serial mode: each query starts when the previous one finished.
+        for before, after in zip(result.records, result.records[1:]):
+            assert after.arrival == pytest.approx(before.completion)
+
+    def test_answers_are_exact(self, parallel_tree, queries):
+        result = simulate_workload(
+            parallel_tree,
+            factory(CRSS, 7, parallel_tree),
+            queries,
+            arrival_rate=None,
+        )
+        for record in result.records:
+            expected = [n.oid for n in parallel_tree.knn(record.query, 7)]
+            assert [n.oid for n in record.answers] == expected
+
+    def test_response_time_includes_startup(self, parallel_tree, queries):
+        params = SystemParameters(query_startup=0.5, sample_rotation=False)
+        result = simulate_workload(
+            parallel_tree,
+            factory(BBSS, 1, parallel_tree),
+            queries[:2],
+            arrival_rate=None,
+            params=params,
+        )
+        assert all(r.response_time > 0.5 for r in result.records)
+
+
+class TestOpenArrivals:
+    def test_poisson_workload_runs_all_queries(self, parallel_tree, queries):
+        result = simulate_workload(
+            parallel_tree,
+            factory(CRSS, 5, parallel_tree),
+            queries,
+            arrival_rate=5.0,
+            seed=2,
+        )
+        assert len(result.records) == len(queries)
+        assert result.makespan > 0
+        assert len(result.disk_utilizations) == parallel_tree.num_disks
+
+    def test_reproducible_with_same_seed(self, parallel_tree, queries):
+        def run():
+            return simulate_workload(
+                parallel_tree,
+                factory(FPSS, 5, parallel_tree),
+                queries,
+                arrival_rate=3.0,
+                seed=11,
+            ).mean_response
+
+        assert run() == run()
+
+    def test_seed_changes_outcome(self, parallel_tree, queries):
+        results = {
+            simulate_workload(
+                parallel_tree,
+                factory(FPSS, 5, parallel_tree),
+                queries,
+                arrival_rate=3.0,
+                seed=s,
+            ).mean_response
+            for s in range(3)
+        }
+        assert len(results) > 1
+
+    def test_heavier_load_not_faster(self, parallel_tree, queries):
+        light = simulate_workload(
+            parallel_tree, factory(FPSS, 10, parallel_tree), queries,
+            arrival_rate=0.5, seed=1,
+        )
+        heavy = simulate_workload(
+            parallel_tree, factory(FPSS, 10, parallel_tree), queries,
+            arrival_rate=200.0, seed=1,
+        )
+        assert heavy.mean_response >= light.mean_response * 0.9
+
+    def test_invalid_inputs(self, parallel_tree, queries):
+        with pytest.raises(ValueError, match="at least one query"):
+            simulate_workload(
+                parallel_tree, factory(BBSS, 1, parallel_tree), [],
+            )
+        with pytest.raises(ValueError, match="arrival_rate"):
+            simulate_workload(
+                parallel_tree, factory(BBSS, 1, parallel_tree), queries,
+                arrival_rate=0.0,
+            )
+
+
+class TestWorkloadResultStatistics:
+    def test_aggregates(self, parallel_tree, queries):
+        result = simulate_workload(
+            parallel_tree,
+            factory(CRSS, 5, parallel_tree),
+            queries,
+            arrival_rate=4.0,
+            seed=6,
+        )
+        times = [r.response_time for r in result.records]
+        assert result.mean_response == pytest.approx(statistics.fmean(times))
+        assert result.median_response == pytest.approx(
+            statistics.median(times)
+        )
+        assert result.max_response == pytest.approx(max(times))
+        pages = [r.pages_fetched for r in result.records]
+        assert result.mean_pages == pytest.approx(statistics.fmean(pages))
+
+    def test_interarrival_times_exponential(self, parallel_tree):
+        """KS-test the arrival process against Exp(λ)."""
+        from scipy import stats
+
+        from repro.datasets import sample_queries
+
+        points = [p for p, _ in parallel_tree.tree.iter_points()]
+        many_queries = sample_queries(points, 300, seed=8)
+        rate = 50.0
+        result = simulate_workload(
+            parallel_tree,
+            factory(BBSS, 1, parallel_tree),
+            many_queries,
+            arrival_rate=rate,
+            seed=3,
+        )
+        arrivals = sorted(r.arrival for r in result.records)
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        # Arrival gaps are exponential(rate) by construction; KS should
+        # not reject at the 1% level.
+        statistic, pvalue = stats.kstest(
+            gaps, "expon", args=(0, 1.0 / rate)
+        )
+        assert pvalue > 0.01

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+FAST = ["--n", "400", "--disks", "3", "--page-size", "1024"]
+
+
+class TestInfo:
+    def test_prints_tree_shape(self, capsys):
+        assert main(["info", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "height" in out
+        assert "proximity" in out
+        assert "disk" in out
+
+    def test_policy_selection(self, capsys):
+        assert main(["info", *FAST, "--policy", "round_robin"]) == 0
+        assert "round_robin" in capsys.readouterr().out
+
+
+class TestKnn:
+    def test_default_query_sampled(self, capsys):
+        assert main(["knn", *FAST, "--k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "pages in" in out
+        assert out.count("\n") >= 8  # header + 5 answer rows
+
+    def test_explicit_query(self, capsys):
+        assert main(
+            ["knn", *FAST, "--k", "3", "--query", "0.5,0.5",
+             "--algorithm", "BBSS"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "BBSS" in out
+
+    def test_bad_query_dimension(self):
+        with pytest.raises(SystemExit, match="coordinates"):
+            main(["knn", *FAST, "--query", "0.5,0.5,0.5"])
+
+    def test_unparseable_query(self):
+        with pytest.raises(SystemExit, match="cannot parse"):
+            main(["knn", *FAST, "--query", "a,b"])
+
+    def test_surrogate_requires_2d(self):
+        with pytest.raises(SystemExit, match="2-d"):
+            main(
+                ["knn", *FAST, "--dataset", "long_beach", "--dims", "3"]
+            )
+
+
+class TestSimulate:
+    def test_poisson_workload(self, capsys):
+        assert main(
+            ["simulate", *FAST, "--queries", "5", "--k", "3",
+             "--algorithms", "CRSS,WOPTSS", "--arrival-rate", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "CRSS" in out and "WOPTSS" in out
+        assert "Poisson" in out
+
+    def test_serial_mode(self, capsys):
+        assert main(
+            ["simulate", *FAST, "--queries", "3", "--k", "2",
+             "--algorithms", "BBSS", "--arrival-rate", "0"]
+        ) == 0
+        assert "single-user" in capsys.readouterr().out
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(SystemExit, match="unknown algorithm"):
+            main(["simulate", *FAST, "--algorithms", "DIJKSTRA"])
+
+
+class TestValidation:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(SystemExit, match="--n"):
+            main(["info", "--n", "0"])
+
+    def test_rejects_bad_disks(self):
+        with pytest.raises(SystemExit, match="--disks"):
+            main(["info", "--disks", "0"])
