@@ -1,0 +1,67 @@
+"""Observability overhead guard — the NullTracer must be ~free.
+
+The simulation's hot paths (every resource grant/release, every fetch,
+every CPU batch) consult the attached tracer.  The default
+:data:`~repro.obs.trace.NULL_TRACER` exists so that un-traced runs pay
+only an attribute read and a falsy branch per probe.  This bench runs
+the same workload twice — default (NullTracer) and with a recording
+:class:`~repro.obs.trace.Tracer` plus a full metrics registry — and
+asserts the default run is not slower.  The guard is deliberately
+generous (5% + timer-noise slack on best-of-N wall times): it exists to
+catch accidental always-on instrumentation, not to micro-benchmark.
+"""
+
+import time
+
+from repro.datasets import sample_queries
+from repro.experiments.setup import build_tree, dataset, make_factory
+from repro.obs import MetricsRegistry, Tracer
+from repro.simulation import simulate_workload
+
+NUM_DISKS = 10
+K = 10
+ARRIVAL_RATE = 8.0
+REPEATS = 5
+
+
+def _best_of(repeats, run):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_null_tracer_is_not_measurably_slower():
+    data = dataset("gaussian", 2_000, dims=2, seed=0)
+    tree = build_tree("gaussian", 2_000, dims=2, num_disks=NUM_DISKS)
+    queries = sample_queries(data, 20, seed=13)
+
+    def run(tracer=None, metrics=None):
+        return simulate_workload(
+            tree,
+            make_factory("CRSS", tree, K),
+            queries,
+            arrival_rate=ARRIVAL_RATE,
+            seed=2,
+            tracer=tracer,
+            metrics=metrics,
+        )
+
+    # Warm both paths once so import/JIT-cache effects don't skew either.
+    run()
+    run(tracer=Tracer(), metrics=MetricsRegistry())
+
+    null_time = _best_of(REPEATS, run)
+    traced_time = _best_of(
+        REPEATS, lambda: run(tracer=Tracer(), metrics=MetricsRegistry())
+    )
+    print(
+        f"\nnull tracer : {null_time * 1e3:8.2f} ms"
+        f"\nfull tracer : {traced_time * 1e3:8.2f} ms"
+        f"\nratio       : {null_time / traced_time:8.3f}"
+    )
+    # The un-instrumented path must not exceed the recording path by
+    # more than the 5% acceptance margin (plus 5 ms timer-noise floor).
+    assert null_time <= traced_time * 1.05 + 0.005

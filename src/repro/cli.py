@@ -8,7 +8,10 @@ Python:
 * ``repro knn`` — answer one k-NN query with a chosen algorithm and
   report the I/O it paid;
 * ``repro simulate`` — run a Poisson multi-user workload through the
-  disk-array simulation and print per-algorithm response times.
+  disk-array simulation and print per-algorithm response times (with
+  tail percentiles and a per-component time breakdown); ``--trace``
+  additionally writes a span trace per algorithm, as JSONL or as
+  Chrome trace-event JSON loadable in Perfetto / ``chrome://tracing``.
 
 Invoke via ``python -m repro <subcommand> --help``.
 """
@@ -16,13 +19,19 @@ Invoke via ``python -m repro <subcommand> --help``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
 from repro.core import ALGORITHMS, CountingExecutor
 from repro.datasets import DATASETS, sample_queries
-from repro.experiments.report import format_table
+from repro.experiments.report import (
+    format_breakdown_table,
+    format_percentile_table,
+    format_table,
+)
 from repro.experiments.setup import make_factory
+from repro.obs import TRACE_FORMATS, Tracer, write_trace
 from repro.parallel import build_parallel_tree
 from repro.parallel.declustering import make_policy
 from repro.simulation import simulate_workload
@@ -126,7 +135,19 @@ def _cmd_knn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_path(base: str, name: str, multi: bool) -> str:
+    """The trace file for one algorithm's run (suffixed when several)."""
+    if not multi:
+        return base
+    root, ext = os.path.splitext(base)
+    return f"{root}.{name.lower()}{ext or '.json'}"
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.trace:
+        trace_dir = os.path.dirname(args.trace) or "."
+        if not os.path.isdir(trace_dir):
+            raise SystemExit(f"--trace directory does not exist: {trace_dir}")
     data, tree = _build_tree(args)
     queries = sample_queries(data, args.queries, seed=args.seed + 1)
     names = [name.strip().upper() for name in args.algorithms.split(",")]
@@ -135,38 +156,45 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             raise SystemExit(
                 f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
             )
-    rows = []
+    workloads = {}
+    trace_files = []
     for name in names:
-        result = simulate_workload(
+        tracer = Tracer() if args.trace else None
+        workloads[name] = simulate_workload(
             tree,
             make_factory(name, tree, args.k),
             queries,
             arrival_rate=args.arrival_rate,
             seed=args.seed,
+            tracer=tracer,
         )
-        rows.append(
-            (
-                name,
-                result.mean_response,
-                result.median_response,
-                result.max_response,
-                result.mean_pages,
-            )
-        )
+        if tracer is not None:
+            path = _trace_path(args.trace, name, len(names) > 1)
+            write_trace(tracer, path, args.trace_format)
+            trace_files.append(path)
     mode = (
         f"λ={args.arrival_rate}/s Poisson"
         if args.arrival_rate
         else "single-user serial"
     )
     print(
-        format_table(
-            ["algorithm", "mean (s)", "median (s)", "max (s)", "pages/query"],
-            rows,
+        format_percentile_table(
+            workloads,
             precision=4,
             title=f"{args.queries} queries, k={args.k}, {mode}, "
             f"{args.disks} disks",
         )
     )
+    print()
+    print(
+        format_breakdown_table(
+            workloads,
+            precision=4,
+            title="time breakdown (mean s/query)",
+        )
+    )
+    for path in trace_files:
+        print(f"trace written: {path} ({args.trace_format})")
     return 0
 
 
@@ -224,6 +252,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithms",
         default="BBSS,FPSS,CRSS,WOPTSS",
         help="comma-separated algorithm list",
+    )
+    simulate.add_argument(
+        "--trace",
+        default="",
+        metavar="PATH",
+        help="write a span trace of each algorithm's workload to PATH "
+        "(several algorithms: PATH gains a .<algorithm> suffix)",
+    )
+    simulate.add_argument(
+        "--trace-format",
+        choices=TRACE_FORMATS,
+        default="chrome",
+        help="trace file format: 'chrome' (Perfetto / chrome://tracing "
+        "trace-event JSON) or 'jsonl' (default: chrome)",
     )
     simulate.set_defaults(handler=_cmd_simulate)
 

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from repro.core.protocol import FetchRequest, SearchAlgorithm
 from repro.core.results import Neighbor
+from repro.obs.trace import NULL_TRACER
 from repro.rtree.node import Node
 
 
@@ -50,14 +51,19 @@ class CountingExecutor:
     :param tree: any object with ``root_page_id`` and ``page(page_id)``;
         if it also exposes ``disk_of(page_id)`` (the parallel tree does),
         per-disk statistics are collected.
+    :param tracer: optional :class:`~repro.obs.trace.Tracer`.  This
+        executor has no clock, so it emits *logical* access events: one
+        instant per fetch round at timestamp = round index, naming the
+        pages and disks touched.
     """
 
-    def __init__(self, tree):
+    def __init__(self, tree, tracer=None):
         self._tree = tree
         self._disk_of = getattr(tree, "disk_of", None)
         # X-tree supernodes span several pages; trees that have them
         # expose pages_spanned(page_id).
         self._pages_spanned = getattr(tree, "pages_spanned", lambda pid: 1)
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.last_stats: Optional[SearchStats] = None
 
     def execute(self, algorithm: SearchAlgorithm) -> List[Neighbor]:
@@ -97,4 +103,14 @@ class CountingExecutor:
             stats.critical_path += max(round_disks.values())
         else:
             stats.critical_path += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "executor", "fetch_round", "logical",
+                ts=float(stats.rounds - 1),
+                args={
+                    "pages": list(request.pages),
+                    "disks": dict(round_disks),
+                    "batch": len(request.pages),
+                },
+            )
         return fetched

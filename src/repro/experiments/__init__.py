@@ -23,7 +23,12 @@ from repro.experiments.effectiveness import (
     effectiveness_experiment,
 )
 from repro.experiments.response import ResponseResult, response_experiment
-from repro.experiments.report import format_series_table, format_table
+from repro.experiments.report import (
+    format_breakdown_table,
+    format_percentile_table,
+    format_series_table,
+    format_table,
+)
 
 __all__ = [
     "EffectivenessResult",
@@ -33,6 +38,8 @@ __all__ = [
     "current_scale",
     "dataset",
     "effectiveness_experiment",
+    "format_breakdown_table",
+    "format_percentile_table",
     "format_series_table",
     "format_table",
     "make_factory",

@@ -7,7 +7,9 @@ comparable against the paper.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Mapping, Sequence, Union
+
+from repro.obs.breakdown import COMPONENT_HEADERS, COMPONENTS
 
 Number = Union[int, float]
 
@@ -47,6 +49,64 @@ def format_table(
             )
         )
     return "\n".join(lines)
+
+
+def format_percentile_table(
+    workloads: Mapping[str, "WorkloadResult"],
+    precision: int = 4,
+    title: str = "",
+) -> str:
+    """Response-time table with tail percentiles, one row per workload.
+
+    :param workloads: label → :class:`~repro.simulation.simulator
+        .WorkloadResult` (duck-typed: ``mean_response``, ``percentile``,
+        ``max_response``, ``mean_pages``).
+    """
+    rows = [
+        (
+            label,
+            result.mean_response,
+            result.percentile(0.50),
+            result.percentile(0.95),
+            result.percentile(0.99),
+            result.max_response,
+            result.mean_pages,
+        )
+        for label, result in workloads.items()
+    ]
+    return format_table(
+        ["algorithm", "mean (s)", "p50 (s)", "p95 (s)", "p99 (s)",
+         "max (s)", "pages/query"],
+        rows,
+        precision=precision,
+        title=title,
+    )
+
+
+def format_breakdown_table(
+    workloads: Mapping[str, "WorkloadResult"],
+    precision: int = 4,
+    title: str = "",
+) -> str:
+    """Mean per-query time breakdown, one row per workload.
+
+    Components are the additive decomposition of
+    :class:`~repro.obs.breakdown.Breakdown`; each row sums (within
+    float tolerance) to the workload's mean response time.
+    """
+    rows = []
+    for label, result in workloads.items():
+        breakdown = result.breakdown
+        rows.append(
+            [label, breakdown.total]
+            + [getattr(breakdown, name) for name in COMPONENTS]
+        )
+    return format_table(
+        ["algorithm", "total"] + list(COMPONENT_HEADERS),
+        rows,
+        precision=precision,
+        title=title,
+    )
 
 
 def format_series_table(

@@ -20,6 +20,7 @@ from repro.geometry.point import Point
 from repro.simulation.cpu import CpuModel
 from repro.simulation.engine import Environment, Resource
 from repro.simulation.parameters import SystemParameters
+from repro.simulation.system import CpuTiming, FetchTiming
 from repro.simulation.simulator import (
     AlgorithmFactory,
     QueryRecord,
@@ -91,16 +92,28 @@ class MirroredDiskArraySystem:
 
         return min(range(self.REPLICAS), key=cost)
 
-    def fetch_page(self, disk_id: int, cylinder: int, pages: int = 1) -> Generator:
-        """Process: read one node from the better replica of the pair."""
+    def fetch_page(
+        self,
+        disk_id: int,
+        cylinder: int,
+        pages: int = 1,
+        flow: Optional[int] = None,
+    ) -> Generator:
+        """Process: read one node from the better replica of the pair.
+
+        Returns a :class:`~repro.simulation.system.FetchTiming` (keyed
+        to the *logical* disk id) as the process value.
+        """
         if not 0 <= disk_id < self.num_disks:
             raise ValueError(f"disk {disk_id} outside [0, {self.num_disks})")
         if pages < 1:
             raise ValueError(f"pages must be positive, got {pages}")
         replica = self._pick_replica(disk_id, cylinder)
         queue = self.replica_queues[disk_id][replica]
+        start = self.env.now
         grant = queue.request()
         yield grant
+        granted = self.env.now
         try:
             duration = self.replica_models[disk_id][replica].service(
                 cylinder, self.params.page_size * pages
@@ -108,25 +121,48 @@ class MirroredDiskArraySystem:
             yield self.env.timeout(duration)
         finally:
             queue.release(grant)
+        served = self.env.now
 
         grant = self.bus.request()
         yield grant
+        bus_granted = self.env.now
         try:
             yield self.env.timeout(self.params.bus_time)
         finally:
             self.bus.release(grant)
-        self.pages_fetched += 1
+        end = self.env.now
+        self.pages_fetched += pages
+        return FetchTiming(
+            disk_id=disk_id,
+            pages=pages,
+            start=start,
+            queue_wait=granted - start,
+            service=served - granted,
+            bus_wait=bus_granted - served,
+            bus_transfer=end - bus_granted,
+            end=end,
+        )
 
-    def cpu_work(self, scanned: int, sorted_count: int) -> Generator:
+    def cpu_work(
+        self, scanned: int, sorted_count: int, flow: Optional[int] = None
+    ) -> Generator:
         """Process: charge CPU time for one fetched batch."""
+        start = self.env.now
         grant = self.cpu.request()
         yield grant
+        granted = self.env.now
         try:
             yield self.env.timeout(
                 self.cpu_model.batch_time(scanned, sorted_count)
             )
         finally:
             self.cpu.release(grant)
+        return CpuTiming(
+            start=start,
+            queue_wait=granted - start,
+            service=self.env.now - granted,
+            end=self.env.now,
+        )
 
     def disk_utilizations(self, elapsed: float) -> List[float]:
         """Busy fraction per *physical* drive over *elapsed* seconds."""

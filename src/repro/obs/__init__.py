@@ -1,0 +1,71 @@
+"""Observability for the simulation stack: tracing, metrics, exports.
+
+The simulator can only *prove* the paper's causal claims (queue
+contention sinks FPSS, CRSS fills the barrier with useful work) if
+every simulated microsecond is attributable.  This package provides
+
+* :mod:`repro.obs.trace` — span/instant/counter tracing with a
+  zero-overhead :data:`~repro.obs.trace.NULL_TRACER` default;
+* :mod:`repro.obs.metrics` — counters, time-weighted gauges and
+  log-bucketed histograms behind a :class:`MetricsRegistry`;
+* :mod:`repro.obs.export` — JSONL and Chrome trace-event (Perfetto /
+  ``chrome://tracing``) exports plus a schema validator;
+* :mod:`repro.obs.breakdown` — per-query response-time decompositions
+  whose components sum back to the response time.
+
+This package is a leaf: it imports nothing from the simulation or
+algorithm layers, so every layer may instrument itself freely.
+"""
+
+from repro.obs.breakdown import (
+    COMPONENT_HEADERS,
+    COMPONENTS,
+    Breakdown,
+    per_query_report,
+    workload_report,
+)
+from repro.obs.export import (
+    TRACE_FORMATS,
+    chrome_trace,
+    dumps_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    NULL_TRACER,
+    CounterRecord,
+    InstantRecord,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    coalesce,
+)
+
+__all__ = [
+    "Breakdown",
+    "COMPONENTS",
+    "COMPONENT_HEADERS",
+    "Counter",
+    "CounterRecord",
+    "Gauge",
+    "Histogram",
+    "InstantRecord",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanRecord",
+    "TRACE_FORMATS",
+    "Tracer",
+    "chrome_trace",
+    "coalesce",
+    "dumps_jsonl",
+    "per_query_report",
+    "validate_chrome_trace",
+    "workload_report",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_trace",
+]

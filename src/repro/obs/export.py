@@ -1,0 +1,240 @@
+"""Trace export: JSONL and the Chrome trace-event format.
+
+Two consumers, two formats:
+
+* **JSONL** — one JSON object per record, in emission order, with
+  sorted keys.  Deterministic byte-for-byte given a deterministic
+  simulation; the natural input for ad-hoc analysis scripts.
+* **Chrome trace events** — the JSON schema understood by Perfetto
+  (https://ui.perfetto.dev) and ``chrome://tracing``.  Each tracer
+  track becomes a named thread under one "disk array simulation"
+  process: disks, bus and CPU first, then one row per query.  Spans
+  sharing a flow id (one query's fetches across disks and the bus) are
+  linked with flow arrows.
+
+Timestamps: the tracer records simulated **seconds**; Chrome's ``ts``
+and ``dur`` are **microseconds**, so the exporter multiplies by 1e6.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Union
+
+from repro.obs.trace import (
+    CounterRecord,
+    InstantRecord,
+    SpanRecord,
+    Tracer,
+)
+
+_SECONDS_TO_US = 1e6
+
+#: The single Chrome "process" all tracks live under.
+_PID = 1
+
+
+def dumps_jsonl(tracer: Tracer) -> str:
+    """The trace as JSON-lines text (one record per line, sorted keys)."""
+    lines = [
+        json.dumps(record.as_dict(), sort_keys=True)
+        for record in tracer.records
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(tracer: Tracer, path: str) -> None:
+    """Write the JSONL export to *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_jsonl(tracer))
+
+
+def _thread_ids(tracer: Tracer) -> Dict[str, int]:
+    """Stable track-name -> Chrome tid mapping (registration order)."""
+    return {name: tid for tid, name in enumerate(tracer.tracks, start=1)}
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """The trace as a Chrome trace-event document (a JSON-able dict)."""
+    tids = _thread_ids(tracer)
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": "disk array simulation"},
+        }
+    ]
+    for name, tid in tids.items():
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_sort_index",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
+
+    # Flow arrows: spans sharing a flow id, chained in time order.
+    flows: Dict[int, List[SpanRecord]] = {}
+    for record in tracer.records:
+        if isinstance(record, SpanRecord):
+            events.append(
+                {
+                    "ph": "X",
+                    "name": record.name,
+                    "cat": record.category,
+                    "ts": record.start * _SECONDS_TO_US,
+                    "dur": record.duration * _SECONDS_TO_US,
+                    "pid": _PID,
+                    "tid": tids[record.track],
+                    "args": dict(record.args) if record.args else {},
+                }
+            )
+            if record.flow is not None:
+                flows.setdefault(record.flow, []).append(record)
+        elif isinstance(record, InstantRecord):
+            events.append(
+                {
+                    "ph": "i",
+                    "name": record.name,
+                    "cat": record.category,
+                    "ts": record.ts * _SECONDS_TO_US,
+                    "pid": _PID,
+                    "tid": tids[record.track],
+                    "s": "t",
+                    "args": dict(record.args) if record.args else {},
+                }
+            )
+        elif isinstance(record, CounterRecord):
+            events.append(
+                {
+                    "ph": "C",
+                    "name": f"{record.track} {record.name}",
+                    "ts": record.ts * _SECONDS_TO_US,
+                    "pid": _PID,
+                    "tid": tids[record.track],
+                    "args": {record.name: record.value},
+                }
+            )
+
+    for flow_id, spans in sorted(flows.items()):
+        if len(spans) < 2:
+            continue  # an arrow needs two endpoints
+        ordered = sorted(spans, key=lambda s: (s.start, s.end))
+        for position, span in enumerate(ordered):
+            phase = (
+                "s" if position == 0
+                else "f" if position == len(ordered) - 1
+                else "t"
+            )
+            event: Dict[str, Any] = {
+                "ph": phase,
+                "name": "query",
+                "cat": "flow",
+                "id": flow_id,
+                "ts": span.start * _SECONDS_TO_US,
+                "pid": _PID,
+                "tid": tids[span.track],
+            }
+            if phase == "f":
+                event["bp"] = "e"  # bind to the enclosing slice
+            events.append(event)
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    """Write the Chrome trace-event export to *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(tracer), handle, sort_keys=True)
+
+
+#: Formats understood by :func:`write_trace` (and the CLI's --trace-format).
+TRACE_FORMATS = ("chrome", "jsonl")
+
+
+def write_trace(tracer: Tracer, path: str, fmt: str = "chrome") -> None:
+    """Write *tracer* to *path* in *fmt* (``chrome`` or ``jsonl``)."""
+    if fmt == "chrome":
+        write_chrome_trace(tracer, path)
+    elif fmt == "jsonl":
+        write_jsonl(tracer, path)
+    else:
+        raise ValueError(
+            f"unknown trace format {fmt!r}; choose from {TRACE_FORMATS}"
+        )
+
+
+_FLOW_PHASES = ("s", "t", "f")
+_METADATA_NAMES = ("process_name", "thread_name", "thread_sort_index")
+
+
+def validate_chrome_trace(document: Union[Dict, IO, str]) -> int:
+    """Schema-check a Chrome trace-event document.
+
+    Accepts the parsed dict, a JSON string, or an open file.  Raises
+    :class:`ValueError` on the first violation; returns the number of
+    events on success.  Used by the test suite and the CI smoke test.
+    """
+    if hasattr(document, "read"):
+        document = json.load(document)
+    elif isinstance(document, str):
+        document = json.loads(document)
+    if not isinstance(document, dict):
+        raise ValueError(f"trace must be a JSON object, got {type(document)}")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace must contain a 'traceEvents' list")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where}: events must be objects")
+        phase = event.get("ph")
+        if not isinstance(phase, str):
+            raise ValueError(f"{where}: missing phase 'ph'")
+        if "pid" not in event:
+            raise ValueError(f"{where}: missing 'pid'")
+        if phase == "M":
+            if event.get("name") not in _METADATA_NAMES:
+                raise ValueError(
+                    f"{where}: unknown metadata {event.get('name')!r}"
+                )
+            if not isinstance(event.get("args"), dict):
+                raise ValueError(f"{where}: metadata needs an 'args' object")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"{where}: bad timestamp {ts!r}")
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                raise ValueError(f"{where}: bad duration {duration!r}")
+            if not event.get("name") or "tid" not in event:
+                raise ValueError(f"{where}: spans need 'name' and 'tid'")
+        elif phase == "i":
+            if event.get("s") not in ("g", "p", "t"):
+                raise ValueError(f"{where}: bad instant scope {event.get('s')!r}")
+        elif phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                raise ValueError(f"{where}: counters need numeric args")
+        elif phase in _FLOW_PHASES:
+            if "id" not in event or "tid" not in event:
+                raise ValueError(f"{where}: flow events need 'id' and 'tid'")
+        else:
+            raise ValueError(f"{where}: unknown phase {phase!r}")
+    return len(events)

@@ -1,0 +1,239 @@
+"""Metric primitives: counters, time-weighted gauges, log histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of get-or-create metric
+instances.  The simulation populates it (when asked) with response-time
+and batch-width histograms, per-resource queue-depth gauges and I/O
+counters; :meth:`MetricsRegistry.snapshot` renders everything to plain
+dicts for JSON export or report tables.
+
+All timestamps are simulated seconds.  Gauges integrate value·dt
+event-driven (exactly, not by sampling), the same technique
+:meth:`repro.simulation.engine.Resource.mean_queue_length` uses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+    def summary(self) -> Dict[str, float]:
+        """Plain-dict rendering for :meth:`MetricsRegistry.snapshot`."""
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A time-weighted gauge: tracks last / max / time-weighted mean.
+
+    ``set(ts, value)`` must be called with non-decreasing timestamps;
+    the mean over ``[t0, until]`` is the exact integral of the piecewise
+    constant value curve divided by the horizon.
+    """
+
+    __slots__ = ("name", "_start", "_last_ts", "_area", "value", "max_value", "_samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._start: Optional[float] = None
+        self._last_ts = 0.0
+        self._area = 0.0
+        self.value = 0.0
+        self.max_value = 0.0
+        self._samples = 0
+
+    def set(self, ts: float, value: float) -> None:
+        """Record that the gauge held *value* from *ts* onward."""
+        if self._start is None:
+            self._start = ts
+        elif ts < self._last_ts:
+            raise ValueError(
+                f"gauge timestamps must be non-decreasing: "
+                f"{ts} < {self._last_ts}"
+            )
+        else:
+            self._area += self.value * (ts - self._last_ts)
+        self._last_ts = ts
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+        self._samples += 1
+
+    def mean(self, until: Optional[float] = None) -> float:
+        """Time-weighted mean from the first sample to *until*."""
+        if self._start is None:
+            return 0.0
+        horizon = self._last_ts if until is None else until
+        if horizon < self._last_ts:
+            raise ValueError(f"horizon {horizon} precedes last sample")
+        span = horizon - self._start
+        if span <= 0:
+            return self.value
+        area = self._area + self.value * (horizon - self._last_ts)
+        return area / span
+
+    def summary(self) -> Dict[str, float]:
+        """Plain-dict rendering for :meth:`MetricsRegistry.snapshot`."""
+        return {
+            "type": "gauge",
+            "last": self.value,
+            "max": self.max_value,
+            "mean": self.mean(),
+            "samples": self._samples,
+        }
+
+
+class Histogram:
+    """A log-bucketed histogram of non-negative observations.
+
+    Bucket *i* ≥ 1 covers ``[minimum·factor^(i-1), minimum·factor^i)``;
+    bucket 0 collects everything below *minimum* (including zeros,
+    which a log scale cannot place).  Percentiles are estimated as the
+    upper edge of the bucket holding the requested rank — an
+    overestimate by at most one *factor*, which is the precision log
+    buckets buy their O(1) memory with.
+    """
+
+    __slots__ = ("name", "minimum", "factor", "_counts", "count", "total",
+                 "min_value", "max_value")
+
+    def __init__(self, name: str, minimum: float = 1e-6, factor: float = 2.0):
+        if minimum <= 0:
+            raise ValueError(f"minimum must be positive, got {minimum}")
+        if factor <= 1.0:
+            raise ValueError(f"factor must exceed 1, got {factor}")
+        self.name = name
+        self.minimum = minimum
+        self.factor = factor
+        self._counts: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min_value = math.inf
+        self.max_value = -math.inf
+
+    def _bucket_of(self, value: float) -> int:
+        if value < self.minimum:
+            return 0
+        return 1 + int(math.log(value / self.minimum) / math.log(self.factor))
+
+    def bucket_bounds(self, index: int) -> Tuple[float, float]:
+        """``[lower, upper)`` of bucket *index*."""
+        if index == 0:
+            return (0.0, self.minimum)
+        return (
+            self.minimum * self.factor ** (index - 1),
+            self.minimum * self.factor ** index,
+        )
+
+    def observe(self, value: float) -> None:
+        """Add one observation."""
+        if value < 0:
+            raise ValueError(f"histogram values must be >= 0, got {value}")
+        bucket = self._bucket_of(value)
+        self._counts[bucket] = self._counts.get(bucket, 0) + 1
+        self.count += 1
+        self.total += value
+        self.min_value = min(self.min_value, value)
+        self.max_value = max(self.max_value, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Estimated value at *fraction* (e.g. 0.95), from bucket edges."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if self.count == 0:
+            raise ValueError("empty histogram")
+        rank = max(1, math.ceil(fraction * self.count))
+        seen = 0
+        for index in sorted(self._counts):
+            seen += self._counts[index]
+            if seen >= rank:
+                upper = self.bucket_bounds(index)[1]
+                # The true maximum caps the top bucket's edge estimate.
+                return min(upper, self.max_value)
+        return self.max_value  # pragma: no cover — rank <= count
+
+    def buckets(self) -> List[Tuple[float, float, int]]:
+        """Non-empty ``(lower, upper, count)`` rows, ascending."""
+        return [
+            (*self.bucket_bounds(index), self._counts[index])
+            for index in sorted(self._counts)
+        ]
+
+    def summary(self) -> Dict[str, float]:
+        """Plain-dict rendering with p50/p95/p99 bucket estimates."""
+        if self.count == 0:
+            return {"type": "histogram", "count": 0}
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min_value,
+            "max": self.max_value,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """A flat get-or-create namespace of metrics."""
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, cls, *args, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter *name*, created on first use."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge *name*, created on first use."""
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, minimum: float = 1e-6, factor: float = 2.0
+    ) -> Histogram:
+        """The histogram *name*, created on first use with these buckets."""
+        return self._get(name, Histogram, minimum, factor)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """All metrics rendered to plain dicts, keyed by name."""
+        return {
+            name: metric.summary()
+            for name, metric in sorted(self._metrics.items())
+        }

@@ -24,7 +24,7 @@ from repro.simulation.buffer import BufferPool
 from repro.simulation.cpu import CpuModel
 from repro.simulation.locks import ReadWriteLock
 from repro.simulation.parameters import SystemParameters
-from repro.simulation.system import DiskArraySystem
+from repro.simulation.system import CpuTiming, DiskArraySystem, FetchTiming
 from repro.simulation.simulator import (
     QueryRecord,
     SimulatedExecutor,
@@ -41,8 +41,10 @@ __all__ = [
     "AllOf",
     "BufferPool",
     "CpuModel",
+    "CpuTiming",
     "DiskArraySystem",
     "Environment",
+    "FetchTiming",
     "MixedWorkloadResult",
     "Process",
     "QueryRecord",

@@ -21,7 +21,9 @@ deterministic.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
+
+from repro.obs.trace import NULL_TRACER
 
 
 class Event:
@@ -184,11 +186,25 @@ class Resource:
         resource.release(request)
     """
 
-    def __init__(self, env: Environment, capacity: int = 1):
+    def __init__(
+        self,
+        env: Environment,
+        capacity: int = 1,
+        name: str = "",
+        tracer=None,
+        gauge=None,
+    ):
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.env = env
         self.capacity = capacity
+        self.name = name
+        #: Observability probes: the tracer receives a queue-depth
+        #: counter sample at every change (when enabled); the optional
+        #: gauge (a :class:`repro.obs.metrics.Gauge`) integrates the
+        #: same signal time-weighted.  Both default to no-ops.
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.gauge = gauge
         self._in_use = 0
         self._waiting: List[Event] = []
         self.grants = 0
@@ -197,12 +213,34 @@ class Resource:
         self._queue_area = 0.0
         self._last_change = env.now
         self.max_queue_length = 0
+        #: Wait/hold accounting: total time grants spent queued before
+        #: being served, how many had to queue at all, and total time
+        #: the resource was held.
+        self.total_wait_time = 0.0
+        self.waits = 0
+        self.total_hold_time = 0.0
+        self._wait_since: Dict[Event, float] = {}
+        self._held_since: Dict[Event, float] = {}
 
     def _account(self) -> None:
         """Fold the elapsed interval into the queue-length integral."""
         now = self.env.now
         self._queue_area += len(self._waiting) * (now - self._last_change)
         self._last_change = now
+
+    def _probe_queue(self) -> None:
+        """Report the new queue depth to the attached probes."""
+        now = self.env.now
+        depth = len(self._waiting)
+        if self.gauge is not None:
+            self.gauge.set(now, depth)
+        if self.tracer.enabled:
+            self.tracer.counter(self.name or "resource", "queue", now, depth)
+
+    @property
+    def mean_wait_time(self) -> float:
+        """Mean queueing delay per grant (zero-wait grants included)."""
+        return self.total_wait_time / self.grants if self.grants else 0.0
 
     def mean_queue_length(self, until: Optional[float] = None) -> float:
         """Time-weighted mean queue length up to *until* (default: now)."""
@@ -230,12 +268,15 @@ class Resource:
         if self._in_use < self.capacity:
             self._in_use += 1
             self.grants += 1
+            self._held_since[event] = self.env.now
             event.succeed()
         else:
             self._account()
             self._waiting.append(event)
+            self._wait_since[event] = self.env.now
             if len(self._waiting) > self.max_queue_length:
                 self.max_queue_length = len(self._waiting)
+            self._probe_queue()
         return event
 
     def release(self, request: Event) -> None:
@@ -244,11 +285,20 @@ class Resource:
             # The request never got the resource (still queued): cancel.
             self._account()
             self._waiting.remove(request)
+            del self._wait_since[request]
+            self._probe_queue()
             return
+        held_since = self._held_since.pop(request, None)
+        if held_since is not None:
+            self.total_hold_time += self.env.now - held_since
         if self._waiting:
             self._account()
             waiter = self._waiting.pop(0)
+            self.total_wait_time += self.env.now - self._wait_since.pop(waiter)
+            self.waits += 1
             self.grants += 1
+            self._held_since[waiter] = self.env.now
             waiter.succeed()
+            self._probe_queue()
         else:
             self._in_use -= 1

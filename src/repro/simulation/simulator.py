@@ -7,9 +7,19 @@ completion is a barrier, and the CPU cost model is charged per processed
 batch.  Response time is measured from arrival (the query "enters the
 system immediately without waiting", §4.1) to delivery of the answers.
 
+Every query additionally carries a :class:`~repro.obs.breakdown.Breakdown`
+attributing its response time to startup / queue wait / disk service /
+bus / CPU / barrier idle: each fetch round contributes the *mean* of its
+fetches' phase times plus the straggler slack (round duration minus the
+mean fetch's busy time) as barrier idle, so the components always sum
+back to the response time.
+
 :func:`simulate_workload` implements the paper's multi-user experiment:
 query arrivals follow a Poisson process with rate λ, 100 queries are
-executed, and the mean response time is reported.
+executed, and the mean response time is reported.  Pass a
+:class:`~repro.obs.trace.Tracer` to capture a full span trace
+(exportable to Perfetto via :mod:`repro.obs.export`) and/or a
+:class:`~repro.obs.metrics.MetricsRegistry` for histograms and gauges.
 """
 
 from __future__ import annotations
@@ -23,6 +33,8 @@ from typing import Callable, Generator, List, Optional, Sequence
 from repro.core.protocol import SearchAlgorithm
 from repro.core.results import Neighbor
 from repro.geometry.point import Point
+from repro.obs.breakdown import Breakdown
+from repro.obs.trace import NULL_TRACER
 from repro.simulation.engine import Environment
 from repro.simulation.parameters import SystemParameters
 from repro.simulation.system import DiskArraySystem
@@ -42,6 +54,10 @@ class QueryRecord:
     pages_fetched: int
     rounds: int
     answers: List[Neighbor]
+    #: Page requests served from the buffer pool (no I/O paid).
+    buffer_hits: int = 0
+    #: Where the response time went, component by component.
+    breakdown: Breakdown = field(default_factory=Breakdown)
 
     @property
     def response_time(self) -> float:
@@ -80,8 +96,18 @@ class WorkloadResult:
 
     @property
     def mean_pages(self) -> float:
-        """Mean pages fetched per query (the effectiveness metric)."""
+        """Mean pages physically fetched per query (buffer hits excluded)."""
         return statistics.fmean(r.pages_fetched for r in self.records)
+
+    @property
+    def total_buffer_hits(self) -> int:
+        """Page requests served from the buffer across the workload."""
+        return sum(r.buffer_hits for r in self.records)
+
+    @property
+    def breakdown(self) -> Breakdown:
+        """Mean per-query response-time breakdown (sums to mean_response)."""
+        return Breakdown.mean([r.breakdown for r in self.records])
 
     @property
     def throughput(self) -> float:
@@ -111,21 +137,50 @@ class SimulatedExecutor:
     :param system: the disk array model.
     :param tree: a placed tree — must expose ``root_page_id``,
         ``page(pid)``, ``disk_of(pid)`` and ``cylinder_of(pid)``.
+    :param tracer: optional :class:`~repro.obs.trace.Tracer` receiving
+        query/round spans (default: the no-op null tracer).
+    :param metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+        receiving the batch-width histogram.
     """
 
-    def __init__(self, env: Environment, system: DiskArraySystem, tree):
+    def __init__(
+        self,
+        env: Environment,
+        system: DiskArraySystem,
+        tree,
+        tracer=None,
+        metrics=None,
+    ):
         self.env = env
         self.system = system
         self.tree = tree
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self._pages_spanned = getattr(tree, "pages_spanned", lambda pid: 1)
+        self._batch_width = (
+            metrics.histogram("batch_width", minimum=1.0)
+            if metrics is not None
+            else None
+        )
+        self._next_qid = 0
 
-    def query_process(self, algorithm: SearchAlgorithm) -> Generator:
+    def query_process(
+        self, algorithm: SearchAlgorithm, qid: Optional[int] = None
+    ) -> Generator:
         """Process body executing one query; returns its QueryRecord."""
+        if qid is None:
+            qid = self._next_qid
+            self._next_qid += 1
+        tracer = self.tracer
+        track = f"query{qid}"
+        breakdown = Breakdown()
+
         arrival = self.env.now
         yield self.env.timeout(self.system.params.query_startup)
+        breakdown.startup = self.env.now - arrival
 
         coroutine = algorithm.run(self.tree.root_page_id)
         pages_fetched = 0
+        buffer_hits = 0
         rounds = 0
         answers: List[Neighbor] = []
         try:
@@ -133,48 +188,126 @@ class SimulatedExecutor:
             while True:
                 buffer = getattr(self.system, "buffer", None)
                 fetches = []
+                round_start = self.env.now
+                hits_this_round = 0
                 for page_id in request.pages:
                     # Buffer hits cost no I/O; the paper's model has no
                     # buffer (SystemParameters.buffer_pages = 0).
                     if buffer is not None and buffer.lookup(page_id):
+                        hits_this_round += 1
                         continue
+                    pages_fetched += self._pages_spanned(page_id)
                     fetches.append(
                         self.env.process(
                             self.system.fetch_page(
                                 self.tree.disk_of(page_id),
                                 self.tree.cylinder_of(page_id),
                                 pages=self._pages_spanned(page_id),
+                                flow=qid,
                             )
                         )
                     )
+                buffer_hits += hits_this_round
                 # Barrier: the algorithm resumes when the whole batch
-                # (its activation list for this step) has arrived.
-                yield self.env.all_of(fetches)
+                # (its activation list for this step) has arrived.  The
+                # barrier's value is the fetches' FetchTiming records.
+                timings = yield self.env.all_of(fetches)
+                round_end = self.env.now
+                self._attribute_round(
+                    breakdown, round_start, round_end, timings
+                )
                 if buffer is not None:
                     for page_id in request.pages:
                         buffer.admit(page_id)
                 fetched = {pid: self.tree.page(pid) for pid in request.pages}
-                pages_fetched += len(request.pages)
                 rounds += 1
+                if self._batch_width is not None:
+                    self._batch_width.observe(len(request.pages))
 
                 # CPU: scan every fetched entry, sort the survivors.  The
                 # survivor count is bounded by the scanned count; charging
                 # the bound keeps the model conservative (CPU time is
                 # orders of magnitude below one disk access either way).
                 scanned = sum(len(node.entries) for node in fetched.values())
-                yield self.env.process(self.system.cpu_work(scanned, scanned))
+                cpu_timing = yield self.env.process(
+                    self.system.cpu_work(scanned, scanned, flow=qid)
+                )
+                if cpu_timing is not None:
+                    breakdown.cpu += cpu_timing.total
+
+                if tracer.enabled:
+                    tracer.span(
+                        track, f"round{rounds - 1}", "round",
+                        round_start, round_end, flow=None,
+                        args={
+                            "batch": len(request.pages),
+                            "fetches": len(fetches),
+                            "buffer_hits": hits_this_round,
+                        },
+                    )
 
                 request = coroutine.send(fetched)
         except StopIteration as stop:
             answers = stop.value if stop.value is not None else []
 
+        completion = self.env.now
+        if tracer.enabled:
+            tracer.span(
+                track, "query", "query", arrival, completion, flow=qid,
+                args={
+                    "algorithm": type(algorithm).__name__,
+                    "rounds": rounds,
+                    "pages_fetched": pages_fetched,
+                    "buffer_hits": buffer_hits,
+                },
+            )
         return QueryRecord(
             query=algorithm.query,
             arrival=arrival,
-            completion=self.env.now,
+            completion=completion,
             pages_fetched=pages_fetched,
             rounds=rounds,
             answers=answers,
+            buffer_hits=buffer_hits,
+            breakdown=breakdown,
+        )
+
+    @staticmethod
+    def _attribute_round(
+        breakdown: Breakdown,
+        round_start: float,
+        round_end: float,
+        timings: Sequence,
+    ) -> None:
+        """Fold one fetch round into *breakdown*.
+
+        All fetches of a round start together, so the round lasts until
+        its slowest fetch arrives.  The round's duration is attributed
+        as the *mean* of the fetches' phase times (queue wait, disk
+        service, bus wait, bus transfer) plus the remainder — the time
+        the query idled at the barrier beyond the average fetch's busy
+        time.  Systems whose ``fetch_page`` returns no timing fall back
+        to attributing the whole round to barrier idle.
+        """
+        duration = round_end - round_start
+        valid = [t for t in timings if t is not None]
+        if not valid:
+            breakdown.barrier_idle += duration
+            return
+        count = len(valid)
+        queue_wait = math.fsum(t.queue_wait for t in valid) / count
+        service = math.fsum(t.service for t in valid) / count
+        bus_wait = math.fsum(t.bus_wait for t in valid) / count
+        bus_transfer = math.fsum(t.bus_transfer for t in valid) / count
+        breakdown.queue_wait += queue_wait
+        breakdown.disk_service += service
+        breakdown.bus_wait += bus_wait
+        breakdown.bus_transfer += bus_transfer
+        # max(0, …): with a single fetch the mean IS the duration and
+        # float telescoping can leave a ~1e-19 negative residue.
+        breakdown.barrier_idle += max(
+            0.0,
+            duration - (queue_wait + service + bus_wait + bus_transfer),
         )
 
 
@@ -185,6 +318,8 @@ def simulate_workload(
     arrival_rate: Optional[float] = None,
     params: Optional[SystemParameters] = None,
     seed: int = 0,
+    tracer=None,
+    metrics=None,
 ) -> WorkloadResult:
     """Simulate a stream of k-NN queries against a placed tree.
 
@@ -197,6 +332,11 @@ def simulate_workload(
         query arrives when the previous one completes).
     :param params: system parameters (default: the paper's).
     :param seed: seeds interarrival sampling and rotational latencies.
+    :param tracer: optional :class:`~repro.obs.trace.Tracer` capturing
+        the full span trace of the run.
+    :param metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+        populated with response-time/batch-width histograms, queue-depth
+        gauges and I/O counters.
     :returns: per-query records plus aggregate statistics.
     """
     if not queries:
@@ -204,26 +344,40 @@ def simulate_workload(
     if arrival_rate is not None and arrival_rate <= 0:
         raise ValueError(f"arrival_rate must be positive, got {arrival_rate}")
 
+    tracer = NULL_TRACER if tracer is None else tracer
     env = Environment()
-    system = DiskArraySystem(env, tree.num_disks, params=params, seed=seed)
-    executor = SimulatedExecutor(env, system, tree)
+    system = DiskArraySystem(
+        env, tree.num_disks, params=params, seed=seed,
+        tracer=tracer, metrics=metrics,
+    )
+    executor = SimulatedExecutor(
+        env, system, tree, tracer=tracer, metrics=metrics
+    )
     result = WorkloadResult()
     arrival_rng = random.Random(seed ^ 0xA5A5A5)
 
-    def run_one(query: Point) -> Generator:
-        record = yield env.process(executor.query_process(factory(query)))
+    def run_one(query: Point, qid: int) -> Generator:
+        record = yield env.process(
+            executor.query_process(factory(query), qid=qid)
+        )
         result.records.append(record)
 
     def open_arrivals() -> Generator:
         """Poisson arrivals: exponential interarrival times at rate λ."""
-        for query in queries:
+        for qid, query in enumerate(queries):
             yield env.timeout(arrival_rng.expovariate(arrival_rate))
-            env.process(run_one(query))
+            if tracer.enabled:
+                tracer.instant(
+                    f"query{qid}", "arrival", "query", env.now, flow=qid
+                )
+            env.process(run_one(query, qid))
 
     def closed_serial() -> Generator:
         """Single-user mode: one query in the system at a time."""
-        for query in queries:
-            record = yield env.process(executor.query_process(factory(query)))
+        for qid, query in enumerate(queries):
+            record = yield env.process(
+                executor.query_process(factory(query), qid=qid)
+            )
             result.records.append(record)
 
     if arrival_rate is None:
@@ -240,4 +394,13 @@ def simulate_workload(
     result.max_queue_lengths = [
         queue.max_queue_length for queue in system.disk_queues
     ]
+    if metrics is not None:
+        response = metrics.histogram("response_time")
+        for record in result.records:
+            response.observe(record.response_time)
+        metrics.counter("pages_fetched").inc(
+            sum(r.pages_fetched for r in result.records)
+        )
+        metrics.counter("buffer_hits").inc(result.total_buffer_hits)
+        metrics.counter("queries").inc(len(result.records))
     return result

@@ -6,18 +6,58 @@ modeled as a queue with constant service time; the CPU is a single
 server charging the instruction-count cost model.  The system exposes
 one operation — fetch a page — which flows queue → disk service → bus,
 plus a CPU work primitive used per processed batch.
+
+Every primitive returns its phase timings (:class:`FetchTiming`,
+:class:`CpuTiming`) as the process value, so the executor can attribute
+each query's response time to queue wait, disk service, bus wait, bus
+transfer and CPU without re-deriving anything.  When a
+:class:`~repro.obs.trace.Tracer` is attached, disk-service, bus and
+CPU intervals are emitted as spans on per-server tracks (one Perfetto
+row per disk, one for the bus, one for the CPU).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Generator, List, Optional
+from typing import Generator, List, NamedTuple, Optional
 
 from repro.disks.model import DiskModel
+from repro.obs.trace import NULL_TRACER
 from repro.simulation.buffer import BufferPool
 from repro.simulation.cpu import CpuModel
 from repro.simulation.engine import Environment, Resource
 from repro.simulation.parameters import SystemParameters
+
+
+class FetchTiming(NamedTuple):
+    """Phase timings of one page fetch (all in simulated seconds)."""
+
+    disk_id: int
+    pages: int
+    start: float
+    queue_wait: float
+    service: float
+    bus_wait: float
+    bus_transfer: float
+    end: float
+
+    @property
+    def total(self) -> float:
+        """Queue wait + service + bus wait + bus transfer."""
+        return self.end - self.start
+
+
+class CpuTiming(NamedTuple):
+    """Phase timings of one CPU batch (queue wait, then service)."""
+
+    start: float
+    queue_wait: float
+    service: float
+    end: float
+
+    @property
+    def total(self) -> float:
+        return self.end - self.start
 
 
 class DiskArraySystem:
@@ -28,6 +68,11 @@ class DiskArraySystem:
     :param params: timing parameters (defaults to the paper's Table 1/2).
     :param seed: seeds the rotational-latency RNG per disk; ignored when
         ``params.sample_rotation`` is False.
+    :param tracer: optional :class:`~repro.obs.trace.Tracer`; the
+        default :data:`~repro.obs.trace.NULL_TRACER` records nothing.
+    :param metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+        when given, per-disk/bus/cpu queue-depth gauges are wired into
+        the resources.
     """
 
     def __init__(
@@ -36,6 +81,8 @@ class DiskArraySystem:
         num_disks: int,
         params: Optional[SystemParameters] = None,
         seed: int = 0,
+        tracer=None,
+        metrics=None,
     ):
         if num_disks < 1:
             raise ValueError(f"num_disks must be positive, got {num_disks}")
@@ -43,6 +90,13 @@ class DiskArraySystem:
         self.params = params if params is not None else SystemParameters()
         self.num_disks = num_disks
         self.cpu_model = CpuModel(self.params.cpu_mips)
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.metrics = metrics
+
+        def _gauge(name: str):
+            if metrics is None:
+                return None
+            return metrics.gauge(f"{name}.queue_depth")
 
         self.disk_queues: List[Resource] = []
         self.disk_models: List[DiskModel] = []
@@ -52,10 +106,19 @@ class DiskArraySystem:
                 if self.params.sample_rotation
                 else None
             )
-            self.disk_queues.append(Resource(env))
+            track = f"disk{disk_id}"
+            self.tracer.track(track)
+            self.disk_queues.append(
+                Resource(env, name=track, tracer=self.tracer,
+                         gauge=_gauge(track))
+            )
             self.disk_models.append(DiskModel(self.params.disk, rng))
-        self.bus = Resource(env)
-        self.cpu = Resource(env)
+        self.tracer.track("bus")
+        self.tracer.track("cpu")
+        self.bus = Resource(env, name="bus", tracer=self.tracer,
+                            gauge=_gauge("bus"))
+        self.cpu = Resource(env, name="cpu", tracer=self.tracer,
+                            gauge=_gauge("cpu"))
         #: Optional LRU page buffer (None when buffer_pages == 0 — the
         #: paper's model).  The executor consults it per page.
         self.buffer: Optional[BufferPool] = (
@@ -64,23 +127,35 @@ class DiskArraySystem:
             else None
         )
 
-        #: Monitoring: pages fetched through the system.
+        #: Monitoring: physical pages fetched through the system.
         self.pages_fetched = 0
 
-    def fetch_page(self, disk_id: int, cylinder: int, pages: int = 1) -> Generator:
+    def fetch_page(
+        self,
+        disk_id: int,
+        cylinder: int,
+        pages: int = 1,
+        flow: Optional[int] = None,
+    ) -> Generator:
         """Process: read one node — disk queue, disk service, then bus.
+
+        Returns a :class:`FetchTiming` as the process value.
 
         :param pages: physical pages the node spans (1 for ordinary
             nodes; X-tree supernodes span several, read sequentially in
             one service: a single seek plus *pages* transfers).
+        :param flow: optional query id stamped on emitted trace spans so
+            exporters can link one query's fetches across tracks.
         """
         if not 0 <= disk_id < self.num_disks:
             raise ValueError(f"disk {disk_id} outside [0, {self.num_disks})")
         if pages < 1:
             raise ValueError(f"pages must be positive, got {pages}")
         queue = self.disk_queues[disk_id]
+        start = self.env.now
         grant = queue.request()
         yield grant
+        granted = self.env.now
         try:
             # Head position is only touched while holding the disk, so
             # the seek distance reflects the true service order.
@@ -90,25 +165,66 @@ class DiskArraySystem:
             yield self.env.timeout(duration)
         finally:
             queue.release(grant)
+        served = self.env.now
 
         grant = self.bus.request()
         yield grant
+        bus_granted = self.env.now
         try:
             yield self.env.timeout(self.params.bus_time)
         finally:
             self.bus.release(grant)
-        self.pages_fetched += 1
+        end = self.env.now
+        self.pages_fetched += pages
 
-    def cpu_work(self, scanned: int, sorted_count: int) -> Generator:
-        """Process: charge CPU time for processing one fetched batch."""
+        if self.tracer.enabled:
+            self.tracer.span(
+                f"disk{disk_id}", "service", "disk", granted, served,
+                flow=flow, args={"cylinder": cylinder, "pages": pages},
+            )
+            self.tracer.span(
+                "bus", "transfer", "bus", bus_granted, end, flow=flow,
+            )
+        return FetchTiming(
+            disk_id=disk_id,
+            pages=pages,
+            start=start,
+            queue_wait=granted - start,
+            service=served - granted,
+            bus_wait=bus_granted - served,
+            bus_transfer=end - bus_granted,
+            end=end,
+        )
+
+    def cpu_work(
+        self, scanned: int, sorted_count: int, flow: Optional[int] = None
+    ) -> Generator:
+        """Process: charge CPU time for processing one fetched batch.
+
+        Returns a :class:`CpuTiming` as the process value.
+        """
+        start = self.env.now
         grant = self.cpu.request()
         yield grant
+        granted = self.env.now
         try:
             yield self.env.timeout(
                 self.cpu_model.batch_time(scanned, sorted_count)
             )
         finally:
             self.cpu.release(grant)
+        end = self.env.now
+        if self.tracer.enabled:
+            self.tracer.span(
+                "cpu", "batch", "cpu", granted, end, flow=flow,
+                args={"scanned": scanned, "sorted": sorted_count},
+            )
+        return CpuTiming(
+            start=start,
+            queue_wait=granted - start,
+            service=end - granted,
+            end=end,
+        )
 
     def disk_utilizations(self, elapsed: float) -> List[float]:
         """Fraction of *elapsed* each disk spent servicing requests."""

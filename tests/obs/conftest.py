@@ -1,0 +1,18 @@
+"""Fixtures for the observability tests: traced workload runs."""
+
+import pytest
+
+from repro.datasets import sample_queries
+from repro.parallel import build_parallel_tree
+
+
+@pytest.fixture(scope="module")
+def ten_disk_tree(small_points):
+    """A 10-disk declustered tree (the paper's default array width)."""
+    return build_parallel_tree(small_points, dims=2, num_disks=10,
+                               max_entries=8)
+
+
+@pytest.fixture(scope="module")
+def obs_queries(small_points):
+    return sample_queries(small_points, 8, seed=21)

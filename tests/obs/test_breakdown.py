@@ -1,0 +1,173 @@
+"""Tests for the per-query response-time breakdown.
+
+The acceptance property: for every algorithm, every simulated query's
+breakdown components (startup + queue wait + disk service + bus wait +
+bus transfer + CPU + barrier idle) sum to its measured response time
+within 1e-6 relative tolerance.
+"""
+
+import pytest
+
+from repro.experiments.setup import make_factory
+from repro.obs.breakdown import (
+    COMPONENTS,
+    Breakdown,
+    per_query_report,
+    workload_report,
+)
+from repro.simulation import simulate_workload
+from repro.simulation.parameters import SystemParameters
+
+ALGORITHMS = ("BBSS", "FPSS", "CRSS", "WOPTSS")
+
+
+class TestBreakdownArithmetic:
+    def test_total_sums_components(self):
+        breakdown = Breakdown(startup=0.1, queue_wait=0.2, disk_service=0.3,
+                              bus_wait=0.05, bus_transfer=0.05, cpu=0.1,
+                              barrier_idle=0.2)
+        assert breakdown.total == pytest.approx(1.0)
+
+    def test_add_and_scale(self):
+        a = Breakdown(startup=1.0, cpu=2.0)
+        b = Breakdown(startup=0.5, barrier_idle=1.5)
+        merged = a + b
+        assert merged.startup == 1.5
+        assert merged.cpu == 2.0
+        assert merged.barrier_idle == 1.5
+        assert merged.scaled(2.0).total == pytest.approx(2 * merged.total)
+
+    def test_mean(self):
+        mean = Breakdown.mean(
+            [Breakdown(cpu=1.0), Breakdown(cpu=3.0, startup=2.0)]
+        )
+        assert mean.cpu == pytest.approx(2.0)
+        assert mean.startup == pytest.approx(1.0)
+        assert Breakdown.mean([]).total == 0.0
+
+    def test_shares_sum_to_one(self):
+        breakdown = Breakdown(startup=1.0, disk_service=3.0)
+        shares = breakdown.shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["disk_service"] == pytest.approx(0.75)
+        assert all(v == 0.0 for v in Breakdown().shares().values())
+
+
+class TestBreakdownSumsToResponseTime:
+    """The tentpole invariant, asserted for all four algorithms."""
+
+    @pytest.mark.parametrize("name", ALGORITHMS)
+    def test_open_arrivals(self, parallel_tree, name):
+        from repro.datasets import sample_queries
+
+        points = [p for p, _ in parallel_tree.tree.iter_points()]
+        queries = sample_queries(points, 10, seed=4)
+        result = simulate_workload(
+            parallel_tree,
+            make_factory(name, parallel_tree, 5),
+            queries,
+            arrival_rate=8.0,
+            seed=3,
+        )
+        assert result.records
+        for record in result.records:
+            assert record.breakdown.total == pytest.approx(
+                record.response_time, rel=1e-6
+            )
+            assert all(
+                getattr(record.breakdown, component) >= 0.0
+                for component in COMPONENTS
+            )
+
+    @pytest.mark.parametrize("name", ALGORITHMS)
+    def test_single_user(self, parallel_tree, name):
+        from repro.datasets import sample_queries
+
+        points = [p for p, _ in parallel_tree.tree.iter_points()]
+        queries = sample_queries(points, 5, seed=11)
+        result = simulate_workload(
+            parallel_tree,
+            make_factory(name, parallel_tree, 3),
+            queries,
+            arrival_rate=None,
+            seed=1,
+        )
+        for record in result.records:
+            assert record.breakdown.total == pytest.approx(
+                record.response_time, rel=1e-6
+            )
+
+    def test_startup_component_is_the_parameter(self, parallel_tree):
+        from repro.datasets import sample_queries
+
+        points = [p for p, _ in parallel_tree.tree.iter_points()]
+        queries = sample_queries(points, 3, seed=2)
+        params = SystemParameters(query_startup=0.25, sample_rotation=False)
+        result = simulate_workload(
+            parallel_tree,
+            make_factory("CRSS", parallel_tree, 3),
+            queries,
+            arrival_rate=None,
+            params=params,
+        )
+        for record in result.records:
+            assert record.breakdown.startup == pytest.approx(0.25)
+
+    def test_workload_breakdown_is_mean_of_queries(self, parallel_tree):
+        from repro.datasets import sample_queries
+
+        points = [p for p, _ in parallel_tree.tree.iter_points()]
+        queries = sample_queries(points, 6, seed=5)
+        result = simulate_workload(
+            parallel_tree,
+            make_factory("CRSS", parallel_tree, 4),
+            queries,
+            arrival_rate=10.0,
+            seed=7,
+        )
+        assert result.breakdown.total == pytest.approx(
+            result.mean_response, rel=1e-6
+        )
+
+    def test_serial_single_fetch_rounds_have_no_barrier_idle(
+        self, parallel_tree
+    ):
+        """BBSS fetches one page per round: the lone fetch IS the round,
+        so no straggler slack can accrue."""
+        from repro.datasets import sample_queries
+
+        points = [p for p, _ in parallel_tree.tree.iter_points()]
+        queries = sample_queries(points, 4, seed=6)
+        result = simulate_workload(
+            parallel_tree,
+            make_factory("BBSS", parallel_tree, 3),
+            queries,
+            arrival_rate=None,
+        )
+        for record in result.records:
+            assert record.breakdown.barrier_idle == pytest.approx(0.0)
+
+
+class TestReports:
+    def test_per_query_report(self, parallel_tree):
+        from repro.datasets import sample_queries
+
+        points = [p for p, _ in parallel_tree.tree.iter_points()]
+        queries = sample_queries(points, 4, seed=3)
+        result = simulate_workload(
+            parallel_tree,
+            make_factory("CRSS", parallel_tree, 3),
+            queries,
+            arrival_rate=5.0,
+        )
+        report = per_query_report(result.records)
+        lines = report.splitlines()
+        assert "barrier" in lines[0] and "response" in lines[0]
+        assert len(lines) == 2 + len(result.records)
+
+    def test_workload_report(self):
+        report = workload_report(
+            [("CRSS", Breakdown(startup=0.001, disk_service=0.04))]
+        )
+        assert "CRSS" in report
+        assert "disk" in report.splitlines()[0]

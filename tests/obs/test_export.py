@@ -1,0 +1,143 @@
+"""Tests for the JSONL and Chrome trace-event exports."""
+
+import json
+
+import pytest
+
+from repro.experiments.setup import make_factory
+from repro.obs.export import (
+    chrome_trace,
+    dumps_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
+from repro.obs.trace import Tracer
+from repro.simulation import simulate_workload
+
+
+def traced_run(tree, queries, algorithm="CRSS", seed=5):
+    tracer = Tracer()
+    simulate_workload(
+        tree,
+        make_factory(algorithm, tree, 5),
+        queries,
+        arrival_rate=8.0,
+        seed=seed,
+        tracer=tracer,
+    )
+    return tracer
+
+
+class TestJsonl:
+    def test_one_valid_json_object_per_line(self, ten_disk_tree, obs_queries):
+        tracer = traced_run(ten_disk_tree, obs_queries)
+        lines = dumps_jsonl(tracer).splitlines()
+        assert len(lines) == len(tracer.records)
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert kinds <= {"span", "instant", "counter"}
+        assert "span" in kinds
+
+    def test_empty_tracer_exports_empty_text(self):
+        assert dumps_jsonl(Tracer()) == ""
+
+    def test_deterministic_across_runs(self, ten_disk_tree, obs_queries):
+        """Identical seed ⇒ byte-identical JSONL trace."""
+        first = dumps_jsonl(traced_run(ten_disk_tree, obs_queries, seed=9))
+        second = dumps_jsonl(traced_run(ten_disk_tree, obs_queries, seed=9))
+        assert first.encode() == second.encode()
+
+    def test_seed_changes_trace(self, ten_disk_tree, obs_queries):
+        first = dumps_jsonl(traced_run(ten_disk_tree, obs_queries, seed=1))
+        second = dumps_jsonl(traced_run(ten_disk_tree, obs_queries, seed=2))
+        assert first != second
+
+    def test_write_jsonl(self, ten_disk_tree, obs_queries, tmp_path):
+        tracer = traced_run(ten_disk_tree, obs_queries)
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(tracer, str(path))
+        assert path.read_text() == dumps_jsonl(tracer)
+
+
+class TestChromeTrace:
+    def test_ten_disk_crss_trace_is_schema_valid(
+        self, ten_disk_tree, obs_queries
+    ):
+        """Acceptance: a 10-disk CRSS workload exports valid trace-event
+        JSON — re-parsed from its serialized form, as a viewer would."""
+        tracer = traced_run(ten_disk_tree, obs_queries)
+        document = json.loads(json.dumps(chrome_trace(tracer)))
+        assert validate_chrome_trace(document) == len(
+            document["traceEvents"]
+        ) > 0
+
+    def test_tracks_become_named_threads(self, ten_disk_tree, obs_queries):
+        tracer = traced_run(ten_disk_tree, obs_queries)
+        document = chrome_trace(tracer)
+        names = {
+            event["args"]["name"]
+            for event in document["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        for disk in range(10):
+            assert f"disk{disk}" in names
+        assert "bus" in names and "cpu" in names
+        assert any(name.startswith("query") for name in names)
+
+    def test_queries_linked_by_flows(self, ten_disk_tree, obs_queries):
+        tracer = traced_run(ten_disk_tree, obs_queries)
+        events = chrome_trace(tracer)["traceEvents"]
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == len(obs_queries)
+        # Flow ids are the query ids, each starting on the query's track.
+        assert sorted(e["id"] for e in starts) == list(range(len(obs_queries)))
+
+    def test_timestamps_are_microseconds(self, ten_disk_tree, obs_queries):
+        tracer = traced_run(ten_disk_tree, obs_queries)
+        spans = [r for r in tracer.records if hasattr(r, "duration")]
+        events = chrome_trace(tracer)["traceEvents"]
+        max_ts = max(e["ts"] for e in events if e["ph"] == "X")
+        assert max_ts == pytest.approx(max(s.start for s in spans) * 1e6)
+
+    def test_write_chrome_trace(self, ten_disk_tree, obs_queries, tmp_path):
+        tracer = traced_run(ten_disk_tree, obs_queries)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer, str(path))
+        with open(path) as handle:
+            assert validate_chrome_trace(handle) > 0
+
+
+class TestWriteTrace:
+    def test_format_dispatch(self, ten_disk_tree, obs_queries, tmp_path):
+        tracer = traced_run(ten_disk_tree, obs_queries)
+        chrome_path = tmp_path / "t.json"
+        jsonl_path = tmp_path / "t.jsonl"
+        write_trace(tracer, str(chrome_path), "chrome")
+        write_trace(tracer, str(jsonl_path), "jsonl")
+        assert validate_chrome_trace(chrome_path.read_text()) > 0
+        assert jsonl_path.read_text() == dumps_jsonl(tracer)
+        with pytest.raises(ValueError, match="unknown trace format"):
+            write_trace(tracer, str(chrome_path), "svg")
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_chrome_trace([])
+
+    def test_rejects_missing_event_list(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({"displayTimeUnit": "ms"})
+
+    def test_rejects_bad_span(self):
+        events = [{"ph": "X", "pid": 1, "tid": 1, "ts": -1.0, "dur": 1.0,
+                   "name": "x", "cat": "c"}]
+        with pytest.raises(ValueError, match="bad timestamp"):
+            validate_chrome_trace({"traceEvents": events})
+
+    def test_rejects_unknown_phase(self):
+        events = [{"ph": "?", "pid": 1, "ts": 0.0}]
+        with pytest.raises(ValueError, match="unknown phase"):
+            validate_chrome_trace({"traceEvents": events})

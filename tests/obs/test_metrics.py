@@ -1,0 +1,120 @@
+"""Tests for counters, time-weighted gauges and log histograms."""
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("pages")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.summary() == {"type": "counter", "value": 5}
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_time_weighted_mean(self):
+        gauge = Gauge("queue")
+        gauge.set(0.0, 0.0)
+        gauge.set(1.0, 4.0)  # value 0 over [0,1]
+        gauge.set(3.0, 2.0)  # value 4 over [1,3]
+        # mean over [0,3] = (0*1 + 4*2) / 3
+        assert gauge.mean() == pytest.approx(8.0 / 3.0)
+        # extend the horizon: value 2 over [3,5]
+        assert gauge.mean(until=5.0) == pytest.approx((8.0 + 4.0) / 5.0)
+        assert gauge.max_value == 4.0
+        assert gauge.value == 2.0
+
+    def test_empty_gauge(self):
+        assert Gauge("q").mean() == 0.0
+
+    def test_rejects_time_travel(self):
+        gauge = Gauge("q")
+        gauge.set(2.0, 1.0)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            gauge.set(1.0, 2.0)
+
+
+class TestHistogram:
+    def test_log_buckets(self):
+        histogram = Histogram("t", minimum=1.0, factor=2.0)
+        for value in (0.1, 1.5, 3.0, 3.9, 100.0):
+            histogram.observe(value)
+        buckets = histogram.buckets()
+        # 0.1 -> underflow; 1.5 -> [1,2); 3.0, 3.9 -> [2,4); 100 -> [64,128)
+        assert [(low, high, n) for low, high, n in buckets] == [
+            (0.0, 1.0, 1),
+            (1.0, 2.0, 1),
+            (2.0, 4.0, 2),
+            (64.0, 128.0, 1),
+        ]
+        assert histogram.count == 5
+        assert histogram.mean == pytest.approx((0.1 + 1.5 + 3.0 + 3.9 + 100) / 5)
+
+    def test_percentile_estimates_upper_edge(self):
+        histogram = Histogram("t", minimum=1.0, factor=2.0)
+        for value in (1.5, 3.0, 3.9, 100.0):
+            histogram.observe(value)
+        assert histogram.percentile(0.5) == pytest.approx(4.0)
+        # The top bucket's estimate is capped by the observed maximum.
+        assert histogram.percentile(1.0) == pytest.approx(100.0)
+
+    def test_percentile_bounds_true_value(self):
+        """The estimate is within one factor above the true percentile."""
+        histogram = Histogram("t", minimum=1e-3, factor=2.0)
+        values = [0.01 * (i + 1) for i in range(100)]
+        for value in values:
+            histogram.observe(value)
+        true_p95 = sorted(values)[94]
+        estimate = histogram.percentile(0.95)
+        assert true_p95 <= estimate <= true_p95 * 2.0
+
+    def test_empty_and_invalid(self):
+        histogram = Histogram("t")
+        with pytest.raises(ValueError, match="empty"):
+            histogram.percentile(0.5)
+        with pytest.raises(ValueError, match="fraction"):
+            histogram.percentile(0.0)
+        with pytest.raises(ValueError, match=">= 0"):
+            histogram.observe(-1.0)
+        with pytest.raises(ValueError, match="minimum"):
+            Histogram("t", minimum=0.0)
+        with pytest.raises(ValueError, match="factor"):
+            Histogram("t", factor=1.0)
+
+    def test_summary(self):
+        histogram = Histogram("t", minimum=1.0)
+        histogram.observe(2.0)
+        summary = histogram.summary()
+        assert summary["count"] == 1
+        assert summary["min"] == summary["max"] == 2.0
+        assert Histogram("empty").summary() == {"type": "histogram", "count": 0}
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+        assert len(registry) == 3
+
+    def test_type_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("a")
+
+    def test_snapshot_sorted_and_plain(self):
+        registry = MetricsRegistry()
+        registry.counter("z").inc(2)
+        registry.histogram("a").observe(1.0)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a", "z"]
+        assert snapshot["z"] == {"type": "counter", "value": 2}

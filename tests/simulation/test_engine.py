@@ -310,3 +310,132 @@ class TestEvent:
         event.succeed("payload")
         env.run()
         assert log == ["payload"]
+
+
+class TestQueueAccountingUnderContention:
+    """Satellite coverage: queue statistics under contention and with
+    cancelled (never-granted) requests, plus the wait/hold probes."""
+
+    @staticmethod
+    def _contended(env, resource, hold, arrivals):
+        """Spawn one *hold*-second user per arrival time."""
+
+        def user(delay):
+            yield env.timeout(delay)
+            grant = resource.request()
+            yield grant
+            yield env.timeout(hold)
+            resource.release(grant)
+
+        for delay in arrivals:
+            env.process(user(delay))
+
+    def test_mean_queue_under_contention(self):
+        """Three simultaneous users of a 1-unit resource, 2 s each:
+        queue length is 2 over [0,2), 1 over [2,4), 0 over [4,6)."""
+        env = Environment()
+        resource = Resource(env)
+        self._contended(env, resource, hold=2.0, arrivals=(0.0, 0.0, 0.0))
+        env.run()
+        assert env.now == 6.0
+        assert resource.max_queue_length == 2
+        assert resource.mean_queue_length() == pytest.approx(1.0)
+
+    def test_wait_and_hold_totals(self):
+        env = Environment()
+        resource = Resource(env)
+        self._contended(env, resource, hold=2.0, arrivals=(0.0, 0.0, 0.0))
+        env.run()
+        # Waits: 2 s (second user) + 4 s (third); holds: 3 × 2 s.
+        assert resource.total_wait_time == pytest.approx(6.0)
+        assert resource.waits == 2
+        assert resource.total_hold_time == pytest.approx(6.0)
+        assert resource.grants == 3
+        assert resource.mean_wait_time == pytest.approx(2.0)
+
+    def test_cancelled_request_leaves_clean_accounting(self):
+        """A queued request withdrawn before its grant counts queue time
+        while queued but never becomes a wait/grant."""
+        env = Environment()
+        resource = Resource(env)
+
+        def holder():
+            grant = resource.request()
+            yield grant
+            yield env.timeout(4.0)
+            resource.release(grant)
+
+        def quitter():
+            grant = resource.request()  # queued behind the holder
+            yield env.timeout(1.0)     # gives up at t=1, never granted
+            resource.release(grant)
+
+        env.process(holder())
+        env.process(quitter())
+        env.run()
+        assert env.now == 4.0
+        # Queued over [0,1) only: mean = 1/4; the peak was 1.
+        assert resource.mean_queue_length() == pytest.approx(0.25)
+        assert resource.max_queue_length == 1
+        assert resource.grants == 1
+        assert resource.waits == 0
+        assert resource.total_wait_time == 0.0
+        assert resource.queue_length == 0
+        assert resource.in_use == 0
+
+    def test_cancellation_hands_nothing_to_later_waiters(self):
+        """Cancelling mid-queue must not disturb FCFS for the others."""
+        env = Environment()
+        resource = Resource(env)
+        order = []
+
+        def holder():
+            grant = resource.request()
+            yield grant
+            yield env.timeout(2.0)
+            resource.release(grant)
+
+        def quitter():
+            grant = resource.request()
+            yield env.timeout(0.5)
+            resource.release(grant)
+
+        def patient():
+            grant = resource.request()
+            yield grant
+            order.append(env.now)
+            resource.release(grant)
+
+        env.process(holder())
+        env.process(quitter())
+        env.process(patient())
+        env.run()
+        assert order == [2.0]
+        assert resource.waits == 1
+        assert resource.total_wait_time == pytest.approx(2.0)
+
+    def test_tracer_counter_probes_queue_depth(self):
+        from repro.obs.trace import Tracer
+
+        env = Environment()
+        tracer = Tracer()
+        resource = Resource(env, name="disk0", tracer=tracer)
+        self._contended(env, resource, hold=1.0, arrivals=(0.0, 0.0))
+        env.run()
+        samples = [(r.ts, r.value) for r in tracer.records]
+        # Depth 1 when the second user queues at t=0, 0 at the handoff.
+        assert samples == [(0.0, 1), (1.0, 0)]
+        assert all(r.track == "disk0" for r in tracer.records)
+
+    def test_gauge_probe_integrates_queue_depth(self):
+        from repro.obs.metrics import Gauge
+
+        env = Environment()
+        gauge = Gauge("disk0.queue_depth")
+        resource = Resource(env, gauge=gauge)
+        self._contended(env, resource, hold=2.0, arrivals=(0.0, 0.0, 0.0))
+        env.run()
+        assert gauge.max_value == 2
+        # Gauge sampling starts at the first queue change (t=0 here), so
+        # its mean over [0, 4] (last change) is (2·2 + 1·2)/4 = 1.5.
+        assert gauge.mean() == pytest.approx(1.5)

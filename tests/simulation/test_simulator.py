@@ -162,3 +162,91 @@ class TestWorkloadResultStatistics:
             gaps, "expon", args=(0, 1.0 / rate)
         )
         assert pvalue > 0.01
+
+
+class TestBufferHitAccounting:
+    """Satellite fix: buffer hits are not fetched pages.  A record's
+    ``pages_fetched`` counts real I/Os only; hits land in
+    ``buffer_hits``."""
+
+    def test_no_buffer_means_no_hits(self, parallel_tree, queries):
+        result = simulate_workload(
+            parallel_tree,
+            factory(CRSS, 5, parallel_tree),
+            queries,
+            arrival_rate=None,
+        )
+        assert all(r.buffer_hits == 0 for r in result.records)
+        assert result.total_buffer_hits == 0
+
+    def test_hits_plus_fetches_conserve_logical_requests(
+        self, parallel_tree, queries
+    ):
+        """The algorithm requests the same pages either way, so
+        (physical fetches + buffer hits) with a buffer must equal the
+        physical fetches without one, query by query."""
+        without = simulate_workload(
+            parallel_tree,
+            factory(CRSS, 5, parallel_tree),
+            queries,
+            arrival_rate=None,
+            params=SystemParameters(sample_rotation=False),
+        )
+        with_buffer = simulate_workload(
+            parallel_tree,
+            factory(CRSS, 5, parallel_tree),
+            queries,
+            arrival_rate=None,
+            params=SystemParameters(
+                sample_rotation=False, buffer_pages=10_000
+            ),
+        )
+        assert with_buffer.total_buffer_hits > 0
+        for cold, warm in zip(without.records, with_buffer.records):
+            assert warm.pages_fetched + warm.buffer_hits == cold.pages_fetched
+            assert warm.pages_fetched < cold.pages_fetched or warm.buffer_hits == 0
+
+    def test_mean_pages_counts_physical_io_only(self, parallel_tree, queries):
+        """A huge buffer makes repeat queries nearly free — mean_pages
+        must reflect that instead of counting logical requests."""
+        repeated = list(queries[:2]) * 3
+        result = simulate_workload(
+            parallel_tree,
+            factory(CRSS, 5, parallel_tree),
+            repeated,
+            arrival_rate=None,
+            params=SystemParameters(
+                sample_rotation=False, buffer_pages=10_000
+            ),
+        )
+        first_pass = result.records[:2]
+        second_pass = result.records[2:4]
+        assert all(r.pages_fetched > 0 for r in first_pass)
+        # Re-issued queries hit the warm buffer for every page.
+        assert all(r.pages_fetched == 0 for r in second_pass)
+        assert all(r.buffer_hits > 0 for r in second_pass)
+
+    def test_system_counter_matches_record_sum(self, parallel_tree, queries):
+        """Conservation: the system's physical page counter equals the
+        per-record fetch totals (single-user, no buffer)."""
+        from repro.simulation.engine import Environment
+        from repro.simulation.system import DiskArraySystem
+        from repro.simulation.simulator import SimulatedExecutor
+
+        env = Environment()
+        system = DiskArraySystem(env, parallel_tree.num_disks)
+        executor = SimulatedExecutor(env, system, parallel_tree)
+        records = []
+
+        def run_all():
+            for query in queries:
+                record = yield env.process(
+                    executor.query_process(
+                        CRSS(query, 5, num_disks=parallel_tree.num_disks)
+                    )
+                )
+                records.append(record)
+
+        env.process(run_all())
+        env.run()
+        assert system.pages_fetched == sum(r.pages_fetched for r in records)

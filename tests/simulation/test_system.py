@@ -145,3 +145,86 @@ class TestDiskArraySystem:
 
         assert run(3) == run(3)
         assert run(3) != run(4)  # different rotational samples
+
+
+class TestFetchAccountingAndTimings:
+    def test_supernode_fetch_counts_all_pages(self):
+        """A 3-page supernode is 3 physical pages, not 1 (X-tree fix)."""
+        env = Environment()
+        system = DiskArraySystem(env, 2, params=deterministic_params())
+        env.process(system.fetch_page(0, 10, pages=3))
+        env.run()
+        assert system.pages_fetched == 3
+
+    def test_fetch_page_returns_phase_timings(self):
+        env = Environment()
+        system = DiskArraySystem(env, 2, params=deterministic_params())
+        process = env.process(system.fetch_page(1, 25, pages=2))
+        env.run()
+        timing = process.value
+        assert timing.disk_id == 1
+        assert timing.pages == 2
+        assert timing.start == 0.0
+        assert timing.end == pytest.approx(env.now)
+        phases = (timing.queue_wait + timing.service + timing.bus_wait
+                  + timing.bus_transfer)
+        assert timing.total == pytest.approx(phases)
+        assert timing.queue_wait == 0.0  # empty system: no queueing
+        assert timing.bus_transfer == pytest.approx(
+            system.params.bus_time
+        )
+
+    def test_contended_fetch_reports_queue_wait(self):
+        env = Environment()
+        system = DiskArraySystem(env, 1, params=deterministic_params())
+        first = env.process(system.fetch_page(0, 0))
+        second = env.process(system.fetch_page(0, 0))
+        env.run()
+        assert first.value.queue_wait == 0.0
+        assert second.value.queue_wait == pytest.approx(
+            first.value.service
+        )
+
+    def test_cpu_work_returns_timing(self):
+        env = Environment()
+        system = DiskArraySystem(env, 1, params=deterministic_params())
+        process = env.process(system.cpu_work(100, 100))
+        env.run()
+        timing = process.value
+        assert timing.queue_wait == 0.0
+        assert timing.service == pytest.approx(
+            system.cpu_model.batch_time(100, 100)
+        )
+        assert timing.total == pytest.approx(env.now)
+
+    def test_tracer_receives_service_and_bus_spans(self):
+        from repro.obs.trace import Tracer
+
+        env = Environment()
+        tracer = Tracer()
+        system = DiskArraySystem(
+            env, 3, params=deterministic_params(), tracer=tracer
+        )
+        env.process(system.fetch_page(2, 5, flow=9))
+        env.run()
+        spans = [r for r in tracer.records if hasattr(r, "duration")]
+        assert [(s.track, s.name) for s in spans] == [
+            ("disk2", "service"), ("bus", "transfer")
+        ]
+        assert all(s.flow == 9 for s in spans)
+        # Tracks were pre-registered in server order at construction.
+        assert tracer.tracks[:5] == ("disk0", "disk1", "disk2", "bus", "cpu")
+
+    def test_metrics_gauges_wired_to_queues(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        env = Environment()
+        metrics = MetricsRegistry()
+        system = DiskArraySystem(
+            env, 1, params=deterministic_params(), metrics=metrics
+        )
+        env.process(system.fetch_page(0, 0))
+        env.process(system.fetch_page(0, 0))
+        env.run()
+        gauge = metrics.gauge("disk0.queue_depth")
+        assert gauge.max_value == 1

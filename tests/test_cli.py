@@ -84,3 +84,60 @@ class TestValidation:
     def test_rejects_bad_disks(self):
         with pytest.raises(SystemExit, match="--disks"):
             main(["info", "--disks", "0"])
+
+
+class TestSimulateObservability:
+    def test_percentile_and_breakdown_tables(self, capsys):
+        assert main(
+            ["simulate", *FAST, "--queries", "6", "--k", "3",
+             "--algorithms", "CRSS", "--arrival-rate", "6"]
+        ) == 0
+        out = capsys.readouterr().out
+        for column in ("p50", "p95", "p99"):
+            assert column in out
+        assert "time breakdown" in out
+        for column in ("q-wait", "bus-xfer", "barrier"):
+            assert column in out
+
+    def test_trace_written_and_valid(self, capsys, tmp_path):
+        from repro.obs import validate_chrome_trace
+
+        path = tmp_path / "trace.json"
+        assert main(
+            ["simulate", *FAST, "--queries", "4", "--k", "2",
+             "--algorithms", "CRSS", "--arrival-rate", "5",
+             "--trace", str(path)]
+        ) == 0
+        assert f"trace written: {path} (chrome)" in capsys.readouterr().out
+        assert validate_chrome_trace(path.read_text()) > 0
+
+    def test_trace_jsonl_format(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            ["simulate", *FAST, "--queries", "3", "--k", "2",
+             "--algorithms", "BBSS", "--arrival-rate", "0",
+             "--trace", str(path), "--trace-format", "jsonl"]
+        ) == 0
+        lines = path.read_text().splitlines()
+        assert lines
+        assert all(json.loads(line)["kind"] for line in lines)
+
+    def test_multi_algorithm_traces_get_suffixes(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(
+            ["simulate", *FAST, "--queries", "3", "--k", "2",
+             "--algorithms", "BBSS,CRSS", "--arrival-rate", "4",
+             "--trace", str(path)]
+        ) == 0
+        assert (tmp_path / "trace.bbss.json").exists()
+        assert (tmp_path / "trace.crss.json").exists()
+        assert not path.exists()
+
+    def test_missing_trace_directory_rejected_up_front(self):
+        with pytest.raises(SystemExit, match="directory does not exist"):
+            main(
+                ["simulate", *FAST, "--queries", "2",
+                 "--algorithms", "CRSS", "--trace", "/no/such/dir/t.json"]
+            )
