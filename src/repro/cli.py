@@ -11,7 +11,15 @@ Python:
   disk-array simulation and print per-algorithm response times (with
   tail percentiles and a per-component time breakdown); ``--trace``
   additionally writes a span trace per algorithm, as JSONL or as
-  Chrome trace-event JSON loadable in Perfetto / ``chrome://tracing``.
+  Chrome trace-event JSON loadable in Perfetto / ``chrome://tracing``;
+* ``repro bench`` — run the reproducible benchmark suite (fixed seeded
+  trees, fixed query/simulate workloads, the node-scan microbench) and
+  write the ``BENCH_*.json`` trajectory point; ``--smoke`` shrinks it
+  to CI size.
+
+``knn`` and ``simulate`` accept ``--kernels scalar`` to run on the
+scalar reference distance path instead of the vectorized batch kernels
+(see :mod:`repro.perf`); results are identical either way.
 
 Invoke via ``python -m repro <subcommand> --help``.
 """
@@ -34,6 +42,7 @@ from repro.experiments.setup import make_factory
 from repro.obs import TRACE_FORMATS, Tracer, write_trace
 from repro.parallel import build_parallel_tree
 from repro.parallel.declustering import make_policy
+from repro.perf import use_vectorized
 from repro.simulation import simulate_workload
 
 
@@ -112,6 +121,16 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_kernels_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernels",
+        choices=["vectorized", "scalar"],
+        default="vectorized",
+        help="distance kernel path: numpy batch kernels (default) or the "
+        "scalar reference oracle — results are identical",
+    )
+
+
 def _cmd_knn(args: argparse.Namespace) -> int:
     data, tree = _build_tree(args)
     query = (
@@ -121,7 +140,8 @@ def _cmd_knn(args: argparse.Namespace) -> int:
     )
     executor = CountingExecutor(tree)
     factory = make_factory(args.algorithm, tree, args.k)
-    neighbors = executor.execute(factory(query))
+    with use_vectorized(args.kernels != "scalar"):
+        neighbors = executor.execute(factory(query))
     stats = executor.last_stats
     print(f"query  : {tuple(round(c, 4) for c in query)}  (k={args.k}, "
           f"algorithm={args.algorithm})")
@@ -160,14 +180,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     trace_files = []
     for name in names:
         tracer = Tracer() if args.trace else None
-        workloads[name] = simulate_workload(
-            tree,
-            make_factory(name, tree, args.k),
-            queries,
-            arrival_rate=args.arrival_rate,
-            seed=args.seed,
-            tracer=tracer,
-        )
+        with use_vectorized(args.kernels != "scalar"):
+            workloads[name] = simulate_workload(
+                tree,
+                make_factory(name, tree, args.k),
+                queries,
+                arrival_rate=args.arrival_rate,
+                seed=args.seed,
+                tracer=tracer,
+            )
         if tracer is not None:
             path = _trace_path(args.trace, name, len(names) > 1)
             write_trace(tracer, path, args.trace_format)
@@ -195,6 +216,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     for path in trace_files:
         print(f"trace written: {path} ({args.trace_format})")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # Imported lazily: the bench harness pulls in the whole experiment
+    # and simulation stack, which the other subcommands don't need.
+    from repro.perf.bench import format_summary, run_bench, write_bench
+
+    out_dir = os.path.dirname(args.out) or "."
+    if not os.path.isdir(out_dir):
+        raise SystemExit(f"--out directory does not exist: {out_dir}")
+    doc = run_bench(smoke=args.smoke, seed=args.seed)
+    write_bench(doc, args.out)
+    print(format_summary(doc))
+    print(f"\nbench written: {args.out}")
     return 0
 
 
@@ -232,6 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="comma-separated query point (default: sampled from the data)",
     )
+    _add_kernels_argument(knn)
     knn.set_defaults(handler=_cmd_knn)
 
     simulate = subparsers.add_parser(
@@ -267,7 +304,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace file format: 'chrome' (Perfetto / chrome://tracing "
         "trace-event JSON) or 'jsonl' (default: chrome)",
     )
+    _add_kernels_argument(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the reproducible benchmark suite and write BENCH_*.json",
+    )
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: small populations, few queries",
+    )
+    bench.add_argument(
+        "--out",
+        default="BENCH_PR2.json",
+        metavar="PATH",
+        help="output JSON path (default: BENCH_PR2.json)",
+    )
+    bench.add_argument(
+        "--seed", type=int, default=0, help="RNG seed (default: 0)"
+    )
+    bench.set_defaults(handler=_cmd_bench)
 
     paper = subparsers.add_parser(
         "paper", help="regenerate one of the paper's figures/tables"

@@ -20,18 +20,13 @@ from __future__ import annotations
 
 from typing import List, Mapping
 
-from repro.core.regions import (
-    region_minimum_distance_sq as minimum_distance_sq,
-    region_minmax_distance_sq as minmax_distance_sq,
-)
 from repro.core.protocol import (
     FetchRequest,
     SearchAlgorithm,
     SearchCoroutine,
-    child_refs,
-    leaf_points,
 )
-from repro.core.results import Neighbor, NeighborList
+from repro.core.results import NeighborList
+from repro.core.scan import offer_leaf, scan_children
 from repro.rtree.node import Node
 
 
@@ -49,16 +44,16 @@ class BBSS(SearchAlgorithm):
     def _visit(self, node: Node, neighbors: NeighborList):
         """Recursive DFS over *node*, yielding one fetch per child visited."""
         if node.is_leaf:
-            neighbors.offer_many(leaf_points(node))
+            offer_leaf(self.query, node, neighbors)
             return
 
-        # Build the Active Branch List ordered by ascending Dmin.
-        branches = []
-        for ref in child_refs(node):
-            dmin_sq = minimum_distance_sq(self.query, ref.rect)
-            dmm_sq = minmax_distance_sq(self.query, ref.rect)
-            branches.append((dmin_sq, dmm_sq, ref.page_id))
-        branches.sort()
+        # Build the Active Branch List ordered by ascending Dmin; the
+        # whole node is scored in one batch over its cached bounds.
+        scan = scan_children(self.query, node, want_dmm=True)
+        branches = sorted(
+            (dmin_sq, dmm_sq, ref.page_id)
+            for dmin_sq, dmm_sq, ref in zip(scan.dmin_sq, scan.dmm_sq, scan.refs)
+        )
 
         # Rule 1 (downward pruning, k = 1 only): an MBR whose Dmin exceeds
         # the smallest Dmm of any sibling cannot hold the nearest object.

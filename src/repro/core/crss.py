@@ -26,19 +26,14 @@ from __future__ import annotations
 import math
 from typing import List, Mapping, Sequence, Tuple
 
-from repro.core.regions import (
-    region_minimum_distance_sq as minimum_distance_sq,
-    region_minmax_distance_sq as minmax_distance_sq,
-)
 from repro.core.protocol import (
     ChildRef,
     FetchRequest,
     SearchAlgorithm,
     SearchCoroutine,
-    child_refs,
-    leaf_points,
 )
 from repro.core.results import NeighborList
+from repro.core.scan import offer_leaf, scan_children
 from repro.core.stack import Candidate, CandidateStack
 from repro.core.threshold import threshold_distance_sq
 from repro.rtree.node import Node
@@ -79,22 +74,41 @@ class CRSS(SearchAlgorithm):
             fetched: Mapping[int, Node] = yield FetchRequest(batch)
 
             # Split the fetched pages into data and branch information.
+            # Each internal node is scored in one batch scan: Dmin and
+            # Dmm always (the reduction criterion), Dmax only while no
+            # leaf has been reached (Lemma 1 is moot afterwards).  When
+            # the frontier reaches the threshold computation below, no
+            # leaf was in this batch, so every scan carried Dmax and the
+            # lists are fully aligned.
             frontier: List[ChildRef] = []
+            fr_dmin_sq: List[float] = []
+            fr_dmm_sq: List[float] = []
+            fr_dmax_sq: List[float] = []
             for page_id in batch:
                 node = fetched[page_id]
                 if node.is_leaf:
                     # UPDATE mode: new data objects refine the k-th best.
-                    neighbors.offer_many(leaf_points(node))
+                    offer_leaf(self.query, node, neighbors)
                     reached_leaves = True
                 elif node.entries:
-                    frontier.extend(child_refs(node))
+                    scan = scan_children(
+                        self.query, node,
+                        want_dmm=True, want_dmax=not reached_leaves,
+                    )
+                    frontier.extend(scan.refs)
+                    fr_dmin_sq.extend(scan.dmin_sq)
+                    fr_dmm_sq.extend(scan.dmm_sq)
+                    if scan.dmax_sq is not None:
+                        fr_dmax_sq.extend(scan.dmax_sq)
 
             if not reached_leaves:
                 # ADAPTIVE mode: tighten D_th from Lemma 1.  Only safe to
                 # tighten when the frontier alone guarantees k objects —
                 # otherwise answers may hide in stacked candidates beyond
                 # the frontier's reach.
-                threshold = threshold_distance_sq(self.query, frontier, self.k)
+                threshold = threshold_distance_sq(
+                    self.query, frontier, self.k, dmax_sq=fr_dmax_sq
+                )
                 lower_bound = 1
                 if threshold.guaranteed:
                     dth_sq = min(dth_sq, threshold.dth_sq)
@@ -106,7 +120,9 @@ class CRSS(SearchAlgorithm):
                 radius_sq = min(dth_sq, neighbors.kth_distance_sq())
                 lower_bound = 1
 
-            active, saved = self._reduce(frontier, radius_sq, lower_bound)
+            active, saved = self._reduce(
+                frontier, fr_dmin_sq, fr_dmm_sq, radius_sq, lower_bound
+            )
             stack.push_run(saved)
 
             # No activation from the frontier: fall back to the stack
@@ -127,20 +143,26 @@ class CRSS(SearchAlgorithm):
         return neighbors.as_sorted()
 
     def _reduce(
-        self, frontier: List[ChildRef], radius_sq: float, lower_bound: int
+        self,
+        frontier: List[ChildRef],
+        dmin_sq: List[float],
+        dmm_sq: List[float],
+        radius_sq: float,
+        lower_bound: int,
     ) -> Tuple[List[Candidate], List[Candidate]]:
         """Apply the candidate reduction criterion plus the l..u bound.
 
-        Returns ``(active, saved)``; rejected branches are dropped.
+        *dmin_sq* / *dmm_sq* are the frontier's batch-computed distances,
+        aligned with *frontier*.  Returns ``(active, saved)``; rejected
+        branches are dropped.
         """
         qualified: List[Candidate] = []
         preferred: List[Candidate] = []  # Dmm < D_th: surely useful
-        for ref in frontier:
-            dmin_sq = minimum_distance_sq(self.query, ref.rect)
-            if dmin_sq > radius_sq:
+        for ref, ref_dmin_sq, ref_dmm_sq in zip(frontier, dmin_sq, dmm_sq):
+            if ref_dmin_sq > radius_sq:
                 continue  # criterion (i): rejected outright
-            candidate = Candidate(dmin_sq, ref)
-            if minmax_distance_sq(self.query, ref.rect) < radius_sq:
+            candidate = Candidate(ref_dmin_sq, ref)
+            if ref_dmm_sq < radius_sq:
                 preferred.append(candidate)  # criterion (ii): activate
             else:
                 qualified.append(candidate)  # criterion (iii): save

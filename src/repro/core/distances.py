@@ -16,6 +16,13 @@ All functions come in squared (fast, used internally) and plain variants.
 ``Dmin <= Dmm <= Dmax`` always holds (property-tested in the suite), with
 the convention that ``Dmm`` of a degenerate (point) MBR equals the point
 distance.
+
+These scalar functions are the **reference oracle** for the vectorized
+batch kernels in :mod:`repro.perf.kernels`, which evaluate the same
+metrics for every entry of a node at once.  The two implementations are
+kept bit-for-bit equal (same operations, same order, per axis) and the
+differential suite in ``tests/perf`` enforces exact float equality —
+any change to the arithmetic here must be mirrored there.
 """
 
 from __future__ import annotations
@@ -53,7 +60,8 @@ def maximum_distance_sq(point: Sequence[float], rect: Rect) -> float:
     _check_dims(point, rect)
     total = 0.0
     for p, lo, hi in zip(point, rect.low, rect.high):
-        total += max(abs(p - lo), abs(hi - p)) ** 2
+        far = max(abs(p - lo), abs(hi - p))
+        total += far * far
     return total
 
 

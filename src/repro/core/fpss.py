@@ -13,16 +13,14 @@ from __future__ import annotations
 
 from typing import List, Mapping
 
-from repro.core.regions import region_minimum_distance_sq as minimum_distance_sq
 from repro.core.protocol import (
     ChildRef,
     FetchRequest,
     SearchAlgorithm,
     SearchCoroutine,
-    child_refs,
-    leaf_points,
 )
 from repro.core.results import NeighborList
+from repro.core.scan import offer_leaf, scan_children
 from repro.core.threshold import threshold_distance_sq
 from repro.rtree.node import Node
 
@@ -37,18 +35,29 @@ class FPSS(SearchAlgorithm):
         batch = [root_page_id]
         while batch:
             fetched: Mapping[int, Node] = yield FetchRequest(batch)
+            # Per fetched node, one batch scan yields both the Dmin used
+            # for the intersection filter and the Dmax Lemma 1 needs.
             frontier: List[ChildRef] = []
+            dmin_sq: List[float] = []
+            dmax_sq: List[float] = []
             for page_id in batch:
                 node = fetched[page_id]
                 if node.is_leaf:
-                    neighbors.offer_many(leaf_points(node))
+                    offer_leaf(self.query, node, neighbors)
                 elif node.entries:
-                    frontier.extend(child_refs(node))
-            batch = self._activate(frontier, neighbors)
+                    scan = scan_children(self.query, node, want_dmax=True)
+                    frontier.extend(scan.refs)
+                    dmin_sq.extend(scan.dmin_sq)
+                    dmax_sq.extend(scan.dmax_sq)
+            batch = self._activate(frontier, dmin_sq, dmax_sq, neighbors)
         return neighbors.as_sorted()
 
     def _activate(
-        self, frontier: List[ChildRef], neighbors: NeighborList
+        self,
+        frontier: List[ChildRef],
+        dmin_sq: List[float],
+        dmax_sq: List[float],
+        neighbors: NeighborList,
     ) -> List[int]:
         """Every frontier branch that intersects the current query sphere.
 
@@ -57,10 +66,12 @@ class FPSS(SearchAlgorithm):
         """
         if not frontier:
             return []
-        dth_sq = threshold_distance_sq(self.query, frontier, self.k).dth_sq
+        dth_sq = threshold_distance_sq(
+            self.query, frontier, self.k, dmax_sq=dmax_sq
+        ).dth_sq
         radius_sq = min(dth_sq, neighbors.kth_distance_sq())
         return [
             ref.page_id
-            for ref in frontier
-            if minimum_distance_sq(self.query, ref.rect) <= radius_sq
+            for ref, d in zip(frontier, dmin_sq)
+            if d <= radius_sq
         ]

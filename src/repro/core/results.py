@@ -64,7 +64,20 @@ class NeighborList:
 
     def offer(self, point: Sequence[float], oid: int) -> float:
         """Consider one data object; returns its squared distance."""
-        dist_sq = squared_euclidean(self.query, point)
+        return self.offer_computed(
+            squared_euclidean(self.query, point), point, oid
+        )
+
+    def offer_computed(
+        self, dist_sq: float, point: Sequence[float], oid: int
+    ) -> float:
+        """Consider a data object whose squared distance is already known.
+
+        The batched leaf scan (:func:`repro.core.scan.offer_leaf`)
+        computes all of a leaf's distances in one kernel call and feeds
+        them through here; the selection logic is shared with
+        :meth:`offer`, so both paths admit exactly the same objects.
+        """
         item = (-dist_sq, -oid, tuple(point))
         if not self.full:
             heapq.heappush(self._heap, item)

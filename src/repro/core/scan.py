@@ -1,0 +1,101 @@
+"""Batched node scans — the hot path of every search algorithm.
+
+All four algorithms do the same two things with a fetched page: score
+every child MBR of an internal node (``Dmin`` / ``Dmm`` / ``Dmax``), or
+score every data point of a leaf against the running neighbor list.
+This module performs both as single batch operations over the node's
+cached corner matrices (:meth:`repro.rtree.node.Node.entry_bounds`),
+running on the vectorized kernels of :mod:`repro.perf.kernels` when the
+``use_vectorized`` switch is on and the node supports the matrix form.
+
+Everything else — sphere-bounded SS-tree nodes, TV-tree reduced
+regions, or vectorization switched off — falls back to the scalar
+reference path with bit-identical results, so the algorithms above this
+module never need to know which path ran.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Sequence
+
+from repro.core.protocol import ChildRef, child_refs, leaf_points
+from repro.core.regions import batch_region_distances
+from repro.core.results import NeighborList
+from repro.perf import kernels
+
+
+class ChildScan(NamedTuple):
+    """Per-entry distances for one internal node's branches.
+
+    Each distance field is a list aligned with :attr:`refs`, or ``None``
+    when the metric was not requested.
+    """
+
+    refs: List[ChildRef]
+    dmin_sq: Optional[List[float]]
+    dmm_sq: Optional[List[float]] = None
+    dmax_sq: Optional[List[float]] = None
+
+
+def _node_bounds(node):
+    """The node's cached corner matrices, or None if unsupported."""
+    getter = getattr(node, "entry_bounds", None)
+    return getter() if getter is not None else None
+
+
+def scan_children(
+    query: Sequence[float],
+    node,
+    *,
+    want_dmm: bool = False,
+    want_dmax: bool = False,
+) -> ChildScan:
+    """Score every child branch of internal *node* in one batch.
+
+    ``Dmin`` is always computed (every algorithm needs it); ``Dmm`` and
+    ``Dmax`` on request.  The result lists contain plain Python floats
+    either way, so callers are oblivious to which path produced them.
+    """
+    refs = child_refs(node)
+    if not refs:
+        return ChildScan(refs, [], [] if want_dmm else None,
+                         [] if want_dmax else None)
+    metrics = ["dmin"]
+    if want_dmm:
+        metrics.append("dmm")
+    if want_dmax:
+        metrics.append("dmax")
+    bounds = _node_bounds(node) if kernels.vectorization_enabled() else None
+    results = batch_region_distances(
+        query, [ref.rect for ref in refs], metrics, bounds=bounds
+    )
+    by_metric = dict(zip(metrics, results))
+    return ChildScan(
+        refs,
+        by_metric["dmin"],
+        by_metric.get("dmm"),
+        by_metric.get("dmax"),
+    )
+
+
+def offer_leaf(
+    query: Sequence[float], node, neighbors: NeighborList
+) -> None:
+    """Offer every data object of leaf *node* to *neighbors*.
+
+    The vectorized path computes all squared distances with one kernel
+    call over the leaf's cached point matrix (the low corners of its
+    degenerate MBRs); the fallback is the classic per-entry offer.
+    """
+    if not node.entries:
+        return
+    if kernels.vectorization_enabled():
+        bounds = _node_bounds(node)
+        if bounds is not None:
+            distances = kernels.batch_point_distance_sq(query, bounds[0])
+            for entry, dist_sq in zip(node.entries, distances.tolist()):
+                neighbors.offer_computed(dist_sq, entry.point, entry.oid)
+            return
+    entries = leaf_points(node)
+    neighbors.offer_many(entries)
+    kernels.record_kernel_use("pointdist", "scalar", len(entries))

@@ -15,11 +15,14 @@ been seen; CRSS additionally uses the prefix length as the lower bound
 from __future__ import annotations
 
 import math
-from typing import NamedTuple, Sequence
+from typing import NamedTuple, Optional, Sequence
 
-from repro.core.regions import region_maximum_distance_sq as maximum_distance_sq
+import numpy as np
+
+from repro.core.regions import batch_region_distances
 from repro.core.protocol import ChildRef
 from repro.geometry.point import Point
+from repro.perf import kernels
 
 
 class Threshold(NamedTuple):
@@ -40,13 +43,19 @@ class Threshold(NamedTuple):
 
 
 def threshold_distance_sq(
-    query: Point, entries: Sequence[ChildRef], k: int
+    query: Point,
+    entries: Sequence[ChildRef],
+    k: int,
+    dmax_sq: Optional[Sequence[float]] = None,
 ) -> Threshold:
     """Compute Lemma 1's threshold over *entries* for a k-NN query.
 
     :param query: the query point ``P_q``.
     :param entries: candidate branches with their MBRs and object counts.
     :param k: number of neighbors requested.
+    :param dmax_sq: optional squared ``Dmax`` values aligned with
+        *entries* — the algorithms pass the batch they already computed
+        while scanning the frontier, avoiding a second evaluation.
     :returns: squared ``D_th`` and the qualifying prefix length.
 
     If the entries together hold fewer than k objects, every entry is
@@ -57,15 +66,38 @@ def threshold_distance_sq(
         raise ValueError(f"k must be positive, got {k}")
     if not entries:
         return Threshold(math.inf, 0, guaranteed=False)
+    if dmax_sq is None:
+        (dmax_sq,) = batch_region_distances(
+            query, [ref.rect for ref in entries], ["dmax"]
+        )
+    elif len(dmax_sq) != len(entries):
+        raise ValueError(
+            f"dmax_sq has {len(dmax_sq)} values for {len(entries)} entries"
+        )
 
-    by_dmax = sorted(
-        (maximum_distance_sq(query, ref.rect), ref.count) for ref in entries
-    )
+    if kernels.vectorization_enabled():
+        # Vectorized Lemma 1: sort by (Dmax, count) — matching the tuple
+        # sort of the scalar path exactly, ties included — then find the
+        # shortest prefix whose counts cover k via cumsum/searchsorted.
+        values = np.asarray(dmax_sq, dtype=np.float64)
+        counts = np.asarray([ref.count for ref in entries], dtype=np.int64)
+        order = np.lexsort((counts, values))
+        covered = np.cumsum(counts[order])
+        if covered[-1] >= k:
+            prefix = int(np.searchsorted(covered, k, side="left"))
+            return Threshold(
+                float(values[order[prefix]]), prefix + 1, guaranteed=True
+            )
+        return Threshold(
+            float(values[order[-1]]), len(entries), guaranteed=False
+        )
+
+    by_dmax = sorted(zip(dmax_sq, (ref.count for ref in entries)))
     covered = 0
-    for prefix_length, (dmax_sq, count) in enumerate(by_dmax, start=1):
+    for prefix_length, (value, count) in enumerate(by_dmax, start=1):
         covered += count
         if covered >= k:
-            return Threshold(dmax_sq, prefix_length, guaranteed=True)
+            return Threshold(value, prefix_length, guaranteed=True)
     # Fewer than k objects in total: all entries qualify and the bound
     # only covers what these entries themselves contain.
     return Threshold(by_dmax[-1][0], len(by_dmax), guaranteed=False)

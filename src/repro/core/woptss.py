@@ -19,15 +19,13 @@ import math
 from typing import List, Mapping, Sequence
 
 from repro.core.distances import squared_radius
-from repro.core.regions import region_minimum_distance_sq as minimum_distance_sq
 from repro.core.protocol import (
     FetchRequest,
     SearchAlgorithm,
     SearchCoroutine,
-    child_refs,
-    leaf_points,
 )
 from repro.core.results import NeighborList
+from repro.core.scan import offer_leaf, scan_children
 from repro.rtree.node import Node
 
 
@@ -69,10 +67,13 @@ class WOPTSS(SearchAlgorithm):
             for page_id in batch:
                 node = fetched[page_id]
                 if node.is_leaf:
-                    neighbors.offer_many(leaf_points(node))
+                    offer_leaf(self.query, node, neighbors)
                 else:
-                    for ref in child_refs(node):
-                        if minimum_distance_sq(self.query, ref.rect) <= radius_sq:
-                            next_batch.append(ref.page_id)
+                    scan = scan_children(self.query, node)
+                    next_batch.extend(
+                        ref.page_id
+                        for ref, d in zip(scan.refs, scan.dmin_sq)
+                        if d <= radius_sq
+                    )
             batch = next_batch
         return neighbors.as_sorted()

@@ -1,0 +1,51 @@
+"""Performance layer: vectorized distance kernels and the bench harness.
+
+Every search algorithm in :mod:`repro.core` spends its time computing
+``Dmin`` / ``Dmm`` / ``Dmax`` for all entries of a fetched node and
+sorting the results (Lemma 1's ``Dmax``-sorted prefix).  This package
+provides numpy batch kernels that evaluate those metrics for a whole
+node at once, over the flat low/high matrices cached per node by
+:meth:`repro.rtree.node.Node.entry_bounds`.
+
+The kernels are bit-for-bit equivalent to the scalar reference in
+:mod:`repro.core.distances`: they accumulate per *axis* (the small
+dimension) while vectorizing over *entries* (the large dimension), so
+every floating-point operation happens in the same order as the scalar
+loops.  The differential suite in ``tests/perf`` asserts exact float
+equality on every covered configuration.
+
+Vectorization defaults **on** and can be disabled globally — the scalar
+path stays behind :func:`use_vectorized` as the reference oracle:
+
+>>> from repro.perf import use_vectorized
+>>> with use_vectorized(False):
+...     pass  # everything inside runs on the scalar reference path
+
+The benchmark harness lives in :mod:`repro.perf.bench` (imported
+lazily — it pulls in the whole algorithm stack) and is exposed on the
+command line as ``repro bench``.
+"""
+
+from repro.perf.kernels import (
+    batch_maximum_distance_sq,
+    batch_minimum_distance_sq,
+    batch_minmax_distance_sq,
+    batch_point_distance_sq,
+    instrument_kernels,
+    record_kernel_use,
+    set_vectorized,
+    use_vectorized,
+    vectorization_enabled,
+)
+
+__all__ = [
+    "batch_maximum_distance_sq",
+    "batch_minimum_distance_sq",
+    "batch_minmax_distance_sq",
+    "batch_point_distance_sq",
+    "instrument_kernels",
+    "record_kernel_use",
+    "set_vectorized",
+    "use_vectorized",
+    "vectorization_enabled",
+]

@@ -1,0 +1,307 @@
+"""Reproducible benchmark harness — ``repro bench`` / ``BENCH_*.json``.
+
+One invocation builds fixed seeded trees, runs a fixed query suite and a
+fixed simulated workload per algorithm, microbenchmarks the vectorized
+node scan against the scalar reference, and writes everything to a JSON
+file (default ``BENCH_PR2.json``).  The point is a *trajectory*: every
+future PR re-runs the harness and appends its own ``BENCH_<PR>.json``,
+so regressions and wins are visible across the repository's history.
+
+Determinism contract
+--------------------
+
+Everything in the document is reproducible from the seed — answer
+digests, page counts, kernel call counters, simulated response times —
+**except** wall-clock measurements.  The nondeterministic key names are
+listed explicitly under ``nondeterministic_keys`` in the document
+itself, and :func:`canonical_bytes` strips exactly those before
+serializing, so two runs with the same seed compare byte-identical (the
+regression test in ``tests/perf/test_bench_determinism.py`` enforces
+this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import time
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.core import ALGORITHMS, CountingExecutor
+from repro.core.distances import (
+    maximum_distance_sq,
+    minimum_distance_sq,
+    minmax_distance_sq,
+)
+from repro.datasets import sample_queries
+from repro.experiments.setup import build_tree, dataset, make_factory
+from repro.geometry.rect import Rect
+from repro.obs.metrics import MetricsRegistry
+from repro.perf import kernels
+from repro.simulation import simulate_workload
+
+#: Bumped when the document layout changes incompatibly.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Default output file for this PR's trajectory point.
+DEFAULT_OUT = "BENCH_PR2.json"
+
+#: Key names whose values are wall-clock measurements and therefore
+#: nondeterministic.  They are recorded in the document and excluded by
+#: :func:`canonical_bytes`; every other value is seed-reproducible.
+NONDETERMINISTIC_KEYS = (
+    "wall_time_s",
+    "wall_time_per_query_s",
+    "scalar_s",
+    "vectorized_s",
+    "speedup",
+)
+
+#: The query/simulate suite configurations: low- and high-dimensional.
+#: ``smoke`` shrinks populations so the harness fits in a CI minute.
+_SUITE_CONFIGS = {
+    False: [
+        dict(dataset="gaussian", n=12_000, dims=2, queries=20),
+        dict(dataset="gaussian", n=8_000, dims=10, queries=10),
+    ],
+    True: [
+        dict(dataset="gaussian", n=1_500, dims=2, queries=4),
+        dict(dataset="gaussian", n=1_000, dims=10, queries=3),
+    ],
+}
+
+_DISKS = 10
+_K = 10
+_ARRIVAL_RATE = 8.0
+
+
+def _answer_digest(answer_sets) -> str:
+    """A stable hash over every query's (oid, distance) answer list."""
+    digest = hashlib.sha256()
+    for answers in answer_sets:
+        for neighbor in answers:
+            digest.update(f"{neighbor.oid}:{neighbor.distance!r};".encode())
+        digest.update(b"|")
+    return digest.hexdigest()
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    """Exact rank percentile over a small sample (nearest-rank method)."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _run_algorithm_suite(
+    name: str, tree, queries, seed: int
+) -> Dict[str, object]:
+    """One algorithm's counted query suite plus its simulated workload."""
+    registry = MetricsRegistry()
+    previous = kernels.instrument_kernels(registry)
+    try:
+        executor = CountingExecutor(tree)
+        factory = make_factory(name, tree, _K)
+        answer_sets = []
+        pages = rounds = critical_path = 0
+        start = time.perf_counter()
+        for query in queries:
+            answer_sets.append(executor.execute(factory(query)))
+            stats = executor.last_stats
+            pages += stats.nodes_visited
+            rounds += stats.rounds
+            critical_path += stats.critical_path
+        wall = time.perf_counter() - start
+
+        workload = simulate_workload(
+            tree, factory, queries, arrival_rate=_ARRIVAL_RATE, seed=seed
+        )
+        responses = [r.response_time for r in workload.records]
+    finally:
+        kernels.instrument_kernels(previous)
+
+    kernel_counters = {
+        counter.name: counter.value for counter in registry
+    }
+    return {
+        "pages_fetched": pages,
+        "rounds": rounds,
+        "critical_path": critical_path,
+        "mean_parallelism": pages / rounds if rounds else 0.0,
+        "answer_digest": _answer_digest(answer_sets),
+        "kernel_counters": kernel_counters,
+        "wall_time_s": wall,
+        "wall_time_per_query_s": wall / len(queries),
+        "simulate": {
+            "arrival_rate": _ARRIVAL_RATE,
+            "makespan_s": workload.makespan,
+            "response_mean_s": sum(responses) / len(responses),
+            "response_p95_s": _percentile(responses, 0.95),
+            "pages_fetched": sum(r.pages_fetched for r in workload.records),
+            "buffer_hits": sum(r.buffer_hits for r in workload.records),
+        },
+    }
+
+
+def _microbench_case(
+    dims: int, entries: int, seed: int, repeats: int = 5
+) -> Dict[str, float]:
+    """Time one full node scan (Dmin + Dmm + Dmax over all entries).
+
+    The vectorized side runs the batch kernels over prebuilt corner
+    matrices — exactly what a node scan costs once
+    :meth:`~repro.rtree.node.Node.entry_bounds` is cached.  The scalar
+    side is the per-entry reference loop the algorithms used to run.
+    Best-of-*repeats* wall times are reported.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.random((entries, dims))
+    half = rng.random((entries, dims)) * 0.05
+    lows = centers - half
+    highs = centers + half
+    query = tuple(rng.random(dims).tolist())
+    rects = [
+        Rect(tuple(lo), tuple(hi))
+        for lo, hi in zip(lows.tolist(), highs.tolist())
+    ]
+
+    def scalar_scan() -> None:
+        for rect in rects:
+            minimum_distance_sq(query, rect)
+            minmax_distance_sq(query, rect)
+            maximum_distance_sq(query, rect)
+
+    def vectorized_scan() -> None:
+        kernels.batch_minimum_distance_sq(query, lows, highs)
+        kernels.batch_minmax_distance_sq(query, lows, highs)
+        kernels.batch_maximum_distance_sq(query, lows, highs)
+
+    def best_of(fn: Callable[[], None], inner_loops: int) -> float:
+        best = math.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(inner_loops):
+                fn()
+            best = min(best, (time.perf_counter() - start) / inner_loops)
+        return best
+
+    scalar_s = best_of(scalar_scan, 1)
+    vectorized_s = best_of(vectorized_scan, 10)
+    return {
+        "dims": dims,
+        "entries": entries,
+        "scalar_s": scalar_s,
+        "vectorized_s": vectorized_s,
+        "speedup": scalar_s / vectorized_s if vectorized_s else math.inf,
+    }
+
+
+def run_microbench(
+    smoke: bool = False, seed: int = 0
+) -> Dict[str, Dict[str, float]]:
+    """The node-scan microbenchmark across dimensionalities."""
+    entries = 512 if smoke else 2048
+    return {
+        str(dims): _microbench_case(dims, entries, seed + dims)
+        for dims in (2, 10, 20)
+    }
+
+
+def run_bench(
+    smoke: bool = False, seed: int = 0
+) -> Dict[str, object]:
+    """Run the full benchmark suite; returns the JSON-ready document."""
+    configs = []
+    for base in _SUITE_CONFIGS[smoke]:
+        data = dataset(base["dataset"], base["n"], base["dims"], seed=seed)
+        tree = build_tree(
+            base["dataset"], base["n"], base["dims"], _DISKS, seed=seed
+        )
+        queries = sample_queries(data, base["queries"], seed=seed + 1)
+        algorithms = {
+            name: _run_algorithm_suite(name, tree, queries, seed)
+            for name in sorted(ALGORITHMS)
+        }
+        configs.append(
+            {
+                **base,
+                "disks": _DISKS,
+                "k": _K,
+                "algorithms": algorithms,
+            }
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "label": "PR2",
+        "smoke": smoke,
+        "seed": seed,
+        "nondeterministic_keys": list(NONDETERMINISTIC_KEYS),
+        "configs": configs,
+        "microbench": run_microbench(smoke, seed),
+    }
+
+
+def strip_nondeterministic(doc: object) -> object:
+    """A deep copy of *doc* without any wall-clock-valued keys."""
+    if isinstance(doc, dict):
+        return {
+            key: strip_nondeterministic(value)
+            for key, value in doc.items()
+            if key not in NONDETERMINISTIC_KEYS
+        }
+    if isinstance(doc, list):
+        return [strip_nondeterministic(item) for item in doc]
+    return doc
+
+
+def canonical_bytes(doc: Dict[str, object]) -> bytes:
+    """The document's deterministic serialization.
+
+    Strips the keys named by ``nondeterministic_keys`` (wall-clock
+    measurements) and dumps the rest sorted and minified — two runs of
+    :func:`run_bench` with the same seed produce identical bytes.
+    """
+    return json.dumps(
+        strip_nondeterministic(doc), sort_keys=True, separators=(",", ":")
+    ).encode()
+
+
+def write_bench(doc: Dict[str, object], path: str) -> None:
+    """Write the bench document as stable, diff-friendly JSON."""
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_summary(doc: Dict[str, object]) -> str:
+    """A terminal-friendly summary of a bench document."""
+    lines = []
+    for config in doc["configs"]:
+        lines.append(
+            f"{config['dataset']} n={config['n']} dims={config['dims']} "
+            f"k={config['k']} queries={config['queries']} "
+            f"disks={config['disks']}"
+        )
+        lines.append(
+            f"  {'algorithm':<8} {'pages':>7} {'rounds':>7} "
+            f"{'par':>6} {'sim mean s':>11} {'wall s':>8}"
+        )
+        for name, row in sorted(config["algorithms"].items()):
+            lines.append(
+                f"  {name:<8} {row['pages_fetched']:>7} {row['rounds']:>7} "
+                f"{row['mean_parallelism']:>6.2f} "
+                f"{row['simulate']['response_mean_s']:>11.4f} "
+                f"{row['wall_time_s']:>8.3f}"
+            )
+        lines.append("")
+    lines.append("node-scan microbench (scalar / vectorized, best-of):")
+    for dims, row in sorted(doc["microbench"].items(), key=lambda i: int(i[0])):
+        lines.append(
+            f"  dims={dims:>2} entries={row['entries']}: "
+            f"{row['scalar_s'] * 1e3:.3f} ms / "
+            f"{row['vectorized_s'] * 1e3:.3f} ms  "
+            f"→ {row['speedup']:.1f}x"
+        )
+    return "\n".join(lines)

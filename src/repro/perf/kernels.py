@@ -1,0 +1,235 @@
+"""Vectorized batch distance kernels (exact twins of the scalar ones).
+
+Each kernel takes a query point and the flat ``(n, dims)`` low/high
+corner matrices of *n* MBRs (for point data the two matrices coincide)
+and returns the *n* squared distances as a float64 array.
+
+**Exactness contract.**  The kernels must return bit-identical results
+to the scalar reference in :mod:`repro.core.distances` — the search
+algorithms run with either path and the differential tests compare them
+with ``==``, not with a tolerance.  IEEE-754 addition is not
+associative, so the kernels may not use :func:`numpy.sum` over the axis
+dimension (numpy's pairwise summation reassociates terms).  Instead
+they loop over the *dims* axis — small, 2–30 — accumulating exactly
+like the scalar loops do, while vectorizing over the *entries* axis
+where the real work is.  Per-element operations (``+`` ``-`` ``*``
+``abs`` ``min`` ``max``) are correctly rounded in both numpy and
+CPython, so equal operand order implies equal results.
+
+The module also owns two pieces of global plumbing:
+
+* the ``use_vectorized`` switch (default on) consulted by the node-scan
+  layer in :mod:`repro.core.scan`, with the scalar path kept as the
+  reference oracle;
+* an optional :class:`~repro.obs.metrics.MetricsRegistry` hook counting
+  kernel invocations and entries processed per metric and per path
+  (``vector`` / ``scalar``), which the bench harness snapshots into
+  ``BENCH_*.json``.
+
+This module is a leaf: it imports only numpy and :mod:`repro.obs`, so
+every layer (geometry, rtree, core) may call into it freely.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "batch_maximum_distance_sq",
+    "batch_minimum_distance_sq",
+    "batch_minmax_distance_sq",
+    "batch_point_distance_sq",
+    "instrument_kernels",
+    "record_kernel_use",
+    "set_vectorized",
+    "use_vectorized",
+    "vectorization_enabled",
+]
+
+
+# -- the use_vectorized switch --------------------------------------------
+
+_vectorized: bool = True
+
+
+def vectorization_enabled() -> bool:
+    """True when the numpy kernels are active (the default)."""
+    return _vectorized
+
+
+def set_vectorized(enabled: bool) -> bool:
+    """Switch the batch kernels on or off globally; returns the old value.
+
+    With the switch off every node scan falls back to the scalar
+    reference functions in :mod:`repro.core.distances` /
+    :mod:`repro.core.regions` — the oracle the vectorized path is
+    differential-tested against.
+    """
+    global _vectorized
+    previous = _vectorized
+    _vectorized = bool(enabled)
+    return previous
+
+
+@contextmanager
+def use_vectorized(enabled: bool = True) -> Iterator[None]:
+    """Context manager pinning the vectorization switch within a block."""
+    previous = set_vectorized(enabled)
+    try:
+        yield
+    finally:
+        set_vectorized(previous)
+
+
+# -- kernel call accounting ------------------------------------------------
+
+_registry: Optional[MetricsRegistry] = None
+
+
+def instrument_kernels(
+    registry: Optional[MetricsRegistry],
+) -> Optional[MetricsRegistry]:
+    """Install *registry* to receive kernel call counts; returns the old one.
+
+    Counters are named ``kernels.<metric>.<path>_batches`` and
+    ``kernels.<metric>.<path>_entries`` with ``<metric>`` one of
+    ``dmin`` / ``dmm`` / ``dmax`` / ``pointdist`` and ``<path>`` either
+    ``vector`` or ``scalar``.  Pass ``None`` to detach.
+    """
+    global _registry
+    previous = _registry
+    _registry = registry
+    return previous
+
+
+def record_kernel_use(metric: str, path: str, entries: int) -> None:
+    """Count one batch of *entries* distance evaluations.
+
+    The vectorized kernels call this themselves; the scalar fallbacks in
+    :mod:`repro.core` call it explicitly so both paths are visible in
+    the same registry.  A no-op until :func:`instrument_kernels`.
+    """
+    if _registry is None or entries == 0:
+        return
+    _registry.counter(f"kernels.{metric}.{path}_batches").inc()
+    _registry.counter(f"kernels.{metric}.{path}_entries").inc(entries)
+
+
+# -- kernels ---------------------------------------------------------------
+
+
+def _as_matrices(
+    point: Sequence[float], lows, highs
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    query = np.asarray(point, dtype=np.float64)
+    low_m = np.asarray(lows, dtype=np.float64)
+    high_m = np.asarray(highs, dtype=np.float64)
+    if query.ndim != 1 or low_m.ndim != 2 or low_m.shape != high_m.shape:
+        raise ValueError(
+            f"expected a point and two (n, dims) corner matrices, got shapes "
+            f"{query.shape}, {low_m.shape}, {high_m.shape}"
+        )
+    if query.shape[0] != low_m.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: point {query.shape[0]}-d, "
+            f"MBRs {low_m.shape[1]}-d"
+        )
+    return query, low_m, high_m
+
+
+def batch_minimum_distance_sq(point, lows, highs) -> np.ndarray:
+    """Squared ``Dmin`` from *point* to each of *n* MBRs, all at once.
+
+    Exact batch twin of
+    :func:`repro.core.distances.minimum_distance_sq`.
+    """
+    query, low_m, high_m = _as_matrices(point, lows, highs)
+    total = np.zeros(low_m.shape[0], dtype=np.float64)
+    for axis in range(low_m.shape[1]):
+        p = query[axis]
+        lo = low_m[:, axis]
+        hi = high_m[:, axis]
+        gap = np.where(p < lo, lo - p, np.where(p > hi, p - hi, 0.0))
+        total += gap * gap
+    record_kernel_use("dmin", "vector", low_m.shape[0])
+    return total
+
+
+def batch_maximum_distance_sq(point, lows, highs) -> np.ndarray:
+    """Squared ``Dmax`` from *point* to each of *n* MBRs, all at once.
+
+    Exact batch twin of
+    :func:`repro.core.distances.maximum_distance_sq`.
+    """
+    query, low_m, high_m = _as_matrices(point, lows, highs)
+    total = np.zeros(low_m.shape[0], dtype=np.float64)
+    for axis in range(low_m.shape[1]):
+        p = query[axis]
+        far = np.maximum(np.abs(p - low_m[:, axis]), np.abs(high_m[:, axis] - p))
+        total += far * far
+    record_kernel_use("dmax", "vector", low_m.shape[0])
+    return total
+
+
+def batch_minmax_distance_sq(point, lows, highs) -> np.ndarray:
+    """Squared ``Dmm`` (MINMAXDIST) from *point* to each MBR, all at once.
+
+    Exact batch twin of
+    :func:`repro.core.distances.minmax_distance_sq`: the per-axis
+    near/far edge squared distances are materialized as ``(n, dims)``
+    columns, ``far_total`` is accumulated axis by axis in scalar order,
+    and the minimum over the per-axis guarantees is taken last (min is
+    order-insensitive, so ``numpy.min`` over the axis is safe).
+    """
+    query, low_m, high_m = _as_matrices(point, lows, highs)
+    n, dims = low_m.shape
+    near_sq = np.empty((n, dims), dtype=np.float64)
+    far_sq = np.empty((n, dims), dtype=np.float64)
+    far_total = np.zeros(n, dtype=np.float64)
+    for axis in range(dims):
+        p = query[axis]
+        lo = low_m[:, axis]
+        hi = high_m[:, axis]
+        mid = (lo + hi) / 2.0
+        near_edge = np.where(p <= mid, lo, hi)
+        far_edge = np.where(p >= mid, lo, hi)
+        near_gap = p - near_edge
+        far_gap = p - far_edge
+        near_sq[:, axis] = near_gap * near_gap
+        far_sq[:, axis] = far_gap * far_gap
+        far_total += far_sq[:, axis]
+    candidates = far_total[:, None] - far_sq + near_sq
+    record_kernel_use("dmm", "vector", n)
+    return candidates.min(axis=1)
+
+
+def batch_point_distance_sq(point, points) -> np.ndarray:
+    """Squared Euclidean distance from *point* to each row of *points*.
+
+    Exact batch twin of
+    :func:`repro.geometry.point.squared_euclidean` — this is the leaf
+    scan kernel, where ``points`` is the cached low-corner matrix of a
+    leaf node (degenerate MBRs: low == high == the data point).
+    """
+    query = np.asarray(point, dtype=np.float64)
+    matrix = np.asarray(points, dtype=np.float64)
+    if query.ndim != 1 or matrix.ndim != 2:
+        raise ValueError(
+            f"expected a point and an (n, dims) matrix, got shapes "
+            f"{query.shape}, {matrix.shape}"
+        )
+    if query.shape[0] != matrix.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: {query.shape[0]} vs {matrix.shape[1]}"
+        )
+    total = np.zeros(matrix.shape[0], dtype=np.float64)
+    for axis in range(matrix.shape[1]):
+        diff = query[axis] - matrix[:, axis]
+        total += diff * diff
+    record_kernel_use("pointdist", "vector", matrix.shape[0])
+    return total

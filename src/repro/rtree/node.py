@@ -10,7 +10,9 @@ computation.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.geometry.point import Point, validate_point
 from repro.geometry.rect import Rect
@@ -45,7 +47,8 @@ class Node:
     responsible for calling it (and :meth:`refresh_path` for ancestors).
     """
 
-    __slots__ = ("page_id", "level", "entries", "parent", "mbr", "object_count")
+    __slots__ = ("page_id", "level", "entries", "parent", "mbr",
+                 "object_count", "_bounds")
 
     def __init__(self, page_id: int, level: int):
         self.page_id = page_id
@@ -54,6 +57,11 @@ class Node:
         self.parent: Optional["Node"] = None
         self.mbr: Optional[Rect] = None
         self.object_count = 0
+        #: Cached (lows, highs) float64 matrices over the entries' MBRs,
+        #: feeding the batch kernels in :mod:`repro.perf.kernels`.
+        #: Invalidated by every mutation path (:meth:`add`,
+        #: :meth:`refresh`, :meth:`extend_path`).
+        self._bounds: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     @property
     def is_leaf(self) -> bool:
@@ -62,6 +70,12 @@ class Node:
 
     def refresh(self) -> None:
         """Recompute the cached MBR and subtree object count from entries."""
+        # The entry list (and therefore this node's bounds matrices) may
+        # have changed, and this node's MBR is about to — which stales
+        # the parent's view of it as an entry.
+        self._bounds = None
+        if self.parent is not None:
+            self.parent._bounds = None
         if not self.entries:
             self.mbr = None
             self.object_count = 0
@@ -96,6 +110,10 @@ class Node:
         while node is not None:
             node.mbr = rect if node.mbr is None else node.mbr.union(rect)
             node.object_count += added_objects
+            # This node's MBR grew: the parent's bounds matrices (which
+            # hold it as a row) are stale.
+            if node.parent is not None:
+                node.parent._bounds = None
             node = node.parent
 
     def add(self, entry: Union[LeafEntry, "Node"]) -> None:
@@ -107,6 +125,41 @@ class Node:
         if isinstance(entry, Node):
             entry.parent = self
         self.entries.append(entry)
+        self._bounds = None
+
+    def entry_bounds(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Flat ``(lows, highs)`` corner matrices over this node's entries.
+
+        Shape ``(len(entries), dims)`` each, row *i* holding the MBR of
+        ``entries[i]`` (for leaves the two coincide: degenerate point
+        MBRs).  This is the input format of the batch kernels in
+        :mod:`repro.perf.kernels`; the matrices are cached until a
+        mutation invalidates them, so repeated scans of a static tree
+        pay the flattening cost once per node.
+
+        Returns ``None`` when no matrix form exists — an empty node, or
+        an entry without a materialized MBR — in which case callers use
+        the scalar path.
+        """
+        cached = self._bounds
+        if cached is not None and cached[0].shape[0] == len(self.entries):
+            return cached
+        if not self.entries:
+            return None
+        rects = []
+        for entry in self.entries:
+            rect = entry.rect if isinstance(entry, LeafEntry) else entry.mbr
+            if rect is None:
+                return None
+            rects.append(rect)
+        dims = rects[0].dims
+        lows = np.empty((len(rects), dims), dtype=np.float64)
+        highs = np.empty((len(rects), dims), dtype=np.float64)
+        for i, rect in enumerate(rects):
+            lows[i] = rect.low
+            highs[i] = rect.high
+        self._bounds = (lows, highs)
+        return self._bounds
 
     def entry_rect(self, index: int) -> Rect:
         """MBR of the entry at *index*, uniform over leaf/internal nodes."""

@@ -1,0 +1,113 @@
+"""Metamorphic tests for the search stack and the batch kernels.
+
+Two kinds of property:
+
+* **Query transformations** — translating the whole space, or scaling it
+  by a power of two, must leave the k-NN *answer ids* unchanged (and for
+  power-of-two scaling, which is exact in binary floating point, the
+  distances scale exactly too).
+* **Metric ordering** — the paper's ``Dmin <= Dmm <= Dmax`` chain
+  (Definitions 3–5) must hold for every entry of every batch kernel
+  call.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BBSS, CRSS, FPSS, CountingExecutor
+from repro.datasets import gaussian
+from repro.parallel import build_parallel_tree
+from repro.perf import kernels
+
+DIMS = 2
+NUM_DISKS = 4
+K = 7
+
+
+def knn(points, query, algorithm_cls):
+    tree = build_parallel_tree(
+        points, dims=DIMS, num_disks=NUM_DISKS, max_entries=8
+    )
+    executor = CountingExecutor(tree)
+    if algorithm_cls is CRSS:
+        algorithm = CRSS(query, K, num_disks=NUM_DISKS)
+    else:
+        algorithm = algorithm_cls(query, K)
+    return executor.execute(algorithm)
+
+
+@pytest.fixture(scope="module")
+def base_data():
+    """Gaussian points are continuous draws: no ties, so the answer ids
+    are robust against the sub-ulp perturbations a translation causes."""
+    points = gaussian(250, DIMS, seed=11)
+    query = (0.45, 0.55)
+    return points, query
+
+
+@pytest.mark.parametrize("algorithm_cls", [BBSS, FPSS, CRSS])
+@pytest.mark.parametrize(
+    "offset", [(10.0, -3.5), (-200.25, 71.125), (0.03125, 0.03125)]
+)
+def test_translation_leaves_answer_ids_unchanged(
+    base_data, algorithm_cls, offset
+):
+    points, query = base_data
+    original = [n.oid for n in knn(points, query, algorithm_cls)]
+    moved_points = [
+        tuple(c + o for c, o in zip(p, offset)) for p in points
+    ]
+    moved_query = tuple(c + o for c, o in zip(query, offset))
+    moved = [n.oid for n in knn(moved_points, moved_query, algorithm_cls)]
+    assert moved == original
+
+
+@pytest.mark.parametrize("algorithm_cls", [BBSS, FPSS, CRSS])
+@pytest.mark.parametrize("factor", [4.0, 0.25, 1024.0])
+def test_power_of_two_scaling_is_exact(base_data, algorithm_cls, factor):
+    """Scaling by a power of two is exact in IEEE-754, so not only the
+    ids but the distances themselves must match, scaled by the factor."""
+    points, query = base_data
+    original = knn(points, query, algorithm_cls)
+    scaled_points = [tuple(c * factor for c in p) for p in points]
+    scaled_query = tuple(c * factor for c in query)
+    scaled = knn(scaled_points, scaled_query, algorithm_cls)
+    assert [n.oid for n in scaled] == [n.oid for n in original]
+    assert [n.distance for n in scaled] == [
+        n.distance * factor for n in original
+    ]
+
+
+@pytest.mark.parametrize("dims", [2, 5, 10, 20])
+def test_dmin_dmm_dmax_ordering(dims):
+    """Dmin <= Dmm <= Dmax for every entry of a batch call."""
+    rng = np.random.default_rng(dims)
+    lows = rng.uniform(-10.0, 10.0, (128, dims))
+    highs = lows + rng.uniform(0.0, 4.0, (128, dims))
+    for _ in range(5):
+        query = tuple(rng.uniform(-12.0, 12.0, dims).tolist())
+        dmin = kernels.batch_minimum_distance_sq(query, lows, highs)
+        dmm = kernels.batch_minmax_distance_sq(query, lows, highs)
+        dmax = kernels.batch_maximum_distance_sq(query, lows, highs)
+        assert np.all(dmin <= dmm)
+        assert np.all(dmm <= dmax)
+        assert np.all(dmin >= 0.0)
+
+
+def test_ordering_collapses_for_point_mbrs():
+    """For degenerate MBRs the chain collapses to a single value.
+
+    Dmin and Dmax collapse bit-exactly; Dmm's ``far_total - far + near``
+    reassociation can land an ulp off the point distance (matching the
+    scalar oracle — the differential suite pins that equality).
+    """
+    rng = np.random.default_rng(99)
+    lows = rng.uniform(-1.0, 1.0, (64, 3))
+    query = (0.5, -0.5, 0.25)
+    dmin = kernels.batch_minimum_distance_sq(query, lows, lows)
+    dmm = kernels.batch_minmax_distance_sq(query, lows, lows)
+    dmax = kernels.batch_maximum_distance_sq(query, lows, lows)
+    point = kernels.batch_point_distance_sq(query, lows)
+    assert dmin.tolist() == point.tolist()
+    assert dmax.tolist() == point.tolist()
+    np.testing.assert_allclose(dmm, point, rtol=1e-12)

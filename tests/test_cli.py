@@ -86,6 +86,43 @@ class TestValidation:
             main(["info", "--disks", "0"])
 
 
+class TestKernelsSwitch:
+    def test_scalar_kernels_give_identical_answers(self, capsys):
+        args = ["knn", *FAST, "--k", "4", "--query", "0.5,0.5"]
+        assert main([*args, "--kernels", "vectorized"]) == 0
+        vectorized = capsys.readouterr().out
+        assert main([*args, "--kernels", "scalar"]) == 0
+        scalar = capsys.readouterr().out
+        assert vectorized == scalar
+
+
+class TestBench:
+    def test_smoke_writes_valid_json(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        from repro.perf import bench
+
+        # Shrink the suite further than --smoke so the CLI test is fast;
+        # the real smoke configs are covered by tests/perf.
+        monkeypatch.setitem(
+            bench._SUITE_CONFIGS, True,
+            [dict(dataset="gaussian", n=300, dims=2, queries=2)],
+        )
+        path = tmp_path / "bench.json"
+        assert main(["bench", "--smoke", "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"bench written: {path}" in out
+        assert "microbench" in out
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == bench.BENCH_SCHEMA
+        assert doc["smoke"] is True
+        assert doc["configs"][0]["algorithms"]
+
+    def test_missing_out_directory_rejected_up_front(self):
+        with pytest.raises(SystemExit, match="directory does not exist"):
+            main(["bench", "--smoke", "--out", "/no/such/dir/bench.json"])
+
+
 class TestSimulateObservability:
     def test_percentile_and_breakdown_tables(self, capsys):
         assert main(
