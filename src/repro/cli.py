@@ -15,7 +15,12 @@ Python:
 * ``repro bench`` — run the reproducible benchmark suite (fixed seeded
   trees, fixed query/simulate workloads, the node-scan microbench) and
   write the ``BENCH_*.json`` trajectory point; ``--smoke`` shrinks it
-  to CI size.
+  to CI size;
+* ``repro chaos`` — replay a seeded workload under a fault plan
+  (disk crashes, fail-slow windows, transient read errors) on RAID-0
+  or mirrored RAID-1, and report robustness metrics: retries,
+  failovers, partial/aborted queries and the certified-radius
+  distribution; ``--out`` writes the JSON report.
 
 ``knn`` and ``simulate`` accept ``--kernels scalar`` to run on the
 scalar reference distance path instead of the vectorized batch kernels
@@ -234,6 +239,64 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    # Imported lazily, like bench: the fault layer pulls in the whole
+    # simulation stack.
+    from repro.faults import (
+        FaultPlan,
+        RetryPolicy,
+        parse_crash_spec,
+        parse_slow_spec,
+        run_chaos,
+    )
+
+    if args.out:
+        out_dir = os.path.dirname(args.out) or "."
+        if not os.path.isdir(out_dir):
+            raise SystemExit(f"--out directory does not exist: {out_dir}")
+    algorithm = args.algorithm.strip().upper()
+    if algorithm not in ALGORITHMS:
+        raise SystemExit(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+        )
+    try:
+        crashes = tuple(parse_crash_spec(spec) for spec in args.crash)
+        slow_windows = tuple(parse_slow_spec(spec) for spec in args.slow)
+        plan = FaultPlan(
+            seed=args.fault_seed,
+            default_transient_prob=args.transient,
+            crashes=crashes,
+            slow_windows=slow_windows,
+        )
+        policy = RetryPolicy(
+            max_attempts=args.max_attempts,
+            attempt_timeout=args.attempt_timeout,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    data, tree = _build_tree(args)
+    queries = sample_queries(data, args.queries, seed=args.seed + 1)
+    report = run_chaos(
+        tree,
+        algorithm,
+        queries,
+        k=args.k,
+        raid=args.raid,
+        arrival_rate=args.arrival_rate,
+        seed=args.seed,
+        fault_plan=plan,
+        retry_policy=policy,
+        deadline=args.deadline,
+    )
+    print(report.summary())
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+        print(f"report written: {args.out}")
+    return 0
+
+
 def _cmd_paper(args: argparse.Namespace) -> int:
     from repro.experiments.paper import run_paper_experiment
 
@@ -326,6 +389,95 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="RNG seed (default: 0)"
     )
     bench.set_defaults(handler=_cmd_bench)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="replay a workload under a fault plan and report robustness",
+    )
+    _add_tree_arguments(chaos)
+    chaos.add_argument("--k", type=int, default=10, help="neighbors (default: 10)")
+    chaos.add_argument(
+        "--queries", type=int, default=20, help="queries in the workload"
+    )
+    chaos.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=0.0,
+        help="Poisson λ in queries/second; 0 for single-user serial mode "
+        "(default: 0)",
+    )
+    chaos.add_argument(
+        "--algorithm",
+        default="CRSS",
+        help="search algorithm (default: CRSS)",
+    )
+    chaos.add_argument(
+        "--raid",
+        choices=["raid0", "raid1"],
+        default="raid0",
+        help="array layout: striped raid0 or mirrored raid1 with failover "
+        "(default: raid0)",
+    )
+    chaos.add_argument(
+        "--crash",
+        action="append",
+        default=[],
+        metavar="DISK@START[:REPAIR]",
+        help="crash window, e.g. 2@0.0 (dead from t=0) or 1@0.5:2.0; "
+        "repeatable — on raid1, DISK addresses a physical drive "
+        "(logical*2+replica)",
+    )
+    chaos.add_argument(
+        "--slow",
+        action="append",
+        default=[],
+        metavar="DISK@START-ENDxFACTOR",
+        help="fail-slow window, e.g. 1@0.0-2.5x8; repeatable",
+    )
+    chaos.add_argument(
+        "--transient",
+        type=float,
+        default=0.0,
+        metavar="PROB",
+        help="per-service transient read-error probability on every disk "
+        "(default: 0)",
+    )
+    chaos.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the fault plan's RNG streams (default: 0)",
+    )
+    chaos.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="disk attempts per fetch before it fails permanently "
+        "(default: 3)",
+    )
+    chaos.add_argument(
+        "--attempt-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt timeout in simulated seconds (default: none)",
+    )
+    chaos.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-query deadline in simulated seconds; past it, pending "
+        "pages resolve as unreachable and the query returns a partial "
+        "answer with a certified radius (default: none)",
+    )
+    chaos.add_argument(
+        "--out",
+        default="",
+        metavar="PATH",
+        help="write the JSON chaos report to PATH",
+    )
+    chaos.set_defaults(handler=_cmd_chaos)
 
     paper = subparsers.add_parser(
         "paper", help="regenerate one of the paper's figures/tables"

@@ -38,7 +38,13 @@ class BBSS(SearchAlgorithm):
     def run(self, root_page_id: int) -> SearchCoroutine:
         neighbors = NeighborList(self.query, self.k)
         fetched: Mapping[int, Node] = yield FetchRequest([root_page_id])
-        yield from self._visit(fetched[root_page_id], neighbors)
+        root = fetched.get(root_page_id)
+        if root is None:
+            # Degraded mode: the root never arrived — nothing is
+            # certified (the whole tree is beyond reach).
+            self.note_unreachable(0.0)
+            return neighbors.as_sorted()
+        yield from self._visit(root, neighbors)
         return neighbors.as_sorted()
 
     def _visit(self, node: Node, neighbors: NeighborList):
@@ -67,4 +73,10 @@ class BBSS(SearchAlgorithm):
             if dmin_sq > neighbors.kth_distance_sq():
                 continue
             fetched = yield FetchRequest([page_id])
-            yield from self._visit(fetched[page_id], neighbors)
+            child = fetched.get(page_id)
+            if child is None:
+                # Degraded mode: the subtree is unreachable; its Dmin
+                # bounds what might be hiding inside it.
+                self.note_unreachable(dmin_sq)
+                continue
+            yield from self._visit(child, neighbors)

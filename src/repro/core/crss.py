@@ -70,6 +70,9 @@ class CRSS(SearchAlgorithm):
         reached_leaves = False     # switches ADAPTIVE -> NORMAL/UPDATE
 
         batch = [root_page_id]
+        # Dmin lower bound per in-flight page — the certificate of any
+        # page that fails to arrive (degraded mode).
+        pending = {root_page_id: 0.0}
         while batch:
             fetched: Mapping[int, Node] = yield FetchRequest(batch)
 
@@ -85,8 +88,10 @@ class CRSS(SearchAlgorithm):
             fr_dmm_sq: List[float] = []
             fr_dmax_sq: List[float] = []
             for page_id in batch:
-                node = fetched[page_id]
-                if node.is_leaf:
+                node = fetched.get(page_id)
+                if node is None:
+                    self.note_unreachable(pending[page_id])
+                elif node.is_leaf:
                     # UPDATE mode: new data objects refine the k-th best.
                     offer_leaf(self.query, node, neighbors)
                     reached_leaves = True
@@ -140,6 +145,7 @@ class CRSS(SearchAlgorithm):
 
             # TERMINATE mode: nothing active and nothing stacked.
             batch = [candidate.ref.page_id for candidate in active]
+            pending = {c.ref.page_id: c.dmin_sq for c in active}
         return neighbors.as_sorted()
 
     def _reduce(

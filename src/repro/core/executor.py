@@ -38,6 +38,9 @@ class SearchStats:
     critical_path: int = 0
     #: Page ids fetched, in fetch order (deduplicated per batch only).
     pages: List[int] = field(default_factory=list)
+    #: Requested pages withheld by the executor's unavailable set (the
+    #: algorithm saw ``None`` and skipped the subtree).
+    unreachable_pages: int = 0
 
     @property
     def parallelism(self) -> float:
@@ -55,15 +58,21 @@ class CountingExecutor:
         executor has no clock, so it emits *logical* access events: one
         instant per fetch round at timestamp = round index, naming the
         pages and disks touched.
+    :param unavailable: optional collection of page ids this executor
+        refuses to deliver — requests for them resolve to ``None``, the
+        protocol's degraded-mode signal.  This reproduces the simulated
+        fault layer's partial answers without a clock, which is what the
+        certified-radius tests verify against brute force.
     """
 
-    def __init__(self, tree, tracer=None):
+    def __init__(self, tree, tracer=None, unavailable=None):
         self._tree = tree
         self._disk_of = getattr(tree, "disk_of", None)
         # X-tree supernodes span several pages; trees that have them
         # expose pages_spanned(page_id).
         self._pages_spanned = getattr(tree, "pages_spanned", lambda pid: 1)
         self.tracer = NULL_TRACER if tracer is None else tracer
+        self.unavailable = frozenset(unavailable) if unavailable else frozenset()
         self.last_stats: Optional[SearchStats] = None
 
     def execute(self, algorithm: SearchAlgorithm) -> List[Neighbor]:
@@ -83,9 +92,13 @@ class CountingExecutor:
             return stop.value if stop.value is not None else []
 
     def _fetch(self, request: FetchRequest, stats: SearchStats) -> Dict[int, Node]:
-        fetched: Dict[int, Node] = {}
+        fetched: Dict[int, Optional[Node]] = {}
         round_disks: Counter = Counter()
         for page_id in request.pages:
+            if page_id in self.unavailable:
+                fetched[page_id] = None
+                stats.unreachable_pages += 1
+                continue
             node = self._tree.page(page_id)
             fetched[page_id] = node
             spanned = self._pages_spanned(page_id)

@@ -33,6 +33,9 @@ class FPSS(SearchAlgorithm):
     def run(self, root_page_id: int) -> SearchCoroutine:
         neighbors = NeighborList(self.query, self.k)
         batch = [root_page_id]
+        # Dmin lower bound per in-flight page — the certificate of any
+        # page that fails to arrive (degraded mode).
+        pending = {root_page_id: 0.0}
         while batch:
             fetched: Mapping[int, Node] = yield FetchRequest(batch)
             # Per fetched node, one batch scan yields both the Dmin used
@@ -41,15 +44,18 @@ class FPSS(SearchAlgorithm):
             dmin_sq: List[float] = []
             dmax_sq: List[float] = []
             for page_id in batch:
-                node = fetched[page_id]
-                if node.is_leaf:
+                node = fetched.get(page_id)
+                if node is None:
+                    self.note_unreachable(pending[page_id])
+                elif node.is_leaf:
                     offer_leaf(self.query, node, neighbors)
                 elif node.entries:
                     scan = scan_children(self.query, node, want_dmax=True)
                     frontier.extend(scan.refs)
                     dmin_sq.extend(scan.dmin_sq)
                     dmax_sq.extend(scan.dmax_sq)
-            batch = self._activate(frontier, dmin_sq, dmax_sq, neighbors)
+            pending = self._activate(frontier, dmin_sq, dmax_sq, neighbors)
+            batch = list(pending)
         return neighbors.as_sorted()
 
     def _activate(
@@ -58,20 +64,22 @@ class FPSS(SearchAlgorithm):
         dmin_sq: List[float],
         dmax_sq: List[float],
         neighbors: NeighborList,
-    ) -> List[int]:
+    ) -> Mapping[int, float]:
         """Every frontier branch that intersects the current query sphere.
 
         The sphere radius is the tighter of the Lemma 1 threshold over the
-        frontier and the k-th best actual distance seen so far.
+        frontier and the k-th best actual distance seen so far.  Returns
+        the surviving pages with their Dmin lower bounds (used as the
+        degraded-mode certificate should a page never arrive).
         """
         if not frontier:
-            return []
+            return {}
         dth_sq = threshold_distance_sq(
             self.query, frontier, self.k, dmax_sq=dmax_sq
         ).dth_sq
         radius_sq = min(dth_sq, neighbors.kth_distance_sq())
-        return [
-            ref.page_id
+        return {
+            ref.page_id: d
             for ref, d in zip(frontier, dmin_sq)
             if d <= radius_sq
-        ]
+        }

@@ -16,11 +16,22 @@ Two executors drive such coroutines:
 The one-batch-at-a-time, barrier-per-batch semantics mirrors the paper's
 activation structure: requests for a step are collected, sent to the
 disks, and processing resumes when the whole step has been fetched.
+
+**Degraded mode.**  An executor may resume the coroutine with ``None``
+for a page it could not deliver (a crashed disk, retries exhausted, a
+blown per-query deadline).  Algorithms handle this by *skipping* the
+unreachable subtree and recording its ``Dmin`` lower bound via
+:meth:`SearchAlgorithm.note_unreachable`.  The accumulated bounds yield
+the **certified radius**: the search has provably seen every object
+closer than ``min(Dmin)`` over the unreachable subtrees, so a partial
+answer is exact up to that radius — the guarantee the fault-injection
+tests verify against brute force.
 """
 
 from __future__ import annotations
 
-from typing import Generator, List, Mapping, NamedTuple, Sequence, Tuple
+import math
+from typing import Generator, List, Mapping, NamedTuple, Optional, Sequence, Tuple
 
 from repro.geometry.point import Point, validate_point
 from repro.geometry.rect import Rect
@@ -45,8 +56,9 @@ class FetchRequest:
         return f"FetchRequest(pages={self.pages})"
 
 
-#: What an algorithm coroutine looks like to an executor.
-SearchCoroutine = Generator[FetchRequest, Mapping[int, Node], "list"]
+#: What an algorithm coroutine looks like to an executor.  In degraded
+#: mode the mapping's values may be ``None`` for unreachable pages.
+SearchCoroutine = Generator[FetchRequest, Mapping[int, Optional[Node]], "list"]
 
 
 class ChildRef(NamedTuple):
@@ -106,6 +118,50 @@ class SearchAlgorithm:
             raise ValueError(f"num_disks must be positive, got {num_disks}")
         self.k = k
         self.num_disks = num_disks
+        #: Squared ``Dmin`` lower bounds of subtrees the executor could
+        #: not deliver (empty on a fault-free run).
+        self._unreachable_dmin_sq: List[float] = []
+
+    # -- degraded-mode certificate -------------------------------------------
+
+    def note_unreachable(self, dmin_sq: float) -> None:
+        """Record a subtree the search had to skip.
+
+        :param dmin_sq: squared lower bound on the distance from the
+            query to any object inside the lost subtree (``0.0`` when
+            the root itself was unreachable).
+        """
+        self._unreachable_dmin_sq.append(max(0.0, dmin_sq))
+
+    @property
+    def unreachable_pages(self) -> int:
+        """Subtrees skipped because their page never arrived."""
+        return len(self._unreachable_dmin_sq)
+
+    @property
+    def complete(self) -> bool:
+        """True when the answer reflects every relevant subtree."""
+        return not self._unreachable_dmin_sq
+
+    @property
+    def certified_radius_sq(self) -> float:
+        """Squared :attr:`certified_radius` (``inf`` when complete)."""
+        if not self._unreachable_dmin_sq:
+            return math.inf
+        return min(self._unreachable_dmin_sq)
+
+    @property
+    def certified_radius(self) -> float:
+        """Radius within which the (partial) answer is provably exact.
+
+        Every data object closer to the query than this radius was
+        scanned: unreachable subtrees all have ``Dmin`` at or above it,
+        and subtrees *pruned* during the search have ``Dmin`` above the
+        k-th best observed distance, which only shrinks as more objects
+        are seen.  ``inf`` for a complete search.
+        """
+        radius_sq = self.certified_radius_sq
+        return math.sqrt(radius_sq) if math.isfinite(radius_sq) else math.inf
 
     def run(self, root_page_id: int) -> SearchCoroutine:
         """Start the search; yields fetch requests, returns the answer.

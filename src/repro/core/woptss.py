@@ -61,19 +61,25 @@ class WOPTSS(SearchAlgorithm):
         neighbors = NeighborList(self.query, self.k)
         radius_sq = squared_radius(self.oracle_dk)
         batch = [root_page_id]
+        # Dmin lower bound per in-flight page — the certificate of any
+        # page that fails to arrive (degraded mode).
+        pending = {root_page_id: 0.0}
         while batch:
             fetched: Mapping[int, Node] = yield FetchRequest(batch)
-            next_batch: List[int] = []
+            next_pending: dict = {}
             for page_id in batch:
-                node = fetched[page_id]
-                if node.is_leaf:
+                node = fetched.get(page_id)
+                if node is None:
+                    self.note_unreachable(pending[page_id])
+                elif node.is_leaf:
                     offer_leaf(self.query, node, neighbors)
                 else:
                     scan = scan_children(self.query, node)
-                    next_batch.extend(
-                        ref.page_id
+                    next_pending.update(
+                        (ref.page_id, d)
                         for ref, d in zip(scan.refs, scan.dmin_sq)
                         if d <= radius_sq
                     )
-            batch = next_batch
+            pending = next_pending
+            batch = list(pending)
         return neighbors.as_sorted()

@@ -8,6 +8,15 @@ can serve it sooner.  This module models a mirrored pair per logical
 disk with a shortest-queue-then-nearest-head dispatch rule, and a
 workload runner mirroring :func:`repro.simulation.simulator.simulate_workload`
 so the RAID-0 vs RAID-1 comparison is one bench away.
+
+**Failover.**  With a :class:`~repro.faults.plan.FaultPlan` attached —
+its disk ids address *physical* drives, ``logical * 2 + replica`` —
+reads route around crashed replicas, and a retry after a transient
+error, timeout or mid-service crash prefers the *other* replica of the
+pair.  A fetch fails permanently (a
+:class:`~repro.simulation.system.FetchFailure`) only when both
+replicas are down or the retry budget is exhausted, which is what
+degrades a query to a partial answer downstream.
 """
 
 from __future__ import annotations
@@ -16,16 +25,25 @@ import random
 from typing import Generator, List, Optional, Sequence
 
 from repro.disks.model import DiskModel
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import RetryPolicy
 from repro.geometry.point import Point
 from repro.simulation.cpu import CpuModel
 from repro.simulation.engine import Environment, Resource
 from repro.simulation.parameters import SystemParameters
-from repro.simulation.system import CpuTiming, FetchTiming
+from repro.simulation.system import (
+    CpuTiming,
+    FetchFailure,
+    FetchTiming,
+    disk_attempt,
+    validate_fetch_args,
+)
 from repro.simulation.simulator import (
     AlgorithmFactory,
     QueryRecord,
     SimulatedExecutor,
     WorkloadResult,
+    record_workload_metrics,
 )
 
 
@@ -42,6 +60,10 @@ class MirroredDiskArraySystem:
         twice that).
     :param params: timing parameters.
     :param seed: rotational-latency RNG seed.
+    :param fault_plan: optional fault plan over *physical* drives
+        (``logical * 2 + replica``).
+    :param retry_policy: retry/timeout/backoff policy used when a fault
+        plan (or the policy itself) is given.
     """
 
     REPLICAS = 2
@@ -52,6 +74,8 @@ class MirroredDiskArraySystem:
         num_disks: int,
         params: Optional[SystemParameters] = None,
         seed: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if num_disks < 1:
             raise ValueError(f"num_disks must be positive, got {num_disks}")
@@ -59,6 +83,12 @@ class MirroredDiskArraySystem:
         self.params = params if params is not None else SystemParameters()
         self.num_disks = num_disks
         self.cpu_model = CpuModel(self.params.cpu_mips)
+        self.fault_plan = fault_plan
+        self.faults = fault_plan.state() if fault_plan is not None else None
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self._faulty = fault_plan is not None or retry_policy is not None
 
         # replica_queues[logical][replica]
         self.replica_queues: List[List[Resource]] = []
@@ -78,9 +108,37 @@ class MirroredDiskArraySystem:
         self.bus = Resource(env)
         self.cpu = Resource(env)
         self.pages_fetched = 0
+        #: Robustness counters (mirroring ``DiskArraySystem``'s).
+        self.retries = 0
+        self.failed_fetches = 0
+        self.failovers = 0
 
-    def _pick_replica(self, disk_id: int, cylinder: int) -> int:
+    def physical_id(self, disk_id: int, replica: int) -> int:
+        """The fault-plan address of one physical drive."""
+        return disk_id * self.REPLICAS + replica
+
+    def _available_replicas(self, disk_id: int) -> List[int]:
+        """Replicas of *disk_id* not currently inside a crash window."""
+        if self.fault_plan is None:
+            return list(range(self.REPLICAS))
+        now = self.env.now
+        return [
+            replica
+            for replica in range(self.REPLICAS)
+            if not self.fault_plan.is_crashed(
+                self.physical_id(disk_id, replica), now
+            )
+        ]
+
+    def _pick_replica(
+        self,
+        disk_id: int,
+        cylinder: int,
+        candidates: Optional[Sequence[int]] = None,
+    ) -> int:
         """Shortest queue first; ties broken by nearest head position."""
+        if candidates is None:
+            candidates = range(self.REPLICAS)
         queues = self.replica_queues[disk_id]
         models = self.replica_models[disk_id]
 
@@ -90,7 +148,7 @@ class MirroredDiskArraySystem:
             seek = abs(models[replica].head_cylinder - cylinder)
             return (backlog, seek, replica)
 
-        return min(range(self.REPLICAS), key=cost)
+        return min(candidates, key=cost)
 
     def fetch_page(
         self,
@@ -102,26 +160,97 @@ class MirroredDiskArraySystem:
         """Process: read one node from the better replica of the pair.
 
         Returns a :class:`~repro.simulation.system.FetchTiming` (keyed
-        to the *logical* disk id) as the process value.
+        to the *logical* disk id) as the process value, or a
+        :class:`~repro.simulation.system.FetchFailure` when both
+        replicas are down / the retry budget is exhausted.
         """
-        if not 0 <= disk_id < self.num_disks:
-            raise ValueError(f"disk {disk_id} outside [0, {self.num_disks})")
-        if pages < 1:
-            raise ValueError(f"pages must be positive, got {pages}")
-        replica = self._pick_replica(disk_id, cylinder)
-        queue = self.replica_queues[disk_id][replica]
+        validate_fetch_args(
+            self.num_disks, self.params.disk.cylinders,
+            disk_id, cylinder, pages,
+        )
+        nbytes = self.params.page_size * pages
         start = self.env.now
-        grant = queue.request()
-        yield grant
-        granted = self.env.now
-        try:
-            duration = self.replica_models[disk_id][replica].service(
-                cylinder, self.params.page_size * pages
-            )
-            yield self.env.timeout(duration)
-        finally:
-            queue.release(grant)
-        served = self.env.now
+
+        if not self._faulty:
+            replica = self._pick_replica(disk_id, cylinder)
+            queue = self.replica_queues[disk_id][replica]
+            grant = queue.request()
+            yield grant
+            granted = self.env.now
+            try:
+                duration = self.replica_models[disk_id][replica].service(
+                    cylinder, nbytes
+                )
+                yield self.env.timeout(duration)
+            finally:
+                queue.release(grant)
+            served = self.env.now
+            queue_wait, service = granted - start, served - granted
+            retry_wait, attempts, failovers = 0.0, 1, 0
+        else:
+            plan, state = self.fault_plan, self.faults
+            policy = self.retry_policy
+            queue_wait = service = retry_wait = 0.0
+            attempts = failovers = 0
+            status = "exhausted"
+            last_replica: Optional[int] = None
+            while attempts < policy.max_attempts:
+                attempts += 1
+                available = self._available_replicas(disk_id)
+                if not available:
+                    status = "crashed"  # the whole mirrored pair is down
+                else:
+                    # Failover preference: after a failed attempt, try
+                    # the *other* replica when it is up.
+                    candidates = available
+                    if last_replica is not None and len(available) > 1:
+                        candidates = [
+                            r for r in available if r != last_replica
+                        ] or available
+                    replica = self._pick_replica(disk_id, cylinder, candidates)
+                    degraded = len(available) < self.REPLICAS
+                    switched = (
+                        last_replica is not None and replica != last_replica
+                    )
+                    if degraded or switched:
+                        failovers += 1
+                        self.failovers += 1
+                    outcome = yield from disk_attempt(
+                        self.env,
+                        self.replica_queues[disk_id][replica],
+                        self.replica_models[disk_id][replica],
+                        self.physical_id(disk_id, replica),
+                        cylinder, nbytes, plan, state, policy,
+                    )
+                    queue_wait += outcome.queue_wait
+                    service += outcome.service
+                    status = outcome.status
+                    if status == "ok":
+                        break
+                    last_replica = replica
+                if attempts >= policy.max_attempts:
+                    break
+                self.retries += 1
+                delay = policy.backoff(attempts)
+                if delay > 0.0:
+                    before = self.env.now
+                    yield self.env.timeout(delay)
+                    retry_wait += self.env.now - before
+            if status != "ok":
+                self.failed_fetches += 1
+                return FetchFailure(
+                    disk_id=disk_id,
+                    pages=pages,
+                    start=start,
+                    queue_wait=queue_wait,
+                    service=service,
+                    retry_wait=retry_wait,
+                    end=self.env.now,
+                    reason="crashed" if status == "crashed" else "exhausted",
+                    attempts=attempts,
+                    failovers=failovers,
+                )
+            served = self.env.now
 
         grant = self.bus.request()
         yield grant
@@ -136,11 +265,14 @@ class MirroredDiskArraySystem:
             disk_id=disk_id,
             pages=pages,
             start=start,
-            queue_wait=granted - start,
-            service=served - granted,
+            queue_wait=queue_wait,
+            service=service,
             bus_wait=bus_granted - served,
             bus_transfer=end - bus_granted,
             end=end,
+            retry_wait=retry_wait,
+            attempts=attempts,
+            failovers=failovers,
         )
 
     def cpu_work(
@@ -182,9 +314,18 @@ def simulate_mirrored_workload(
     arrival_rate: Optional[float] = None,
     params: Optional[SystemParameters] = None,
     seed: int = 0,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    deadline: Optional[float] = None,
+    metrics=None,
 ) -> WorkloadResult:
     """Like :func:`~repro.simulation.simulator.simulate_workload`, on a
-    RAID-1 (shadowed) array instead of RAID-0."""
+    RAID-1 (shadowed) array instead of RAID-0.
+
+    *fault_plan* / *retry_policy* / *deadline* enable the same fault
+    injection and degraded-mode semantics, with fault-plan disk ids
+    addressing physical drives.
+    """
     if not queries:
         raise ValueError("a workload needs at least one query")
     if arrival_rate is not None and arrival_rate <= 0:
@@ -192,9 +333,12 @@ def simulate_mirrored_workload(
 
     env = Environment()
     system = MirroredDiskArraySystem(
-        env, tree.num_disks, params=params, seed=seed
+        env, tree.num_disks, params=params, seed=seed,
+        fault_plan=fault_plan, retry_policy=retry_policy,
     )
-    executor = SimulatedExecutor(env, system, tree)
+    executor = SimulatedExecutor(
+        env, system, tree, metrics=metrics, deadline=deadline
+    )
     result = WorkloadResult()
     arrival_rng = random.Random(seed ^ 0xA5A5A5)
 
@@ -219,6 +363,12 @@ def simulate_mirrored_workload(
     else:
         env.process(open_arrivals())
     env.run()
-    result.makespan = env.now
-    result.disk_utilizations = system.disk_utilizations(env.now)
+    # Stray attempt-timeout timers may outlive the last completion;
+    # clock the run off the queries themselves.
+    result.makespan = (
+        max(r.completion for r in result.records) if result.records else env.now
+    )
+    result.disk_utilizations = system.disk_utilizations(result.makespan)
+    if metrics is not None:
+        record_workload_metrics(metrics, result)
     return result

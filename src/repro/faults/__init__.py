@@ -1,0 +1,51 @@
+"""Fault injection and degraded-mode query processing.
+
+The paper's model (§2, Figure 7) assumes disks never fail; its own
+future-work list (§5, "similarity search on shadowed disks") is about
+surviving exactly those failures.  This package supplies the missing
+layer:
+
+* :mod:`repro.faults.plan` — deterministic, seeded **fault plans**:
+  per-disk transient read-error probabilities, fail-slow latency
+  inflation windows, and hard crash/repair schedules, all expressed in
+  simulated time so a plan replays identically run after run;
+* :mod:`repro.faults.policy` — the **retry/timeout/backoff policy**
+  applied at ``fetch_page``: bounded attempts, a per-attempt timeout
+  raced through the event engine, and deterministic exponential
+  backoff;
+* :mod:`repro.faults.chaos` — the **chaos workload runner** behind
+  ``repro chaos``: replays a seeded workload under a fault plan (RAID-0
+  or RAID-1) and reports robustness metrics — retries, failovers,
+  aborted fetches, partial queries and the certified-radius
+  distribution.
+
+Degraded-mode semantics live in the layers this package configures:
+:class:`~repro.simulation.system.DiskArraySystem` turns faults into
+:class:`~repro.simulation.system.FetchFailure` values, RAID-1 reads
+fail over to the surviving replica, and the search algorithms convert
+unreachable subtrees into partial answers carrying a certified radius
+(see :attr:`repro.core.protocol.SearchAlgorithm.certified_radius`).
+"""
+
+from repro.faults.plan import (
+    CrashWindow,
+    FaultPlan,
+    FaultState,
+    SlowWindow,
+    parse_crash_spec,
+    parse_slow_spec,
+)
+from repro.faults.policy import RetryPolicy
+from repro.faults.chaos import ChaosReport, run_chaos
+
+__all__ = [
+    "ChaosReport",
+    "CrashWindow",
+    "FaultPlan",
+    "FaultState",
+    "RetryPolicy",
+    "SlowWindow",
+    "parse_crash_spec",
+    "parse_slow_spec",
+    "run_chaos",
+]

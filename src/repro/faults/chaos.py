@@ -1,0 +1,243 @@
+"""Chaos workload runner: a seeded workload replayed under a fault plan.
+
+:func:`run_chaos` takes the same ingredients as a plain simulated
+workload — a placed tree, an algorithm, query points — plus a
+:class:`~repro.faults.plan.FaultPlan`, runs the simulation on the
+chosen array (RAID-0 striping or RAID-1 mirrored pairs), and distils
+the run into a :class:`ChaosReport`: how hard the fault layer worked
+(retries, failovers, permanently failed fetches) and how gracefully
+queries degraded (partial/aborted counts, the certified-radius
+distribution, deadline misses).  Everything is deterministic in the
+seeds, so a chaos run is a regression artifact: the CI smoke job
+re-runs one and archives the JSON report.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import RetryPolicy
+from repro.geometry.point import Point
+from repro.simulation.parameters import SystemParameters
+
+#: Array layouts a chaos run can target.
+RAID_LEVELS = ("raid0", "raid1")
+
+
+@dataclass
+class ChaosReport:
+    """Robustness metrics of one chaos run (JSON-serialisable)."""
+
+    algorithm: str
+    raid: str
+    num_queries: int
+    k: int
+    seed: int
+    deadline: Optional[float]
+    #: Timing: the headline latency numbers still hold under faults.
+    mean_response: float
+    max_response: float
+    makespan: float
+    #: Fault-layer work.
+    retries: int
+    fetch_failures: int
+    failovers: int
+    #: Degradation outcomes.
+    complete_queries: int
+    partial_queries: int
+    aborted_queries: int
+    deadline_exceeded_queries: int
+    #: Certified radii of the partial queries (finite values only).
+    certified_radii: List[float] = field(default_factory=list)
+    #: Mean per-query time breakdown, component by component.
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    #: The fault plan that was injected, summarised.
+    plan: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def certified_radius_stats(self) -> Dict[str, float]:
+        """Min / mean / max of the certified-radius distribution."""
+        if not self.certified_radii:
+            return {"count": 0}
+        return {
+            "count": len(self.certified_radii),
+            "min": min(self.certified_radii),
+            "mean": statistics.fmean(self.certified_radii),
+            "max": max(self.certified_radii),
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict rendering for JSON export."""
+        return {
+            "algorithm": self.algorithm,
+            "raid": self.raid,
+            "num_queries": self.num_queries,
+            "k": self.k,
+            "seed": self.seed,
+            "deadline": self.deadline,
+            "mean_response": self.mean_response,
+            "max_response": self.max_response,
+            "makespan": self.makespan,
+            "retries": self.retries,
+            "fetch_failures": self.fetch_failures,
+            "failovers": self.failovers,
+            "complete_queries": self.complete_queries,
+            "partial_queries": self.partial_queries,
+            "aborted_queries": self.aborted_queries,
+            "deadline_exceeded_queries": self.deadline_exceeded_queries,
+            "certified_radius": self.certified_radius_stats,
+            "breakdown": self.breakdown,
+            "plan": self.plan,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def summary(self) -> str:
+        """A short human-readable rendering for the CLI."""
+        lines = [
+            f"chaos: {self.algorithm} on {self.raid}, "
+            f"{self.num_queries} queries, k={self.k}, seed={self.seed}",
+            f"  responses : mean {self.mean_response:.4f} s, "
+            f"max {self.max_response:.4f} s "
+            f"(makespan {self.makespan:.4f} s)",
+            f"  fault work: {self.retries} retries, "
+            f"{self.fetch_failures} failed fetches, "
+            f"{self.failovers} failovers",
+            f"  degraded  : {self.partial_queries} partial "
+            f"({self.aborted_queries} aborted), "
+            f"{self.deadline_exceeded_queries} past deadline, "
+            f"{self.complete_queries} complete",
+        ]
+        stats = self.certified_radius_stats
+        if stats["count"]:
+            lines.append(
+                f"  certified : radius min {stats['min']:.4f} / "
+                f"mean {stats['mean']:.4f} / max {stats['max']:.4f} "
+                f"over {stats['count']} partial queries"
+            )
+        return "\n".join(lines)
+
+
+def _plan_summary(plan: FaultPlan) -> Dict[str, object]:
+    """The plan's ingredients, flattened for the JSON report."""
+    return {
+        "seed": plan.seed,
+        "default_transient_prob": plan.default_transient_prob,
+        "transient_prob": {
+            str(disk): prob for disk, prob in sorted(plan.transient_prob.items())
+        },
+        "crashes": [
+            {
+                "disk": w.disk_id,
+                "start": w.start,
+                "repair": None if math.isinf(w.repair) else w.repair,
+            }
+            for w in plan.crashes
+        ],
+        "slow_windows": [
+            {
+                "disk": w.disk_id,
+                "start": w.start,
+                "end": w.end,
+                "factor": w.factor,
+            }
+            for w in plan.slow_windows
+        ],
+    }
+
+
+def run_chaos(
+    tree,
+    algorithm: str,
+    queries: Sequence[Point],
+    k: int = 10,
+    raid: str = "raid0",
+    arrival_rate: Optional[float] = None,
+    params: Optional[SystemParameters] = None,
+    seed: int = 0,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    deadline: Optional[float] = None,
+    metrics=None,
+) -> ChaosReport:
+    """Replay a seeded workload under a fault plan and report robustness.
+
+    :param tree: a placed tree (the RAID-1 run mirrors its logical
+        disks; fault-plan disk ids then address physical drives,
+        ``logical * 2 + replica``).
+    :param algorithm: search algorithm name (``BBSS``/``FPSS``/``CRSS``/
+        ``WOPTSS``, case-insensitive).
+    :param queries: the query points, issued in order.
+    :param k: neighbors per query.
+    :param raid: ``"raid0"`` (striped, the paper's model) or
+        ``"raid1"`` (mirrored pairs with failover).
+    :param arrival_rate: Poisson λ, or ``None`` for single-user serial.
+    :param params: system timing parameters (default: the paper's).
+    :param seed: seeds arrivals and rotational latencies.
+    :param fault_plan: what goes wrong when (default: nothing — but the
+        retry machinery still runs, so a no-fault chaos run is a
+        control).
+    :param retry_policy: retry/timeout/backoff policy (default:
+        :class:`~repro.faults.policy.RetryPolicy`'s defaults).
+    :param deadline: optional per-query deadline in simulated seconds.
+    :param metrics: optional metrics registry to populate.
+    :returns: the distilled :class:`ChaosReport`.
+    """
+    if raid not in RAID_LEVELS:
+        raise ValueError(f"raid must be one of {RAID_LEVELS}, got {raid!r}")
+    # Imported here: the workload runners pull in the whole simulation
+    # stack, and `repro.faults` must stay importable on its own.
+    from repro.experiments.setup import make_factory
+
+    name = algorithm.strip().upper()
+    factory = make_factory(name, tree, k)
+    plan = fault_plan if fault_plan is not None else FaultPlan(seed=seed)
+    policy = retry_policy if retry_policy is not None else RetryPolicy()
+
+    if raid == "raid0":
+        from repro.simulation.simulator import simulate_workload
+
+        result = simulate_workload(
+            tree, factory, queries,
+            arrival_rate=arrival_rate, params=params, seed=seed,
+            metrics=metrics, fault_plan=plan, retry_policy=policy,
+            deadline=deadline,
+        )
+    else:
+        from repro.extensions.raid1 import simulate_mirrored_workload
+
+        result = simulate_mirrored_workload(
+            tree, factory, queries,
+            arrival_rate=arrival_rate, params=params, seed=seed,
+            fault_plan=plan, retry_policy=policy, deadline=deadline,
+            metrics=metrics,
+        )
+
+    return ChaosReport(
+        algorithm=name,
+        raid=raid,
+        num_queries=len(result.records),
+        k=k,
+        seed=seed,
+        deadline=deadline,
+        mean_response=result.mean_response,
+        max_response=result.max_response,
+        makespan=result.makespan,
+        retries=result.total_retries,
+        fetch_failures=result.total_fetch_failures,
+        failovers=result.total_failovers,
+        complete_queries=len(result.records) - result.partial_queries,
+        partial_queries=result.partial_queries,
+        aborted_queries=result.aborted_queries,
+        deadline_exceeded_queries=result.deadline_exceeded_queries,
+        certified_radii=result.certified_radii,
+        breakdown=result.breakdown.as_dict(),
+        plan=_plan_summary(plan),
+    )

@@ -1,0 +1,250 @@
+"""Deterministic, seeded fault plans for the simulated disk array.
+
+A :class:`FaultPlan` is an immutable description of *what goes wrong
+when*, expressed in simulated time:
+
+* **transient read errors** — each disk has a probability that any one
+  service completes with a read error (bad sector, checksum mismatch);
+  the page must be re-read;
+* **fail-slow windows** — during ``[start, end)`` a disk's service
+  times are inflated by a factor (a degrading drive, a firmware retry
+  storm);
+* **crash windows** — during ``[start, repair)`` a disk serves nothing
+  at all; ``repair = inf`` models a dead drive.
+
+Plans are pure configuration and hold no randomness of their own: a
+simulation run materializes a :class:`FaultState` (via
+:meth:`FaultPlan.state`) whose per-disk RNG streams are derived from
+the plan seed, so identical plans driven by identical event orders
+reproduce identical fault sequences — the determinism the regression
+tests assert.
+
+Disk ids refer to whatever array consumes the plan: the RAID-0 system
+indexes its disks directly, while the RAID-1 system addresses
+*physical* drives (``logical * 2 + replica``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """Disk *disk_id* is down during ``[start, repair)``."""
+
+    disk_id: int
+    start: float
+    repair: float = math.inf
+
+    def __post_init__(self):
+        if self.disk_id < 0:
+            raise ValueError(f"disk_id must be non-negative, got {self.disk_id}")
+        if self.start < 0:
+            raise ValueError(f"crash start must be non-negative, got {self.start}")
+        if self.repair <= self.start:
+            raise ValueError(
+                f"repair time {self.repair} must follow crash time {self.start}"
+            )
+
+    def covers(self, t: float) -> bool:
+        """True while the disk is unavailable at simulated time *t*."""
+        return self.start <= t < self.repair
+
+
+@dataclass(frozen=True)
+class SlowWindow:
+    """Disk *disk_id* serves *factor* times slower during ``[start, end)``."""
+
+    disk_id: int
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self):
+        if self.disk_id < 0:
+            raise ValueError(f"disk_id must be non-negative, got {self.disk_id}")
+        if self.start < 0:
+            raise ValueError(f"window start must be non-negative, got {self.start}")
+        if self.end <= self.start:
+            raise ValueError(
+                f"window end {self.end} must follow start {self.start}"
+            )
+        if self.factor < 1.0:
+            raise ValueError(
+                f"slow factor must be >= 1 (it inflates), got {self.factor}"
+            )
+
+    def covers(self, t: float) -> bool:
+        """True while the inflation applies at simulated time *t*."""
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of disk faults, seeded for reproducibility.
+
+    :param seed: seeds the per-disk transient-error RNG streams.
+    :param transient_prob: per-disk probability that one disk service
+        ends in a transient read error, keyed by disk id.
+    :param default_transient_prob: probability for disks absent from
+        *transient_prob*.
+    :param slow_windows: fail-slow latency inflation windows.
+    :param crashes: hard crash/repair windows.
+    """
+
+    seed: int = 0
+    transient_prob: Mapping[int, float] = field(default_factory=dict)
+    default_transient_prob: float = 0.0
+    slow_windows: Tuple[SlowWindow, ...] = ()
+    crashes: Tuple[CrashWindow, ...] = ()
+
+    def __post_init__(self):
+        # Normalise sequence inputs to tuples so plans stay hashable-ish
+        # and accidental mutation is impossible.
+        object.__setattr__(self, "slow_windows", tuple(self.slow_windows))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "transient_prob", dict(self.transient_prob))
+        for disk, prob in self.transient_prob.items():
+            if disk < 0:
+                raise ValueError(f"disk id must be non-negative, got {disk}")
+            if not 0.0 <= prob <= 1.0:
+                raise ValueError(
+                    f"transient probability for disk {disk} must be in "
+                    f"[0, 1], got {prob}"
+                )
+        if not 0.0 <= self.default_transient_prob <= 1.0:
+            raise ValueError(
+                f"default_transient_prob must be in [0, 1], got "
+                f"{self.default_transient_prob}"
+            )
+
+    # -- queries -------------------------------------------------------------
+
+    def transient_prob_for(self, disk_id: int) -> float:
+        """Per-service transient read-error probability of *disk_id*."""
+        return self.transient_prob.get(disk_id, self.default_transient_prob)
+
+    def is_crashed(self, disk_id: int, t: float) -> bool:
+        """True when *disk_id* is inside a crash window at time *t*."""
+        return any(
+            w.disk_id == disk_id and w.covers(t) for w in self.crashes
+        )
+
+    def slow_factor(self, disk_id: int, t: float) -> float:
+        """Service-time inflation for *disk_id* at time *t*.
+
+        Overlapping windows compound (their factors multiply); 1.0 when
+        no window applies.
+        """
+        factor = 1.0
+        for window in self.slow_windows:
+            if window.disk_id == disk_id and window.covers(t):
+                factor *= window.factor
+        return factor
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            not self.crashes
+            and not self.slow_windows
+            and self.default_transient_prob == 0.0
+            and not any(self.transient_prob.values())
+        )
+
+    def state(self) -> "FaultState":
+        """A fresh mutable RNG state for one simulation run."""
+        return FaultState(self)
+
+    # -- convenience constructors -------------------------------------------
+
+    @staticmethod
+    def single_crash(
+        disk_id: int, at: float = 0.0, repair: float = math.inf, seed: int = 0
+    ) -> "FaultPlan":
+        """A plan whose only fault is one disk crashing at *at*."""
+        return FaultPlan(seed=seed, crashes=(CrashWindow(disk_id, at, repair),))
+
+
+class FaultState:
+    """Mutable per-run fault randomness, derived from a plan's seed.
+
+    One RNG stream per disk, created lazily; transient-error draws
+    consume exactly one variate per disk service, so two runs with the
+    same plan and the same (deterministic) event order draw identical
+    fault sequences.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._rngs: Dict[int, random.Random] = {}
+
+    def _rng(self, disk_id: int) -> random.Random:
+        rng = self._rngs.get(disk_id)
+        if rng is None:
+            rng = random.Random((self.plan.seed << 16) ^ (disk_id * 0x9E3779B1))
+            self._rngs[disk_id] = rng
+        return rng
+
+    def draw_transient(self, disk_id: int) -> bool:
+        """Did this disk service end in a transient read error?"""
+        prob = self.plan.transient_prob_for(disk_id)
+        if prob <= 0.0:
+            return False
+        return self._rng(disk_id).random() < prob
+
+
+# -- CLI spec parsing --------------------------------------------------------
+
+
+def parse_crash_spec(spec: str) -> CrashWindow:
+    """Parse ``DISK@START`` or ``DISK@START:REPAIR`` into a crash window.
+
+    Examples: ``"2@0.0"`` (disk 2 dead from t=0), ``"1@0.5:2.0"``
+    (disk 1 down between 0.5 s and 2.0 s).
+    """
+    try:
+        disk_text, _, when = spec.partition("@")
+        if not when:
+            raise ValueError
+        start_text, _, repair_text = when.partition(":")
+        disk = int(disk_text)
+        start = float(start_text)
+        repair = float(repair_text) if repair_text else math.inf
+        return CrashWindow(disk, start, repair)
+    except ValueError:
+        raise ValueError(
+            f"cannot parse crash spec {spec!r}; expected DISK@START or "
+            f"DISK@START:REPAIR, e.g. 2@0.0 or 1@0.5:2.0"
+        ) from None
+
+
+def parse_slow_spec(spec: str) -> SlowWindow:
+    """Parse ``DISK@START-ENDxFACTOR`` into a fail-slow window.
+
+    Example: ``"1@0.0-2.5x8"`` (disk 1 is 8x slower for the first
+    2.5 simulated seconds).
+    """
+    try:
+        disk_text, _, rest = spec.partition("@")
+        window_text, _, factor_text = rest.partition("x")
+        if not window_text or not factor_text:
+            raise ValueError
+        start_text, _, end_text = window_text.partition("-")
+        if not end_text:
+            raise ValueError
+        return SlowWindow(
+            int(disk_text),
+            float(start_text),
+            float(end_text),
+            float(factor_text),
+        )
+    except ValueError:
+        raise ValueError(
+            f"cannot parse slow spec {spec!r}; expected "
+            f"DISK@START-ENDxFACTOR, e.g. 1@0.0-2.5x8"
+        ) from None

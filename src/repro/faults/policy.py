@@ -1,0 +1,69 @@
+"""Retry, timeout and backoff policy for faulty page fetches.
+
+The policy is applied *inside* ``fetch_page``: every disk attempt may
+end in a transient read error, a timeout or a crash, and the policy
+decides how many attempts are made and how long the fetch backs off
+between them.  Backoff delays are served through the event engine as
+ordinary timeouts, so they are deterministic, appear on the simulated
+clock, and are attributed to the ``retry_backoff`` component of the
+per-query time breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a fetch responds to failed disk attempts.
+
+    :param max_attempts: total attempts per replica target (>= 1); the
+        first attempt counts.
+    :param attempt_timeout: optional per-attempt cap in simulated
+        seconds.  The queue-wait phase is raced against it (a timed-out
+        queued request is cancelled and retried); a granted service is
+        not preemptible — the disk completes the read, but an attempt
+        whose total time exceeded the cap is discarded and retried.
+    :param backoff_base: delay before the first retry, in seconds.
+    :param backoff_factor: multiplier applied per further retry.
+    :param backoff_cap: upper bound on any single backoff delay.
+    """
+
+    max_attempts: int = 3
+    attempt_timeout: Optional[float] = None
+    backoff_base: float = 0.002
+    backoff_factor: float = 2.0
+    backoff_cap: float = 0.1
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.attempt_timeout is not None and self.attempt_timeout <= 0:
+            raise ValueError(
+                f"attempt_timeout must be positive, got {self.attempt_timeout}"
+            )
+        if self.backoff_base < 0:
+            raise ValueError(
+                f"backoff_base must be non-negative, got {self.backoff_base}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_cap < 0:
+            raise ValueError(
+                f"backoff_cap must be non-negative, got {self.backoff_cap}"
+            )
+
+    def backoff(self, failed_attempts: int) -> float:
+        """Backoff delay after the *failed_attempts*-th failure (1-based)."""
+        if failed_attempts < 1:
+            raise ValueError(
+                f"failed_attempts must be >= 1, got {failed_attempts}"
+            )
+        delay = self.backoff_base * self.backoff_factor ** (failed_attempts - 1)
+        return min(delay, self.backoff_cap)

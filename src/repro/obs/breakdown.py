@@ -16,6 +16,9 @@ response time to exactly one component:
     mean time queued for, then crossing, the shared bus;
 ``cpu``
     CPU queueing plus the instruction cost model per batch;
+``retry_backoff``
+    mean time the query's fetches slept between fault-injected retry
+    attempts (zero without a fault plan);
 ``barrier_idle``
     straggler slack: each fetch round ends when its *slowest* fetch
     arrives, so the round lasts ``max_i(own_i)`` while the mean fetch
@@ -45,6 +48,7 @@ COMPONENTS: Tuple[str, ...] = (
     "bus_wait",
     "bus_transfer",
     "cpu",
+    "retry_backoff",
     "barrier_idle",
 )
 
@@ -60,6 +64,7 @@ class Breakdown:
     bus_wait: float = 0.0
     bus_transfer: float = 0.0
     cpu: float = 0.0
+    retry_backoff: float = 0.0
     barrier_idle: float = 0.0
 
     @property
@@ -114,6 +119,7 @@ COMPONENT_HEADERS: Tuple[str, ...] = (
     "bus-wait",
     "bus-xfer",
     "cpu",
+    "retry",
     "barrier",
 )
 

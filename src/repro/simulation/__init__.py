@@ -19,12 +19,24 @@ This package contains
   multi-user workload driver the experiments use.
 """
 
-from repro.simulation.engine import AllOf, Environment, Process, Resource, Timeout
+from repro.simulation.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Process,
+    Resource,
+    Timeout,
+)
 from repro.simulation.buffer import BufferPool
 from repro.simulation.cpu import CpuModel
 from repro.simulation.locks import ReadWriteLock
 from repro.simulation.parameters import SystemParameters
-from repro.simulation.system import CpuTiming, DiskArraySystem, FetchTiming
+from repro.simulation.system import (
+    CpuTiming,
+    DiskArraySystem,
+    FetchFailure,
+    FetchTiming,
+)
 from repro.simulation.simulator import (
     QueryRecord,
     SimulatedExecutor,
@@ -39,11 +51,13 @@ from repro.simulation.updates import (
 
 __all__ = [
     "AllOf",
+    "AnyOf",
     "BufferPool",
     "CpuModel",
     "CpuTiming",
     "DiskArraySystem",
     "Environment",
+    "FetchFailure",
     "FetchTiming",
     "MixedWorkloadResult",
     "Process",

@@ -10,6 +10,8 @@ the disk-array model needs, with simpy-compatible semantics:
 * :class:`Timeout` — fires after a simulated delay;
 * :class:`AllOf` — a barrier over several events (the per-batch barrier
   of the fetch protocol);
+* :class:`AnyOf` — a race over several events (the fault layer races a
+  disk-queue grant against a retry-policy timeout);
 * :class:`Resource` — a counted FCFS resource (disk queues, the bus, the
   CPU are all FCFS per the paper's model).
 
@@ -128,6 +130,34 @@ class AllOf(Event):
             self.succeed([e.value for e in self._events])
 
 
+class AnyOf(Event):
+    """A race: fires when the *first* of *events* fires.
+
+    The value is the winning event's value; the winning event itself is
+    exposed as :attr:`winner` so callers can tell which one it was
+    (e.g. a resource grant versus a timeout).  Later finishers are
+    ignored — their callbacks find the race already triggered.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        if not self._events:
+            raise ValueError("a race needs at least one event")
+        self.winner: Optional[Event] = None
+        for event in self._events:
+            if event.processed:
+                self.winner = event
+                self.succeed(event.value)
+                break
+            event.callbacks.append(self._one_fired)
+
+    def _one_fired(self, event: Event) -> None:
+        if not self.triggered:
+            self.winner = event
+            self.succeed(event.value)
+
+
 class Environment:
     """The simulation clock and event calendar."""
 
@@ -155,6 +185,10 @@ class Environment:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Barrier over *events*."""
         return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Race over *events* — fires with the first one."""
+        return AnyOf(self, events)
 
     def run(self, until: Optional[float] = None) -> float:
         """Process events until the calendar empties or *until* is hit.

@@ -20,6 +20,19 @@ executed, and the mean response time is reported.  Pass a
 :class:`~repro.obs.trace.Tracer` to capture a full span trace
 (exportable to Perfetto via :mod:`repro.obs.export`) and/or a
 :class:`~repro.obs.metrics.MetricsRegistry` for histograms and gauges.
+
+**Degraded mode.**  With a :class:`~repro.faults.plan.FaultPlan`
+attached, page fetches can fail permanently
+(:class:`~repro.simulation.system.FetchFailure`); the executor then
+resumes the algorithm with ``None`` for the lost pages, and the
+algorithm skips those subtrees while recording their ``Dmin`` lower
+bounds.  The query completes with a *partial* answer carrying a
+**certified radius** — the distance within which the answer is provably
+exact (see :mod:`repro.core.protocol`).  An optional per-query
+*deadline* degrades the same way: once it passes, every page still
+pending at the next fetch round resolves as unreachable at zero
+simulated cost and the query returns its best-effort answer with the
+same certificate.
 """
 
 from __future__ import annotations
@@ -32,6 +45,8 @@ from typing import Callable, Generator, List, Optional, Sequence
 
 from repro.core.protocol import SearchAlgorithm
 from repro.core.results import Neighbor
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import RetryPolicy
 from repro.geometry.point import Point
 from repro.obs.breakdown import Breakdown
 from repro.obs.trace import NULL_TRACER
@@ -58,6 +73,21 @@ class QueryRecord:
     buffer_hits: int = 0
     #: Where the response time went, component by component.
     breakdown: Breakdown = field(default_factory=Breakdown)
+    #: True when every relevant subtree was reached (no page lost).
+    complete: bool = True
+    #: Radius within which the answer is provably exact (``inf`` when
+    #: complete; see :mod:`repro.core.protocol` on degraded mode).
+    certified_radius: float = math.inf
+    #: Subtrees skipped because their page never arrived.
+    unreachable_pages: int = 0
+    #: Fetches that failed permanently (crash / retries exhausted).
+    fetch_failures: int = 0
+    #: Disk attempts beyond the first, across the query's fetches.
+    retries: int = 0
+    #: RAID-1 reads redirected away from their preferred replica.
+    failovers: int = 0
+    #: True when the per-query deadline cut the search short.
+    deadline_exceeded: bool = False
 
     @property
     def response_time(self) -> float:
@@ -116,6 +146,49 @@ class WorkloadResult:
             return 0.0
         return len(self.records) / self.makespan
 
+    # -- robustness aggregates (all zero/empty on fault-free runs) ----------
+
+    @property
+    def partial_queries(self) -> int:
+        """Queries that returned a degraded (partial) answer."""
+        return sum(1 for r in self.records if not r.complete)
+
+    @property
+    def deadline_exceeded_queries(self) -> int:
+        """Queries cut short by their per-query deadline."""
+        return sum(1 for r in self.records if r.deadline_exceeded)
+
+    @property
+    def aborted_queries(self) -> int:
+        """Degraded queries that could not produce a single answer."""
+        return sum(
+            1 for r in self.records if not r.complete and not r.answers
+        )
+
+    @property
+    def total_retries(self) -> int:
+        """Disk attempts beyond the first, across the workload."""
+        return sum(r.retries for r in self.records)
+
+    @property
+    def total_fetch_failures(self) -> int:
+        """Permanently failed fetches across the workload."""
+        return sum(r.fetch_failures for r in self.records)
+
+    @property
+    def total_failovers(self) -> int:
+        """RAID-1 replica failovers across the workload."""
+        return sum(r.failovers for r in self.records)
+
+    @property
+    def certified_radii(self) -> List[float]:
+        """The partial queries' certified radii (finite values only)."""
+        return [
+            r.certified_radius
+            for r in self.records
+            if math.isfinite(r.certified_radius)
+        ]
+
     def percentile(self, fraction: float) -> float:
         """Response-time percentile, e.g. ``percentile(0.95)`` for p95.
 
@@ -141,6 +214,11 @@ class SimulatedExecutor:
         query/round spans (default: the no-op null tracer).
     :param metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
         receiving the batch-width histogram.
+    :param deadline: optional per-query deadline in simulated seconds
+        (measured from arrival).  Once it passes, every page still
+        pending at the next fetch round resolves as unreachable at zero
+        simulated cost and the query returns its best-effort partial
+        answer with a certified radius.
     """
 
     def __init__(
@@ -150,11 +228,15 @@ class SimulatedExecutor:
         tree,
         tracer=None,
         metrics=None,
+        deadline: Optional[float] = None,
     ):
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
         self.env = env
         self.system = system
         self.tree = tree
         self.tracer = NULL_TRACER if tracer is None else tracer
+        self.deadline = deadline
         self._pages_spanned = getattr(tree, "pages_spanned", lambda pid: 1)
         self._batch_width = (
             metrics.histogram("batch_width", minimum=1.0)
@@ -175,6 +257,9 @@ class SimulatedExecutor:
         breakdown = Breakdown()
 
         arrival = self.env.now
+        deadline_at = (
+            arrival + self.deadline if self.deadline is not None else None
+        )
         yield self.env.timeout(self.system.params.query_startup)
         breakdown.startup = self.env.now - arrival
 
@@ -182,44 +267,79 @@ class SimulatedExecutor:
         pages_fetched = 0
         buffer_hits = 0
         rounds = 0
+        fetch_failures = 0
+        retries = 0
+        failovers = 0
+        deadline_exceeded = False
         answers: List[Neighbor] = []
         try:
             request = next(coroutine)
             while True:
                 buffer = getattr(self.system, "buffer", None)
-                fetches = []
                 round_start = self.env.now
-                hits_this_round = 0
-                for page_id in request.pages:
-                    # Buffer hits cost no I/O; the paper's model has no
-                    # buffer (SystemParameters.buffer_pages = 0).
-                    if buffer is not None and buffer.lookup(page_id):
-                        hits_this_round += 1
-                        continue
-                    pages_fetched += self._pages_spanned(page_id)
-                    fetches.append(
-                        self.env.process(
-                            self.system.fetch_page(
-                                self.tree.disk_of(page_id),
-                                self.tree.cylinder_of(page_id),
-                                pages=self._pages_spanned(page_id),
-                                flow=qid,
+                failed_pages = set()
+                # Deadline check at round granularity: rounds already in
+                # flight complete, but once the deadline has passed no
+                # new I/O is issued — every still-pending page resolves
+                # as unreachable at zero simulated cost.
+                if deadline_at is not None and self.env.now >= deadline_at:
+                    deadline_exceeded = True
+                    failed_pages = set(request.pages)
+                    round_end = round_start
+                    fetches: List = []
+                    hits_this_round = 0
+                else:
+                    fetches = []
+                    fetch_pages = []
+                    hits_this_round = 0
+                    for page_id in request.pages:
+                        # Buffer hits cost no I/O; the paper's model has
+                        # no buffer (SystemParameters.buffer_pages = 0).
+                        if buffer is not None and buffer.lookup(page_id):
+                            hits_this_round += 1
+                            continue
+                        fetch_pages.append(page_id)
+                        fetches.append(
+                            self.env.process(
+                                self.system.fetch_page(
+                                    self.tree.disk_of(page_id),
+                                    self.tree.cylinder_of(page_id),
+                                    pages=self._pages_spanned(page_id),
+                                    flow=qid,
+                                )
                             )
                         )
+                    buffer_hits += hits_this_round
+                    # Barrier: the algorithm resumes when the whole batch
+                    # (its activation list for this step) has arrived.
+                    # The barrier's value is the fetches' FetchTiming —
+                    # or FetchFailure — records.
+                    timings = yield self.env.all_of(fetches)
+                    round_end = self.env.now
+                    self._attribute_round(
+                        breakdown, round_start, round_end, timings
                     )
-                buffer_hits += hits_this_round
-                # Barrier: the algorithm resumes when the whole batch
-                # (its activation list for this step) has arrived.  The
-                # barrier's value is the fetches' FetchTiming records.
-                timings = yield self.env.all_of(fetches)
-                round_end = self.env.now
-                self._attribute_round(
-                    breakdown, round_start, round_end, timings
-                )
-                if buffer is not None:
-                    for page_id in request.pages:
-                        buffer.admit(page_id)
-                fetched = {pid: self.tree.page(pid) for pid in request.pages}
+                    for page_id, timing in zip(fetch_pages, timings):
+                        if timing is None:
+                            # A system without timing records delivers
+                            # every page; count the issue.
+                            pages_fetched += self._pages_spanned(page_id)
+                            continue
+                        retries += max(0, timing.attempts - 1)
+                        failovers += getattr(timing, "failovers", 0)
+                        if timing.ok:
+                            pages_fetched += timing.pages
+                        else:
+                            fetch_failures += 1
+                            failed_pages.add(page_id)
+                    if buffer is not None:
+                        for page_id in request.pages:
+                            if page_id not in failed_pages:
+                                buffer.admit(page_id)
+                fetched = {
+                    pid: None if pid in failed_pages else self.tree.page(pid)
+                    for pid in request.pages
+                }
                 rounds += 1
                 if self._batch_width is not None:
                     self._batch_width.observe(len(request.pages))
@@ -228,7 +348,11 @@ class SimulatedExecutor:
                 # survivor count is bounded by the scanned count; charging
                 # the bound keeps the model conservative (CPU time is
                 # orders of magnitude below one disk access either way).
-                scanned = sum(len(node.entries) for node in fetched.values())
+                scanned = sum(
+                    len(node.entries)
+                    for node in fetched.values()
+                    if node is not None
+                )
                 cpu_timing = yield self.env.process(
                     self.system.cpu_work(scanned, scanned, flow=qid)
                 )
@@ -243,6 +367,7 @@ class SimulatedExecutor:
                             "batch": len(request.pages),
                             "fetches": len(fetches),
                             "buffer_hits": hits_this_round,
+                            "failed": len(failed_pages),
                         },
                     )
 
@@ -251,6 +376,9 @@ class SimulatedExecutor:
             answers = stop.value if stop.value is not None else []
 
         completion = self.env.now
+        complete = getattr(algorithm, "complete", True)
+        certified_radius = getattr(algorithm, "certified_radius", math.inf)
+        unreachable_pages = getattr(algorithm, "unreachable_pages", 0)
         if tracer.enabled:
             tracer.span(
                 track, "query", "query", arrival, completion, flow=qid,
@@ -259,6 +387,8 @@ class SimulatedExecutor:
                     "rounds": rounds,
                     "pages_fetched": pages_fetched,
                     "buffer_hits": buffer_hits,
+                    "complete": complete,
+                    "deadline_exceeded": deadline_exceeded,
                 },
             )
         return QueryRecord(
@@ -270,6 +400,13 @@ class SimulatedExecutor:
             answers=answers,
             buffer_hits=buffer_hits,
             breakdown=breakdown,
+            complete=complete,
+            certified_radius=certified_radius,
+            unreachable_pages=unreachable_pages,
+            fetch_failures=fetch_failures,
+            retries=retries,
+            failovers=failovers,
+            deadline_exceeded=deadline_exceeded,
         )
 
     @staticmethod
@@ -284,10 +421,13 @@ class SimulatedExecutor:
         All fetches of a round start together, so the round lasts until
         its slowest fetch arrives.  The round's duration is attributed
         as the *mean* of the fetches' phase times (queue wait, disk
-        service, bus wait, bus transfer) plus the remainder — the time
-        the query idled at the barrier beyond the average fetch's busy
-        time.  Systems whose ``fetch_page`` returns no timing fall back
-        to attributing the whole round to barrier idle.
+        service, bus wait, bus transfer, retry backoff) plus the
+        remainder — the time the query idled at the barrier beyond the
+        average fetch's busy time.  Failed fetches
+        (:class:`~repro.simulation.system.FetchFailure`) expose the same
+        phase fields, so degraded rounds decompose identically.  Systems
+        whose ``fetch_page`` returns no timing fall back to attributing
+        the whole round to barrier idle.
         """
         duration = round_end - round_start
         valid = [t for t in timings if t is not None]
@@ -299,16 +439,52 @@ class SimulatedExecutor:
         service = math.fsum(t.service for t in valid) / count
         bus_wait = math.fsum(t.bus_wait for t in valid) / count
         bus_transfer = math.fsum(t.bus_transfer for t in valid) / count
+        retry_wait = math.fsum(
+            getattr(t, "retry_wait", 0.0) for t in valid
+        ) / count
         breakdown.queue_wait += queue_wait
         breakdown.disk_service += service
         breakdown.bus_wait += bus_wait
         breakdown.bus_transfer += bus_transfer
+        breakdown.retry_backoff += retry_wait
         # max(0, …): with a single fetch the mean IS the duration and
         # float telescoping can leave a ~1e-19 negative residue.
         breakdown.barrier_idle += max(
             0.0,
-            duration - (queue_wait + service + bus_wait + bus_transfer),
+            duration
+            - (queue_wait + service + bus_wait + bus_transfer + retry_wait),
         )
+
+
+def record_workload_metrics(metrics, result: WorkloadResult) -> None:
+    """Fold a finished workload's per-query outcomes into *metrics*.
+
+    Shared by the RAID-0 and RAID-1 workload runners; robustness metrics
+    stay zero-valued absent on fault-free runs (counters are only
+    created when something actually degraded).
+    """
+    response = metrics.histogram("response_time")
+    for record in result.records:
+        response.observe(record.response_time)
+    metrics.counter("pages_fetched").inc(
+        sum(r.pages_fetched for r in result.records)
+    )
+    metrics.counter("buffer_hits").inc(result.total_buffer_hits)
+    metrics.counter("queries").inc(len(result.records))
+    if result.partial_queries:
+        metrics.counter("queries.partial").inc(result.partial_queries)
+        radius_hist = metrics.histogram("certified_radius")
+        for radius in result.certified_radii:
+            if radius > 0.0:
+                radius_hist.observe(radius)
+    if result.aborted_queries:
+        metrics.counter("queries.aborted").inc(result.aborted_queries)
+    if result.deadline_exceeded_queries:
+        metrics.counter("queries.deadline_exceeded").inc(
+            result.deadline_exceeded_queries
+        )
+    if result.total_failovers:
+        metrics.counter("fetch.failovers").inc(result.total_failovers)
 
 
 def simulate_workload(
@@ -320,6 +496,9 @@ def simulate_workload(
     seed: int = 0,
     tracer=None,
     metrics=None,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    deadline: Optional[float] = None,
 ) -> WorkloadResult:
     """Simulate a stream of k-NN queries against a placed tree.
 
@@ -337,6 +516,10 @@ def simulate_workload(
     :param metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
         populated with response-time/batch-width histograms, queue-depth
         gauges and I/O counters.
+    :param fault_plan: optional :class:`~repro.faults.plan.FaultPlan`
+        injecting disk faults (see :mod:`repro.faults`).
+    :param retry_policy: retry/timeout/backoff policy for faulty runs.
+    :param deadline: optional per-query deadline in simulated seconds.
     :returns: per-query records plus aggregate statistics.
     """
     if not queries:
@@ -349,9 +532,10 @@ def simulate_workload(
     system = DiskArraySystem(
         env, tree.num_disks, params=params, seed=seed,
         tracer=tracer, metrics=metrics,
+        fault_plan=fault_plan, retry_policy=retry_policy,
     )
     executor = SimulatedExecutor(
-        env, system, tree, tracer=tracer, metrics=metrics
+        env, system, tree, tracer=tracer, metrics=metrics, deadline=deadline
     )
     result = WorkloadResult()
     arrival_rng = random.Random(seed ^ 0xA5A5A5)
@@ -386,21 +570,20 @@ def simulate_workload(
         env.process(open_arrivals())
     env.run()
 
-    result.makespan = env.now
-    result.disk_utilizations = system.disk_utilizations(env.now)
+    # Clock the run off the queries themselves: with a retry policy,
+    # abandoned attempt-timeout timers may outlive the last completion
+    # and inflate ``env.now``.  Identical on fault-free runs.
+    result.makespan = (
+        max(r.completion for r in result.records) if result.records else env.now
+    )
+    result.disk_utilizations = system.disk_utilizations(result.makespan)
     result.mean_queue_lengths = [
-        queue.mean_queue_length(env.now) for queue in system.disk_queues
+        queue.mean_queue_length(result.makespan)
+        for queue in system.disk_queues
     ]
     result.max_queue_lengths = [
         queue.max_queue_length for queue in system.disk_queues
     ]
     if metrics is not None:
-        response = metrics.histogram("response_time")
-        for record in result.records:
-            response.observe(record.response_time)
-        metrics.counter("pages_fetched").inc(
-            sum(r.pages_fetched for r in result.records)
-        )
-        metrics.counter("buffer_hits").inc(result.total_buffer_hits)
-        metrics.counter("queries").inc(len(result.records))
+        record_workload_metrics(metrics, result)
     return result

@@ -14,6 +14,19 @@ transfer and CPU without re-deriving anything.  When a
 :class:`~repro.obs.trace.Tracer` is attached, disk-service, bus and
 CPU intervals are emitted as spans on per-server tracks (one Perfetto
 row per disk, one for the bus, one for the CPU).
+
+**Fault injection.**  When a :class:`~repro.faults.plan.FaultPlan` is
+attached, ``fetch_page`` becomes a bounded retry loop governed by a
+:class:`~repro.faults.policy.RetryPolicy`: each disk attempt may end in
+a transient read error (seeded per-disk draw), run slower inside a
+fail-slow window, time out (the queue-wait phase is raced against the
+per-attempt timeout through the event engine), or find the disk inside
+a crash window.  Failed attempts back off exponentially; a fetch whose
+attempts are exhausted — or whose disk is crashed — completes with a
+:class:`FetchFailure` *value* rather than an exception, so the query
+process can degrade gracefully instead of the simulation dying.
+Without a fault plan the fetch path is byte-identical to the paper's
+model.
 """
 
 from __future__ import annotations
@@ -22,15 +35,22 @@ import random
 from typing import Generator, List, NamedTuple, Optional
 
 from repro.disks.model import DiskModel
+from repro.faults.plan import FaultPlan, FaultState
+from repro.faults.policy import RetryPolicy
 from repro.obs.trace import NULL_TRACER
 from repro.simulation.buffer import BufferPool
 from repro.simulation.cpu import CpuModel
-from repro.simulation.engine import Environment, Resource
+from repro.simulation.engine import AnyOf, Environment, Resource
 from repro.simulation.parameters import SystemParameters
 
 
 class FetchTiming(NamedTuple):
-    """Phase timings of one page fetch (all in simulated seconds)."""
+    """Phase timings of one page fetch (all in simulated seconds).
+
+    ``queue_wait`` and ``service`` accumulate over *every* attempt the
+    fetch made (failed attempts genuinely queued and spun the disk);
+    ``retry_wait`` is the backoff time slept between attempts.
+    """
 
     disk_id: int
     pages: int
@@ -40,11 +60,160 @@ class FetchTiming(NamedTuple):
     bus_wait: float
     bus_transfer: float
     end: float
+    retry_wait: float = 0.0
+    attempts: int = 1
+    failovers: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """The page arrived (this is a success record)."""
+        return True
 
     @property
     def total(self) -> float:
-        """Queue wait + service + bus wait + bus transfer."""
+        """Queue wait + service + retries + bus wait + bus transfer."""
         return self.end - self.start
+
+
+class FetchFailure(NamedTuple):
+    """A fetch that permanently failed (crash, or retries exhausted).
+
+    Interface-compatible with :class:`FetchTiming` on the phase fields
+    so breakdown attribution treats both uniformly; ``bus_wait`` and
+    ``bus_transfer`` are zero because a failed fetch never reaches the
+    bus.
+    """
+
+    disk_id: int
+    pages: int
+    start: float
+    queue_wait: float
+    service: float
+    retry_wait: float
+    end: float
+    #: ``"crashed"`` (the disk was inside a crash window) or
+    #: ``"exhausted"`` (transient errors/timeouts used every attempt).
+    reason: str
+    attempts: int
+    failovers: int = 0
+    bus_wait: float = 0.0
+    bus_transfer: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """The page never arrived."""
+        return False
+
+    @property
+    def total(self) -> float:
+        """Time burnt before giving up."""
+        return self.end - self.start
+
+
+class _Attempt(NamedTuple):
+    """Outcome of one disk attempt (internal to the retry loop)."""
+
+    status: str  # "ok" | "timeout" | "transient" | "crashed"
+    queue_wait: float
+    service: float
+
+
+def validate_fetch_args(
+    num_disks: int, num_cylinders: int, disk_id, cylinder, pages
+) -> None:
+    """Reject bad fetch arguments at the boundary with clear errors.
+
+    A broken declustering assignment used to surface as an
+    ``IndexError`` deep inside the resource lists (or a cylinder error
+    mid-service, after the request had already queued); every argument
+    is checked here instead, before any simulated time is spent.
+    Shared by the RAID-0 and RAID-1 systems.
+    """
+    if not isinstance(disk_id, int) or isinstance(disk_id, bool):
+        raise ValueError(
+            f"disk_id must be an int, got {disk_id!r} "
+            f"({type(disk_id).__name__})"
+        )
+    if not 0 <= disk_id < num_disks:
+        raise ValueError(
+            f"disk {disk_id} outside [0, {num_disks}) — check the tree's "
+            f"declustering placement"
+        )
+    if not isinstance(cylinder, int) or isinstance(cylinder, bool):
+        raise ValueError(
+            f"cylinder must be an int, got {cylinder!r} "
+            f"({type(cylinder).__name__})"
+        )
+    if not 0 <= cylinder < num_cylinders:
+        raise ValueError(
+            f"cylinder {cylinder} outside [0, {num_cylinders}) for disk "
+            f"{disk_id} — check the tree's cylinder placement"
+        )
+    if not isinstance(pages, int) or isinstance(pages, bool):
+        raise ValueError(
+            f"pages must be an int, got {pages!r} ({type(pages).__name__})"
+        )
+    if pages < 1:
+        raise ValueError(f"pages must be positive, got {pages}")
+
+
+def disk_attempt(
+    env: Environment,
+    queue: Resource,
+    model: DiskModel,
+    phys_id: int,
+    cylinder: int,
+    nbytes: int,
+    plan: Optional[FaultPlan],
+    state: Optional[FaultState],
+    policy: Optional[RetryPolicy],
+) -> Generator:
+    """Process fragment (``yield from``): one attempt at one drive.
+
+    Queue for the drive, racing the grant against the per-attempt
+    timeout (a timed-out queued request is cancelled cleanly); service
+    the read, inflated by any active fail-slow window; then judge the
+    attempt — crashed mid-service, over the time cap, or hit by a
+    transient read error.  Shared by the RAID-0 and RAID-1 systems.
+    """
+    t0 = env.now
+    cap = policy.attempt_timeout if policy is not None else None
+    grant = queue.request()
+    if cap is not None and not grant.triggered:
+        yield AnyOf(env, [grant, env.timeout(cap)])
+        if not grant.triggered:
+            # Timed out while queued: withdraw the request and give up
+            # on this attempt without ever touching the disk.
+            queue.release(grant)
+            return _Attempt("timeout", env.now - t0, 0.0)
+    else:
+        yield grant
+    granted = env.now
+    try:
+        duration = model.service(cylinder, nbytes)
+        if plan is not None:
+            factor = plan.slow_factor(phys_id, granted)
+            if factor > 1.0:
+                # The drive really is busy for the inflated time; keep
+                # the utilization accounting honest.
+                extra = duration * (factor - 1.0)
+                model.busy_time += extra
+                duration += extra
+        yield env.timeout(duration)
+    finally:
+        queue.release(grant)
+    served = env.now
+    queue_wait = granted - t0
+    service = served - granted
+    if plan is not None and plan.is_crashed(phys_id, served):
+        return _Attempt("crashed", queue_wait, service)
+    if cap is not None and served - t0 > cap:
+        # The disk is not preemptible: the service completed, but the
+        # attempt blew its budget and its result is discarded.
+        return _Attempt("timeout", queue_wait, service)
+    if state is not None and state.draw_transient(phys_id):
+        return _Attempt("transient", queue_wait, service)
+    return _Attempt("ok", queue_wait, service)
 
 
 class CpuTiming(NamedTuple):
@@ -73,6 +242,12 @@ class DiskArraySystem:
     :param metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
         when given, per-disk/bus/cpu queue-depth gauges are wired into
         the resources.
+    :param fault_plan: optional :class:`~repro.faults.plan.FaultPlan`;
+        when given, fetches run through the retry loop documented in
+        the module docstring.
+    :param retry_policy: the :class:`~repro.faults.policy.RetryPolicy`
+        governing that loop (default: ``RetryPolicy()`` when a fault
+        plan is present).
     """
 
     def __init__(
@@ -83,6 +258,8 @@ class DiskArraySystem:
         seed: int = 0,
         tracer=None,
         metrics=None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if num_disks < 1:
             raise ValueError(f"num_disks must be positive, got {num_disks}")
@@ -92,6 +269,19 @@ class DiskArraySystem:
         self.cpu_model = CpuModel(self.params.cpu_mips)
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.metrics = metrics
+        self.fault_plan = fault_plan
+        self.faults = fault_plan.state() if fault_plan is not None else None
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        #: The fault-aware path is taken only when something can fail;
+        #: otherwise the fetch path is exactly the paper's model.
+        self._faulty = fault_plan is not None or retry_policy is not None
+        #: Robustness counters: failed attempts that were retried, and
+        #: fetches that permanently failed.
+        self.retries = 0
+        self.failed_fetches = 0
+        self.failovers = 0  # always 0 on RAID-0; RAID-1 overrides
 
         def _gauge(name: str):
             if metrics is None:
@@ -130,6 +320,12 @@ class DiskArraySystem:
         #: Monitoring: physical pages fetched through the system.
         self.pages_fetched = 0
 
+    def _validate_fetch(self, disk_id, cylinder, pages) -> None:
+        validate_fetch_args(
+            self.num_disks, self.params.disk.cylinders,
+            disk_id, cylinder, pages,
+        )
+
     def fetch_page(
         self,
         disk_id: int,
@@ -139,7 +335,9 @@ class DiskArraySystem:
     ) -> Generator:
         """Process: read one node — disk queue, disk service, then bus.
 
-        Returns a :class:`FetchTiming` as the process value.
+        Returns a :class:`FetchTiming` as the process value; with a
+        fault plan attached, a permanently failed read returns a
+        :class:`FetchFailure` instead.
 
         :param pages: physical pages the node spans (1 for ordinary
             nodes; X-tree supernodes span several, read sequentially in
@@ -147,25 +345,80 @@ class DiskArraySystem:
         :param flow: optional query id stamped on emitted trace spans so
             exporters can link one query's fetches across tracks.
         """
-        if not 0 <= disk_id < self.num_disks:
-            raise ValueError(f"disk {disk_id} outside [0, {self.num_disks})")
-        if pages < 1:
-            raise ValueError(f"pages must be positive, got {pages}")
+        self._validate_fetch(disk_id, cylinder, pages)
         queue = self.disk_queues[disk_id]
+        model = self.disk_models[disk_id]
+        nbytes = self.params.page_size * pages
         start = self.env.now
-        grant = queue.request()
-        yield grant
-        granted = self.env.now
-        try:
-            # Head position is only touched while holding the disk, so
-            # the seek distance reflects the true service order.
-            duration = self.disk_models[disk_id].service(
-                cylinder, self.params.page_size * pages
-            )
-            yield self.env.timeout(duration)
-        finally:
-            queue.release(grant)
-        served = self.env.now
+
+        if not self._faulty:
+            # The paper's model: one attempt, nothing can go wrong.
+            grant = queue.request()
+            yield grant
+            granted = self.env.now
+            try:
+                # Head position is only touched while holding the disk,
+                # so the seek distance reflects the true service order.
+                yield self.env.timeout(model.service(cylinder, nbytes))
+            finally:
+                queue.release(grant)
+            served = self.env.now
+            queue_wait, service = granted - start, served - granted
+            retry_wait, attempts = 0.0, 1
+        else:
+            plan, state = self.fault_plan, self.faults
+            policy = self.retry_policy
+            queue_wait = service = retry_wait = 0.0
+            attempts = 0
+            status = "exhausted"
+            while attempts < policy.max_attempts:
+                attempts += 1
+                if plan is not None and plan.is_crashed(disk_id, self.env.now):
+                    # No point queueing at a dead disk; the attempt is
+                    # charged but costs no simulated time.
+                    status = "crashed"
+                else:
+                    outcome = yield from disk_attempt(
+                        self.env, queue, model, disk_id, cylinder, nbytes,
+                        plan, state, policy,
+                    )
+                    queue_wait += outcome.queue_wait
+                    service += outcome.service
+                    status = outcome.status
+                    if status == "ok":
+                        granted = self.env.now - outcome.service
+                        break
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        f"disk{disk_id}", "fault", "fault", self.env.now,
+                        flow=flow, args={"status": status, "attempt": attempts},
+                    )
+                if attempts >= policy.max_attempts:
+                    break
+                self.retries += 1
+                if self.metrics is not None:
+                    self.metrics.counter("fetch.retries").inc()
+                delay = policy.backoff(attempts)
+                if delay > 0.0:
+                    before = self.env.now
+                    yield self.env.timeout(delay)
+                    retry_wait += self.env.now - before
+            if status != "ok":
+                self.failed_fetches += 1
+                if self.metrics is not None:
+                    self.metrics.counter("fetch.failures").inc()
+                return FetchFailure(
+                    disk_id=disk_id,
+                    pages=pages,
+                    start=start,
+                    queue_wait=queue_wait,
+                    service=service,
+                    retry_wait=retry_wait,
+                    end=self.env.now,
+                    reason="crashed" if status == "crashed" else "exhausted",
+                    attempts=attempts,
+                )
+            served = self.env.now
 
         grant = self.bus.request()
         yield grant
@@ -178,6 +431,7 @@ class DiskArraySystem:
         self.pages_fetched += pages
 
         if self.tracer.enabled:
+            # The span covers the successful attempt's service interval.
             self.tracer.span(
                 f"disk{disk_id}", "service", "disk", granted, served,
                 flow=flow, args={"cylinder": cylinder, "pages": pages},
@@ -189,11 +443,13 @@ class DiskArraySystem:
             disk_id=disk_id,
             pages=pages,
             start=start,
-            queue_wait=granted - start,
-            service=served - granted,
+            queue_wait=queue_wait,
+            service=service,
             bus_wait=bus_granted - served,
             bus_transfer=end - bus_granted,
             end=end,
+            retry_wait=retry_wait,
+            attempts=attempts,
         )
 
     def cpu_work(

@@ -109,3 +109,144 @@ class TestMirroredWorkload:
             simulate_mirrored_workload(
                 tree, factory, queries, arrival_rate=-1.0
             )
+
+
+class TestReplicaDispatch:
+    """Shortest-queue-then-nearest-head dispatch, probed directly."""
+
+    @staticmethod
+    def system(num_disks=1):
+        return MirroredDiskArraySystem(
+            Environment(), num_disks,
+            params=SystemParameters(sample_rotation=False),
+        )
+
+    def test_ties_break_by_replica_index(self):
+        system = self.system()
+        # Fresh system: equal backlogs, equal head positions.
+        assert system._pick_replica(0, cylinder=100) == 0
+
+    def test_shorter_queue_wins(self):
+        system = self.system()
+        hold = system.replica_queues[0][0].request()
+        assert system._pick_replica(0, cylinder=0) == 1
+        system.replica_queues[0][0].release(hold)
+        assert system._pick_replica(0, cylinder=0) == 0
+
+    def test_backlog_counts_waiters_not_just_the_holder(self):
+        system = self.system()
+        queue = system.replica_queues[0][0]
+        grants = [queue.request(), queue.request()]  # one holder, one waiter
+        other = system.replica_queues[0][1].request()
+        # Replica 0 has backlog 2, replica 1 has backlog 1.
+        assert system._pick_replica(0, cylinder=0) == 1
+        for grant in grants:
+            queue.release(grant)
+        system.replica_queues[0][1].release(other)
+
+    def test_equal_queues_prefer_the_nearer_head(self):
+        system = self.system()
+        env = system.env
+
+        def fetch(cylinder):
+            yield env.process(system.fetch_page(0, cylinder=cylinder))
+
+        env.process(fetch(100))
+        env.run()
+        # The serviced replica (0, by index tie-break) parked at
+        # cylinder 100; the idle one is still at 0.
+        heads = [m.head_cylinder for m in system.replica_models[0]]
+        assert heads == [100, 0]
+        assert system._pick_replica(0, cylinder=90) == 0
+        assert system._pick_replica(0, cylinder=5) == 1
+
+    def test_three_readers_two_spindles(self):
+        system = self.system()
+        env = system.env
+        done = []
+
+        def fetch():
+            yield env.process(system.fetch_page(0, cylinder=100))
+            done.append(env.now)
+
+        for _ in range(3):
+            env.process(fetch())
+        env.run()
+        done.sort()
+        # Two run concurrently on different replicas; the third queues
+        # behind one of them and finishes strictly later.
+        assert abs(done[0] - done[1]) <= system.params.bus_time + 1e-9
+        assert done[2] > done[1] + 1e-9
+        served = [m.requests_served for m in system.replica_models[0]]
+        assert sorted(served) == [1, 2]
+
+
+class TestMirroredFailover:
+    """Crash handling on the mirrored pair (satellite of the fault layer)."""
+
+    @staticmethod
+    def run_fetch(system, disk_id=0, cylinder=100):
+        env = system.env
+        outcome = []
+
+        def fetcher():
+            result = yield env.process(
+                system.fetch_page(disk_id, cylinder)
+            )
+            outcome.append(result)
+
+        env.process(fetcher())
+        env.run()
+        return outcome[0]
+
+    def test_crashed_replica_fails_over_to_the_survivor(self):
+        from repro.faults import FaultPlan, RetryPolicy
+
+        system = MirroredDiskArraySystem(
+            Environment(), 1,
+            params=SystemParameters(sample_rotation=False),
+            fault_plan=FaultPlan.single_crash(0, at=0.0),  # physical drive 0
+            retry_policy=RetryPolicy(),
+        )
+        timing = self.run_fetch(system)
+        assert timing.ok
+        assert timing.failovers >= 1
+        assert system.failovers >= 1
+        served = [m.requests_served for m in system.replica_models[0]]
+        assert served == [0, 1]  # only the survivor spun
+
+    def test_transient_error_retries_on_the_other_replica(self):
+        from repro.faults import FaultPlan, RetryPolicy
+
+        # Physical drive 0 always errors; its mirror (drive 1) is clean.
+        system = MirroredDiskArraySystem(
+            Environment(), 1,
+            params=SystemParameters(sample_rotation=False),
+            fault_plan=FaultPlan(transient_prob={0: 1.0}),
+            retry_policy=RetryPolicy(max_attempts=3, backoff_base=0.001),
+        )
+        timing = self.run_fetch(system)
+        assert timing.ok
+        assert timing.attempts == 2
+        assert timing.failovers >= 1
+        served = [m.requests_served for m in system.replica_models[0]]
+        assert served == [1, 1]  # one wasted spin, one good one
+
+    def test_both_replicas_down_is_a_crashed_failure(self):
+        from repro.faults import FaultPlan, RetryPolicy
+        from repro.simulation.system import FetchFailure
+
+        plan = FaultPlan(crashes=(
+            FaultPlan.single_crash(0, at=0.0).crashes[0],
+            FaultPlan.single_crash(1, at=0.0).crashes[0],
+        ))
+        system = MirroredDiskArraySystem(
+            Environment(), 1,
+            params=SystemParameters(sample_rotation=False),
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_attempts=2, backoff_base=0.001),
+        )
+        failure = self.run_fetch(system)
+        assert isinstance(failure, FetchFailure)
+        assert failure.reason == "crashed"
+        assert system.failed_fetches == 1

@@ -1,0 +1,286 @@
+"""System-level fault injection: retries, timeouts, crashes, slow I/O."""
+
+import pytest
+
+from repro.faults import FaultPlan, RetryPolicy, SlowWindow
+from repro.simulation.engine import Environment
+from repro.simulation.parameters import SystemParameters
+from repro.simulation.system import (
+    DiskArraySystem,
+    FetchFailure,
+    FetchTiming,
+)
+
+
+PARAMS = SystemParameters(sample_rotation=False)
+
+
+def run_fetch(system, disk_id=0, cylinder=100, pages=1):
+    """Drive one fetch_page process to completion; return its value."""
+    env = system.env
+    outcome = []
+
+    def runner():
+        result = yield env.process(
+            system.fetch_page(disk_id, cylinder, pages=pages)
+        )
+        outcome.append(result)
+
+    env.process(runner())
+    env.run()
+    return outcome[0]
+
+
+class TestFaultFreePath:
+    def test_no_plan_means_plain_timing(self):
+        system = DiskArraySystem(Environment(), 2, params=PARAMS)
+        timing = run_fetch(system)
+        assert isinstance(timing, FetchTiming)
+        assert timing.ok
+        assert timing.attempts == 1
+        assert timing.retry_wait == 0.0
+        assert system.retries == 0
+        assert system.failed_fetches == 0
+
+    def test_empty_plan_with_policy_matches_plain_durations(self):
+        plain = DiskArraySystem(Environment(), 2, params=PARAMS)
+        faulty = DiskArraySystem(
+            Environment(), 2, params=PARAMS,
+            fault_plan=FaultPlan(), retry_policy=RetryPolicy(),
+        )
+        a, b = run_fetch(plain), run_fetch(faulty)
+        assert b.total == pytest.approx(a.total)
+        assert (b.queue_wait, b.service) == (a.queue_wait, a.service)
+
+
+class TestTransientErrors:
+    def test_certain_errors_exhaust_the_retry_budget(self):
+        system = DiskArraySystem(
+            Environment(), 2, params=PARAMS,
+            fault_plan=FaultPlan(default_transient_prob=1.0),
+            retry_policy=RetryPolicy(max_attempts=3, backoff_base=0.001),
+        )
+        failure = run_fetch(system)
+        assert isinstance(failure, FetchFailure)
+        assert not failure.ok
+        assert failure.reason == "exhausted"
+        assert failure.attempts == 3
+        assert system.retries == 2
+        assert system.failed_fetches == 1
+        # Two backoffs were slept: base + base*factor.
+        assert failure.retry_wait == pytest.approx(0.001 + 0.002)
+
+    def test_failure_timeline_telescopes(self):
+        system = DiskArraySystem(
+            Environment(), 2, params=PARAMS,
+            fault_plan=FaultPlan(default_transient_prob=1.0),
+            retry_policy=RetryPolicy(max_attempts=4),
+        )
+        failure = run_fetch(system)
+        assert failure.end - failure.start == pytest.approx(
+            failure.queue_wait + failure.service + failure.retry_wait
+        )
+
+    def test_occasional_errors_recover_with_retries(self):
+        # p=0.5 with 6 attempts: the seeded streams recover well before
+        # exhausting the budget for this seed.
+        system = DiskArraySystem(
+            Environment(), 2, params=PARAMS,
+            fault_plan=FaultPlan(seed=3, default_transient_prob=0.5),
+            retry_policy=RetryPolicy(max_attempts=6, backoff_base=0.001),
+        )
+        timing = run_fetch(system)
+        assert timing.ok
+        assert timing.attempts >= 1
+        # The success timeline telescopes too.
+        assert timing.end - timing.start == pytest.approx(
+            timing.queue_wait + timing.service + timing.retry_wait
+            + timing.bus_wait + timing.bus_transfer
+        )
+
+
+class TestCrashes:
+    def test_dead_disk_fails_without_spinning(self):
+        system = DiskArraySystem(
+            Environment(), 2, params=PARAMS,
+            fault_plan=FaultPlan.single_crash(0, at=0.0),
+            retry_policy=RetryPolicy(max_attempts=3, backoff_base=0.002),
+        )
+        failure = run_fetch(system, disk_id=0)
+        assert failure.reason == "crashed"
+        assert failure.service == 0.0
+        assert failure.queue_wait == 0.0
+        # All elapsed time is backoff between (free) attempts.
+        assert failure.end - failure.start == pytest.approx(failure.retry_wait)
+        assert system.disk_models[0].busy_time == 0.0
+
+    def test_other_disks_unaffected(self):
+        system = DiskArraySystem(
+            Environment(), 2, params=PARAMS,
+            fault_plan=FaultPlan.single_crash(0, at=0.0),
+        )
+        timing = run_fetch(system, disk_id=1)
+        assert timing.ok
+
+    def test_backoff_bridges_a_short_outage(self):
+        # Down for 5 ms; backoffs 2+4 ms put attempt 3 past the repair.
+        system = DiskArraySystem(
+            Environment(), 2, params=PARAMS,
+            fault_plan=FaultPlan.single_crash(0, at=0.0, repair=0.005),
+            retry_policy=RetryPolicy(
+                max_attempts=5, backoff_base=0.002, backoff_factor=2.0
+            ),
+        )
+        timing = run_fetch(system, disk_id=0)
+        assert timing.ok
+        assert timing.attempts == 3
+        assert timing.retry_wait == pytest.approx(0.002 + 0.004)
+
+    def test_crash_mid_service_discards_the_read(self):
+        # Healthy at queue time, crashed by service end: the attempt is
+        # judged at completion, so the read is lost.
+        system = DiskArraySystem(
+            Environment(), 2, params=PARAMS,
+            fault_plan=FaultPlan.single_crash(0, at=0.005),
+            retry_policy=RetryPolicy(max_attempts=2, backoff_base=0.001),
+        )
+        failure = run_fetch(system, disk_id=0)
+        assert isinstance(failure, FetchFailure)
+        assert failure.reason == "crashed"
+        assert failure.service > 0.0  # the disk really spun for attempt 1
+
+
+class TestSlowWindows:
+    def test_service_inflated_by_factor(self):
+        baseline = run_fetch(DiskArraySystem(Environment(), 1, params=PARAMS))
+        slowed = run_fetch(
+            DiskArraySystem(
+                Environment(), 1, params=PARAMS,
+                fault_plan=FaultPlan(
+                    slow_windows=(SlowWindow(0, 0.0, 10.0, 4.0),)
+                ),
+            )
+        )
+        assert slowed.ok
+        assert slowed.service == pytest.approx(4.0 * baseline.service)
+
+    def test_utilization_accounting_includes_inflation(self):
+        system = DiskArraySystem(
+            Environment(), 1, params=PARAMS,
+            fault_plan=FaultPlan(slow_windows=(SlowWindow(0, 0.0, 10.0, 4.0),)),
+        )
+        timing = run_fetch(system)
+        assert system.disk_models[0].busy_time == pytest.approx(timing.service)
+
+    def test_outside_the_window_runs_at_full_speed(self):
+        baseline = run_fetch(DiskArraySystem(Environment(), 1, params=PARAMS))
+        system = DiskArraySystem(
+            Environment(), 1, params=PARAMS,
+            fault_plan=FaultPlan(
+                slow_windows=(SlowWindow(0, 5.0, 10.0, 4.0),)
+            ),
+        )
+        timing = run_fetch(system)
+        assert timing.service == pytest.approx(baseline.service)
+
+
+class TestAttemptTimeouts:
+    def test_timeout_while_queued_never_touches_the_disk(self):
+        env = Environment()
+        system = DiskArraySystem(
+            env, 1, params=PARAMS,
+            fault_plan=FaultPlan(),
+            retry_policy=RetryPolicy(
+                max_attempts=2, attempt_timeout=0.001, backoff_base=0.0005
+            ),
+        )
+        # Hold the disk for longer than both attempts can wait.
+        hold = system.disk_queues[0].request()
+
+        outcome = []
+
+        def fetcher():
+            result = yield env.process(system.fetch_page(0, cylinder=100))
+            outcome.append(result)
+
+        env.process(fetcher())
+        env.run()
+        failure = outcome[0]
+        assert isinstance(failure, FetchFailure)
+        assert failure.reason == "exhausted"
+        assert failure.service == 0.0
+        assert system.disk_models[0].busy_time == 0.0
+        # The cancelled requests left the queue clean.
+        assert system.disk_queues[0].queue_length == 0
+        system.disk_queues[0].release(hold)
+
+    def test_service_is_not_preempted_but_the_attempt_is_discarded(self):
+        # Service takes ~20 ms >> 1 ms cap: the disk completes the read
+        # (busy time accrues) but the attempt does not count as success.
+        system = DiskArraySystem(
+            Environment(), 1, params=PARAMS,
+            fault_plan=FaultPlan(),
+            retry_policy=RetryPolicy(max_attempts=1, attempt_timeout=0.001),
+        )
+        failure = run_fetch(system)
+        assert isinstance(failure, FetchFailure)
+        assert failure.reason == "exhausted"
+        assert failure.service > 0.001
+        assert system.disk_models[0].busy_time == pytest.approx(failure.service)
+
+    def test_generous_timeout_changes_nothing(self):
+        system = DiskArraySystem(
+            Environment(), 1, params=PARAMS,
+            fault_plan=FaultPlan(),
+            retry_policy=RetryPolicy(max_attempts=3, attempt_timeout=10.0),
+        )
+        timing = run_fetch(system)
+        assert timing.ok
+        assert timing.attempts == 1
+
+
+class TestFetchArgumentValidation:
+    """Satellite: bad fetch arguments fail fast with clear ValueErrors."""
+
+    @pytest.mark.parametrize(
+        "kwargs, message",
+        [
+            (dict(disk_id=5, cylinder=0), r"disk 5 outside \[0, 2\)"),
+            (dict(disk_id=-1, cylinder=0), r"disk -1 outside"),
+            (dict(disk_id="0", cylinder=0), "disk_id must be an int"),
+            (dict(disk_id=True, cylinder=0), "disk_id must be an int"),
+            (dict(disk_id=0, cylinder=-1), "cylinder -1 outside"),
+            (dict(disk_id=0, cylinder=10_000), "cylinder 10000 outside"),
+            (dict(disk_id=0, cylinder=1.5), "cylinder must be an int"),
+            (dict(disk_id=0, cylinder=0, pages=0), "pages must be positive"),
+            (dict(disk_id=0, cylinder=0, pages=2.0), "pages must be an int"),
+        ],
+    )
+    def test_rejected_before_any_simulated_time(self, kwargs, message):
+        system = DiskArraySystem(Environment(), 2, params=PARAMS)
+        with pytest.raises(ValueError, match=message):
+            next(system.fetch_page(**kwargs))
+
+    def test_mirrored_system_validates_identically(self):
+        from repro.extensions.raid1 import MirroredDiskArraySystem
+
+        system = MirroredDiskArraySystem(Environment(), 2, params=PARAMS)
+        with pytest.raises(ValueError, match=r"disk 7 outside \[0, 2\)"):
+            next(system.fetch_page(7, cylinder=0))
+        with pytest.raises(ValueError, match="cylinder 99999 outside"):
+            next(system.fetch_page(0, cylinder=99999))
+
+
+class TestMetricsCounters:
+    def test_retries_and_failures_counted(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        system = DiskArraySystem(
+            Environment(), 2, params=PARAMS, metrics=metrics,
+            fault_plan=FaultPlan(default_transient_prob=1.0),
+            retry_policy=RetryPolicy(max_attempts=3),
+        )
+        run_fetch(system)
+        assert metrics.counter("fetch.retries").value == 2
+        assert metrics.counter("fetch.failures").value == 1

@@ -1,0 +1,155 @@
+"""Tests for fault plans: windows, seeded streams, spec parsing."""
+
+import math
+
+import pytest
+
+from repro.faults import (
+    CrashWindow,
+    FaultPlan,
+    SlowWindow,
+    parse_crash_spec,
+    parse_slow_spec,
+)
+
+
+class TestCrashWindow:
+    def test_covers_half_open_interval(self):
+        window = CrashWindow(1, start=0.5, repair=2.0)
+        assert not window.covers(0.4)
+        assert window.covers(0.5)
+        assert window.covers(1.9)
+        assert not window.covers(2.0)
+
+    def test_dead_forever_by_default(self):
+        window = CrashWindow(0, start=1.0)
+        assert window.repair == math.inf
+        assert window.covers(1e12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="disk_id"):
+            CrashWindow(-1, 0.0)
+        with pytest.raises(ValueError, match="start"):
+            CrashWindow(0, -0.1)
+        with pytest.raises(ValueError, match="repair"):
+            CrashWindow(0, 2.0, repair=2.0)
+
+
+class TestSlowWindow:
+    def test_covers_half_open_interval(self):
+        window = SlowWindow(2, start=1.0, end=3.0, factor=4.0)
+        assert not window.covers(0.9)
+        assert window.covers(1.0)
+        assert not window.covers(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="disk_id"):
+            SlowWindow(-1, 0.0, 1.0, 2.0)
+        with pytest.raises(ValueError, match="end"):
+            SlowWindow(0, 1.0, 1.0, 2.0)
+        with pytest.raises(ValueError, match="factor"):
+            SlowWindow(0, 0.0, 1.0, 0.5)
+
+
+class TestFaultPlan:
+    def test_empty_by_default(self):
+        assert FaultPlan().empty
+
+    def test_not_empty_with_any_ingredient(self):
+        assert not FaultPlan(default_transient_prob=0.1).empty
+        assert not FaultPlan(transient_prob={3: 0.5}).empty
+        assert not FaultPlan(crashes=(CrashWindow(0, 0.0),)).empty
+        assert not FaultPlan(slow_windows=(SlowWindow(0, 0.0, 1.0, 2.0),)).empty
+        # All-zero per-disk probabilities inject nothing.
+        assert FaultPlan(transient_prob={3: 0.0}).empty
+
+    def test_transient_prob_lookup(self):
+        plan = FaultPlan(transient_prob={2: 0.5}, default_transient_prob=0.1)
+        assert plan.transient_prob_for(2) == 0.5
+        assert plan.transient_prob_for(0) == 0.1
+
+    def test_is_crashed(self):
+        plan = FaultPlan.single_crash(1, at=1.0, repair=2.0)
+        assert not plan.is_crashed(1, 0.5)
+        assert plan.is_crashed(1, 1.5)
+        assert not plan.is_crashed(1, 2.5)
+        assert not plan.is_crashed(0, 1.5)
+
+    def test_overlapping_slow_windows_compound(self):
+        plan = FaultPlan(
+            slow_windows=(
+                SlowWindow(0, 0.0, 2.0, 2.0),
+                SlowWindow(0, 1.0, 3.0, 3.0),
+                SlowWindow(1, 0.0, 3.0, 10.0),
+            )
+        )
+        assert plan.slow_factor(0, 0.5) == 2.0
+        assert plan.slow_factor(0, 1.5) == 6.0
+        assert plan.slow_factor(0, 2.5) == 3.0
+        assert plan.slow_factor(0, 3.5) == 1.0
+        assert plan.slow_factor(2, 1.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="transient"):
+            FaultPlan(transient_prob={0: 1.5})
+        with pytest.raises(ValueError, match="disk id"):
+            FaultPlan(transient_prob={-1: 0.5})
+        with pytest.raises(ValueError, match="default_transient_prob"):
+            FaultPlan(default_transient_prob=-0.1)
+
+    def test_sequences_normalised_to_tuples(self):
+        plan = FaultPlan(crashes=[CrashWindow(0, 0.0)],
+                         slow_windows=[SlowWindow(0, 0.0, 1.0, 2.0)])
+        assert isinstance(plan.crashes, tuple)
+        assert isinstance(plan.slow_windows, tuple)
+
+
+class TestFaultState:
+    def test_same_plan_draws_identical_sequences(self):
+        plan = FaultPlan(seed=9, default_transient_prob=0.5)
+        a, b = plan.state(), plan.state()
+        draws_a = [a.draw_transient(2) for _ in range(50)]
+        draws_b = [b.draw_transient(2) for _ in range(50)]
+        assert draws_a == draws_b
+        assert any(draws_a) and not all(draws_a)
+
+    def test_disks_have_independent_streams(self):
+        plan = FaultPlan(seed=9, default_transient_prob=0.5)
+        state = plan.state()
+        draws = {
+            disk: [state.draw_transient(disk) for _ in range(50)]
+            for disk in range(3)
+        }
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_zero_probability_consumes_no_randomness(self):
+        plan = FaultPlan(seed=1, transient_prob={0: 0.0, 1: 1.0})
+        state = plan.state()
+        assert not state.draw_transient(0)
+        assert state.draw_transient(1)
+
+
+class TestSpecParsing:
+    def test_crash_forever(self):
+        window = parse_crash_spec("2@0.0")
+        assert (window.disk_id, window.start, window.repair) == (2, 0.0, math.inf)
+
+    def test_crash_with_repair(self):
+        window = parse_crash_spec("1@0.5:2.0")
+        assert (window.disk_id, window.start, window.repair) == (1, 0.5, 2.0)
+
+    @pytest.mark.parametrize("bad", ["", "1", "x@0", "1@", "1@a:b", "1@2:1"])
+    def test_bad_crash_specs(self, bad):
+        with pytest.raises(ValueError, match="crash spec|repair"):
+            parse_crash_spec(bad)
+
+    def test_slow_window(self):
+        window = parse_slow_spec("1@0.0-2.5x8")
+        assert (window.disk_id, window.start, window.end, window.factor) == (
+            1, 0.0, 2.5, 8.0,
+        )
+
+    @pytest.mark.parametrize("bad", ["", "1@0-1", "1@0x2", "a@0-1x2", "1@1-0x2"])
+    def test_bad_slow_specs(self, bad):
+        with pytest.raises(ValueError, match="slow spec|end"):
+            parse_slow_spec(bad)

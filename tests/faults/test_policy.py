@@ -1,0 +1,51 @@
+"""Tests for the retry/timeout/backoff policy."""
+
+import pytest
+
+from repro.faults import RetryPolicy
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.attempt_timeout is None
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="attempt_timeout"):
+            RetryPolicy(attempt_timeout=0.0)
+        with pytest.raises(ValueError, match="backoff_base"):
+            RetryPolicy(backoff_base=-1.0)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError, match="backoff_cap"):
+            RetryPolicy(backoff_cap=-0.1)
+
+
+class TestBackoff:
+    def test_exponential_progression(self):
+        policy = RetryPolicy(
+            backoff_base=0.001, backoff_factor=2.0, backoff_cap=1.0
+        )
+        assert policy.backoff(1) == pytest.approx(0.001)
+        assert policy.backoff(2) == pytest.approx(0.002)
+        assert policy.backoff(3) == pytest.approx(0.004)
+
+    def test_cap_applies(self):
+        policy = RetryPolicy(
+            backoff_base=0.01, backoff_factor=10.0, backoff_cap=0.05
+        )
+        assert policy.backoff(1) == pytest.approx(0.01)
+        assert policy.backoff(2) == pytest.approx(0.05)
+        assert policy.backoff(5) == pytest.approx(0.05)
+
+    def test_zero_base_means_immediate_retry(self):
+        policy = RetryPolicy(backoff_base=0.0)
+        assert policy.backoff(1) == 0.0
+        assert policy.backoff(4) == 0.0
+
+    def test_rejects_nonpositive_attempt_index(self):
+        with pytest.raises(ValueError, match="failed_attempts"):
+            RetryPolicy().backoff(0)

@@ -439,3 +439,99 @@ class TestQueueAccountingUnderContention:
         # Gauge sampling starts at the first queue change (t=0 here), so
         # its mean over [0, 4] (last change) is (2·2 + 1·2)/4 = 1.5.
         assert gauge.mean() == pytest.approx(1.5)
+
+
+class TestAnyOf:
+    def test_race_fires_with_the_first_and_names_the_winner(self):
+        env = Environment()
+        log = []
+
+        def racer():
+            fast = env.timeout(1.0, value="fast")
+            slow = env.timeout(3.0, value="slow")
+            race = env.any_of([fast, slow])
+            value = yield race
+            log.append((env.now, value, race.winner is fast))
+
+        env.process(racer())
+        final = env.run()
+        assert log == [(1.0, "fast", True)]
+        # The loser still fires; it just finds the race settled.
+        assert final == 3.0
+
+    def test_already_processed_event_wins_instantly(self):
+        env = Environment()
+        done = env.timeout(0.5, value="early")
+        env.run()
+        log = []
+
+        def racer():
+            race = env.any_of([done, env.timeout(10.0)])
+            value = yield race
+            log.append((env.now, value, race.winner is done))
+
+        env.process(racer())
+        env.run()
+        assert log == [(0.5, "early", True)]
+
+    def test_empty_race_is_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError, match="at least one event"):
+            env.any_of([])
+
+    def test_simultaneous_events_resolve_by_schedule_order(self):
+        env = Environment()
+        log = []
+
+        def racer():
+            first = env.timeout(2.0, value="first")
+            second = env.timeout(2.0, value="second")
+            value = yield env.any_of([first, second])
+            log.append(value)
+
+        env.process(racer())
+        env.run()
+        # Equal times tie-break by scheduling sequence: deterministic.
+        assert log == ["first"]
+
+    def test_grant_versus_timeout_with_clean_cancellation(self):
+        """The fault layer's core idiom: race a queue grant against a
+        timeout cap, and cancel the grant if the cap wins."""
+        env = Environment()
+        resource = Resource(env)
+        log = []
+
+        def holder():
+            grant = resource.request()
+            yield grant
+            yield env.timeout(5.0)
+            resource.release(grant)
+
+        def capped_waiter():
+            grant = resource.request()
+            cap = env.timeout(1.0)
+            race = env.any_of([grant, cap])
+            yield race
+            if race.winner is cap:
+                resource.release(grant)  # cancel the queued request
+                log.append(("gave-up", env.now))
+            else:
+                resource.release(grant)
+                log.append(("granted", env.now))
+
+        def late_waiter():
+            yield env.timeout(2.0)
+            grant = resource.request()
+            yield grant
+            log.append(("late-granted", env.now))
+            resource.release(grant)
+
+        env.process(holder())
+        env.process(capped_waiter())
+        env.process(late_waiter())
+        env.run()
+        # The capped waiter abandoned its slot, so the late waiter got
+        # the resource the moment the holder released it.
+        assert log == [("gave-up", 1.0), ("late-granted", 5.0)]
+        assert resource.queue_length == 0
+        assert resource.in_use == 0
