@@ -16,6 +16,10 @@ Python:
   trees, fixed query/simulate workloads, the node-scan microbench) and
   write the ``BENCH_*.json`` trajectory point; ``--smoke`` shrinks it
   to CI size;
+* ``repro bench-schedulers`` — compare per-disk queue disciplines
+  (FCFS / SSTF / SCAN / C-LOOK, plus request coalescing) on the
+  multi-user workload and write ``BENCH_PR4.json``; ``simulate`` and
+  ``chaos`` accept the same ``--scheduler``/``--coalesce`` knobs;
 * ``repro chaos`` — replay a seeded workload under a fault plan
   (disk crashes, fail-slow windows, transient read errors) on RAID-0
   or mirrored RAID-1, and report robustness metrics: retries,
@@ -49,6 +53,8 @@ from repro.parallel import build_parallel_tree
 from repro.parallel.declustering import make_policy
 from repro.perf import use_vectorized
 from repro.simulation import simulate_workload
+from repro.simulation.parameters import SystemParameters
+from repro.simulation.scheduling import SCHEDULERS
 
 
 def _add_tree_arguments(parser: argparse.ArgumentParser) -> None:
@@ -112,6 +118,22 @@ def _parse_point(text: str, dims: int):
             f"query has {len(coords)} coordinates but the data is {dims}-d"
         )
     return coords
+
+
+def _add_scheduler_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scheduler",
+        choices=SCHEDULERS,
+        default="fcfs",
+        help="per-disk queue discipline (default: fcfs, the paper's "
+        "model; sstf/scan/clook reorder by head position)",
+    )
+    parser.add_argument(
+        "--coalesce",
+        action="store_true",
+        help="merge same-disk sibling fetches from one scheduling round "
+        "into a single multi-page transaction",
+    )
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -181,6 +203,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             raise SystemExit(
                 f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
             )
+    params = SystemParameters(
+        scheduler=args.scheduler, coalesce=args.coalesce
+    )
     workloads = {}
     trace_files = []
     for name in names:
@@ -191,6 +216,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 make_factory(name, tree, args.k),
                 queries,
                 arrival_rate=args.arrival_rate,
+                params=params,
                 seed=args.seed,
                 tracer=tracer,
             )
@@ -203,6 +229,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         if args.arrival_rate
         else "single-user serial"
     )
+    if args.scheduler != "fcfs" or args.coalesce:
+        mode += f", {args.scheduler}" + ("+coalesce" if args.coalesce else "")
     print(
         format_percentile_table(
             workloads,
@@ -233,6 +261,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not os.path.isdir(out_dir):
         raise SystemExit(f"--out directory does not exist: {out_dir}")
     doc = run_bench(smoke=args.smoke, seed=args.seed)
+    write_bench(doc, args.out)
+    print(format_summary(doc))
+    print(f"\nbench written: {args.out}")
+    return 0
+
+
+def _cmd_bench_schedulers(args: argparse.Namespace) -> int:
+    from repro.perf.sched_bench import (
+        format_summary,
+        run_sched_bench,
+        write_bench,
+    )
+
+    out_dir = os.path.dirname(args.out) or "."
+    if not os.path.isdir(out_dir):
+        raise SystemExit(f"--out directory does not exist: {out_dir}")
+    doc = run_sched_bench(smoke=args.smoke, seed=args.seed)
     write_bench(doc, args.out)
     print(format_summary(doc))
     print(f"\nbench written: {args.out}")
@@ -283,6 +328,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         k=args.k,
         raid=args.raid,
         arrival_rate=args.arrival_rate,
+        params=SystemParameters(
+            scheduler=args.scheduler, coalesce=args.coalesce
+        ),
         seed=args.seed,
         fault_plan=plan,
         retry_policy=policy,
@@ -353,6 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="BBSS,FPSS,CRSS,WOPTSS",
         help="comma-separated algorithm list",
     )
+    _add_scheduler_arguments(simulate)
     simulate.add_argument(
         "--trace",
         default="",
@@ -390,6 +439,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.set_defaults(handler=_cmd_bench)
 
+    sched = subparsers.add_parser(
+        "bench-schedulers",
+        help="compare queue disciplines on the multi-user workload and "
+        "write BENCH_PR4.json",
+    )
+    sched.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: small tree, few queries",
+    )
+    sched.add_argument(
+        "--out",
+        default="BENCH_PR4.json",
+        metavar="PATH",
+        help="output JSON path (default: BENCH_PR4.json)",
+    )
+    sched.add_argument(
+        "--seed", type=int, default=0, help="RNG seed (default: 0)"
+    )
+    sched.set_defaults(handler=_cmd_bench_schedulers)
+
     chaos = subparsers.add_parser(
         "chaos",
         help="replay a workload under a fault plan and report robustness",
@@ -418,6 +488,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="array layout: striped raid0 or mirrored raid1 with failover "
         "(default: raid0)",
     )
+    _add_scheduler_arguments(chaos)
     chaos.add_argument(
         "--crash",
         action="append",

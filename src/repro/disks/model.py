@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.disks.specs import DiskSpec
 
@@ -34,6 +34,10 @@ class DiskModel:
         #: Monitoring: cumulative busy time and requests served.
         self.busy_time = 0.0
         self.requests_served = 0
+        #: Cumulative cylinders the head traveled (seek distance).
+        self.seek_distance_total = 0
+        #: Requests served as coalesced multi-page transactions.
+        self.coalesced_served = 0
 
     def seek_time(self, distance: int) -> float:
         """Two-phase non-linear seek time for a *distance*-cylinder travel."""
@@ -67,15 +71,60 @@ class DiskModel:
             raise ValueError(
                 f"cylinder {cylinder} outside [0, {self.spec.cylinders})"
             )
+        distance = abs(cylinder - self.head_cylinder)
         duration = (
-            self.seek_time(abs(cylinder - self.head_cylinder))
+            self.seek_time(distance)
             + self.rotational_latency()
             + self.transfer_time(nbytes)
             + self.spec.controller_overhead
         )
         self.head_cylinder = cylinder
+        self.seek_distance_total += distance
         self.busy_time += duration
         self.requests_served += 1
+        return duration
+
+    def service_coalesced(self, cylinders: Sequence[int], nbytes: int) -> float:
+        """Service several same-disk reads as one transaction; moves the head.
+
+        Sibling pages activated in one fetch round can be issued to the
+        disk together: the head approaches the nearer end of the
+        requested cylinder range, sweeps once across it reading every
+        page on the way, and pays a *single* rotational latency and
+        controller overhead for the whole group.  Compared with issuing
+        the reads separately this saves ``len(cylinders) - 1``
+        rotational latencies and overheads plus any head ping-pong —
+        the amortization the scheduling layer exists to exploit.
+
+        The head ends at the far end of the swept range.
+        """
+        if not cylinders:
+            raise ValueError("a coalesced service needs at least one cylinder")
+        for cylinder in cylinders:
+            if not 0 <= cylinder < self.spec.cylinders:
+                raise ValueError(
+                    f"cylinder {cylinder} outside [0, {self.spec.cylinders})"
+                )
+        low, high = min(cylinders), max(cylinders)
+        if abs(self.head_cylinder - low) <= abs(self.head_cylinder - high):
+            first, last = low, high
+        else:
+            first, last = high, low
+        approach = abs(first - self.head_cylinder)
+        sweep = abs(last - first)
+        duration = (
+            self.seek_time(approach)
+            + self.seek_time(sweep)
+            + self.rotational_latency()
+            + self.transfer_time(nbytes)
+            + self.spec.controller_overhead
+        )
+        self.head_cylinder = last
+        self.seek_distance_total += approach + sweep
+        self.busy_time += duration
+        self.requests_served += 1
+        if len(cylinders) > 1:
+            self.coalesced_served += 1
         return duration
 
     def reset(self) -> None:
@@ -83,3 +132,5 @@ class DiskModel:
         self.head_cylinder = 0
         self.busy_time = 0.0
         self.requests_served = 0
+        self.seek_distance_total = 0
+        self.coalesced_served = 0

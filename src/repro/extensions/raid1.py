@@ -22,15 +22,17 @@ degrades a query to a partial answer downstream.
 from __future__ import annotations
 
 import random
-from typing import Generator, List, Optional, Sequence
+from typing import Callable, Generator, List, Optional, Sequence
 
 from repro.disks.model import DiskModel
 from repro.faults.plan import FaultPlan
 from repro.faults.policy import RetryPolicy
 from repro.geometry.point import Point
+from repro.simulation.buffer import BufferPool
 from repro.simulation.cpu import CpuModel
 from repro.simulation.engine import Environment, Resource
 from repro.simulation.parameters import SystemParameters
+from repro.simulation.scheduling import make_scheduler
 from repro.simulation.system import (
     CpuTiming,
     FetchFailure,
@@ -101,13 +103,32 @@ class MirroredDiskArraySystem:
                     if self.params.sample_rotation
                     else None
                 )
-                queues.append(Resource(env))
-                models.append(DiskModel(self.params.disk, rng))
+                model = DiskModel(self.params.disk, rng)
+                models.append(model)
+                # Each physical drive runs its own queue discipline
+                # against its own head (None for "fcfs" — the exact
+                # pre-scheduler code path).
+                queues.append(
+                    Resource(
+                        env,
+                        scheduler=make_scheduler(self.params.scheduler, model),
+                    )
+                )
             self.replica_queues.append(queues)
             self.replica_models.append(models)
         self.bus = Resource(env)
         self.cpu = Resource(env)
+        #: Optional LRU page buffer, owned here exactly as on the RAID-0
+        #: system so the executor's ``system.buffer`` contract holds on
+        #: every array type (a mirrored run used to silently lose the
+        #: buffer because this attribute did not exist).
+        self.buffer: Optional[BufferPool] = BufferPool.from_parameters(
+            self.params
+        )
+        #: The executor coalesces same-disk rounds when this is set.
+        self.coalesce = self.params.coalesce
         self.pages_fetched = 0
+        self.coalesced_fetches = 0
         #: Robustness counters (mirroring ``DiskArraySystem``'s).
         self.retries = 0
         self.failed_fetches = 0
@@ -169,18 +190,75 @@ class MirroredDiskArraySystem:
             disk_id, cylinder, pages,
         )
         nbytes = self.params.page_size * pages
+        result = yield from self._fetch(
+            disk_id,
+            anchor=cylinder,
+            service_fn=lambda model: model.service(cylinder, nbytes),
+            pages=pages,
+        )
+        return result
+
+    def fetch_group(
+        self,
+        disk_id: int,
+        cylinders: Sequence[int],
+        pages: Optional[int] = None,
+        flow: Optional[int] = None,
+    ) -> Generator:
+        """Process: read several same-disk pages as one transaction.
+
+        The whole group is served by one replica of the pair (chosen by
+        the usual shortest-queue-then-nearest-head rule) in a single
+        head sweep; under faults it is retried — and fails over to the
+        other replica — as a unit, like
+        :meth:`~repro.simulation.system.DiskArraySystem.fetch_group`.
+        """
+        cylinders = tuple(cylinders)
+        if not cylinders:
+            raise ValueError("a fetch group needs at least one cylinder")
+        if pages is None:
+            pages = len(cylinders)
+        for cylinder in cylinders:
+            validate_fetch_args(
+                self.num_disks, self.params.disk.cylinders,
+                disk_id, cylinder, 1,
+            )
+        if pages < len(cylinders):
+            raise ValueError(
+                f"group spans {pages} pages but names {len(cylinders)} "
+                f"cylinders"
+            )
+        nbytes = self.params.page_size * pages
+        if len(cylinders) > 1:
+            self.coalesced_fetches += 1
+        result = yield from self._fetch(
+            disk_id,
+            anchor=min(cylinders),
+            service_fn=lambda model: model.service_coalesced(
+                cylinders, nbytes
+            ),
+            pages=pages,
+        )
+        return result
+
+    def _fetch(
+        self,
+        disk_id: int,
+        anchor: int,
+        service_fn: Callable[[DiskModel], float],
+        pages: int,
+    ) -> Generator:
+        """Shared fetch path: pick a replica, queue, service, then bus."""
         start = self.env.now
 
         if not self._faulty:
-            replica = self._pick_replica(disk_id, cylinder)
+            replica = self._pick_replica(disk_id, anchor)
             queue = self.replica_queues[disk_id][replica]
-            grant = queue.request()
+            grant = queue.request(cylinder=anchor)
             yield grant
             granted = self.env.now
             try:
-                duration = self.replica_models[disk_id][replica].service(
-                    cylinder, nbytes
-                )
+                duration = service_fn(self.replica_models[disk_id][replica])
                 yield self.env.timeout(duration)
             finally:
                 queue.release(grant)
@@ -207,7 +285,7 @@ class MirroredDiskArraySystem:
                         candidates = [
                             r for r in available if r != last_replica
                         ] or available
-                    replica = self._pick_replica(disk_id, cylinder, candidates)
+                    replica = self._pick_replica(disk_id, anchor, candidates)
                     degraded = len(available) < self.REPLICAS
                     switched = (
                         last_replica is not None and replica != last_replica
@@ -220,7 +298,7 @@ class MirroredDiskArraySystem:
                         self.replica_queues[disk_id][replica],
                         self.replica_models[disk_id][replica],
                         self.physical_id(disk_id, replica),
-                        cylinder, nbytes, plan, state, policy,
+                        service_fn, plan, state, policy, cylinder=anchor,
                     )
                     queue_wait += outcome.queue_wait
                     service += outcome.service
@@ -306,6 +384,14 @@ class MirroredDiskArraySystem:
             for model in pair
         ]
 
+    def seek_distances(self) -> List[int]:
+        """Cumulative cylinders traveled, per *physical* drive."""
+        return [
+            model.seek_distance_total
+            for pair in self.replica_models
+            for model in pair
+        ]
+
 
 def simulate_mirrored_workload(
     tree,
@@ -369,6 +455,13 @@ def simulate_mirrored_workload(
         max(r.completion for r in result.records) if result.records else env.now
     )
     result.disk_utilizations = system.disk_utilizations(result.makespan)
+    result.seek_distances = system.seek_distances()
+    result.disk_requests = [
+        model.requests_served
+        for pair in system.replica_models
+        for model in pair
+    ]
+    result.coalesced_fetches = system.coalesced_fetches
     if metrics is not None:
         record_workload_metrics(metrics, result)
     return result

@@ -31,6 +31,14 @@ from repro.simulation.buffer import BufferPool
 from repro.simulation.cpu import CpuModel
 from repro.simulation.locks import ReadWriteLock
 from repro.simulation.parameters import SystemParameters
+from repro.simulation.scheduling import (
+    SCHEDULERS,
+    CLookScheduler,
+    DiskScheduler,
+    ScanScheduler,
+    SSTFScheduler,
+    make_scheduler,
+)
 from repro.simulation.system import (
     CpuTiming,
     DiskArraySystem,
@@ -53,9 +61,11 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "BufferPool",
+    "CLookScheduler",
     "CpuModel",
     "CpuTiming",
     "DiskArraySystem",
+    "DiskScheduler",
     "Environment",
     "FetchFailure",
     "FetchTiming",
@@ -64,11 +74,15 @@ __all__ = [
     "QueryRecord",
     "ReadWriteLock",
     "Resource",
+    "SCHEDULERS",
+    "SSTFScheduler",
+    "ScanScheduler",
     "SimulatedExecutor",
     "SystemParameters",
     "Timeout",
     "UpdateRecord",
     "WorkloadResult",
+    "make_scheduler",
     "simulate_mixed_workload",
     "simulate_workload",
 ]

@@ -12,13 +12,17 @@ how the algorithm comparison shifts when upper levels are cached.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Optional
 
 
 class BufferPool:
     """A fixed-capacity LRU cache of page ids.
 
     Purely a bookkeeping structure: the simulator consults it before
-    issuing a disk fetch and admits pages after they arrive.
+    issuing a disk fetch and admits pages after they arrive.  Build
+    pools from system parameters via :meth:`from_parameters` — it is the
+    single place that turns ``buffer_pages == 0`` into "no pool at all"
+    instead of scattering that guard across every call site.
     """
 
     def __init__(self, capacity: int):
@@ -28,6 +32,36 @@ class BufferPool:
         self._pages: "OrderedDict[int, None]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+
+    @classmethod
+    def from_parameters(
+        cls, params, total_pages: Optional[int] = None
+    ) -> Optional["BufferPool"]:
+        """The pool a :class:`SystemParameters` asks for, or ``None``.
+
+        ``buffer_pages == 0`` — the paper's bufferless model — yields
+        ``None``; every consumer already treats an absent pool as "no
+        buffering".  When the placed tree's page count is known, a pool
+        at least that large is rejected: it would cache the whole tree
+        and turn every simulated run into a trivial all-hit experiment,
+        which is never what a sizing knob that large means.
+
+        :param params: a :class:`~repro.simulation.parameters
+            .SystemParameters` (anything with ``buffer_pages``).
+        :param total_pages: pages in the placed tree, when known.
+        """
+        capacity = params.buffer_pages
+        if capacity == 0:
+            return None
+        if total_pages is not None and capacity >= total_pages:
+            raise ValueError(
+                f"buffer_pages={capacity} would cache the entire "
+                f"{total_pages}-page tree; every fetch after warmup would "
+                f"hit, making the simulation meaningless — use a capacity "
+                f"below the tree size (or 0 for the paper's bufferless "
+                f"model)"
+            )
+        return cls(capacity)
 
     def __len__(self) -> int:
         return len(self._pages)

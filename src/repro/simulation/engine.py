@@ -13,7 +13,10 @@ the disk-array model needs, with simpy-compatible semantics:
 * :class:`AnyOf` — a race over several events (the fault layer races a
   disk-queue grant against a retry-policy timeout);
 * :class:`Resource` — a counted FCFS resource (disk queues, the bus, the
-  CPU are all FCFS per the paper's model).
+  CPU are all FCFS per the paper's model).  A disk queue may attach a
+  :class:`~repro.simulation.scheduling.DiskScheduler` to reorder grants
+  by seek distance (SSTF/SCAN/C-LOOK); without one the resource grants
+  strictly first-come-first-served, exactly as before.
 
 Events scheduled at the same instant fire in scheduling order (a
 monotonic sequence number breaks ties), so simulations are fully
@@ -227,12 +230,17 @@ class Resource:
         name: str = "",
         tracer=None,
         gauge=None,
+        scheduler=None,
     ):
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.env = env
         self.capacity = capacity
         self.name = name
+        #: Optional queue discipline (a
+        #: :class:`~repro.simulation.scheduling.DiskScheduler`).  ``None``
+        #: — the default, and the paper's model — grants strictly FCFS.
+        self.scheduler = scheduler
         #: Observability probes: the tracer receives a queue-depth
         #: counter sample at every change (when enabled); the optional
         #: gauge (a :class:`repro.obs.metrics.Gauge`) integrates the
@@ -255,6 +263,8 @@ class Resource:
         self.total_hold_time = 0.0
         self._wait_since: Dict[Event, float] = {}
         self._held_since: Dict[Event, float] = {}
+        #: Per-waiting-request target cylinder (scheduler metadata).
+        self._cylinder: Dict[Event, Optional[int]] = {}
 
     def _account(self) -> None:
         """Fold the elapsed interval into the queue-length integral."""
@@ -296,8 +306,13 @@ class Resource:
         """Requests currently holding the resource."""
         return self._in_use
 
-    def request(self) -> Event:
-        """An event that fires when the resource is granted."""
+    def request(self, cylinder: Optional[int] = None) -> Event:
+        """An event that fires when the resource is granted.
+
+        :param cylinder: the request's target cylinder — metadata the
+            attached scheduler (if any) uses to order the queue; ignored
+            (and harmless) on plain FCFS resources like the bus and CPU.
+        """
         event = Event(self.env)
         if self._in_use < self.capacity:
             self._in_use += 1
@@ -308,18 +323,38 @@ class Resource:
             self._account()
             self._waiting.append(event)
             self._wait_since[event] = self.env.now
+            self._cylinder[event] = cylinder
             if len(self._waiting) > self.max_queue_length:
                 self.max_queue_length = len(self._waiting)
             self._probe_queue()
         return event
 
+    def _select_waiter(self) -> Event:
+        """Pop the next waiter per the queue discipline (FCFS: oldest)."""
+        if self.scheduler is None:
+            index = 0
+        else:
+            index = self.scheduler.select(
+                [self._cylinder.get(event) for event in self._waiting]
+            )
+            if not 0 <= index < len(self._waiting):
+                raise RuntimeError(
+                    f"scheduler {self.scheduler.name!r} selected index "
+                    f"{index} from a queue of {len(self._waiting)}"
+                )
+        waiter = self._waiting.pop(index)
+        self._cylinder.pop(waiter, None)
+        return waiter
+
     def release(self, request: Event) -> None:
-        """Return the resource; the oldest waiter (if any) gets it."""
+        """Return the resource; the scheduled next waiter (if any) gets
+        it — the oldest under FCFS."""
         if not request.triggered:
             # The request never got the resource (still queued): cancel.
             self._account()
             self._waiting.remove(request)
             del self._wait_since[request]
+            self._cylinder.pop(request, None)
             self._probe_queue()
             return
         held_since = self._held_since.pop(request, None)
@@ -327,7 +362,7 @@ class Resource:
             self.total_hold_time += self.env.now - held_since
         if self._waiting:
             self._account()
-            waiter = self._waiting.pop(0)
+            waiter = self._select_waiter()
             self.total_wait_time += self.env.now - self._wait_since.pop(waiter)
             self.waits += 1
             self.grants += 1

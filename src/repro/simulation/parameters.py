@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.disks.specs import HP_C2240A, DiskSpec
+from repro.simulation.scheduling import validate_scheduler
 
 
 @dataclass(frozen=True)
@@ -30,6 +31,14 @@ class SystemParameters:
     #: LRU buffer pool capacity in pages.  0 (the default) disables the
     #: buffer — the paper's model charges every request a disk access.
     buffer_pages: int = 0
+    #: Per-disk queue discipline: ``"fcfs"`` (the paper's model and the
+    #: default — bit-identical to pre-scheduler runs), ``"sstf"``,
+    #: ``"scan"`` or ``"clook"`` (see :mod:`repro.simulation.scheduling`).
+    scheduler: str = "fcfs"
+    #: Coalesce same-disk pages of one fetch round into a single
+    #: multi-page disk transaction (one head sweep, one rotational
+    #: latency).  Off by default — the paper issues every page alone.
+    coalesce: bool = False
     #: The disk drive model.
     disk: DiskSpec = field(default_factory=lambda: HP_C2240A)
     #: Sample rotational latency uniformly (True, the paper's model) or
@@ -49,3 +58,5 @@ class SystemParameters:
             raise ValueError(
                 f"buffer_pages must be non-negative, got {self.buffer_pages}"
             )
+        # Normalizes and rejects unknown names with a clear error.
+        object.__setattr__(self, "scheduler", validate_scheduler(self.scheduler))

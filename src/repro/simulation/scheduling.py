@@ -1,0 +1,164 @@
+"""Seek-aware per-disk request scheduling (queue disciplines).
+
+The paper serves every per-disk queue FCFS (§4), yet its own disk model
+charges a two-phase, distance-dependent seek — so the *order* in which a
+disk drains its queue is a first-class performance lever.  This module
+provides pluggable queue disciplines for the simulated disks:
+
+``fcfs``
+    First-come-first-served — the paper's model and the default.  The
+    simulation takes the exact code path it always did (no scheduler
+    object is attached at all), so default runs stay bit-identical.
+``sstf``
+    Shortest-seek-time-first: the freed disk serves the waiting request
+    whose cylinder is nearest its current head position.  Minimizes
+    per-request seek greedily; can starve far requests under load.
+``scan``
+    The elevator algorithm: the head sweeps in one direction serving
+    requests in cylinder order, reversing only when nothing is left
+    ahead of it.  Bounded unfairness, near-SSTF seek savings.
+``clook``
+    Circular LOOK: like SCAN but one-directional — the head sweeps
+    upward only and, when nothing lies ahead, jumps back to the lowest
+    waiting cylinder.  More uniform wait times than SCAN because edge
+    cylinders are not served twice per sweep.
+
+A scheduler is consulted by :class:`~repro.simulation.engine.Resource`
+each time the disk frees up: it sees the waiting requests' target
+cylinders and the disk's current head position and picks the index of
+the request to grant next.  Selection is deterministic — ties always
+break toward the oldest request — so seeded simulations stay exactly
+reproducible under every discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.disks.model import DiskModel
+
+#: Queue disciplines a simulated disk can run, in documentation order.
+SCHEDULERS = ("fcfs", "sstf", "scan", "clook")
+
+
+class DiskScheduler:
+    """Base class: picks which waiting request a freed disk serves next.
+
+    :param model: the disk whose queue this scheduler orders; its
+        ``head_cylinder`` is read at every selection, so decisions track
+        the head as it moves.
+    """
+
+    #: Registry name (subclasses override).
+    name = "?"
+
+    def __init__(self, model: DiskModel):
+        self.model = model
+
+    def select(self, cylinders: Sequence[Optional[int]]) -> int:
+        """Index (into *cylinders*) of the request to grant next.
+
+        *cylinders* lists the waiting requests' target cylinders in
+        arrival order; a ``None`` entry is a request that declared no
+        cylinder (it is treated as zero seek so it cannot starve).
+        """
+        raise NotImplementedError
+
+    def _distance(self, cylinder: Optional[int]) -> int:
+        if cylinder is None:
+            return 0
+        return abs(cylinder - self.model.head_cylinder)
+
+
+class SSTFScheduler(DiskScheduler):
+    """Shortest seek time first; ties break toward the oldest request."""
+
+    name = "sstf"
+
+    def select(self, cylinders: Sequence[Optional[int]]) -> int:
+        return min(
+            range(len(cylinders)),
+            key=lambda i: (self._distance(cylinders[i]), i),
+        )
+
+
+class ScanScheduler(DiskScheduler):
+    """The elevator: sweep one way, reverse when nothing is ahead.
+
+    The paper parks every arm at cylinder zero, so the initial sweep
+    direction is upward.  A request exactly at the head counts as
+    "ahead" in either direction (zero seek is always best).
+    """
+
+    name = "scan"
+
+    def __init__(self, model: DiskModel):
+        super().__init__(model)
+        #: +1 sweeping toward higher cylinders, -1 toward lower.
+        self.direction = 1
+
+    def select(self, cylinders: Sequence[Optional[int]]) -> int:
+        head = self.model.head_cylinder
+        ahead = [
+            i
+            for i, cylinder in enumerate(cylinders)
+            if cylinder is None or (cylinder - head) * self.direction >= 0
+        ]
+        if not ahead:
+            self.direction = -self.direction
+            ahead = range(len(cylinders))
+        return min(ahead, key=lambda i: (self._distance(cylinders[i]), i))
+
+
+class CLookScheduler(DiskScheduler):
+    """Circular LOOK: sweep upward only, wrap to the lowest waiter."""
+
+    name = "clook"
+
+    def select(self, cylinders: Sequence[Optional[int]]) -> int:
+        head = self.model.head_cylinder
+        ahead = [
+            i
+            for i, cylinder in enumerate(cylinders)
+            if cylinder is None or cylinder >= head
+        ]
+        if ahead:
+            return min(ahead, key=lambda i: (self._distance(cylinders[i]), i))
+        # Nothing at or above the head: jump to the lowest cylinder and
+        # start the next upward sweep from there.
+        return min(
+            range(len(cylinders)),
+            key=lambda i: (
+                cylinders[i] if cylinders[i] is not None else -1,
+                i,
+            ),
+        )
+
+
+_SCHEDULER_CLASSES = {
+    cls.name: cls for cls in (SSTFScheduler, ScanScheduler, CLookScheduler)
+}
+
+
+def validate_scheduler(name: str) -> str:
+    """Check *name* against :data:`SCHEDULERS`; returns it normalized."""
+    normalized = name.strip().lower()
+    if normalized not in SCHEDULERS:
+        raise ValueError(
+            f"unknown scheduler {name!r}; choose from {SCHEDULERS}"
+        )
+    return normalized
+
+
+def make_scheduler(name: str, model: DiskModel) -> Optional[DiskScheduler]:
+    """Build the scheduler *name* for one disk.
+
+    Returns ``None`` for ``"fcfs"``: the resource then runs its built-in
+    first-come-first-served granting — the exact pre-scheduler code path
+    — which is what keeps default simulations bit-identical to the
+    paper-faithful model.
+    """
+    normalized = validate_scheduler(name)
+    if normalized == "fcfs":
+        return None
+    return _SCHEDULER_CLASSES[normalized](model)

@@ -80,8 +80,15 @@ class QueryRecord:
     certified_radius: float = math.inf
     #: Subtrees skipped because their page never arrived.
     unreachable_pages: int = 0
-    #: Fetches that failed permanently (crash / retries exhausted).
+    #: Fetches that failed permanently (crash / retries exhausted);
+    #: counted per issued transaction, so a failed coalesced group
+    #: counts once however many pages it carried.
     fetch_failures: int = 0
+    #: Pages that went through the buffer gate (exactly one lookup
+    #: each); 0 when the system has no buffer.  The pool-level invariant
+    #: ``hits + misses == sum(page_requests)`` is what the accounting
+    #: tests assert.
+    page_requests: int = 0
     #: Disk attempts beyond the first, across the query's fetches.
     retries: int = 0
     #: RAID-1 reads redirected away from their preferred replica.
@@ -108,6 +115,13 @@ class WorkloadResult:
     mean_queue_lengths: List[float] = field(default_factory=list)
     #: Per-disk worst-case queue length observed.
     max_queue_lengths: List[int] = field(default_factory=list)
+    #: Per-disk cumulative head travel in cylinders (physical drives on
+    #: RAID-1).
+    seek_distances: List[int] = field(default_factory=list)
+    #: Per-disk requests serviced (the seek distances' denominators).
+    disk_requests: List[int] = field(default_factory=list)
+    #: Multi-page transactions issued by the coalescing layer.
+    coalesced_fetches: int = 0
 
     @property
     def mean_response(self) -> float:
@@ -145,6 +159,18 @@ class WorkloadResult:
         if self.makespan <= 0:
             return 0.0
         return len(self.records) / self.makespan
+
+    @property
+    def mean_seek_distance(self) -> float:
+        """Mean cylinders traveled per serviced disk request.
+
+        The headline metric of the scheduling layer: seek-aware queue
+        disciplines (SSTF/SCAN/C-LOOK) exist to drive this down.
+        """
+        requests = sum(self.disk_requests)
+        if requests == 0:
+            return 0.0
+        return sum(self.seek_distances) / requests
 
     # -- robustness aggregates (all zero/empty on fault-free runs) ----------
 
@@ -235,6 +261,16 @@ class SimulatedExecutor:
         self.env = env
         self.system = system
         self.tree = tree
+        buffer = getattr(system, "buffer", None)
+        total_pages = len(getattr(getattr(tree, "tree", None), "pages", ()))
+        if buffer is not None and total_pages and buffer.capacity >= total_pages:
+            raise ValueError(
+                f"buffer_pages={buffer.capacity} would cache the entire "
+                f"{total_pages}-page tree; every fetch after warmup would "
+                f"hit, making the simulation meaningless — use a capacity "
+                f"below the tree size (or 0 for the paper's bufferless "
+                f"model)"
+            )
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.deadline = deadline
         self._pages_spanned = getattr(tree, "pages_spanned", lambda pid: 1)
@@ -264,12 +300,14 @@ class SimulatedExecutor:
         breakdown.startup = self.env.now - arrival
 
         coroutine = algorithm.run(self.tree.root_page_id)
+        coalesce = getattr(self.system, "coalesce", False)
         pages_fetched = 0
         buffer_hits = 0
         rounds = 0
         fetch_failures = 0
         retries = 0
         failovers = 0
+        page_requests = 0
         deadline_exceeded = False
         answers: List[Neighbor] = []
         try:
@@ -289,27 +327,75 @@ class SimulatedExecutor:
                     fetches: List = []
                     hits_this_round = 0
                 else:
-                    fetches = []
-                    fetch_pages = []
+                    # The buffer gate: exactly one lookup per requested
+                    # page — a page that later fails (or is retried
+                    # internally) was still missed exactly once here.
+                    # Buffer hits cost no I/O; the paper's model has no
+                    # buffer (SystemParameters.buffer_pages = 0).
+                    missed: List[int] = []
                     hits_this_round = 0
                     for page_id in request.pages:
-                        # Buffer hits cost no I/O; the paper's model has
-                        # no buffer (SystemParameters.buffer_pages = 0).
-                        if buffer is not None and buffer.lookup(page_id):
-                            hits_this_round += 1
-                            continue
-                        fetch_pages.append(page_id)
-                        fetches.append(
-                            self.env.process(
-                                self.system.fetch_page(
-                                    self.tree.disk_of(page_id),
-                                    self.tree.cylinder_of(page_id),
-                                    pages=self._pages_spanned(page_id),
-                                    flow=qid,
+                        if buffer is not None:
+                            page_requests += 1
+                            if buffer.lookup(page_id):
+                                hits_this_round += 1
+                                continue
+                        missed.append(page_id)
+                    buffer_hits += hits_this_round
+                    # Issue the round's I/O: one fetch per page — or,
+                    # when coalescing, one transaction per disk covering
+                    # every sibling page the round sends there.
+                    fetches = []
+                    fetch_units: List[tuple] = []
+                    if coalesce:
+                        by_disk: dict = {}
+                        for page_id in missed:
+                            by_disk.setdefault(
+                                self.tree.disk_of(page_id), []
+                            ).append(page_id)
+                        for disk_id, unit in by_disk.items():
+                            fetch_units.append(tuple(unit))
+                            if len(unit) == 1:
+                                fetches.append(
+                                    self.env.process(
+                                        self.system.fetch_page(
+                                            disk_id,
+                                            self.tree.cylinder_of(unit[0]),
+                                            pages=self._pages_spanned(unit[0]),
+                                            flow=qid,
+                                        )
+                                    )
+                                )
+                            else:
+                                fetches.append(
+                                    self.env.process(
+                                        self.system.fetch_group(
+                                            disk_id,
+                                            [
+                                                self.tree.cylinder_of(p)
+                                                for p in unit
+                                            ],
+                                            pages=sum(
+                                                self._pages_spanned(p)
+                                                for p in unit
+                                            ),
+                                            flow=qid,
+                                        )
+                                    )
+                                )
+                    else:
+                        for page_id in missed:
+                            fetch_units.append((page_id,))
+                            fetches.append(
+                                self.env.process(
+                                    self.system.fetch_page(
+                                        self.tree.disk_of(page_id),
+                                        self.tree.cylinder_of(page_id),
+                                        pages=self._pages_spanned(page_id),
+                                        flow=qid,
+                                    )
                                 )
                             )
-                        )
-                    buffer_hits += hits_this_round
                     # Barrier: the algorithm resumes when the whole batch
                     # (its activation list for this step) has arrived.
                     # The barrier's value is the fetches' FetchTiming —
@@ -319,23 +405,32 @@ class SimulatedExecutor:
                     self._attribute_round(
                         breakdown, round_start, round_end, timings
                     )
-                    for page_id, timing in zip(fetch_pages, timings):
+                    for unit, timing in zip(fetch_units, timings):
                         if timing is None:
                             # A system without timing records delivers
                             # every page; count the issue.
-                            pages_fetched += self._pages_spanned(page_id)
+                            pages_fetched += sum(
+                                self._pages_spanned(p) for p in unit
+                            )
                             continue
                         retries += max(0, timing.attempts - 1)
                         failovers += getattr(timing, "failovers", 0)
                         if timing.ok:
                             pages_fetched += timing.pages
                         else:
+                            # A failed transaction loses every page it
+                            # carried (one failure, len(unit) pages).
                             fetch_failures += 1
-                            failed_pages.add(page_id)
+                            failed_pages.update(unit)
                     if buffer is not None:
-                        for page_id in request.pages:
-                            if page_id not in failed_pages:
-                                buffer.admit(page_id)
+                        # Admit exactly the pages that physically
+                        # arrived: failed fetches must not be admitted,
+                        # and hit pages were already refreshed by their
+                        # lookup above.
+                        for unit in fetch_units:
+                            for page_id in unit:
+                                if page_id not in failed_pages:
+                                    buffer.admit(page_id)
                 fetched = {
                     pid: None if pid in failed_pages else self.tree.page(pid)
                     for pid in request.pages
@@ -404,6 +499,7 @@ class SimulatedExecutor:
             certified_radius=certified_radius,
             unreachable_pages=unreachable_pages,
             fetch_failures=fetch_failures,
+            page_requests=page_requests,
             retries=retries,
             failovers=failovers,
             deadline_exceeded=deadline_exceeded,
@@ -471,6 +567,12 @@ def record_workload_metrics(metrics, result: WorkloadResult) -> None:
     )
     metrics.counter("buffer_hits").inc(result.total_buffer_hits)
     metrics.counter("queries").inc(len(result.records))
+    # Scheduling-layer telemetry: how far every head traveled, and how
+    # much the coalescing layer amortized.
+    for disk_id, distance in enumerate(result.seek_distances):
+        metrics.counter(f"disk{disk_id}.seek_distance").inc(distance)
+    if result.coalesced_fetches:
+        metrics.counter("fetch.coalesced").inc(result.coalesced_fetches)
     if result.partial_queries:
         metrics.counter("queries.partial").inc(result.partial_queries)
         radius_hist = metrics.histogram("certified_radius")
@@ -584,6 +686,11 @@ def simulate_workload(
     result.max_queue_lengths = [
         queue.max_queue_length for queue in system.disk_queues
     ]
+    result.seek_distances = system.seek_distances()
+    result.disk_requests = [
+        model.requests_served for model in system.disk_models
+    ]
+    result.coalesced_fetches = system.coalesced_fetches
     if metrics is not None:
         record_workload_metrics(metrics, result)
     return result

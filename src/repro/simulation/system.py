@@ -1,11 +1,21 @@
 """The simulated disk array system (paper Figure 7).
 
-The network-queue model: every disk has its own FCFS queue and
-independent head; pages read from a disk travel over a shared I/O bus
-modeled as a queue with constant service time; the CPU is a single
-server charging the instruction-count cost model.  The system exposes
-one operation — fetch a page — which flows queue → disk service → bus,
-plus a CPU work primitive used per processed batch.
+The network-queue model: every disk has its own queue and independent
+head; pages read from a disk travel over a shared I/O bus modeled as a
+queue with constant service time; the CPU is a single server charging
+the instruction-count cost model.  The system exposes two fetch
+operations — a single page (``fetch_page``) and a coalesced same-disk
+group (``fetch_group``) — which flow queue → disk service → bus, plus a
+CPU work primitive used per processed batch.
+
+**Queue discipline.**  Each disk queue is FCFS by default (the paper's
+model, §4); ``SystemParameters.scheduler`` swaps in a seek-aware
+discipline — SSTF, SCAN or C-LOOK — from
+:mod:`repro.simulation.scheduling`, which reorders grants using the
+disk's live head position.  ``SystemParameters.coalesce`` additionally
+lets the executor merge one round's same-disk pages into a single
+multi-page transaction paying one head sweep and one rotational
+latency.
 
 Every primitive returns its phase timings (:class:`FetchTiming`,
 :class:`CpuTiming`) as the process value, so the executor can attribute
@@ -32,7 +42,7 @@ model.
 from __future__ import annotations
 
 import random
-from typing import Generator, List, NamedTuple, Optional
+from typing import Callable, Generator, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.disks.model import DiskModel
 from repro.faults.plan import FaultPlan, FaultState
@@ -42,6 +52,7 @@ from repro.simulation.buffer import BufferPool
 from repro.simulation.cpu import CpuModel
 from repro.simulation.engine import AnyOf, Environment, Resource
 from repro.simulation.parameters import SystemParameters
+from repro.simulation.scheduling import make_scheduler
 
 
 class FetchTiming(NamedTuple):
@@ -162,23 +173,28 @@ def disk_attempt(
     queue: Resource,
     model: DiskModel,
     phys_id: int,
-    cylinder: int,
-    nbytes: int,
+    service_fn: Callable[[DiskModel], float],
     plan: Optional[FaultPlan],
     state: Optional[FaultState],
     policy: Optional[RetryPolicy],
+    cylinder: Optional[int] = None,
 ) -> Generator:
     """Process fragment (``yield from``): one attempt at one drive.
 
     Queue for the drive, racing the grant against the per-attempt
     timeout (a timed-out queued request is cancelled cleanly); service
-    the read, inflated by any active fail-slow window; then judge the
-    attempt — crashed mid-service, over the time cap, or hit by a
-    transient read error.  Shared by the RAID-0 and RAID-1 systems.
+    the read — *service_fn* charges the drive (a plain single read or a
+    coalesced multi-page sweep), inflated by any active fail-slow
+    window; then judge the attempt — crashed mid-service, over the time
+    cap, or hit by a transient read error.  Shared by the RAID-0 and
+    RAID-1 systems.
+
+    :param cylinder: scheduler metadata — the request's (anchor)
+        cylinder, so a seek-aware queue discipline can order the grant.
     """
     t0 = env.now
     cap = policy.attempt_timeout if policy is not None else None
-    grant = queue.request()
+    grant = queue.request(cylinder=cylinder)
     if cap is not None and not grant.triggered:
         yield AnyOf(env, [grant, env.timeout(cap)])
         if not grant.triggered:
@@ -190,7 +206,7 @@ def disk_attempt(
         yield grant
     granted = env.now
     try:
-        duration = model.service(cylinder, nbytes)
+        duration = service_fn(model)
         if plan is not None:
             factor = plan.slow_factor(phys_id, granted)
             if factor > 1.0:
@@ -298,11 +314,17 @@ class DiskArraySystem:
             )
             track = f"disk{disk_id}"
             self.tracer.track(track)
+            model = DiskModel(self.params.disk, rng)
+            self.disk_models.append(model)
+            # make_scheduler returns None for "fcfs": the resource then
+            # grants strictly FCFS — the paper's model, bit-identical to
+            # the pre-scheduler code path.
             self.disk_queues.append(
                 Resource(env, name=track, tracer=self.tracer,
-                         gauge=_gauge(track))
+                         gauge=_gauge(track),
+                         scheduler=make_scheduler(self.params.scheduler,
+                                                  model))
             )
-            self.disk_models.append(DiskModel(self.params.disk, rng))
         self.tracer.track("bus")
         self.tracer.track("cpu")
         self.bus = Resource(env, name="bus", tracer=self.tracer,
@@ -311,14 +333,17 @@ class DiskArraySystem:
                             gauge=_gauge("cpu"))
         #: Optional LRU page buffer (None when buffer_pages == 0 — the
         #: paper's model).  The executor consults it per page.
-        self.buffer: Optional[BufferPool] = (
-            BufferPool(self.params.buffer_pages)
-            if self.params.buffer_pages > 0
-            else None
+        self.buffer: Optional[BufferPool] = BufferPool.from_parameters(
+            self.params
         )
+        #: The executor coalesces same-disk pages of a round into one
+        #: transaction when this is set (``params.coalesce``).
+        self.coalesce = self.params.coalesce
 
-        #: Monitoring: physical pages fetched through the system.
+        #: Monitoring: physical pages fetched through the system, and
+        #: multi-page transactions issued by the coalescing layer.
         self.pages_fetched = 0
+        self.coalesced_fetches = 0
 
     def _validate_fetch(self, disk_id, cylinder, pages) -> None:
         validate_fetch_args(
@@ -346,20 +371,101 @@ class DiskArraySystem:
             exporters can link one query's fetches across tracks.
         """
         self._validate_fetch(disk_id, cylinder, pages)
+        nbytes = self.params.page_size * pages
+        result = yield from self._fetch(
+            disk_id,
+            anchor=cylinder,
+            service_fn=lambda model: model.service(cylinder, nbytes),
+            pages=pages,
+            flow=flow,
+            span_args={"cylinder": cylinder, "pages": pages},
+        )
+        return result
+
+    def fetch_group(
+        self,
+        disk_id: int,
+        cylinders: Sequence[int],
+        pages: Optional[int] = None,
+        flow: Optional[int] = None,
+    ) -> Generator:
+        """Process: read several same-disk pages as one transaction.
+
+        The coalescing layer groups the pages a fetch round sends to one
+        disk and issues them together: the head sweeps once across the
+        requested cylinder range, paying a single rotational latency and
+        controller overhead for the whole group (see
+        :meth:`~repro.disks.model.DiskModel.service_coalesced`).  Under
+        a fault plan the group is retried — and fails — as a unit: a
+        crash or exhausted retry budget loses every page of the group,
+        which the executor then degrades exactly like individually
+        failed fetches.
+
+        Returns one :class:`FetchTiming` (or :class:`FetchFailure`)
+        covering the whole group.
+
+        :param cylinders: the pages' cylinders, one entry per page.
+        :param pages: total physical pages the group spans (defaults to
+            ``len(cylinders)``; larger when the group contains X-tree
+            supernodes).
+        """
+        cylinders = tuple(cylinders)
+        if not cylinders:
+            raise ValueError("a fetch group needs at least one cylinder")
+        if pages is None:
+            pages = len(cylinders)
+        for cylinder in cylinders:
+            self._validate_fetch(disk_id, cylinder, 1)
+        if pages < len(cylinders):
+            raise ValueError(
+                f"group spans {pages} pages but names {len(cylinders)} "
+                f"cylinders"
+            )
+        nbytes = self.params.page_size * pages
+        if len(cylinders) > 1:
+            self.coalesced_fetches += 1
+        result = yield from self._fetch(
+            disk_id,
+            # Scheduler metadata: the group's nearest-to-zero end; the
+            # sweep itself starts from whichever end is closer when the
+            # disk is finally granted.
+            anchor=min(cylinders),
+            service_fn=lambda model: model.service_coalesced(
+                cylinders, nbytes
+            ),
+            pages=pages,
+            flow=flow,
+            span_args={"cylinders": list(cylinders), "pages": pages},
+        )
+        return result
+
+    def _fetch(
+        self,
+        disk_id: int,
+        anchor: int,
+        service_fn: Callable[[DiskModel], float],
+        pages: int,
+        flow: Optional[int],
+        span_args: dict,
+    ) -> Generator:
+        """Shared fetch path: disk queue, disk service, then bus.
+
+        *service_fn* charges the drive (single read or coalesced sweep);
+        *anchor* is the cylinder the queue discipline orders by.
+        """
         queue = self.disk_queues[disk_id]
         model = self.disk_models[disk_id]
-        nbytes = self.params.page_size * pages
         start = self.env.now
 
         if not self._faulty:
             # The paper's model: one attempt, nothing can go wrong.
-            grant = queue.request()
+            grant = queue.request(cylinder=anchor)
             yield grant
             granted = self.env.now
             try:
                 # Head position is only touched while holding the disk,
                 # so the seek distance reflects the true service order.
-                yield self.env.timeout(model.service(cylinder, nbytes))
+                yield self.env.timeout(service_fn(model))
             finally:
                 queue.release(grant)
             served = self.env.now
@@ -379,8 +485,8 @@ class DiskArraySystem:
                     status = "crashed"
                 else:
                     outcome = yield from disk_attempt(
-                        self.env, queue, model, disk_id, cylinder, nbytes,
-                        plan, state, policy,
+                        self.env, queue, model, disk_id, service_fn,
+                        plan, state, policy, cylinder=anchor,
                     )
                     queue_wait += outcome.queue_wait
                     service += outcome.service
@@ -434,7 +540,7 @@ class DiskArraySystem:
             # The span covers the successful attempt's service interval.
             self.tracer.span(
                 f"disk{disk_id}", "service", "disk", granted, served,
-                flow=flow, args={"cylinder": cylinder, "pages": pages},
+                flow=flow, args=span_args,
             )
             self.tracer.span(
                 "bus", "transfer", "bus", bus_granted, end, flow=flow,
@@ -487,3 +593,7 @@ class DiskArraySystem:
         if elapsed <= 0:
             return [0.0] * self.num_disks
         return [model.busy_time / elapsed for model in self.disk_models]
+
+    def seek_distances(self) -> List[int]:
+        """Cumulative cylinders each disk's head traveled so far."""
+        return [model.seek_distance_total for model in self.disk_models]

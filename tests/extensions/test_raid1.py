@@ -250,3 +250,76 @@ class TestMirroredFailover:
         assert isinstance(failure, FetchFailure)
         assert failure.reason == "crashed"
         assert system.failed_fetches == 1
+
+
+class TestMirroredBuffer:
+    """Bugfix: the mirrored system used to drop ``buffer_pages``
+    silently — RAID-1 ablations ran bufferless while claiming a pool."""
+
+    def test_system_exposes_buffer(self):
+        system = MirroredDiskArraySystem(
+            Environment(), 2, params=SystemParameters(buffer_pages=8)
+        )
+        assert system.buffer is not None
+        assert system.buffer.capacity == 8
+        # And the paper-faithful default stays bufferless.
+        assert MirroredDiskArraySystem(Environment(), 2).buffer is None
+
+    def test_mirrored_workload_takes_buffer_hits(self, workload):
+        tree, queries, factory = workload
+        params = SystemParameters(buffer_pages=48)
+        buffered = simulate_mirrored_workload(
+            tree, factory, queries, arrival_rate=5.0, seed=3, params=params
+        )
+        assert buffered.total_buffer_hits > 0
+        plain = simulate_mirrored_workload(
+            tree, factory, queries, arrival_rate=5.0, seed=3
+        )
+        # Hits replace physical fetches one-for-one, query by query.
+        for cold, warm in zip(plain.records, buffered.records):
+            assert warm.pages_fetched + warm.buffer_hits == cold.pages_fetched
+        assert buffered.mean_response < plain.mean_response
+
+    def test_mirrored_buffer_answers_unchanged(self, workload):
+        tree, queries, factory = workload
+        buffered = simulate_mirrored_workload(
+            tree, factory, queries, arrival_rate=None, seed=3,
+            params=SystemParameters(buffer_pages=32),
+        )
+        for record in buffered.records:
+            expected = [n.oid for n in tree.knn(record.query, 8)]
+            assert [n.oid for n in record.answers] == expected
+
+
+class TestMirroredScheduling:
+    def test_seek_aware_scheduling_on_mirrors(self, workload):
+        # Two replicas absorb a lot of load, so it takes a burstier
+        # arrival stream than RAID-0 before queues (and hence
+        # scheduling freedom) appear at all.
+        tree, _, factory = workload
+        points = [p for p, _ in tree.tree.iter_points()]
+        queries = sample_queries(points, 60, seed=17)
+        fcfs = simulate_mirrored_workload(
+            tree, queries=queries, factory=factory, arrival_rate=120.0, seed=3
+        )
+        sstf = simulate_mirrored_workload(
+            tree, queries=queries, factory=factory, arrival_rate=120.0, seed=3,
+            params=SystemParameters(scheduler="sstf"),
+        )
+        by_arrival = lambda res: [
+            [n.oid for n in r.answers]
+            for r in sorted(res.records, key=lambda r: r.arrival)
+        ]
+        assert by_arrival(sstf) == by_arrival(fcfs)
+        assert sum(sstf.seek_distances) < sum(fcfs.seek_distances)
+
+    def test_coalescing_on_mirrors(self, workload):
+        tree, queries, factory = workload
+        grouped = simulate_mirrored_workload(
+            tree, queries=queries, factory=factory, arrival_rate=None, seed=3,
+            params=SystemParameters(coalesce=True),
+        )
+        assert grouped.coalesced_fetches > 0
+        for record in grouped.records:
+            expected = [n.oid for n in tree.knn(record.query, 8)]
+            assert [n.oid for n in record.answers] == expected

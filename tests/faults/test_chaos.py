@@ -121,3 +121,93 @@ class TestChaosCli:
                 "chaos", "--dataset", "uniform", "--n", "200",
                 "--slow", "1@5x",
             ])
+
+
+class TestBufferAccountingUnderFaults:
+    """Satellite fix: fault retries must not skew hit/miss accounting.
+
+    Every page request passes the buffer gate exactly once — retries of
+    the physical fetch do not re-count a miss, and a fetch that fails
+    permanently must never admit its page."""
+
+    def run_buffered(self, tree, queries, fault_plan=None, policy=None,
+                     coalesce=False, buffer_pages=24, deadline=None):
+        from repro.core import CRSS
+        from repro.simulation.engine import Environment
+        from repro.simulation.parameters import SystemParameters
+        from repro.simulation.simulator import SimulatedExecutor
+        from repro.simulation.system import DiskArraySystem
+
+        env = Environment()
+        system = DiskArraySystem(
+            env, tree.num_disks,
+            params=SystemParameters(
+                buffer_pages=buffer_pages, coalesce=coalesce,
+            ),
+            seed=13, fault_plan=fault_plan, retry_policy=policy,
+        )
+        executor = SimulatedExecutor(env, system, tree, deadline=deadline)
+        records = []
+
+        def run_all():
+            for query in queries:
+                record = yield env.process(
+                    executor.query_process(
+                        CRSS(query, 8, num_disks=tree.num_disks)
+                    )
+                )
+                records.append(record)
+
+        env.process(run_all())
+        env.run()
+        return system, records
+
+    def test_lookups_conserved_without_faults(self, parallel_tree, queries):
+        system, records = self.run_buffered(parallel_tree, queries)
+        pool = system.buffer
+        assert pool.hits + pool.misses == sum(r.page_requests for r in records)
+        assert pool.hits == sum(r.buffer_hits for r in records)
+
+    def test_lookups_conserved_under_transient_retries(
+        self, parallel_tree, queries
+    ):
+        system, records = self.run_buffered(
+            parallel_tree, queries,
+            fault_plan=FaultPlan(seed=5, default_transient_prob=0.1),
+            policy=RetryPolicy(max_attempts=6, backoff_base=0.001),
+        )
+        pool = system.buffer
+        assert sum(r.retries for r in records) > 0
+        # Retries multiply disk attempts, never buffer lookups.
+        assert pool.hits + pool.misses == sum(r.page_requests for r in records)
+
+    def test_lookups_conserved_with_coalescing_under_faults(
+        self, parallel_tree, queries
+    ):
+        system, records = self.run_buffered(
+            parallel_tree, queries, coalesce=True,
+            fault_plan=FaultPlan(seed=5, default_transient_prob=0.1),
+            policy=RetryPolicy(max_attempts=6, backoff_base=0.001),
+        )
+        pool = system.buffer
+        assert pool.hits + pool.misses == sum(r.page_requests for r in records)
+
+    def test_failed_fetches_never_admitted(self, parallel_tree, queries):
+        """Crash one non-root disk with no repair: its pages fail
+        permanently and must stay out of the pool."""
+        root_disk = parallel_tree.disk_of(parallel_tree.root_page_id)
+        dead = (root_disk + 1) % parallel_tree.num_disks
+        system, records = self.run_buffered(
+            parallel_tree, queries,
+            fault_plan=FaultPlan.single_crash(dead, at=0.0),
+            policy=RetryPolicy(max_attempts=2, backoff_base=0.001),
+        )
+        pool = system.buffer
+        assert sum(r.fetch_failures for r in records) > 0
+        dead_pages = [
+            pid for pid in parallel_tree.tree.pages
+            if parallel_tree.disk_of(pid) == dead
+        ]
+        assert dead_pages
+        assert all(pid not in pool for pid in dead_pages)
+        assert pool.hits + pool.misses == sum(r.page_requests for r in records)

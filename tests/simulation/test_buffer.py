@@ -59,6 +59,74 @@ class TestBufferPool:
     def test_hit_rate_empty(self):
         assert BufferPool(1).hit_rate == 0.0
 
+    def test_hit_rate_all_misses_then_all_hits(self):
+        pool = BufferPool(2)
+        assert not pool.lookup(1)
+        assert pool.hit_rate == 0.0
+        pool.admit(1)
+        assert pool.lookup(1) and pool.lookup(1)
+        assert pool.hit_rate == pytest.approx(2 / 3)
+
+    def test_randomized_invariants(self):
+        """Pool contents are always a subset of admitted-minus-
+        invalidated pages and never exceed capacity."""
+        import random
+
+        rng = random.Random(9)
+        pool = BufferPool(5)
+        live = set()
+        for _ in range(500):
+            page = rng.randrange(20)
+            action = rng.random()
+            if action < 0.5:
+                pool.admit(page)
+                live.add(page)
+            elif action < 0.8:
+                hit = pool.lookup(page)
+                assert hit == (page in pool)
+            else:
+                pool.invalidate(page)
+                live.discard(page)
+            assert len(pool) <= pool.capacity
+            assert all(p in live for p in range(20) if p in pool)
+
+
+class TestFromParameters:
+    """Satellite fix: a single construction point for the pool."""
+
+    def test_zero_pages_means_no_pool(self):
+        assert BufferPool.from_parameters(SystemParameters()) is None
+
+    def test_positive_pages_builds_pool(self):
+        pool = BufferPool.from_parameters(
+            SystemParameters(buffer_pages=12)
+        )
+        assert isinstance(pool, BufferPool)
+        assert pool.capacity == 12
+
+    def test_rejects_pool_covering_whole_tree(self):
+        params = SystemParameters(buffer_pages=66)
+        with pytest.raises(ValueError, match="entire 66-page tree"):
+            BufferPool.from_parameters(params, total_pages=66)
+        with pytest.raises(ValueError, match="cache the entire"):
+            BufferPool.from_parameters(params, total_pages=50)
+        # One below the tree size is the largest legal pool.
+        assert BufferPool.from_parameters(params, total_pages=67) is not None
+
+    def test_simulator_rejects_tree_sized_buffer(self):
+        data = uniform(300, 2, seed=42)
+        tree = build_parallel_tree(data, dims=2, num_disks=3, max_entries=8)
+        queries = sample_queries(data, 2, seed=1)
+        with pytest.raises(ValueError, match="cache the entire"):
+            simulate_workload(
+                tree,
+                lambda q: CRSS(q, 3, num_disks=tree.num_disks),
+                queries,
+                params=SystemParameters(
+                    buffer_pages=len(tree.tree.pages)
+                ),
+            )
+
 
 class TestBufferedSimulation:
     @pytest.fixture(scope="class")

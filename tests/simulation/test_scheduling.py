@@ -1,0 +1,445 @@
+"""Tests for seek-aware disk scheduling and request coalescing."""
+
+import pytest
+
+from repro.core import CRSS, FPSS
+from repro.datasets import sample_queries, uniform
+from repro.disks import HP_C2240A, DiskModel
+from repro.faults import FaultPlan, RetryPolicy
+from repro.parallel import build_parallel_tree
+from repro.simulation import simulate_workload
+from repro.simulation.engine import Environment, Resource
+from repro.simulation.parameters import SystemParameters
+from repro.simulation.scheduling import (
+    SCHEDULERS,
+    CLookScheduler,
+    ScanScheduler,
+    SSTFScheduler,
+    make_scheduler,
+    validate_scheduler,
+)
+
+
+def model_at(head: int) -> DiskModel:
+    model = DiskModel(HP_C2240A)
+    model.head_cylinder = head
+    return model
+
+
+class TestSchedulerSelection:
+    def test_sstf_picks_nearest_cylinder(self):
+        scheduler = SSTFScheduler(model_at(100))
+        assert scheduler.select([500, 90, 300]) == 1
+
+    def test_sstf_tie_breaks_toward_oldest(self):
+        scheduler = SSTFScheduler(model_at(100))
+        # 90 and 110 are both 10 cylinders away; index 0 arrived first.
+        assert scheduler.select([90, 110]) == 0
+        assert scheduler.select([110, 90]) == 0
+
+    def test_sstf_treats_none_as_zero_seek(self):
+        scheduler = SSTFScheduler(model_at(100))
+        assert scheduler.select([90, None, 300]) == 1
+
+    def test_scan_sweeps_up_then_reverses(self):
+        scheduler = ScanScheduler(model_at(100))
+        assert scheduler.direction == 1
+        # 90 is behind the upward sweep; 300 is the nearest ahead.
+        assert scheduler.select([90, 500, 300]) == 2
+        # Nothing ahead of the head: the elevator reverses.
+        scheduler.model.head_cylinder = 600
+        assert scheduler.select([90, 500, 300]) == 1
+        assert scheduler.direction == -1
+        # And keeps sweeping downward afterwards.
+        scheduler.model.head_cylinder = 400
+        assert scheduler.select([90, 300]) == 1
+
+    def test_scan_zero_distance_counts_as_ahead(self):
+        scheduler = ScanScheduler(model_at(100))
+        scheduler.direction = -1
+        assert scheduler.select([100, 90]) == 0
+
+    def test_clook_sweeps_up_and_wraps_to_lowest(self):
+        scheduler = CLookScheduler(model_at(400))
+        # Upward: nearest at-or-above the head wins.
+        assert scheduler.select([90, 500, 450]) == 2
+        # Nothing at or above 400: wrap to the lowest waiter.
+        assert scheduler.select([300, 90, 200]) == 1
+
+    def test_validate_normalizes_and_rejects(self):
+        assert validate_scheduler(" SSTF ") == "sstf"
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            validate_scheduler("elevator")
+
+    def test_make_scheduler_fcfs_is_none(self):
+        model = model_at(0)
+        assert make_scheduler("fcfs", model) is None
+        for name in SCHEDULERS[1:]:
+            scheduler = make_scheduler(name, model)
+            assert scheduler is not None
+            assert scheduler.name == name
+            assert scheduler.model is model
+
+
+class TestResourceScheduling:
+    """The engine consults the scheduler each time the disk frees up."""
+
+    def grant_order(self, scheduler_name):
+        env = Environment()
+        model = model_at(0)
+        queue = Resource(env, scheduler=make_scheduler(scheduler_name, model))
+        served = []
+
+        def holder():
+            grant = queue.request()
+            yield grant
+            yield env.timeout(1.0)
+            queue.release(grant)
+
+        def requester(cylinder):
+            grant = queue.request(cylinder=cylinder)
+            yield grant
+            served.append(cylinder)
+            model.head_cylinder = cylinder
+            yield env.timeout(0.1)
+            queue.release(grant)
+
+        env.process(holder())
+        # All three queue while the holder occupies the disk.
+        for cylinder in (500, 10, 300):
+            env.process(requester(cylinder))
+        env.run()
+        return served
+
+    def test_fcfs_serves_in_arrival_order(self):
+        assert self.grant_order("fcfs") == [500, 10, 300]
+
+    def test_sstf_serves_nearest_first(self):
+        assert self.grant_order("sstf") == [10, 300, 500]
+
+    def test_scan_serves_one_upward_sweep(self):
+        assert self.grant_order("scan") == [10, 300, 500]
+
+
+class TestCoalescedService:
+    def test_single_transaction_beats_separate_reads(self):
+        # Deterministic model (no RNG): expected rotational latency.
+        separate = DiskModel(HP_C2240A)
+        cylinders = [200, 210, 230]
+        nbytes = 3 * 4096
+        apart = sum(separate.service(c, 4096) for c in cylinders)
+        together = DiskModel(HP_C2240A).service_coalesced(cylinders, nbytes)
+        assert together < apart
+        # Exactly one rotation + one overhead instead of three, and one
+        # 30-cylinder sweep instead of the 10- and 20-cylinder hops.
+        model = DiskModel(HP_C2240A)
+        saved = (
+            2 * (HP_C2240A.revolution_time / 2 + HP_C2240A.controller_overhead)
+            + model.seek_time(10) + model.seek_time(20) - model.seek_time(30)
+        )
+        assert apart - together == pytest.approx(saved, rel=1e-9)
+
+    def test_head_approaches_nearer_end(self):
+        model = model_at(1000)
+        model.service_coalesced([200, 400], 4096)
+        # 400 is nearer to 1000, so the sweep runs 400 -> 200.
+        assert model.head_cylinder == 200
+        assert model.seek_distance_total == 600 + 200
+
+    def test_counters(self):
+        model = model_at(0)
+        model.service_coalesced([5, 9], 8192)
+        model.service_coalesced([9], 4096)  # singleton: not coalesced
+        assert model.coalesced_served == 1
+        assert model.requests_served == 2
+        model.reset()
+        assert model.coalesced_served == 0
+        assert model.seek_distance_total == 0
+
+    def test_invalid_inputs(self):
+        model = model_at(0)
+        with pytest.raises(ValueError, match="at least one cylinder"):
+            model.service_coalesced([], 4096)
+        with pytest.raises(ValueError, match="outside"):
+            model.service_coalesced([0, HP_C2240A.cylinders], 4096)
+
+
+@pytest.fixture(scope="module")
+def contended():
+    """A workload heavy enough that per-disk queues actually build up."""
+    data = uniform(800, 2, seed=51)
+    tree = build_parallel_tree(data, dims=2, num_disks=4, max_entries=8)
+    queries = sample_queries(data, 30, seed=52)
+    return tree, queries
+
+
+def run(tree, queries, scheduler="fcfs", coalesce=False, algorithm=CRSS,
+        **kwargs):
+    return simulate_workload(
+        tree,
+        lambda q: algorithm(q, 8, num_disks=tree.num_disks),
+        queries,
+        arrival_rate=25.0,
+        params=SystemParameters(scheduler=scheduler, coalesce=coalesce),
+        seed=3,
+        **kwargs,
+    )
+
+
+def answers_by_arrival(result):
+    return [
+        [n.oid for n in r.answers]
+        for r in sorted(result.records, key=lambda r: r.arrival)
+    ]
+
+
+class TestSchedulingIntegration:
+    def test_answers_identical_across_schedulers(self, contended):
+        tree, queries = contended
+        baseline = answers_by_arrival(run(tree, queries))
+        for name in SCHEDULERS[1:]:
+            assert answers_by_arrival(run(tree, queries, name)) == baseline
+        assert answers_by_arrival(
+            run(tree, queries, "sstf", coalesce=True)
+        ) == baseline
+
+    def test_answers_are_exact_under_every_scheduler(self, contended):
+        tree, queries = contended
+        for name in SCHEDULERS:
+            result = run(tree, queries, name)
+            for record in result.records:
+                expected = [n.oid for n in tree.knn(record.query, 8)]
+                assert [n.oid for n in record.answers] == expected
+
+    def test_seek_aware_schedulers_cut_seek_distance(self, contended):
+        tree, queries = contended
+        fcfs = run(tree, queries)
+        for name in ("sstf", "scan"):
+            improved = run(tree, queries, name)
+            assert improved.mean_seek_distance < fcfs.mean_seek_distance
+            assert improved.mean_response < fcfs.mean_response
+
+    def test_coalescing_issues_grouped_transactions(self, contended):
+        tree, queries = contended
+        plain = run(tree, queries, "sstf")
+        grouped = run(tree, queries, "sstf", coalesce=True)
+        assert plain.coalesced_fetches == 0
+        assert grouped.coalesced_fetches > 0
+        # Grouping merges requests: strictly fewer disk transactions.
+        assert sum(grouped.disk_requests) < sum(plain.disk_requests)
+
+    def test_coalesce_flag_is_noop_without_sibling_pages(self, contended):
+        """BBSS fetches one page per round, so there is never a group to
+        merge — the flag must be a bit-exact no-op."""
+        from repro.core import BBSS
+
+        tree, queries = contended
+        results = [
+            simulate_workload(
+                tree,
+                lambda q: BBSS(q, 8, num_disks=tree.num_disks),
+                queries[:8],
+                arrival_rate=None,
+                params=SystemParameters(
+                    sample_rotation=False, coalesce=flag
+                ),
+            )
+            for flag in (False, True)
+        ]
+        assert [r.response_time for r in results[0].records] == [
+            r.response_time for r in results[1].records
+        ]
+        assert results[1].coalesced_fetches == 0
+
+    def test_coalescing_never_slows_a_serial_fpss_round(self, contended):
+        """Each FPSS round barrier waits for its slowest disk; merging a
+        disk's round-fetches into one transaction can only shorten that
+        disk's drain, so serial responses must not get worse."""
+        tree, queries = contended
+        plain, grouped = [
+            simulate_workload(
+                tree,
+                lambda q: FPSS(q, 8, num_disks=tree.num_disks),
+                queries[:8],
+                arrival_rate=None,
+                params=SystemParameters(
+                    sample_rotation=False, coalesce=flag
+                ),
+            )
+            for flag in (False, True)
+        ]
+        assert grouped.coalesced_fetches > 0
+        for before, after in zip(plain.records, grouped.records):
+            assert after.response_time <= before.response_time + 1e-12
+            assert [n.oid for n in after.answers] == [
+                n.oid for n in before.answers
+            ]
+
+    def test_scheduling_under_faults_keeps_answers_exact(self, contended):
+        """Transient faults + retries under every discipline: whatever
+        order the queues drain in, completed queries stay exact."""
+        tree, queries = contended
+        plan = FaultPlan(seed=5, default_transient_prob=0.05)
+        policy = RetryPolicy(max_attempts=5)
+        for name in SCHEDULERS:
+            result = run(
+                tree, queries[:10], name,
+                fault_plan=plan, retry_policy=policy,
+            )
+            assert sum(r.retries for r in result.records) >= 0
+            for record in result.records:
+                if record.complete:
+                    expected = [n.oid for n in tree.knn(record.query, 8)]
+                    assert [n.oid for n in record.answers] == expected
+
+    def test_coalesced_groups_under_faults(self, contended):
+        """A coalesced group retries as a unit and still answers exactly."""
+        tree, queries = contended
+        plan = FaultPlan(seed=7, default_transient_prob=0.08)
+        policy = RetryPolicy(max_attempts=6)
+        result = run(
+            tree, queries[:10], "sstf", coalesce=True,
+            fault_plan=plan, retry_policy=policy,
+        )
+        assert result.coalesced_fetches > 0
+        for record in result.records:
+            if record.complete:
+                expected = [n.oid for n in tree.knn(record.query, 8)]
+                assert [n.oid for n in record.answers] == expected
+
+
+class TestFcfsGoldenTraces:
+    """Bit-identity regression: the default FCFS configuration must
+    reproduce the exact event-for-event traces the simulator produced
+    before the scheduling layer existed.  The hex floats below were
+    captured on the pre-scheduler code; any drift — an extra RNG draw, a
+    reordered grant, a changed service computation — shows up as a
+    mismatch at full precision."""
+
+    @pytest.fixture(scope="class")
+    def golden_tree(self):
+        points = uniform(300, 2, seed=42)
+        tree = build_parallel_tree(points, dims=2, num_disks=5, max_entries=8)
+        queries = sample_queries(points, 8, seed=4)
+        return tree, queries
+
+    def test_crss_multiuser_sampled_rotation(self, golden_tree):
+        tree, queries = golden_tree
+        result = simulate_workload(
+            tree,
+            lambda q: CRSS(q, 5, num_disks=tree.num_disks),
+            queries,
+            arrival_rate=6.0,
+            seed=11,
+        )
+        assert [r.response_time.hex() for r in result.records] == [
+            "0x1.a123cf298a2c6p-3",
+            "0x1.654cda16ae3d9p-3",
+            "0x1.0ab5762cd428cp-3",
+            "0x1.0c224a6b920e8p-3",
+            "0x1.abdbb286b5ad0p-3",
+            "0x1.bc6d5ee571c00p-4",
+            "0x1.45d2b1d28e4c0p-3",
+            "0x1.b3f37df56b058p-3",
+        ]
+
+    def test_fpss_serial_deterministic(self, golden_tree):
+        tree, queries = golden_tree
+        result = simulate_workload(
+            tree,
+            lambda q: FPSS(q, 5, num_disks=tree.num_disks),
+            queries,
+            arrival_rate=None,
+            seed=11,
+            params=SystemParameters(sample_rotation=False),
+        )
+        assert [r.response_time.hex() for r in result.records] == [
+            "0x1.3f6f66b9a859dp-3",
+            "0x1.4daa8bc2fbd9fp-3",
+            "0x1.35a244f8b950cp-3",
+            "0x1.5a65817076e88p-3",
+            "0x1.9b2310a0760b4p-3",
+            "0x1.faccbea99ad98p-4",
+            "0x1.d227f3b2fc040p-4",
+            "0x1.59efbd1fabd90p-3",
+        ]
+
+    def test_crss_chaos_with_transient_retries(self, golden_tree):
+        tree, queries = golden_tree
+        result = simulate_workload(
+            tree,
+            lambda q: CRSS(q, 5, num_disks=tree.num_disks),
+            queries,
+            arrival_rate=6.0,
+            seed=11,
+            fault_plan=FaultPlan(seed=5, default_transient_prob=0.05),
+            retry_policy=RetryPolicy(max_attempts=3),
+        )
+        assert [r.response_time.hex() for r in result.records] == [
+            "0x1.61d22df9b6163p-3",
+            "0x1.1196b05fbd514p-2",
+            "0x1.1fdb95297da90p-3",
+            "0x1.0c7037b106748p-3",
+            "0x1.b2ad3748e8d70p-3",
+            "0x1.c9b5bbc9f7520p-4",
+            "0x1.e814e11868f88p-3",
+            "0x1.db6582cd40cc0p-3",
+        ]
+        assert sum(r.retries for r in result.records) == 4
+
+
+class TestAllAlgorithmsAllSchedulers:
+    """Acceptance bar: every algorithm returns brute-force-verified kNN
+    under every discipline, with and without coalescing."""
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_exact_answers(self, contended, scheduler):
+        from repro.core import ALGORITHMS
+        from repro.experiments.setup import make_factory
+
+        tree, queries = contended
+        subset = queries[:6]
+        brute = {q: [n.oid for n in tree.knn(q, 8)] for q in subset}
+        for name in sorted(ALGORITHMS):
+            result = simulate_workload(
+                tree,
+                make_factory(name, tree, 8),
+                subset,
+                arrival_rate=20.0,
+                params=SystemParameters(
+                    scheduler=scheduler,
+                    coalesce=(scheduler != "fcfs"),
+                ),
+                seed=3,
+            )
+            for record in result.records:
+                assert [n.oid for n in record.answers] == brute[record.query], (
+                    name, scheduler,
+                )
+
+
+class TestSchedulingObservability:
+    def test_breakdown_still_telescopes(self, contended):
+        """Component sums must equal response times exactly, even with
+        reordered grants and coalesced transactions in the path."""
+        tree, queries = contended
+        result = run(tree, queries, "sstf", coalesce=True)
+        for record in result.records:
+            assert record.breakdown.total == pytest.approx(
+                record.response_time, rel=1e-9
+            )
+
+    def test_seek_distance_and_queue_depth_metrics(self, contended):
+        from repro.obs.metrics import MetricsRegistry
+
+        tree, queries = contended
+        metrics = MetricsRegistry()
+        result = run(tree, queries, "sstf", coalesce=True, metrics=metrics)
+        for disk_id, distance in enumerate(result.seek_distances):
+            counter = metrics.counter(f"disk{disk_id}.seek_distance")
+            assert counter.value == distance > 0
+            gauge = metrics.gauge(f"disk{disk_id}.queue_depth")
+            assert gauge.max_value == result.max_queue_lengths[disk_id]
+        assert metrics.counter("fetch.coalesced").value == (
+            result.coalesced_fetches
+        ) > 0

@@ -192,13 +192,16 @@ class TestBufferHitAccounting:
             arrival_rate=None,
             params=SystemParameters(sample_rotation=False),
         )
+        # The largest buffer the validator allows: one page short of
+        # caching the whole tree.
         with_buffer = simulate_workload(
             parallel_tree,
             factory(CRSS, 5, parallel_tree),
             queries,
             arrival_rate=None,
             params=SystemParameters(
-                sample_rotation=False, buffer_pages=10_000
+                sample_rotation=False,
+                buffer_pages=len(parallel_tree.tree.pages) - 1,
             ),
         )
         assert with_buffer.total_buffer_hits > 0
@@ -207,8 +210,9 @@ class TestBufferHitAccounting:
             assert warm.pages_fetched < cold.pages_fetched or warm.buffer_hits == 0
 
     def test_mean_pages_counts_physical_io_only(self, parallel_tree, queries):
-        """A huge buffer makes repeat queries nearly free — mean_pages
-        must reflect that instead of counting logical requests."""
+        """A near-tree-sized buffer makes repeat queries nearly free —
+        mean_pages must reflect that instead of counting logical
+        requests."""
         repeated = list(queries[:2]) * 3
         result = simulate_workload(
             parallel_tree,
@@ -216,7 +220,8 @@ class TestBufferHitAccounting:
             repeated,
             arrival_rate=None,
             params=SystemParameters(
-                sample_rotation=False, buffer_pages=10_000
+                sample_rotation=False,
+                buffer_pages=len(parallel_tree.tree.pages) - 1,
             ),
         )
         first_pass = result.records[:2]

@@ -178,3 +178,49 @@ class TestSimulateObservability:
                 ["simulate", *FAST, "--queries", "2",
                  "--algorithms", "CRSS", "--trace", "/no/such/dir/t.json"]
             )
+
+
+class TestSchedulerCli:
+    def test_simulate_accepts_scheduler_and_coalesce(self, capsys):
+        assert main(
+            ["simulate", *FAST, "--queries", "4", "--k", "3",
+             "--algorithms", "CRSS", "--arrival-rate", "10",
+             "--scheduler", "sstf", "--coalesce"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sstf+coalesce" in out
+
+    def test_simulate_rejects_unknown_scheduler(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["simulate", *FAST, "--queries", "2",
+                 "--algorithms", "CRSS", "--scheduler", "elevator"]
+            )
+
+    def test_chaos_accepts_scheduler(self, capsys):
+        assert main(
+            ["chaos", "--dataset", "uniform", "--n", "200", "--disks", "4",
+             "--queries", "3", "--k", "4", "--algorithm", "crss",
+             "--transient", "0.05", "--scheduler", "scan"]
+        ) in (0, None)
+        assert "chaos:" in capsys.readouterr().out
+
+    def test_bench_schedulers_writes_report(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "sched.json"
+        assert main(
+            ["bench-schedulers", "--smoke", "--out", str(out)]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert "vs fcfs" in printed
+        assert f"bench written: {out}" in printed
+        document = json.loads(out.read_text())
+        assert document["schema"] == "repro-sched-bench/1"
+        names = [v["name"] for v in document["variants"]]
+        assert names == ["fcfs", "sstf", "scan", "clook", "sstf+coalesce"]
+
+    def test_bench_schedulers_missing_out_directory(self):
+        with pytest.raises(SystemExit, match="directory does not exist"):
+            main(["bench-schedulers", "--smoke",
+                  "--out", "/no/such/dir/sched.json"])
