@@ -24,7 +24,16 @@ Python:
   (disk crashes, fail-slow windows, transient read errors) on RAID-0
   or mirrored RAID-1, and report robustness metrics: retries,
   failovers, partial/aborted queries and the certified-radius
-  distribution; ``--out`` writes the JSON report.
+  distribution; ``--out`` writes the JSON report;
+* ``repro diff`` — compare two RunReport artifacts metric by metric,
+  classify each run disk-/bus-/CPU-bound from its utilization tracks,
+  and exit non-zero on regression — the CI perf gate.
+
+``simulate`` and ``chaos`` accept ``--timeline`` (render the run's
+simulated-time series as ASCII sparklines; with ``--trace`` the series
+also land in the Chrome export as counter tracks) and ``--report PATH``
+(write a deterministic RunReport artifact for ``repro diff``); the
+bench subcommands accept ``--report`` too.
 
 ``knn`` and ``simulate`` accept ``--kernels scalar`` to run on the
 scalar reference distance path instead of the vectorized batch kernels
@@ -48,7 +57,18 @@ from repro.experiments.report import (
     format_table,
 )
 from repro.experiments.setup import make_factory
-from repro.obs import TRACE_FORMATS, Tracer, write_trace
+from repro.obs import (
+    TRACE_FORMATS,
+    MetricsRegistry,
+    TimelineSampler,
+    Tracer,
+    build_run_report,
+    diff_reports,
+    format_report,
+    load_report,
+    write_report,
+    write_trace,
+)
 from repro.parallel import build_parallel_tree
 from repro.parallel.declustering import make_policy
 from repro.perf import use_vectorized
@@ -134,6 +154,42 @@ def _add_scheduler_arguments(parser: argparse.ArgumentParser) -> None:
         help="merge same-disk sibling fetches from one scheduling round "
         "into a single multi-page transaction",
     )
+    parser.add_argument(
+        "--bus-time",
+        type=float,
+        default=SystemParameters.bus_time,
+        metavar="SECONDS",
+        help="SCSI bus transfer time per page in simulated seconds "
+        f"(default: {SystemParameters.bus_time}; raise it to push the "
+        "shared bus toward saturation, the paper's §5 FPSS regime)",
+    )
+    parser.add_argument(
+        "--buffer-pages",
+        type=int,
+        default=SystemParameters.buffer_pages,
+        metavar="N",
+        help="LRU buffer-pool capacity in pages (default: "
+        f"{SystemParameters.buffer_pages} — the paper's bufferless model)",
+    )
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeline",
+        action="store_true",
+        help="sample simulated-time series (queue depths, utilizations, "
+        "buffer hit rate, in-flight queries) and render them as ASCII "
+        "sparklines; with --trace they also land in the Chrome export "
+        "as counter tracks",
+    )
+    parser.add_argument(
+        "--report",
+        default="",
+        metavar="PATH",
+        help="write a deterministic RunReport JSON artifact to PATH for "
+        "'repro diff' (several algorithms: PATH gains a .<algorithm> "
+        "suffix)",
+    )
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -190,11 +246,36 @@ def _trace_path(base: str, name: str, multi: bool) -> str:
     return f"{root}.{name.lower()}{ext or '.json'}"
 
 
+def _simulate_config(args: argparse.Namespace, name: str) -> dict:
+    """The run configuration a simulate RunReport is keyed by."""
+    return {
+        "command": "simulate",
+        "dataset": args.dataset,
+        "n": args.n,
+        "dims": args.dims,
+        "disks": args.disks,
+        "page_size": args.page_size,
+        "policy": args.policy,
+        "seed": args.seed,
+        "k": args.k,
+        "queries": args.queries,
+        "arrival_rate": args.arrival_rate,
+        "algorithm": name,
+        "scheduler": args.scheduler,
+        "coalesce": args.coalesce,
+        "bus_time": args.bus_time,
+        "buffer_pages": args.buffer_pages,
+    }
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    if args.trace:
-        trace_dir = os.path.dirname(args.trace) or "."
-        if not os.path.isdir(trace_dir):
-            raise SystemExit(f"--trace directory does not exist: {trace_dir}")
+    for option, path in (("--trace", args.trace), ("--report", args.report)):
+        if path:
+            directory = os.path.dirname(path) or "."
+            if not os.path.isdir(directory):
+                raise SystemExit(
+                    f"{option} directory does not exist: {directory}"
+                )
     data, tree = _build_tree(args)
     queries = sample_queries(data, args.queries, seed=args.seed + 1)
     names = [name.strip().upper() for name in args.algorithms.split(",")]
@@ -204,14 +285,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
             )
     params = SystemParameters(
-        scheduler=args.scheduler, coalesce=args.coalesce
+        scheduler=args.scheduler, coalesce=args.coalesce,
+        bus_time=args.bus_time, buffer_pages=args.buffer_pages,
     )
+    want_timeline = args.timeline or bool(args.report)
     workloads = {}
     trace_files = []
+    report_files = []
+    multi = len(names) > 1
     for name in names:
         tracer = Tracer() if args.trace else None
+        timeline = TimelineSampler() if want_timeline else None
+        metrics = MetricsRegistry() if args.report else None
         with use_vectorized(args.kernels != "scalar"):
-            workloads[name] = simulate_workload(
+            result = simulate_workload(
                 tree,
                 make_factory(name, tree, args.k),
                 queries,
@@ -219,11 +306,32 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 params=params,
                 seed=args.seed,
                 tracer=tracer,
+                metrics=metrics,
+                timeline=timeline,
             )
+        workloads[name] = result
         if tracer is not None:
-            path = _trace_path(args.trace, name, len(names) > 1)
+            if timeline is not None:
+                timeline.flush_to_tracer(tracer)
+            path = _trace_path(args.trace, name, multi)
             write_trace(tracer, path, args.trace_format)
             trace_files.append(path)
+        if args.timeline and timeline is not None:
+            print(f"timeline: {name}")
+            print(timeline.render(until=result.makespan))
+            print()
+        if args.report:
+            doc = build_run_report(
+                "simulate",
+                _simulate_config(args, name),
+                result,
+                metrics=metrics,
+                timeline=timeline,
+                label=name,
+            )
+            path = _trace_path(args.report, name, multi)
+            write_report(doc, path)
+            report_files.append(path)
     mode = (
         f"λ={args.arrival_rate}/s Poisson"
         if args.arrival_rate
@@ -249,21 +357,43 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     for path in trace_files:
         print(f"trace written: {path} ({args.trace_format})")
+    for path in report_files:
+        print(f"report written: {path}")
     return 0
+
+
+def _check_out_dirs(args: argparse.Namespace) -> None:
+    """Fail fast if an --out / --report directory is missing."""
+    for option, path in (
+        ("--out", getattr(args, "out", "")),
+        ("--report", getattr(args, "report", "")),
+    ):
+        if path:
+            directory = os.path.dirname(path) or "."
+            if not os.path.isdir(directory):
+                raise SystemExit(
+                    f"{option} directory does not exist: {directory}"
+                )
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     # Imported lazily: the bench harness pulls in the whole experiment
     # and simulation stack, which the other subcommands don't need.
-    from repro.perf.bench import format_summary, run_bench, write_bench
+    from repro.perf.bench import (
+        format_summary,
+        run_bench,
+        to_run_report,
+        write_bench,
+    )
 
-    out_dir = os.path.dirname(args.out) or "."
-    if not os.path.isdir(out_dir):
-        raise SystemExit(f"--out directory does not exist: {out_dir}")
+    _check_out_dirs(args)
     doc = run_bench(smoke=args.smoke, seed=args.seed)
     write_bench(doc, args.out)
     print(format_summary(doc))
     print(f"\nbench written: {args.out}")
+    if args.report:
+        write_report(to_run_report(doc), args.report)
+        print(f"report written: {args.report}")
     return 0
 
 
@@ -271,16 +401,18 @@ def _cmd_bench_schedulers(args: argparse.Namespace) -> int:
     from repro.perf.sched_bench import (
         format_summary,
         run_sched_bench,
+        to_run_report,
         write_bench,
     )
 
-    out_dir = os.path.dirname(args.out) or "."
-    if not os.path.isdir(out_dir):
-        raise SystemExit(f"--out directory does not exist: {out_dir}")
+    _check_out_dirs(args)
     doc = run_sched_bench(smoke=args.smoke, seed=args.seed)
     write_bench(doc, args.out)
     print(format_summary(doc))
     print(f"\nbench written: {args.out}")
+    if args.report:
+        write_report(to_run_report(doc), args.report)
+        print(f"report written: {args.report}")
     return 0
 
 
@@ -295,10 +427,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         run_chaos,
     )
 
-    if args.out:
-        out_dir = os.path.dirname(args.out) or "."
-        if not os.path.isdir(out_dir):
-            raise SystemExit(f"--out directory does not exist: {out_dir}")
+    _check_out_dirs(args)
     algorithm = args.algorithm.strip().upper()
     if algorithm not in ALGORITHMS:
         raise SystemExit(
@@ -321,6 +450,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         raise SystemExit(str(error))
     data, tree = _build_tree(args)
     queries = sample_queries(data, args.queries, seed=args.seed + 1)
+    timeline = (
+        TimelineSampler() if (args.timeline or args.report) else None
+    )
     report = run_chaos(
         tree,
         algorithm,
@@ -329,20 +461,79 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         raid=args.raid,
         arrival_rate=args.arrival_rate,
         params=SystemParameters(
-            scheduler=args.scheduler, coalesce=args.coalesce
+            scheduler=args.scheduler, coalesce=args.coalesce,
+            bus_time=args.bus_time, buffer_pages=args.buffer_pages,
         ),
         seed=args.seed,
         fault_plan=plan,
         retry_policy=policy,
         deadline=args.deadline,
+        timeline=timeline,
     )
+    if args.timeline and timeline is not None:
+        print(timeline.render(until=report.result.makespan))
+        print()
     print(report.summary())
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(report.to_json())
             handle.write("\n")
         print(f"report written: {args.out}")
+    if args.report:
+        config = {
+            "command": "chaos",
+            "dataset": args.dataset,
+            "n": args.n,
+            "dims": args.dims,
+            "disks": args.disks,
+            "page_size": args.page_size,
+            "policy": args.policy,
+            "seed": args.seed,
+            "k": args.k,
+            "queries": args.queries,
+            "arrival_rate": args.arrival_rate,
+            "algorithm": algorithm,
+            "raid": args.raid,
+            "scheduler": args.scheduler,
+            "coalesce": args.coalesce,
+            "bus_time": args.bus_time,
+            "buffer_pages": args.buffer_pages,
+            "crash": list(args.crash),
+            "slow": list(args.slow),
+            "transient": args.transient,
+            "fault_seed": args.fault_seed,
+            "max_attempts": args.max_attempts,
+            "attempt_timeout": args.attempt_timeout,
+            "deadline": args.deadline,
+        }
+        doc = build_run_report(
+            "chaos",
+            config,
+            report.result,
+            timeline=timeline,
+            label=f"{algorithm}/{args.raid}",
+        )
+        write_report(doc, args.report)
+        print(f"report written: {args.report}")
     return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    try:
+        baseline = load_report(args.baseline)
+        candidate = load_report(args.candidate)
+    except (OSError, ValueError) as error:
+        raise SystemExit(str(error))
+    if args.show:
+        print(format_report(baseline))
+        print()
+        print(format_report(candidate))
+        print()
+    diff = diff_reports(
+        baseline, candidate, rel_tol=args.rel_tol, abs_tol=args.abs_tol
+    )
+    print(diff.summary(limit=args.limit))
+    return diff.exit_code
 
 
 def _cmd_paper(args: argparse.Namespace) -> int:
@@ -417,6 +608,7 @@ def build_parser() -> argparse.ArgumentParser:
         "trace-event JSON) or 'jsonl' (default: chrome)",
     )
     _add_kernels_argument(simulate)
+    _add_obs_arguments(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
 
     bench = subparsers.add_parser(
@@ -436,6 +628,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--seed", type=int, default=0, help="RNG seed (default: 0)"
+    )
+    bench.add_argument(
+        "--report",
+        default="",
+        metavar="PATH",
+        help="additionally write the document as a RunReport artifact "
+        "for 'repro diff'",
     )
     bench.set_defaults(handler=_cmd_bench)
 
@@ -457,6 +656,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sched.add_argument(
         "--seed", type=int, default=0, help="RNG seed (default: 0)"
+    )
+    sched.add_argument(
+        "--report",
+        default="",
+        metavar="PATH",
+        help="additionally write the document as a RunReport artifact "
+        "for 'repro diff'",
     )
     sched.set_defaults(handler=_cmd_bench_schedulers)
 
@@ -548,7 +754,44 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the JSON chaos report to PATH",
     )
+    _add_obs_arguments(chaos)
     chaos.set_defaults(handler=_cmd_chaos)
+
+    diff = subparsers.add_parser(
+        "diff",
+        help="compare two RunReport artifacts and exit non-zero on "
+        "regression",
+    )
+    diff.add_argument("baseline", help="baseline RunReport JSON path")
+    diff.add_argument("candidate", help="candidate RunReport JSON path")
+    diff.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.05,
+        metavar="FRACTION",
+        help="relative change a gated metric may move in the bad "
+        "direction before it counts as a regression (default: 0.05)",
+    )
+    diff.add_argument(
+        "--abs-tol",
+        type=float,
+        default=1e-9,
+        metavar="DELTA",
+        help="absolute change below which a metric is considered "
+        "unchanged (default: 1e-9)",
+    )
+    diff.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        help="changed metrics shown in the summary (default: 20)",
+    )
+    diff.add_argument(
+        "--show",
+        action="store_true",
+        help="print both reports' summaries before the delta table",
+    )
+    diff.set_defaults(handler=_cmd_diff)
 
     paper = subparsers.add_parser(
         "paper", help="regenerate one of the paper's figures/tables"

@@ -66,6 +66,9 @@ class CRSS(SearchAlgorithm):
     def run(self, root_page_id: int) -> SearchCoroutine:
         neighbors = NeighborList(self.query, self.k)
         stack = CandidateStack()
+        #: Exposed for telemetry: the executor's timeline sampler reads
+        #: ``len(self.stack)`` between rounds (``crss.stack_depth``).
+        self.stack = stack
         dth_sq = math.inf          # Lemma 1 threshold (ADAPTIVE phase)
         reached_leaves = False     # switches ADAPTIVE -> NORMAL/UPDATE
 

@@ -66,6 +66,11 @@ class MirroredDiskArraySystem:
         (``logical * 2 + replica``).
     :param retry_policy: retry/timeout/backoff policy used when a fault
         plan (or the policy itself) is given.
+    :param timeline: optional
+        :class:`~repro.obs.timeline.TimelineSampler`; when given, each
+        physical drive drives ``disk<L>r<R>.queue_depth`` /
+        ``disk<L>r<R>.busy`` tracks and the bus drives
+        ``bus.queue_depth`` / ``bus.busy``.
     """
 
     REPLICAS = 2
@@ -78,6 +83,7 @@ class MirroredDiskArraySystem:
         seed: int = 0,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        timeline=None,
     ):
         if num_disks < 1:
             raise ValueError(f"num_disks must be positive, got {num_disks}")
@@ -91,6 +97,12 @@ class MirroredDiskArraySystem:
             retry_policy if retry_policy is not None else RetryPolicy()
         )
         self._faulty = fault_plan is not None or retry_policy is not None
+        self.timeline = timeline
+
+        def _track(name: str, suffix: str):
+            if timeline is None:
+                return None
+            return timeline.track(f"{name}.{suffix}")
 
         # replica_queues[logical][replica]
         self.replica_queues: List[List[Resource]] = []
@@ -108,15 +120,19 @@ class MirroredDiskArraySystem:
                 # Each physical drive runs its own queue discipline
                 # against its own head (None for "fcfs" — the exact
                 # pre-scheduler code path).
+                drive = f"disk{disk_id}r{replica}"
                 queues.append(
                     Resource(
                         env,
+                        gauge=_track(drive, "queue_depth"),
+                        busy_gauge=_track(drive, "busy"),
                         scheduler=make_scheduler(self.params.scheduler, model),
                     )
                 )
             self.replica_queues.append(queues)
             self.replica_models.append(models)
-        self.bus = Resource(env)
+        self.bus = Resource(env, gauge=_track("bus", "queue_depth"),
+                            busy_gauge=_track("bus", "busy"))
         self.cpu = Resource(env)
         #: Optional LRU page buffer, owned here exactly as on the RAID-0
         #: system so the executor's ``system.buffer`` contract holds on
@@ -404,13 +420,16 @@ def simulate_mirrored_workload(
     retry_policy: Optional[RetryPolicy] = None,
     deadline: Optional[float] = None,
     metrics=None,
+    timeline=None,
 ) -> WorkloadResult:
     """Like :func:`~repro.simulation.simulator.simulate_workload`, on a
     RAID-1 (shadowed) array instead of RAID-0.
 
     *fault_plan* / *retry_policy* / *deadline* enable the same fault
     injection and degraded-mode semantics, with fault-plan disk ids
-    addressing physical drives.
+    addressing physical drives.  *timeline* attaches a
+    :class:`~repro.obs.timeline.TimelineSampler` (per-drive tracks are
+    named ``disk<L>r<R>.*`` — one per physical drive).
     """
     if not queries:
         raise ValueError("a workload needs at least one query")
@@ -421,9 +440,11 @@ def simulate_mirrored_workload(
     system = MirroredDiskArraySystem(
         env, tree.num_disks, params=params, seed=seed,
         fault_plan=fault_plan, retry_policy=retry_policy,
+        timeline=timeline,
     )
     executor = SimulatedExecutor(
-        env, system, tree, metrics=metrics, deadline=deadline
+        env, system, tree, metrics=metrics, timeline=timeline,
+        deadline=deadline,
     )
     result = WorkloadResult()
     arrival_rng = random.Random(seed ^ 0xA5A5A5)
@@ -462,6 +483,9 @@ def simulate_mirrored_workload(
         for model in pair
     ]
     result.coalesced_fetches = system.coalesced_fetches
+    if result.makespan > 0:
+        result.bus_utilization = system.bus.total_hold_time / result.makespan
+        result.cpu_utilization = system.cpu.total_hold_time / result.makespan
     if metrics is not None:
         record_workload_metrics(metrics, result)
     return result

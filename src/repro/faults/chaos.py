@@ -166,6 +166,7 @@ def run_chaos(
     retry_policy: Optional[RetryPolicy] = None,
     deadline: Optional[float] = None,
     metrics=None,
+    timeline=None,
 ) -> ChaosReport:
     """Replay a seeded workload under a fault plan and report robustness.
 
@@ -188,7 +189,13 @@ def run_chaos(
         :class:`~repro.faults.policy.RetryPolicy`'s defaults).
     :param deadline: optional per-query deadline in simulated seconds.
     :param metrics: optional metrics registry to populate.
-    :returns: the distilled :class:`ChaosReport`.
+    :param timeline: optional
+        :class:`~repro.obs.timeline.TimelineSampler` recording the
+        run's simulated-time series (see the workload runners).
+    :returns: the distilled :class:`ChaosReport`.  The underlying
+        :class:`~repro.simulation.simulator.WorkloadResult` rides along
+        as ``report.result`` (not serialized) so callers can build a
+        full RunReport from the same run.
     """
     if raid not in RAID_LEVELS:
         raise ValueError(f"raid must be one of {RAID_LEVELS}, got {raid!r}")
@@ -207,7 +214,8 @@ def run_chaos(
         result = simulate_workload(
             tree, factory, queries,
             arrival_rate=arrival_rate, params=params, seed=seed,
-            metrics=metrics, fault_plan=plan, retry_policy=policy,
+            metrics=metrics, timeline=timeline,
+            fault_plan=plan, retry_policy=policy,
             deadline=deadline,
         )
     else:
@@ -217,10 +225,10 @@ def run_chaos(
             tree, factory, queries,
             arrival_rate=arrival_rate, params=params, seed=seed,
             fault_plan=plan, retry_policy=policy, deadline=deadline,
-            metrics=metrics,
+            metrics=metrics, timeline=timeline,
         )
 
-    return ChaosReport(
+    report = ChaosReport(
         algorithm=name,
         raid=raid,
         num_queries=len(result.records),
@@ -241,3 +249,7 @@ def run_chaos(
         breakdown=result.breakdown.as_dict(),
         plan=_plan_summary(plan),
     )
+    # Ride-along for RunReport building; deliberately not a dataclass
+    # field so as_dict()/to_json() stay unchanged.
+    report.result = result
+    return report

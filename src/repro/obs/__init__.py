@@ -11,7 +11,14 @@ every simulated microsecond is attributable.  This package provides
 * :mod:`repro.obs.export` — JSONL and Chrome trace-event (Perfetto /
   ``chrome://tracing``) exports plus a schema validator;
 * :mod:`repro.obs.breakdown` — per-query response-time decompositions
-  whose components sum back to the response time.
+  whose components sum back to the response time;
+* :mod:`repro.obs.timeline` — simulated-time series (queue depths,
+  utilizations, buffer hit rate, …) sampled event-driven so attaching
+  a sampler never perturbs the simulation;
+* :mod:`repro.obs.report` — deterministic, versioned RunReport JSON
+  artifacts distilling one run for later comparison;
+* :mod:`repro.obs.diff` — structural RunReport comparison with
+  regression gating and disk/bus/CPU saturation analysis.
 
 This package is a leaf: it imports nothing from the simulation or
 algorithm layers, so every layer may instrument itself freely.
@@ -33,7 +40,32 @@ from repro.obs.export import (
     write_jsonl,
     write_trace,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.diff import (
+    MetricDelta,
+    ReportDiff,
+    classify_saturation,
+    diff_reports,
+    flatten_numeric,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    fanout_gauges,
+)
+from repro.obs.report import (
+    REPORT_SCHEMA,
+    answer_digest,
+    bench_run_report,
+    build_run_report,
+    canonical_report_bytes,
+    config_digest,
+    format_report,
+    load_report,
+    write_report,
+)
+from repro.obs.timeline import TimelineSampler, TimelineTrack, sparkline
 from repro.obs.trace import (
     NULL_TRACER,
     CounterRecord,
@@ -53,19 +85,37 @@ __all__ = [
     "Gauge",
     "Histogram",
     "InstantRecord",
+    "MetricDelta",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "REPORT_SCHEMA",
+    "ReportDiff",
     "SpanRecord",
     "TRACE_FORMATS",
+    "TimelineSampler",
+    "TimelineTrack",
     "Tracer",
+    "answer_digest",
+    "bench_run_report",
+    "build_run_report",
+    "canonical_report_bytes",
     "chrome_trace",
+    "classify_saturation",
     "coalesce",
+    "config_digest",
+    "diff_reports",
     "dumps_jsonl",
+    "fanout_gauges",
+    "flatten_numeric",
+    "format_report",
+    "load_report",
     "per_query_report",
+    "sparkline",
     "validate_chrome_trace",
     "workload_report",
     "write_chrome_trace",
     "write_jsonl",
+    "write_report",
     "write_trace",
 ]

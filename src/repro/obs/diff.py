@@ -1,0 +1,311 @@
+"""Structural comparison of two RunReports — the ``repro diff`` engine.
+
+Given a *baseline* report and a *candidate* report
+(:mod:`repro.obs.report`), :func:`diff_reports` walks every numeric
+leaf shared by both documents, computes absolute and relative deltas,
+and decides which deltas are **regressions**: metrics whose direction
+is known (latency up is worse, throughput down is worse) that moved
+past the configured thresholds.  The result carries a non-zero
+:attr:`ReportDiff.exit_code` exactly when a regression survived, which
+is what lets CI use ``repro diff`` as a perf gate.
+
+The diff also runs a **saturation analysis** on each report, mirroring
+the paper's §5 discussion: from the utilization tracks it classifies a
+run as *disk-bound* (some drive is the bottleneck), *bus-bound* (the
+shared SCSI bus saturates — the paper's explanation for FPSS's
+collapse at high disk counts), *cpu-bound*, or *unsaturated* (no
+resource near its limit — the regime where adding load still helps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Dict, List, Mapping, Optional
+
+#: Relative change below which a delta is noise, not a finding.
+DEFAULT_REL_TOL = 0.05
+
+#: Absolute change below which a delta is ignored outright (guards the
+#: relative test against tiny-denominator blowups).
+DEFAULT_ABS_TOL = 1e-9
+
+#: A resource is *saturated* at or above this utilization.
+SATURATION_FLOOR = 0.75
+
+#: Metric-path patterns (fnmatch) whose INCREASE is a regression.
+HIGHER_IS_WORSE = (
+    "latency.*",
+    "counts.pages_fetched",
+    "counts.mean_seek_distance",
+    "counts.fetch_failures",
+    "counts.aborted_queries",
+    "counts.deadline_exceeded_queries",
+    # Bench-envelope reports keep their scalars under metrics.*.
+    "metrics.*response_mean_s",
+    "metrics.*response_p95_s",
+    "metrics.*makespan_s",
+    "metrics.*pages_fetched",
+    "metrics.*mean_seek_distance",
+)
+
+#: Metric-path patterns whose DECREASE is a regression.
+LOWER_IS_WORSE = (
+    "counts.throughput",
+)
+
+#: Subtrees :func:`flatten_numeric` skips: identity/metadata, and the
+#: raw per-bucket timeline vectors (their mean/max still compare).
+_SKIP_KEYS = ("config", "values", "plan")
+
+
+def flatten_numeric(
+    doc: Mapping, prefix: str = ""
+) -> Dict[str, float]:
+    """Every numeric leaf of *doc* keyed by its dotted path.
+
+    Lists index numerically (``utilization.disk.3``); booleans and
+    strings are skipped, as are the ``config`` subtree (compared by
+    digest) and downsampled timeline ``values`` vectors.
+    """
+    flat: Dict[str, float] = {}
+
+    def walk(node, path: str) -> None:
+        if isinstance(node, Mapping):
+            for key in node:
+                if key in _SKIP_KEYS:
+                    continue
+                walk(node[key], f"{path}.{key}" if path else str(key))
+        elif isinstance(node, (list, tuple)):
+            for index, item in enumerate(node):
+                walk(item, f"{path}.{index}")
+        elif isinstance(node, bool):
+            return
+        elif isinstance(node, (int, float)):
+            flat[path] = float(node)
+
+    walk(dict(doc), prefix)
+    return flat
+
+
+def _direction(name: str) -> int:
+    """+1 if an increase of *name* is worse, -1 if a decrease is, 0 if
+    the metric is ungated (informational only)."""
+    for pattern in HIGHER_IS_WORSE:
+        if fnmatchcase(name, pattern):
+            return 1
+    for pattern in LOWER_IS_WORSE:
+        if fnmatchcase(name, pattern):
+            return -1
+    return 0
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's movement from baseline to candidate."""
+
+    name: str
+    baseline: float
+    candidate: float
+    #: +1: increase is a regression; -1: decrease is; 0: ungated.
+    direction: int
+    #: Past the thresholds in the bad direction.
+    regression: bool
+
+    @property
+    def delta(self) -> float:
+        return self.candidate - self.baseline
+
+    @property
+    def relative(self) -> Optional[float]:
+        """Delta over the baseline's magnitude (None off a 0 baseline)."""
+        if self.baseline == 0.0:
+            return None
+        return self.delta / abs(self.baseline)
+
+
+def classify_saturation(report: Mapping) -> Dict[str, object]:
+    """Which resource bounds the run, from its utilization tracks.
+
+    The disk side is represented by the *hottest* drive — one saturated
+    drive stalls every barrier that includes it, however idle its
+    siblings are (the paper's declustering sections are about avoiding
+    exactly that).  The winner must clear :data:`SATURATION_FLOOR`;
+    otherwise the run is ``"unsaturated"``.  Ties break toward the
+    earlier resource in disk → bus → cpu order (deterministic).
+    """
+    utilization = report.get("utilization") or {}
+    disks = utilization.get("disk") or []
+    levels = (
+        ("disk-bound", max(disks) if disks else 0.0),
+        ("bus-bound", float(utilization.get("bus", 0.0))),
+        ("cpu-bound", float(utilization.get("cpu", 0.0))),
+    )
+    bound, top = levels[0]
+    for name, value in levels[1:]:
+        if value > top:
+            bound, top = name, value
+    if top < SATURATION_FLOOR:
+        bound = "unsaturated"
+    return {
+        "bound": bound,
+        "disk_util_max": levels[0][1],
+        "bus_util": levels[1][1],
+        "cpu_util": levels[2][1],
+        "floor": SATURATION_FLOOR,
+    }
+
+
+@dataclass
+class ReportDiff:
+    """The structured outcome of comparing two RunReports."""
+
+    deltas: List[MetricDelta] = field(default_factory=list)
+    #: Metrics present in only one report (path -> which side has it).
+    missing: Dict[str, str] = field(default_factory=dict)
+    #: The two runs' config digests matched.
+    comparable: bool = True
+    #: Answer digests present in both and matching (None if absent).
+    answers_match: Optional[bool] = None
+    #: Saturation classification of each side.
+    saturation: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    rel_tol: float = DEFAULT_REL_TOL
+    abs_tol: float = DEFAULT_ABS_TOL
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        """Gated metrics that moved past the thresholds, worst first."""
+        return sorted(
+            (d for d in self.deltas if d.regression),
+            key=lambda d: -(d.relative if d.relative is not None else 0.0)
+            * d.direction,
+        )
+
+    @property
+    def changed(self) -> List[MetricDelta]:
+        """All metrics whose movement cleared the thresholds."""
+        return [
+            d
+            for d in self.deltas
+            if abs(d.delta) > self.abs_tol
+            and (
+                d.relative is None or abs(d.relative) > self.rel_tol
+            )
+        ]
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean; 1 when any regression survived — the CI gate."""
+        return 1 if self.regressions else 0
+
+    def summary(self, limit: int = 20) -> str:
+        """Terminal rendering: verdict, saturation, notable deltas."""
+        lines = []
+        if not self.comparable:
+            lines.append(
+                "WARNING: config digests differ — the runs are not "
+                "like-for-like; deltas mix config and behavior changes"
+            )
+        if self.answers_match is False:
+            lines.append("WARNING: answer digests differ — results changed")
+        elif self.answers_match:
+            lines.append("answers   : identical digests")
+        for side in ("baseline", "candidate"):
+            analysis = self.saturation.get(side)
+            if analysis:
+                lines.append(
+                    f"{side:<9} : {analysis['bound']} "
+                    f"(disk max {analysis['disk_util_max']:.3f}, "
+                    f"bus {analysis['bus_util']:.3f}, "
+                    f"cpu {analysis['cpu_util']:.3f})"
+                )
+        changed = self.changed
+        regressed = {d.name for d in self.regressions}
+        if not changed:
+            lines.append(
+                f"no metric moved more than "
+                f"{self.rel_tol:.0%} (abs floor {self.abs_tol:g})"
+            )
+        else:
+            lines.append(
+                f"{len(changed)} metric(s) moved past the thresholds "
+                f"(rel {self.rel_tol:.0%}, abs {self.abs_tol:g}):"
+            )
+            name_width = max(len(d.name) for d in changed[:limit])
+            for delta in changed[:limit]:
+                rel = (
+                    f"{delta.relative:+.1%}"
+                    if delta.relative is not None
+                    else "  new≠0"
+                )
+                flag = "  REGRESSION" if delta.name in regressed else ""
+                lines.append(
+                    f"  {delta.name:<{name_width}}  "
+                    f"{delta.baseline:.6g} -> {delta.candidate:.6g}  "
+                    f"({rel}){flag}"
+                )
+            if len(changed) > limit:
+                lines.append(f"  … and {len(changed) - limit} more")
+        for name, side in sorted(self.missing.items()):
+            lines.append(f"  {name}: only in {side}")
+        if self.regressions:
+            lines.append(
+                f"RESULT: {len(self.regressions)} regression(s) — exit 1"
+            )
+        else:
+            lines.append("RESULT: no regressions — exit 0")
+        return "\n".join(lines)
+
+
+def diff_reports(
+    baseline: Mapping,
+    candidate: Mapping,
+    rel_tol: float = DEFAULT_REL_TOL,
+    abs_tol: float = DEFAULT_ABS_TOL,
+) -> ReportDiff:
+    """Compare two RunReport documents metric by metric.
+
+    A gated metric regresses when the candidate moved in its bad
+    direction by more than *abs_tol* absolutely AND more than *rel_tol*
+    relative to the baseline (a zero baseline falls back to the
+    absolute test alone).
+    """
+    if rel_tol < 0 or abs_tol < 0:
+        raise ValueError("thresholds must be non-negative")
+    flat_a = flatten_numeric(baseline)
+    flat_b = flatten_numeric(candidate)
+
+    deltas: List[MetricDelta] = []
+    for name in sorted(set(flat_a) & set(flat_b)):
+        a, b = flat_a[name], flat_b[name]
+        direction = _direction(name)
+        moved = b - a if direction >= 0 else a - b
+        regression = False
+        if direction != 0 and moved > abs_tol:
+            regression = a == 0.0 or moved / abs(a) > rel_tol
+        deltas.append(MetricDelta(name, a, b, direction, regression))
+
+    missing = {
+        **{name: "baseline" for name in set(flat_a) - set(flat_b)},
+        **{name: "candidate" for name in set(flat_b) - set(flat_a)},
+    }
+    digest_a = baseline.get("answer_digest")
+    digest_b = candidate.get("answer_digest")
+    return ReportDiff(
+        deltas=deltas,
+        missing=missing,
+        comparable=(
+            baseline.get("config_digest") == candidate.get("config_digest")
+        ),
+        answers_match=(
+            digest_a == digest_b
+            if digest_a is not None and digest_b is not None
+            else None
+        ),
+        saturation={
+            "baseline": classify_saturation(baseline),
+            "candidate": classify_saturation(candidate),
+        },
+        rel_tol=rel_tol,
+        abs_tol=abs_tol,
+    )

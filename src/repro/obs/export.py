@@ -227,11 +227,27 @@ def validate_chrome_trace(document: Union[Dict, IO, str]) -> int:
             if event.get("s") not in ("g", "p", "t"):
                 raise ValueError(f"{where}: bad instant scope {event.get('s')!r}")
         elif phase == "C":
+            # Counter events: a named series whose args carry at least
+            # one numeric sample (Perfetto draws one sub-track per args
+            # key).  Booleans are rejected explicitly — JSON true/false
+            # are ints in Python, but Perfetto cannot plot them.
+            if not event.get("name"):
+                raise ValueError(f"{where}: counters need a 'name'")
+            if "tid" not in event:
+                raise ValueError(f"{where}: counters need a 'tid'")
             args = event.get("args")
-            if not isinstance(args, dict) or not all(
-                isinstance(v, (int, float)) for v in args.values()
-            ):
-                raise ValueError(f"{where}: counters need numeric args")
+            if not isinstance(args, dict) or not args:
+                raise ValueError(
+                    f"{where}: counters need a non-empty 'args' object"
+                )
+            for key, value in args.items():
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    raise ValueError(
+                        f"{where}: counter series {key!r} must be "
+                        f"numeric, got {value!r}"
+                    )
         elif phase in _FLOW_PHASES:
             if "id" not in event or "tid" not in event:
                 raise ValueError(f"{where}: flow events need 'id' and 'tid'")

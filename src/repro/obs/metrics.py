@@ -40,9 +40,16 @@ class Counter:
 class Gauge:
     """A time-weighted gauge: tracks last / max / time-weighted mean.
 
-    ``set(ts, value)`` must be called with non-decreasing timestamps;
-    the mean over ``[t0, until]`` is the exact integral of the piecewise
-    constant value curve divided by the horizon.
+    ``set(ts, value)`` must be called with non-decreasing timestamps.
+    A *decreasing* timestamp raises :class:`ValueError` and leaves the
+    gauge unchanged — rejected rather than clamped, because silently
+    clamping would credit the previous value with a negative interval
+    and could drive the time-weighted ``mean()`` negative.  A
+    *duplicate* timestamp is accepted last-write-wins: the superseded
+    value held for a zero-width interval and contributes no weight to
+    the mean (it still counts toward ``max`` and the sample count).
+    The mean over ``[t0, until]`` is the exact integral of the
+    piecewise constant value curve divided by the horizon.
     """
 
     __slots__ = ("name", "_start", "_last_ts", "_area", "value", "max_value", "_samples")
@@ -57,7 +64,12 @@ class Gauge:
         self._samples = 0
 
     def set(self, ts: float, value: float) -> None:
-        """Record that the gauge held *value* from *ts* onward."""
+        """Record that the gauge held *value* from *ts* onward.
+
+        Raises :class:`ValueError` (mutating nothing) when *ts*
+        precedes the previous sample; a *ts* equal to the previous
+        sample's replaces it with zero weight (see the class docstring).
+        """
         if self._start is None:
             self._start = ts
         elif ts < self._last_ts:
@@ -193,6 +205,36 @@ class Histogram:
         }
 
 
+class _GaugeFanout:
+    """Forwards ``set`` to several gauge-like sinks (:func:`fanout_gauges`)."""
+
+    __slots__ = ("_sinks",)
+
+    def __init__(self, sinks):
+        self._sinks = tuple(sinks)
+
+    def set(self, ts: float, value: float) -> None:
+        for sink in self._sinks:
+            sink.set(ts, value)
+
+
+def fanout_gauges(*sinks):
+    """One gauge-like probe driving every non-None sink in *sinks*.
+
+    Returns ``None`` when no sink survives (so resources keep their
+    no-probe fast path), the lone survivor unwrapped, or a fan-out
+    forwarding ``set(ts, value)`` to each.  This is how a resource
+    drives a metrics :class:`Gauge` and a timeline track from the same
+    probe without either knowing about the other.
+    """
+    live = [sink for sink in sinks if sink is not None]
+    if not live:
+        return None
+    if len(live) == 1:
+        return live[0]
+    return _GaugeFanout(live)
+
+
 class MetricsRegistry:
     """A flat get-or-create namespace of metrics."""
 
@@ -204,10 +246,14 @@ class MetricsRegistry:
         if metric is None:
             metric = cls(name, *args, **kwargs)
             self._metrics[name] = metric
-        elif not isinstance(metric, cls):
+        elif type(metric) is not cls:
+            # Exact-type check: a subclass registered under this name is
+            # still a different metric contract, and silently handing it
+            # back is the misuse this guard exists to catch.
             raise TypeError(
-                f"metric {name!r} already registered as "
-                f"{type(metric).__name__}, not {cls.__name__}"
+                f"metric name {name!r} is already registered as a "
+                f"{type(metric).__name__}; it cannot also be used as a "
+                f"{cls.__name__} — pick a distinct name per metric kind"
             )
         return metric
 
@@ -222,8 +268,20 @@ class MetricsRegistry:
     def histogram(
         self, name: str, minimum: float = 1e-6, factor: float = 2.0
     ) -> Histogram:
-        """The histogram *name*, created on first use with these buckets."""
-        return self._get(name, Histogram, minimum, factor)
+        """The histogram *name*, created on first use with these buckets.
+
+        Re-requesting an existing histogram with *different* bucket
+        parameters raises :class:`ValueError`: the caller would silently
+        observe into buckets it did not ask for.
+        """
+        metric = self._get(name, Histogram, minimum, factor)
+        if metric.minimum != minimum or metric.factor != factor:
+            raise ValueError(
+                f"histogram {name!r} already registered with buckets "
+                f"(minimum={metric.minimum}, factor={metric.factor}); "
+                f"requested (minimum={minimum}, factor={factor})"
+            )
+        return metric
 
     def __iter__(self):
         return iter(self._metrics.values())

@@ -1,0 +1,234 @@
+"""Versioned, deterministic RunReport artifacts.
+
+A :data:`RunReport <REPORT_SCHEMA>` is the machine-comparable record of
+one run: the configuration that produced it (plus a digest of it), the
+answers' digest, latency percentiles, the mean per-query breakdown,
+aggregate counters, resource utilizations, and downsampled timeline
+tracks.  Two runs with the same seed produce **byte-identical** report
+files — every value is simulated time or a count derived from the
+seed; there are no wall-clock fields — which is what lets
+``repro diff`` (:mod:`repro.obs.diff`) compare runs mechanically and
+CI gate on the comparison.
+
+The module is part of the leaf ``obs`` package: builders take the
+workload result and config as duck-typed values and never import the
+simulation or algorithm layers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, IO, Iterable, Mapping, Optional, Union
+
+#: Bumped when the report layout changes incompatibly.
+REPORT_SCHEMA = "repro-run-report/1"
+
+#: How many equal-width buckets each timeline track is downsampled to.
+TIMELINE_BUCKETS = 60
+
+#: Latency percentiles recorded in every report.
+PERCENTILES = (0.50, 0.90, 0.95, 0.99)
+
+
+def canonical_report_bytes(doc: Mapping) -> bytes:
+    """The report's deterministic serialization (sorted, minified)."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+
+
+def config_digest(config: Mapping) -> str:
+    """SHA-256 over the canonical serialization of *config*.
+
+    Two reports are comparable like-for-like exactly when their config
+    digests match; ``repro diff`` warns when they differ.
+    """
+    return hashlib.sha256(canonical_report_bytes(config)).hexdigest()
+
+
+def answer_digest(records: Iterable) -> str:
+    """A stable hash over per-query answers, in arrival order.
+
+    Records append in completion order, which legitimately differs
+    between scheduling disciplines; arrival order is invariant.  Each
+    record needs ``arrival`` and ``answers`` (of ``oid``/``distance``
+    neighbors) — the same digest the benchmark harnesses use.
+    """
+    digest = hashlib.sha256()
+    for record in sorted(records, key=lambda r: r.arrival):
+        for neighbor in record.answers:
+            digest.update(f"{neighbor.oid}:{neighbor.distance!r};".encode())
+        digest.update(b"|")
+    return digest.hexdigest()
+
+
+def build_run_report(
+    kind: str,
+    config: Mapping,
+    result,
+    metrics=None,
+    timeline=None,
+    label: str = "",
+    timeline_buckets: int = TIMELINE_BUCKETS,
+) -> Dict[str, object]:
+    """Distil one workload run into a JSON-ready RunReport document.
+
+    :param kind: what produced the run (``"simulate"``, ``"chaos"``,
+        ``"bench"``, …) — recorded, and checked loosely by ``diff``.
+    :param config: the full run configuration (dataset, tree, system
+        and workload parameters).  Must be JSON-serialisable and free
+        of wall-clock values; its digest keys the comparison.
+    :param result: a :class:`~repro.simulation.simulator.WorkloadResult`
+        (duck-typed — anything with the same aggregate surface).
+    :param metrics: optional
+        :class:`~repro.obs.metrics.MetricsRegistry`; its snapshot is
+        embedded under ``"metrics"``.
+    :param timeline: optional :class:`~repro.obs.timeline
+        .TimelineSampler`; its tracks are downsampled over the run's
+        makespan and embedded under ``"timelines"``.
+    :param label: free-form run label (e.g. the algorithm name).
+    """
+    records = result.records
+    report: Dict[str, object] = {
+        "schema": REPORT_SCHEMA,
+        "kind": kind,
+        "label": label,
+        "config": dict(config),
+        "config_digest": config_digest(config),
+        "answer_digest": answer_digest(records),
+        "latency": {
+            "mean": result.mean_response,
+            "max": result.max_response,
+            "makespan": result.makespan,
+            **{
+                f"p{int(fraction * 100)}": result.percentile(fraction)
+                for fraction in PERCENTILES
+            },
+        },
+        "breakdown": result.breakdown.as_dict(),
+        "counts": {
+            "queries": len(records),
+            "rounds": sum(r.rounds for r in records),
+            "pages_fetched": sum(r.pages_fetched for r in records),
+            "buffer_hits": result.total_buffer_hits,
+            "coalesced_fetches": result.coalesced_fetches,
+            "mean_seek_distance": result.mean_seek_distance,
+            "throughput": result.throughput,
+            "retries": result.total_retries,
+            "fetch_failures": result.total_fetch_failures,
+            "failovers": result.total_failovers,
+            "partial_queries": result.partial_queries,
+            "aborted_queries": result.aborted_queries,
+            "deadline_exceeded_queries": result.deadline_exceeded_queries,
+        },
+        "utilization": {
+            "disk": list(result.disk_utilizations),
+            "disk_max": (
+                max(result.disk_utilizations)
+                if result.disk_utilizations
+                else 0.0
+            ),
+            "disk_mean": (
+                sum(result.disk_utilizations) / len(result.disk_utilizations)
+                if result.disk_utilizations
+                else 0.0
+            ),
+            "bus": result.bus_utilization,
+            "cpu": result.cpu_utilization,
+        },
+    }
+    if metrics is not None:
+        report["metrics"] = metrics.snapshot()
+    if timeline is not None:
+        report["timelines"] = timeline.snapshot(
+            until=result.makespan, buckets=timeline_buckets
+        )
+    return report
+
+
+def bench_run_report(
+    kind: str,
+    doc: Mapping,
+    metrics: Mapping[str, float],
+    config: Mapping,
+) -> Dict[str, object]:
+    """Wrap a benchmark document's deterministic scalars as a RunReport.
+
+    The bench harnesses (:mod:`repro.perf.bench`,
+    :mod:`repro.perf.sched_bench`) have their own document shapes; for
+    ``repro diff`` they flatten their seed-reproducible numeric leaves
+    into the ``"metrics"`` mapping of a RunReport envelope.
+    """
+    return {
+        "schema": REPORT_SCHEMA,
+        "kind": kind,
+        "label": str(doc.get("label", "")),
+        "config": dict(config),
+        "config_digest": config_digest(config),
+        "metrics": dict(metrics),
+    }
+
+
+def write_report(doc: Mapping, path: str) -> None:
+    """Write *doc* as stable, diff-friendly JSON (byte-deterministic)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(source: Union[str, IO, Mapping]) -> Dict[str, object]:
+    """Load and schema-check a RunReport from a path, file, or dict."""
+    if isinstance(source, Mapping):
+        doc = dict(source)
+    elif hasattr(source, "read"):
+        doc = json.load(source)
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    if not isinstance(doc, dict):
+        raise ValueError(f"run report must be a JSON object, got {type(doc)}")
+    schema = doc.get("schema")
+    if schema != REPORT_SCHEMA:
+        raise ValueError(
+            f"unsupported run-report schema {schema!r} "
+            f"(this build reads {REPORT_SCHEMA!r})"
+        )
+    return doc
+
+
+def format_report(doc: Mapping, width: int = 60) -> str:
+    """A short terminal rendering of a RunReport."""
+    lines = [
+        f"run report: kind={doc.get('kind')} label={doc.get('label') or '-'} "
+        f"config {doc.get('config_digest', '')[:12]}"
+    ]
+    latency = doc.get("latency")
+    if latency:
+        lines.append(
+            "  latency   : "
+            + "  ".join(
+                f"{key} {latency[key]:.4f}s"
+                for key in ("mean", "p50", "p95", "p99", "max")
+                if key in latency
+            )
+        )
+    utilization = doc.get("utilization")
+    if utilization:
+        lines.append(
+            f"  utilization: disk max {utilization['disk_max']:.3f} / "
+            f"mean {utilization['disk_mean']:.3f}, "
+            f"bus {utilization['bus']:.3f}, cpu {utilization['cpu']:.3f}"
+        )
+    timelines = doc.get("timelines")
+    if timelines:
+        from repro.obs.timeline import sparkline
+
+        label_width = max(len(name) for name in timelines)
+        lines.append("  timelines :")
+        for name in sorted(timelines):
+            track = timelines[name]
+            lines.append(
+                f"    {name:<{label_width}}  "
+                f"{sparkline(list(track['values']))}  "
+                f"max {track['max']:g}"
+            )
+    return "\n".join(lines)

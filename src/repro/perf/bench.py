@@ -268,6 +268,33 @@ def canonical_bytes(doc: Dict[str, object]) -> bytes:
     ).encode()
 
 
+def to_run_report(doc: Dict[str, object]) -> Dict[str, object]:
+    """The bench document as a RunReport envelope for ``repro diff``.
+
+    Every seed-reproducible numeric leaf of the document (wall-clock
+    keys stripped) flattens to a dotted-path metric, so two bench runs
+    compare metric-by-metric exactly like two workload RunReports.
+    """
+    from repro.obs.diff import flatten_numeric
+    from repro.obs.report import bench_run_report
+
+    stripped = strip_nondeterministic(doc)
+    config = {
+        "schema": stripped.get("schema"),
+        "smoke": stripped.get("smoke"),
+        "seed": stripped.get("seed"),
+        "suite": [
+            {
+                key: entry[key]
+                for key in ("dataset", "n", "dims", "queries", "disks", "k")
+                if key in entry
+            }
+            for entry in stripped.get("configs", [])
+        ],
+    }
+    return bench_run_report("bench", doc, flatten_numeric(stripped), config)
+
+
 def write_bench(doc: Dict[str, object], path: str) -> None:
     """Write the bench document as stable, diff-friendly JSON."""
     with open(path, "w") as handle:

@@ -178,6 +178,28 @@ def canonical_bytes(doc: Dict[str, object]) -> bytes:
     return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
 
 
+def to_run_report(doc: Dict[str, object]) -> Dict[str, object]:
+    """The scheduler-bench document as a RunReport envelope.
+
+    Every numeric leaf is already seed-reproducible (the document has
+    no wall-clock values), so the whole document flattens into the
+    envelope's metrics for ``repro diff``.
+    """
+    from repro.obs.diff import flatten_numeric
+    from repro.obs.report import bench_run_report
+
+    config = {
+        "schema": doc.get("schema"),
+        "smoke": doc.get("smoke"),
+        "seed": doc.get("seed"),
+        "algorithm": doc.get("algorithm"),
+        "workload": dict(doc.get("config", {})),
+    }
+    return bench_run_report(
+        "bench-schedulers", doc, flatten_numeric(doc), config
+    )
+
+
 def format_summary(doc: Dict[str, object]) -> str:
     """A terminal-friendly summary of a scheduler-bench document."""
     config = doc["config"]
@@ -213,5 +235,6 @@ __all__ = [
     "canonical_bytes",
     "format_summary",
     "run_sched_bench",
+    "to_run_report",
     "write_bench",
 ]

@@ -230,6 +230,7 @@ class Resource:
         name: str = "",
         tracer=None,
         gauge=None,
+        busy_gauge=None,
         scheduler=None,
     ):
         if capacity < 1:
@@ -244,9 +245,12 @@ class Resource:
         #: Observability probes: the tracer receives a queue-depth
         #: counter sample at every change (when enabled); the optional
         #: gauge (a :class:`repro.obs.metrics.Gauge`) integrates the
-        #: same signal time-weighted.  Both default to no-ops.
+        #: same signal time-weighted.  The optional busy gauge tracks
+        #: the in-use count (0/1 for unit capacity) — its time-weighted
+        #: mean is the resource's utilization.  All default to no-ops.
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.gauge = gauge
+        self.busy_gauge = busy_gauge
         self._in_use = 0
         self._waiting: List[Event] = []
         self.grants = 0
@@ -280,6 +284,16 @@ class Resource:
             self.gauge.set(now, depth)
         if self.tracer.enabled:
             self.tracer.counter(self.name or "resource", "queue", now, depth)
+
+    def _probe_busy(self) -> None:
+        """Report the new in-use count to the busy probe.
+
+        Only immediate grants and idle releases change ``in_use`` — a
+        release that hands off to a waiter keeps the resource busy, so
+        the step function stays continuous across handoffs.
+        """
+        if self.busy_gauge is not None:
+            self.busy_gauge.set(self.env.now, self._in_use)
 
     @property
     def mean_wait_time(self) -> float:
@@ -318,6 +332,7 @@ class Resource:
             self._in_use += 1
             self.grants += 1
             self._held_since[event] = self.env.now
+            self._probe_busy()
             event.succeed()
         else:
             self._account()
@@ -371,3 +386,4 @@ class Resource:
             self._probe_queue()
         else:
             self._in_use -= 1
+            self._probe_busy()

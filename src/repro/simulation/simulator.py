@@ -122,6 +122,11 @@ class WorkloadResult:
     disk_requests: List[int] = field(default_factory=list)
     #: Multi-page transactions issued by the coalescing layer.
     coalesced_fetches: int = 0
+    #: Shared-bus busy fraction over the makespan (the quantity the
+    #: paper's §5 FPSS saturation argument turns on).
+    bus_utilization: float = 0.0
+    #: CPU busy fraction over the makespan.
+    cpu_utilization: float = 0.0
 
     @property
     def mean_response(self) -> float:
@@ -240,6 +245,12 @@ class SimulatedExecutor:
         query/round spans (default: the no-op null tracer).
     :param metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
         receiving the batch-width histogram.
+    :param timeline: optional
+        :class:`~repro.obs.timeline.TimelineSampler`; when given, the
+        executor drives the ``queries.in_flight``, ``buffer.hit_rate``
+        and (for algorithms exposing a candidate ``stack``, i.e. CRSS)
+        ``crss.stack_depth`` tracks.  Event-driven — attaching one
+        never changes the simulated run.
     :param deadline: optional per-query deadline in simulated seconds
         (measured from arrival).  Once it passes, every page still
         pending at the next fetch round resolves as unreachable at zero
@@ -254,6 +265,7 @@ class SimulatedExecutor:
         tree,
         tracer=None,
         metrics=None,
+        timeline=None,
         deadline: Optional[float] = None,
     ):
         if deadline is not None and deadline <= 0:
@@ -272,7 +284,14 @@ class SimulatedExecutor:
                 f"model)"
             )
         self.tracer = NULL_TRACER if tracer is None else tracer
+        self.timeline = timeline
         self.deadline = deadline
+        #: Timeline state: queries currently inside the system, and the
+        #: candidate-stack contribution of each in-flight query (so the
+        #: aggregate track updates in O(1) per round).
+        self._in_flight = 0
+        self._stack_depths: dict = {}
+        self._stack_total = 0
         self._pages_spanned = getattr(tree, "pages_spanned", lambda pid: 1)
         self._batch_width = (
             metrics.histogram("batch_width", minimum=1.0)
@@ -280,6 +299,34 @@ class SimulatedExecutor:
             else None
         )
         self._next_qid = 0
+
+    def _sample_stack(self, qid: int, algorithm) -> None:
+        """Update the aggregate candidate-stack track for one query.
+
+        Only algorithms exposing a sized ``stack`` attribute (CRSS)
+        contribute; everything else is a silent no-op, so the track is
+        simply absent on FPSS/BBSS runs.
+        """
+        if self.timeline is None:
+            return
+        stack = getattr(algorithm, "stack", None)
+        if stack is None:
+            return
+        depth = len(stack)
+        previous = self._stack_depths.get(qid, 0)
+        if depth != previous:
+            self._stack_depths[qid] = depth
+            self._stack_total += depth - previous
+            self.timeline.record(
+                "crss.stack_depth", self.env.now, self._stack_total
+            )
+
+    def _retire_stack(self, qid: int, ts: float) -> None:
+        """Drop a completed query's candidate-stack contribution."""
+        previous = self._stack_depths.pop(qid, 0)
+        if previous:
+            self._stack_total -= previous
+            self.timeline.record("crss.stack_depth", ts, self._stack_total)
 
     def query_process(
         self, algorithm: SearchAlgorithm, qid: Optional[int] = None
@@ -293,6 +340,10 @@ class SimulatedExecutor:
         breakdown = Breakdown()
 
         arrival = self.env.now
+        timeline = self.timeline
+        if timeline is not None:
+            self._in_flight += 1
+            timeline.record("queries.in_flight", arrival, self._in_flight)
         deadline_at = (
             arrival + self.deadline if self.deadline is not None else None
         )
@@ -312,6 +363,7 @@ class SimulatedExecutor:
         answers: List[Neighbor] = []
         try:
             request = next(coroutine)
+            self._sample_stack(qid, algorithm)
             while True:
                 buffer = getattr(self.system, "buffer", None)
                 round_start = self.env.now
@@ -342,6 +394,14 @@ class SimulatedExecutor:
                                 continue
                         missed.append(page_id)
                     buffer_hits += hits_this_round
+                    if (
+                        timeline is not None
+                        and buffer is not None
+                        and request.pages
+                    ):
+                        timeline.record(
+                            "buffer.hit_rate", round_start, buffer.hit_rate
+                        )
                     # Issue the round's I/O: one fetch per page — or,
                     # when coalescing, one transaction per disk covering
                     # every sibling page the round sends there.
@@ -467,10 +527,15 @@ class SimulatedExecutor:
                     )
 
                 request = coroutine.send(fetched)
+                self._sample_stack(qid, algorithm)
         except StopIteration as stop:
             answers = stop.value if stop.value is not None else []
 
         completion = self.env.now
+        if timeline is not None:
+            self._in_flight -= 1
+            timeline.record("queries.in_flight", completion, self._in_flight)
+            self._retire_stack(qid, completion)
         complete = getattr(algorithm, "complete", True)
         certified_radius = getattr(algorithm, "certified_radius", math.inf)
         unreachable_pages = getattr(algorithm, "unreachable_pages", 0)
@@ -598,6 +663,7 @@ def simulate_workload(
     seed: int = 0,
     tracer=None,
     metrics=None,
+    timeline=None,
     fault_plan: Optional[FaultPlan] = None,
     retry_policy: Optional[RetryPolicy] = None,
     deadline: Optional[float] = None,
@@ -618,6 +684,11 @@ def simulate_workload(
     :param metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
         populated with response-time/batch-width histograms, queue-depth
         gauges and I/O counters.
+    :param timeline: optional
+        :class:`~repro.obs.timeline.TimelineSampler` recording
+        simulated-time series (queue depths, busy indicators, buffer
+        hit rate, in-flight queries, CRSS stack depth).  Sampling is
+        event-driven: attaching one does not change the run.
     :param fault_plan: optional :class:`~repro.faults.plan.FaultPlan`
         injecting disk faults (see :mod:`repro.faults`).
     :param retry_policy: retry/timeout/backoff policy for faulty runs.
@@ -633,11 +704,12 @@ def simulate_workload(
     env = Environment()
     system = DiskArraySystem(
         env, tree.num_disks, params=params, seed=seed,
-        tracer=tracer, metrics=metrics,
+        tracer=tracer, metrics=metrics, timeline=timeline,
         fault_plan=fault_plan, retry_policy=retry_policy,
     )
     executor = SimulatedExecutor(
-        env, system, tree, tracer=tracer, metrics=metrics, deadline=deadline
+        env, system, tree, tracer=tracer, metrics=metrics,
+        timeline=timeline, deadline=deadline,
     )
     result = WorkloadResult()
     arrival_rng = random.Random(seed ^ 0xA5A5A5)
@@ -691,6 +763,9 @@ def simulate_workload(
         model.requests_served for model in system.disk_models
     ]
     result.coalesced_fetches = system.coalesced_fetches
+    if result.makespan > 0:
+        result.bus_utilization = system.bus.total_hold_time / result.makespan
+        result.cpu_utilization = system.cpu.total_hold_time / result.makespan
     if metrics is not None:
         record_workload_metrics(metrics, result)
     return result

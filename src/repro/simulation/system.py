@@ -47,6 +47,7 @@ from typing import Callable, Generator, List, NamedTuple, Optional, Sequence, Tu
 from repro.disks.model import DiskModel
 from repro.faults.plan import FaultPlan, FaultState
 from repro.faults.policy import RetryPolicy
+from repro.obs.metrics import fanout_gauges
 from repro.obs.trace import NULL_TRACER
 from repro.simulation.buffer import BufferPool
 from repro.simulation.cpu import CpuModel
@@ -258,6 +259,12 @@ class DiskArraySystem:
     :param metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
         when given, per-disk/bus/cpu queue-depth gauges are wired into
         the resources.
+    :param timeline: optional
+        :class:`~repro.obs.timeline.TimelineSampler`; when given, each
+        disk and the bus drive ``disk<N>.queue_depth`` / ``disk<N>.busy``
+        / ``bus.queue_depth`` / ``bus.busy`` tracks.  Sampling is
+        event-driven (no calendar events, no RNG), so attaching one
+        changes nothing about the simulated run.
     :param fault_plan: optional :class:`~repro.faults.plan.FaultPlan`;
         when given, fetches run through the retry loop documented in
         the module docstring.
@@ -274,6 +281,7 @@ class DiskArraySystem:
         seed: int = 0,
         tracer=None,
         metrics=None,
+        timeline=None,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
     ):
@@ -285,6 +293,7 @@ class DiskArraySystem:
         self.cpu_model = CpuModel(self.params.cpu_mips)
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.metrics = metrics
+        self.timeline = timeline
         self.fault_plan = fault_plan
         self.faults = fault_plan.state() if fault_plan is not None else None
         self.retry_policy = (
@@ -300,9 +309,22 @@ class DiskArraySystem:
         self.failovers = 0  # always 0 on RAID-0; RAID-1 overrides
 
         def _gauge(name: str):
-            if metrics is None:
+            metrics_gauge = (
+                metrics.gauge(f"{name}.queue_depth")
+                if metrics is not None
+                else None
+            )
+            timeline_track = (
+                timeline.track(f"{name}.queue_depth")
+                if timeline is not None
+                else None
+            )
+            return fanout_gauges(metrics_gauge, timeline_track)
+
+        def _busy(name: str):
+            if timeline is None:
                 return None
-            return metrics.gauge(f"{name}.queue_depth")
+            return timeline.track(f"{name}.busy")
 
         self.disk_queues: List[Resource] = []
         self.disk_models: List[DiskModel] = []
@@ -321,14 +343,14 @@ class DiskArraySystem:
             # the pre-scheduler code path.
             self.disk_queues.append(
                 Resource(env, name=track, tracer=self.tracer,
-                         gauge=_gauge(track),
+                         gauge=_gauge(track), busy_gauge=_busy(track),
                          scheduler=make_scheduler(self.params.scheduler,
                                                   model))
             )
         self.tracer.track("bus")
         self.tracer.track("cpu")
         self.bus = Resource(env, name="bus", tracer=self.tracer,
-                            gauge=_gauge("bus"))
+                            gauge=_gauge("bus"), busy_gauge=_busy("bus"))
         self.cpu = Resource(env, name="cpu", tracer=self.tracer,
                             gauge=_gauge("cpu"))
         #: Optional LRU page buffer (None when buffer_pages == 0 — the

@@ -129,6 +129,42 @@ class TestBreakdownSumsToResponseTime:
             result.mean_response, rel=1e-6
         )
 
+    @pytest.mark.parametrize("scheduler", ("fcfs", "sstf", "scan", "clook"))
+    def test_telescopes_with_timeline_under_every_scheduler(
+        self, parallel_tree, scheduler
+    ):
+        """The breakdown invariant survives both seek-aware reordering
+        and an attached TimelineSampler: the components still telescope
+        to the response time, and the telemetry doesn't shift a single
+        simulated instant."""
+        from repro.datasets import sample_queries
+        from repro.obs.timeline import TimelineSampler
+
+        points = [p for p, _ in parallel_tree.tree.iter_points()]
+        queries = sample_queries(points, 8, seed=8)
+        params = SystemParameters(scheduler=scheduler)
+
+        def run(timeline):
+            return simulate_workload(
+                parallel_tree,
+                make_factory("CRSS", parallel_tree, 5),
+                queries,
+                arrival_rate=15.0,
+                params=params,
+                seed=6,
+                timeline=timeline,
+            )
+
+        result = run(TimelineSampler())
+        for record in result.records:
+            assert record.breakdown.total == pytest.approx(
+                record.response_time, rel=1e-6
+            )
+        untimed = run(None)
+        assert [r.response_time.hex() for r in result.records] == [
+            r.response_time.hex() for r in untimed.records
+        ]
+
     def test_serial_single_fetch_rounds_have_no_barrier_idle(
         self, parallel_tree
     ):

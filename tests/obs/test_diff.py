@@ -1,0 +1,227 @@
+"""Tests for RunReport diffing, regression gating and saturation analysis."""
+
+import pytest
+
+from repro.obs.diff import (
+    SATURATION_FLOOR,
+    classify_saturation,
+    diff_reports,
+    flatten_numeric,
+)
+
+
+def _report(latency_mean=0.1, throughput=10.0, **extra):
+    """A minimal RunReport-shaped dict for diffing."""
+    doc = {
+        "schema": "repro-run-report/1",
+        "kind": "simulate",
+        "config": {"seed": 0},
+        "config_digest": "abc",
+        "answer_digest": "digest0",
+        "latency": {"mean": latency_mean},
+        "counts": {"throughput": throughput},
+        "utilization": {"disk": [0.2, 0.3], "bus": 0.1, "cpu": 0.05},
+    }
+    doc.update(extra)
+    return doc
+
+
+class TestFlattenNumeric:
+    def test_dotted_paths_and_list_indexing(self):
+        flat = flatten_numeric(
+            {"a": {"b": 1}, "list": [2.0, {"c": 3}], "s": "skip"}
+        )
+        assert flat == {"a.b": 1.0, "list.0": 2.0, "list.1.c": 3.0}
+
+    def test_skips_config_values_and_bools(self):
+        flat = flatten_numeric(
+            {
+                "config": {"seed": 7},
+                "timelines": {"t": {"mean": 0.5, "values": [1, 2, 3]}},
+                "flag": True,
+            }
+        )
+        assert flat == {"timelines.t.mean": 0.5}
+
+
+class TestDiffReports:
+    def test_identical_reports_are_clean(self):
+        diff = diff_reports(_report(), _report())
+        assert diff.exit_code == 0
+        assert diff.regressions == []
+        assert diff.changed == []
+        assert diff.comparable
+        assert diff.answers_match is True
+
+    def test_latency_increase_is_a_regression(self):
+        diff = diff_reports(_report(0.1), _report(0.2))
+        names = [d.name for d in diff.regressions]
+        assert names == ["latency.mean"]
+        assert diff.exit_code == 1
+        delta = diff.regressions[0]
+        assert delta.delta == pytest.approx(0.1)
+        assert delta.relative == pytest.approx(1.0)
+        assert delta.direction == 1
+
+    def test_latency_decrease_is_an_improvement(self):
+        diff = diff_reports(_report(0.2), _report(0.1))
+        assert diff.exit_code == 0
+        assert [d.name for d in diff.changed] == ["latency.mean"]
+
+    def test_throughput_decrease_is_a_regression(self):
+        diff = diff_reports(
+            _report(throughput=10.0), _report(throughput=8.0)
+        )
+        assert [d.name for d in diff.regressions] == ["counts.throughput"]
+        assert diff.regressions[0].direction == -1
+
+    def test_rel_tol_suppresses_small_moves(self):
+        diff = diff_reports(_report(0.100), _report(0.104), rel_tol=0.05)
+        assert diff.exit_code == 0
+        strict = diff_reports(_report(0.100), _report(0.104), rel_tol=0.01)
+        assert strict.exit_code == 1
+
+    def test_abs_tol_guards_zero_baselines(self):
+        # Off a zero baseline relative change is undefined: the absolute
+        # threshold alone decides.
+        diff = diff_reports(_report(0.0), _report(5e-10))
+        assert diff.exit_code == 0
+        diff = diff_reports(_report(0.0), _report(0.01))
+        assert diff.exit_code == 1
+        assert diff.regressions[0].relative is None
+
+    def test_ungated_metrics_never_regress(self):
+        diff = diff_reports(
+            _report(utilization={"disk": [0.1], "bus": 0.1, "cpu": 0.0}),
+            _report(utilization={"disk": [0.9], "bus": 0.1, "cpu": 0.0}),
+        )
+        assert diff.exit_code == 0
+        assert any(d.name == "utilization.disk.0" for d in diff.changed)
+
+    def test_missing_metrics_reported_by_side(self):
+        diff = diff_reports(
+            _report(extra_metric=1.0), _report(other_metric=2.0)
+        )
+        assert diff.missing == {
+            "extra_metric": "baseline",
+            "other_metric": "candidate",
+        }
+
+    def test_config_and_answer_mismatch_flagged(self):
+        candidate = _report()
+        candidate["config_digest"] = "xyz"
+        candidate["answer_digest"] = "digest1"
+        diff = diff_reports(_report(), candidate)
+        assert not diff.comparable
+        assert diff.answers_match is False
+        text = diff.summary()
+        assert "not like-for-like" in text
+        assert "answer digests differ" in text
+
+    def test_answers_match_none_when_absent(self):
+        baseline, candidate = _report(), _report()
+        del baseline["answer_digest"]
+        assert diff_reports(baseline, candidate).answers_match is None
+
+    def test_rejects_negative_thresholds(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            diff_reports(_report(), _report(), rel_tol=-1.0)
+
+    def test_summary_marks_regressions(self):
+        text = diff_reports(_report(0.1), _report(0.2)).summary()
+        assert "REGRESSION" in text
+        assert "exit 1" in text
+        clean = diff_reports(_report(), _report()).summary()
+        assert "exit 0" in clean
+
+    def test_gating_reaches_bench_envelope_metrics(self):
+        def bench(mean):
+            return {
+                "schema": "repro-run-report/1",
+                "kind": "bench",
+                "config": {},
+                "config_digest": "abc",
+                "metrics": {
+                    "configs.0.algorithms.CRSS.simulate.response_mean_s": mean
+                },
+            }
+
+        diff = diff_reports(bench(0.1), bench(0.2))
+        assert diff.exit_code == 1
+
+
+class TestClassifySaturation:
+    def test_hottest_disk_represents_the_array(self):
+        analysis = classify_saturation(
+            {"utilization": {"disk": [0.1, 0.9, 0.2], "bus": 0.5, "cpu": 0.1}}
+        )
+        assert analysis["bound"] == "disk-bound"
+        assert analysis["disk_util_max"] == 0.9
+
+    def test_bus_bound(self):
+        analysis = classify_saturation(
+            {"utilization": {"disk": [0.5], "bus": 0.85, "cpu": 0.1}}
+        )
+        assert analysis["bound"] == "bus-bound"
+
+    def test_cpu_bound(self):
+        analysis = classify_saturation(
+            {"utilization": {"disk": [0.1], "bus": 0.2, "cpu": 0.95}}
+        )
+        assert analysis["bound"] == "cpu-bound"
+
+    def test_below_floor_is_unsaturated(self):
+        analysis = classify_saturation(
+            {"utilization": {"disk": [0.5], "bus": 0.5, "cpu": 0.5}}
+        )
+        assert analysis["bound"] == "unsaturated"
+        assert analysis["floor"] == SATURATION_FLOOR
+
+    def test_ties_break_disk_first(self):
+        analysis = classify_saturation(
+            {"utilization": {"disk": [0.9], "bus": 0.9, "cpu": 0.9}}
+        )
+        assert analysis["bound"] == "disk-bound"
+
+    def test_empty_report(self):
+        assert classify_saturation({})["bound"] == "unsaturated"
+
+
+class TestPaperSaturationRegime:
+    """The acceptance scenario: at 16 disks with a slow shared bus,
+    FPSS's full fan-out saturates the SCSI bus (the paper's §5
+    explanation for its collapse at high disk counts) while CRSS's
+    restricted candidate set leaves every resource unsaturated."""
+
+    @pytest.mark.slow
+    def test_fpss_goes_bus_bound_where_crss_does_not(self):
+        from repro.datasets import sample_queries, uniform
+        from repro.experiments.setup import make_factory
+        from repro.obs.report import build_run_report
+        from repro.parallel import build_parallel_tree
+        from repro.simulation import simulate_workload
+        from repro.simulation.parameters import SystemParameters
+
+        points = uniform(4000, 2, seed=1)
+        tree = build_parallel_tree(points, dims=2, num_disks=16)
+        queries = sample_queries(points, 30, seed=2)
+        params = SystemParameters(bus_time=0.004, buffer_pages=8)
+
+        analyses = {}
+        for name in ("FPSS", "CRSS"):
+            result = simulate_workload(
+                tree,
+                make_factory(name, tree, 10),
+                queries,
+                arrival_rate=40.0,
+                params=params,
+                seed=3,
+            )
+            doc = build_run_report(
+                "simulate", {"algorithm": name}, result, label=name
+            )
+            analyses[name] = classify_saturation(doc)
+
+        assert analyses["FPSS"]["bound"] == "bus-bound"
+        assert analyses["FPSS"]["bus_util"] > analyses["FPSS"]["disk_util_max"]
+        assert analyses["CRSS"]["bound"] == "unsaturated"

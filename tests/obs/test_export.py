@@ -141,3 +141,105 @@ class TestValidator:
         events = [{"ph": "?", "pid": 1, "ts": 0.0}]
         with pytest.raises(ValueError, match="unknown phase"):
             validate_chrome_trace({"traceEvents": events})
+
+
+def _counter_event(**overrides):
+    event = {"ph": "C", "pid": 1, "tid": 3, "ts": 1.5, "name": "t depth",
+             "args": {"depth": 2.0}}
+    event.update(overrides)
+    return event
+
+
+class TestCounterValidation:
+    def test_valid_counter_accepted(self):
+        assert validate_chrome_trace(
+            {"traceEvents": [_counter_event()]}
+        ) == 1
+
+    def test_rejects_missing_name(self):
+        with pytest.raises(ValueError, match="need a 'name'"):
+            validate_chrome_trace({"traceEvents": [_counter_event(name="")]})
+
+    def test_rejects_missing_tid(self):
+        event = _counter_event()
+        del event["tid"]
+        with pytest.raises(ValueError, match="need a 'tid'"):
+            validate_chrome_trace({"traceEvents": [event]})
+
+    def test_rejects_empty_args(self):
+        with pytest.raises(ValueError, match="non-empty 'args'"):
+            validate_chrome_trace({"traceEvents": [_counter_event(args={})]})
+
+    def test_rejects_non_numeric_series(self):
+        with pytest.raises(ValueError, match="must be numeric"):
+            validate_chrome_trace(
+                {"traceEvents": [_counter_event(args={"depth": "deep"})]}
+            )
+
+    def test_rejects_boolean_series(self):
+        """JSON true/false are ints in Python; Perfetto can't plot them."""
+        with pytest.raises(ValueError, match="must be numeric"):
+            validate_chrome_trace(
+                {"traceEvents": [_counter_event(args={"busy": True})]}
+            )
+
+
+class TestTimelineCounterRoundTrip:
+    """TimelineSampler → tracer counters → Chrome export → validator."""
+
+    def test_flushed_timeline_round_trips(self, tmp_path):
+        from repro.obs.timeline import TimelineSampler
+
+        sampler = TimelineSampler()
+        sampler.record("disk0.queue_depth", 0.0, 0.0)
+        sampler.record("disk0.queue_depth", 0.5, 2.0)
+        sampler.record("bus.busy", 0.25, 1.0)
+        tracer = Tracer()
+        assert sampler.flush_to_tracer(tracer) == 3
+
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer, str(path))
+        document = json.loads(path.read_text())
+        assert validate_chrome_trace(document) == len(
+            document["traceEvents"]
+        )
+
+        counters = [
+            e for e in document["traceEvents"] if e["ph"] == "C"
+        ]
+        assert len(counters) == 3
+        # Timestamps are microseconds; args carry the sampled value
+        # under the series name.
+        got = sorted(
+            (event["name"], event["ts"], *event["args"].items())
+            for event in counters
+        )
+        assert got == [
+            ("timeline bus.busy", 0.25e6, ("bus.busy", 1.0)),
+            ("timeline disk0.queue_depth", 0.0, ("disk0.queue_depth", 0.0)),
+            ("timeline disk0.queue_depth", 0.5e6,
+             ("disk0.queue_depth", 2.0)),
+        ]
+
+    def test_simulated_timeline_export_is_schema_valid(
+        self, ten_disk_tree, obs_queries
+    ):
+        from repro.obs.timeline import TimelineSampler
+
+        tracer = Tracer()
+        sampler = TimelineSampler()
+        simulate_workload(
+            ten_disk_tree,
+            make_factory("CRSS", ten_disk_tree, 5),
+            obs_queries,
+            arrival_rate=8.0,
+            seed=5,
+            tracer=tracer,
+            timeline=sampler,
+        )
+        assert sampler.flush_to_tracer(tracer) > 0
+        document = chrome_trace(tracer)
+        assert validate_chrome_trace(document) == len(
+            document["traceEvents"]
+        )
+        assert any(e["ph"] == "C" for e in document["traceEvents"])

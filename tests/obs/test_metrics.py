@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    fanout_gauges,
+)
 
 
 class TestCounter:
@@ -39,6 +45,32 @@ class TestGauge:
         gauge.set(2.0, 1.0)
         with pytest.raises(ValueError, match="non-decreasing"):
             gauge.set(1.0, 2.0)
+
+    def test_time_travel_leaves_the_gauge_unchanged(self):
+        """The rejected sample must not mutate anything: a clamped
+        write would credit the old value a negative interval and could
+        drive the time-weighted mean negative."""
+        gauge = Gauge("q")
+        gauge.set(0.0, 4.0)
+        gauge.set(2.0, 1.0)
+        before = (gauge.value, gauge.max_value, gauge.mean(until=3.0))
+        with pytest.raises(ValueError):
+            gauge.set(1.0, 100.0)
+        assert (gauge.value, gauge.max_value, gauge.mean(until=3.0)) \
+            == before
+        assert gauge.mean(until=3.0) >= 0.0
+
+    def test_duplicate_ts_is_last_write_wins_with_zero_weight(self):
+        gauge = Gauge("q")
+        gauge.set(0.0, 2.0)
+        gauge.set(1.0, 100.0)  # superseded at the same instant...
+        gauge.set(1.0, 6.0)    # ...so it carries no weight in the mean
+        assert gauge.value == 6.0
+        # value 2 over [0,1], then value 6 over [1,2]
+        assert gauge.mean(until=2.0) == pytest.approx(4.0)
+        # It still counts toward max and the sample count.
+        assert gauge.max_value == 100.0
+        assert gauge.summary()["samples"] == 3
 
 
 class TestHistogram:
@@ -110,6 +142,49 @@ class TestRegistry:
         registry.counter("a")
         with pytest.raises(TypeError, match="already registered"):
             registry.gauge("a")
+
+    def test_type_clash_message_names_both_kinds(self):
+        registry = MetricsRegistry()
+        registry.histogram("latency")
+        with pytest.raises(
+            TypeError,
+            match=r"'latency' is already registered as a Histogram.*"
+            r"cannot also be used as a Counter",
+        ):
+            registry.counter("latency")
+
+    def test_subclass_does_not_satisfy_the_exact_type_check(self):
+        """A subclass is a different metric contract: handing it back
+        for the base-class accessor would be the silent misuse the
+        guard exists to catch."""
+
+        class TaggedCounter(Counter):
+            pass
+
+        registry = MetricsRegistry()
+        registry._metrics["a"] = TaggedCounter("a")
+        with pytest.raises(TypeError, match="TaggedCounter"):
+            registry.counter("a")
+
+    def test_histogram_bucket_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("t", minimum=1.0, factor=2.0)
+        with pytest.raises(ValueError, match="already registered with"):
+            registry.histogram("t", minimum=0.5, factor=2.0)
+        # Same parameters re-request fine.
+        assert registry.histogram("t", minimum=1.0, factor=2.0) is \
+            registry.histogram("t", minimum=1.0, factor=2.0)
+
+    def test_fanout_gauges(self):
+        a, b = Gauge("a"), Gauge("b")
+        assert fanout_gauges() is None
+        assert fanout_gauges(None, None) is None
+        assert fanout_gauges(a, None) is a
+        fanout = fanout_gauges(a, b)
+        fanout.set(0.0, 1.0)
+        fanout.set(2.0, 3.0)
+        assert a.value == b.value == 3.0
+        assert a.mean() == b.mean() == pytest.approx(1.0)
 
     def test_snapshot_sorted_and_plain(self):
         registry = MetricsRegistry()

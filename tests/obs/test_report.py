@@ -1,0 +1,155 @@
+"""Tests for RunReport artifacts: structure, determinism, round-trip."""
+
+import json
+
+import pytest
+
+from repro.datasets import sample_queries
+from repro.experiments.setup import make_factory
+from repro.obs import MetricsRegistry
+from repro.obs.report import (
+    REPORT_SCHEMA,
+    answer_digest,
+    bench_run_report,
+    build_run_report,
+    canonical_report_bytes,
+    config_digest,
+    format_report,
+    load_report,
+    write_report,
+)
+from repro.obs.timeline import TimelineSampler
+from repro.simulation import simulate_workload
+
+
+@pytest.fixture(scope="module")
+def report_run(parallel_tree):
+    """One seeded workload run with metrics and a timeline attached."""
+
+    def run():
+        points = [p for p, _ in parallel_tree.tree.iter_points()]
+        queries = sample_queries(points, 8, seed=13)
+        metrics = MetricsRegistry()
+        timeline = TimelineSampler()
+        result = simulate_workload(
+            parallel_tree,
+            make_factory("CRSS", parallel_tree, 5),
+            queries,
+            arrival_rate=10.0,
+            seed=4,
+            metrics=metrics,
+            timeline=timeline,
+        )
+        config = {"command": "test", "seed": 4, "k": 5, "queries": 8}
+        return build_run_report(
+            "simulate", config, result,
+            metrics=metrics, timeline=timeline, label="CRSS",
+        )
+
+    return run
+
+
+class TestBuildRunReport:
+    def test_document_shape(self, report_run):
+        doc = report_run()
+        assert doc["schema"] == REPORT_SCHEMA
+        assert doc["kind"] == "simulate"
+        assert doc["label"] == "CRSS"
+        assert doc["config_digest"] == config_digest(doc["config"])
+        assert len(doc["answer_digest"]) == 64
+        for key in ("mean", "max", "makespan", "p50", "p90", "p95", "p99"):
+            assert key in doc["latency"]
+        assert doc["counts"]["queries"] == 8
+        assert doc["counts"]["pages_fetched"] > 0
+        assert len(doc["utilization"]["disk"]) == 5
+        assert 0.0 <= doc["utilization"]["disk_max"] <= 1.0
+        assert doc["utilization"]["bus"] > 0.0
+        assert "metrics" in doc and "timelines" in doc
+
+    def test_timelines_downsampled(self, report_run):
+        doc = report_run()
+        for track in doc["timelines"].values():
+            assert len(track["values"]) == 60
+            assert set(track) == {"samples", "last", "max", "mean", "values"}
+
+    def test_same_seed_byte_identical(self, report_run):
+        a, b = report_run(), report_run()
+        assert canonical_report_bytes(a) == canonical_report_bytes(b)
+
+    def test_json_serialisable_and_no_wallclock(self, report_run):
+        text = json.dumps(report_run(), sort_keys=True)
+        assert "wall" not in text
+
+
+class TestAnswerDigest:
+    def test_invariant_under_completion_order(self, report_run):
+        class _Neighbor:
+            def __init__(self, oid, distance):
+                self.oid, self.distance = oid, distance
+
+        class _Record:
+            def __init__(self, arrival, answers):
+                self.arrival, self.answers = arrival, answers
+
+        records = [
+            _Record(0.0, [_Neighbor(1, 0.5)]),
+            _Record(1.0, [_Neighbor(2, 0.25)]),
+        ]
+        assert answer_digest(records) == answer_digest(records[::-1])
+        changed = [records[0], _Record(1.0, [_Neighbor(2, 0.26)])]
+        assert answer_digest(records) != answer_digest(changed)
+
+
+class TestWriteLoad:
+    def test_round_trip(self, report_run, tmp_path):
+        doc = report_run()
+        path = tmp_path / "report.json"
+        write_report(doc, str(path))
+        loaded = load_report(str(path))
+        assert loaded == doc
+        # Accepts an open file and a plain dict too.
+        with open(path) as handle:
+            assert load_report(handle) == doc
+        assert load_report(doc) == doc
+
+    def test_write_is_byte_deterministic(self, report_run, tmp_path):
+        doc = report_run()
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        write_report(doc, str(first))
+        write_report(doc, str(second))
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            load_report({"schema": "something-else/9"})
+
+    def test_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_report(str(path))
+
+
+class TestBenchEnvelope:
+    def test_wraps_flat_metrics(self):
+        doc = bench_run_report(
+            "bench",
+            {"label": "PR2"},
+            {"configs.0.pages": 12.0},
+            {"seed": 0},
+        )
+        assert doc["schema"] == REPORT_SCHEMA
+        assert doc["kind"] == "bench"
+        assert doc["label"] == "PR2"
+        assert doc["metrics"] == {"configs.0.pages": 12.0}
+        assert doc["config_digest"] == config_digest({"seed": 0})
+
+
+class TestFormatReport:
+    def test_renders_sections(self, report_run):
+        text = format_report(report_run())
+        assert "kind=simulate" in text
+        assert "latency" in text
+        assert "utilization" in text
+        assert "timelines" in text
+        assert "queries.in_flight" in text

@@ -1,0 +1,225 @@
+"""Tests for simulated-time series telemetry (TimelineSampler).
+
+The load-bearing property: attaching a sampler is *purely passive* —
+it schedules nothing and draws no randomness, so every simulated
+response time is bit-identical with and without one.
+"""
+
+import pytest
+
+from repro.datasets import sample_queries
+from repro.experiments.setup import make_factory
+from repro.obs import Tracer
+from repro.obs.trace import CounterRecord
+from repro.obs.timeline import TimelineSampler, TimelineTrack, sparkline
+from repro.simulation import simulate_workload
+from repro.simulation.parameters import SystemParameters
+
+
+class TestTimelineTrack:
+    def test_samples_and_stats(self):
+        track = TimelineTrack("q")
+        track.set(0.0, 1.0)
+        track.set(2.0, 3.0)
+        assert track.samples == ((0.0, 1.0), (2.0, 3.0))
+        assert len(track) == 2
+        assert track.last == 3.0
+        assert track.max == 3.0
+        # value 1 over [0,2], then horizon extension at value 3
+        assert track.mean(until=4.0) == pytest.approx((2.0 + 6.0) / 4.0)
+
+    def test_duplicate_ts_last_write_wins(self):
+        track = TimelineTrack("q")
+        track.set(1.0, 5.0)
+        track.set(1.0, 2.0)
+        assert track.samples == ((1.0, 2.0),)
+        assert track.last == 2.0
+        # The superseded value held for zero width: no weight in the mean.
+        assert track.mean(until=2.0) == pytest.approx(2.0)
+
+    def test_empty_track(self):
+        track = TimelineTrack("q")
+        assert track.samples == ()
+        assert track.last == 0.0
+        assert track.max == 0.0
+        assert track.mean() == 0.0
+        assert track.integral(0.0, 10.0) == 0.0
+        assert track.downsample(4) == [0.0, 0.0, 0.0, 0.0]
+
+    def test_integral_is_exact(self):
+        track = TimelineTrack("q")
+        track.set(1.0, 2.0)
+        track.set(3.0, 0.0)
+        track.set(5.0, 4.0)
+        # 0 over [0,1], 2 over [1,3], 0 over [3,5], 4 over [5,∞)
+        assert track.integral(0.0, 6.0) == pytest.approx(2 * 2 + 4 * 1)
+        assert track.integral(2.0, 4.0) == pytest.approx(2.0)
+        assert track.integral(0.0, 0.5) == 0.0
+        assert track.integral(6.0, 6.0) == 0.0
+
+    def test_downsample_bucket_means(self):
+        track = TimelineTrack("q")
+        track.set(0.0, 2.0)
+        track.set(2.0, 6.0)
+        values = track.downsample(4, 0.0, 4.0)
+        assert values == pytest.approx([2.0, 2.0, 6.0, 6.0])
+        with pytest.raises(ValueError, match="positive"):
+            track.downsample(0)
+
+    def test_summary_shape(self):
+        track = TimelineTrack("q")
+        track.set(0.0, 1.0)
+        summary = track.summary(until=2.0, buckets=3)
+        assert summary["samples"] == 1
+        assert summary["last"] == 1.0
+        assert summary["max"] == 1.0
+        assert summary["mean"] == pytest.approx(1.0)
+        assert len(summary["values"]) == 3
+
+
+class TestSparkline:
+    def test_scales_to_peak(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_all_zero_renders_floor(self):
+        assert sparkline([0.0, 0.0]) == "▁▁"
+        assert sparkline([]) == ""
+
+    def test_explicit_peak(self):
+        # Against peak 100, a value of 1 rounds to the floor glyph.
+        assert sparkline([1.0], peak=100.0) == "▁"
+
+
+class TestTimelineSampler:
+    def test_track_get_or_create_and_record(self):
+        sampler = TimelineSampler()
+        track = sampler.track("a")
+        assert sampler.track("a") is track
+        sampler.record("a", 1.0, 2.0)
+        sampler.record("b", 1.0, 3.0)
+        assert sampler.names == ("a", "b")
+        assert "a" in sampler and "c" not in sampler
+        assert len(sampler) == 2
+        assert {t.name for t in sampler} == {"a", "b"}
+
+    def test_snapshot_sorted_by_name(self):
+        sampler = TimelineSampler()
+        sampler.record("z", 0.0, 1.0)
+        sampler.record("a", 0.0, 2.0)
+        snapshot = sampler.snapshot(until=1.0, buckets=2)
+        assert list(snapshot) == ["a", "z"]
+        assert snapshot["a"]["values"] == pytest.approx([2.0, 2.0])
+
+    def test_render_has_one_line_per_track(self):
+        sampler = TimelineSampler()
+        sampler.record("a", 0.0, 1.0)
+        sampler.record("b", 0.0, 2.0)
+        lines = sampler.render(until=1.0, width=10).splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a")
+        assert "max" in lines[0] and "mean" in lines[0]
+        assert TimelineSampler().render() == "(no timeline samples recorded)"
+
+    def test_flush_to_tracer_emits_counters(self):
+        sampler = TimelineSampler()
+        sampler.record("disk0.busy", 0.0, 1.0)
+        sampler.record("disk0.busy", 0.5, 0.0)
+        sampler.record("bus.busy", 0.25, 1.0)
+        tracer = Tracer()
+        assert sampler.flush_to_tracer(tracer) == 3
+        counters = [
+            r for r in tracer.records if isinstance(r, CounterRecord)
+        ]
+        assert len(counters) == 3
+        assert {c.name for c in counters} == {"disk0.busy", "bus.busy"}
+        assert all(c.track == "timeline" for c in counters)
+
+
+class TestSimulationWiring:
+    """The simulator populates the documented track names."""
+
+    @pytest.fixture(scope="class")
+    def timed_run(self, parallel_tree):
+        points = [p for p, _ in parallel_tree.tree.iter_points()]
+        queries = sample_queries(points, 8, seed=9)
+        timeline = TimelineSampler()
+        result = simulate_workload(
+            parallel_tree,
+            make_factory("CRSS", parallel_tree, 5),
+            queries,
+            arrival_rate=12.0,
+            params=SystemParameters(buffer_pages=4),
+            seed=2,
+            timeline=timeline,
+        )
+        return result, timeline
+
+    def test_standard_tracks_present(self, timed_run, parallel_tree):
+        _, timeline = timed_run
+        for disk in range(parallel_tree.num_disks):
+            assert f"disk{disk}.queue_depth" in timeline
+        assert "bus.queue_depth" in timeline
+        assert "bus.busy" in timeline
+        assert "buffer.hit_rate" in timeline
+        assert "queries.in_flight" in timeline
+        assert "crss.stack_depth" in timeline
+
+    def test_busy_mean_is_utilization(self, timed_run):
+        """The time-weighted mean of disk<N>.busy over the makespan IS
+        the WorkloadResult's reported utilization for that disk."""
+        result, timeline = timed_run
+        for disk, utilization in enumerate(result.disk_utilizations):
+            track = timeline.track(f"disk{disk}.busy")
+            if len(track) == 0:
+                assert utilization == 0.0
+                continue
+            assert track.integral(0.0, result.makespan) / result.makespan \
+                == pytest.approx(utilization, rel=1e-9)
+
+    def test_in_flight_starts_and_ends_at_zero(self, timed_run):
+        result, timeline = timed_run
+        track = timeline.track("queries.in_flight")
+        assert track.last == 0.0
+        assert track.max >= 1.0
+
+    def test_stack_depth_only_for_crss(self, parallel_tree):
+        points = [p for p, _ in parallel_tree.tree.iter_points()]
+        queries = sample_queries(points, 4, seed=9)
+        timeline = TimelineSampler()
+        simulate_workload(
+            parallel_tree,
+            make_factory("FPSS", parallel_tree, 5),
+            queries,
+            arrival_rate=12.0,
+            seed=2,
+            timeline=timeline,
+        )
+        assert "crss.stack_depth" not in timeline
+
+    @pytest.mark.parametrize("name", ("BBSS", "FPSS", "CRSS", "WOPTSS"))
+    def test_sampler_does_not_perturb_the_simulation(
+        self, parallel_tree, name
+    ):
+        """Bit-identity: telemetry is event-driven and consumes no
+        randomness, so responses match to the last float bit."""
+        points = [p for p, _ in parallel_tree.tree.iter_points()]
+        queries = sample_queries(points, 6, seed=5)
+
+        def run(timeline):
+            result = simulate_workload(
+                parallel_tree,
+                make_factory(name, parallel_tree, 4),
+                queries,
+                arrival_rate=10.0,
+                seed=7,
+                timeline=timeline,
+            )
+            return [
+                (r.arrival.hex(), r.response_time.hex())
+                for r in result.records
+            ]
+
+        assert run(None) == run(TimelineSampler())

@@ -180,6 +180,136 @@ class TestSimulateObservability:
             )
 
 
+class TestTimelineAndReportCli:
+    def test_timeline_renders_sparklines(self, capsys):
+        assert main(
+            ["simulate", *FAST, "--queries", "4", "--k", "3",
+             "--algorithms", "CRSS", "--arrival-rate", "8", "--timeline"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "timeline: CRSS" in out
+        assert "queue_depth" in out
+        assert "queries.in_flight" in out
+
+    def test_report_written_and_loadable(self, capsys, tmp_path):
+        from repro.obs import load_report
+
+        path = tmp_path / "run.json"
+        assert main(
+            ["simulate", *FAST, "--queries", "4", "--k", "3",
+             "--algorithms", "CRSS", "--arrival-rate", "8",
+             "--report", str(path)]
+        ) == 0
+        assert f"report written: {path}" in capsys.readouterr().out
+        doc = load_report(str(path))
+        assert doc["kind"] == "simulate"
+        assert doc["label"] == "CRSS"
+        assert doc["config"]["algorithm"] == "CRSS"
+        assert "timelines" in doc and "metrics" in doc
+
+    def test_multi_algorithm_reports_get_suffixes(self, capsys, tmp_path):
+        path = tmp_path / "run.json"
+        assert main(
+            ["simulate", *FAST, "--queries", "3", "--k", "2",
+             "--algorithms", "BBSS,CRSS", "--arrival-rate", "5",
+             "--report", str(path)]
+        ) == 0
+        assert (tmp_path / "run.bbss.json").exists()
+        assert (tmp_path / "run.crss.json").exists()
+        assert not path.exists()
+
+    def test_same_seed_reports_are_byte_identical(self, capsys, tmp_path):
+        args = ["simulate", *FAST, "--queries", "4", "--k", "3",
+                "--algorithms", "CRSS", "--arrival-rate", "8"]
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        assert main([*args, "--report", str(first)]) == 0
+        assert main([*args, "--report", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_timeline_counters_land_in_the_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace = tmp_path / "trace.json"
+        assert main(
+            ["simulate", *FAST, "--queries", "3", "--k", "2",
+             "--algorithms", "CRSS", "--arrival-rate", "5", "--timeline",
+             "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        document = json.loads(trace.read_text())
+        assert validate_chrome_trace(document) > 0
+        assert any(e["ph"] == "C" for e in document["traceEvents"])
+
+    def test_chaos_report(self, capsys, tmp_path):
+        from repro.obs import load_report
+
+        path = tmp_path / "chaos.json"
+        assert main(
+            ["chaos", "--dataset", "uniform", "--n", "200", "--disks", "4",
+             "--queries", "3", "--k", "4", "--algorithm", "crss",
+             "--transient", "0.05", "--report", str(path)]
+        ) == 0
+        capsys.readouterr()
+        doc = load_report(str(path))
+        assert doc["kind"] == "chaos"
+        assert doc["config"]["transient"] == 0.05
+
+    def test_missing_report_directory_rejected_up_front(self):
+        with pytest.raises(SystemExit, match="directory does not exist"):
+            main(
+                ["simulate", *FAST, "--queries", "2",
+                 "--algorithms", "CRSS", "--report", "/no/such/dir/r.json"]
+            )
+
+
+class TestDiffCli:
+    def _write_report(self, tmp_path, name, **kwargs):
+        args = ["simulate", *FAST, "--queries", "4", "--k", "3",
+                "--algorithms", "CRSS", "--arrival-rate", "8"]
+        for key, value in kwargs.items():
+            args.extend([f"--{key.replace('_', '-')}", str(value)])
+        path = tmp_path / name
+        assert main([*args, "--report", str(path)]) == 0
+        return path
+
+    def test_self_diff_is_clean(self, capsys, tmp_path):
+        path = self._write_report(tmp_path, "run.json")
+        capsys.readouterr()
+        assert main(["diff", str(path), str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "no regressions" in out
+        assert "identical digests" in out
+
+    def test_regression_exits_nonzero(self, capsys, tmp_path):
+        # A slower bus strictly lengthens transfers: latency regresses.
+        fast = self._write_report(tmp_path, "fast.json")
+        slow = self._write_report(tmp_path, "slow.json", bus_time=0.01)
+        capsys.readouterr()
+        assert main(["diff", str(fast), str(slow)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "not like-for-like" in out  # config digests differ
+
+    def test_show_prints_both_reports(self, capsys, tmp_path):
+        path = self._write_report(tmp_path, "run.json")
+        capsys.readouterr()
+        assert main(["diff", str(path), str(path), "--show"]) == 0
+        assert capsys.readouterr().out.count("run report:") == 2
+
+    def test_bad_path_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["diff", "/no/such/a.json", "/no/such/b.json"])
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "not-a-report/0"}')
+        with pytest.raises(SystemExit, match="schema"):
+            main(["diff", str(bad), str(bad)])
+
+
 class TestSchedulerCli:
     def test_simulate_accepts_scheduler_and_coalesce(self, capsys):
         assert main(
@@ -209,8 +339,10 @@ class TestSchedulerCli:
         import json
 
         out = tmp_path / "sched.json"
+        report = tmp_path / "sched.report.json"
         assert main(
-            ["bench-schedulers", "--smoke", "--out", str(out)]
+            ["bench-schedulers", "--smoke", "--out", str(out),
+             "--report", str(report)]
         ) == 0
         printed = capsys.readouterr().out
         assert "vs fcfs" in printed
@@ -219,6 +351,14 @@ class TestSchedulerCli:
         assert document["schema"] == "repro-sched-bench/1"
         names = [v["name"] for v in document["variants"]]
         assert names == ["fcfs", "sstf", "scan", "clook", "sstf+coalesce"]
+        # The RunReport envelope carries the document's deterministic
+        # scalars as flat metrics for `repro diff`.
+        envelope = json.loads(report.read_text())
+        assert envelope["schema"] == "repro-run-report/1"
+        assert envelope["kind"] == "bench-schedulers"
+        assert any(
+            key.endswith("response_mean_s") for key in envelope["metrics"]
+        )
 
     def test_bench_schedulers_missing_out_directory(self):
         with pytest.raises(SystemExit, match="directory does not exist"):
