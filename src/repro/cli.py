@@ -27,7 +27,16 @@ Python:
   distribution; ``--out`` writes the JSON report;
 * ``repro diff`` — compare two RunReport artifacts metric by metric,
   classify each run disk-/bus-/CPU-bound from its utilization tracks,
-  and exit non-zero on regression — the CI perf gate.
+  and exit non-zero on regression — the CI perf gate;
+* ``repro explain`` — answer one k-NN query and print its traversal
+  decision trace: per-level visit/prune counts with pruning reasons,
+  the Lemma-1 threshold trajectory, CRSS mode transitions, and a
+  per-disk × per-round access heatmap; ``--out`` writes the full
+  decision log as a deterministic JSON artifact.  ``simulate`` and
+  ``chaos`` accept ``--explain`` to aggregate the same traces over a
+  workload (and embed them in ``--report`` artifacts, where
+  ``repro diff`` gates the pruning-efficiency scores);
+* ``repro report show`` — pretty-print one RunReport artifact.
 
 ``simulate`` and ``chaos`` accept ``--timeline`` (render the run's
 simulated-time series as ASCII sparklines; with ``--trace`` the series
@@ -59,13 +68,19 @@ from repro.experiments.report import (
 from repro.experiments.setup import make_factory
 from repro.obs import (
     TRACE_FORMATS,
+    ExplainRecorder,
     MetricsRegistry,
     TimelineSampler,
     Tracer,
+    WorkloadExplain,
     build_run_report,
     diff_reports,
+    explain_artifact,
+    format_explain,
     format_report,
+    format_report_details,
     load_report,
+    write_explain,
     write_report,
     write_trace,
 )
@@ -140,6 +155,10 @@ def _parse_point(text: str, dims: int):
     return coords
 
 
+def _algorithm_name(text: str) -> str:
+    return text.strip().upper()
+
+
 def _add_scheduler_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scheduler",
@@ -190,6 +209,25 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         "'repro diff' (several algorithms: PATH gains a .<algorithm> "
         "suffix)",
     )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="record traversal decision traces (visited/pruned nodes with "
+        "reasons, Dth trajectories, disk fanout) and print the aggregated "
+        "pruning-efficiency / declustering section; with --report the "
+        "section is embedded in the RunReport so 'repro diff' gates it — "
+        "answers and timings are bit-identical either way",
+    )
+
+
+def _make_workload_explain(tree, label: str) -> WorkloadExplain:
+    """An explain collector wired to *tree*'s level/disk resolvers."""
+    return WorkloadExplain(
+        num_disks=tree.num_disks,
+        level_of=lambda pid: tree.page(pid).level,
+        disk_of=tree.disk_of,
+        label=label,
+    )
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -235,6 +273,70 @@ def _cmd_knn(args: argparse.Namespace) -> int:
         for n in neighbors
     ]
     print(format_table(["oid", "point", "distance"], rows, precision=5))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    for option, path in (("--out", args.out), ("--trace", args.trace)):
+        if path:
+            directory = os.path.dirname(path) or "."
+            if not os.path.isdir(directory):
+                raise SystemExit(
+                    f"{option} directory does not exist: {directory}"
+                )
+    algorithm = args.algorithm.strip().upper()
+    if algorithm not in ALGORITHMS:
+        raise SystemExit(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+        )
+    data, tree = _build_tree(args)
+    query = (
+        _parse_point(args.query, args.dims)
+        if args.query
+        else sample_queries(data, 1, seed=args.seed + 1)[0]
+    )
+    recorder = ExplainRecorder(
+        num_disks=tree.num_disks,
+        level_of=lambda pid: tree.page(pid).level,
+        disk_of=tree.disk_of,
+        label=algorithm,
+    )
+    instance = make_factory(algorithm, tree, args.k)(query)
+    instance.explain = recorder
+    executor = CountingExecutor(tree)
+    with use_vectorized(args.kernels != "scalar"):
+        neighbors = executor.execute(instance)
+    print(format_explain(recorder))
+    if args.out:
+        config = {
+            "command": "explain",
+            "dataset": args.dataset,
+            "n": args.n,
+            "dims": args.dims,
+            "disks": args.disks,
+            "page_size": args.page_size,
+            "policy": args.policy,
+            "seed": args.seed,
+            "k": args.k,
+            "algorithm": algorithm,
+            "query": list(query),
+        }
+        write_explain(explain_artifact(config, recorder, neighbors), args.out)
+        print(f"explain written: {args.out}")
+    if args.trace:
+        tracer = Tracer()
+        recorder.flush_to_tracer(tracer)
+        write_trace(tracer, args.trace, args.trace_format)
+        print(f"trace written: {args.trace} ({args.trace_format})")
+    return 0
+
+
+def _cmd_report_show(args: argparse.Namespace) -> int:
+    try:
+        doc = load_report(args.path)
+    except (OSError, ValueError) as error:
+        raise SystemExit(str(error))
+    print(format_report_details(doc))
     return 0
 
 
@@ -297,10 +399,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         tracer = Tracer() if args.trace else None
         timeline = TimelineSampler() if want_timeline else None
         metrics = MetricsRegistry() if args.report else None
+        explain = (
+            _make_workload_explain(tree, name) if args.explain else None
+        )
+        factory = make_factory(name, tree, args.k)
+        if explain is not None:
+            factory = explain.attach(factory)
         with use_vectorized(args.kernels != "scalar"):
             result = simulate_workload(
                 tree,
-                make_factory(name, tree, args.k),
+                factory,
                 queries,
                 arrival_rate=args.arrival_rate,
                 params=params,
@@ -313,12 +421,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         if tracer is not None:
             if timeline is not None:
                 timeline.flush_to_tracer(tracer)
+            if explain is not None:
+                explain.flush_to_tracer(tracer)
             path = _trace_path(args.trace, name, multi)
             write_trace(tracer, path, args.trace_format)
             trace_files.append(path)
         if args.timeline and timeline is not None:
             print(f"timeline: {name}")
             print(timeline.render(until=result.makespan))
+            print()
+        if explain is not None:
+            print(explain.render())
             print()
         if args.report:
             doc = build_run_report(
@@ -328,6 +441,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 metrics=metrics,
                 timeline=timeline,
                 label=name,
+                explain=explain,
             )
             path = _trace_path(args.report, name, multi)
             write_report(doc, path)
@@ -453,6 +567,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     timeline = (
         TimelineSampler() if (args.timeline or args.report) else None
     )
+    explain = (
+        _make_workload_explain(tree, f"{algorithm}/{args.raid}")
+        if args.explain
+        else None
+    )
     report = run_chaos(
         tree,
         algorithm,
@@ -469,9 +588,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         retry_policy=policy,
         deadline=args.deadline,
         timeline=timeline,
+        explain=explain,
     )
     if args.timeline and timeline is not None:
         print(timeline.render(until=report.result.makespan))
+        print()
+    if explain is not None:
+        print(explain.render())
         print()
     print(report.summary())
     if args.out:
@@ -512,6 +635,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             report.result,
             timeline=timeline,
             label=f"{algorithm}/{args.raid}",
+            explain=explain,
         )
         write_report(doc, args.report)
         print(f"report written: {args.report}")
@@ -562,6 +686,7 @@ def build_parser() -> argparse.ArgumentParser:
     knn.add_argument(
         "--algorithm",
         default="CRSS",
+        type=_algorithm_name,
         choices=sorted(ALGORITHMS),
         help="search algorithm (default: CRSS)",
     )
@@ -572,6 +697,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_kernels_argument(knn)
     knn.set_defaults(handler=_cmd_knn)
+
+    explain = subparsers.add_parser(
+        "explain",
+        help="answer one k-NN query and print its traversal decision "
+        "trace: per-level visit/prune counts with reasons, the Dth "
+        "trajectory, CRSS mode transitions, and the per-disk heatmap",
+    )
+    _add_tree_arguments(explain)
+    explain.add_argument(
+        "--k", type=int, default=10, help="neighbors (default: 10)"
+    )
+    explain.add_argument(
+        "--algorithm",
+        default="CRSS",
+        type=_algorithm_name,
+        choices=sorted(ALGORITHMS),
+        help="search algorithm (default: CRSS)",
+    )
+    explain.add_argument(
+        "--query",
+        default="",
+        help="comma-separated query point (default: sampled from the data)",
+    )
+    explain.add_argument(
+        "--out",
+        default="",
+        metavar="PATH",
+        help="write the full decision log as a deterministic JSON "
+        "artifact (same-seed runs are byte-identical — the CI "
+        "explain-smoke job cmp's two of them)",
+    )
+    explain.add_argument(
+        "--trace",
+        default="",
+        metavar="PATH",
+        help="write the decision events as logical trace instants "
+        "(timestamp = fetch-round index)",
+    )
+    explain.add_argument(
+        "--trace-format",
+        choices=TRACE_FORMATS,
+        default="chrome",
+        help="trace file format (default: chrome)",
+    )
+    _add_kernels_argument(explain)
+    explain.set_defaults(handler=_cmd_explain)
 
     simulate = subparsers.add_parser(
         "simulate", help="simulate a multi-user workload"
@@ -792,6 +963,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="print both reports' summaries before the delta table",
     )
     diff.set_defaults(handler=_cmd_diff)
+
+    report = subparsers.add_parser(
+        "report", help="inspect RunReport artifacts"
+    )
+    report_sub = report.add_subparsers(dest="report_command", required=True)
+    report_show = report_sub.add_parser(
+        "show",
+        help="pretty-print one RunReport JSON file: digests, latency "
+        "percentiles, counts, breakdown, utilizations, timeline "
+        "sparklines, and the explain section when present",
+    )
+    report_show.add_argument("path", help="RunReport JSON path")
+    report_show.set_defaults(handler=_cmd_report_show)
 
     paper = subparsers.add_parser(
         "paper", help="regenerate one of the paper's figures/tables"

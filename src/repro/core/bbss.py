@@ -18,6 +18,7 @@ parallelism — that is exactly the weakness the paper's CRSS addresses.
 
 from __future__ import annotations
 
+import math
 from typing import List, Mapping
 
 from repro.core.protocol import (
@@ -63,15 +64,24 @@ class BBSS(SearchAlgorithm):
 
         # Rule 1 (downward pruning, k = 1 only): an MBR whose Dmin exceeds
         # the smallest Dmm of any sibling cannot hold the nearest object.
+        explain = self.explain
         if self.k == 1 and branches:
             best_dmm_sq = min(dmm_sq for _, dmm_sq, _ in branches)
+            if explain is not None:
+                for b_dmin_sq, _, b_page_id in branches:
+                    if b_dmin_sq > best_dmm_sq:
+                        explain.prune(b_page_id, "rule1_dmm")
             branches = [b for b in branches if b[0] <= best_dmm_sq]
 
         for dmin_sq, _, page_id in branches:
             # Rule 3 (upward pruning): re-checked before every descent,
             # since the pruning radius shrinks as subtrees complete.
             if dmin_sq > neighbors.kth_distance_sq():
+                if explain is not None:
+                    explain.prune(page_id, "kth")
                 continue
+            if explain is not None:
+                explain.threshold(math.inf, neighbors.kth_distance_sq())
             fetched = yield FetchRequest([page_id])
             child = fetched.get(page_id)
             if child is None:

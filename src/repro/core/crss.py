@@ -72,12 +72,14 @@ class CRSS(SearchAlgorithm):
         dth_sq = math.inf          # Lemma 1 threshold (ADAPTIVE phase)
         reached_leaves = False     # switches ADAPTIVE -> NORMAL/UPDATE
 
+        explain = self.explain
         batch = [root_page_id]
         # Dmin lower bound per in-flight page — the certificate of any
         # page that fails to arrive (degraded mode).
         pending = {root_page_id: 0.0}
         while batch:
             fetched: Mapping[int, Node] = yield FetchRequest(batch)
+            leaves_in_batch = False
 
             # Split the fetched pages into data and branch information.
             # Each internal node is scored in one batch scan: Dmin and
@@ -98,6 +100,7 @@ class CRSS(SearchAlgorithm):
                     # UPDATE mode: new data objects refine the k-th best.
                     offer_leaf(self.query, node, neighbors)
                     reached_leaves = True
+                    leaves_in_batch = True
                 elif node.entries:
                     scan = scan_children(
                         self.query, node,
@@ -122,16 +125,32 @@ class CRSS(SearchAlgorithm):
                     dth_sq = min(dth_sq, threshold.dth_sq)
                     lower_bound = min(threshold.prefix_length, self.max_active)
                 radius_sq = dth_sq
+                prune_reason = "lemma1"
             else:
                 # NORMAL mode: the query sphere is now bounded by actual
                 # data (or still infinite if fewer than k objects seen).
                 radius_sq = min(dth_sq, neighbors.kth_distance_sq())
                 lower_bound = 1
+                prune_reason = (
+                    "lemma1"
+                    if dth_sq <= neighbors.kth_distance_sq()
+                    else "kth"
+                )
+            if explain is not None:
+                explain.mode(
+                    "ADAPTIVE"
+                    if not reached_leaves
+                    else ("UPDATE" if leaves_in_batch else "NORMAL")
+                )
+                explain.threshold(dth_sq, neighbors.kth_distance_sq())
 
             active, saved = self._reduce(
-                frontier, fr_dmin_sq, fr_dmm_sq, radius_sq, lower_bound
+                frontier, fr_dmin_sq, fr_dmm_sq, radius_sq, lower_bound,
+                prune_reason,
             )
             stack.push_run(saved)
+            if explain is not None and saved:
+                explain.stacked(len(saved))
 
             # No activation from the frontier: fall back to the stack
             # (the paper's Get-Candidate-Run), run by run.
@@ -139,6 +158,11 @@ class CRSS(SearchAlgorithm):
                 radius_sq = min(dth_sq, neighbors.kth_distance_sq())
                 run = stack.pop_run()
                 survivors = stack.filter_popped(run, radius_sq)
+                if explain is not None:
+                    # The guard cut: once one candidate of a run misses
+                    # the sphere, the rest of the run is rejected at once.
+                    for candidate in run[len(survivors):]:
+                        explain.prune(candidate.ref.page_id, "guard")
                 if not survivors:
                     continue
                 active = survivors[: self.max_active]
@@ -149,6 +173,8 @@ class CRSS(SearchAlgorithm):
             # TERMINATE mode: nothing active and nothing stacked.
             batch = [candidate.ref.page_id for candidate in active]
             pending = {c.ref.page_id: c.dmin_sq for c in active}
+        if explain is not None:
+            explain.mode("TERMINATE")
         return neighbors.as_sorted()
 
     def _reduce(
@@ -158,17 +184,22 @@ class CRSS(SearchAlgorithm):
         dmm_sq: List[float],
         radius_sq: float,
         lower_bound: int,
+        prune_reason: str = "lemma1",
     ) -> Tuple[List[Candidate], List[Candidate]]:
         """Apply the candidate reduction criterion plus the l..u bound.
 
         *dmin_sq* / *dmm_sq* are the frontier's batch-computed distances,
         aligned with *frontier*.  Returns ``(active, saved)``; rejected
-        branches are dropped.
+        branches are dropped (and recorded under *prune_reason* when an
+        explain recorder is attached).
         """
+        explain = self.explain
         qualified: List[Candidate] = []
         preferred: List[Candidate] = []  # Dmm < D_th: surely useful
         for ref, ref_dmin_sq, ref_dmm_sq in zip(frontier, dmin_sq, dmm_sq):
             if ref_dmin_sq > radius_sq:
+                if explain is not None:
+                    explain.prune(ref.page_id, prune_reason)
                 continue  # criterion (i): rejected outright
             candidate = Candidate(ref_dmin_sq, ref)
             if ref_dmm_sq < radius_sq:

@@ -81,23 +81,28 @@ class CountingExecutor:
         Statistics for the run are left in :attr:`last_stats`.
         """
         stats = SearchStats()
+        explain = getattr(algorithm, "explain", None)
         coroutine = algorithm.run(self._tree.root_page_id)
         try:
             request: FetchRequest = next(coroutine)
             while True:
-                fetched = self._fetch(request, stats)
+                fetched = self._fetch(request, stats, explain)
                 request = coroutine.send(fetched)
         except StopIteration as stop:
             self.last_stats = stats
             return stop.value if stop.value is not None else []
 
-    def _fetch(self, request: FetchRequest, stats: SearchStats) -> Dict[int, Node]:
+    def _fetch(
+        self, request: FetchRequest, stats: SearchStats, explain=None
+    ) -> Dict[int, Node]:
         fetched: Dict[int, Optional[Node]] = {}
         round_disks: Counter = Counter()
+        withheld: List[int] = []
         for page_id in request.pages:
             if page_id in self.unavailable:
                 fetched[page_id] = None
                 stats.unreachable_pages += 1
+                withheld.append(page_id)
                 continue
             node = self._tree.page(page_id)
             fetched[page_id] = node
@@ -112,6 +117,11 @@ class CountingExecutor:
                 round_disks[disk] += spanned
         stats.rounds += 1
         stats.max_batch = max(stats.max_batch, len(request.pages))
+        if explain is not None:
+            explain.observe_round(
+                [p for p in request.pages if p not in self.unavailable],
+                withheld,
+            )
         if round_disks:
             stats.critical_path += max(round_disks.values())
         else:

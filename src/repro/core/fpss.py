@@ -11,6 +11,7 @@ control over the number of fetched nodes.
 
 from __future__ import annotations
 
+import math
 from typing import List, Mapping
 
 from repro.core.protocol import (
@@ -56,6 +57,10 @@ class FPSS(SearchAlgorithm):
                     dmax_sq.extend(scan.dmax_sq)
             pending = self._activate(frontier, dmin_sq, dmax_sq, neighbors)
             batch = list(pending)
+        if self.explain is not None:
+            # Terminal sample: the leaf scans ran after the last
+            # activation, so the final k-th distance lands here.
+            self.explain.threshold(math.inf, neighbors.kth_distance_sq())
         return neighbors.as_sorted()
 
     def _activate(
@@ -77,7 +82,16 @@ class FPSS(SearchAlgorithm):
         dth_sq = threshold_distance_sq(
             self.query, frontier, self.k, dmax_sq=dmax_sq
         ).dth_sq
-        radius_sq = min(dth_sq, neighbors.kth_distance_sq())
+        kth_sq = neighbors.kth_distance_sq()
+        radius_sq = min(dth_sq, kth_sq)
+        explain = self.explain
+        if explain is not None:
+            explain.threshold(dth_sq, kth_sq)
+            # The tighter bound takes the credit for each rejection.
+            reason = "lemma1" if dth_sq <= kth_sq else "kth"
+            for ref, d in zip(frontier, dmin_sq):
+                if d > radius_sq:
+                    explain.prune(ref.page_id, reason)
         return {
             ref.page_id: d
             for ref, d in zip(frontier, dmin_sq)

@@ -121,6 +121,11 @@ class SearchAlgorithm:
         #: Squared ``Dmin`` lower bounds of subtrees the executor could
         #: not deliver (empty on a fault-free run).
         self._unreachable_dmin_sq: List[float] = []
+        #: Optional :class:`~repro.obs.explain.ExplainRecorder` capturing
+        #: the traversal decision log.  ``None`` (the default) keeps
+        #: every instrumented path a no-op; attaching one never changes
+        #: the search (the recorder is write-only and draws no RNG).
+        self.explain = None
 
     # -- degraded-mode certificate -------------------------------------------
 

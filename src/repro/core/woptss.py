@@ -60,6 +60,7 @@ class WOPTSS(SearchAlgorithm):
     def run(self, root_page_id: int) -> SearchCoroutine:
         neighbors = NeighborList(self.query, self.k)
         radius_sq = squared_radius(self.oracle_dk)
+        explain = self.explain
         batch = [root_page_id]
         # Dmin lower bound per in-flight page — the certificate of any
         # page that fails to arrive (degraded mode).
@@ -75,11 +76,17 @@ class WOPTSS(SearchAlgorithm):
                     offer_leaf(self.query, node, neighbors)
                 else:
                     scan = scan_children(self.query, node)
+                    if explain is not None:
+                        for ref, d in zip(scan.refs, scan.dmin_sq):
+                            if d > radius_sq:
+                                explain.prune(ref.page_id, "oracle")
                     next_pending.update(
                         (ref.page_id, d)
                         for ref, d in zip(scan.refs, scan.dmin_sq)
                         if d <= radius_sq
                     )
+            if explain is not None:
+                explain.threshold(radius_sq, neighbors.kth_distance_sq())
             pending = next_pending
             batch = list(pending)
         return neighbors.as_sorted()

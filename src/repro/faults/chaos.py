@@ -167,6 +167,7 @@ def run_chaos(
     deadline: Optional[float] = None,
     metrics=None,
     timeline=None,
+    explain=None,
 ) -> ChaosReport:
     """Replay a seeded workload under a fault plan and report robustness.
 
@@ -192,6 +193,10 @@ def run_chaos(
     :param timeline: optional
         :class:`~repro.obs.timeline.TimelineSampler` recording the
         run's simulated-time series (see the workload runners).
+    :param explain: optional
+        :class:`~repro.obs.explain.WorkloadExplain` collector; every
+        query's algorithm gets a per-query decision recorder attached
+        (bit-identity-neutral — answers and timings are unchanged).
     :returns: the distilled :class:`ChaosReport`.  The underlying
         :class:`~repro.simulation.simulator.WorkloadResult` rides along
         as ``report.result`` (not serialized) so callers can build a
@@ -205,6 +210,8 @@ def run_chaos(
 
     name = algorithm.strip().upper()
     factory = make_factory(name, tree, k)
+    if explain is not None:
+        factory = explain.attach(factory)
     plan = fault_plan if fault_plan is not None else FaultPlan(seed=seed)
     policy = retry_policy if retry_policy is not None else RetryPolicy()
 

@@ -47,6 +47,17 @@ from repro.obs.diff import (
     diff_reports,
     flatten_numeric,
 )
+from repro.obs.explain import (
+    EXPLAIN_SCHEMA,
+    ExplainRecorder,
+    WorkloadExplain,
+    explain_artifact,
+    format_explain,
+    format_workload_explain,
+    heatmap_dict,
+    render_heatmap,
+    write_explain,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -62,6 +73,7 @@ from repro.obs.report import (
     canonical_report_bytes,
     config_digest,
     format_report,
+    format_report_details,
     load_report,
     write_report,
 )
@@ -82,6 +94,8 @@ __all__ = [
     "COMPONENT_HEADERS",
     "Counter",
     "CounterRecord",
+    "EXPLAIN_SCHEMA",
+    "ExplainRecorder",
     "Gauge",
     "Histogram",
     "InstantRecord",
@@ -96,6 +110,7 @@ __all__ = [
     "TimelineSampler",
     "TimelineTrack",
     "Tracer",
+    "WorkloadExplain",
     "answer_digest",
     "bench_run_report",
     "build_run_report",
@@ -106,15 +121,22 @@ __all__ = [
     "config_digest",
     "diff_reports",
     "dumps_jsonl",
+    "explain_artifact",
     "fanout_gauges",
     "flatten_numeric",
+    "format_explain",
     "format_report",
+    "format_report_details",
+    "format_workload_explain",
+    "heatmap_dict",
     "load_report",
     "per_query_report",
+    "render_heatmap",
     "sparkline",
     "validate_chrome_trace",
     "workload_report",
     "write_chrome_trace",
+    "write_explain",
     "write_jsonl",
     "write_report",
     "write_trace",

@@ -19,6 +19,7 @@ resource near its limit — the regime where adding load still helps).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from fnmatch import fnmatchcase
 from typing import Dict, List, Mapping, Optional
@@ -47,11 +48,19 @@ HIGHER_IS_WORSE = (
     "metrics.*makespan_s",
     "metrics.*pages_fetched",
     "metrics.*mean_seek_distance",
+    # EXPLAIN aggregates: visiting more nodes per query means the
+    # pruning rules got weaker.
+    "explain.pruning.visited_per_query",
 )
 
 #: Metric-path patterns whose DECREASE is a regression.
 LOWER_IS_WORSE = (
     "counts.throughput",
+    # EXPLAIN aggregates: pruning efficiency, declustering fanout and
+    # Lemma-1 tightness all degrade downward.
+    "explain.pruning.efficiency",
+    "explain.declustering.mean_fanout_ratio",
+    "explain.threshold.mean_tightness",
 )
 
 #: Subtrees :func:`flatten_numeric` skips: identity/metadata, and the
@@ -66,7 +75,10 @@ def flatten_numeric(
 
     Lists index numerically (``utilization.disk.3``); booleans and
     strings are skipped, as are the ``config`` subtree (compared by
-    digest) and downsampled timeline ``values`` vectors.
+    digest) and downsampled timeline ``values`` vectors.  Non-finite
+    leaves (NaN, ±inf — e.g. an unbounded certified radius) are
+    skipped too: they carry no magnitude to gate on, and NaN would
+    poison every comparison it touches.
     """
     flat: Dict[str, float] = {}
 
@@ -82,7 +94,8 @@ def flatten_numeric(
         elif isinstance(node, bool):
             return
         elif isinstance(node, (int, float)):
-            flat[path] = float(node)
+            if math.isfinite(node):
+                flat[path] = float(node)
 
     walk(dict(doc), prefix)
     return flat

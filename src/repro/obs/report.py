@@ -69,6 +69,7 @@ def build_run_report(
     timeline=None,
     label: str = "",
     timeline_buckets: int = TIMELINE_BUCKETS,
+    explain=None,
 ) -> Dict[str, object]:
     """Distil one workload run into a JSON-ready RunReport document.
 
@@ -86,6 +87,12 @@ def build_run_report(
         .TimelineSampler`; its tracks are downsampled over the run's
         makespan and embedded under ``"timelines"``.
     :param label: free-form run label (e.g. the algorithm name).
+    :param explain: optional
+        :class:`~repro.obs.explain.WorkloadExplain` collector; its
+        aggregate (pruning efficiency, threshold tightness, the
+        declustering heatmap) is embedded under ``"explain"``.  The
+        flag is deliberately **not** part of the config digest: an
+        explain run stays comparable like-for-like with a plain one.
     """
     records = result.records
     report: Dict[str, object] = {
@@ -142,6 +149,8 @@ def build_run_report(
         report["timelines"] = timeline.snapshot(
             until=result.makespan, buckets=timeline_buckets
         )
+    if explain is not None:
+        report["explain"] = explain.aggregate()
     return report
 
 
@@ -231,4 +240,58 @@ def format_report(doc: Mapping, width: int = 60) -> str:
                 f"{sparkline(list(track['values']))}  "
                 f"max {track['max']:g}"
             )
+    return "\n".join(lines)
+
+
+def format_report_details(doc: Mapping) -> str:
+    """The full terminal rendering of a RunReport (``repro report show``).
+
+    Extends :func:`format_report` with the identity digests, per-query
+    counts, the mean breakdown, per-disk utilizations, and — when the
+    run was recorded with ``--explain`` — the aggregated EXPLAIN
+    section (pruning efficiency, threshold tightness, declustering
+    heatmap).
+    """
+    lines = [format_report(doc)]
+    digest = doc.get("answer_digest")
+    if digest:
+        lines.append(f"  answers   : digest {digest[:16]}…")
+    counts = doc.get("counts")
+    if counts:
+        lines.append("  counts    :")
+        for key in sorted(counts):
+            value = counts[key]
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"    {key:<26} {rendered}")
+    breakdown = doc.get("breakdown")
+    if breakdown:
+        total = sum(v for v in breakdown.values() if isinstance(v, float))
+        lines.append("  breakdown : mean per-query seconds")
+        for key in sorted(breakdown):
+            value = breakdown[key]
+            share = f" ({value / total:5.1%})" if total else ""
+            lines.append(f"    {key:<26} {value:.6f}{share}")
+    utilization = doc.get("utilization") or {}
+    disks = utilization.get("disk")
+    if disks:
+        lines.append("  disks     :")
+        for disk_id, value in enumerate(disks):
+            lines.append(f"    disk{disk_id:<3} util {value:.3f}")
+    metrics = doc.get("metrics")
+    if isinstance(metrics, Mapping) and metrics:
+        scalars = {
+            key: value
+            for key, value in metrics.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        if scalars:
+            lines.append("  metrics   :")
+            for key in sorted(scalars):
+                lines.append(f"    {key:<34} {scalars[key]:g}")
+    explain = doc.get("explain")
+    if explain:
+        from repro.obs.explain import format_workload_explain
+
+        lines.append("")
+        lines.append(format_workload_explain(explain))
     return "\n".join(lines)

@@ -171,10 +171,17 @@ def sparkline(values: List[float], peak: Optional[float] = None) -> str:
     """Render *values* as a row of block glyphs, scaled to *peak*.
 
     *peak* defaults to ``max(values)``; an all-zero series renders as
-    the lowest glyph throughout.
+    the lowest glyph throughout.  A degenerate track — constant and
+    non-zero, with no explicit *peak* to scale against — renders as a
+    flat mid-height bar: scaled to its own maximum every sample would
+    hit the top glyph, which reads as a saturated series rather than
+    an unchanging one.
     """
     if peak is None:
         peak = max(values) if values else 0.0
+        if values and peak > 0 and min(values) == peak:
+            mid = (len(_SPARK_GLYPHS) - 1) // 2
+            return _SPARK_GLYPHS[mid] * len(values)
     if peak <= 0:
         return _SPARK_GLYPHS[0] * len(values)
     top = len(_SPARK_GLYPHS) - 1

@@ -495,6 +495,12 @@ class SimulatedExecutor:
                     pid: None if pid in failed_pages else self.tree.page(pid)
                     for pid in request.pages
                 }
+                explain = getattr(algorithm, "explain", None)
+                if explain is not None:
+                    explain.observe_round(
+                        [p for p in request.pages if p not in failed_pages],
+                        sorted(failed_pages),
+                    )
                 rounds += 1
                 if self._batch_width is not None:
                     self._batch_width.observe(len(request.pages))

@@ -1,5 +1,7 @@
 """Tests for RunReport diffing, regression gating and saturation analysis."""
 
+import math
+
 import pytest
 
 from repro.obs.diff import (
@@ -42,6 +44,94 @@ class TestFlattenNumeric:
             }
         )
         assert flat == {"timelines.t.mean": 0.5}
+
+    def test_deep_nesting_and_mixed_lists(self):
+        flat = flatten_numeric(
+            {
+                "a": {"b": {"c": {"d": [{"e": 1}, [2, "x", 3.5], "s"]}}},
+                "top": 0,
+            }
+        )
+        assert flat == {
+            "a.b.c.d.0.e": 1.0,
+            "a.b.c.d.1.0": 2.0,
+            "a.b.c.d.1.2": 3.5,
+            "top": 0.0,
+        }
+
+    def test_non_finite_leaves_are_skipped(self):
+        flat = flatten_numeric(
+            {
+                "nan": math.nan,
+                "inf": math.inf,
+                "ninf": -math.inf,
+                "nested": {"radius": math.inf, "ok": 2.0},
+                "list": [1.0, math.nan, 3.0],
+            }
+        )
+        assert flat == {
+            "nested.ok": 2.0,
+            "list.0": 1.0,
+            "list.2": 3.0,
+        }
+
+    def test_non_finite_values_never_gate(self):
+        # A certified radius that goes inf must not raise or regress.
+        base = _report(extra_section={"radius": 1.0})
+        cand = _report(extra_section={"radius": math.inf})
+        diff = diff_reports(base, cand)
+        assert diff.exit_code == 0
+        assert diff.missing.get("extra_section.radius") == "baseline"
+
+
+class TestExplainGating:
+    def _with_explain(self, efficiency, ratio, tightness, per_query):
+        return _report(
+            explain={
+                "pruning": {
+                    "efficiency": efficiency,
+                    "visited_per_query": per_query,
+                },
+                "declustering": {"mean_fanout_ratio": ratio},
+                "threshold": {"mean_tightness": tightness},
+            }
+        )
+
+    def test_efficiency_drop_is_a_regression(self):
+        diff = diff_reports(
+            self._with_explain(0.9, 0.9, 0.9, 10.0),
+            self._with_explain(0.5, 0.9, 0.9, 10.0),
+        )
+        assert [d.name for d in diff.regressions] == [
+            "explain.pruning.efficiency"
+        ]
+        assert diff.exit_code == 1
+
+    def test_fanout_and_tightness_drop_regress(self):
+        diff = diff_reports(
+            self._with_explain(0.9, 0.9, 0.9, 10.0),
+            self._with_explain(0.9, 0.5, 0.5, 10.0),
+        )
+        assert {d.name for d in diff.regressions} == {
+            "explain.declustering.mean_fanout_ratio",
+            "explain.threshold.mean_tightness",
+        }
+
+    def test_visited_per_query_increase_regresses(self):
+        diff = diff_reports(
+            self._with_explain(0.9, 0.9, 0.9, 10.0),
+            self._with_explain(0.9, 0.9, 0.9, 20.0),
+        )
+        assert [d.name for d in diff.regressions] == [
+            "explain.pruning.visited_per_query"
+        ]
+
+    def test_improvements_stay_clean(self):
+        diff = diff_reports(
+            self._with_explain(0.5, 0.5, 0.5, 20.0),
+            self._with_explain(0.9, 0.9, 0.9, 10.0),
+        )
+        assert diff.exit_code == 0
 
 
 class TestDiffReports:

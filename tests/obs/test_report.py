@@ -15,6 +15,7 @@ from repro.obs.report import (
     canonical_report_bytes,
     config_digest,
     format_report,
+    format_report_details,
     load_report,
     write_report,
 )
@@ -153,3 +154,87 @@ class TestFormatReport:
         assert "utilization" in text
         assert "timelines" in text
         assert "queries.in_flight" in text
+
+
+class TestExplainEmbedding:
+    def test_explain_rides_along_without_moving_the_run(
+        self, parallel_tree, report_run
+    ):
+        from repro.obs import WorkloadExplain
+
+        points = [p for p, _ in parallel_tree.tree.iter_points()]
+        queries = sample_queries(points, 8, seed=13)
+        explain = WorkloadExplain(
+            num_disks=parallel_tree.num_disks,
+            level_of=lambda pid: parallel_tree.page(pid).level,
+            disk_of=parallel_tree.disk_of,
+            label="CRSS",
+        )
+        result = simulate_workload(
+            parallel_tree,
+            explain.attach(make_factory("CRSS", parallel_tree, 5)),
+            queries,
+            arrival_rate=10.0,
+            seed=4,
+        )
+        config = {"command": "test", "seed": 4, "k": 5, "queries": 8}
+        doc = build_run_report(
+            "simulate", config, result, label="CRSS", explain=explain
+        )
+        section = doc["explain"]
+        assert section["queries"] == 8
+        assert section["pruning"]["visited"] == doc["counts"][
+            "pages_fetched"
+        ]
+        # Bit-identity: the recorded run produced the same answers and
+        # the same report body as the bare fixture run.
+        bare = report_run()
+        assert doc["answer_digest"] == bare["answer_digest"]
+        assert doc["latency"] == bare["latency"]
+        assert doc["counts"] == bare["counts"]
+
+
+class TestFormatReportDetails:
+    def test_extends_summary_with_counts_and_breakdown(self, report_run):
+        doc = report_run()
+        text = format_report_details(doc)
+        # Everything the short rendering shows, plus the deep sections.
+        assert format_report(doc).splitlines()[0] in text
+        assert "answers   : digest" in text
+        assert "pages_fetched" in text
+        assert "breakdown" in text
+        assert "disk0" in text
+
+    def test_renders_embedded_explain_section(self, report_run):
+        doc = report_run()
+        doc["explain"] = {
+            "label": "CRSS",
+            "queries": 8,
+            "pruning": {
+                "visited": 10,
+                "pruned": 30,
+                "considered": 40,
+                "efficiency": 0.75,
+                "visited_per_query": 1.25,
+                "reasons": {"lemma1": 30},
+            },
+            "per_level": {},
+            "threshold": {
+                "mean_tightness": 0.5,
+                "queries_with_threshold": 8,
+            },
+            "declustering": {
+                "mean_fanout": 2.0,
+                "mean_fanout_ratio": 0.8,
+                "rounds": 16,
+            },
+            "heatmap": {"disks": 1, "rounds": 1, "values": [[3]]},
+        }
+        text = format_report_details(doc)
+        assert "efficiency 75.0%" in text
+        assert "lemma1 30" in text
+        assert "mean fanout" in text
+
+    def test_plain_report_has_no_explain_section(self, report_run):
+        text = format_report_details(report_run())
+        assert "efficiency" not in text

@@ -92,6 +92,21 @@ class TestSparkline:
         # Against peak 100, a value of 1 rounds to the floor glyph.
         assert sparkline([1.0], peak=100.0) == "▁"
 
+    def test_constant_nonzero_renders_flat_mid_bar(self):
+        # Scaled to its own max, a constant series would read as a
+        # saturated one; the degenerate case renders flat instead.
+        assert sparkline([5.0, 5.0, 5.0]) == "▄▄▄"
+
+    def test_single_sample_renders_flat_mid_bar(self):
+        assert sparkline([3.0]) == "▄"
+
+    def test_explicit_peak_overrides_degenerate_flattening(self):
+        # A constant series against an external scale is meaningful.
+        assert sparkline([100.0, 100.0], peak=100.0) == "██"
+
+    def test_constant_series_matching_peak_zero_is_floor(self):
+        assert sparkline([0.0], peak=0.0) == "▁"
+
 
 class TestTimelineSampler:
     def test_track_get_or_create_and_record(self):

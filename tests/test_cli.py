@@ -265,6 +265,136 @@ class TestTimelineAndReportCli:
             )
 
 
+class TestExplainCli:
+    def test_prints_decision_trace(self, capsys):
+        assert main(["explain", *FAST, "--k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "pruning efficiency" in out
+        assert "traversal" in out
+        assert "disk0" in out  # the heatmap rows
+
+    def test_each_algorithm_runs(self, capsys):
+        for algorithm in ("BBSS", "FPSS", "CRSS", "WOPTSS"):
+            assert main(
+                ["explain", *FAST, "--k", "3", "--algorithm", algorithm]
+            ) == 0
+            assert algorithm in capsys.readouterr().out
+
+    def test_same_seed_artifacts_are_byte_identical(self, capsys, tmp_path):
+        args = ["explain", *FAST, "--k", "5", "--algorithm", "CRSS"]
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        assert main([*args, "--out", str(first)]) == 0
+        assert main([*args, "--out", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_trace_export_validates(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace = tmp_path / "explain.trace.json"
+        assert main(
+            ["explain", *FAST, "--k", "3", "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert validate_chrome_trace(json.loads(trace.read_text())) > 0
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explain", *FAST, "--algorithm", "NOPE"])
+
+    def test_missing_out_directory_rejected_up_front(self):
+        with pytest.raises(SystemExit, match="directory does not exist"):
+            main(["explain", *FAST, "--out", "/no/such/dir/e.json"])
+
+
+class TestExplainFlag:
+    def test_simulate_explain_prints_and_embeds(self, capsys, tmp_path):
+        from repro.obs import load_report
+
+        path = tmp_path / "run.json"
+        assert main(
+            ["simulate", *FAST, "--queries", "4", "--k", "3",
+             "--algorithms", "CRSS", "--arrival-rate", "8",
+             "--explain", "--report", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "prune reasons" in out
+        doc = load_report(str(path))
+        assert doc["explain"]["queries"] == 4
+        assert doc["explain"]["pruning"]["pruned"] > 0
+
+    def test_explain_run_matches_plain_run_otherwise(self, capsys,
+                                                     tmp_path):
+        import json
+
+        args = ["simulate", *FAST, "--queries", "4", "--k", "3",
+                "--algorithms", "CRSS", "--arrival-rate", "8"]
+        plain, explained = tmp_path / "p.json", tmp_path / "e.json"
+        assert main([*args, "--report", str(plain)]) == 0
+        assert main([*args, "--explain", "--report", str(explained)]) == 0
+        capsys.readouterr()
+        a = json.loads(plain.read_text())
+        b = json.loads(explained.read_text())
+        b.pop("explain")
+        assert a == b  # config digest included: same artifact otherwise
+
+    def test_chaos_explain_records_unreachable(self, capsys, tmp_path):
+        from repro.obs import load_report
+
+        path = tmp_path / "chaos.json"
+        assert main(
+            ["chaos", "--dataset", "uniform", "--n", "200", "--disks", "4",
+             "--queries", "3", "--k", "4", "--algorithm", "crss",
+             "--crash", "0@0.0", "--crash", "1@0.0", "--crash", "2@0.0",
+             "--crash", "3@0.0", "--explain", "--report", str(path)]
+        ) == 0
+        capsys.readouterr()
+        doc = load_report(str(path))
+        reasons = doc["explain"]["pruning"]["reasons"]
+        assert reasons.get("unreachable", 0) > 0
+
+    def test_explain_events_land_in_the_trace(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.json"
+        assert main(
+            ["simulate", *FAST, "--queries", "3", "--k", "2",
+             "--algorithms", "CRSS", "--arrival-rate", "5",
+             "--explain", "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        document = json.loads(trace.read_text())
+        explain_events = [
+            e for e in document["traceEvents"]
+            if e.get("cat") == "explain"
+        ]
+        assert explain_events
+        assert any(e["name"] == "prune" for e in explain_events)
+
+
+class TestReportShowCli:
+    def test_pretty_prints_report(self, capsys, tmp_path):
+        path = tmp_path / "run.json"
+        assert main(
+            ["simulate", *FAST, "--queries", "4", "--k", "3",
+             "--algorithms", "CRSS", "--arrival-rate", "8",
+             "--explain", "--report", str(path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", "show", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "run report" in out
+        assert "counts" in out
+        assert "breakdown" in out
+        assert "prune reasons" in out  # the embedded explain section
+
+    def test_bad_path_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["report", "show", "/no/such/report.json"])
+
+
 class TestDiffCli:
     def _write_report(self, tmp_path, name, **kwargs):
         args = ["simulate", *FAST, "--queries", "4", "--k", "3",
