@@ -20,6 +20,17 @@ Python:
   (FCFS / SSTF / SCAN / C-LOOK, plus request coalescing) on the
   multi-user workload and write ``BENCH_PR4.json``; ``simulate`` and
   ``chaos`` accept the same ``--scheduler``/``--coalesce`` knobs;
+* ``repro serve`` — multiplex a traffic scenario (Poisson, bursty
+  MMPP, diurnal, hot-spot skew, or closed-loop clients) through the
+  serving frontend: admission control with priority classes and queue
+  bounds, the cross-query fetch broker that merges same-disk page
+  requests from different in-flight queries, and deadline shedding
+  that returns certified-radius degraded answers instead of timing
+  out; accepts the ``simulate`` scheduler/obs knobs;
+* ``repro bench-serving`` — sweep the serving policies
+  (no-admission / admission-only / admission+batching+shedding) over
+  offered load and write the p99-vs-throughput frontier to
+  ``BENCH_PR7.json``;
 * ``repro chaos`` — replay a seeded workload under a fault plan
   (disk crashes, fail-slow windows, transient read errors) on RAID-0
   or mirrored RAID-1, and report robustness metrics: retries,
@@ -87,6 +98,7 @@ from repro.obs import (
 from repro.parallel import build_parallel_tree
 from repro.parallel.declustering import make_policy
 from repro.perf import use_vectorized
+from repro.serving.traffic import SCENARIO_KINDS
 from repro.simulation import simulate_workload
 from repro.simulation.parameters import SystemParameters
 from repro.simulation.scheduling import SCHEDULERS
@@ -476,6 +488,213 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_config(args: argparse.Namespace, algorithm: str) -> dict:
+    """The run configuration a serve RunReport is keyed by."""
+    return {
+        "command": "serve",
+        "dataset": args.dataset,
+        "n": args.n,
+        "dims": args.dims,
+        "disks": args.disks,
+        "page_size": args.page_size,
+        "policy": args.policy,
+        "seed": args.seed,
+        "k": args.k,
+        "algorithm": algorithm,
+        "scenario": args.scenario,
+        "rate": args.rate,
+        "horizon": args.horizon,
+        "burst_factor": args.burst_factor,
+        "clients": args.clients,
+        "think_time": args.think_time,
+        "queries_per_client": args.queries_per_client,
+        "scheduler": args.scheduler,
+        "coalesce": args.coalesce,
+        "bus_time": args.bus_time,
+        "buffer_pages": args.buffer_pages,
+        "max_in_flight": args.max_in_flight,
+        "max_queued": args.max_queued,
+        "deadline": args.deadline,
+        "shed": args.shed,
+        "cross_batch": args.cross_batch,
+        "batch_window": args.batch_window,
+        "max_group_pages": args.max_group_pages,
+    }
+
+
+def _serve_policy(args: argparse.Namespace):
+    """Build the ServingPolicy the serve flags describe."""
+    from repro.serving import PriorityClass, ServingPolicy
+
+    max_in_flight = args.max_in_flight if args.max_in_flight > 0 else None
+    max_queued = args.max_queued if args.max_queued >= 0 else None
+    deadline = args.deadline if args.deadline > 0 else None
+    if max_queued is not None and max_in_flight is None:
+        raise SystemExit("--max-queued requires --max-in-flight")
+    parts = []
+    if max_in_flight is not None:
+        parts.append("admission")
+    if args.cross_batch:
+        parts.append("batching")
+    if args.shed:
+        parts.append("shedding")
+    try:
+        return ServingPolicy(
+            name="+".join(parts) if parts else "no-admission",
+            max_in_flight=max_in_flight,
+            max_queued=max_queued,
+            shed_expired=args.shed,
+            cross_query_batching=args.cross_batch,
+            batch_window=args.batch_window,
+            max_group_pages=(
+                args.max_group_pages if args.max_group_pages > 0 else None
+            ),
+            classes=(PriorityClass(deadline=deadline),),
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import make_scenario, serve_scenario
+
+    _check_out_dirs(args)
+    algorithm = args.algorithm.strip().upper()
+    if algorithm not in ALGORITHMS:
+        raise SystemExit(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+        )
+    data, tree = _build_tree(args)
+    try:
+        scenario = make_scenario(
+            args.scenario,
+            data,
+            rate=args.rate,
+            horizon=args.horizon,
+            seed=args.seed + 1,
+            burst_factor=args.burst_factor,
+            clients=args.clients,
+            think_time=args.think_time,
+            queries_per_client=args.queries_per_client,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    policy = _serve_policy(args)
+    params = SystemParameters(
+        scheduler=args.scheduler, coalesce=args.coalesce,
+        bus_time=args.bus_time, buffer_pages=args.buffer_pages,
+    )
+    want_timeline = args.timeline or bool(args.report)
+    timeline = TimelineSampler() if want_timeline else None
+    metrics = MetricsRegistry() if args.report else None
+    explain = (
+        _make_workload_explain(tree, algorithm) if args.explain else None
+    )
+    factory = make_factory(algorithm, tree, args.k)
+    if explain is not None:
+        factory = explain.attach(factory)
+    with use_vectorized(args.kernels != "scalar"):
+        serving = serve_scenario(
+            tree,
+            factory,
+            scenario,
+            policy=policy,
+            params=params,
+            seed=args.seed,
+            metrics=metrics,
+            timeline=timeline,
+        )
+
+    section = serving.serving_section()
+    counts = section["counts"]
+    latency = section["latency"]
+    wait = section["admission_wait"]
+    print(
+        f"scenario '{scenario.name}': {len(serving.queries)} queries "
+        f"({'closed-loop, ' + str(scenario.clients) + ' clients' if scenario.closed_loop else f'peak λ={args.rate}/s over {args.horizon}s'}), "
+        f"{algorithm} k={args.k}, policy {policy.name}"
+    )
+    print(
+        f"  outcomes : complete {counts['complete']}, "
+        f"degraded {counts['degraded']}, shed {counts['shed']}, "
+        f"rejected {counts['rejected']}"
+    )
+    print(
+        f"  latency  : mean {latency['mean']:.4f}  p50 {latency['p50']:.4f}  "
+        f"p95 {latency['p95']:.4f}  p99 {latency['p99']:.4f}  "
+        f"max {latency['max']:.4f}  (served queries, s)"
+    )
+    print(
+        f"  admission: wait mean {wait['mean']:.4f}s max {wait['max']:.4f}s, "
+        f"peak in-flight {counts['peak_in_flight']}, "
+        f"peak queued {counts['peak_queued']}"
+    )
+    io = section["io"]
+    print(
+        f"  io       : {io['transactions']} transactions for "
+        f"{io['logical_pages']} delivered pages "
+        f"({io['transactions_per_page']:.3f} tx/page)"
+    )
+    if serving.batching is not None:
+        b = serving.batching
+        print(
+            f"  batching : {b['batched_transactions']} shared transactions, "
+            f"{b['shared_pages']} piggybacked pages, "
+            f"max dispatch wait {b['max_dispatch_wait']:.4f}s"
+        )
+    certificates = section["certificates"]
+    if certificates["count"]:
+        print(
+            f"  degraded : {certificates['count']} certified answers, "
+            f"max radius {certificates['max_radius']:.4f}"
+        )
+    print(f"  goodput  : {section['goodput']:.1f} answered queries/s")
+    if args.timeline and timeline is not None:
+        print()
+        print(timeline.render(until=serving.result.makespan))
+    if explain is not None:
+        print()
+        print(explain.render())
+    if args.report:
+        if not serving.result.records:
+            raise SystemExit(
+                "--report needs at least one admitted query; every query "
+                "was rejected or shed"
+            )
+        doc = build_run_report(
+            "serve",
+            _serve_config(args, algorithm),
+            serving.result,
+            metrics=metrics,
+            timeline=timeline,
+            label=f"{algorithm}/{policy.name}",
+            explain=explain,
+            serving=section,
+        )
+        write_report(doc, args.report)
+        print(f"report written: {args.report}")
+    return 0
+
+
+def _cmd_bench_serving(args: argparse.Namespace) -> int:
+    from repro.serving.bench import (
+        format_summary,
+        run_serving_bench,
+        to_run_report,
+        write_bench,
+    )
+
+    _check_out_dirs(args)
+    doc = run_serving_bench(smoke=args.smoke, seed=args.seed)
+    write_bench(doc, args.out)
+    print(format_summary(doc))
+    print(f"\nbench written: {args.out}")
+    if args.report:
+        write_report(to_run_report(doc), args.report)
+        print(f"report written: {args.report}")
+    return 0
+
+
 def _check_out_dirs(args: argparse.Namespace) -> None:
     """Fail fast if an --out / --report directory is missing."""
     for option, path in (
@@ -836,6 +1055,145 @@ def build_parser() -> argparse.ArgumentParser:
         "for 'repro diff'",
     )
     sched.set_defaults(handler=_cmd_bench_schedulers)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="multiplex a traffic scenario through the serving frontend "
+        "(admission control, cross-query batching, load shedding)",
+    )
+    _add_tree_arguments(serve)
+    serve.add_argument("--k", type=int, default=10, help="neighbors (default: 10)")
+    serve.add_argument(
+        "--algorithm",
+        default="CRSS",
+        choices=sorted(ALGORITHMS),
+        help="similarity-search algorithm (default: CRSS)",
+    )
+    serve.add_argument(
+        "--scenario",
+        choices=SCENARIO_KINDS,
+        default="bursty",
+        help="traffic shape: poisson, bursty (MMPP on/off), diurnal "
+        "(cosine-modulated), hotspot (skewed query centers) or closed "
+        "(think-time clients) — default: bursty",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        help="peak arrival rate λ in queries/second (default: 50)",
+    )
+    serve.add_argument(
+        "--horizon",
+        type=float,
+        default=2.0,
+        help="arrival horizon in simulated seconds (default: 2.0)",
+    )
+    serve.add_argument(
+        "--burst-factor",
+        type=float,
+        default=4.0,
+        help="bursty scenarios: peak-to-base rate ratio (default: 4.0)",
+    )
+    serve.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        help="closed scenario: concurrent clients (default: 8)",
+    )
+    serve.add_argument(
+        "--think-time",
+        type=float,
+        default=0.05,
+        help="closed scenario: mean client think time in seconds "
+        "(default: 0.05)",
+    )
+    serve.add_argument(
+        "--queries-per-client",
+        type=int,
+        default=8,
+        help="closed scenario: queries each client issues (default: 8)",
+    )
+    serve.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=0,
+        help="admission control: concurrent query limit; 0 disables "
+        "admission (default: 0)",
+    )
+    serve.add_argument(
+        "--max-queued",
+        type=int,
+        default=-1,
+        help="admission control: waiting-queue bound beyond which "
+        "arrivals are rejected outright; -1 for unbounded (default: -1)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=0.0,
+        help="per-query deadline in seconds, counted from arrival "
+        "(admission wait included); 0 disables deadlines (default: 0)",
+    )
+    serve.add_argument(
+        "--shed",
+        action="store_true",
+        help="shed queries whose deadline expired while still queued "
+        "instead of running them (requires --deadline)",
+    )
+    serve.add_argument(
+        "--cross-batch",
+        action="store_true",
+        help="route fetches through the cross-query broker: same-disk "
+        "page requests from different in-flight queries merge into one "
+        "transaction, duplicate pages are fetched once",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.0,
+        help="broker dispatch window in seconds — how long a fetch may "
+        "wait for co-batching company (default: 0, dispatch immediately)",
+    )
+    serve.add_argument(
+        "--max-group-pages",
+        type=int,
+        default=0,
+        help="cap on pages per merged transaction (fairness bound); "
+        "0 for unbounded (default: 0)",
+    )
+    _add_scheduler_arguments(serve)
+    _add_kernels_argument(serve)
+    _add_obs_arguments(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
+    serving_bench = subparsers.add_parser(
+        "bench-serving",
+        help="sweep serving policies over offered load and write the "
+        "p99-vs-throughput frontier to BENCH_PR7.json",
+    )
+    serving_bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: small tree, short horizon, two load points",
+    )
+    serving_bench.add_argument(
+        "--out",
+        default="BENCH_PR7.json",
+        metavar="PATH",
+        help="output JSON path (default: BENCH_PR7.json)",
+    )
+    serving_bench.add_argument(
+        "--seed", type=int, default=0, help="RNG seed (default: 0)"
+    )
+    serving_bench.add_argument(
+        "--report",
+        default="",
+        metavar="PATH",
+        help="additionally write the document as a RunReport artifact "
+        "for 'repro diff'",
+    )
+    serving_bench.set_defaults(handler=_cmd_bench_serving)
 
     chaos = subparsers.add_parser(
         "chaos",

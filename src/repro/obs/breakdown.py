@@ -6,6 +6,9 @@ at their batch barriers while one straggler disk finishes.  A
 :class:`Breakdown` attributes every simulated second of one query's
 response time to exactly one component:
 
+``admission_wait``
+    time spent queued at the serving layer's admission controller
+    before entering the system (zero outside ``repro.serving``);
 ``startup``
     the flat query-startup charge (Table 1);
 ``queue_wait``
@@ -42,6 +45,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 #: Component field names, in report order.
 COMPONENTS: Tuple[str, ...] = (
+    "admission_wait",
     "startup",
     "queue_wait",
     "disk_service",
@@ -58,6 +62,7 @@ class Breakdown:
     """Additive decomposition of one query's (or workload's mean)
     response time, in seconds."""
 
+    admission_wait: float = 0.0
     startup: float = 0.0
     queue_wait: float = 0.0
     disk_service: float = 0.0
@@ -113,6 +118,7 @@ class Breakdown:
 
 #: Column headers matching :data:`COMPONENTS`, for report tables.
 COMPONENT_HEADERS: Tuple[str, ...] = (
+    "adm-wait",
     "startup",
     "q-wait",
     "disk",

@@ -51,6 +51,15 @@ HIGHER_IS_WORSE = (
     # EXPLAIN aggregates: visiting more nodes per query means the
     # pruning rules got weaker.
     "explain.pruning.visited_per_query",
+    # Serving layer: the p99-vs-throughput frontier degrades upward in
+    # latency/wait, and dropping more queries at equal config is worse.
+    "serving.latency.*",
+    "serving.admission_wait.*",
+    "serving.counts.shed",
+    "serving.counts.rejected",
+    "serving.io.transactions_per_page",
+    "metrics.*latency_p99_s",
+    "metrics.*transactions_per_page",
 )
 
 #: Metric-path patterns whose DECREASE is a regression.
@@ -61,6 +70,10 @@ LOWER_IS_WORSE = (
     "explain.pruning.efficiency",
     "explain.declustering.mean_fanout_ratio",
     "explain.threshold.mean_tightness",
+    # Serving layer: answering fewer queries per second is a regression.
+    "serving.goodput",
+    "serving.counts.complete",
+    "metrics.*goodput_qps",
 )
 
 #: Subtrees :func:`flatten_numeric` skips: identity/metadata, and the

@@ -251,6 +251,23 @@ class ExplainRecorder:
             return 1.0
         return min(1.0, _sqrt(final_kth_sq) / _sqrt(final_dth_sq))
 
+    @property
+    def insufficient_k(self) -> bool:
+        """True when the search never found k neighbors at all.
+
+        Happens when ``k`` exceeds the (reachable) dataset size: the
+        k-th distance stays infinite through every threshold sample, so
+        :attr:`threshold_tightness` is ``None`` and the query would
+        otherwise silently vanish from the tightness average.  The
+        workload aggregate surfaces these as an explicit
+        ``insufficient_k`` count instead.
+        """
+        if not self.trajectory:
+            return False
+        return all(
+            not math.isfinite(kth_sq) for _, _, kth_sq in self.trajectory
+        )
+
     def levels(self) -> List[int]:
         """Every level with activity, root-first (descending)."""
         seen = set(self.visited_per_level)
@@ -606,6 +623,12 @@ class WorkloadExplain:
                     else 0.0
                 ),
                 "queries_with_threshold": len(tightnesses),
+                # Queries that never saw k finite neighbors (k larger
+                # than the reachable dataset): previously these were
+                # silently dropped from the average above.
+                "insufficient_k": sum(
+                    1 for r in recorders if r.insufficient_k
+                ),
             },
             "declustering": {
                 "mean_fanout": mean_fanout,
@@ -673,6 +696,11 @@ def format_workload_explain(section: Dict[str, object]) -> str:
             f"  threshold tightness: mean "
             f"{threshold.get('mean_tightness', 0.0):.3f} over "
             f"{threshold['queries_with_threshold']} queries"
+        )
+    if threshold.get("insufficient_k"):
+        lines.append(
+            f"  insufficient k: {threshold['insufficient_k']} queries "
+            f"never found k neighbors (k exceeds the reachable data)"
         )
     if declustering.get("rounds"):
         lines.append(

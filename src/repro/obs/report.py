@@ -70,6 +70,7 @@ def build_run_report(
     label: str = "",
     timeline_buckets: int = TIMELINE_BUCKETS,
     explain=None,
+    serving=None,
 ) -> Dict[str, object]:
     """Distil one workload run into a JSON-ready RunReport document.
 
@@ -93,6 +94,12 @@ def build_run_report(
         declustering heatmap) is embedded under ``"explain"``.  The
         flag is deliberately **not** part of the config digest: an
         explain run stays comparable like-for-like with a plain one.
+    :param serving: optional JSON-ready serving-layer section (see
+        :meth:`repro.serving.frontend.ServingResult.serving_section`) —
+        admission/shedding counts, full-latency percentiles including
+        admission wait, and cross-query batching counters.  Embedded
+        under ``"serving"`` so ``repro diff`` gates the
+        p99-vs-throughput frontier across PRs.
     """
     records = result.records
     report: Dict[str, object] = {
@@ -151,6 +158,8 @@ def build_run_report(
         )
     if explain is not None:
         report["explain"] = explain.aggregate()
+    if serving is not None:
+        report["serving"] = dict(serving)
     return report
 
 

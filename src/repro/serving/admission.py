@@ -1,0 +1,275 @@
+"""Admission control and serving policies.
+
+The serving frontend's first line of defense against overload: bound
+how many queries run concurrently (``max_in_flight``), bound how many
+may wait for a slot (``max_queued`` — beyond it, arrivals are rejected
+at the door), and order the wait queue by priority class.  Each class
+optionally carries a *deadline*: a per-query SLO measured from the
+scenario arrival — so time spent waiting for admission counts against
+it.  Once a query's deadline passes while it is still queued, admitting
+it would be pure waste; with shedding enabled the controller *sheds* it
+instead (the frontend returns an empty answer certified to radius 0).
+Admitted queries carry the deadline into
+:meth:`~repro.simulation.simulator.SimulatedExecutor.query_process` as
+an absolute cutoff, which degrades them mid-flight into partial,
+certified-radius answers (the PR3 contract) rather than letting them
+run arbitrarily long.
+
+Everything here is plain bookkeeping on the simulation clock — no
+events, no RNG — so attaching an unrestricted controller
+(``ServingPolicy()`` with every bound ``None``) is a provable no-op on
+the simulated run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PriorityClass:
+    """One deadline/priority class of queries.
+
+    :param name: class label referenced by scenarios.
+    :param priority: admission order — **lower is more urgent**; ties
+        break FIFO by arrival.
+    :param deadline: optional per-query SLO in seconds from arrival
+        (``None`` → no deadline).
+    """
+
+    name: str = "default"
+    priority: int = 0
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("class name must be non-empty")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(
+                f"deadline must be positive, got {self.deadline}"
+            )
+
+
+@dataclass(frozen=True)
+class ServingPolicy:
+    """Knobs of the serving frontend, bundled for reporting.
+
+    :param name: policy label stamped into reports and benches.
+    :param max_in_flight: concurrent-query bound (``None`` → unbounded:
+        every arrival starts immediately, as in plain
+        :func:`~repro.simulation.simulator.simulate_workload`).
+    :param max_queued: admission-queue bound (``None`` → unbounded);
+        arrivals beyond it are rejected at the door.  Only meaningful
+        with ``max_in_flight`` set.
+    :param shed_expired: shed queued queries whose deadline has already
+        passed instead of running them (load shedding).
+    :param cross_query_batching: route fetch rounds through the shared
+        :class:`~repro.serving.batcher.FetchBroker`, merging same-disk
+        pages from different in-flight queries into one transaction.
+    :param batch_window: broker collection window in simulated seconds
+        (0 → flush every dispatch cycle without waiting).
+    :param max_group_pages: bound on pages per merged transaction
+        (fairness: a giant merged sweep cannot starve the disk).
+    :param classes: the deadline/priority classes; the first is the
+        default for queries with no class label.
+    """
+
+    name: str = "custom"
+    max_in_flight: Optional[int] = None
+    max_queued: Optional[int] = None
+    shed_expired: bool = False
+    cross_query_batching: bool = False
+    batch_window: float = 0.0
+    max_group_pages: Optional[int] = None
+    classes: Tuple[PriorityClass, ...] = (PriorityClass(),)
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight is not None and self.max_in_flight <= 0:
+            raise ValueError(
+                f"max_in_flight must be positive, got {self.max_in_flight}"
+            )
+        if self.max_queued is not None and self.max_queued < 0:
+            raise ValueError(
+                f"max_queued must be >= 0, got {self.max_queued}"
+            )
+        if self.max_queued is not None and self.max_in_flight is None:
+            raise ValueError(
+                "max_queued without max_in_flight is meaningless — "
+                "nothing ever queues"
+            )
+        if self.batch_window < 0:
+            raise ValueError(
+                f"batch_window must be >= 0, got {self.batch_window}"
+            )
+        if self.max_group_pages is not None and self.max_group_pages <= 0:
+            raise ValueError(
+                f"max_group_pages must be positive, got "
+                f"{self.max_group_pages}"
+            )
+        if not self.classes:
+            raise ValueError("a policy needs at least one class")
+        names = [cls.name for cls in self.classes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate class names: {names}")
+
+    def class_named(self, name: str) -> PriorityClass:
+        """Resolve a scenario class label ("" → the default class)."""
+        if not name:
+            return self.classes[0]
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        raise KeyError(
+            f"scenario references unknown class {name!r}; policy has "
+            f"{[c.name for c in self.classes]}"
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """Reporting-friendly summary (stable key order by construction)."""
+        return {
+            "name": self.name,
+            "max_in_flight": self.max_in_flight,
+            "max_queued": self.max_queued,
+            "shed_expired": self.shed_expired,
+            "cross_query_batching": self.cross_query_batching,
+            "batch_window": self.batch_window,
+            "max_group_pages": self.max_group_pages,
+            "classes": [
+                {
+                    "name": cls.name,
+                    "priority": cls.priority,
+                    "deadline": cls.deadline,
+                }
+                for cls in self.classes
+            ],
+        }
+
+
+def no_admission_policy(deadline: Optional[float] = None) -> ServingPolicy:
+    """Every arrival starts immediately — the plain-workload baseline."""
+    return ServingPolicy(
+        name="no-admission",
+        classes=(PriorityClass(deadline=deadline),),
+    )
+
+
+def admission_only_policy(
+    max_in_flight: int,
+    max_queued: Optional[int] = None,
+    deadline: Optional[float] = None,
+) -> ServingPolicy:
+    """Bounded concurrency without batching or shedding."""
+    return ServingPolicy(
+        name="admission-only",
+        max_in_flight=max_in_flight,
+        max_queued=max_queued,
+        classes=(PriorityClass(deadline=deadline),),
+    )
+
+
+def full_serving_policy(
+    max_in_flight: int,
+    max_queued: Optional[int] = None,
+    deadline: Optional[float] = None,
+    batch_window: float = 0.0005,
+    max_group_pages: Optional[int] = 32,
+) -> ServingPolicy:
+    """Admission + cross-query batching + deadline shedding."""
+    return ServingPolicy(
+        name="admission+batching+shedding",
+        max_in_flight=max_in_flight,
+        max_queued=max_queued,
+        shed_expired=True,
+        cross_query_batching=True,
+        batch_window=batch_window,
+        max_group_pages=max_group_pages,
+        classes=(PriorityClass(deadline=deadline),),
+    )
+
+
+@dataclass
+class QueueEntry:
+    """One query waiting for an in-flight slot."""
+
+    qid: int
+    arrival: float
+    klass: PriorityClass
+    deadline_at: Optional[float]
+    #: FIFO tie-break within a priority level.
+    seq: int = 0
+
+
+@dataclass
+class AdmissionController:
+    """Pure-bookkeeping admission state machine on the simulation clock.
+
+    The frontend calls :meth:`offer` on arrival and :meth:`release` on
+    completion; :meth:`pop_next` hands back the next admissible entry
+    (highest priority, FIFO within it), separating out queries whose
+    deadline expired while queued when the policy sheds.
+    """
+
+    policy: ServingPolicy
+    in_flight: int = 0
+    #: Peak concurrent admitted queries (reporting).
+    peak_in_flight: int = 0
+    #: Peak admission-queue depth (reporting).
+    peak_queued: int = 0
+    _heap: List[Tuple[int, int, QueueEntry]] = field(default_factory=list)
+    _seq: int = 0
+
+    @property
+    def queued(self) -> int:
+        return len(self._heap)
+
+    def offer(self, entry: QueueEntry) -> str:
+        """Decide an arrival's fate: ``admit`` | ``queue`` | ``reject``."""
+        limit = self.policy.max_in_flight
+        if limit is None or (self.in_flight < limit and not self._heap):
+            self.in_flight += 1
+            self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+            return "admit"
+        if (
+            self.policy.max_queued is not None
+            and len(self._heap) >= self.policy.max_queued
+        ):
+            return "reject"
+        self._seq += 1
+        entry.seq = self._seq
+        heapq.heappush(
+            self._heap, (entry.klass.priority, entry.seq, entry)
+        )
+        self.peak_queued = max(self.peak_queued, len(self._heap))
+        return "queue"
+
+    def pop_next(self, now: float) -> Tuple[Optional[QueueEntry], List[QueueEntry]]:
+        """Next queued entry to admit, plus entries shed on the way.
+
+        With shedding enabled, queued queries whose deadline already
+        passed are drained off the heap and returned in the second slot
+        — the frontend answers them degraded (radius-0 certificate)
+        without spending any I/O.  The caller must account the admitted
+        entry via the returned in-flight increment (done here).
+        """
+        shed: List[QueueEntry] = []
+        while self._heap:
+            _, _, entry = heapq.heappop(self._heap)
+            if (
+                self.policy.shed_expired
+                and entry.deadline_at is not None
+                and now >= entry.deadline_at
+            ):
+                shed.append(entry)
+                continue
+            self.in_flight += 1
+            self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+            return entry, shed
+        return None, shed
+
+    def release(self) -> None:
+        """One in-flight query completed."""
+        if self.in_flight <= 0:
+            raise RuntimeError("release() without a matching admission")
+        self.in_flight -= 1

@@ -41,7 +41,7 @@ import math
 import random
 import statistics
 from dataclasses import dataclass, field
-from typing import Callable, Generator, List, Optional, Sequence
+from typing import Callable, Generator, List, NamedTuple, Optional, Sequence
 
 from repro.core.protocol import SearchAlgorithm
 from repro.core.results import Neighbor
@@ -234,6 +234,27 @@ class WorkloadResult:
         return ordered[rank - 1]
 
 
+class RoundIO(NamedTuple):
+    """Outcome of one fetch round's physical I/O (see ``_issue_round``)."""
+
+    #: Fetch timing records (``FetchTiming``/``FetchFailure``/``None``),
+    #: one per transaction that carried pages for this query.
+    timings: Sequence
+    #: Pages that never arrived (their transaction failed permanently).
+    failed_pages: set
+    #: Physical pages delivered to this query (supernode spans counted).
+    pages_fetched: int
+    #: Disk attempts beyond the first across the round's transactions.
+    retries: int
+    #: RAID-1 replica failovers across the round's transactions.
+    failovers: int
+    #: Transactions that failed permanently (counted once per
+    #: transaction, however many pages it carried).
+    fetch_failures: int
+    #: Transactions this round touched (for tracing only).
+    fetches_issued: int
+
+
 class SimulatedExecutor:
     """Runs search coroutines as processes inside a simulation.
 
@@ -328,10 +349,129 @@ class SimulatedExecutor:
             self._stack_total -= previous
             self.timeline.record("crss.stack_depth", ts, self._stack_total)
 
+    def _issue_round(self, qid: int, missed: Sequence[int]) -> Generator:
+        """Process fragment issuing one round's physical I/O.
+
+        Consumed with ``yield from`` so it adds **no** events of its own
+        beyond the fetches it issues — extracting it from
+        :meth:`query_process` is bit-identity-neutral (the PR4 golden
+        traces assert this).  The default implementation issues one
+        fetch per page — or, when the system coalesces, one transaction
+        per disk covering every sibling page the round sends there —
+        waits on the round barrier, accounts per-transaction outcomes
+        and admits arrived pages to the buffer pool.
+
+        Subclasses may override it to route the round through a shared
+        cross-query batcher (see
+        :class:`repro.serving.frontend.BatchedExecutor`); the contract
+        is: deliver every page in *missed* or record it in
+        ``failed_pages``, admit exactly the arrived pages to the buffer,
+        and return a :class:`RoundIO`.
+        """
+        buffer = getattr(self.system, "buffer", None)
+        coalesce = getattr(self.system, "coalesce", False)
+        fetches: List = []
+        fetch_units: List[tuple] = []
+        if coalesce:
+            by_disk: dict = {}
+            for page_id in missed:
+                by_disk.setdefault(
+                    self.tree.disk_of(page_id), []
+                ).append(page_id)
+            for disk_id, unit in by_disk.items():
+                fetch_units.append(tuple(unit))
+                if len(unit) == 1:
+                    fetches.append(
+                        self.env.process(
+                            self.system.fetch_page(
+                                disk_id,
+                                self.tree.cylinder_of(unit[0]),
+                                pages=self._pages_spanned(unit[0]),
+                                flow=qid,
+                            )
+                        )
+                    )
+                else:
+                    fetches.append(
+                        self.env.process(
+                            self.system.fetch_group(
+                                disk_id,
+                                [self.tree.cylinder_of(p) for p in unit],
+                                pages=sum(
+                                    self._pages_spanned(p) for p in unit
+                                ),
+                                flow=qid,
+                            )
+                        )
+                    )
+        else:
+            for page_id in missed:
+                fetch_units.append((page_id,))
+                fetches.append(
+                    self.env.process(
+                        self.system.fetch_page(
+                            self.tree.disk_of(page_id),
+                            self.tree.cylinder_of(page_id),
+                            pages=self._pages_spanned(page_id),
+                            flow=qid,
+                        )
+                    )
+                )
+        # Barrier: the algorithm resumes when the whole batch (its
+        # activation list for this step) has arrived.  The barrier's
+        # value is the fetches' FetchTiming — or FetchFailure — records.
+        timings = yield self.env.all_of(fetches)
+        failed_pages: set = set()
+        pages_fetched = 0
+        retries = 0
+        failovers = 0
+        fetch_failures = 0
+        for unit, timing in zip(fetch_units, timings):
+            if timing is None:
+                # A system without timing records delivers every page;
+                # count the issue.
+                pages_fetched += sum(self._pages_spanned(p) for p in unit)
+                continue
+            retries += max(0, timing.attempts - 1)
+            failovers += getattr(timing, "failovers", 0)
+            if timing.ok:
+                pages_fetched += timing.pages
+            else:
+                # A failed transaction loses every page it carried (one
+                # failure, len(unit) pages).
+                fetch_failures += 1
+                failed_pages.update(unit)
+        if buffer is not None:
+            # Admit exactly the pages that physically arrived: failed
+            # fetches must not be admitted, and hit pages were already
+            # refreshed by their lookup at the buffer gate.
+            for unit in fetch_units:
+                for page_id in unit:
+                    if page_id not in failed_pages:
+                        buffer.admit(page_id)
+        return RoundIO(
+            timings=timings,
+            failed_pages=failed_pages,
+            pages_fetched=pages_fetched,
+            retries=retries,
+            failovers=failovers,
+            fetch_failures=fetch_failures,
+            fetches_issued=len(fetches),
+        )
+
     def query_process(
-        self, algorithm: SearchAlgorithm, qid: Optional[int] = None
+        self,
+        algorithm: SearchAlgorithm,
+        qid: Optional[int] = None,
+        deadline_at: Optional[float] = None,
     ) -> Generator:
-        """Process body executing one query; returns its QueryRecord."""
+        """Process body executing one query; returns its QueryRecord.
+
+        :param deadline_at: optional *absolute* simulated-time deadline
+            overriding the executor-wide relative one — the serving
+            layer uses this to charge admission-queue wait against the
+            query's SLO.
+        """
         if qid is None:
             qid = self._next_qid
             self._next_qid += 1
@@ -344,14 +484,12 @@ class SimulatedExecutor:
         if timeline is not None:
             self._in_flight += 1
             timeline.record("queries.in_flight", arrival, self._in_flight)
-        deadline_at = (
-            arrival + self.deadline if self.deadline is not None else None
-        )
+        if deadline_at is None and self.deadline is not None:
+            deadline_at = arrival + self.deadline
         yield self.env.timeout(self.system.params.query_startup)
         breakdown.startup = self.env.now - arrival
 
         coroutine = algorithm.run(self.tree.root_page_id)
-        coalesce = getattr(self.system, "coalesce", False)
         pages_fetched = 0
         buffer_hits = 0
         rounds = 0
@@ -376,7 +514,7 @@ class SimulatedExecutor:
                     deadline_exceeded = True
                     failed_pages = set(request.pages)
                     round_end = round_start
-                    fetches: List = []
+                    fetches_issued = 0
                     hits_this_round = 0
                 else:
                     # The buffer gate: exactly one lookup per requested
@@ -402,95 +540,17 @@ class SimulatedExecutor:
                         timeline.record(
                             "buffer.hit_rate", round_start, buffer.hit_rate
                         )
-                    # Issue the round's I/O: one fetch per page — or,
-                    # when coalescing, one transaction per disk covering
-                    # every sibling page the round sends there.
-                    fetches = []
-                    fetch_units: List[tuple] = []
-                    if coalesce:
-                        by_disk: dict = {}
-                        for page_id in missed:
-                            by_disk.setdefault(
-                                self.tree.disk_of(page_id), []
-                            ).append(page_id)
-                        for disk_id, unit in by_disk.items():
-                            fetch_units.append(tuple(unit))
-                            if len(unit) == 1:
-                                fetches.append(
-                                    self.env.process(
-                                        self.system.fetch_page(
-                                            disk_id,
-                                            self.tree.cylinder_of(unit[0]),
-                                            pages=self._pages_spanned(unit[0]),
-                                            flow=qid,
-                                        )
-                                    )
-                                )
-                            else:
-                                fetches.append(
-                                    self.env.process(
-                                        self.system.fetch_group(
-                                            disk_id,
-                                            [
-                                                self.tree.cylinder_of(p)
-                                                for p in unit
-                                            ],
-                                            pages=sum(
-                                                self._pages_spanned(p)
-                                                for p in unit
-                                            ),
-                                            flow=qid,
-                                        )
-                                    )
-                                )
-                    else:
-                        for page_id in missed:
-                            fetch_units.append((page_id,))
-                            fetches.append(
-                                self.env.process(
-                                    self.system.fetch_page(
-                                        self.tree.disk_of(page_id),
-                                        self.tree.cylinder_of(page_id),
-                                        pages=self._pages_spanned(page_id),
-                                        flow=qid,
-                                    )
-                                )
-                            )
-                    # Barrier: the algorithm resumes when the whole batch
-                    # (its activation list for this step) has arrived.
-                    # The barrier's value is the fetches' FetchTiming —
-                    # or FetchFailure — records.
-                    timings = yield self.env.all_of(fetches)
+                    io = yield from self._issue_round(qid, missed)
                     round_end = self.env.now
                     self._attribute_round(
-                        breakdown, round_start, round_end, timings
+                        breakdown, round_start, round_end, io.timings
                     )
-                    for unit, timing in zip(fetch_units, timings):
-                        if timing is None:
-                            # A system without timing records delivers
-                            # every page; count the issue.
-                            pages_fetched += sum(
-                                self._pages_spanned(p) for p in unit
-                            )
-                            continue
-                        retries += max(0, timing.attempts - 1)
-                        failovers += getattr(timing, "failovers", 0)
-                        if timing.ok:
-                            pages_fetched += timing.pages
-                        else:
-                            # A failed transaction loses every page it
-                            # carried (one failure, len(unit) pages).
-                            fetch_failures += 1
-                            failed_pages.update(unit)
-                    if buffer is not None:
-                        # Admit exactly the pages that physically
-                        # arrived: failed fetches must not be admitted,
-                        # and hit pages were already refreshed by their
-                        # lookup above.
-                        for unit in fetch_units:
-                            for page_id in unit:
-                                if page_id not in failed_pages:
-                                    buffer.admit(page_id)
+                    pages_fetched += io.pages_fetched
+                    retries += io.retries
+                    failovers += io.failovers
+                    fetch_failures += io.fetch_failures
+                    failed_pages = io.failed_pages
+                    fetches_issued = io.fetches_issued
                 fetched = {
                     pid: None if pid in failed_pages else self.tree.page(pid)
                     for pid in request.pages
@@ -526,7 +586,7 @@ class SimulatedExecutor:
                         round_start, round_end, flow=None,
                         args={
                             "batch": len(request.pages),
-                            "fetches": len(fetches),
+                            "fetches": fetches_issued,
                             "buffer_hits": hits_this_round,
                             "failed": len(failed_pages),
                         },
@@ -621,6 +681,37 @@ class SimulatedExecutor:
             duration
             - (queue_wait + service + bus_wait + bus_transfer + retry_wait),
         )
+
+
+def collect_system_stats(
+    result: WorkloadResult, system, env: Environment
+) -> None:
+    """Fill *result*'s system-level aggregates from a finished run.
+
+    Clocks the run off the queries themselves: with a retry policy,
+    abandoned attempt-timeout timers may outlive the last completion and
+    inflate ``env.now``.  Identical on fault-free runs.  Shared by
+    :func:`simulate_workload` and the serving frontend.
+    """
+    result.makespan = (
+        max(r.completion for r in result.records) if result.records else env.now
+    )
+    result.disk_utilizations = system.disk_utilizations(result.makespan)
+    result.mean_queue_lengths = [
+        queue.mean_queue_length(result.makespan)
+        for queue in system.disk_queues
+    ]
+    result.max_queue_lengths = [
+        queue.max_queue_length for queue in system.disk_queues
+    ]
+    result.seek_distances = system.seek_distances()
+    result.disk_requests = [
+        model.requests_served for model in system.disk_models
+    ]
+    result.coalesced_fetches = system.coalesced_fetches
+    if result.makespan > 0:
+        result.bus_utilization = system.bus.total_hold_time / result.makespan
+        result.cpu_utilization = system.cpu.total_hold_time / result.makespan
 
 
 def record_workload_metrics(metrics, result: WorkloadResult) -> None:
@@ -750,28 +841,7 @@ def simulate_workload(
         env.process(open_arrivals())
     env.run()
 
-    # Clock the run off the queries themselves: with a retry policy,
-    # abandoned attempt-timeout timers may outlive the last completion
-    # and inflate ``env.now``.  Identical on fault-free runs.
-    result.makespan = (
-        max(r.completion for r in result.records) if result.records else env.now
-    )
-    result.disk_utilizations = system.disk_utilizations(result.makespan)
-    result.mean_queue_lengths = [
-        queue.mean_queue_length(result.makespan)
-        for queue in system.disk_queues
-    ]
-    result.max_queue_lengths = [
-        queue.max_queue_length for queue in system.disk_queues
-    ]
-    result.seek_distances = system.seek_distances()
-    result.disk_requests = [
-        model.requests_served for model in system.disk_models
-    ]
-    result.coalesced_fetches = system.coalesced_fetches
-    if result.makespan > 0:
-        result.bus_utilization = system.bus.total_hold_time / result.makespan
-        result.cpu_utilization = system.cpu.total_hold_time / result.makespan
+    collect_system_stats(result, system, env)
     if metrics is not None:
         record_workload_metrics(metrics, result)
     return result

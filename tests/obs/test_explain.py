@@ -397,3 +397,47 @@ class TestPaperClaims:
         # log shows the threshold machinery working, not free lunch.
         assert crss["reasons"].get("lemma1", 0) > 0
         assert bbss["reasons"].get("kth", 0) > 0
+
+
+class TestInsufficientK:
+    """Satellite fix: queries with k > dataset size never resolve a
+    finite kth distance, so the Lemma-1 threshold never fires.  They
+    used to vanish silently from the tightness averages; the aggregate
+    now reports them as an explicit ``insufficient_k`` count."""
+
+    def _aggregate_over(self, points, k, count):
+        tree = build_parallel_tree(
+            points, dims=2, num_disks=2, max_entries=4
+        )
+        workload = WorkloadExplain(
+            num_disks=tree.num_disks,
+            level_of=lambda pid: tree.page(pid).level,
+            disk_of=tree.disk_of,
+            label="CRSS",
+        )
+        factory = workload.attach(make_factory("CRSS", tree, k))
+        executor = CountingExecutor(tree)
+        for query in points[:count]:
+            executor.execute(factory(query))
+        return workload.aggregate()
+
+    def test_starved_queries_counted_not_skipped(self):
+        points = uniform(6, 2, seed=3)
+        threshold = self._aggregate_over(points, k=10, count=4)["threshold"]
+        assert threshold["insufficient_k"] == 4
+        assert threshold["queries_with_threshold"] == 0
+        assert threshold["mean_tightness"] == 0.0
+
+    def test_rendering_surfaces_the_count(self):
+        points = uniform(6, 2, seed=3)
+        section = self._aggregate_over(points, k=10, count=3)
+        rendered = format_workload_explain(section)
+        assert "insufficient" in rendered
+
+    def test_satisfiable_k_reports_zero(self):
+        points = uniform(40, 2, seed=3)
+        section = self._aggregate_over(points, k=5, count=4)
+        threshold = section["threshold"]
+        assert threshold["insufficient_k"] == 0
+        assert threshold["queries_with_threshold"] == 4
+        assert "insufficient" not in format_workload_explain(section)

@@ -1,0 +1,31 @@
+"""Fixtures for the serving-layer suite.
+
+One session-scoped declustered tree keeps the suite fast; tests treat
+it as read-only (the simulation never mutates the tree).
+"""
+
+import pytest
+
+from repro.datasets import gaussian
+from repro.experiments.setup import make_factory
+from repro.parallel import build_parallel_tree
+
+
+@pytest.fixture(scope="session")
+def serving_points():
+    """500 Gaussian 2-d points (session-cached; treat as read-only)."""
+    return gaussian(500, 2, seed=11)
+
+
+@pytest.fixture(scope="session")
+def serving_tree(serving_points):
+    """A declustered tree over serving_points: 4 disks, fan-out 8."""
+    return build_parallel_tree(
+        serving_points, dims=2, num_disks=4, max_entries=8
+    )
+
+
+@pytest.fixture(scope="session")
+def crss_factory(serving_tree):
+    """CRSS k=8 algorithm factory over the session tree."""
+    return make_factory("CRSS", serving_tree, 8)

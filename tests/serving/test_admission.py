@@ -1,0 +1,127 @@
+"""Unit tests for serving policies and the admission controller."""
+
+import pytest
+
+from repro.serving.admission import (
+    AdmissionController,
+    PriorityClass,
+    QueueEntry,
+    ServingPolicy,
+    admission_only_policy,
+    full_serving_policy,
+    no_admission_policy,
+)
+
+
+def entry(qid, arrival=0.0, priority=0, deadline_at=None):
+    return QueueEntry(
+        qid=qid,
+        arrival=arrival,
+        klass=PriorityClass(name=f"p{priority}", priority=priority),
+        deadline_at=deadline_at,
+    )
+
+
+class TestPolicy:
+    def test_unrestricted_default(self):
+        policy = ServingPolicy()
+        assert policy.max_in_flight is None
+        assert not policy.cross_query_batching
+        assert not policy.shed_expired
+
+    def test_max_queued_requires_max_in_flight(self):
+        with pytest.raises(ValueError, match="max_queued"):
+            ServingPolicy(max_queued=5)
+
+    def test_duplicate_class_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ServingPolicy(
+                classes=(PriorityClass("a"), PriorityClass("a", priority=1))
+            )
+
+    def test_class_named_resolves_default_and_errors(self):
+        gold = PriorityClass("gold", priority=-1, deadline=0.1)
+        policy = ServingPolicy(classes=(PriorityClass(), gold))
+        assert policy.class_named("") == policy.classes[0]
+        assert policy.class_named("gold") == gold
+        with pytest.raises(KeyError):
+            policy.class_named("platinum")
+
+    def test_factory_names_match_bench_policies(self):
+        assert no_admission_policy().name == "no-admission"
+        assert admission_only_policy(4).name == "admission-only"
+        full = full_serving_policy(4, deadline=0.2)
+        assert full.name == "admission+batching+shedding"
+        assert full.shed_expired and full.cross_query_batching
+
+    def test_describe_round_trips_the_knobs(self):
+        policy = full_serving_policy(3, max_queued=7, deadline=0.5)
+        described = policy.describe()
+        assert described["max_in_flight"] == 3
+        assert described["max_queued"] == 7
+        assert described["classes"][0]["deadline"] == 0.5
+
+
+class TestAdmissionController:
+    def test_unbounded_policy_admits_everything(self):
+        controller = AdmissionController(ServingPolicy())
+        for qid in range(20):
+            assert controller.offer(entry(qid)) == "admit"
+        assert controller.peak_in_flight == 20
+        assert controller.queued == 0
+
+    def test_bounded_policy_queues_past_the_limit(self):
+        controller = AdmissionController(admission_only_policy(2))
+        assert controller.offer(entry(0)) == "admit"
+        assert controller.offer(entry(1)) == "admit"
+        assert controller.offer(entry(2)) == "queue"
+        assert controller.queued == 1
+        controller.release()
+        admitted, shed = controller.pop_next(now=1.0)
+        assert admitted.qid == 2 and shed == []
+        assert controller.in_flight == 2
+
+    def test_queue_bound_rejects_at_the_door(self):
+        controller = AdmissionController(
+            admission_only_policy(1, max_queued=1)
+        )
+        controller.offer(entry(0))
+        assert controller.offer(entry(1)) == "queue"
+        assert controller.offer(entry(2)) == "reject"
+
+    def test_priority_orders_the_queue_fifo_within_class(self):
+        controller = AdmissionController(admission_only_policy(1))
+        controller.offer(entry(0))
+        controller.offer(entry(1, priority=5))
+        controller.offer(entry(2, priority=0))
+        controller.offer(entry(3, priority=0))
+        order = []
+        for _ in range(3):
+            controller.release()
+            admitted, _ = controller.pop_next(now=0.0)
+            order.append(admitted.qid)
+        assert order == [2, 3, 1]
+
+    def test_expired_entries_are_shed_when_policy_sheds(self):
+        policy = full_serving_policy(1, deadline=0.1)
+        controller = AdmissionController(policy)
+        controller.offer(entry(0))
+        controller.offer(entry(1, deadline_at=0.5))
+        controller.offer(entry(2, deadline_at=5.0))
+        controller.release()
+        admitted, shed = controller.pop_next(now=1.0)
+        assert [e.qid for e in shed] == [1]
+        assert admitted.qid == 2
+
+    def test_without_shedding_expired_entries_still_run(self):
+        controller = AdmissionController(admission_only_policy(1))
+        controller.offer(entry(0))
+        controller.offer(entry(1, deadline_at=0.5))
+        controller.release()
+        admitted, shed = controller.pop_next(now=1.0)
+        assert admitted.qid == 1 and shed == []
+
+    def test_release_underflow_raises(self):
+        controller = AdmissionController(ServingPolicy())
+        with pytest.raises(RuntimeError):
+            controller.release()

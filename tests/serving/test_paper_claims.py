@@ -1,0 +1,123 @@
+"""Paper-claim tests for the serving layer (satellite 3).
+
+Two quantitative claims behind the tentpole:
+
+* at high λ, **cross-query batching** yields strictly fewer mean fetch
+  transactions per delivered page than per-query coalescing alone —
+  the §4 batch-processing argument extended across query boundaries;
+* **load shedding** keeps the admitted queries' p99 bounded near the
+  deadline while the unshedded run's p99 diverges with the backlog.
+"""
+
+import pytest
+
+from repro.serving import (
+    ServingPolicy,
+    full_serving_policy,
+    make_scenario,
+    no_admission_policy,
+    serve_scenario,
+)
+from repro.simulation.parameters import SystemParameters
+
+
+@pytest.fixture(scope="module")
+def overload_scenario(serving_points):
+    """Arrivals far past the array's service capacity."""
+    return make_scenario(
+        "bursty", serving_points, rate=400.0, horizon=0.5, seed=5
+    )
+
+
+class TestBatchingBeatsPerQueryCoalescing:
+    def test_fewer_transactions_per_page_at_high_load(
+        self, serving_tree, crss_factory, overload_scenario
+    ):
+        params = SystemParameters(coalesce=True)  # per-query coalescing ON
+        plain = serve_scenario(
+            serving_tree, crss_factory, overload_scenario,
+            policy=no_admission_policy(), params=params, seed=5,
+        )
+        batched = serve_scenario(
+            serving_tree, crss_factory, overload_scenario,
+            policy=ServingPolicy(
+                max_in_flight=8,
+                cross_query_batching=True,
+                batch_window=0.0005,
+                max_group_pages=32,
+            ),
+            params=params, seed=5,
+        )
+        assert 0 < batched.transactions_per_page < plain.transactions_per_page
+        # The mechanism: pages shared across queries were fetched once.
+        assert batched.batching["shared_pages"] > 0
+
+    def test_batching_also_beats_coalescing_on_p99(
+        self, serving_tree, crss_factory, overload_scenario
+    ):
+        params = SystemParameters(coalesce=True)
+        plain = serve_scenario(
+            serving_tree, crss_factory, overload_scenario,
+            policy=no_admission_policy(), params=params, seed=5,
+        )
+        batched = serve_scenario(
+            serving_tree, crss_factory, overload_scenario,
+            policy=ServingPolicy(
+                max_in_flight=8,
+                cross_query_batching=True,
+                batch_window=0.0005,
+                max_group_pages=32,
+            ),
+            params=params, seed=5,
+        )
+
+        def p99(serving):
+            return serving.serving_section()["latency"]["p99"]
+
+        assert p99(batched) < p99(plain)
+
+
+class TestSheddingBoundsTailLatency:
+    DEADLINE = 0.15
+
+    def run(self, tree, factory, scenario, policy):
+        return serve_scenario(tree, factory, scenario, policy=policy, seed=5)
+
+    def test_p99_bounded_while_unshedded_diverges(
+        self, serving_tree, crss_factory, overload_scenario
+    ):
+        unshedded = self.run(
+            serving_tree, crss_factory, overload_scenario,
+            no_admission_policy(),
+        )
+        shedded = self.run(
+            serving_tree, crss_factory, overload_scenario,
+            full_serving_policy(4, deadline=self.DEADLINE),
+        )
+        assert shedded.outcome_counts()["shed"] > 0
+
+        def p99(serving):
+            return serving.serving_section()["latency"]["p99"]
+
+        # The unshedded tail grows with the backlog — well past the
+        # SLO; the shedding run answers near it (slack covers a query
+        # admitted just before its deadline that still runs to finish).
+        assert p99(unshedded) > 2.0 * p99(shedded)
+        assert p99(shedded) < 3.0 * self.DEADLINE
+        assert p99(unshedded) > 3.0 * self.DEADLINE
+
+    def test_shedding_trades_answers_for_latency_honestly(
+        self, serving_tree, crss_factory, overload_scenario
+    ):
+        """Every dropped query is visible in the outcome counts and
+        carries the degenerate radius-0 certificate — overload never
+        silently loses work."""
+        shedded = self.run(
+            serving_tree, crss_factory, overload_scenario,
+            full_serving_policy(4, deadline=self.DEADLINE),
+        )
+        counts = shedded.outcome_counts()
+        assert sum(counts.values()) == len(shedded.queries)
+        for query in shedded.queries:
+            if query.outcome == "shed":
+                assert query.certified_radius == 0.0

@@ -494,3 +494,92 @@ class TestSchedulerCli:
         with pytest.raises(SystemExit, match="directory does not exist"):
             main(["bench-schedulers", "--smoke",
                   "--out", "/no/such/dir/sched.json"])
+
+
+class TestServeCli:
+    SERVE_FAST = [
+        "serve", "--n", "400", "--disks", "3", "--k", "4",
+        "--scenario", "bursty", "--rate", "40", "--horizon", "0.5",
+        "--coalesce",
+    ]
+
+    def test_serves_a_bursty_scenario(self, capsys):
+        assert main(self.SERVE_FAST) == 0
+        out = capsys.readouterr().out
+        assert "scenario 'bursty'" in out
+        assert "outcomes" in out
+        assert "goodput" in out
+
+    def test_full_policy_knobs(self, capsys):
+        assert main(
+            [*self.SERVE_FAST, "--max-in-flight", "4", "--max-queued", "20",
+             "--deadline", "0.2", "--shed", "--cross-batch",
+             "--batch-window", "0.0005", "--max-group-pages", "16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "policy admission+batching+shedding" in out
+        assert "batching" in out
+
+    def test_closed_loop_scenario(self, capsys):
+        assert main(
+            ["serve", "--n", "400", "--disks", "3", "--k", "4",
+             "--scenario", "closed", "--clients", "3",
+             "--queries-per-client", "4"]
+        ) == 0
+        assert "closed-loop, 3 clients" in capsys.readouterr().out
+
+    def test_max_queued_requires_max_in_flight(self):
+        with pytest.raises(SystemExit, match="max-in-flight"):
+            main([*self.SERVE_FAST, "--max-queued", "5"])
+
+    def test_report_embeds_serving_section(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "serve.json"
+        assert main(
+            [*self.SERVE_FAST, "--max-in-flight", "4",
+             "--report", str(path)]
+        ) == 0
+        report = json.loads(path.read_text())
+        assert report["kind"] == "serve"
+        serving = report["serving"]
+        assert serving["policy"]["max_in_flight"] == 4
+        assert set(serving["counts"]) >= {
+            "complete", "degraded", "shed", "rejected", "admitted",
+        }
+        assert serving["latency"]["p99"] > 0
+
+    def test_same_seed_reports_byte_identical(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for path in (a, b):
+            assert main(
+                [*self.SERVE_FAST, "--cross-batch", "--report", str(path)]
+            ) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestBenchServingCli:
+    def test_smoke_writes_document_and_report(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "serving.json"
+        report = tmp_path / "serving.report.json"
+        assert main(
+            ["bench-serving", "--smoke", "--out", str(out),
+             "--report", str(report)]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert "full stack vs no-admission" in printed
+        document = json.loads(out.read_text())
+        assert document["schema"] == "repro-serving-bench/1"
+        assert document["dominance_at_top_load"]["p99_ratio"] < 1.0
+        envelope = json.loads(report.read_text())
+        assert envelope["kind"] == "bench-serving"
+        assert any(
+            key.endswith("latency_p99_s") for key in envelope["metrics"]
+        )
+
+    def test_missing_out_directory_rejected(self):
+        with pytest.raises(SystemExit, match="directory does not exist"):
+            main(["bench-serving", "--smoke",
+                  "--out", "/no/such/dir/serving.json"])
