@@ -35,7 +35,13 @@ Python:
   (disk crashes, fail-slow windows, transient read errors) on RAID-0
   or mirrored RAID-1, and report robustness metrics: retries,
   failovers, partial/aborted queries and the certified-radius
-  distribution; ``--out`` writes the JSON report;
+  distribution; ``--out`` writes the JSON report; ``serve`` accepts
+  the same fault-plan knobs, and both take the tail-tolerance flags
+  (``--health`` circuit breakers, ``--hedge`` mirrored hedged reads,
+  ``--rebuild`` online RAID-1 rebuild);
+* ``repro bench-chaos-serving`` — sweep fault-aware serving (hedging +
+  breakers vs the plain serving stack, rebuild vs no-repair) under a
+  fail-slow + crash plan and write ``BENCH_PR8.json``;
 * ``repro diff`` — compare two RunReport artifacts metric by metric,
   classify each run disk-/bus-/CPU-bound from its utilization tracks,
   and exit non-zero on regression — the CI perf gate;
@@ -440,7 +446,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             trace_files.append(path)
         if args.timeline and timeline is not None:
             print(f"timeline: {name}")
-            print(timeline.render(until=result.makespan))
+            print(timeline.render(until=max(result.makespan, timeline.end)))
             print()
         if explain is not None:
             print(explain.render())
@@ -490,7 +496,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _serve_config(args: argparse.Namespace, algorithm: str) -> dict:
     """The run configuration a serve RunReport is keyed by."""
-    return {
+    config = {
         "command": "serve",
         "dataset": args.dataset,
         "n": args.n,
@@ -520,6 +526,21 @@ def _serve_config(args: argparse.Namespace, algorithm: str) -> dict:
         "batch_window": args.batch_window,
         "max_group_pages": args.max_group_pages,
     }
+    # Fault/tail-tolerance keys appear only when the features are used,
+    # so pre-PR8 serve configs keep their digests byte-identical.
+    if args.raid != "raid0":
+        config["raid"] = args.raid
+    if args.crash or args.slow or args.transient > 0:
+        config["faults"] = {
+            "crash": list(args.crash),
+            "slow": list(args.slow),
+            "transient": args.transient,
+            "fault_seed": args.fault_seed,
+            "max_attempts": args.max_attempts,
+            "attempt_timeout": args.attempt_timeout,
+        }
+    config.update(_health_config_section(args))
+    return config
 
 
 def _serve_policy(args: argparse.Namespace):
@@ -555,7 +576,165 @@ def _serve_policy(args: argparse.Namespace):
         raise SystemExit(str(error))
 
 
+def _add_health_arguments(parser: argparse.ArgumentParser) -> None:
+    """Tail-tolerance knobs shared by ``serve`` and ``chaos``."""
+    group = parser.add_argument_group("tail tolerance")
+    group.add_argument(
+        "--health",
+        action="store_true",
+        help="track per-disk health (EWMA latency + error windows) "
+        "behind a three-state circuit breaker; fetches route around "
+        "(raid1) or fail fast against (raid0) open breakers",
+    )
+    group.add_argument(
+        "--health-window",
+        type=int,
+        default=16,
+        metavar="N",
+        help="outcomes per disk in the error-rate window (default: 16)",
+    )
+    group.add_argument(
+        "--health-error-threshold",
+        type=float,
+        default=0.5,
+        metavar="FRAC",
+        help="error fraction that trips the breaker (default: 0.5)",
+    )
+    group.add_argument(
+        "--health-latency-threshold",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="EWMA fetch latency that trips the breaker (fail-slow "
+        "ejection); 0 disables the latency trip (default: 0)",
+    )
+    group.add_argument(
+        "--health-cooldown",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="open-state cooldown before half-open probing (default: 0.05)",
+    )
+    group.add_argument(
+        "--health-probe-prob",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="half-open: seeded probability a fetch is admitted as a "
+        "probe (default: 0.25)",
+    )
+    group.add_argument(
+        "--hedge",
+        action="store_true",
+        help="hedged mirrored reads: re-issue a straggling fetch on the "
+        "other replica after a quantile-based delay, first response "
+        "wins (raid1 only)",
+    )
+    group.add_argument(
+        "--hedge-quantile",
+        type=float,
+        default=0.95,
+        metavar="FRAC",
+        help="latency quantile that sets the hedge delay (default: 0.95)",
+    )
+    group.add_argument(
+        "--hedge-min-delay",
+        type=float,
+        default=0.004,
+        metavar="SECONDS",
+        help="hedge delay floor, also used before the latency window "
+        "warms up (default: 0.004)",
+    )
+    group.add_argument(
+        "--rebuild",
+        action="store_true",
+        help="online RAID-1 rebuild: after a crash window's repair "
+        "instant, stream the drive's pages back from its mirror "
+        "through the simulated disk+bus resources (raid1 only)",
+    )
+    group.add_argument(
+        "--rebuild-rate",
+        type=float,
+        default=400.0,
+        metavar="PAGES_PER_S",
+        help="rebuild streaming ceiling in pages/second (default: 400)",
+    )
+    group.add_argument(
+        "--rebuild-batch",
+        type=int,
+        default=8,
+        metavar="PAGES",
+        help="pages per rebuild sweep (default: 8)",
+    )
+
+
+def _health_config(args: argparse.Namespace):
+    """The (HealthPolicy, HedgePolicy, RebuildPolicy) the flags ask for."""
+    from repro.faults.health import HealthPolicy, HedgePolicy, RebuildPolicy
+
+    health = hedge = rebuild = None
+    try:
+        if args.health:
+            health = HealthPolicy(
+                window=args.health_window,
+                min_samples=min(8, args.health_window),
+                error_threshold=args.health_error_threshold,
+                latency_threshold=args.health_latency_threshold,
+                open_cooldown=args.health_cooldown,
+                probe_probability=args.health_probe_prob,
+                seed=args.seed,
+            )
+        if args.hedge:
+            hedge = HedgePolicy(
+                quantile=args.hedge_quantile,
+                min_delay=args.hedge_min_delay,
+            )
+        if args.rebuild:
+            rebuild = RebuildPolicy(
+                rate=args.rebuild_rate,
+                batch_pages=args.rebuild_batch,
+            )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    return health, hedge, rebuild
+
+
+def _health_config_section(args: argparse.Namespace) -> dict:
+    """Config-digest entries for enabled tail-tolerance features only.
+
+    Keys appear exactly when the matching flag is on, so runs without
+    the PR8 knobs keep their pre-PR8 config digests (and report bodies)
+    byte-identical.
+    """
+    section: dict = {}
+    if args.health:
+        section["health"] = {
+            "window": args.health_window,
+            "error_threshold": args.health_error_threshold,
+            "latency_threshold": args.health_latency_threshold,
+            "cooldown": args.health_cooldown,
+            "probe_prob": args.health_probe_prob,
+        }
+    if args.hedge:
+        section["hedge"] = {
+            "quantile": args.hedge_quantile,
+            "min_delay": args.hedge_min_delay,
+        }
+    if args.rebuild:
+        section["rebuild"] = {
+            "rate": args.rebuild_rate,
+            "batch_pages": args.rebuild_batch,
+        }
+    return section
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.faults import (
+        FaultPlan,
+        RetryPolicy,
+        parse_crash_spec,
+        parse_slow_spec,
+    )
     from repro.serving import make_scenario, serve_scenario
 
     _check_out_dirs(args)
@@ -564,6 +743,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
         )
+    faulty = bool(args.crash or args.slow or args.transient > 0)
+    fault_plan = None
+    retry_policy = None
+    if faulty:
+        try:
+            fault_plan = FaultPlan(
+                seed=args.fault_seed,
+                default_transient_prob=args.transient,
+                crashes=tuple(
+                    parse_crash_spec(spec) for spec in args.crash
+                ),
+                slow_windows=tuple(
+                    parse_slow_spec(spec) for spec in args.slow
+                ),
+            )
+            retry_policy = RetryPolicy(
+                max_attempts=args.max_attempts,
+                attempt_timeout=args.attempt_timeout,
+            )
+        except ValueError as error:
+            raise SystemExit(str(error))
+    health, hedge, rebuild = _health_config(args)
     data, tree = _build_tree(args)
     try:
         scenario = make_scenario(
@@ -594,16 +795,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if explain is not None:
         factory = explain.attach(factory)
     with use_vectorized(args.kernels != "scalar"):
-        serving = serve_scenario(
-            tree,
-            factory,
-            scenario,
-            policy=policy,
-            params=params,
-            seed=args.seed,
-            metrics=metrics,
-            timeline=timeline,
-        )
+        try:
+            serving = serve_scenario(
+                tree,
+                factory,
+                scenario,
+                policy=policy,
+                params=params,
+                seed=args.seed,
+                metrics=metrics,
+                timeline=timeline,
+                fault_plan=fault_plan,
+                retry_policy=retry_policy,
+                raid=args.raid,
+                health=health,
+                hedge=hedge,
+                rebuild=rebuild,
+            )
+        except ValueError as error:
+            raise SystemExit(str(error))
 
     section = serving.serving_section()
     counts = section["counts"]
@@ -649,9 +859,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"max radius {certificates['max_radius']:.4f}"
         )
     print(f"  goodput  : {section['goodput']:.1f} answered queries/s")
+    if serving.health is not None:
+        h = serving.health
+        print(
+            f"  health   : {h['opens']} breaker opens, {h['closes']} closes, "
+            f"{h['ejected']} ejections, {h['open_drives']} drive(s) open"
+        )
+    if serving.hedge is not None:
+        hd = serving.hedge
+        print(
+            f"  hedging  : {hd['issued']} issued, {hd['won']} won, "
+            f"{hd['cancelled']} cancelled, {hd['wasted_reads']} wasted reads"
+        )
+    if serving.rebuild is not None:
+        rb = serving.rebuild
+        print(
+            f"  rebuild  : {rb['completed']} completed "
+            f"({rb['pages_streamed']:.0f} pages), time-to-healthy "
+            f"{rb['time_to_healthy']:.4f}s, "
+            f"{serving.rebuild_shed} arrivals shed during rebuild"
+        )
     if args.timeline and timeline is not None:
         print()
-        print(timeline.render(until=serving.result.makespan))
+        print(
+            timeline.render(
+                until=max(serving.result.makespan, timeline.end)
+            )
+        )
     if explain is not None:
         print()
         print(explain.render())
@@ -670,6 +904,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             label=f"{algorithm}/{policy.name}",
             explain=explain,
             serving=section,
+            health=serving.health,
+            hedge=serving.hedge,
+            rebuild=serving.rebuild,
         )
         write_report(doc, args.report)
         print(f"report written: {args.report}")
@@ -686,6 +923,25 @@ def _cmd_bench_serving(args: argparse.Namespace) -> int:
 
     _check_out_dirs(args)
     doc = run_serving_bench(smoke=args.smoke, seed=args.seed)
+    write_bench(doc, args.out)
+    print(format_summary(doc))
+    print(f"\nbench written: {args.out}")
+    if args.report:
+        write_report(to_run_report(doc), args.report)
+        print(f"report written: {args.report}")
+    return 0
+
+
+def _cmd_bench_chaos_serving(args: argparse.Namespace) -> int:
+    from repro.serving.chaos_bench import (
+        format_summary,
+        run_chaos_serving_bench,
+        to_run_report,
+        write_bench,
+    )
+
+    _check_out_dirs(args)
+    doc = run_chaos_serving_bench(smoke=args.smoke, seed=args.seed)
     write_bench(doc, args.out)
     print(format_summary(doc))
     print(f"\nbench written: {args.out}")
@@ -781,6 +1037,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
     except ValueError as error:
         raise SystemExit(str(error))
+    health, hedge, rebuild = _health_config(args)
     data, tree = _build_tree(args)
     queries = sample_queries(data, args.queries, seed=args.seed + 1)
     timeline = (
@@ -791,26 +1048,36 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         if args.explain
         else None
     )
-    report = run_chaos(
-        tree,
-        algorithm,
-        queries,
-        k=args.k,
-        raid=args.raid,
-        arrival_rate=args.arrival_rate,
-        params=SystemParameters(
-            scheduler=args.scheduler, coalesce=args.coalesce,
-            bus_time=args.bus_time, buffer_pages=args.buffer_pages,
-        ),
-        seed=args.seed,
-        fault_plan=plan,
-        retry_policy=policy,
-        deadline=args.deadline,
-        timeline=timeline,
-        explain=explain,
-    )
+    try:
+        report = run_chaos(
+            tree,
+            algorithm,
+            queries,
+            k=args.k,
+            raid=args.raid,
+            arrival_rate=args.arrival_rate,
+            params=SystemParameters(
+                scheduler=args.scheduler, coalesce=args.coalesce,
+                bus_time=args.bus_time, buffer_pages=args.buffer_pages,
+            ),
+            seed=args.seed,
+            fault_plan=plan,
+            retry_policy=policy,
+            deadline=args.deadline,
+            timeline=timeline,
+            explain=explain,
+            health=health,
+            hedge=hedge,
+            rebuild=rebuild,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
     if args.timeline and timeline is not None:
-        print(timeline.render(until=report.result.makespan))
+        print(
+            timeline.render(
+                until=max(report.result.makespan, timeline.end)
+            )
+        )
         print()
     if explain is not None:
         print(explain.render())
@@ -848,6 +1115,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             "attempt_timeout": args.attempt_timeout,
             "deadline": args.deadline,
         }
+        config.update(_health_config_section(args))
         doc = build_run_report(
             "chaos",
             config,
@@ -855,6 +1123,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             timeline=timeline,
             label=f"{algorithm}/{args.raid}",
             explain=explain,
+            health=report.health,
+            hedge=report.hedge,
+            rebuild=report.rebuild,
         )
         write_report(doc, args.report)
         print(f"report written: {args.report}")
@@ -1162,6 +1433,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap on pages per merged transaction (fairness bound); "
         "0 for unbounded (default: 0)",
     )
+    serve.add_argument(
+        "--raid",
+        choices=["raid0", "raid1"],
+        default="raid0",
+        help="array layout: striped raid0 or mirrored raid1 pairs "
+        "(default: raid0; hedging and rebuild need raid1)",
+    )
+    serve.add_argument(
+        "--crash",
+        action="append",
+        default=[],
+        metavar="DISK@START[:REPAIR]",
+        help="crash window, e.g. 2@0.0 or 1@0.5:2.0; repeatable — on "
+        "raid1, DISK addresses a physical drive (logical*2+replica)",
+    )
+    serve.add_argument(
+        "--slow",
+        action="append",
+        default=[],
+        metavar="DISK@START-ENDxFACTOR",
+        help="fail-slow window, e.g. 1@0.0-2.5x8; repeatable",
+    )
+    serve.add_argument(
+        "--transient",
+        type=float,
+        default=0.0,
+        metavar="PROB",
+        help="per-service transient read-error probability on every disk "
+        "(default: 0)",
+    )
+    serve.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the fault plan's RNG streams (default: 0)",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="disk attempts per fetch before it fails permanently "
+        "(default: 3)",
+    )
+    serve.add_argument(
+        "--attempt-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt timeout in simulated seconds (default: none)",
+    )
+    _add_health_arguments(serve)
     _add_scheduler_arguments(serve)
     _add_kernels_argument(serve)
     _add_obs_arguments(serve)
@@ -1283,8 +1605,37 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the JSON chaos report to PATH",
     )
+    _add_health_arguments(chaos)
     _add_obs_arguments(chaos)
     chaos.set_defaults(handler=_cmd_chaos)
+
+    chaos_bench = subparsers.add_parser(
+        "bench-chaos-serving",
+        help="sweep fault-aware serving under fail-slow + crash chaos and "
+        "write the tail-tolerance comparison to BENCH_PR8.json",
+    )
+    chaos_bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: small tree, short horizon, two load points",
+    )
+    chaos_bench.add_argument(
+        "--out",
+        default="BENCH_PR8.json",
+        metavar="PATH",
+        help="output JSON path (default: BENCH_PR8.json)",
+    )
+    chaos_bench.add_argument(
+        "--seed", type=int, default=0, help="RNG seed (default: 0)"
+    )
+    chaos_bench.add_argument(
+        "--report",
+        default="",
+        metavar="PATH",
+        help="additionally write the document as a RunReport artifact "
+        "for 'repro diff'",
+    )
+    chaos_bench.set_defaults(handler=_cmd_bench_chaos_serving)
 
     diff = subparsers.add_parser(
         "diff",

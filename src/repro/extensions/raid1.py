@@ -17,20 +17,49 @@ pair.  A fetch fails permanently (a
 :class:`~repro.simulation.system.FetchFailure`) only when both
 replicas are down or the retry budget is exhausted, which is what
 degrades a query to a partial answer downstream.
+
+**Tail tolerance** (all opt-in, see :mod:`repro.faults.health`):
+
+* a :class:`~repro.faults.health.DiskHealthMonitor` keyed by physical
+  drive makes replica choice *health-aware* — replicas whose circuit
+  breaker is open are avoided while any healthy candidate remains;
+* a :class:`~repro.faults.health.HedgePolicy` turns the first attempt
+  into a **hedged read**: if the chosen replica has not answered within
+  a quantile of the observed latency distribution, the read is
+  re-issued against the other replica and the first ``ok`` response
+  wins.  The losing arm is cancelled while still queued (its request is
+  withdrawn without spinning the disk) or, if already in service,
+  completes in the background as a counted ``wasted_read``.  Exactly
+  one :class:`~repro.simulation.system.FetchTiming` is returned either
+  way, so buffer admits and miss counts stay single (the PR4
+  ``hits+misses == page_requests`` invariant extends unchanged);
+* a :class:`~repro.faults.health.RebuildPolicy` turns a crash window's
+  finite repair time into an **online rebuild**: from the repair
+  instant the drive stays out of the read path while a rebuild process
+  streams its pages back from the surviving replica — genuinely
+  consuming simulated disk and bus bandwidth, so recovery competes
+  with foreground traffic — and rejoins only when the stream finishes.
 """
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Callable, Generator, List, Optional, Sequence
+from typing import Callable, Dict, Generator, List, NamedTuple, Optional, Sequence
 
 from repro.disks.model import DiskModel
-from repro.faults.plan import FaultPlan
+from repro.faults.health import (
+    DiskHealthMonitor,
+    HedgePolicy,
+    LatencyWindow,
+    RebuildPolicy,
+)
+from repro.faults.plan import CrashWindow, FaultPlan
 from repro.faults.policy import RetryPolicy
 from repro.geometry.point import Point
 from repro.simulation.buffer import BufferPool
 from repro.simulation.cpu import CpuModel
-from repro.simulation.engine import Environment, Resource
+from repro.simulation.engine import AnyOf, Environment, Resource
 from repro.simulation.parameters import SystemParameters
 from repro.simulation.scheduling import make_scheduler
 from repro.simulation.system import (
@@ -40,6 +69,8 @@ from repro.simulation.system import (
     disk_attempt,
     validate_fetch_args,
 )
+
+
 from repro.simulation.simulator import (
     AlgorithmFactory,
     QueryRecord,
@@ -47,6 +78,15 @@ from repro.simulation.simulator import (
     WorkloadResult,
     record_workload_metrics,
 )
+
+
+class _HedgeOutcome(NamedTuple):
+    """Outcome of one hedged arm (internal to the hedged read path)."""
+
+    status: str  # "ok" | "transient" | "crashed" | "cancelled"
+    replica: int
+    queue_wait: float
+    service: float
 
 
 class MirroredDiskArraySystem:
@@ -70,7 +110,22 @@ class MirroredDiskArraySystem:
         :class:`~repro.obs.timeline.TimelineSampler`; when given, each
         physical drive drives ``disk<L>r<R>.queue_depth`` /
         ``disk<L>r<R>.busy`` tracks and the bus drives
-        ``bus.queue_depth`` / ``bus.busy``.
+        ``bus.queue_depth`` / ``bus.busy``.  A rebuilding drive
+        additionally drives a ``disk<L>r<R>.rebuild`` progress gauge
+        (0 → 1 as its pages stream back).
+    :param health: optional
+        :class:`~repro.faults.health.DiskHealthMonitor` over the
+        *physical* drives (``2 × num_disks``); replica choice then
+        avoids open-breaker drives.
+    :param hedge: optional :class:`~repro.faults.health.HedgePolicy`
+        enabling hedged first attempts (see the module docstring).
+    :param rebuild: optional
+        :class:`~repro.faults.health.RebuildPolicy`; every crash window
+        with a *finite* repair time then triggers an online rebuild.
+        Requires *rebuild_pages*.
+    :param rebuild_pages: pages stored per logical disk (use
+        :func:`repro.faults.health.pages_per_disk` on the placed tree)
+        — how much a repaired drive must re-stream.
     """
 
     REPLICAS = 2
@@ -84,6 +139,10 @@ class MirroredDiskArraySystem:
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
         timeline=None,
+        health: Optional[DiskHealthMonitor] = None,
+        hedge: Optional[HedgePolicy] = None,
+        rebuild: Optional[RebuildPolicy] = None,
+        rebuild_pages: Optional[Sequence[int]] = None,
     ):
         if num_disks < 1:
             raise ValueError(f"num_disks must be positive, got {num_disks}")
@@ -96,7 +155,15 @@ class MirroredDiskArraySystem:
         self.retry_policy = (
             retry_policy if retry_policy is not None else RetryPolicy()
         )
-        self._faulty = fault_plan is not None or retry_policy is not None
+        self.health = health
+        self.hedge = hedge
+        self.rebuild = rebuild
+        self._faulty = (
+            fault_plan is not None
+            or retry_policy is not None
+            or health is not None
+            or hedge is not None
+        )
         self.timeline = timeline
 
         def _track(name: str, suffix: str):
@@ -149,23 +216,92 @@ class MirroredDiskArraySystem:
         self.retries = 0
         self.failed_fetches = 0
         self.failovers = 0
+        #: Hedging counters: hedges issued (the primary straggled past
+        #: the delay), hedges won (the backup answered first), losers
+        #: cancelled while still queued (no disk time spent), and
+        #: losers that had already reached service (disk time wasted).
+        self.hedges_issued = 0
+        self.hedges_won = 0
+        self.hedges_cancelled = 0
+        self.wasted_reads = 0
+        #: Latency window feeding the quantile-based hedge delay (the
+        #: health monitor's window is used instead when one is attached,
+        #: so breakers and hedging judge the same distribution).
+        self._hedge_window = (
+            health.latencies if health is not None else LatencyWindow()
+        )
+        #: Online rebuild state: physical drives whose crash windows
+        #: have a finite repair time stay out of the read path from
+        #: crash start until their rebuild stream finishes.
+        self._pending_rebuild: Dict[int, CrashWindow] = {}
+        self.rebuilds_active = 0
+        self.rebuild_stats: Dict[int, Dict[str, float]] = {}
+        if rebuild is not None:
+            if fault_plan is None:
+                raise ValueError(
+                    "an online rebuild needs a fault plan — without a "
+                    "crash window there is nothing to rebuild"
+                )
+            repairable = [
+                w for w in fault_plan.crashes if math.isfinite(w.repair)
+            ]
+            if repairable and rebuild_pages is None:
+                raise ValueError(
+                    "online rebuild needs per-disk page counts — pass "
+                    "rebuild_pages=pages_per_disk(tree)"
+                )
+            self._rebuild_pages = (
+                list(rebuild_pages) if rebuild_pages is not None else []
+            )
+            for window in repairable:
+                if not 0 <= window.disk_id < num_disks * self.REPLICAS:
+                    continue
+                self._pending_rebuild[window.disk_id] = window
+                env.process(self._rebuild_process(window))
 
     def physical_id(self, disk_id: int, replica: int) -> int:
         """The fault-plan address of one physical drive."""
         return disk_id * self.REPLICAS + replica
 
+    @property
+    def rebuild_active(self) -> bool:
+        """True while at least one drive is streaming its pages back."""
+        return self.rebuilds_active > 0
+
     def _available_replicas(self, disk_id: int) -> List[int]:
-        """Replicas of *disk_id* not currently inside a crash window."""
-        if self.fault_plan is None:
-            return list(range(self.REPLICAS))
+        """Replicas of *disk_id* currently able to serve reads.
+
+        Excludes replicas inside a crash window and — with an online
+        rebuild configured — replicas whose crash has started but whose
+        rebuild stream has not finished (their data is not back yet).
+        """
         now = self.env.now
-        return [
+        available = []
+        for replica in range(self.REPLICAS):
+            phys = self.physical_id(disk_id, replica)
+            if self.fault_plan is not None and self.fault_plan.is_crashed(
+                phys, now
+            ):
+                continue
+            window = self._pending_rebuild.get(phys)
+            if window is not None and now >= window.start:
+                continue
+            available.append(replica)
+        return available
+
+    def _routable(self, disk_id: int, available: Sequence[int]) -> List[int]:
+        """Filter breaker-open replicas; falls back to *available* so a
+        pair with every breaker open still takes the attempt (RAID-1
+        must not be made worse than no health tracking)."""
+        if self.health is None:
+            return list(available)
+        now = self.env.now
+        healthy = [
             replica
-            for replica in range(self.REPLICAS)
-            if not self.fault_plan.is_crashed(
-                self.physical_id(disk_id, replica), now
-            )
+            for replica in available
+            if self.health.allow(self.physical_id(disk_id, replica), now)
         ]
+        return healthy or list(available)
 
     def _pick_replica(
         self,
@@ -186,6 +322,262 @@ class MirroredDiskArraySystem:
             return (backlog, seek, replica)
 
         return min(candidates, key=cost)
+
+    # -- online rebuild -----------------------------------------------------
+
+    def _record_rebuild(self, phys: int, fraction: float) -> None:
+        if self.timeline is not None:
+            disk_id, replica = divmod(phys, self.REPLICAS)
+            self.timeline.record(
+                f"disk{disk_id}r{replica}.rebuild", self.env.now, fraction
+            )
+
+    def _rebuild_io(
+        self, disk_id: int, replica: int, cylinder: int, nbytes: int
+    ) -> Generator:
+        """Process fragment: one rebuild sweep on one physical drive."""
+        queue = self.replica_queues[disk_id][replica]
+        model = self.replica_models[disk_id][replica]
+        grant = queue.request(cylinder=cylinder)
+        yield grant
+        try:
+            yield self.env.timeout(model.service(cylinder, nbytes))
+        finally:
+            queue.release(grant)
+
+    def _rebuild_process(self, window: CrashWindow) -> Generator:
+        """Process: stream a repaired drive's pages back from its mirror.
+
+        Starts at the crash window's repair instant.  Each batch queues
+        a read sweep at the surviving replica, crosses the shared bus
+        once, and queues a write sweep at the repaired drive — all
+        through the ordinary resources, so the stream genuinely competes
+        with foreground traffic — then throttles itself to the policy's
+        pages-per-second ceiling.  The drive rejoins the read path only
+        when the stream finishes.
+        """
+        env = self.env
+        yield env.timeout(window.repair)
+        phys = window.disk_id
+        disk_id, replica = divmod(phys, self.REPLICAS)
+        source = 1 - replica
+        total = 0
+        if disk_id < len(self._rebuild_pages):
+            total = self._rebuild_pages[disk_id]
+        total = max(1, total)
+        policy = self.rebuild
+        pace = policy.batch_pages / policy.rate
+        cylinders = self.params.disk.cylinders
+        self.rebuilds_active += 1
+        started = env.now
+        self._record_rebuild(phys, 0.0)
+        done = 0
+        while done < total:
+            batch = min(policy.batch_pages, total - done)
+            batch_start = env.now
+            nbytes = self.params.page_size * batch
+            # Deterministic sequential sweep position for this batch.
+            cylinder = min(
+                cylinders - 1, (done * cylinders) // total
+            )
+            if self.fault_plan is not None and self.fault_plan.is_crashed(
+                self.physical_id(disk_id, source), env.now
+            ):
+                # The surviving replica is itself inside a crash window:
+                # stall until the next pace tick rather than reading
+                # garbage (double faults leave the pair degraded).
+                yield env.timeout(pace)
+                continue
+            yield from self._rebuild_io(disk_id, source, cylinder, nbytes)
+            grant = self.bus.request()
+            yield grant
+            try:
+                yield env.timeout(self.params.bus_time)
+            finally:
+                self.bus.release(grant)
+            yield from self._rebuild_io(disk_id, replica, cylinder, nbytes)
+            done += batch
+            self._record_rebuild(phys, done / total)
+            elapsed = env.now - batch_start
+            if pace > elapsed:
+                yield env.timeout(pace - elapsed)
+        finished = env.now
+        self._pending_rebuild.pop(phys, None)
+        self.rebuilds_active -= 1
+        self.rebuild_stats[phys] = {
+            "started": started,
+            "finished": finished,
+            "duration": finished - started,
+            "unavailable": finished - window.start,
+            "pages": float(total),
+        }
+
+    def rebuild_section(self) -> Dict[str, object]:
+        """JSON-ready ``"rebuild"`` report section (finite floats only)."""
+        stats = self.rebuild_stats
+        return {
+            "completed": len(stats),
+            "pending": len(self._pending_rebuild),
+            "pages_streamed": sum(s["pages"] for s in stats.values()),
+            "duration": max(
+                (s["duration"] for s in stats.values()), default=0.0
+            ),
+            "time_to_healthy": max(
+                (s["unavailable"] for s in stats.values()), default=0.0
+            ),
+            "drives": {
+                str(phys): dict(s) for phys, s in sorted(stats.items())
+            },
+        }
+
+    def hedge_section(self) -> Dict[str, int]:
+        """JSON-ready ``"hedge"`` report section."""
+        return {
+            "issued": self.hedges_issued,
+            "won": self.hedges_won,
+            "cancelled": self.hedges_cancelled,
+            "wasted_reads": self.wasted_reads,
+        }
+
+    # -- hedged reads -------------------------------------------------------
+
+    def _hedge_arm(
+        self,
+        disk_id: int,
+        replica: int,
+        anchor: int,
+        service_fn: Callable[[DiskModel], float],
+        race: Dict[str, Optional[int]],
+    ) -> Generator:
+        """Process: one arm of a hedged read at one replica.
+
+        Re-checks the race after its queue grant fires: if the other
+        arm already delivered, the grant is withdrawn without spinning
+        the disk (a clean cancellation); an arm that was already in
+        service completes and is counted as a wasted read.  The first
+        arm to finish ``ok`` claims the race synchronously in event
+        order, so the accounting is deterministic.
+        """
+        env = self.env
+        queue = self.replica_queues[disk_id][replica]
+        model = self.replica_models[disk_id][replica]
+        phys = self.physical_id(disk_id, replica)
+        plan, state = self.fault_plan, self.faults
+        t0 = env.now
+        grant = queue.request(cylinder=anchor)
+        yield grant
+        if race["winner"] is not None:
+            queue.release(grant)
+            self.hedges_cancelled += 1
+            return _HedgeOutcome("cancelled", replica, env.now - t0, 0.0)
+        granted = env.now
+        try:
+            duration = service_fn(model)
+            if plan is not None:
+                factor = plan.slow_factor(phys, granted)
+                if factor > 1.0:
+                    extra = duration * (factor - 1.0)
+                    model.busy_time += extra
+                    duration += extra
+            yield env.timeout(duration)
+        finally:
+            queue.release(grant)
+        served = env.now
+        queue_wait, service = granted - t0, served - granted
+        if plan is not None and plan.is_crashed(phys, served):
+            status = "crashed"
+        elif state is not None and state.draw_transient(phys):
+            status = "transient"
+        else:
+            status = "ok"
+        if self.health is not None:
+            self.health.observe(
+                phys, status == "ok", queue_wait + service, served
+            )
+        if status == "ok":
+            if race["winner"] is None:
+                race["winner"] = replica
+            else:
+                # The pair already answered: this arm spun a disk for a
+                # page nobody needs any more.
+                self.wasted_reads += 1
+        return _HedgeOutcome(status, replica, queue_wait, service)
+
+    def _hedged_attempt(
+        self,
+        disk_id: int,
+        anchor: int,
+        service_fn: Callable[[DiskModel], float],
+        candidates: Sequence[int],
+        available: Sequence[int],
+    ) -> Generator:
+        """Process fragment: a first attempt with a hedge in reserve.
+
+        Starts the preferred replica, races it against the hedge delay,
+        and re-issues against the backup replica if the primary is
+        still outstanding when the delay expires.  Returns the winning
+        (first ``ok``) :class:`_HedgeOutcome`, or the primary's failed
+        outcome when every arm failed — the caller's retry loop then
+        proceeds exactly as for an ordinary failed attempt.
+        """
+        env = self.env
+        primary = self._pick_replica(disk_id, anchor, candidates)
+        backups = [r for r in candidates if r != primary] or [
+            r for r in available if r != primary
+        ]
+        race: Dict[str, Optional[int]] = {"winner": None}
+        first = env.process(
+            self._hedge_arm(disk_id, primary, anchor, service_fn, race)
+        )
+        second = None
+        if backups:
+            delay = self.hedge.delay(self._hedge_window)
+            yield AnyOf(env, [first, env.timeout(delay)])
+            if not first.triggered:
+                self.hedges_issued += 1
+                second = env.process(
+                    self._hedge_arm(
+                        disk_id, backups[0], anchor, service_fn, race
+                    )
+                )
+        result: Optional[_HedgeOutcome] = None
+        pending = []
+        for proc in (first, second):
+            if proc is None:
+                continue
+            if proc.triggered:
+                if proc.value.status == "ok" and result is None:
+                    result = proc.value
+            else:
+                pending.append(proc)
+        # Wait until a winner emerges or every arm has failed; a loser
+        # still in flight after the winner returns finishes in the
+        # background and accounts itself (cancelled or wasted).
+        while result is None and pending:
+            if len(pending) == 1:
+                outcome = yield pending[0]
+                if outcome.status == "ok":
+                    result = outcome
+                pending = []
+            else:
+                yield AnyOf(env, pending)
+                still = []
+                for proc in pending:
+                    if proc.triggered:
+                        if proc.value.status == "ok" and result is None:
+                            result = proc.value
+                    else:
+                        still.append(proc)
+                pending = still
+        if result is not None:
+            if second is not None and result.replica != primary:
+                self.hedges_won += 1
+            if self.health is None:
+                # With a monitor attached its observe() already fed the
+                # shared window; adding here would double-count.
+                self._hedge_window.add(result.queue_wait + result.service)
+            return result
+        return first.value
 
     def fetch_page(
         self,
@@ -294,28 +686,59 @@ class MirroredDiskArraySystem:
                 if not available:
                     status = "crashed"  # the whole mirrored pair is down
                 else:
+                    # Health-aware routing: avoid open-breaker replicas
+                    # while a healthy candidate remains.
+                    candidates = self._routable(disk_id, available)
                     # Failover preference: after a failed attempt, try
                     # the *other* replica when it is up.
-                    candidates = available
-                    if last_replica is not None and len(available) > 1:
+                    if last_replica is not None and len(candidates) > 1:
                         candidates = [
-                            r for r in available if r != last_replica
-                        ] or available
-                    replica = self._pick_replica(disk_id, anchor, candidates)
-                    degraded = len(available) < self.REPLICAS
-                    switched = (
-                        last_replica is not None and replica != last_replica
-                    )
-                    if degraded or switched:
-                        failovers += 1
-                        self.failovers += 1
-                    outcome = yield from disk_attempt(
-                        self.env,
-                        self.replica_queues[disk_id][replica],
-                        self.replica_models[disk_id][replica],
-                        self.physical_id(disk_id, replica),
-                        service_fn, plan, state, policy, cylinder=anchor,
-                    )
+                            r for r in candidates if r != last_replica
+                        ] or candidates
+                    if (
+                        self.hedge is not None
+                        and attempts == 1
+                        and len(available) > 1
+                    ):
+                        # First attempt with both replicas up: hedge.
+                        outcome = yield from self._hedged_attempt(
+                            disk_id, anchor, service_fn, candidates,
+                            available,
+                        )
+                        replica = outcome.replica
+                    else:
+                        replica = self._pick_replica(
+                            disk_id, anchor, candidates
+                        )
+                        degraded = len(available) < self.REPLICAS
+                        switched = (
+                            last_replica is not None
+                            and replica != last_replica
+                        )
+                        if degraded or switched:
+                            failovers += 1
+                            self.failovers += 1
+                        outcome = yield from disk_attempt(
+                            self.env,
+                            self.replica_queues[disk_id][replica],
+                            self.replica_models[disk_id][replica],
+                            self.physical_id(disk_id, replica),
+                            service_fn, plan, state, policy, cylinder=anchor,
+                        )
+                        if self.health is not None:
+                            self.health.observe(
+                                self.physical_id(disk_id, replica),
+                                outcome.status == "ok",
+                                outcome.queue_wait + outcome.service,
+                                self.env.now,
+                            )
+                        elif (
+                            self.hedge is not None
+                            and outcome.status == "ok"
+                        ):
+                            self._hedge_window.add(
+                                outcome.queue_wait + outcome.service
+                            )
                     queue_wait += outcome.queue_wait
                     service += outcome.service
                     status = outcome.status
@@ -390,6 +813,21 @@ class MirroredDiskArraySystem:
             end=self.env.now,
         )
 
+    @property
+    def disk_queues(self) -> List[Resource]:
+        """Per-physical-drive queues, flattened in fault-plan id order.
+
+        Matches the ``DiskArraySystem.disk_queues`` shape so
+        :func:`~repro.simulation.simulator.collect_system_stats` works
+        on a mirrored array (the serving front end relies on this).
+        """
+        return [q for pair in self.replica_queues for q in pair]
+
+    @property
+    def disk_models(self) -> List[DiskModel]:
+        """Per-physical-drive models, flattened in fault-plan id order."""
+        return [m for pair in self.replica_models for m in pair]
+
     def disk_utilizations(self, elapsed: float) -> List[float]:
         """Busy fraction per *physical* drive over *elapsed* seconds."""
         if elapsed <= 0:
@@ -421,6 +859,10 @@ def simulate_mirrored_workload(
     deadline: Optional[float] = None,
     metrics=None,
     timeline=None,
+    health: Optional[DiskHealthMonitor] = None,
+    hedge: Optional[HedgePolicy] = None,
+    rebuild: Optional[RebuildPolicy] = None,
+    rebuild_pages: Optional[Sequence[int]] = None,
 ) -> WorkloadResult:
     """Like :func:`~repro.simulation.simulator.simulate_workload`, on a
     RAID-1 (shadowed) array instead of RAID-0.
@@ -429,7 +871,10 @@ def simulate_mirrored_workload(
     injection and degraded-mode semantics, with fault-plan disk ids
     addressing physical drives.  *timeline* attaches a
     :class:`~repro.obs.timeline.TimelineSampler` (per-drive tracks are
-    named ``disk<L>r<R>.*`` — one per physical drive).
+    named ``disk<L>r<R>.*`` — one per physical drive).  *health* /
+    *hedge* / *rebuild* / *rebuild_pages* are passed through to
+    :class:`MirroredDiskArraySystem` (tail-tolerance knobs — all
+    optional; the environment is bit-identical when they are absent).
     """
     if not queries:
         raise ValueError("a workload needs at least one query")
@@ -440,7 +885,8 @@ def simulate_mirrored_workload(
     system = MirroredDiskArraySystem(
         env, tree.num_disks, params=params, seed=seed,
         fault_plan=fault_plan, retry_policy=retry_policy,
-        timeline=timeline,
+        timeline=timeline, health=health, hedge=hedge,
+        rebuild=rebuild, rebuild_pages=rebuild_pages,
     )
     executor = SimulatedExecutor(
         env, system, tree, metrics=metrics, timeline=timeline,
@@ -488,4 +934,7 @@ def simulate_mirrored_workload(
         result.cpu_utilization = system.cpu.total_hold_time / result.makespan
     if metrics is not None:
         record_workload_metrics(metrics, result)
+    # Ride-along (not a dataclass field, never serialized): callers
+    # building hedge/rebuild report sections need the system counters.
+    result.system = system
     return result

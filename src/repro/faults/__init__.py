@@ -17,7 +17,13 @@ layer:
   ``repro chaos``: replays a seeded workload under a fault plan (RAID-0
   or RAID-1) and reports robustness metrics — retries, failovers,
   aborted fetches, partial queries and the certified-radius
-  distribution.
+  distribution;
+* :mod:`repro.faults.health` — **tail tolerance**: per-disk EWMA
+  latency + error-rate tracking behind a three-state circuit breaker
+  (:class:`~repro.faults.health.DiskHealthMonitor`), quantile-delayed
+  hedged mirrored reads (:class:`~repro.faults.health.HedgePolicy`),
+  and paced online RAID-1 rebuild
+  (:class:`~repro.faults.health.RebuildPolicy`).
 
 Degraded-mode semantics live in the layers this package configures:
 :class:`~repro.simulation.system.DiskArraySystem` turns faults into
@@ -37,14 +43,28 @@ from repro.faults.plan import (
 )
 from repro.faults.policy import RetryPolicy
 from repro.faults.chaos import ChaosReport, run_chaos
+from repro.faults.health import (
+    DiskHealthMonitor,
+    HealthPolicy,
+    HedgePolicy,
+    LatencyWindow,
+    RebuildPolicy,
+    pages_per_disk,
+)
 
 __all__ = [
     "ChaosReport",
     "CrashWindow",
+    "DiskHealthMonitor",
     "FaultPlan",
     "FaultState",
+    "HealthPolicy",
+    "HedgePolicy",
+    "LatencyWindow",
+    "RebuildPolicy",
     "RetryPolicy",
     "SlowWindow",
+    "pages_per_disk",
     "parse_crash_spec",
     "parse_slow_spec",
     "run_chaos",

@@ -58,6 +58,12 @@ class ChaosReport:
     breakdown: Dict[str, float] = field(default_factory=dict)
     #: The fault plan that was injected, summarised.
     plan: Dict[str, object] = field(default_factory=dict)
+    #: Tail-tolerance sections (``None`` when the feature was off; the
+    #: keys are then absent from :meth:`as_dict`, so pre-PR8 chaos
+    #: reports stay byte-identical).
+    health: Optional[Dict[str, object]] = None
+    hedge: Optional[Dict[str, object]] = None
+    rebuild: Optional[Dict[str, object]] = None
 
     @property
     def certified_radius_stats(self) -> Dict[str, float]:
@@ -73,7 +79,7 @@ class ChaosReport:
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict rendering for JSON export."""
-        return {
+        doc: Dict[str, object] = {
             "algorithm": self.algorithm,
             "raid": self.raid,
             "num_queries": self.num_queries,
@@ -94,6 +100,11 @@ class ChaosReport:
             "breakdown": self.breakdown,
             "plan": self.plan,
         }
+        for key in ("health", "hedge", "rebuild"):
+            section = getattr(self, key)
+            if section is not None:
+                doc[key] = section
+        return doc
 
     def to_json(self, indent: int = 2) -> str:
         """The report as a JSON document."""
@@ -121,6 +132,26 @@ class ChaosReport:
                 f"  certified : radius min {stats['min']:.4f} / "
                 f"mean {stats['mean']:.4f} / max {stats['max']:.4f} "
                 f"over {stats['count']} partial queries"
+            )
+        if self.health is not None:
+            lines.append(
+                f"  health    : {self.health['opens']} breaker opens, "
+                f"{self.health['closes']} closes, "
+                f"{self.health['ejected']} ejections, "
+                f"{self.health['open_drives']} drive(s) still open"
+            )
+        if self.hedge is not None:
+            lines.append(
+                f"  hedging   : {self.hedge['issued']} issued, "
+                f"{self.hedge['won']} won, "
+                f"{self.hedge['cancelled']} cancelled, "
+                f"{self.hedge['wasted_reads']} wasted reads"
+            )
+        if self.rebuild is not None:
+            lines.append(
+                f"  rebuild   : {self.rebuild['completed']} completed "
+                f"({self.rebuild['pages_streamed']:.0f} pages), "
+                f"time-to-healthy {self.rebuild['time_to_healthy']:.4f} s"
             )
         return "\n".join(lines)
 
@@ -168,6 +199,9 @@ def run_chaos(
     metrics=None,
     timeline=None,
     explain=None,
+    health=None,
+    hedge=None,
+    rebuild=None,
 ) -> ChaosReport:
     """Replay a seeded workload under a fault plan and report robustness.
 
@@ -197,6 +231,15 @@ def run_chaos(
         :class:`~repro.obs.explain.WorkloadExplain` collector; every
         query's algorithm gets a per-query decision recorder attached
         (bit-identity-neutral — answers and timings are unchanged).
+    :param health: optional :class:`~repro.faults.health.HealthPolicy`
+        — attaches a circuit-breaker health monitor over the physical
+        drives (RAID-0 fetches then fail fast against open breakers;
+        RAID-1 routes to the healthy replica).
+    :param hedge: optional :class:`~repro.faults.health.HedgePolicy`
+        enabling hedged mirrored reads (RAID-1 only).
+    :param rebuild: optional
+        :class:`~repro.faults.health.RebuildPolicy` enabling online
+        rebuild of finite-repair crash windows (RAID-1 only).
     :returns: the distilled :class:`ChaosReport`.  The underlying
         :class:`~repro.simulation.simulator.WorkloadResult` rides along
         as ``report.result`` (not serialized) so callers can build a
@@ -204,9 +247,15 @@ def run_chaos(
     """
     if raid not in RAID_LEVELS:
         raise ValueError(f"raid must be one of {RAID_LEVELS}, got {raid!r}")
+    if raid == "raid0" and (hedge is not None or rebuild is not None):
+        raise ValueError(
+            "hedged reads and online rebuild need a mirrored array — "
+            "pass raid='raid1'"
+        )
     # Imported here: the workload runners pull in the whole simulation
     # stack, and `repro.faults` must stay importable on its own.
     from repro.experiments.setup import make_factory
+    from repro.faults.health import DiskHealthMonitor, pages_per_disk
 
     name = algorithm.strip().upper()
     factory = make_factory(name, tree, k)
@@ -215,25 +264,51 @@ def run_chaos(
     plan = fault_plan if fault_plan is not None else FaultPlan(seed=seed)
     policy = retry_policy if retry_policy is not None else RetryPolicy()
 
+    monitor = None
+    system = None
     if raid == "raid0":
         from repro.simulation.simulator import simulate_workload
 
+        if health is not None:
+            monitor = DiskHealthMonitor(
+                health, tree.num_disks, timeline=timeline
+            )
         result = simulate_workload(
             tree, factory, queries,
             arrival_rate=arrival_rate, params=params, seed=seed,
             metrics=metrics, timeline=timeline,
             fault_plan=plan, retry_policy=policy,
-            deadline=deadline,
+            deadline=deadline, health=monitor,
         )
     else:
-        from repro.extensions.raid1 import simulate_mirrored_workload
+        from repro.extensions.raid1 import (
+            MirroredDiskArraySystem,
+            simulate_mirrored_workload,
+        )
 
+        if health is not None:
+            replicas = MirroredDiskArraySystem.REPLICAS
+            monitor = DiskHealthMonitor(
+                health,
+                tree.num_disks * replicas,
+                timeline=timeline,
+                track_names=[
+                    f"disk{d}r{r}.health"
+                    for d in range(tree.num_disks)
+                    for r in range(replicas)
+                ],
+            )
         result = simulate_mirrored_workload(
             tree, factory, queries,
             arrival_rate=arrival_rate, params=params, seed=seed,
             fault_plan=plan, retry_policy=policy, deadline=deadline,
             metrics=metrics, timeline=timeline,
+            health=monitor, hedge=hedge, rebuild=rebuild,
+            rebuild_pages=(
+                pages_per_disk(tree) if rebuild is not None else None
+            ),
         )
+        system = result.system
 
     report = ChaosReport(
         algorithm=name,
@@ -255,6 +330,19 @@ def run_chaos(
         certified_radii=result.certified_radii,
         breakdown=result.breakdown.as_dict(),
         plan=_plan_summary(plan),
+        health=(
+            monitor.describe(result.makespan) if monitor is not None else None
+        ),
+        hedge=(
+            system.hedge_section()
+            if system is not None and hedge is not None
+            else None
+        ),
+        rebuild=(
+            system.rebuild_section()
+            if system is not None and rebuild is not None
+            else None
+        ),
     )
     # Ride-along for RunReport building; deliberately not a dataclass
     # field so as_dict()/to_json() stay unchanged.

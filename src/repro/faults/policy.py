@@ -11,6 +11,7 @@ per-query time breakdown.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -42,10 +43,24 @@ class RetryPolicy:
             raise ValueError(
                 f"max_attempts must be >= 1, got {self.max_attempts}"
             )
-        if self.attempt_timeout is not None and self.attempt_timeout <= 0:
-            raise ValueError(
-                f"attempt_timeout must be positive, got {self.attempt_timeout}"
-            )
+        if self.attempt_timeout is not None:
+            if not math.isfinite(self.attempt_timeout):
+                raise ValueError(
+                    f"attempt_timeout must be finite, got "
+                    f"{self.attempt_timeout} (use None for no timeout)"
+                )
+            if self.attempt_timeout <= 0:
+                raise ValueError(
+                    f"attempt_timeout must be positive, got "
+                    f"{self.attempt_timeout}"
+                )
+        # A NaN slips through every <-comparison below and then poisons
+        # backoff delays deep inside the event loop; reject it here.
+        for name in ("backoff_base", "backoff_factor", "backoff_cap"):
+            if not math.isfinite(getattr(self, name)):
+                raise ValueError(
+                    f"{name} must be finite, got {getattr(self, name)}"
+                )
         if self.backoff_base < 0:
             raise ValueError(
                 f"backoff_base must be non-negative, got {self.backoff_base}"

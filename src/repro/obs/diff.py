@@ -60,6 +60,28 @@ HIGHER_IS_WORSE = (
     "serving.io.transactions_per_page",
     "metrics.*latency_p99_s",
     "metrics.*transactions_per_page",
+    # Tail tolerance (PR8): more breaker trips / ejected fetches / time
+    # with a drive out of the read path is worse, as is issuing more
+    # hedges (the primaries straggled more) or wasting more duplicate
+    # reads; a slower rebuild and higher foreground-p99 inflation
+    # during it degrade upward too.
+    "health.opens",
+    "health.ejected",
+    "health.time_in_open",
+    "hedge.issued",
+    "hedge.wasted_reads",
+    "rebuild.duration",
+    "rebuild.time_to_healthy",
+    "rebuild.foreground_p99_inflation",
+    "serving.health.opens",
+    "serving.health.ejected",
+    "serving.health.time_in_open",
+    "serving.hedge.issued",
+    "serving.hedge.wasted_reads",
+    "serving.rebuild.duration",
+    "serving.rebuild.time_to_healthy",
+    "metrics.*foreground_p99_inflation",
+    "metrics.*time_to_healthy_s",
 )
 
 #: Metric-path patterns whose DECREASE is a regression.
@@ -74,6 +96,10 @@ LOWER_IS_WORSE = (
     "serving.goodput",
     "serving.counts.complete",
     "metrics.*goodput_qps",
+    # Tail tolerance: a hedge that stops winning is pure waste — the
+    # duplicate reads cost bandwidth without cutting the tail.
+    "hedge.won",
+    "serving.hedge.won",
 )
 
 #: Subtrees :func:`flatten_numeric` skips: identity/metadata, and the

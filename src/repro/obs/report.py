@@ -71,6 +71,9 @@ def build_run_report(
     timeline_buckets: int = TIMELINE_BUCKETS,
     explain=None,
     serving=None,
+    health=None,
+    hedge=None,
+    rebuild=None,
 ) -> Dict[str, object]:
     """Distil one workload run into a JSON-ready RunReport document.
 
@@ -100,6 +103,12 @@ def build_run_report(
         admission wait, and cross-query batching counters.  Embedded
         under ``"serving"`` so ``repro diff`` gates the
         p99-vs-throughput frontier across PRs.
+    :param health / hedge / rebuild: optional JSON-ready
+        tail-tolerance sections (breaker/EWMA state from
+        :meth:`repro.faults.health.DiskHealthMonitor.describe`, hedged
+        read counters, online-rebuild progress).  Embedded top-level so
+        ``repro diff`` gates ``health.*`` / ``hedge.*`` / ``rebuild.*``
+        paths; absent keys keep pre-PR8 reports byte-identical.
     """
     records = result.records
     report: Dict[str, object] = {
@@ -154,12 +163,19 @@ def build_run_report(
         report["metrics"] = metrics.snapshot()
     if timeline is not None:
         report["timelines"] = timeline.snapshot(
-            until=result.makespan, buckets=timeline_buckets
+            until=max(result.makespan, timeline.end),
+            buckets=timeline_buckets,
         )
     if explain is not None:
         report["explain"] = explain.aggregate()
     if serving is not None:
         report["serving"] = dict(serving)
+    if health is not None:
+        report["health"] = dict(health)
+    if hedge is not None:
+        report["hedge"] = dict(hedge)
+    if rebuild is not None:
+        report["rebuild"] = dict(rebuild)
     return report
 
 

@@ -37,6 +37,13 @@ Track naming convention (what the simulation wires up):
 ``queries.in_flight``     queries concurrently inside the system
 ``crss.stack_depth``      candidates stacked across in-flight CRSS
                           queries (absent for other algorithms)
+``disk<N>.health``        disk N's circuit-breaker state as a step
+                          function: 0 closed, 1 open, 2 half-open
+                          (``disk<L>r<R>.health`` on RAID-1; present
+                          only with a health monitor attached)
+``disk<L>r<R>.rebuild``   online-rebuild progress gauge, 0 → 1 as a
+                          repaired drive's pages stream back (RAID-1
+                          with a rebuild policy only)
 ========================  =============================================
 
 The time-weighted mean of a ``.busy`` track over the makespan *is* the
@@ -102,6 +109,11 @@ class TimelineTrack:
     def max(self) -> float:
         """The largest value seen (0.0 before any sample)."""
         return max(self._values) if self._values else 0.0
+
+    @property
+    def end(self) -> float:
+        """Timestamp of the last sample (0.0 before any sample)."""
+        return self._ts[-1] if self._ts else 0.0
 
     def mean(self, until: Optional[float] = None) -> float:
         """Time-weighted mean from the first sample to *until*."""
@@ -230,6 +242,19 @@ class TimelineSampler:
     def names(self) -> Tuple[str, ...]:
         """Track names, in registration order."""
         return tuple(self._tracks)
+
+    @property
+    def end(self) -> float:
+        """Latest sample timestamp across all tracks (0.0 if empty).
+
+        Background work — an online rebuild streaming pages after the
+        last foreground response — can sample past the workload
+        makespan, so horizons derived from the makespan must be clamped
+        up to this before rendering or snapshotting.
+        """
+        return max(
+            (track.end for track in self._tracks.values()), default=0.0
+        )
 
     def snapshot(
         self, until: Optional[float] = None, buckets: int = 60

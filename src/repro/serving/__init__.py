@@ -5,6 +5,9 @@ array.  See :mod:`repro.serving.frontend` for the execution model,
 :mod:`repro.serving.traffic` for the scenario generators,
 :mod:`repro.serving.admission` for policies, and
 :mod:`repro.serving.batcher` for the cross-query fetch broker.
+:mod:`repro.serving.chaos_bench` benchmarks the fault-aware stack
+(hedged reads + circuit breakers + online rebuild, configured through
+``serve_scenario``'s ``health``/``hedge``/``rebuild`` parameters).
 ``docs/serving.md`` documents the semantics (including the
 degraded-answer contract).
 """

@@ -74,6 +74,12 @@ class ServingPolicy:
         (fairness: a giant merged sweep cannot starve the disk).
     :param classes: the deadline/priority classes; the first is the
         default for queries with no class label.
+    :param rebuild_shed_priority: rebuild-aware admission — while the
+        array reports an active rebuild (``system.rebuild_active``),
+        arrivals whose class priority is **>=** this threshold are shed
+        on arrival (empty answer, radius-0 certificate), reserving the
+        contested disk/bus bandwidth for urgent classes and the rebuild
+        stream itself.  ``None`` (default) disables the behaviour.
     """
 
     name: str = "custom"
@@ -84,6 +90,7 @@ class ServingPolicy:
     batch_window: float = 0.0
     max_group_pages: Optional[int] = None
     classes: Tuple[PriorityClass, ...] = (PriorityClass(),)
+    rebuild_shed_priority: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_in_flight is not None and self.max_in_flight <= 0:
@@ -128,7 +135,7 @@ class ServingPolicy:
 
     def describe(self) -> Dict[str, object]:
         """Reporting-friendly summary (stable key order by construction)."""
-        return {
+        doc: Dict[str, object] = {
             "name": self.name,
             "max_in_flight": self.max_in_flight,
             "max_queued": self.max_queued,
@@ -145,6 +152,11 @@ class ServingPolicy:
                 for cls in self.classes
             ],
         }
+        # Only stamped when set, keeping pre-PR8 report bodies (which
+        # never saw the knob) byte-identical.
+        if self.rebuild_shed_priority is not None:
+            doc["rebuild_shed_priority"] = self.rebuild_shed_priority
+        return doc
 
 
 def no_admission_policy(deadline: Optional[float] = None) -> ServingPolicy:

@@ -42,6 +42,14 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Sequence
 
 from repro.core.results import Neighbor
+from repro.extensions.raid1 import MirroredDiskArraySystem
+from repro.faults.health import (
+    DiskHealthMonitor,
+    HealthPolicy,
+    HedgePolicy,
+    RebuildPolicy,
+    pages_per_disk,
+)
 from repro.obs.trace import NULL_TRACER
 from repro.serving.admission import (
     AdmissionController,
@@ -164,6 +172,13 @@ class ServingResult:
     physical_pages: int = 0
     peak_in_flight: int = 0
     peak_queued: int = 0
+    #: Tail-tolerance snapshots (None when the feature was not enabled,
+    #: keeping pre-PR8 report bodies byte-identical).
+    health: Optional[Dict[str, object]] = None
+    hedge: Optional[Dict[str, object]] = None
+    rebuild: Optional[Dict[str, object]] = None
+    #: Queries shed on arrival because a rebuild was streaming.
+    rebuild_shed: int = 0
 
     def outcome_counts(self) -> Dict[str, int]:
         """How many offered queries ended in each outcome."""
@@ -262,6 +277,13 @@ class ServingResult:
         }
         if self.batching is not None:
             section["batching"] = dict(self.batching)
+        if self.health is not None:
+            section["health"] = dict(self.health)
+        if self.hedge is not None:
+            section["hedge"] = dict(self.hedge)
+        if self.rebuild is not None:
+            section["rebuild"] = dict(self.rebuild)
+            section["rebuild"]["shed_during_rebuild"] = self.rebuild_shed
         return section
 
 
@@ -333,6 +355,8 @@ class ServingFrontend:
         self.records: List[QueryRecord] = []
         #: Closed-loop completion latches, keyed by qid.
         self._done: Dict[int, object] = {}
+        #: Arrivals shed by rebuild-aware admission (reporting).
+        self.rebuild_shed = 0
 
     # -- arrival processes ------------------------------------------------
 
@@ -392,6 +416,27 @@ class ServingFrontend:
         deadline_at = (
             now + klass.deadline if klass.deadline is not None else None
         )
+        if (
+            self.policy.rebuild_shed_priority is not None
+            and klass.priority >= self.policy.rebuild_shed_priority
+            and getattr(self.system, "rebuild_active", False)
+        ):
+            # Rebuild-aware admission: while a drive is streaming its
+            # pages back, low-priority arrivals are shed at the door so
+            # foreground urgency and the rebuild share the spindles.
+            self.rebuild_shed += 1
+            self._settle(
+                ServedQuery(
+                    qid=qid,
+                    klass=klass.name,
+                    outcome="shed",
+                    arrival=now,
+                    started=None,
+                    completion=now,
+                    certified_radius=0.0,
+                )
+            )
+            return
         entry = QueueEntry(
             qid=qid, arrival=now, klass=klass, deadline_at=deadline_at
         )
@@ -492,6 +537,10 @@ def serve_scenario(
     timeline=None,
     fault_plan=None,
     retry_policy=None,
+    raid: str = "raid0",
+    health: Optional[HealthPolicy] = None,
+    hedge: Optional[HedgePolicy] = None,
+    rebuild: Optional[RebuildPolicy] = None,
 ) -> ServingResult:
     """Serve a traffic scenario over the simulated disk array.
 
@@ -509,23 +558,78 @@ def serve_scenario(
         the timeline gains ``serving.queued`` (admission-queue depth)
         and, with batching, ``serving.backlog`` (broker backlog) tracks.
     :param fault_plan / retry_policy: PR3 fault injection.
+    :param raid: ``"raid0"`` (declustered, the default) or ``"raid1"``
+        (mirrored pairs — required for hedging and rebuild; fault-plan
+        disk ids then address physical drives, ``logical*2+replica``).
+    :param health: optional :class:`~repro.faults.health.HealthPolicy`
+        — attaches a :class:`~repro.faults.health.DiskHealthMonitor`
+        over the physical drives, so fetches route around (RAID-1) or
+        fail fast against (RAID-0) open-breaker disks.
+    :param hedge: optional :class:`~repro.faults.health.HedgePolicy`
+        enabling hedged mirrored reads (RAID-1 only).
+    :param rebuild: optional
+        :class:`~repro.faults.health.RebuildPolicy` enabling online
+        rebuild of finite-repair crash windows (RAID-1 only).
     :returns: a :class:`ServingResult`.
     """
     if policy is None:
         policy = ServingPolicy()
+    if raid not in ("raid0", "raid1"):
+        raise ValueError(f"raid must be 'raid0' or 'raid1', got {raid!r}")
+    if raid == "raid0" and (hedge is not None or rebuild is not None):
+        raise ValueError(
+            "hedged reads and online rebuild need a mirrored array — "
+            "pass raid='raid1'"
+        )
     tracer = NULL_TRACER if tracer is None else tracer
     env = Environment()
-    system = DiskArraySystem(
-        env,
-        tree.num_disks,
-        params=params,
-        seed=seed,
-        tracer=tracer,
-        metrics=metrics,
-        timeline=timeline,
-        fault_plan=fault_plan,
-        retry_policy=retry_policy,
-    )
+    monitor: Optional[DiskHealthMonitor] = None
+    if health is not None:
+        if raid == "raid1":
+            track_names = [
+                f"disk{d}r{r}.health"
+                for d in range(tree.num_disks)
+                for r in range(MirroredDiskArraySystem.REPLICAS)
+            ]
+            monitor = DiskHealthMonitor(
+                health,
+                tree.num_disks * MirroredDiskArraySystem.REPLICAS,
+                timeline=timeline,
+                track_names=track_names,
+            )
+        else:
+            monitor = DiskHealthMonitor(
+                health, tree.num_disks, timeline=timeline
+            )
+    if raid == "raid1":
+        system = MirroredDiskArraySystem(
+            env,
+            tree.num_disks,
+            params=params,
+            seed=seed,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+            timeline=timeline,
+            health=monitor,
+            hedge=hedge,
+            rebuild=rebuild,
+            rebuild_pages=(
+                pages_per_disk(tree) if rebuild is not None else None
+            ),
+        )
+    else:
+        system = DiskArraySystem(
+            env,
+            tree.num_disks,
+            params=params,
+            seed=seed,
+            tracer=tracer,
+            metrics=metrics,
+            timeline=timeline,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+            health=monitor,
+        )
     frontend = ServingFrontend(
         env,
         system,
@@ -551,7 +655,7 @@ def serve_scenario(
     if metrics is not None and result.records:
         record_workload_metrics(metrics, result)
     controller = frontend.controller
-    return ServingResult(
+    serving = ServingResult(
         scenario=scenario,
         policy=policy,
         queries=[q for q in frontend.served if q is not None],
@@ -562,4 +666,16 @@ def serve_scenario(
         physical_pages=system.pages_fetched,
         peak_in_flight=controller.peak_in_flight,
         peak_queued=controller.peak_queued,
+        health=(
+            monitor.describe(env.now) if monitor is not None else None
+        ),
+        hedge=(system.hedge_section() if hedge is not None else None),
+        rebuild=(
+            system.rebuild_section() if rebuild is not None else None
+        ),
+        rebuild_shed=frontend.rebuild_shed,
     )
+    # Ride-along for tests and benches (not a dataclass field, never
+    # serialized): the simulated array, e.g. for buffer-pool invariants.
+    serving.system = system
+    return serving

@@ -764,6 +764,7 @@ def simulate_workload(
     fault_plan: Optional[FaultPlan] = None,
     retry_policy: Optional[RetryPolicy] = None,
     deadline: Optional[float] = None,
+    health=None,
 ) -> WorkloadResult:
     """Simulate a stream of k-NN queries against a placed tree.
 
@@ -790,6 +791,10 @@ def simulate_workload(
         injecting disk faults (see :mod:`repro.faults`).
     :param retry_policy: retry/timeout/backoff policy for faulty runs.
     :param deadline: optional per-query deadline in simulated seconds.
+    :param health: optional
+        :class:`~repro.faults.health.DiskHealthMonitor` — fetches then
+        observe per-disk outcomes and fail fast (reason ``"ejected"``)
+        against open-breaker disks instead of waiting out retries.
     :returns: per-query records plus aggregate statistics.
     """
     if not queries:
@@ -803,6 +808,7 @@ def simulate_workload(
         env, tree.num_disks, params=params, seed=seed,
         tracer=tracer, metrics=metrics, timeline=timeline,
         fault_plan=fault_plan, retry_policy=retry_policy,
+        health=health,
     )
     executor = SimulatedExecutor(
         env, system, tree, tracer=tracer, metrics=metrics,

@@ -45,6 +45,7 @@ import random
 from typing import Callable, Generator, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.disks.model import DiskModel
+from repro.faults.health import DiskHealthMonitor
 from repro.faults.plan import FaultPlan, FaultState
 from repro.faults.policy import RetryPolicy
 from repro.obs.metrics import fanout_gauges
@@ -103,8 +104,11 @@ class FetchFailure(NamedTuple):
     service: float
     retry_wait: float
     end: float
-    #: ``"crashed"`` (the disk was inside a crash window) or
-    #: ``"exhausted"`` (transient errors/timeouts used every attempt).
+    #: ``"crashed"`` (the disk was inside a crash window),
+    #: ``"exhausted"`` (transient errors/timeouts used every attempt) or
+    #: ``"ejected"`` (the disk's circuit breaker was open — the fetch
+    #: failed fast at zero simulated cost instead of waiting out
+    #: retries; see :mod:`repro.faults.health`).
     reason: str
     attempts: int
     failovers: int = 0
@@ -284,6 +288,7 @@ class DiskArraySystem:
         timeline=None,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        health: Optional[DiskHealthMonitor] = None,
     ):
         if num_disks < 1:
             raise ValueError(f"num_disks must be positive, got {num_disks}")
@@ -299,9 +304,18 @@ class DiskArraySystem:
         self.retry_policy = (
             retry_policy if retry_policy is not None else RetryPolicy()
         )
+        #: Optional circuit-breaker health monitor: fetches consult it
+        #: before queueing, and an open breaker fails the fetch fast
+        #: (reason ``"ejected"``) so the query certifies its radius
+        #: instead of waiting out retries at a sick disk.
+        self.health = health
         #: The fault-aware path is taken only when something can fail;
         #: otherwise the fetch path is exactly the paper's model.
-        self._faulty = fault_plan is not None or retry_policy is not None
+        self._faulty = (
+            fault_plan is not None
+            or retry_policy is not None
+            or health is not None
+        )
         #: Robustness counters: failed attempts that were retried, and
         #: fetches that permanently failed.
         self.retries = 0
@@ -500,11 +514,25 @@ class DiskArraySystem:
             attempts = 0
             status = "exhausted"
             while attempts < policy.max_attempts:
+                if self.health is not None and not self.health.allow(
+                    disk_id, self.env.now
+                ):
+                    # The disk's breaker is open: fail fast at zero
+                    # simulated cost; the executor marks the subtree
+                    # unreachable and the query certifies its radius
+                    # instead of waiting out retries at a sick disk.
+                    attempts += 1
+                    status = "ejected"
+                    break
                 attempts += 1
                 if plan is not None and plan.is_crashed(disk_id, self.env.now):
                     # No point queueing at a dead disk; the attempt is
                     # charged but costs no simulated time.
                     status = "crashed"
+                    if self.health is not None:
+                        self.health.observe(
+                            disk_id, False, 0.0, self.env.now
+                        )
                 else:
                     outcome = yield from disk_attempt(
                         self.env, queue, model, disk_id, service_fn,
@@ -513,6 +541,13 @@ class DiskArraySystem:
                     queue_wait += outcome.queue_wait
                     service += outcome.service
                     status = outcome.status
+                    if self.health is not None:
+                        self.health.observe(
+                            disk_id,
+                            status == "ok",
+                            outcome.queue_wait + outcome.service,
+                            self.env.now,
+                        )
                     if status == "ok":
                         granted = self.env.now - outcome.service
                         break
@@ -543,7 +578,11 @@ class DiskArraySystem:
                     service=service,
                     retry_wait=retry_wait,
                     end=self.env.now,
-                    reason="crashed" if status == "crashed" else "exhausted",
+                    reason=(
+                        status
+                        if status in ("crashed", "ejected")
+                        else "exhausted"
+                    ),
                     attempts=attempts,
                 )
             served = self.env.now

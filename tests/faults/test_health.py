@@ -1,0 +1,268 @@
+"""Tests for the health layer: breakers, latency windows, policies."""
+
+import math
+
+import pytest
+
+from repro.faults.health import (
+    BREAKER_STATES,
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    DiskHealthMonitor,
+    HealthPolicy,
+    HedgePolicy,
+    LatencyWindow,
+    RebuildPolicy,
+    pages_per_disk,
+)
+
+
+class TestHealthPolicyValidation:
+    def test_defaults_are_valid(self):
+        policy = HealthPolicy()
+        assert policy.window == 16
+        assert policy.latency_threshold == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(ewma_alpha=0.0), "ewma_alpha"),
+            (dict(ewma_alpha=1.5), "ewma_alpha"),
+            (dict(ewma_alpha=math.nan), "ewma_alpha"),
+            (dict(window=0), "window"),
+            (dict(min_samples=0), "min_samples"),
+            (dict(min_samples=17, window=16), "min_samples"),
+            (dict(error_threshold=0.0), "error_threshold"),
+            (dict(error_threshold=1.5), "error_threshold"),
+            (dict(latency_threshold=-0.1), "latency_threshold"),
+            (dict(latency_threshold=math.inf), "latency_threshold"),
+            (dict(open_cooldown=0.0), "open_cooldown"),
+            (dict(probe_probability=0.0), "probe_probability"),
+            (dict(probe_probability=1.1), "probe_probability"),
+            (dict(probe_successes=0), "probe_successes"),
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            HealthPolicy(**kwargs)
+
+    def test_boundary_values_accepted(self):
+        HealthPolicy(ewma_alpha=1.0, error_threshold=1.0,
+                     probe_probability=1.0, min_samples=1, window=1)
+
+
+class TestHedgePolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(quantile=0.0), "quantile"),
+            (dict(quantile=1.01), "quantile"),
+            (dict(quantile=math.nan), "quantile"),
+            (dict(min_delay=0.0), "min_delay"),
+            (dict(min_delay=math.inf), "min_delay"),
+            (dict(min_samples=0), "min_samples"),
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            HedgePolicy(**kwargs)
+
+    def test_delay_floors_until_min_samples(self):
+        policy = HedgePolicy(quantile=0.5, min_delay=0.01, min_samples=3)
+        window = LatencyWindow()
+        window.add(5.0)
+        assert policy.delay(window) == 0.01  # too few samples
+        window.add(5.0)
+        window.add(5.0)
+        assert policy.delay(window) == 5.0
+
+    def test_delay_never_below_floor(self):
+        policy = HedgePolicy(quantile=0.5, min_delay=0.01, min_samples=1)
+        window = LatencyWindow()
+        window.add(0.0001)
+        assert policy.delay(window) == 0.01
+
+
+class TestRebuildPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(rate=0.0), "rate"),
+            (dict(rate=-5.0), "rate"),
+            (dict(rate=math.inf), "rate"),
+            (dict(batch_pages=0), "batch_pages"),
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            RebuildPolicy(**kwargs)
+
+
+class TestLatencyWindow:
+    def test_rejects_empty_quantile(self):
+        with pytest.raises(ValueError, match="no latency samples"):
+            LatencyWindow().quantile(0.5)
+
+    def test_rejects_bad_maxlen(self):
+        with pytest.raises(ValueError, match="maxlen"):
+            LatencyWindow(maxlen=0)
+
+    def test_nearest_rank(self):
+        window = LatencyWindow()
+        for value in (3.0, 1.0, 2.0, 4.0):
+            window.add(value)
+        assert window.quantile(0.25) == 1.0
+        assert window.quantile(0.5) == 2.0
+        assert window.quantile(1.0) == 4.0
+
+    def test_sliding_eviction(self):
+        window = LatencyWindow(maxlen=2)
+        for value in (10.0, 20.0, 30.0):
+            window.add(value)
+        assert len(window) == 2
+        assert window.quantile(1.0) == 30.0
+        assert window.quantile(0.01) == 20.0
+
+
+def _observe_n(monitor, disk_id, ok, latency, n, start=0.0, step=0.001):
+    for i in range(n):
+        monitor.observe(disk_id, ok, latency, start + i * step)
+
+
+class TestBreakerStateMachine:
+    def test_opens_on_error_rate(self):
+        policy = HealthPolicy(min_samples=4, error_threshold=0.5)
+        monitor = DiskHealthMonitor(policy, 2)
+        _observe_n(monitor, 0, False, 0.01, 4)
+        assert monitor.state_of(0) == OPEN
+        assert monitor.state_of(1) == CLOSED
+        assert monitor.total_opens == 1
+
+    def test_opens_on_ewma_latency(self):
+        policy = HealthPolicy(min_samples=2, latency_threshold=0.05)
+        monitor = DiskHealthMonitor(policy, 1)
+        _observe_n(monitor, 0, True, 0.2, 4)
+        assert monitor.state_of(0) == OPEN
+
+    def test_latency_threshold_zero_disables_slow_trip(self):
+        policy = HealthPolicy(min_samples=2, latency_threshold=0.0)
+        monitor = DiskHealthMonitor(policy, 1)
+        _observe_n(monitor, 0, True, 100.0, 8)
+        assert monitor.state_of(0) == CLOSED
+
+    def test_open_rejects_until_cooldown(self):
+        policy = HealthPolicy(
+            min_samples=2, error_threshold=0.5, open_cooldown=0.1,
+            probe_probability=1.0, probe_successes=1,
+        )
+        monitor = DiskHealthMonitor(policy, 1)
+        _observe_n(monitor, 0, False, 0.01, 2, start=0.0)
+        assert monitor.state_of(0) == OPEN
+        assert not monitor.allow(0, 0.01)
+        assert monitor.total_ejected == 1
+        # Cooldown elapsed: promoted to half-open; probability 1 admits.
+        assert monitor.allow(0, 0.2)
+        assert monitor.state_of(0) == HALF_OPEN
+
+    def test_probe_successes_close_and_reset_books(self):
+        policy = HealthPolicy(
+            min_samples=2, error_threshold=0.5, open_cooldown=0.01,
+            probe_probability=1.0, probe_successes=2,
+        )
+        monitor = DiskHealthMonitor(policy, 1)
+        _observe_n(monitor, 0, False, 0.5, 2, start=0.0)
+        assert monitor.allow(0, 0.1)
+        monitor.observe(0, True, 0.001, 0.1)
+        assert monitor.state_of(0) == HALF_OPEN
+        monitor.observe(0, True, 0.001, 0.11)
+        assert monitor.state_of(0) == CLOSED
+        # The sick-era window and EWMA are wiped on close, so one more
+        # error can't instantly re-trip from stale history.
+        monitor.observe(0, False, 0.5, 0.12)
+        assert monitor.state_of(0) == CLOSED
+
+    def test_failed_probe_reopens(self):
+        policy = HealthPolicy(
+            min_samples=2, error_threshold=0.5, open_cooldown=0.01,
+            probe_probability=1.0, probe_successes=2,
+        )
+        monitor = DiskHealthMonitor(policy, 1)
+        _observe_n(monitor, 0, False, 0.5, 2, start=0.0)
+        assert monitor.allow(0, 0.1)
+        monitor.observe(0, False, 0.5, 0.1)
+        assert monitor.state_of(0) == OPEN
+        # Cooldown restarted from the failed probe.
+        assert not monitor.allow(0, 0.105)
+
+    def test_probe_admission_is_seeded_deterministic(self):
+        def draws():
+            policy = HealthPolicy(
+                min_samples=2, error_threshold=0.5, open_cooldown=0.01,
+                probe_probability=0.5, seed=9,
+            )
+            monitor = DiskHealthMonitor(policy, 3)
+            _observe_n(monitor, 1, False, 0.5, 2, start=0.0)
+            return [monitor.allow(1, 0.1 + i * 0.001) for i in range(32)]
+
+        first, second = draws(), draws()
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_describe_shape(self):
+        policy = HealthPolicy(min_samples=2, error_threshold=0.5)
+        monitor = DiskHealthMonitor(policy, 2)
+        _observe_n(monitor, 0, False, 0.01, 2)
+        doc = monitor.describe(now=1.0)
+        assert doc["drives"] == 2
+        assert doc["states"] == {"0": OPEN, "1": CLOSED}
+        assert doc["opens"] == 1
+        assert doc["open_drives"] == 1
+        assert doc["time_in_open"] == pytest.approx(1.0 - 0.001)
+        assert set(doc["ewma_latency"]) == {"0"}
+
+    def test_state_names_match_track_values(self):
+        assert BREAKER_STATES[CLOSED] == "closed"
+        assert BREAKER_STATES[OPEN] == "open"
+        assert BREAKER_STATES[HALF_OPEN] == "half_open"
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError, match="num_disks"):
+            DiskHealthMonitor(HealthPolicy(), 0)
+        with pytest.raises(ValueError, match="track_names"):
+            DiskHealthMonitor(HealthPolicy(), 2, track_names=["only-one"])
+
+
+class TestTimelineTrack:
+    def test_records_state_transitions(self):
+        from repro.obs.timeline import TimelineSampler
+
+        sampler = TimelineSampler()
+        policy = HealthPolicy(
+            min_samples=2, error_threshold=0.5, open_cooldown=0.01,
+            probe_probability=1.0, probe_successes=1,
+        )
+        monitor = DiskHealthMonitor(
+            policy, 1, timeline=sampler, track_names=["disk0r0.health"]
+        )
+        _observe_n(monitor, 0, False, 0.5, 2, start=0.0)
+        monitor.allow(0, 0.1)
+        # A later timestamp: same-ts samples collapse last-write-wins,
+        # which would hide the half-open sample.
+        monitor.observe(0, True, 0.001, 0.11)
+        track = sampler.track("disk0r0.health")
+        values = [value for _, value in track.samples]
+        assert values[0] == CLOSED
+        assert OPEN in values and HALF_OPEN in values
+        assert values[-1] == CLOSED
+
+
+class TestPagesPerDisk:
+    def test_counts_cover_all_pages(self, chaos_tree=None):
+        from repro.experiments.setup import build_tree
+
+        tree = build_tree("gaussian", 400, 2, 4, seed=3)
+        counts = pages_per_disk(tree)
+        assert len(counts) == tree.num_disks
+        assert sum(counts) == len(tree.tree.pages)
+        assert all(count >= 0 for count in counts)

@@ -1,5 +1,7 @@
 """Tests for the retry/timeout/backoff policy."""
 
+import math
+
 import pytest
 
 from repro.faults import RetryPolicy
@@ -22,6 +24,33 @@ class TestValidation:
             RetryPolicy(backoff_factor=0.5)
         with pytest.raises(ValueError, match="backoff_cap"):
             RetryPolicy(backoff_cap=-0.1)
+
+    def test_boundary_values_accepted(self):
+        # The exact edges of every range are legal: one attempt with no
+        # backoff growth and a zero cap means "try once, never wait".
+        policy = RetryPolicy(
+            max_attempts=1, backoff_base=0.0, backoff_factor=1.0,
+            backoff_cap=0.0,
+        )
+        assert policy.backoff(1) == 0.0
+
+    def test_smallest_positive_timeout_accepted(self):
+        policy = RetryPolicy(attempt_timeout=1e-9)
+        assert policy.attempt_timeout == 1e-9
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    @pytest.mark.parametrize(
+        "field",
+        ["attempt_timeout", "backoff_base", "backoff_factor", "backoff_cap"],
+    )
+    def test_rejects_non_finite_values(self, field, bad):
+        # inf/-inf fail the range checks; NaN fails every comparison,
+        # so only an explicit finiteness check catches it before it
+        # poisons backoff delays inside the event loop.
+        if field == "backoff_factor" and bad == math.inf:
+            pass  # inf >= 1.0 — caught only by the finiteness check
+        with pytest.raises(ValueError, match=field):
+            RetryPolicy(**{field: bad})
 
 
 class TestBackoff:

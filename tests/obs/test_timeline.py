@@ -66,6 +66,13 @@ class TestTimelineTrack:
         with pytest.raises(ValueError, match="positive"):
             track.downsample(0)
 
+    def test_end_is_last_sample_ts(self):
+        track = TimelineTrack("q")
+        assert track.end == 0.0
+        track.set(0.5, 1.0)
+        track.set(2.5, 0.0)
+        assert track.end == 2.5
+
     def test_summary_shape(self):
         track = TimelineTrack("q")
         track.set(0.0, 1.0)
@@ -119,6 +126,16 @@ class TestTimelineSampler:
         assert "a" in sampler and "c" not in sampler
         assert len(sampler) == 2
         assert {t.name for t in sampler} == {"a", "b"}
+
+    def test_end_spans_all_tracks(self):
+        sampler = TimelineSampler()
+        assert sampler.end == 0.0
+        sampler.record("a", 0.0, 1.0)
+        sampler.record("b", 3.0, 2.0)
+        assert sampler.end == 3.0
+        # A horizon clamped up to `end` renders cleanly even when a
+        # background track outlives the foreground makespan.
+        assert "b" in sampler.render(until=max(1.0, sampler.end))
 
     def test_snapshot_sorted_by_name(self):
         sampler = TimelineSampler()
@@ -232,6 +249,80 @@ class TestSimulationWiring:
                 seed=7,
                 timeline=timeline,
             )
+            return [
+                (r.arrival.hex(), r.response_time.hex())
+                for r in result.records
+            ]
+
+        assert run(None) == run(TimelineSampler())
+
+
+class TestTailToleranceTracks:
+    """PR8: breaker-state and rebuild-progress tracks (satellite 6)."""
+
+    @staticmethod
+    def _mirrored_run(parallel_tree, timeline):
+        from repro.extensions.raid1 import simulate_mirrored_workload
+        from repro.faults import CrashWindow, FaultPlan, RetryPolicy
+        from repro.faults.health import (
+            DiskHealthMonitor,
+            HealthPolicy,
+            RebuildPolicy,
+            pages_per_disk,
+        )
+
+        points = [p for p, _ in parallel_tree.tree.iter_points()]
+        queries = sample_queries(points, 8, seed=5)
+        num_physical = parallel_tree.num_disks * 2
+        # The monitor is attached either way; only the sampler varies,
+        # so the neutrality test isolates the telemetry itself.
+        monitor = DiskHealthMonitor(
+            HealthPolicy(min_samples=2, error_threshold=0.5),
+            num_physical,
+            timeline=timeline,
+            track_names=[
+                f"disk{d}r{r}.health"
+                for d in range(parallel_tree.num_disks)
+                for r in range(2)
+            ],
+        )
+        result = simulate_mirrored_workload(
+            parallel_tree,
+            make_factory("CRSS", parallel_tree, 4),
+            queries,
+            arrival_rate=20.0,
+            seed=7,
+            fault_plan=FaultPlan(
+                seed=2, crashes=(CrashWindow(0, 0.01, 0.1),)
+            ),
+            retry_policy=RetryPolicy(),
+            timeline=timeline,
+            health=monitor,
+            rebuild=RebuildPolicy(rate=200.0, batch_pages=2),
+            rebuild_pages=pages_per_disk(parallel_tree),
+        )
+        return result
+
+    def test_health_and_rebuild_tracks_render(self, parallel_tree):
+        timeline = TimelineSampler()
+        result = self._mirrored_run(parallel_tree, timeline)
+        assert "disk0r0.health" in timeline
+        assert "disk0r0.rebuild" in timeline
+        # Health tracks hold breaker states only (0/1/2); the rebuild
+        # gauge climbs monotonically to 1.
+        for name in timeline.names:
+            if name.endswith(".health"):
+                values = {v for _, v in timeline.track(name).samples}
+                assert values <= {0.0, 1.0, 2.0}
+        rebuild = timeline.track("disk0r0.rebuild")
+        assert rebuild.last == pytest.approx(1.0)
+        rendering = timeline.render(until=result.makespan)
+        assert "disk0r0.health" in rendering
+        assert "disk0r0.rebuild" in rendering
+
+    def test_sampler_neutral_for_tail_tolerance_run(self, parallel_tree):
+        def run(timeline):
+            result = self._mirrored_run(parallel_tree, timeline)
             return [
                 (r.arrival.hex(), r.response_time.hex())
                 for r in result.records

@@ -1,0 +1,128 @@
+"""Deadline semantics composed with admission control (PR8 satellite).
+
+The per-class deadline is anchored at *scenario arrival*, not at
+admission: ``deadline_at = arrival + deadline`` is fixed when the query
+walks in, and the admission wait spends that budget.  The composition
+rule under test: a query admitted *just under* its deadline — too late
+to finish, too early to be shed at the queue — must still abort
+mid-flight and settle as ``degraded`` with a finite certified radius.
+It must never be reported ``complete`` (that would overclaim an exact
+answer) nor ``shed`` (it was legitimately admitted and partially ran).
+"""
+
+import math
+
+import pytest
+
+from repro.serving.admission import PriorityClass, ServingPolicy
+from repro.serving.frontend import serve_scenario
+from repro.serving.traffic import scenario_from_arrivals
+from repro.simulation.parameters import SystemParameters
+
+
+def _policy(deadline, shed_expired=False):
+    return ServingPolicy(
+        name="deadline-composition",
+        max_in_flight=1,
+        shed_expired=shed_expired,
+        classes=(PriorityClass("default", deadline=deadline),),
+    )
+
+
+@pytest.fixture(scope="module")
+def probe_queries(serving_points):
+    # Two identical queries: the first holds the single admission slot,
+    # the second waits out most of its own deadline in the queue.
+    return [tuple(serving_points[0])] * 2
+
+
+def _serve(serving_tree, crss_factory, queries, deadline, shed=False):
+    scenario = scenario_from_arrivals(
+        "deadline-probe",
+        queries,
+        arrival_times=[0.001 * i for i in range(len(queries))],
+    )
+    return serve_scenario(
+        serving_tree,
+        crss_factory,
+        scenario,
+        policy=_policy(deadline, shed_expired=shed),
+        params=SystemParameters(),
+        seed=9,
+    )
+
+
+def _first_completion(serving_tree, crss_factory, queries):
+    """How long one of these queries takes uncontended."""
+    solo = _serve(serving_tree, crss_factory, queries[:1], deadline=10.0)
+    return solo.queries[0].record.completion
+
+
+class TestAdmittedJustUnderDeadline:
+    def test_aborts_midflight_as_degraded(
+        self, serving_tree, crss_factory, probe_queries
+    ):
+        # Deadline chosen so the second query is admitted (its deadline
+        # has not yet passed when the first completes) but cannot
+        # possibly finish: solo duration + queue wait > deadline.
+        solo = _first_completion(serving_tree, crss_factory, probe_queries)
+        deadline = solo * 1.5
+        serving = _serve(
+            serving_tree, crss_factory, probe_queries, deadline
+        )
+        first, second = serving.queries
+        assert first.outcome == "complete"
+        assert second.started is not None  # admitted, not dropped
+        assert second.started < second.arrival + deadline
+        assert second.outcome == "degraded"
+        assert second.record.deadline_exceeded
+
+    def test_degraded_carries_finite_certificate(
+        self, serving_tree, crss_factory, probe_queries
+    ):
+        solo = _first_completion(serving_tree, crss_factory, probe_queries)
+        serving = _serve(
+            serving_tree, crss_factory, probe_queries, solo * 1.5
+        )
+        second = serving.queries[1]
+        assert math.isfinite(second.certified_radius)
+        assert second.certified_radius >= 0.0
+
+    def test_not_counted_complete_in_sections(
+        self, serving_tree, crss_factory, probe_queries
+    ):
+        solo = _first_completion(serving_tree, crss_factory, probe_queries)
+        serving = _serve(
+            serving_tree, crss_factory, probe_queries, solo * 1.5
+        )
+        counts = serving.outcome_counts()
+        assert counts["complete"] == 1
+        assert counts["degraded"] == 1
+        assert counts["shed"] == 0
+
+    def test_deadline_spent_in_queue_is_shed_when_enabled(
+        self, serving_tree, crss_factory, probe_queries
+    ):
+        # Contrast case: if the deadline expires *while still queued*
+        # and shedding is on, the query is dropped unstarted — shed,
+        # not degraded.
+        solo = _first_completion(serving_tree, crss_factory, probe_queries)
+        serving = _serve(
+            serving_tree, crss_factory, probe_queries, solo * 0.5,
+            shed=True,
+        )
+        second = serving.queries[1]
+        assert second.outcome == "shed"
+        assert second.started is None
+        assert second.certified_radius == 0.0
+
+    def test_generous_deadline_completes(
+        self, serving_tree, crss_factory, probe_queries
+    ):
+        solo = _first_completion(serving_tree, crss_factory, probe_queries)
+        serving = _serve(
+            serving_tree, crss_factory, probe_queries, solo * 10.0
+        )
+        assert [q.outcome for q in serving.queries] == [
+            "complete", "complete"
+        ]

@@ -1,0 +1,201 @@
+"""Fault-aware serving: health/hedge sections, rebuild shedding."""
+
+import math
+
+import pytest
+
+from repro.faults import CrashWindow, FaultPlan, RetryPolicy, SlowWindow
+from repro.faults.health import HealthPolicy, HedgePolicy, RebuildPolicy
+from repro.serving.admission import (
+    PriorityClass,
+    ServingPolicy,
+    full_serving_policy,
+)
+from repro.serving.frontend import serve_scenario
+from repro.serving.traffic import make_scenario
+from repro.simulation.parameters import SystemParameters
+
+
+@pytest.fixture(scope="module")
+def scenario(serving_points):
+    return make_scenario(
+        "bursty", serving_points, rate=40.0, horizon=1.0, seed=21
+    )
+
+
+def _slow_plan(tree):
+    return FaultPlan(
+        seed=2,
+        slow_windows=tuple(
+            SlowWindow(disk * 2, 0.0, 50.0, 8.0)
+            for disk in range(tree.num_disks)
+        ),
+    )
+
+
+class TestValidation:
+    def test_bad_raid_string(self, serving_tree, crss_factory, scenario):
+        with pytest.raises(ValueError, match="raid"):
+            serve_scenario(
+                serving_tree, crss_factory, scenario, raid="raid5"
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(hedge=HedgePolicy()), dict(rebuild=RebuildPolicy())],
+    )
+    def test_raid0_rejects_mirror_features(
+        self, serving_tree, crss_factory, scenario, kwargs
+    ):
+        with pytest.raises(ValueError, match="mirrored"):
+            serve_scenario(
+                serving_tree, crss_factory, scenario,
+                raid="raid0", **kwargs
+            )
+
+
+class TestHealthSections:
+    def test_sections_absent_by_default(
+        self, serving_tree, crss_factory, scenario
+    ):
+        serving = serve_scenario(serving_tree, crss_factory, scenario)
+        assert serving.health is None
+        assert serving.hedge is None
+        assert serving.rebuild is None
+        section = serving.serving_section()
+        assert "health" not in section
+        assert "hedge" not in section
+        assert "rebuild" not in section
+
+    def test_raid1_health_and_hedge_sections(
+        self, serving_tree, crss_factory, scenario
+    ):
+        serving = serve_scenario(
+            serving_tree, crss_factory, scenario,
+            policy=full_serving_policy(max_in_flight=8, deadline=0.4),
+            params=SystemParameters(coalesce=True),
+            seed=5,
+            fault_plan=_slow_plan(serving_tree),
+            retry_policy=RetryPolicy(),
+            raid="raid1",
+            health=HealthPolicy(latency_threshold=0.08),
+            hedge=HedgePolicy(quantile=0.9, min_delay=0.001, min_samples=4),
+        )
+        assert serving.health["drives"] == serving_tree.num_disks * 2
+        assert serving.hedge["issued"] >= 0
+        section = serving.serving_section()
+        assert section["health"]["drives"] == serving_tree.num_disks * 2
+        assert set(section["hedge"]) == {
+            "issued", "won", "cancelled", "wasted_reads"
+        }
+
+    def test_raid0_health_fail_fast_certifies(
+        self, serving_tree, crss_factory, scenario
+    ):
+        # A dead drive plus a breaker: once open, fetches fail fast
+        # with reason "ejected" and queries certify a finite radius.
+        plan = FaultPlan(seed=2, crashes=(CrashWindow(1, 0.0),))
+        serving = serve_scenario(
+            serving_tree, crss_factory, scenario,
+            params=SystemParameters(coalesce=True),
+            seed=5,
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_attempts=2, attempt_timeout=0.02),
+            raid="raid0",
+            health=HealthPolicy(min_samples=2, error_threshold=0.5),
+        )
+        assert serving.health["opens"] >= 1
+        degraded = [q for q in serving.queries if q.outcome == "degraded"]
+        assert degraded
+        for query in degraded:
+            assert math.isfinite(query.certified_radius)
+
+    def test_outcome_partition_holds(
+        self, serving_tree, crss_factory, scenario
+    ):
+        serving = serve_scenario(
+            serving_tree, crss_factory, scenario,
+            policy=full_serving_policy(max_in_flight=6, deadline=0.3),
+            seed=5,
+            fault_plan=_slow_plan(serving_tree),
+            retry_policy=RetryPolicy(),
+            raid="raid1",
+            health=HealthPolicy(latency_threshold=0.08),
+            hedge=HedgePolicy(quantile=0.9, min_delay=0.001, min_samples=4),
+        )
+        counts = serving.outcome_counts()
+        assert sum(counts.values()) == len(serving.queries)
+
+
+class TestRebuildShedding:
+    def _policy(self):
+        return ServingPolicy(
+            name="rebuild-aware",
+            max_in_flight=6,
+            classes=(
+                PriorityClass("urgent", priority=0),
+                PriorityClass("batch", priority=1),
+            ),
+            rebuild_shed_priority=1,
+        )
+
+    def _scenario(self, serving_points):
+        return make_scenario(
+            "bursty", serving_points, rate=60.0, horizon=1.0, seed=21,
+            class_weights=(("urgent", 0.5), ("batch", 0.5)),
+        )
+
+    def test_batch_class_shed_while_rebuilding(
+        self, serving_tree, crss_factory, serving_points
+    ):
+        plan = FaultPlan(seed=2, crashes=(CrashWindow(0, 0.0, 0.1),))
+        serving = serve_scenario(
+            serving_tree, crss_factory, self._scenario(serving_points),
+            policy=self._policy(),
+            seed=5,
+            fault_plan=plan,
+            retry_policy=RetryPolicy(),
+            raid="raid1",
+            rebuild=RebuildPolicy(rate=30.0, batch_pages=1),
+        )
+        assert serving.rebuild["completed"] == 1
+        assert serving.rebuild_shed > 0
+        assert serving.serving_section()["rebuild"][
+            "shed_during_rebuild"
+        ] == serving.rebuild_shed
+        shed = [q for q in serving.queries if q.outcome == "shed"]
+        assert len(shed) >= serving.rebuild_shed
+        for query in shed:
+            assert query.klass == "batch"
+            assert query.certified_radius == 0.0
+            assert not query.answers
+
+    def test_urgent_class_never_rebuild_shed(
+        self, serving_tree, crss_factory, serving_points
+    ):
+        plan = FaultPlan(seed=2, crashes=(CrashWindow(0, 0.0, 0.1),))
+        serving = serve_scenario(
+            serving_tree, crss_factory, self._scenario(serving_points),
+            policy=self._policy(),
+            seed=5,
+            fault_plan=plan,
+            retry_policy=RetryPolicy(),
+            raid="raid1",
+            rebuild=RebuildPolicy(rate=30.0, batch_pages=1),
+        )
+        urgent = [q for q in serving.queries if q.klass == "urgent"]
+        assert urgent
+        assert all(q.outcome != "shed" for q in urgent)
+
+    def test_no_shedding_without_active_rebuild(
+        self, serving_tree, crss_factory, serving_points
+    ):
+        # Same policy, no crash: rebuild_active never flips on, so the
+        # batch class is admitted normally.
+        serving = serve_scenario(
+            serving_tree, crss_factory, self._scenario(serving_points),
+            policy=self._policy(),
+            seed=5,
+            raid="raid1",
+        )
+        assert serving.rebuild_shed == 0

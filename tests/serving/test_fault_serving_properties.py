@@ -1,0 +1,149 @@
+"""Property sweep: fault plans × traffic shapes × tail-tolerance knobs.
+
+Three conservation laws must survive every combination of seeded fault
+plan, traffic scenario, RAID level and tail-tolerance feature set:
+
+* **buffer conservation** — pool hits + pool misses == the queries'
+  summed page requests.  Hedged arms, breaker ejections and rebuild
+  streams must never double-admit a page or double-count a miss;
+* **outcome partition** — complete + degraded + shed + rejected ==
+  offered.  Every offered query settles in exactly one outcome;
+* **certificate presence** — every non-complete outcome carries a
+  finite certified radius (the PR3 degraded-answer contract), and
+  every complete outcome certifies ``inf``.
+"""
+
+import math
+
+import pytest
+
+from repro.faults import CrashWindow, FaultPlan, RetryPolicy, SlowWindow
+from repro.faults.health import HealthPolicy, HedgePolicy, RebuildPolicy
+from repro.serving.admission import full_serving_policy
+from repro.serving.frontend import serve_scenario
+from repro.serving.traffic import make_scenario
+from repro.simulation.parameters import SystemParameters
+
+#: (name, fault-plan builder) — drive ids address physical drives on
+#: raid1 (logical*2+replica) and logical disks on raid0; both exist on
+#: the 4-disk session tree.
+FAULT_PLANS = (
+    ("clean", lambda: None),
+    (
+        "fail-slow",
+        lambda: FaultPlan(
+            seed=5,
+            slow_windows=(
+                SlowWindow(0, 0.0, 10.0, 6.0),
+                SlowWindow(2, 0.2, 10.0, 6.0),
+            ),
+        ),
+    ),
+    (
+        "crash-repair",
+        lambda: FaultPlan(
+            seed=5,
+            default_transient_prob=0.02,
+            crashes=(CrashWindow(1, 0.05, 0.4),),
+        ),
+    ),
+    (
+        "crash-forever",
+        lambda: FaultPlan(seed=5, crashes=(CrashWindow(3, 0.0),)),
+    ),
+)
+
+SCENARIOS = ("poisson", "bursty", "hotspot")
+
+#: Tail-tolerance feature sets (raid, health, hedge, rebuild).
+FEATURES = (
+    ("raid0-plain", "raid0", None, None, None),
+    ("raid0-breakers", "raid0", HealthPolicy(min_samples=4), None, None),
+    (
+        "raid1-full",
+        "raid1",
+        HealthPolicy(min_samples=4, latency_threshold=0.1),
+        HedgePolicy(quantile=0.9, min_delay=0.001, min_samples=4),
+        RebuildPolicy(rate=200.0, batch_pages=2),
+    ),
+)
+
+
+def _serve(tree, factory, points, plan_name, plan, scenario_kind, features):
+    _, raid, health, hedge, rebuild = features
+    scenario = make_scenario(
+        scenario_kind, points, rate=50.0, horizon=0.8, seed=31
+    )
+    return serve_scenario(
+        tree,
+        factory,
+        scenario,
+        policy=full_serving_policy(
+            max_in_flight=6, max_queued=64, deadline=0.3
+        ),
+        params=SystemParameters(coalesce=True, buffer_pages=32),
+        seed=13,
+        fault_plan=plan,
+        retry_policy=(
+            RetryPolicy(max_attempts=2, attempt_timeout=0.05)
+            if plan is not None
+            else None
+        ),
+        raid=raid,
+        health=health,
+        hedge=hedge,
+        # Rebuild without a fault plan is rejected by design — there is
+        # nothing to rebuild on a clean array.
+        rebuild=rebuild if plan is not None else None,
+    )
+
+
+@pytest.mark.parametrize("scenario_kind", SCENARIOS)
+@pytest.mark.parametrize(
+    "plan_name, plan_builder", FAULT_PLANS, ids=[p[0] for p in FAULT_PLANS]
+)
+@pytest.mark.parametrize(
+    "features", FEATURES, ids=[f[0] for f in FEATURES]
+)
+def test_conservation_laws(
+    serving_tree,
+    crss_factory,
+    serving_points,
+    scenario_kind,
+    plan_name,
+    plan_builder,
+    features,
+):
+    serving = _serve(
+        serving_tree,
+        crss_factory,
+        serving_points,
+        plan_name,
+        plan_builder(),
+        scenario_kind,
+        features,
+    )
+
+    # Outcome partition: every offered query settles exactly once.
+    counts = serving.outcome_counts()
+    assert sum(counts.values()) == len(serving.queries)
+    assert (
+        counts["complete"] + counts["degraded"] + counts["shed"]
+        + counts["rejected"]
+        == len(serving.queries)
+    )
+
+    # Buffer conservation at the pool: hits + misses == page requests.
+    buffer = serving.system.buffer
+    requests = sum(r.page_requests for r in serving.result.records)
+    assert buffer.hits + buffer.misses == requests
+    assert sum(r.buffer_hits for r in serving.result.records) == buffer.hits
+
+    # Certificates: non-complete outcomes carry a finite radius;
+    # complete answers certify everything.
+    for query in serving.queries:
+        if query.outcome == "complete":
+            assert query.certified_radius == math.inf
+        else:
+            assert math.isfinite(query.certified_radius)
+            assert query.certified_radius >= 0.0

@@ -583,3 +583,86 @@ class TestBenchServingCli:
         with pytest.raises(SystemExit, match="directory does not exist"):
             main(["bench-serving", "--smoke",
                   "--out", "/no/such/dir/serving.json"])
+
+
+class TestTailToleranceCli:
+    """PR8: --health/--hedge/--rebuild on serve and chaos."""
+
+    SERVE_RAID1 = [
+        "serve", "--n", "400", "--disks", "3", "--k", "4",
+        "--scenario", "bursty", "--rate", "40", "--horizon", "0.5",
+        "--coalesce", "--raid", "raid1",
+    ]
+
+    def test_serve_health_hedge_rebuild(self, capsys):
+        assert main(
+            [*self.SERVE_RAID1, "--crash", "4@0.0:0.2",
+             "--health", "--hedge", "--rebuild"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "health" in out
+        assert "hedging" in out
+        assert "rebuild" in out
+
+    def test_serve_report_embeds_tail_sections(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "serve.json"
+        assert main(
+            [*self.SERVE_RAID1, "--crash", "4@0.0:0.2",
+             "--health", "--hedge", "--rebuild", "--report", str(path)]
+        ) == 0
+        report = json.loads(path.read_text())
+        assert report["health"]["drives"] == 6
+        assert set(report["hedge"]) == {
+            "issued", "won", "cancelled", "wasted_reads"
+        }
+        assert report["rebuild"]["completed"] == 1
+        # The flags are part of the config digest: a tail-tolerant run
+        # is not comparable like-for-like with a plain one.
+        assert "health" in report["config"]
+
+    def test_plain_serve_report_has_no_tail_sections(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "serve.json"
+        assert main(
+            ["serve", "--n", "400", "--disks", "3", "--k", "4",
+             "--scenario", "bursty", "--rate", "40", "--horizon", "0.5",
+             "--report", str(path)]
+        ) == 0
+        report = json.loads(path.read_text())
+        for key in ("health", "hedge", "rebuild"):
+            assert key not in report
+            assert key not in report["config"]
+
+    def test_serve_raid0_rejects_hedge(self):
+        with pytest.raises(SystemExit, match="mirrored"):
+            main(
+                ["serve", "--n", "400", "--disks", "3", "--k", "4",
+                 "--scenario", "bursty", "--rate", "40",
+                 "--horizon", "0.5", "--hedge"]
+            )
+
+    def test_chaos_health_flags(self, capsys):
+        assert main(
+            ["chaos", "--dataset", "uniform", "--n", "200", "--disks", "4",
+             "--queries", "6", "--raid", "raid1", "--crash", "0@0.0:0.3",
+             "--health", "--hedge", "--rebuild"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "health" in out
+        assert "rebuild" in out
+
+    def test_chaos_same_seed_health_reports_identical(
+        self, capsys, tmp_path
+    ):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for path in (a, b):
+            assert main(
+                ["chaos", "--dataset", "uniform", "--n", "200",
+                 "--disks", "4", "--queries", "6", "--raid", "raid1",
+                 "--crash", "0@0.0:0.3", "--health", "--hedge",
+                 "--rebuild", "--report", str(path)]
+            ) == 0
+        assert a.read_bytes() == b.read_bytes()
