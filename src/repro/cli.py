@@ -158,7 +158,22 @@ def _build_tree(args: argparse.Namespace):
         seed=args.seed,
         page_size=args.page_size,
     )
+    if getattr(args, "layout", "pointer") == "flat":
+        from repro.rtree.flat import flatten
+
+        tree = flatten(tree)
     return data, tree
+
+
+def _add_layout_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--layout",
+        choices=["pointer", "flat"],
+        default="pointer",
+        help="tree storage: 'pointer' (mutable build form) or 'flat' "
+        "(freeze into struct-of-arrays storage after build; "
+        "bit-identical answers, faster scans)",
+    )
 
 
 def _parse_point(text: str, dims: int):
@@ -368,7 +383,7 @@ def _trace_path(base: str, name: str, multi: bool) -> str:
 
 def _simulate_config(args: argparse.Namespace, name: str) -> dict:
     """The run configuration a simulate RunReport is keyed by."""
-    return {
+    config = {
         "command": "simulate",
         "dataset": args.dataset,
         "n": args.n,
@@ -386,6 +401,11 @@ def _simulate_config(args: argparse.Namespace, name: str) -> dict:
         "bus_time": args.bus_time,
         "buffer_pages": args.buffer_pages,
     }
+    # The layout key appears only for frozen runs so pre-PR9 simulate
+    # configs keep their digests byte-identical.
+    if getattr(args, "layout", "pointer") != "pointer":
+        config["layout"] = args.layout
+    return config
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -527,7 +547,10 @@ def _serve_config(args: argparse.Namespace, algorithm: str) -> dict:
         "max_group_pages": args.max_group_pages,
     }
     # Fault/tail-tolerance keys appear only when the features are used,
-    # so pre-PR8 serve configs keep their digests byte-identical.
+    # so pre-PR8 serve configs keep their digests byte-identical (the
+    # layout key follows the same rule for PR9).
+    if getattr(args, "layout", "pointer") != "pointer":
+        config["layout"] = args.layout
     if args.raid != "raid0":
         config["raid"] = args.raid
     if args.crash or args.slow or args.transient > 0:
@@ -976,7 +999,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
     _check_out_dirs(args)
-    doc = run_bench(smoke=args.smoke, seed=args.seed)
+    doc = run_bench(smoke=args.smoke, seed=args.seed, layout=args.layout)
     write_bench(doc, args.out)
     print(format_summary(doc))
     print(f"\nbench written: {args.out}")
@@ -1238,6 +1261,7 @@ def build_parser() -> argparse.ArgumentParser:
         "simulate", help="simulate a multi-user workload"
     )
     _add_tree_arguments(simulate)
+    _add_layout_argument(simulate)
     simulate.add_argument("--k", type=int, default=10)
     simulate.add_argument(
         "--queries", type=int, default=50, help="queries in the workload"
@@ -1283,12 +1307,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--out",
-        default="BENCH_PR2.json",
+        default="BENCH_PR9.json",
         metavar="PATH",
-        help="output JSON path (default: BENCH_PR2.json)",
+        help="output JSON path (default: BENCH_PR9.json)",
     )
     bench.add_argument(
         "--seed", type=int, default=0, help="RNG seed (default: 0)"
+    )
+    bench.add_argument(
+        "--layout",
+        choices=["pointer", "flat"],
+        default="pointer",
+        help="tree storage for the simulation suites (the layout "
+        "microbench always compares both; default: pointer)",
     )
     bench.add_argument(
         "--report",
@@ -1333,6 +1364,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(admission control, cross-query batching, load shedding)",
     )
     _add_tree_arguments(serve)
+    _add_layout_argument(serve)
     serve.add_argument("--k", type=int, default=10, help="neighbors (default: 10)")
     serve.add_argument(
         "--algorithm",

@@ -24,7 +24,9 @@ NORMAL, TERMINATE) appear here as the phases of the main loop.
 from __future__ import annotations
 
 import math
-from typing import List, Mapping, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.protocol import (
     ChildRef,
@@ -33,9 +35,10 @@ from repro.core.protocol import (
     SearchCoroutine,
 )
 from repro.core.results import NeighborList
-from repro.core.scan import offer_leaf, scan_children
+from repro.core.scan import gathered_counts, offer_leaf, scan_children
 from repro.core.stack import Candidate, CandidateStack
 from repro.core.threshold import threshold_distance_sq
+from repro.perf import kernels
 from repro.rtree.node import Node
 
 
@@ -92,6 +95,7 @@ class CRSS(SearchAlgorithm):
             fr_dmin_sq: List[float] = []
             fr_dmm_sq: List[float] = []
             fr_dmax_sq: List[float] = []
+            fr_counts: List[np.ndarray] = []
             for page_id in batch:
                 node = fetched.get(page_id)
                 if node is None:
@@ -111,6 +115,8 @@ class CRSS(SearchAlgorithm):
                     fr_dmm_sq.extend(scan.dmm_sq)
                     if scan.dmax_sq is not None:
                         fr_dmax_sq.extend(scan.dmax_sq)
+                    if scan.counts is not None:
+                        fr_counts.append(scan.counts)
 
             if not reached_leaves:
                 # ADAPTIVE mode: tighten D_th from Lemma 1.  Only safe to
@@ -118,7 +124,8 @@ class CRSS(SearchAlgorithm):
                 # otherwise answers may hide in stacked candidates beyond
                 # the frontier's reach.
                 threshold = threshold_distance_sq(
-                    self.query, frontier, self.k, dmax_sq=fr_dmax_sq
+                    self.query, frontier, self.k, dmax_sq=fr_dmax_sq,
+                    counts=gathered_counts(fr_counts, len(frontier)),
                 )
                 lower_bound = 1
                 if threshold.guaranteed:
@@ -192,8 +199,52 @@ class CRSS(SearchAlgorithm):
         aligned with *frontier*.  Returns ``(active, saved)``; rejected
         branches are dropped (and recorded under *prune_reason* when an
         explain recorder is attached).
+
+        When the batch kernels are on, the whole criterion runs as numpy
+        mask/argsort operations over the frontier arrays; the scalar
+        loop below is the reference both paths must match (the ordering
+        equivalence relies on stable sorts on both sides: within equal
+        ``Dmin``, original frontier order is preserved, and in the saved
+        run preferred-overflow precedes qualified, exactly like the
+        scalar list concatenation).
         """
         explain = self.explain
+        if kernels.vectorization_enabled() and len(frontier) > 1:
+            dmin = np.asarray(dmin_sq, dtype=np.float64)
+            dmm = np.asarray(dmm_sq, dtype=np.float64)
+            keep = dmin <= radius_sq
+            if explain is not None:
+                for i in np.flatnonzero(~keep).tolist():
+                    explain.prune(frontier[i].page_id, prune_reason)
+            preferred_idx = np.flatnonzero(keep & (dmm < radius_sq))
+            qualified_idx = np.flatnonzero(keep & (dmm >= radius_sq))
+            preferred_idx = preferred_idx[
+                np.argsort(dmin[preferred_idx], kind="stable")
+            ]
+            qualified_idx = qualified_idx[
+                np.argsort(dmin[qualified_idx], kind="stable")
+            ]
+            active_idx = preferred_idx[: self.max_active]
+            rest_idx = np.concatenate(
+                (preferred_idx[self.max_active:], qualified_idx)
+            )
+            saved_idx = rest_idx[np.argsort(dmin[rest_idx], kind="stable")]
+            # Candidates keep the original float objects so the scalar
+            # and vectorized paths are indistinguishable downstream.
+            active = [
+                Candidate(dmin_sq[i], frontier[i])
+                for i in active_idx.tolist()
+            ]
+            saved = [
+                Candidate(dmin_sq[i], frontier[i])
+                for i in saved_idx.tolist()
+            ]
+            promote = min(max(lower_bound - len(active), 0), len(saved))
+            if promote:
+                active.extend(saved[:promote])
+                saved = saved[promote:]
+            return active, saved
+
         qualified: List[Candidate] = []
         preferred: List[Candidate] = []  # Dmm < D_th: surely useful
         for ref, ref_dmin_sq, ref_dmm_sq in zip(frontier, dmin_sq, dmm_sq):

@@ -12,7 +12,9 @@ control over the number of fetched nodes.
 from __future__ import annotations
 
 import math
-from typing import List, Mapping
+from typing import List, Mapping, Optional
+
+import numpy as np
 
 from repro.core.protocol import (
     ChildRef,
@@ -21,7 +23,7 @@ from repro.core.protocol import (
     SearchCoroutine,
 )
 from repro.core.results import NeighborList
-from repro.core.scan import offer_leaf, scan_children
+from repro.core.scan import gathered_counts, offer_leaf, scan_children
 from repro.core.threshold import threshold_distance_sq
 from repro.rtree.node import Node
 
@@ -44,6 +46,7 @@ class FPSS(SearchAlgorithm):
             frontier: List[ChildRef] = []
             dmin_sq: List[float] = []
             dmax_sq: List[float] = []
+            count_chunks: List[np.ndarray] = []
             for page_id in batch:
                 node = fetched.get(page_id)
                 if node is None:
@@ -55,7 +58,12 @@ class FPSS(SearchAlgorithm):
                     frontier.extend(scan.refs)
                     dmin_sq.extend(scan.dmin_sq)
                     dmax_sq.extend(scan.dmax_sq)
-            pending = self._activate(frontier, dmin_sq, dmax_sq, neighbors)
+                    if scan.counts is not None:
+                        count_chunks.append(scan.counts)
+            pending = self._activate(
+                frontier, dmin_sq, dmax_sq, neighbors,
+                counts=gathered_counts(count_chunks, len(frontier)),
+            )
             batch = list(pending)
         if self.explain is not None:
             # Terminal sample: the leaf scans ran after the last
@@ -69,6 +77,7 @@ class FPSS(SearchAlgorithm):
         dmin_sq: List[float],
         dmax_sq: List[float],
         neighbors: NeighborList,
+        counts: Optional[np.ndarray] = None,
     ) -> Mapping[int, float]:
         """Every frontier branch that intersects the current query sphere.
 
@@ -80,7 +89,7 @@ class FPSS(SearchAlgorithm):
         if not frontier:
             return {}
         dth_sq = threshold_distance_sq(
-            self.query, frontier, self.k, dmax_sq=dmax_sq
+            self.query, frontier, self.k, dmax_sq=dmax_sq, counts=counts
         ).dth_sq
         kth_sq = neighbors.kth_distance_sq()
         radius_sq = min(dth_sq, kth_sq)

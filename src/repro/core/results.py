@@ -92,6 +92,38 @@ class NeighborList:
         for point, oid in items:
             self.offer(point, oid)
 
+    def offer_block(self, dist_sq, oids, points) -> None:
+        """Consider a whole leaf's objects from packed arrays.
+
+        :param dist_sq: squared distances (array or list) aligned with
+            *oids*, as produced by the batch point kernel.
+        :param oids: the leaf's object ids (array or list).
+        :param points: ``(n, dims)`` point matrix, row-aligned.
+
+        Admits exactly the objects :meth:`offer_computed` would, but the
+        point tuple — the expensive part — is materialized only for
+        candidates that actually enter the heap.  That is sound because
+        heap items compare on ``(-dist_sq, -oid)`` first and oids are
+        globally unique, so the point element never decides an ordering.
+        """
+        heap = self._heap
+        k = self.k
+        dist_list = (
+            dist_sq.tolist() if hasattr(dist_sq, "tolist") else list(dist_sq)
+        )
+        oid_list = oids.tolist() if hasattr(oids, "tolist") else list(oids)
+        for i, (dist, oid) in enumerate(zip(dist_list, oid_list)):
+            if len(heap) < k:
+                heapq.heappush(
+                    heap, (-dist, -oid, tuple(points[i].tolist()))
+                )
+            else:
+                top = heap[0]
+                if -dist > top[0] or (-dist == top[0] and -oid > top[1]):
+                    heapq.heapreplace(
+                        heap, (-dist, -oid, tuple(points[i].tolist()))
+                    )
+
     def as_sorted(self) -> List[Neighbor]:
         """The answers, ascending by (distance, oid)."""
         ordered = sorted(

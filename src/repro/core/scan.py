@@ -8,6 +8,12 @@ cached corner matrices (:meth:`repro.rtree.node.Node.entry_bounds`),
 running on the vectorized kernels of :mod:`repro.perf.kernels` when the
 ``use_vectorized`` switch is on and the node supports the matrix form.
 
+Flat nodes (:class:`repro.rtree.flat.FlatNode`) take the fastest path:
+their child-reference lists are cached across scans, their corner
+matrices are zero-copy slices of the frozen per-level arrays, and leaf
+offers go through :meth:`~repro.core.results.NeighborList.offer_block`
+over the packed oid/point slices — no per-entry Python objects at all.
+
 Everything else — sphere-bounded SS-tree nodes, TV-tree reduced
 regions, or vectorization switched off — falls back to the scalar
 reference path with bit-identical results, so the algorithms above this
@@ -18,23 +24,38 @@ from __future__ import annotations
 
 from typing import List, NamedTuple, Optional, Sequence
 
+import numpy as np
+
 from repro.core.protocol import ChildRef, child_refs, leaf_points
 from repro.core.regions import batch_region_distances
 from repro.core.results import NeighborList
 from repro.perf import kernels
+
+#: metric name -> batch kernel, for the pre-flattened bounds fast path.
+_VECTOR_KERNELS = {
+    "dmin": kernels.batch_minimum_distance_sq,
+    "dmm": kernels.batch_minmax_distance_sq,
+    "dmax": kernels.batch_maximum_distance_sq,
+}
 
 
 class ChildScan(NamedTuple):
     """Per-entry distances for one internal node's branches.
 
     Each distance field is a list aligned with :attr:`refs`, or ``None``
-    when the metric was not requested.
+    when the metric was not requested.  :attr:`counts` carries the
+    subtree object counts as an int64 array (aligned with :attr:`refs`)
+    whenever ``Dmax`` was requested — the Lemma 1 consumers feed it to
+    :func:`~repro.core.threshold.threshold_distance_sq`, saving the
+    per-entry count gather there.  For flat nodes it is a zero-copy
+    slice of the frozen count array.
     """
 
     refs: List[ChildRef]
     dmin_sq: Optional[List[float]]
     dmm_sq: Optional[List[float]] = None
     dmax_sq: Optional[List[float]] = None
+    counts: Optional[np.ndarray] = None
 
 
 def _node_bounds(node):
@@ -56,7 +77,8 @@ def scan_children(
     ``Dmax`` on request.  The result lists contain plain Python floats
     either way, so callers are oblivious to which path produced them.
     """
-    refs = child_refs(node)
+    refs_getter = getattr(node, "child_refs", None)
+    refs = refs_getter() if refs_getter is not None else child_refs(node)
     if not refs:
         return ChildScan(refs, [], [] if want_dmm else None,
                          [] if want_dmax else None)
@@ -65,17 +87,59 @@ def scan_children(
         metrics.append("dmm")
     if want_dmax:
         metrics.append("dmax")
-    bounds = _node_bounds(node) if kernels.vectorization_enabled() else None
-    results = batch_region_distances(
-        query, [ref.rect for ref in refs], metrics, bounds=bounds
-    )
+    vectorized = kernels.vectorization_enabled()
+    bounds = _node_bounds(node) if vectorized else None
+    if bounds is not None:
+        # Pre-flattened corner matrices: call the kernels directly,
+        # skipping both the per-scan region-list build and the shape
+        # dispatch of batch_region_distances.
+        lows, highs = bounds
+        results = [
+            _VECTOR_KERNELS[m](query, lows, highs).tolist() for m in metrics
+        ]
+    else:
+        results = batch_region_distances(
+            query, [ref.rect for ref in refs], metrics
+        )
+    counts: Optional[np.ndarray] = None
+    if want_dmax and vectorized:
+        counts_getter = getattr(node, "child_counts", None)
+        counts = (
+            counts_getter()
+            if counts_getter is not None
+            else np.fromiter(
+                (ref.count for ref in refs), dtype=np.int64, count=len(refs)
+            )
+        )
     by_metric = dict(zip(metrics, results))
     return ChildScan(
         refs,
         by_metric["dmin"],
         by_metric.get("dmm"),
         by_metric.get("dmax"),
+        counts,
     )
+
+
+def gathered_counts(
+    chunks: List[np.ndarray], frontier_size: int
+) -> Optional[np.ndarray]:
+    """Concatenate per-scan count arrays when they cover the frontier.
+
+    The Lemma 1 consumers accumulate :attr:`ChildScan.counts` across a
+    fetch batch and pass the concatenation to
+    :func:`~repro.core.threshold.threshold_distance_sq`.  Counts are
+    attached only on the vectorized path, so coverage is all-or-nothing
+    per query; a partial cover (impossible today, but cheap to guard)
+    returns ``None`` and the threshold gathers counts itself.
+    """
+    if not chunks:
+        return None
+    if sum(len(chunk) for chunk in chunks) != frontier_size:
+        return None
+    if len(chunks) == 1:
+        return chunks[0]
+    return np.concatenate(chunks)
 
 
 def offer_leaf(
@@ -85,7 +149,11 @@ def offer_leaf(
 
     The vectorized path computes all squared distances with one kernel
     call over the leaf's cached point matrix (the low corners of its
-    degenerate MBRs); the fallback is the classic per-entry offer.
+    degenerate MBRs).  Flat leaves then feed the packed oid/point
+    slices straight to the neighbor list's block offer; pointer leaves
+    fall back to the per-entry offer, and the scalar reference path
+    remains for vectorization-off runs.  All three admit exactly the
+    same objects.
     """
     if not node.entries:
         return
@@ -93,6 +161,11 @@ def offer_leaf(
         bounds = _node_bounds(node)
         if bounds is not None:
             distances = kernels.batch_point_distance_sq(query, bounds[0])
+            leaf_data = getattr(node, "leaf_data", None)
+            if leaf_data is not None:
+                oids, points = leaf_data
+                neighbors.offer_block(distances, oids, points)
+                return
             for entry, dist_sq in zip(node.entries, distances.tolist()):
                 neighbors.offer_computed(dist_sq, entry.point, entry.oid)
             return

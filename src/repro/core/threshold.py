@@ -47,6 +47,7 @@ def threshold_distance_sq(
     entries: Sequence[ChildRef],
     k: int,
     dmax_sq: Optional[Sequence[float]] = None,
+    counts: Optional[np.ndarray] = None,
 ) -> Threshold:
     """Compute Lemma 1's threshold over *entries* for a k-NN query.
 
@@ -56,6 +57,11 @@ def threshold_distance_sq(
     :param dmax_sq: optional squared ``Dmax`` values aligned with
         *entries* — the algorithms pass the batch they already computed
         while scanning the frontier, avoiding a second evaluation.
+    :param counts: optional int64 subtree object counts aligned with
+        *entries* (the scan layer's :attr:`~repro.core.scan.ChildScan
+        .counts`); saves the per-entry gather on the vectorized path.
+        For frozen trees this is a zero-copy slice of the packed count
+        array.
     :returns: squared ``D_th`` and the qualifying prefix length.
 
     If the entries together hold fewer than k objects, every entry is
@@ -74,13 +80,22 @@ def threshold_distance_sq(
         raise ValueError(
             f"dmax_sq has {len(dmax_sq)} values for {len(entries)} entries"
         )
+    if counts is not None and len(counts) != len(entries):
+        raise ValueError(
+            f"counts has {len(counts)} values for {len(entries)} entries"
+        )
 
     if kernels.vectorization_enabled():
         # Vectorized Lemma 1: sort by (Dmax, count) — matching the tuple
         # sort of the scalar path exactly, ties included — then find the
         # shortest prefix whose counts cover k via cumsum/searchsorted.
         values = np.asarray(dmax_sq, dtype=np.float64)
-        counts = np.asarray([ref.count for ref in entries], dtype=np.int64)
+        if counts is None:
+            counts = np.asarray(
+                [ref.count for ref in entries], dtype=np.int64
+            )
+        else:
+            counts = np.asarray(counts, dtype=np.int64)
         order = np.lexsort((counts, values))
         covered = np.cumsum(counts[order])
         if covered[-1] >= k:

@@ -90,6 +90,21 @@ class SRNode:
             entry.parent = self
         self.entries.append(entry)
 
+    def replace_entries(self, entries: Sequence[Entry]) -> None:
+        """Replace the whole entry list, wiring parent pointers.
+
+        Same contract as :meth:`repro.rtree.node.Node.replace_entries`:
+        bulk rewrites go through here rather than rebinding ``entries``
+        directly, so node classes that cache derived matrices invalidate
+        uniformly (SR-nodes have no such cache, but split code is shared
+        idiom across the tree variants).
+        """
+        replacement = list(entries)
+        for entry in replacement:
+            if isinstance(entry, SRNode):
+                entry.parent = self
+        self.entries = replacement
+
     def refresh(self) -> None:
         """Recompute the rect, the sphere and the object count.
 
@@ -247,7 +262,7 @@ class SRTree:
     def _split(self, node: SRNode) -> None:
         group1, group2 = self._variance_split(node.entries)
         new_node = self._new_node(node.level)
-        node.entries = []
+        node.replace_entries(())
         for entry in group1:
             node.add(entry)
         for entry in group2:

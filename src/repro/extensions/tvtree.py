@@ -206,6 +206,9 @@ class _TVInternalView:
         self._node = node
         self.page_id = node.page_id
         self.level = node.level
+        # Construction-time projection of an immutable snapshot — views
+        # are built per query, never mutated, and carry no bounds cache,
+        # so this is not a ``replace_entries`` invalidation site.
         self.entries = [
             _TVChildView(child, view) for child in node.entries
         ]

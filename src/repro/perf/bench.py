@@ -2,8 +2,9 @@
 
 One invocation builds fixed seeded trees, runs a fixed query suite and a
 fixed simulated workload per algorithm, microbenchmarks the vectorized
-node scan against the scalar reference, and writes everything to a JSON
-file (default ``BENCH_PR2.json``).  The point is a *trajectory*: every
+node scan against the scalar reference and the flat struct-of-arrays
+layout against the pointer tree, and writes everything to a JSON file
+(default ``BENCH_PR9.json``).  The point is a *trajectory*: every
 future PR re-runs the harness and appends its own ``BENCH_<PR>.json``,
 so regressions and wins are visible across the repository's history.
 
@@ -36,18 +37,21 @@ from repro.core.distances import (
     minimum_distance_sq,
     minmax_distance_sq,
 )
+from repro.core.results import NeighborList
+from repro.core.scan import offer_leaf, scan_children
 from repro.datasets import sample_queries
 from repro.experiments.setup import build_tree, dataset, make_factory
 from repro.geometry.rect import Rect
 from repro.obs.metrics import MetricsRegistry
 from repro.perf import kernels
+from repro.rtree.flat import flatten
 from repro.simulation import simulate_workload
 
 #: Bumped when the document layout changes incompatibly.
 BENCH_SCHEMA = "repro-bench/1"
 
 #: Default output file for this PR's trajectory point.
-DEFAULT_OUT = "BENCH_PR2.json"
+DEFAULT_OUT = "BENCH_PR9.json"
 
 #: Key names whose values are wall-clock measurements and therefore
 #: nondeterministic.  They are recorded in the document and excluded by
@@ -57,6 +61,8 @@ NONDETERMINISTIC_KEYS = (
     "wall_time_per_query_s",
     "scalar_s",
     "vectorized_s",
+    "pointer_s",
+    "flat_s",
     "speedup",
 )
 
@@ -76,6 +82,19 @@ _SUITE_CONFIGS = {
 _DISKS = 10
 _K = 10
 _ARRIVAL_RATE = 8.0
+
+#: Tree sizes swept by the flat-vs-pointer layout microbench.
+_LAYOUT_CONFIGS = {
+    False: [
+        dict(n=2_000, dims=2),
+        dict(n=8_000, dims=2),
+        dict(n=8_000, dims=10),
+    ],
+    True: [
+        dict(n=1_000, dims=2),
+        dict(n=2_000, dims=2),
+    ],
+}
 
 
 def _answer_digest(answer_sets) -> str:
@@ -209,16 +228,92 @@ def run_microbench(
     }
 
 
-def run_bench(
+def _whole_tree_scan(query, nodes) -> None:
+    """One sweep of the search hot path over every node of a tree.
+
+    Internal nodes get the full three-metric batch scan, leaves feed a
+    running neighbor list — the exact per-page work the four algorithms
+    do, minus traversal logic, so the pointer/flat difference isolates
+    the storage layout.
+    """
+    neighbors = NeighborList(query, _K)
+    for node in nodes:
+        if node.is_leaf:
+            offer_leaf(query, node, neighbors)
+        elif node.entries:
+            scan_children(query, node, want_dmm=True, want_dmax=True)
+
+
+def _layout_microbench_case(
+    n: int, dims: int, seed: int, repeats: int = 5
+) -> Dict[str, float]:
+    """Time the whole-tree scan on the pointer tree vs. its flat freeze.
+
+    Both sides run the same vectorized kernels; the difference under
+    measurement is pure storage layout — per-scan ``ChildRef`` list
+    builds and per-entry leaf offers on the pointer side vs. cached
+    reference lists, zero-copy corner slices and block offers on the
+    flat side.  Caches are warmed before timing; best-of-*repeats*.
+    """
+    data = dataset("gaussian", n, dims, seed=seed)
+    pointer = build_tree("gaussian", n, dims, _DISKS, seed=seed)
+    frozen = flatten(pointer)
+    query = tuple(sample_queries(data, 1, seed=seed + 1)[0])
+    pointer_nodes = [
+        pointer.tree.pages[pid] for pid in sorted(pointer.tree.pages)
+    ]
+    flat_nodes = [
+        frozen.tree.pages[pid] for pid in sorted(frozen.tree.pages)
+    ]
+
+    def best_of(nodes) -> float:
+        _whole_tree_scan(query, nodes)  # warm bounds/ref caches
+        best = math.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            _whole_tree_scan(query, nodes)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    pointer_s = best_of(pointer_nodes)
+    flat_s = best_of(flat_nodes)
+    return {
+        "n": n,
+        "dims": dims,
+        "nodes": len(flat_nodes),
+        "pointer_s": pointer_s,
+        "flat_s": flat_s,
+        "speedup": pointer_s / flat_s if flat_s else math.inf,
+    }
+
+
+def run_layout_microbench(
     smoke: bool = False, seed: int = 0
+) -> list:
+    """The flat-vs-pointer layout microbenchmark across tree sizes."""
+    return [
+        _layout_microbench_case(case["n"], case["dims"], seed)
+        for case in _LAYOUT_CONFIGS[smoke]
+    ]
+
+
+def run_bench(
+    smoke: bool = False, seed: int = 0, layout: str = "pointer"
 ) -> Dict[str, object]:
-    """Run the full benchmark suite; returns the JSON-ready document."""
+    """Run the full benchmark suite; returns the JSON-ready document.
+
+    *layout* selects the storage the query/simulate suites run over
+    ("pointer" or "flat" — answers and page counts are bit-identical
+    either way); the layout microbench always measures both.
+    """
     configs = []
     for base in _SUITE_CONFIGS[smoke]:
         data = dataset(base["dataset"], base["n"], base["dims"], seed=seed)
         tree = build_tree(
             base["dataset"], base["n"], base["dims"], _DISKS, seed=seed
         )
+        if layout == "flat":
+            tree = flatten(tree)
         queries = sample_queries(data, base["queries"], seed=seed + 1)
         algorithms = {
             name: _run_algorithm_suite(name, tree, queries, seed)
@@ -234,12 +329,14 @@ def run_bench(
         )
     return {
         "schema": BENCH_SCHEMA,
-        "label": "PR2",
+        "label": "PR9",
         "smoke": smoke,
         "seed": seed,
+        "layout": layout,
         "nondeterministic_keys": list(NONDETERMINISTIC_KEYS),
         "configs": configs,
         "microbench": run_microbench(smoke, seed),
+        "microbench_layout": run_layout_microbench(smoke, seed),
     }
 
 
@@ -283,6 +380,7 @@ def to_run_report(doc: Dict[str, object]) -> Dict[str, object]:
         "schema": stripped.get("schema"),
         "smoke": stripped.get("smoke"),
         "seed": stripped.get("seed"),
+        "layout": stripped.get("layout", "pointer"),
         "suite": [
             {
                 key: entry[key]
@@ -331,4 +429,17 @@ def format_summary(doc: Dict[str, object]) -> str:
             f"{row['vectorized_s'] * 1e3:.3f} ms  "
             f"→ {row['speedup']:.1f}x"
         )
+    if doc.get("microbench_layout"):
+        lines.append("")
+        lines.append(
+            "layout microbench (whole-tree scan, pointer / flat, best-of):"
+        )
+        for row in doc["microbench_layout"]:
+            lines.append(
+                f"  n={row['n']:>6} dims={row['dims']:>2} "
+                f"nodes={row['nodes']:>5}: "
+                f"{row['pointer_s'] * 1e3:.3f} ms / "
+                f"{row['flat_s'] * 1e3:.3f} ms  "
+                f"→ {row['speedup']:.2f}x"
+            )
     return "\n".join(lines)

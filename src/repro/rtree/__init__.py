@@ -18,6 +18,14 @@ for comparison and ablation experiments.
 """
 
 from repro.rtree.capacity import capacity_for_page
+from repro.rtree.flat import (
+    FlatNode,
+    FlatTree,
+    FrozenParallelTree,
+    flatten,
+    load_flat,
+    save_flat,
+)
 from repro.rtree.node import LeafEntry, Node
 from repro.rtree.split import (
     LinearSplit,
@@ -42,6 +50,12 @@ from repro.rtree.storage import (
 from repro.rtree.validate import check_invariants
 
 __all__ = [
+    "FlatNode",
+    "FlatTree",
+    "FrozenParallelTree",
+    "flatten",
+    "load_flat",
+    "save_flat",
     "StorageError",
     "load_parallel_tree",
     "load_tree",

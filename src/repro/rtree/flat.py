@@ -1,0 +1,757 @@
+"""Frozen struct-of-arrays R*-tree layout (ROADMAP item 2).
+
+A built pointer tree is *frozen* into contiguous per-level arrays — the
+index-arithmetic layout of Wald's stack-free BVH traversal
+(arXiv:2210.12859) applied to the paper's R*-tree:
+
+* per level, ``lows``/``highs`` float64 matrices hold every node MBR,
+  plus int64 vectors for page ids, subtree object counts, and the
+  entry offset/count of each node;
+* nodes are packed in **level order**, so the children of one node are
+  a contiguous slice of the level below and a whole-level scan is one
+  matrix slice;
+* leaf data is packed into one ``(total_objects, dims)`` point matrix
+  and an aligned oid vector.
+
+Searches run unchanged: a :class:`FlatNode` view satisfies the same
+duck-typed surface the fetch protocol and :mod:`repro.core.scan` use
+(``is_leaf`` / ``entries`` / ``entry_bounds`` / ``mbr``), but serves the
+batch kernels zero-copy array slices and a child-reference list built
+once per freeze instead of once per scan.  Answer digests are
+bit-identical to the pointer tree: the arrays hold the exact float64
+values of the pointer nodes' cached MBRs, and every kernel consumes
+them through the same code path.
+
+**Invalidation contract.**  The pointer tree remains the only mutation
+surface.  :func:`flatten` snapshots the source tree's ``mutations``
+counter; inserting or deleting afterwards leaves the freeze stale —
+:meth:`FlatTree.is_stale` detects this, and callers re-freeze.  A
+:class:`FlatTree` never mutates itself.
+
+The binary serialization (:func:`save_flat` / :func:`load_flat`) lays
+an 8-byte-aligned header over raw C-contiguous array blobs, so a future
+real-storage backend can ``mmap`` the file and use the arrays in place
+(``load_flat(path, mmap=True)`` already does).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+from repro.rtree.node import LeafEntry, Node
+from repro.rtree.tree import RStarTree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.protocol import ChildRef
+
+_MAGIC = b"RPFL"
+_VERSION = 1
+#: Header: magic, version, flags, dims, height, max_entries, min_entries,
+#: page_size, num_disks, num_cylinders, size, root_page, next_page,
+#: total_points, source_mutations — 8-byte aligned overall.
+_HEADER = struct.Struct("<4sHHIIIIIIIQQQQQ")
+_FLAG_PLACEMENT = 1
+
+
+class _FlatEntries:
+    """Lazy ``entries`` sequence of a :class:`FlatNode`.
+
+    ``len()`` and truthiness come straight from the packed entry count;
+    the element objects (child :class:`FlatNode` views or materialized
+    :class:`~repro.rtree.node.LeafEntry` records) are built on first
+    iteration/indexing only — the executors' CPU accounting reads
+    ``len(node.entries)`` on every fetched page and must not force leaf
+    materialization.
+    """
+
+    __slots__ = ("_node", "_items")
+
+    def __init__(self, node: "FlatNode"):
+        self._node = node
+        self._items: Optional[list] = None
+
+    def _materialize(self) -> list:
+        items = self._items
+        if items is None:
+            items = self._node._build_entries()
+            self._items = items
+        return items
+
+    def __len__(self) -> int:
+        return self._node.entry_count
+
+    def __bool__(self) -> bool:
+        return self._node.entry_count > 0
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+
+class FlatNode:
+    """Read-only view of one node inside a :class:`FlatTree`.
+
+    Satisfies the node surface the protocol, the scan layer and the
+    executors consume, plus three flat-only fast-path accessors:
+    :meth:`child_refs` (cached branch list), :meth:`child_counts`
+    (zero-copy subtree-count slice) and :attr:`leaf_data` (zero-copy
+    oid/point slices).
+    """
+
+    __slots__ = ("tree", "level", "index", "page_id", "entry_offset",
+                 "entry_count", "object_count", "_mbr", "_bounds",
+                 "_refs", "_entries")
+
+    def __init__(
+        self, tree: "FlatTree", level: int, index: int, page_id: int,
+        entry_offset: int, entry_count: int, object_count: int,
+    ):
+        self.tree = tree
+        self.level = level
+        self.index = index
+        self.page_id = page_id
+        self.entry_offset = entry_offset
+        self.entry_count = entry_count
+        self.object_count = object_count
+        self._mbr: Optional[Rect] = None
+        self._bounds: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._refs: Optional[List[ChildRef]] = None
+        self._entries: Optional[_FlatEntries] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for level-0 nodes, which store data entries."""
+        return self.level == 0
+
+    @property
+    def mbr(self) -> Optional[Rect]:
+        """The node MBR, lazily rebuilt from the packed corner rows."""
+        if self.entry_count == 0:
+            return None  # only a root that froze empty
+        rect = self._mbr
+        if rect is None:
+            tree = self.tree
+            rect = Rect._raw(
+                tuple(tree.level_lows[self.level][self.index].tolist()),
+                tuple(tree.level_highs[self.level][self.index].tolist()),
+            )
+            self._mbr = rect
+        return rect
+
+    @property
+    def entries(self) -> _FlatEntries:
+        """Lazy entry sequence (children above level 0, data at level 0)."""
+        entries = self._entries
+        if entries is None:
+            entries = _FlatEntries(self)
+            self._entries = entries
+        return entries
+
+    def _build_entries(self) -> list:
+        tree = self.tree
+        start, stop = self.entry_offset, self.entry_offset + self.entry_count
+        if self.level == 0:
+            oids = tree.oids[start:stop].tolist()
+            points = tree.points[start:stop].tolist()
+            return [
+                LeafEntry(point, oid) for point, oid in zip(points, oids)
+            ]
+        pages = tree.pages
+        child_ids = tree.level_page_ids[self.level - 1][start:stop].tolist()
+        return [pages[page_id] for page_id in child_ids]
+
+    def entry_bounds(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Zero-copy ``(lows, highs)`` slices over this node's entries.
+
+        Same contract as :meth:`repro.rtree.node.Node.entry_bounds`, but
+        the matrices are views into the per-level arrays (or the leaf
+        point matrix, whose degenerate MBRs make both corners the same
+        slice) — no flattening, ever.
+        """
+        if self.entry_count == 0:
+            return None
+        bounds = self._bounds
+        if bounds is None:
+            tree = self.tree
+            start = self.entry_offset
+            stop = start + self.entry_count
+            if self.level == 0:
+                points = tree.points[start:stop]
+                bounds = (points, points)
+            else:
+                below = self.level - 1
+                bounds = (
+                    tree.level_lows[below][start:stop],
+                    tree.level_highs[below][start:stop],
+                )
+            self._bounds = bounds
+        return bounds
+
+    def child_refs(self) -> List[ChildRef]:
+        """The branch entries of this internal node, built once ever.
+
+        The pointer path rebuilds its :class:`ChildRef` list on every
+        scan; the frozen layout amortizes it over the tree's lifetime.
+        """
+        refs = self._refs
+        if refs is None:
+            if self.level == 0:
+                raise ValueError(
+                    f"page {self.page_id} is a leaf; it has no child entries"
+                )
+            # Imported here, not at module top: the protocol module
+            # imports the rtree package, whose __init__ imports this
+            # module — a cycle at import time, gone by first use.
+            from repro.core.protocol import ChildRef
+
+            tree = self.tree
+            start, stop = self.entry_offset, self.entry_offset + self.entry_count
+            below = self.level - 1
+            child_ids = tree.level_page_ids[below][start:stop].tolist()
+            counts = tree.level_object_counts[below][start:stop].tolist()
+            pages = tree.pages
+            refs = [
+                ChildRef(pages[page_id].mbr, count, page_id)
+                for page_id, count in zip(child_ids, counts)
+            ]
+            self._refs = refs
+        return refs
+
+    def child_counts(self) -> np.ndarray:
+        """Zero-copy int64 slice of the children's subtree object counts."""
+        start = self.entry_offset
+        below = self.level - 1
+        return self.tree.level_object_counts[below][start:start + self.entry_count]
+
+    @property
+    def leaf_data(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Zero-copy ``(oids, points)`` slices of a leaf's data entries."""
+        if self.level != 0:
+            return None
+        start, stop = self.entry_offset, self.entry_offset + self.entry_count
+        tree = self.tree
+        return tree.oids[start:stop], tree.points[start:stop]
+
+    def entry_rect(self, index: int) -> Rect:
+        """MBR of the entry at *index*, uniform over leaf/internal nodes."""
+        entry = self.entries[index]
+        return entry.rect if isinstance(entry, LeafEntry) else entry.mbr
+
+    def __len__(self) -> int:
+        return self.entry_count
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"internal(level={self.level})"
+        return f"FlatNode(page={self.page_id}, {kind}, entries={self.entry_count})"
+
+
+class FlatTree:
+    """A frozen R*-tree in contiguous struct-of-arrays storage.
+
+    Arrays are indexed by level (0 = leaves, ``height - 1`` = root), each
+    holding that level's nodes in level order:
+
+    * ``level_lows[L]`` / ``level_highs[L]`` — ``(n_L, dims)`` float64
+      node-MBR corner matrices;
+    * ``level_page_ids[L]`` / ``level_object_counts[L]`` — int64;
+    * ``level_entry_offsets[L]`` / ``level_entry_counts[L]`` — int64;
+      for ``L > 0`` the offset indexes into level ``L - 1``'s arrays,
+      for ``L == 0`` into :attr:`points` / :attr:`oids`.
+
+    Page ids are preserved from the source tree, so fetch traces, disk
+    placements and answer digests carry over unchanged.
+    """
+
+    def __init__(
+        self,
+        dims: int,
+        level_lows: List[np.ndarray],
+        level_highs: List[np.ndarray],
+        level_page_ids: List[np.ndarray],
+        level_object_counts: List[np.ndarray],
+        level_entry_offsets: List[np.ndarray],
+        level_entry_counts: List[np.ndarray],
+        points: np.ndarray,
+        oids: np.ndarray,
+        root_page_id: int,
+        size: int,
+        max_entries: int,
+        min_entries: int,
+        page_size: int,
+        next_page_id: int,
+        source_mutations: int = 0,
+    ):
+        self.dims = dims
+        self.level_lows = level_lows
+        self.level_highs = level_highs
+        self.level_page_ids = level_page_ids
+        self.level_object_counts = level_object_counts
+        self.level_entry_offsets = level_entry_offsets
+        self.level_entry_counts = level_entry_counts
+        self.points = points
+        self.oids = oids
+        self.root_page_id = root_page_id
+        self.size = size
+        self.max_entries = max_entries
+        self.min_entries = min_entries
+        self.page_size = page_size
+        self.next_page_id = next_page_id
+        self.source_mutations = source_mutations
+        #: Every node as a :class:`FlatNode` view, keyed by page id —
+        #: the executors' fetch surface.
+        self.pages: Dict[int, FlatNode] = {}
+        for level in range(len(level_page_ids)):
+            ids = level_page_ids[level].tolist()
+            offsets = level_entry_offsets[level].tolist()
+            counts = level_entry_counts[level].tolist()
+            objects = level_object_counts[level].tolist()
+            for index, page_id in enumerate(ids):
+                self.pages[page_id] = FlatNode(
+                    self, level, index, page_id,
+                    offsets[index], counts[index], objects[index],
+                )
+
+    # -- the interface executors and reference queries consume -------------
+
+    @property
+    def root(self) -> FlatNode:
+        """The root view — entry point of the in-memory reference queries."""
+        return self.pages[self.root_page_id]
+
+    @property
+    def height(self) -> int:
+        """Number of levels; a sole (leaf) root gives height 1."""
+        return len(self.level_page_ids)
+
+    def page(self, page_id: int) -> FlatNode:
+        """The node view for *page_id* (KeyError if unknown)."""
+        return self.pages[page_id]
+
+    def __len__(self) -> int:
+        return self.size
+
+    def node_count(self) -> int:
+        """Total nodes across all levels."""
+        return sum(len(ids) for ids in self.level_page_ids)
+
+    def is_stale(self, source: RStarTree) -> bool:
+        """True when *source* has mutated since this freeze was taken.
+
+        The invalidation contract: a freeze is a snapshot, not a mirror.
+        Callers who keep inserting/deleting on the pointer tree must
+        re-run :func:`flatten` before searching the frozen copy again.
+        """
+        return source.mutations != self.source_mutations
+
+    # -- round-trip ---------------------------------------------------------
+
+    @classmethod
+    def from_tree(cls, tree: RStarTree) -> "FlatTree":
+        """Freeze *tree* (a built pointer R*-tree) into flat arrays."""
+        dims = tree.dims
+        root = tree.root
+        height = root.level + 1
+        levels: List[List[Node]] = [[] for _ in range(height)]
+        levels[root.level].append(root)
+        # Level-order packing: walking each level in node order and
+        # appending children keeps every node's children contiguous —
+        # and in entry order — one level down.
+        for level in range(root.level, 0, -1):
+            for node in levels[level]:
+                levels[level - 1].extend(node.entries)
+
+        level_lows: List[np.ndarray] = []
+        level_highs: List[np.ndarray] = []
+        level_page_ids: List[np.ndarray] = []
+        level_object_counts: List[np.ndarray] = []
+        level_entry_offsets: List[np.ndarray] = []
+        level_entry_counts: List[np.ndarray] = []
+        all_points: List[tuple] = []
+        all_oids: List[int] = []
+        zero = (0.0,) * dims
+        for level in range(height):
+            nodes = levels[level]
+            level_lows.append(np.array(
+                [n.mbr.low if n.mbr is not None else zero for n in nodes],
+                dtype=np.float64,
+            ).reshape(len(nodes), dims))
+            level_highs.append(np.array(
+                [n.mbr.high if n.mbr is not None else zero for n in nodes],
+                dtype=np.float64,
+            ).reshape(len(nodes), dims))
+            level_page_ids.append(np.array(
+                [n.page_id for n in nodes], dtype=np.int64
+            ))
+            level_object_counts.append(np.array(
+                [n.object_count for n in nodes], dtype=np.int64
+            ))
+            offsets = np.zeros(len(nodes), dtype=np.int64)
+            counts = np.zeros(len(nodes), dtype=np.int64)
+            if level == 0:
+                running = 0
+                for i, node in enumerate(nodes):
+                    offsets[i] = running
+                    counts[i] = len(node.entries)
+                    running += len(node.entries)
+                    for entry in node.entries:
+                        all_points.append(entry.point)
+                        all_oids.append(entry.oid)
+            else:
+                running = 0
+                for i, node in enumerate(nodes):
+                    offsets[i] = running
+                    counts[i] = len(node.entries)
+                    running += len(node.entries)
+            level_entry_offsets.append(offsets)
+            level_entry_counts.append(counts)
+
+        points = np.array(all_points, dtype=np.float64).reshape(
+            len(all_points), dims
+        )
+        oids = np.array(all_oids, dtype=np.int64)
+        return cls(
+            dims=dims,
+            level_lows=level_lows,
+            level_highs=level_highs,
+            level_page_ids=level_page_ids,
+            level_object_counts=level_object_counts,
+            level_entry_offsets=level_entry_offsets,
+            level_entry_counts=level_entry_counts,
+            points=points,
+            oids=oids,
+            root_page_id=tree.root_page_id,
+            size=tree.size,
+            max_entries=tree.max_entries,
+            min_entries=tree.min_entries,
+            page_size=tree.page_size,
+            next_page_id=tree._next_page_id,
+            source_mutations=tree.mutations,
+        )
+
+    def rehydrate(self) -> RStarTree:
+        """Rebuild an equivalent pointer R*-tree from the arrays.
+
+        Page ids, entry order, MBRs and counts are restored exactly, so
+        ``flatten(rehydrate(flat))`` round-trips and searches over the
+        rebuilt tree produce the same digests as over the original.
+        The rebuilt tree is mutable again — the way back out of a
+        freeze.
+        """
+        tree = RStarTree(
+            self.dims,
+            max_entries=self.max_entries,
+            min_entries=self.min_entries,
+            page_size=self.page_size,
+        )
+        tree.pages.clear()
+        nodes: Dict[int, Node] = {}
+        for level in range(self.height):
+            for index, page_id in enumerate(self.level_page_ids[level].tolist()):
+                nodes[page_id] = Node(page_id, level)
+        for level in range(self.height):
+            ids = self.level_page_ids[level].tolist()
+            offsets = self.level_entry_offsets[level].tolist()
+            counts = self.level_entry_counts[level].tolist()
+            objects = self.level_object_counts[level].tolist()
+            lows = self.level_lows[level]
+            highs = self.level_highs[level]
+            for index, page_id in enumerate(ids):
+                node = nodes[page_id]
+                start, stop = offsets[index], offsets[index] + counts[index]
+                if level == 0:
+                    node.replace_entries([
+                        LeafEntry(point, oid)
+                        for point, oid in zip(
+                            self.points[start:stop].tolist(),
+                            self.oids[start:stop].tolist(),
+                        )
+                    ])
+                else:
+                    child_ids = self.level_page_ids[level - 1][start:stop]
+                    node.replace_entries(
+                        [nodes[pid] for pid in child_ids.tolist()]
+                    )
+                node.object_count = objects[index]
+                if counts[index]:
+                    node.mbr = Rect._raw(
+                        tuple(lows[index].tolist()),
+                        tuple(highs[index].tolist()),
+                    )
+                else:
+                    node.mbr = None
+        tree.pages = nodes
+        tree.root = nodes[self.root_page_id]
+        tree.root.parent = None
+        tree.size = self.size
+        tree._next_page_id = self.next_page_id
+        tree.mutations = self.source_mutations
+        return tree
+
+
+class FrozenParallelTree:
+    """A :class:`FlatTree` plus the disk/cylinder placement tables.
+
+    Drop-in replacement for
+    :class:`~repro.parallel.tree.ParallelRStarTree` on the *read* side:
+    it exposes the executor surface (``root_page_id`` / ``page`` /
+    ``disk_of`` / ``cylinder_of``), the oracle queries WOPTSS needs, and
+    a ``tree`` attribute (the :class:`FlatTree`, whose ``pages`` dict
+    the simulator's buffer-capacity check reads).  It has no mutation
+    surface — freezes are snapshots.
+    """
+
+    def __init__(
+        self,
+        flat: FlatTree,
+        num_disks: int,
+        placement: Dict[int, int],
+        cylinder: Dict[int, int],
+        num_cylinders: int,
+    ):
+        self.tree = flat
+        self.num_disks = num_disks
+        self.num_cylinders = num_cylinders
+        self._placement = dict(placement)
+        self._cylinder = dict(cylinder)
+
+    @property
+    def root_page_id(self) -> int:
+        """Page id of the root — where every search starts."""
+        return self.tree.root_page_id
+
+    def page(self, page_id: int) -> FlatNode:
+        """The node view stored on *page_id*."""
+        return self.tree.page(page_id)
+
+    def disk_of(self, page_id: int) -> int:
+        """The disk hosting *page_id*."""
+        return self._placement[page_id]
+
+    def cylinder_of(self, page_id: int) -> int:
+        """The cylinder (on its disk) hosting *page_id*."""
+        return self._cylinder[page_id]
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the indexed points."""
+        return self.tree.dims
+
+    @property
+    def height(self) -> int:
+        """Tree height (levels)."""
+        return self.tree.height
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    def knn(self, point: Sequence[float], k: int):
+        """In-memory exact k-NN (oracle/reference; no disk accounting)."""
+        from repro.rtree.query import knn
+
+        return knn(self.tree, tuple(point), k)
+
+    def kth_nearest_distance(self, point: Sequence[float], k: int) -> float:
+        """Oracle distance ``D_k`` — what WOPTSS assumes known."""
+        from repro.rtree.query import kth_nearest_distance
+
+        return kth_nearest_distance(self.tree, tuple(point), k)
+
+    def optimal_page_set(self, point: Sequence[float], k: int):
+        """Page ids a weak-optimal search would fetch (Definition 6)."""
+        from repro.rtree.query import nodes_intersecting_sphere
+
+        dk = self.kth_nearest_distance(point, k)
+        return nodes_intersecting_sphere(self.tree, tuple(point), dk)
+
+    def rehydrate(self):
+        """Rebuild a mutable :class:`ParallelRStarTree` from the freeze.
+
+        The placement tables are restored verbatim; the cylinder RNG
+        restarts from its seed, so *future* page placements may differ
+        from a never-frozen tree's — existing pages are unaffected.
+        """
+        from repro.parallel.tree import ParallelRStarTree
+
+        parallel = ParallelRStarTree(
+            self.tree.dims, self.num_disks, num_cylinders=self.num_cylinders,
+            max_entries=self.tree.max_entries,
+            min_entries=self.tree.min_entries,
+            page_size=self.tree.page_size,
+        )
+        parallel.tree = self.tree.rehydrate()
+        parallel._placement = dict(self._placement)
+        parallel._cylinder = dict(self._cylinder)
+        per_disk = [0] * self.num_disks
+        for disk in self._placement.values():
+            per_disk[disk] += 1
+        parallel._nodes_per_disk = per_disk
+        return parallel
+
+
+def flatten(tree):
+    """Freeze *tree* into its struct-of-arrays form.
+
+    Accepts either a bare :class:`~repro.rtree.tree.RStarTree` (returns
+    a :class:`FlatTree`) or a placed tree exposing ``tree`` /
+    ``disk_of`` / ``cylinder_of`` — the
+    :class:`~repro.parallel.tree.ParallelRStarTree` — in which case the
+    placement tables are snapshotted too and a
+    :class:`FrozenParallelTree` is returned.
+    """
+    inner = getattr(tree, "tree", None)
+    if inner is not None and hasattr(tree, "disk_of"):
+        flat = FlatTree.from_tree(inner)
+        placement = {pid: tree.disk_of(pid) for pid in inner.pages}
+        cylinder = {pid: tree.cylinder_of(pid) for pid in inner.pages}
+        return FrozenParallelTree(
+            flat, tree.num_disks, placement, cylinder,
+            num_cylinders=getattr(tree, "num_cylinders", 1),
+        )
+    return FlatTree.from_tree(tree)
+
+
+# -- serialization ----------------------------------------------------------
+
+
+def _pad8(blob: bytes) -> bytes:
+    """Pad to an 8-byte boundary so every array blob stays mmap-aligned."""
+    remainder = len(blob) % 8
+    return blob + b"\x00" * (8 - remainder) if remainder else blob
+
+
+def save_flat(tree, path: str) -> None:
+    """Write a :class:`FlatTree` or :class:`FrozenParallelTree` to *path*.
+
+    Layout: one fixed header, the per-level node counts, then every
+    array as a raw little-endian C-contiguous blob in a fixed order,
+    each starting on an 8-byte boundary — ready to be mapped back
+    without parsing (``load_flat(path, mmap=True)``).
+    """
+    placed = isinstance(tree, FrozenParallelTree)
+    flat = tree.tree if placed else tree
+    flags = _FLAG_PLACEMENT if placed else 0
+    header = _HEADER.pack(
+        _MAGIC, _VERSION, flags, flat.dims, flat.height,
+        flat.max_entries, flat.min_entries, flat.page_size,
+        tree.num_disks if placed else 0,
+        tree.num_cylinders if placed else 0,
+        flat.size, flat.root_page_id, flat.next_page_id,
+        len(flat.oids), flat.source_mutations,
+    )
+    chunks = [_pad8(header)]
+    counts = np.array(
+        [len(ids) for ids in flat.level_page_ids], dtype=np.int64
+    )
+    chunks.append(counts.tobytes())
+    for level in range(flat.height):
+        for array in (
+            flat.level_lows[level], flat.level_highs[level],
+            flat.level_page_ids[level], flat.level_object_counts[level],
+            flat.level_entry_offsets[level], flat.level_entry_counts[level],
+        ):
+            chunks.append(np.ascontiguousarray(array).tobytes())
+    chunks.append(np.ascontiguousarray(flat.points).tobytes())
+    chunks.append(flat.oids.tobytes())
+    if placed:
+        # Placement in page-table (level-order) scan order, aligned with
+        # the concatenated page-id arrays above.
+        disks = []
+        cylinders = []
+        for level in range(flat.height):
+            for page_id in flat.level_page_ids[level].tolist():
+                disks.append(tree.disk_of(page_id))
+                cylinders.append(tree.cylinder_of(page_id))
+        chunks.append(np.array(disks, dtype=np.int64).tobytes())
+        chunks.append(np.array(cylinders, dtype=np.int64).tobytes())
+    with open(path, "wb") as handle:
+        for chunk in chunks:
+            handle.write(chunk)
+
+
+def load_flat(path: str, mmap: bool = False):
+    """Read a tree written by :func:`save_flat`.
+
+    :param mmap: when True the arrays are memory-mapped views into the
+        file (read-only) instead of in-memory copies — the zero-parse
+        load the on-disk layout is designed for.
+    :returns: a :class:`FlatTree`, or a :class:`FrozenParallelTree`
+        when the file carries placement tables.
+    """
+    if mmap:
+        buffer = np.memmap(path, dtype=np.uint8, mode="r")
+    else:
+        with open(path, "rb") as handle:
+            buffer = np.frombuffer(handle.read(), dtype=np.uint8)
+    (magic, version, flags, dims, height, max_entries, min_entries,
+     page_size, num_disks, num_cylinders, size, root_page_id,
+     next_page_id, total_points, source_mutations) = _HEADER.unpack(
+        bytes(buffer[:_HEADER.size])
+    )
+    if magic != _MAGIC:
+        raise ValueError(f"{path} is not a flat-tree file (magic {magic!r})")
+    if version != _VERSION:
+        raise ValueError(f"unsupported flat-tree version {version}")
+
+    offset = (_HEADER.size + 7) // 8 * 8
+
+    def take(count: int, dtype, shape=None):
+        nonlocal offset
+        nbytes = count * np.dtype(dtype).itemsize
+        array = np.frombuffer(buffer, dtype=dtype, count=count, offset=offset)
+        offset += nbytes
+        return array.reshape(shape) if shape is not None else array
+
+    node_counts = take(height, np.int64).tolist()
+    level_lows, level_highs = [], []
+    level_page_ids, level_object_counts = [], []
+    level_entry_offsets, level_entry_counts = [], []
+    for level in range(height):
+        n = node_counts[level]
+        level_lows.append(take(n * dims, np.float64, (n, dims)))
+        level_highs.append(take(n * dims, np.float64, (n, dims)))
+        level_page_ids.append(take(n, np.int64))
+        level_object_counts.append(take(n, np.int64))
+        level_entry_offsets.append(take(n, np.int64))
+        level_entry_counts.append(take(n, np.int64))
+    points = take(total_points * dims, np.float64, (total_points, dims))
+    oids = take(total_points, np.int64)
+    flat = FlatTree(
+        dims=dims,
+        level_lows=level_lows,
+        level_highs=level_highs,
+        level_page_ids=level_page_ids,
+        level_object_counts=level_object_counts,
+        level_entry_offsets=level_entry_offsets,
+        level_entry_counts=level_entry_counts,
+        points=points,
+        oids=oids,
+        root_page_id=root_page_id,
+        size=size,
+        max_entries=max_entries,
+        min_entries=min_entries,
+        page_size=page_size,
+        next_page_id=next_page_id,
+        source_mutations=source_mutations,
+    )
+    if not flags & _FLAG_PLACEMENT:
+        return flat
+    total_nodes = sum(node_counts)
+    disks = take(total_nodes, np.int64).tolist()
+    cylinders = take(total_nodes, np.int64).tolist()
+    page_order = [
+        page_id
+        for level in range(height)
+        for page_id in level_page_ids[level].tolist()
+    ]
+    return FrozenParallelTree(
+        flat, num_disks,
+        placement=dict(zip(page_order, disks)),
+        cylinder=dict(zip(page_order, cylinders)),
+        num_cylinders=num_cylinders,
+    )

@@ -127,6 +127,25 @@ class Node:
         self.entries.append(entry)
         self._bounds = None
 
+    def replace_entries(
+        self, entries: Sequence[Union[LeafEntry, "Node"]]
+    ) -> None:
+        """Replace the whole entry list, invalidating the bounds cache.
+
+        Rebinding ``node.entries`` directly bypasses invalidation: a
+        same-length replacement would keep serving the old corner
+        matrices to the batch kernels.  Every bulk rewrite (forced
+        reinsertion, node splits) must come through here.  Like
+        :meth:`add`, this does not refresh the MBR/count caches —
+        callers follow up with :meth:`refresh` / :meth:`refresh_path`.
+        """
+        replacement = list(entries)
+        for entry in replacement:
+            if isinstance(entry, Node):
+                entry.parent = self
+        self.entries = replacement
+        self._bounds = None
+
     def entry_bounds(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
         """Flat ``(lows, highs)`` corner matrices over this node's entries.
 
@@ -142,7 +161,10 @@ class Node:
         the scalar path.
         """
         cached = self._bounds
-        if cached is not None and cached[0].shape[0] == len(self.entries):
+        # Cache validity is purely "has a mutation invalidated it" — a
+        # length comparison against the entry list would mask rebinding
+        # bugs by serving stale matrices for same-length replacements.
+        if cached is not None:
             return cached
         if not self.entries:
             return None
@@ -152,12 +174,8 @@ class Node:
             if rect is None:
                 return None
             rects.append(rect)
-        dims = rects[0].dims
-        lows = np.empty((len(rects), dims), dtype=np.float64)
-        highs = np.empty((len(rects), dims), dtype=np.float64)
-        for i, rect in enumerate(rects):
-            lows[i] = rect.low
-            highs[i] = rect.high
+        lows = np.array([rect.low for rect in rects], dtype=np.float64)
+        highs = np.array([rect.high for rect in rects], dtype=np.float64)
         self._bounds = (lows, highs)
         return self._bounds
 

@@ -97,6 +97,11 @@ class RStarTree:
         self.pages: Dict[int, Node] = {}
         self._next_page_id = 0
         self.size = 0
+        #: Structural mutation counter (insert/delete), incremented on
+        #: every change.  :func:`repro.rtree.flat.flatten` records it so
+        #: a freeze can detect that its source has moved on — the
+        #: invalidation contract of the flat layout.
+        self.mutations = 0
         self.root = self._new_node(level=0)
         if self.on_new_root is not None:
             self.on_new_root(self.root)
@@ -157,6 +162,7 @@ class RStarTree:
         self._reinserted_levels = set()
         self._insert(entry, holder_level=0)
         self.size += 1
+        self.mutations += 1
 
     def node_capacity(self, node: Node) -> int:
         """Maximum entries *node* may hold before overflow treatment.
@@ -284,7 +290,7 @@ class RStarTree:
 
         ordered = sorted(node.entries, key=distance_from_center, reverse=True)
         evicted = ordered[:count]
-        node.entries = ordered[count:]
+        node.replace_entries(ordered[count:])
         node.refresh_path()
         holder_level = node.level
         # "Close reinsert": start with the entry nearest the center, which
@@ -297,7 +303,7 @@ class RStarTree:
             node.entries, self.min_entries, _entry_rect
         )
         new_node = self._new_node(node.level)
-        node.entries = []
+        node.replace_entries(())
         for entry in group1:
             node.add(entry)
         for entry in group2:
@@ -337,6 +343,7 @@ class RStarTree:
         leaf.entries.pop(index)
         leaf.refresh_path()
         self.size -= 1
+        self.mutations += 1
         self._condense(leaf)
         self._shrink_root()
         return True

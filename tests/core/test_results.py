@@ -93,3 +93,48 @@ class TestNeighborList:
             )[:k]
         ]
         assert got == expected
+
+
+class TestOfferBlock:
+    """offer_block (the flat-leaf bulk path) vs per-entry offers."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.0, 1.0, allow_nan=False, width=32),
+                st.floats(0.0, 1.0, allow_nan=False, width=32),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_matches_offer_computed(self, raw_points, k):
+        import numpy as np
+
+        query = (0.25, 0.75)
+        points = np.asarray(raw_points, dtype=np.float64)
+        oids = np.arange(len(raw_points), dtype=np.int64)
+        diff = points - np.asarray(query)
+        dist_sq = (diff * diff).sum(axis=1)
+
+        block = NeighborList(query, k)
+        block.offer_block(dist_sq, oids, points)
+
+        loop = NeighborList(query, k)
+        for i, point in enumerate(raw_points):
+            loop.offer_computed(float(dist_sq[i]), tuple(point), i)
+
+        assert block.as_sorted() == loop.as_sorted()
+        assert block.kth_distance_sq() == loop.kth_distance_sq()
+
+    def test_duplicate_distances_tie_break_by_oid(self):
+        import numpy as np
+
+        query = (0.0, 0.0)
+        points = np.asarray([[1.0, 0.0]] * 5, dtype=np.float64)
+        oids = np.asarray([9, 3, 7, 1, 5], dtype=np.int64)
+        dist_sq = np.ones(5, dtype=np.float64)
+        neighbors = NeighborList(query, 3)
+        neighbors.offer_block(dist_sq, oids, points)
+        assert [n.oid for n in neighbors.as_sorted()] == [1, 3, 5]

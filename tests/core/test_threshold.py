@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -11,6 +12,7 @@ from repro.core.protocol import ChildRef
 from repro.core.threshold import threshold_distance_sq
 from repro.geometry.point import euclidean
 from repro.geometry.rect import Rect
+from repro.perf import use_vectorized
 
 
 def ref(low, high, count, page_id=0):
@@ -118,3 +120,109 @@ class TestLemma1Property:
         distances = sorted(euclidean(query, p) for p in points)
         for d in distances[:k]:
             assert d <= dth + 1e-6
+
+
+class TestScalarVectorizedBitIdentity:
+    """Satellite: the two Lemma 1 paths must agree bit-for-bit.
+
+    The scalar reference sorts ``(Dmax, count)`` tuples; the vectorized
+    path lexsorts the same keys and cumsum/searchsorteds the prefix.
+    Adversarial inputs target exactly where they could diverge: equal
+    Dmax values with differing counts (tie-break order), zero-count
+    entries (prefix padding), and k beyond the total object count (the
+    not-guaranteed fall-through).
+    """
+
+    @staticmethod
+    def both_paths(query, entries, k, counts=None):
+        with use_vectorized(True):
+            vec = threshold_distance_sq(query, entries, k, counts=counts)
+        with use_vectorized(False):
+            scalar = threshold_distance_sq(query, entries, k)
+        return vec, scalar
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.tuples(coord, coord),
+                st.tuples(coord, coord),
+                st.integers(min_value=0, max_value=6),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        st.tuples(coord, coord),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_random_entries_bit_identical(self, raw, query, k):
+        entries = []
+        for page_id, ((x1, y1), (x2, y2), count) in enumerate(raw):
+            rect = Rect(
+                (min(x1, x2), min(y1, y2)), (max(x1, x2), max(y1, y2))
+            )
+            entries.append(ChildRef(rect, count, page_id))
+        vec, scalar = self.both_paths(query, entries, k)
+        assert vec == scalar  # dth_sq, prefix_length, guaranteed — exact
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=5), min_size=2,
+                 max_size=10),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_equal_dmax_ties_with_differing_counts(self, counts, k):
+        """All MBRs identical → every Dmax ties; order hangs on counts."""
+        rect = Rect((1.0, 1.0), (2.0, 2.0))
+        entries = [
+            ChildRef(rect, count, page_id)
+            for page_id, count in enumerate(counts)
+        ]
+        vec, scalar = self.both_paths((0.0, 0.0), entries, k)
+        assert vec == scalar
+
+    def test_zero_count_entries_never_satisfy_k(self):
+        entries = [
+            ChildRef(Rect((1.0, 0.0), (2.0, 1.0)), 0, 0),
+            ChildRef(Rect((3.0, 0.0), (4.0, 1.0)), 0, 1),
+        ]
+        vec, scalar = self.both_paths((0.0, 0.0), entries, k=1)
+        assert vec == scalar
+        assert not vec.guaranteed
+        assert vec.prefix_length == len(entries)
+
+    def test_k_beyond_total_objects(self):
+        entries = [
+            ChildRef(Rect((1.0, 0.0), (2.0, 1.0)), 3, 0),
+            ChildRef(Rect((5.0, 0.0), (6.0, 1.0)), 2, 1),
+        ]
+        vec, scalar = self.both_paths((0.0, 0.0), entries, k=6)
+        assert vec == scalar
+        assert not vec.guaranteed
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=6), min_size=1,
+                 max_size=10),
+        st.integers(min_value=1, max_value=30),
+    )
+    def test_explicit_counts_array_matches_ref_gather(self, counts, k):
+        """The counts= fast path must not change the result."""
+        entries = [
+            ChildRef(
+                Rect((float(i), 0.0), (float(i) + 1.0, 1.0)), count, i
+            )
+            for i, count in enumerate(counts)
+        ]
+        packed = np.asarray(counts, dtype=np.int64)
+        with use_vectorized(True):
+            with_counts = threshold_distance_sq(
+                (0.0, 0.5), entries, k, counts=packed
+            )
+            without = threshold_distance_sq((0.0, 0.5), entries, k)
+        assert with_counts == without
+
+    def test_counts_length_mismatch_rejected(self):
+        entries = [ChildRef(Rect((0.0, 0.0), (1.0, 1.0)), 2, 0)]
+        with pytest.raises(ValueError, match="counts"):
+            threshold_distance_sq(
+                (0.0, 0.0), entries, 1,
+                counts=np.asarray([2, 3], dtype=np.int64),
+            )

@@ -1,0 +1,276 @@
+"""Tests for the flat struct-of-arrays tree layout (repro.rtree.flat).
+
+The freeze contract under test: a frozen tree answers every query
+bit-identically to the pointer tree it came from — same neighbors,
+same distances, same pages fetched in the same rounds — and round-trips
+losslessly through rehydration and through the on-disk format (plain
+read and mmap alike).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BBSS, CRSS, FPSS, WOPTSS, CountingExecutor
+from repro.datasets import gaussian, sample_queries
+from repro.parallel import build_parallel_tree
+from repro.perf import use_vectorized
+from repro.rtree import (
+    FlatNode,
+    FlatTree,
+    FrozenParallelTree,
+    RStarTree,
+    check_invariants,
+    flatten,
+    load_flat,
+    save_flat,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return gaussian(600, 3, seed=11)
+
+
+@pytest.fixture(scope="module")
+def pointer_tree(points):
+    """Declustered pointer tree (module-cached; treat as read-only)."""
+    return build_parallel_tree(points, dims=3, num_disks=5, max_entries=8)
+
+
+@pytest.fixture(scope="module")
+def frozen_tree(pointer_tree):
+    return flatten(pointer_tree)
+
+
+def algorithm_factories(tree, query, k, num_disks):
+    dk = tree.kth_nearest_distance(query, k)
+    return {
+        "BBSS": lambda: BBSS(query, k),
+        "FPSS": lambda: FPSS(query, k),
+        "CRSS": lambda: CRSS(query, k, num_disks=num_disks),
+        "WOPTSS": lambda: WOPTSS(query, k, oracle_dk=dk),
+    }
+
+
+class TestFreezeShape:
+    def test_level_order_packing(self, pointer_tree, frozen_tree):
+        flat = frozen_tree.tree
+        assert isinstance(flat, FlatTree)
+        assert flat.height == pointer_tree.tree.height
+        assert len(flat) == len(pointer_tree.tree)
+        assert flat.node_count() == len(pointer_tree.tree.pages)
+        # Every node's children are one contiguous slice of the level
+        # below — the property the zero-copy bounds views rely on.
+        for level in range(flat.height - 1, 0, -1):
+            next_offset = 0
+            for index in range(len(flat.level_page_ids[level])):
+                node = flat.page(int(flat.level_page_ids[level][index]))
+                assert node.entry_offset == next_offset
+                next_offset += node.entry_count
+            assert next_offset == len(flat.level_page_ids[level - 1])
+
+    def test_page_ids_preserved(self, pointer_tree, frozen_tree):
+        assert set(frozen_tree.tree.pages) == set(pointer_tree.tree.pages)
+        assert (
+            frozen_tree.root_page_id == pointer_tree.root_page_id
+        )
+
+    def test_placement_preserved(self, pointer_tree, frozen_tree):
+        assert isinstance(frozen_tree, FrozenParallelTree)
+        for page_id in pointer_tree.tree.pages:
+            assert frozen_tree.disk_of(page_id) == pointer_tree.disk_of(
+                page_id
+            )
+            assert frozen_tree.cylinder_of(
+                page_id
+            ) == pointer_tree.cylinder_of(page_id)
+
+    def test_zero_copy_entry_bounds(self, frozen_tree):
+        flat = frozen_tree.tree
+        root = flat.root
+        lows, highs = root.entry_bounds()
+        assert lows.base is not None  # a view, not a copy
+        assert highs.base is not None
+        counts = root.child_counts()
+        assert counts.dtype == np.int64
+        assert len(counts) == len(root.entries)
+
+    def test_lazy_entries_len_without_materialization(self, frozen_tree):
+        flat = frozen_tree.tree
+        leaf_pid = int(flat.level_page_ids[0][0])
+        node = flat.page(leaf_pid)
+        entries = node.entries
+        assert len(entries) == node.entry_count
+        assert bool(entries) is (node.entry_count > 0)
+        # len/bool must not have built the per-entry objects.
+        assert entries._items is None
+        assert isinstance(node, FlatNode)
+
+
+class TestFlatDifferential:
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_all_algorithms_bit_identical(
+        self, points, pointer_tree, frozen_tree, vectorized
+    ):
+        queries = sample_queries(points, 5, seed=12)
+        for query in queries:
+            factories = algorithm_factories(pointer_tree, query, 10, 5)
+            for name, factory in factories.items():
+                answers = {}
+                stats = {}
+                for label, tree in (
+                    ("pointer", pointer_tree),
+                    ("flat", frozen_tree),
+                ):
+                    executor = CountingExecutor(tree)
+                    with use_vectorized(vectorized):
+                        answers[label] = executor.execute(factory())
+                    s = executor.last_stats
+                    stats[label] = (
+                        s.nodes_visited, s.rounds, s.critical_path
+                    )
+                assert answers["pointer"] == answers["flat"], name
+                assert stats["pointer"] == stats["flat"], name
+
+    def test_direct_knn_matches(self, points, pointer_tree, frozen_tree):
+        queries = sample_queries(points, 5, seed=13)
+        for query in queries:
+            assert frozen_tree.knn(query, 7) == pointer_tree.knn(query, 7)
+            assert frozen_tree.kth_nearest_distance(
+                query, 7
+            ) == pointer_tree.kth_nearest_distance(query, 7)
+
+
+class TestRoundTrips:
+    def test_rehydrate_restores_pointer_tree(self, points):
+        tree = RStarTree(3, max_entries=8)
+        for oid, point in enumerate(points[:400]):
+            tree.insert(point, oid)
+        flat = FlatTree.from_tree(tree)
+        thawed = flat.rehydrate()
+        check_invariants(thawed)
+        assert len(thawed) == len(tree)
+        assert thawed.height == tree.height
+        query = points[5]
+        from repro.rtree.query import knn
+
+        assert knn(thawed, query, 9) == knn(tree, query, 9)
+        # Freezing the rehydrated tree reproduces the arrays exactly.
+        again = FlatTree.from_tree(thawed)
+        for level in range(flat.height):
+            np.testing.assert_array_equal(
+                flat.level_lows[level], again.level_lows[level]
+            )
+            np.testing.assert_array_equal(
+                flat.level_page_ids[level], again.level_page_ids[level]
+            )
+        np.testing.assert_array_equal(flat.points, again.points)
+        np.testing.assert_array_equal(flat.oids, again.oids)
+
+    def test_mutations_resume_after_rehydrate(self, points):
+        tree = RStarTree(3, max_entries=8)
+        for oid, point in enumerate(points[:200]):
+            tree.insert(point, oid)
+        thawed = FlatTree.from_tree(tree).rehydrate()
+        thawed.insert(points[200], 200)
+        assert thawed.delete(points[5], 5)
+        check_invariants(thawed)
+        assert len(thawed) == 200
+
+    @pytest.mark.parametrize("mmap", [False, True])
+    def test_save_load_round_trip(
+        self, tmp_path, points, pointer_tree, frozen_tree, mmap
+    ):
+        path = tmp_path / "tree.flat"
+        save_flat(frozen_tree, str(path))
+        loaded = load_flat(str(path), mmap=mmap)
+        assert isinstance(loaded, FrozenParallelTree)
+        assert loaded.num_disks == frozen_tree.num_disks
+        for page_id in pointer_tree.tree.pages:
+            assert loaded.disk_of(page_id) == frozen_tree.disk_of(page_id)
+        queries = sample_queries(points, 3, seed=14)
+        for query in queries:
+            executor_a = CountingExecutor(frozen_tree)
+            executor_b = CountingExecutor(loaded)
+            got_a = executor_a.execute(CRSS(query, 8, num_disks=5))
+            got_b = executor_b.execute(CRSS(query, 8, num_disks=5))
+            assert got_a == got_b
+            assert (
+                executor_a.last_stats.nodes_visited
+                == executor_b.last_stats.nodes_visited
+            )
+
+    def test_save_load_plain_tree(self, tmp_path, points):
+        tree = RStarTree(3, max_entries=8)
+        for oid, point in enumerate(points[:150]):
+            tree.insert(point, oid)
+        flat = flatten(tree)
+        assert isinstance(flat, FlatTree)
+        path = tmp_path / "plain.flat"
+        save_flat(flat, str(path))
+        loaded = load_flat(str(path))
+        assert isinstance(loaded, FlatTree)
+        from repro.rtree.query import knn
+
+        assert knn(loaded, points[0], 5) == knn(tree, points[0], 5)
+
+
+class TestStaleness:
+    def test_freeze_records_mutation_counter(self, points):
+        tree = RStarTree(3, max_entries=8)
+        for oid, point in enumerate(points[:100]):
+            tree.insert(point, oid)
+        flat = FlatTree.from_tree(tree)
+        assert not flat.is_stale(tree)
+        tree.insert(points[100], 100)
+        assert flat.is_stale(tree)
+        fresh = FlatTree.from_tree(tree)
+        assert not fresh.is_stale(tree)
+        assert fresh.source_mutations == tree.mutations
+
+    def test_delete_also_invalidates(self, points):
+        tree = RStarTree(3, max_entries=8)
+        for oid, point in enumerate(points[:100]):
+            tree.insert(point, oid)
+        flat = FlatTree.from_tree(tree)
+        assert tree.delete(points[3], 3)
+        assert flat.is_stale(tree)
+
+
+class TestAfterDeletions:
+    def test_deletion_path_answers_match_fresh_build(self, points):
+        """Golden deletion-path check for the bounds-cache fixes.
+
+        Deleting through _condense/_shrink_root rewires entry lists;
+        stale cached corner matrices anywhere would skew the vectorized
+        scans.  A tree that went through heavy deletion must answer
+        exactly like a tree freshly built from the surviving points.
+        """
+        survivors = points[:300]
+        doomed = points[300:420]
+        tree = RStarTree(3, max_entries=8)
+        oid = 0
+        victims = []
+        for point in survivors:
+            tree.insert(point, oid)
+            oid += 1
+        for point in doomed:
+            tree.insert(point, oid)
+            victims.append((point, oid))
+            oid += 1
+        for point, victim_oid in victims:
+            assert tree.delete(point, victim_oid)
+        check_invariants(tree)
+
+        fresh = RStarTree(3, max_entries=8)
+        for fresh_oid, point in enumerate(survivors):
+            fresh.insert(point, fresh_oid)
+
+        from repro.rtree.query import knn
+
+        for query in sample_queries(survivors, 6, seed=15):
+            for vectorized in (True, False):
+                with use_vectorized(vectorized):
+                    got = knn(tree, query, 10)
+                    expected = knn(fresh, query, 10)
+                assert got == expected

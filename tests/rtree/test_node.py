@@ -97,3 +97,59 @@ class TestNode:
         assert len(node) == 1
         assert "leaf" in repr(node)
         assert "internal" in repr(Node(4, 2))
+
+
+class TestBoundsCache:
+    def test_replace_entries_invalidates_same_length(self):
+        """Regression: a same-length bulk rewrite must refresh bounds.
+
+        The old cache guard compared lengths, so replacing the entry
+        list with a different list of the *same* length kept serving the
+        stale corner matrices to the batch kernels.
+        """
+        node = Node(0, 0)
+        node.add(LeafEntry((0.0, 0.0), 1))
+        node.add(LeafEntry((1.0, 1.0), 2))
+        lows, _ = node.entry_bounds()
+        assert lows[0].tolist() == [0.0, 0.0]
+
+        node.replace_entries(
+            [LeafEntry((5.0, 5.0), 3), LeafEntry((6.0, 6.0), 4)]
+        )
+        lows, highs = node.entry_bounds()
+        assert lows.tolist() == [[5.0, 5.0], [6.0, 6.0]]
+        assert highs.tolist() == [[5.0, 5.0], [6.0, 6.0]]
+
+    def test_replace_entries_wires_parents(self):
+        child_a, child_b = Node(1, 0), Node(2, 0)
+        parent = Node(0, 1)
+        parent.replace_entries([child_a, child_b])
+        assert child_a.parent is parent
+        assert child_b.parent is parent
+        assert len(parent) == 2
+
+    def test_refresh_invalidates_parent_bounds(self):
+        leaf = Node(1, 0)
+        leaf.add(LeafEntry((1.0, 1.0), 0))
+        parent = Node(0, 1)
+        parent.add(leaf)
+        leaf.refresh()
+        parent.refresh()
+        before, _ = parent.entry_bounds()
+        assert before[0].tolist() == [1.0, 1.0]
+
+        leaf.add(LeafEntry((9.0, 9.0), 1))
+        leaf.refresh()  # must drop the parent's cached matrices too
+        after, after_high = parent.entry_bounds()
+        assert after[0].tolist() == [1.0, 1.0]
+        assert after_high[0].tolist() == [9.0, 9.0]
+
+    def test_entry_bounds_matches_matrix_build(self):
+        points = [(0.5, 2.0), (1.5, -1.0), (3.25, 0.125)]
+        node = Node(0, 0)
+        for oid, point in enumerate(points):
+            node.add(LeafEntry(point, oid))
+        lows, highs = node.entry_bounds()
+        assert lows.dtype == highs.dtype == "float64"
+        assert lows.tolist() == [list(p) for p in points]
+        assert highs.tolist() == [list(p) for p in points]
