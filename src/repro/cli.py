@@ -53,7 +53,23 @@ Python:
   ``chaos`` accept ``--explain`` to aggregate the same traces over a
   workload (and embed them in ``--report`` artifacts, where
   ``repro diff`` gates the pruning-efficiency scores);
-* ``repro report show`` — pretty-print one RunReport artifact.
+* ``repro report show`` — pretty-print one RunReport artifact;
+* ``repro top`` — replay a serving RunReport as a terminal dashboard:
+  per-class SLO burn bars, the outcome split, per-disk queue/breaker
+  sparklines, and (with ``--lifecycle``) the slowest-query tail;
+* ``repro bench index`` — scan a directory for ``BENCH_*.json`` and
+  print a one-line schema/label/seed/headline table per artifact.
+
+``serve`` additionally takes the observability quartet (none of which
+enters the config digest or perturbs the simulation): ``--slo`` scores
+the run against per-priority-class latency-quantile + goodput
+objectives with multi-window error-budget burn rates (printed, and
+embedded in ``--report`` artifacts where ``repro diff`` gates budget
+burn); ``--lifecycle-log PATH`` writes one JSONL record per query
+stitching admission, batching, per-round I/O and the final outcome;
+``--metrics-out PATH`` writes a byte-deterministic OpenMetrics /
+Prometheus text exposition; ``--trace PATH`` adds per-query async
+spans to the Chrome trace export.
 
 ``simulate`` and ``chaos`` accept ``--timeline`` (render the run's
 simulated-time series as ASCII sparklines; with ``--trace`` the series
@@ -253,6 +269,90 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_slo_arguments(parser: argparse.ArgumentParser) -> None:
+    """SLO / lifecycle / exposition knobs (``serve`` only).
+
+    None of these flags enters the config digest: they attach pure
+    write-only observers, and same-seed runs stay bit-identical with
+    or without them (golden-asserted).
+    """
+    group = parser.add_argument_group("slo & lifecycle observability")
+    group.add_argument(
+        "--slo",
+        action="store_true",
+        help="evaluate per-priority-class SLOs: latency-quantile and "
+        "goodput objectives (latency targets inherited from class "
+        "deadlines), error-budget accounting and multi-window burn "
+        "rates; prints the section and embeds it in --report artifacts "
+        "where 'repro diff' gates burn rate (up-bad) and budget "
+        "remaining / goodput margin (down-bad)",
+    )
+    group.add_argument(
+        "--slo-quantile",
+        type=float,
+        default=0.99,
+        metavar="FRAC",
+        help="latency quantile the objectives target (default: 0.99)",
+    )
+    group.add_argument(
+        "--slo-compliance",
+        type=float,
+        default=0.95,
+        metavar="FRAC",
+        help="fraction of offered queries that must meet the SLI; "
+        "1 minus this is the error budget (default: 0.95)",
+    )
+    group.add_argument(
+        "--slo-goodput",
+        type=float,
+        default=0.90,
+        metavar="FRAC",
+        help="fraction of offered queries that must be answered at all "
+        "(default: 0.90)",
+    )
+    group.add_argument(
+        "--slo-window",
+        action="append",
+        type=float,
+        default=[],
+        metavar="SECONDS",
+        help="trailing burn-rate window in simulated seconds; "
+        "repeatable (default: 0.25 and 1.0, plus the full horizon)",
+    )
+    group.add_argument(
+        "--lifecycle-log",
+        default="",
+        metavar="PATH",
+        help="write one causally-ordered JSONL record per offered query "
+        "(admission, batching dedup credits, per-round fetches with "
+        "retry/hedge/breaker annotations, final outcome) — byte-"
+        "deterministic for a fixed seed",
+    )
+    group.add_argument(
+        "--metrics-out",
+        default="",
+        metavar="PATH",
+        help="write the run's metrics registry (plus serving/SLO scalar "
+        "gauges) as OpenMetrics/Prometheus text exposition — byte-"
+        "deterministic for a fixed seed",
+    )
+    group.add_argument(
+        "--trace",
+        default="",
+        metavar="PATH",
+        help="write a span trace of the serving run; each query's "
+        "lifecycle also lands as one Chrome async span "
+        "(admission→rounds→outcome) in the export",
+    )
+    group.add_argument(
+        "--trace-format",
+        choices=TRACE_FORMATS,
+        default="chrome",
+        help="trace file format: 'chrome' (Perfetto / chrome://tracing "
+        "trace-event JSON) or 'jsonl' (default: chrome)",
+    )
+
+
 def _make_workload_explain(tree, label: str) -> WorkloadExplain:
     """An explain collector wired to *tree*'s level/disk resolvers."""
     return WorkloadExplain(
@@ -370,6 +470,37 @@ def _cmd_report_show(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as error:
         raise SystemExit(str(error))
     print(format_report_details(doc))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """``repro top`` — replay a serving RunReport as dashboard frames."""
+    import time
+
+    from repro.obs.dashboard import replay
+    from repro.obs.lifecycle import load_lifecycle_jsonl
+
+    try:
+        doc = load_report(args.path)
+    except (OSError, ValueError) as error:
+        raise SystemExit(str(error))
+    records = None
+    if args.lifecycle:
+        try:
+            records = load_lifecycle_jsonl(args.lifecycle)
+        except (OSError, ValueError) as error:
+            raise SystemExit(str(error))
+    if args.frames < 1:
+        raise SystemExit("--frames must be positive")
+    frames = replay(
+        doc, frames=args.frames, lifecycle=records, tail=args.tail
+    )
+    for index, frame in enumerate(frames):
+        if index:
+            print()
+        print(frame)
+        if args.interval > 0 and index < len(frames) - 1:
+            time.sleep(args.interval)
     return 0
 
 
@@ -808,9 +939,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         scheduler=args.scheduler, coalesce=args.coalesce,
         bus_time=args.bus_time, buffer_pages=args.buffer_pages,
     )
+    # PR10 write-only observers: none of these enters the config digest
+    # and attaching them never changes the simulated run.
+    slo_tracker = None
+    if args.slo:
+        from repro.obs.slo import (
+            DEFAULT_BURN_WINDOWS,
+            SLOTracker,
+            slo_from_policy,
+        )
+
+        try:
+            slo_tracker = SLOTracker(
+                slo_from_policy(
+                    policy,
+                    quantile=args.slo_quantile,
+                    compliance_target=args.slo_compliance,
+                    goodput_target=args.slo_goodput,
+                    default_latency_target=(
+                        args.deadline if args.deadline > 0 else None
+                    ),
+                    windows=(
+                        tuple(args.slo_window)
+                        if args.slo_window
+                        else DEFAULT_BURN_WINDOWS
+                    ),
+                )
+            )
+        except ValueError as error:
+            raise SystemExit(str(error))
+    lifecycle = None
+    if args.lifecycle_log or args.trace:
+        from repro.obs.lifecycle import LifecycleLog
+
+        lifecycle = LifecycleLog()
+    tracer = Tracer() if args.trace else None
     want_timeline = args.timeline or bool(args.report)
     timeline = TimelineSampler() if want_timeline else None
-    metrics = MetricsRegistry() if args.report else None
+    metrics = (
+        MetricsRegistry() if (args.report or args.metrics_out) else None
+    )
     explain = (
         _make_workload_explain(tree, algorithm) if args.explain else None
     )
@@ -826,6 +994,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 policy=policy,
                 params=params,
                 seed=args.seed,
+                tracer=tracer,
                 metrics=metrics,
                 timeline=timeline,
                 fault_plan=fault_plan,
@@ -834,6 +1003,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 health=health,
                 hedge=hedge,
                 rebuild=rebuild,
+                lifecycle=lifecycle,
+                slo=slo_tracker,
             )
         except ValueError as error:
             raise SystemExit(str(error))
@@ -902,6 +1073,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{rb['time_to_healthy']:.4f}s, "
             f"{serving.rebuild_shed} arrivals shed during rebuild"
         )
+    if serving.slo is not None:
+        from repro.obs.slo import format_slo_section
+
+        print("  " + format_slo_section(serving.slo).replace("\n", "\n  "))
     if args.timeline and timeline is not None:
         print()
         print(
@@ -918,6 +1093,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "--report needs at least one admitted query; every query "
                 "was rejected or shed"
             )
+        if slo_tracker is not None and timeline is not None:
+            # The slo.<class>.* step tracks land in the report's
+            # timelines so `repro top` can replay budget burn.
+            slo_tracker.merge_into(timeline)
         doc = build_run_report(
             "serve",
             _serve_config(args, algorithm),
@@ -930,9 +1109,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             health=serving.health,
             hedge=serving.hedge,
             rebuild=serving.rebuild,
+            slo=serving.slo,
         )
         write_report(doc, args.report)
         print(f"report written: {args.report}")
+    if args.lifecycle_log and lifecycle is not None:
+        lifecycle.write_jsonl(args.lifecycle_log)
+        print(
+            f"lifecycle log written: {args.lifecycle_log} "
+            f"({len(lifecycle)} queries)"
+        )
+    if args.metrics_out:
+        from repro.obs.openmetrics import flatten_scalars, write_openmetrics
+
+        extra = flatten_scalars({"serving": section})
+        if serving.slo is not None:
+            extra.update(flatten_scalars({"slo": serving.slo}))
+        write_openmetrics(metrics, args.metrics_out, extra=extra)
+        print(f"metrics written: {args.metrics_out}")
+    if args.trace and tracer is not None:
+        if timeline is not None:
+            timeline.flush_to_tracer(tracer)
+        if lifecycle is not None:
+            lifecycle.flush_to_tracer(tracer)
+        write_trace(tracer, args.trace, args.trace_format)
+        print(f"trace written: {args.trace}")
     return 0
 
 
@@ -975,10 +1176,13 @@ def _cmd_bench_chaos_serving(args: argparse.Namespace) -> int:
 
 
 def _check_out_dirs(args: argparse.Namespace) -> None:
-    """Fail fast if an --out / --report directory is missing."""
+    """Fail fast if an output path's directory is missing."""
     for option, path in (
         ("--out", getattr(args, "out", "")),
         ("--report", getattr(args, "report", "")),
+        ("--lifecycle-log", getattr(args, "lifecycle_log", "")),
+        ("--metrics-out", getattr(args, "metrics_out", "")),
+        ("--trace", getattr(args, "trace", "")),
     ):
         if path:
             directory = os.path.dirname(path) or "."
@@ -988,7 +1192,87 @@ def _check_out_dirs(args: argparse.Namespace) -> None:
                 )
 
 
+def _bench_headline(doc: dict) -> str:
+    """The one summary metric a bench document leads with.
+
+    Checked in priority order: serving-frontier dominance (PR7/PR8),
+    scheduler improvement over FCFS (PR4), the flat-layout microbench
+    (PR9), the kernel microbench (PR2).  ``-`` when none is present.
+    """
+    dominance = doc.get("dominance_at_top_load") or {}
+    if isinstance(dominance, dict) and "p99_ratio" in dominance:
+        return (
+            f"p99_ratio {dominance['p99_ratio']:.3f} "
+            f"@ load {dominance.get('offered_load', 0.0):g}"
+        )
+    improvement = doc.get("improvement_vs_fcfs") or {}
+    ratios = {
+        name: stats["response_mean_ratio"]
+        for name, stats in improvement.items()
+        if isinstance(stats, dict) and "response_mean_ratio" in stats
+    }
+    if ratios:
+        best = min(ratios, key=lambda name: ratios[name])
+        return f"best response_mean_ratio {ratios[best]:.3f} ({best})"
+    layout = doc.get("microbench_layout") or []
+    speedups = [
+        row["speedup"]
+        for row in layout
+        if isinstance(row, dict) and "speedup" in row
+    ]
+    if speedups:
+        return f"flat-layout speedup up to {max(speedups):.2f}x"
+    micro = doc.get("microbench") or {}
+    speedups = [
+        row["speedup"]
+        for row in micro.values()
+        if isinstance(row, dict) and "speedup" in row
+    ]
+    if speedups:
+        return f"kernel speedup up to {max(speedups):.1f}x"
+    return "-"
+
+
+def _cmd_bench_index(args: argparse.Namespace) -> int:
+    """``repro bench index`` — one line per BENCH_*.json artifact."""
+    import glob
+    import json
+
+    paths = sorted(glob.glob(os.path.join(args.dir, "BENCH_*.json")))
+    if not paths:
+        print(f"no BENCH_*.json found in {args.dir}")
+        return 1
+    rows = []
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError):
+            rows.append(
+                (os.path.basename(path), "unreadable", "-", "-", "-", "-")
+            )
+            continue
+        rows.append(
+            (
+                os.path.basename(path),
+                str(doc.get("schema", "?")),
+                str(doc.get("label", "-")),
+                str(doc.get("seed", "-")),
+                "yes" if doc.get("smoke") else "no",
+                _bench_headline(doc),
+            )
+        )
+    print(
+        format_table(
+            ["bench", "schema", "label", "seed", "smoke", "headline"], rows
+        )
+    )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.mode == "index":
+        return _cmd_bench_index(args)
     # Imported lazily: the bench harness pulls in the whole experiment
     # and simulation stack, which the other subcommands don't need.
     from repro.perf.bench import (
@@ -1298,7 +1582,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = subparsers.add_parser(
         "bench",
-        help="run the reproducible benchmark suite and write BENCH_*.json",
+        help="run the reproducible benchmark suite and write BENCH_*.json "
+        "('bench index' lists the existing artifacts instead)",
+    )
+    bench.add_argument(
+        "mode",
+        nargs="?",
+        choices=["index"],
+        default=None,
+        help="optional subaction: 'index' prints one line per "
+        "BENCH_*.json at --dir (schema, label, seed, smoke, headline "
+        "metric) instead of running the suite",
+    )
+    bench.add_argument(
+        "--dir",
+        default=".",
+        metavar="DIR",
+        help="directory 'bench index' scans for BENCH_*.json "
+        "(default: .)",
     )
     bench.add_argument(
         "--smoke",
@@ -1519,6 +1820,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scheduler_arguments(serve)
     _add_kernels_argument(serve)
     _add_obs_arguments(serve)
+    _add_slo_arguments(serve)
     serve.set_defaults(handler=_cmd_serve)
 
     serving_bench = subparsers.add_parser(
@@ -1717,6 +2019,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_show.add_argument("path", help="RunReport JSON path")
     report_show.set_defaults(handler=_cmd_report_show)
+
+    top = subparsers.add_parser(
+        "top",
+        help="terminal dashboard replaying a serving RunReport: per-class "
+        "SLO burn bars, outcome rates, per-disk queue/breaker "
+        "sparklines, slowest-query tail",
+    )
+    top.add_argument(
+        "path", help="RunReport JSON path (from 'repro serve --report')"
+    )
+    top.add_argument(
+        "--lifecycle",
+        default="",
+        metavar="PATH",
+        help="lifecycle JSONL ('repro serve --lifecycle-log') enabling "
+        "the slowest-queries tail panel in the final frame",
+    )
+    top.add_argument(
+        "--frames",
+        type=int,
+        default=4,
+        help="replay frames rendered, the last one final (default: 4)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="wall-clock pause between frames (default: 0 — print "
+        "immediately, deterministic output)",
+    )
+    top.add_argument(
+        "--tail",
+        type=int,
+        default=3,
+        help="slowest queries listed in the final frame (default: 3)",
+    )
+    top.set_defaults(handler=_cmd_top)
 
     paper = subparsers.add_parser(
         "paper", help="regenerate one of the paper's figures/tables"

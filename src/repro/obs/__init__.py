@@ -18,7 +18,15 @@ every simulated microsecond is attributable.  This package provides
 * :mod:`repro.obs.report` — deterministic, versioned RunReport JSON
   artifacts distilling one run for later comparison;
 * :mod:`repro.obs.diff` — structural RunReport comparison with
-  regression gating and disk/bus/CPU saturation analysis.
+  regression gating and disk/bus/CPU saturation analysis;
+* :mod:`repro.obs.slo` — per-class SLO objectives, error-budget
+  accounting and multi-window burn rates over timeline tracks;
+* :mod:`repro.obs.lifecycle` — per-query causally-ordered lifecycle
+  event log (JSONL + Chrome async spans);
+* :mod:`repro.obs.openmetrics` — OpenMetrics/Prometheus text
+  exposition of a :class:`MetricsRegistry`;
+* :mod:`repro.obs.dashboard` — ``repro top``, a curses-free terminal
+  dashboard replaying a RunReport as text frames.
 
 This package is a leaf: it imports nothing from the simulation or
 algorithm layers, so every layer may instrument itself freely.
@@ -40,6 +48,7 @@ from repro.obs.export import (
     write_jsonl,
     write_trace,
 )
+from repro.obs.dashboard import burn_bar, outcome_bar, render_frame, replay
 from repro.obs.diff import (
     MetricDelta,
     ReportDiff,
@@ -58,12 +67,24 @@ from repro.obs.explain import (
     render_heatmap,
     write_explain,
 )
+from repro.obs.lifecycle import (
+    LifecycleLog,
+    format_lifecycle_record,
+    load_lifecycle_jsonl,
+    slowest_queries,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     fanout_gauges,
+)
+from repro.obs.openmetrics import (
+    flatten_scalars,
+    render_openmetrics,
+    sanitize_metric_name,
+    write_openmetrics,
 )
 from repro.obs.report import (
     REPORT_SCHEMA,
@@ -77,9 +98,18 @@ from repro.obs.report import (
     load_report,
     write_report,
 )
+from repro.obs.slo import (
+    SLOObjective,
+    SLOPolicy,
+    SLOTracker,
+    format_slo_section,
+    slo_from_policy,
+)
 from repro.obs.timeline import TimelineSampler, TimelineTrack, sparkline
 from repro.obs.trace import (
+    ASYNC_PHASES,
     NULL_TRACER,
+    AsyncRecord,
     CounterRecord,
     InstantRecord,
     NullTracer,
@@ -89,6 +119,8 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "ASYNC_PHASES",
+    "AsyncRecord",
     "Breakdown",
     "COMPONENTS",
     "COMPONENT_HEADERS",
@@ -99,12 +131,16 @@ __all__ = [
     "Gauge",
     "Histogram",
     "InstantRecord",
+    "LifecycleLog",
     "MetricDelta",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "REPORT_SCHEMA",
     "ReportDiff",
+    "SLOObjective",
+    "SLOPolicy",
+    "SLOTracker",
     "SpanRecord",
     "TRACE_FORMATS",
     "TimelineSampler",
@@ -114,6 +150,7 @@ __all__ = [
     "answer_digest",
     "bench_run_report",
     "build_run_report",
+    "burn_bar",
     "canonical_report_bytes",
     "chrome_trace",
     "classify_saturation",
@@ -124,20 +161,32 @@ __all__ = [
     "explain_artifact",
     "fanout_gauges",
     "flatten_numeric",
+    "flatten_scalars",
     "format_explain",
+    "format_lifecycle_record",
     "format_report",
     "format_report_details",
+    "format_slo_section",
     "format_workload_explain",
     "heatmap_dict",
+    "load_lifecycle_jsonl",
     "load_report",
+    "outcome_bar",
     "per_query_report",
+    "render_frame",
     "render_heatmap",
+    "render_openmetrics",
+    "replay",
+    "sanitize_metric_name",
+    "slo_from_policy",
+    "slowest_queries",
     "sparkline",
     "validate_chrome_trace",
     "workload_report",
     "write_chrome_trace",
     "write_explain",
     "write_jsonl",
+    "write_openmetrics",
     "write_report",
     "write_trace",
 ]

@@ -1,0 +1,208 @@
+"""``repro top`` — a curses-free terminal dashboard over a serving run.
+
+Replays (or, with ``--follow``, tails) one RunReport artifact as a
+sequence of text frames — the operational view of the serving stack at
+a glance:
+
+* **per-class SLO burn bars** — error budget spent, with the
+  multi-window burn rates, from the report's ``slo`` section; when the
+  report's timelines carry the ``slo.<class>.*`` tracks (``repro serve
+  --slo --report`` merges them), the bars grow frame by frame as the
+  replay advances;
+* **outcome rates** — the four-outcome split as a proportional bar;
+* **per-disk queue / breaker-state sparklines** — the PR5 timeline
+  renderer over ``disk*.queue_depth`` / ``*.health`` /
+  ``serving.queued`` / ``serving.backlog``, truncated to the replay
+  instant;
+* **tail forensics** — with a lifecycle JSONL alongside, the slowest
+  queries and their outcome chain (final frame only).
+
+Pure functions over plain dicts: every frame is a deterministic string
+(the tests golden them), and the CLI just prints frames with an
+optional wall-clock pause between them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.obs.lifecycle import slowest_queries
+from repro.obs.timeline import sparkline
+
+#: Timeline tracks the dashboard renders, by prefix, in row order.
+_TRACK_PREFIXES = ("serving.", "disk", "bus.", "queries.")
+
+#: Glyphs for the budget-burn bar.
+_BAR_FILL = "█"
+_BAR_EMPTY = "░"
+
+
+def burn_bar(spent: float, width: int = 24) -> str:
+    """Render an error-budget-spent fraction as a bar.
+
+    Overspend (a blown objective) fills the bar and flags it with
+    ``!!``; a negative estimate clamps to empty.
+    """
+    clamped = min(1.0, max(0.0, spent))
+    filled = int(round(clamped * width))
+    bar = _BAR_FILL * filled + _BAR_EMPTY * (width - filled)
+    flag = " !!" if spent > 1.0 else ""
+    return f"[{bar}] {spent:6.1%} spent{flag}"
+
+
+def outcome_bar(counts: Mapping[str, int], width: int = 40) -> str:
+    """The four-outcome split as a proportional letter bar."""
+    total = sum(
+        counts.get(k, 0) for k in ("complete", "degraded", "shed", "rejected")
+    )
+    if total <= 0:
+        return "(no queries)"
+    cells = []
+    for key, letter in (
+        ("complete", "C"),
+        ("degraded", "D"),
+        ("shed", "S"),
+        ("rejected", "R"),
+    ):
+        cells.append(letter * int(round(counts.get(key, 0) / total * width)))
+    bar = "".join(cells)[:width]
+    return (
+        f"|{bar:<{width}}| C {counts.get('complete', 0)} "
+        f"D {counts.get('degraded', 0)} S {counts.get('shed', 0)} "
+        f"R {counts.get('rejected', 0)}"
+    )
+
+
+def _burn_estimate_at(
+    timelines: Mapping[str, Mapping[str, Any]],
+    klass: str,
+    budget: float,
+    fraction: float,
+) -> Optional[float]:
+    """Budget-spent estimate at a replay *fraction* off the merged
+    ``slo.<class>.bad`` / ``.total`` timeline tracks (None if absent)."""
+    bad = timelines.get(f"slo.{klass}.bad")
+    total = timelines.get(f"slo.{klass}.total")
+    if not bad or not total or budget <= 0:
+        return None
+    values_bad = list(bad.get("values") or ())
+    values_total = list(total.get("values") or ())
+    if not values_bad or len(values_bad) != len(values_total):
+        return None
+    index = max(0, min(len(values_bad) - 1, int(fraction * len(values_bad)) - 1))
+    if fraction >= 1.0:
+        index = len(values_bad) - 1
+    settled = values_total[index]
+    if settled <= 0:
+        return 0.0
+    return (values_bad[index] / settled) / budget
+
+
+def render_frame(
+    report: Mapping[str, Any],
+    fraction: float = 1.0,
+    lifecycle: Optional[List[Mapping[str, Any]]] = None,
+    width: int = 60,
+    tail: int = 3,
+) -> str:
+    """One dashboard frame at *fraction* of the run's horizon."""
+    fraction = min(1.0, max(0.0, fraction))
+    final = fraction >= 1.0
+    latency = report.get("latency") or {}
+    makespan = float(latency.get("makespan", 0.0))
+    lines = [
+        f"repro top — {report.get('kind', '?')} "
+        f"{report.get('label') or '-'} "
+        f"(config {str(report.get('config_digest', ''))[:12]})  "
+        f"t={fraction * makespan:.3f}s / {makespan:.3f}s ({fraction:4.0%})"
+    ]
+    timelines = report.get("timelines") or {}
+
+    slo = report.get("slo")
+    if slo:
+        classes = slo.get("classes") or {}
+        lines.append("slo burn:")
+        for klass in sorted(classes):
+            doc = classes[klass]
+            budget = doc["budget"]
+            spent = budget.get("spent", 0.0)
+            estimate = _burn_estimate_at(
+                timelines, klass, budget.get("allowed_fraction", 0.0), fraction
+            )
+            if not final and estimate is not None:
+                spent = estimate
+            burns = doc.get("burn_rate") or {}
+            burn_text = (
+                "  burn " + " ".join(
+                    f"{name}={burns[name]:.2f}" for name in sorted(burns)
+                )
+                if final and burns
+                else ""
+            )
+            lines.append(f"  {klass:<12} {burn_bar(spent)}{burn_text}")
+
+    serving = report.get("serving")
+    if serving and final:
+        lines.append("outcomes:")
+        lines.append(f"  {outcome_bar(serving.get('counts') or {})}")
+        lines.append(
+            f"  goodput {serving.get('goodput', 0.0):.1f} answered/s"
+        )
+
+    rows = [
+        name
+        for name in sorted(timelines)
+        if name.startswith(_TRACK_PREFIXES) or ".health" in name
+    ]
+    if rows:
+        label_width = max(len(name) for name in rows)
+        lines.append("timelines:")
+        for name in rows:
+            track = timelines[name]
+            values = list(track.get("values") or ())
+            cut = (
+                len(values)
+                if final
+                else max(1, int(math.ceil(fraction * len(values))))
+            )
+            lines.append(
+                f"  {name:<{label_width}}  "
+                f"{sparkline(values[:cut], peak=track.get('max') or None)}"
+            )
+
+    if lifecycle and final:
+        slow = slowest_queries(lifecycle, limit=tail)
+        if slow:
+            lines.append(f"slowest {len(slow)} queries:")
+            for record in slow:
+                response = record["completion"] - record["arrival"]
+                lines.append(
+                    f"  q{record['qid']:<5} {record.get('outcome', '?'):<9} "
+                    f"{response:.4f}s  class "
+                    f"{record.get('class') or 'default'}  events "
+                    f"{len(record.get('events') or ())}"
+                )
+    return "\n".join(lines)
+
+
+def replay(
+    report: Mapping[str, Any],
+    frames: int = 4,
+    lifecycle: Optional[List[Mapping[str, Any]]] = None,
+    width: int = 60,
+    tail: int = 3,
+) -> List[str]:
+    """The run as *frames* dashboard frames, last one final."""
+    if frames < 1:
+        raise ValueError(f"frames must be positive, got {frames}")
+    return [
+        render_frame(
+            report,
+            fraction=(index + 1) / frames,
+            lifecycle=lifecycle,
+            width=width,
+            tail=tail,
+        )
+        for index in range(frames)
+    ]

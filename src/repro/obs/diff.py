@@ -82,6 +82,9 @@ HIGHER_IS_WORSE = (
     "serving.rebuild.time_to_healthy",
     "metrics.*foreground_p99_inflation",
     "metrics.*time_to_healthy_s",
+    # SLO engine (PR10): burning the error budget faster — over any
+    # window, and the cross-class worst — is the pager-worthy direction.
+    "slo.*burn_rate*",
 )
 
 #: Metric-path patterns whose DECREASE is a regression.
@@ -100,6 +103,11 @@ LOWER_IS_WORSE = (
     # duplicate reads cost bandwidth without cutting the tail.
     "hedge.won",
     "serving.hedge.won",
+    # SLO engine: less budget left, a thinner goodput margin, or lower
+    # compliance all degrade downward.
+    "slo.*budget_remaining*",
+    "slo.*goodput.margin",
+    "slo.*compliance",
 )
 
 #: Subtrees :func:`flatten_numeric` skips: identity/metadata, and the

@@ -22,6 +22,7 @@ import json
 from typing import Any, Dict, IO, List, Union
 
 from repro.obs.trace import (
+    AsyncRecord,
     CounterRecord,
     InstantRecord,
     SpanRecord,
@@ -128,6 +129,20 @@ def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
                     "args": {record.name: record.value},
                 }
             )
+        elif isinstance(record, AsyncRecord):
+            event = {
+                "ph": record.phase,
+                "name": record.name,
+                "cat": record.category,
+                "id": record.id,
+                "ts": record.ts * _SECONDS_TO_US,
+                "pid": _PID,
+                "tid": tids[record.track],
+                "args": dict(record.args) if record.args else {},
+            }
+            if record.scope:
+                event["scope"] = record.scope
+            events.append(event)
 
     for flow_id, spans in sorted(flows.items()):
         if len(spans) < 2:
@@ -178,6 +193,7 @@ def write_trace(tracer: Tracer, path: str, fmt: str = "chrome") -> None:
 
 
 _FLOW_PHASES = ("s", "t", "f")
+_ASYNC_PHASES = ("b", "n", "e")
 _METADATA_NAMES = ("process_name", "thread_name", "thread_sort_index")
 
 
@@ -197,6 +213,8 @@ def validate_chrome_trace(document: Union[Dict, IO, str]) -> int:
     events = document.get("traceEvents")
     if not isinstance(events, list):
         raise ValueError("trace must contain a 'traceEvents' list")
+    #: (cat, scope, id) -> {"open": bool, "begin_ts": float}.
+    async_spans: Dict[tuple, Dict[str, Any]] = {}
     for index, event in enumerate(events):
         where = f"traceEvents[{index}]"
         if not isinstance(event, dict):
@@ -251,6 +269,50 @@ def validate_chrome_trace(document: Union[Dict, IO, str]) -> int:
         elif phase in _FLOW_PHASES:
             if "id" not in event or "tid" not in event:
                 raise ValueError(f"{where}: flow events need 'id' and 'tid'")
+        elif phase in _ASYNC_PHASES:
+            # Async span events: paired by (cat, scope, id).  Each key
+            # must open (b) before it beads (n) or closes (e), and
+            # every opened span must close — checked after the walk.
+            if "id" not in event:
+                raise ValueError(f"{where}: async events need an 'id'")
+            if not event.get("name") or not event.get("cat"):
+                raise ValueError(
+                    f"{where}: async events need 'name' and 'cat'"
+                )
+            scope = event.get("scope", "")
+            if not isinstance(scope, str):
+                raise ValueError(
+                    f"{where}: async scope must be a string, got {scope!r}"
+                )
+            key = (event["cat"], scope, event["id"])
+            state = async_spans.get(key)
+            if phase == "b":
+                if state is not None and state["open"]:
+                    raise ValueError(
+                        f"{where}: async span {key} begun twice without "
+                        f"an 'e' between"
+                    )
+                async_spans[key] = {"open": True, "begin_ts": ts}
+            else:
+                if state is None or not state["open"]:
+                    raise ValueError(
+                        f"{where}: async '{phase}' for {key} without an "
+                        f"open 'b'"
+                    )
+                if ts < state["begin_ts"]:
+                    raise ValueError(
+                        f"{where}: async '{phase}' at {ts} precedes its "
+                        f"'b' at {state['begin_ts']}"
+                    )
+                if phase == "e":
+                    state["open"] = False
         else:
             raise ValueError(f"{where}: unknown phase {phase!r}")
+    dangling = sorted(
+        str(key) for key, state in async_spans.items() if state["open"]
+    )
+    if dangling:
+        raise ValueError(
+            f"async span(s) begun but never ended: {', '.join(dangling)}"
+        )
     return len(events)

@@ -1,0 +1,191 @@
+"""OpenMetrics / Prometheus text exposition of a MetricsRegistry.
+
+``repro serve --metrics-out metrics.prom`` renders the run's
+:class:`~repro.obs.metrics.MetricsRegistry` (plus any extra scalar
+gauges the caller supplies — outcome counts, SLO budgets) in the
+Prometheus text exposition format, so the simulated service's
+telemetry drops straight into the tooling a production similarity
+service would scrape: ``promtool check metrics``, Grafana ad-hoc
+imports, textfile collectors.
+
+Mapping (all names prefixed ``repro_`` and sanitized to the metric
+name grammar ``[a-zA-Z_:][a-zA-Z0-9_:]*``):
+
+==============  ====================================================
+Counter         ``repro_<name>_total`` (``# TYPE … counter``)
+Gauge           ``repro_<name>{stat="last|max|mean"}`` plus
+                ``repro_<name>_samples_total``
+Histogram       ``repro_<name>_count`` / ``_sum`` and
+                ``repro_<name>{quantile="0.5|0.95|0.99"}`` (summary)
+extra scalars   ``repro_<name>`` gauges
+==============  ====================================================
+
+The exposition is **deterministic**: metrics render sorted by name,
+floats via ``repr`` (shortest round-trip form), and the content
+carries no wall-clock timestamps — two same-seed runs produce
+byte-identical files, which the CI smoke job ``cmp``'s.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+#: Every series name carries this prefix (a metrics namespace).
+PREFIX = "repro_"
+
+#: Histogram quantiles exposed as a Prometheus summary.
+SUMMARY_QUANTILES = (0.50, 0.95, 0.99)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Fold *name* into the Prometheus metric-name grammar.
+
+    Dots and other punctuation become underscores; a leading digit
+    gains an underscore prefix.  Deterministic and idempotent.
+    """
+    cleaned = "".join(
+        ch if ch.isalnum() or ch in ("_", ":") else "_" for ch in name
+    )
+    if not cleaned:
+        cleaned = "_"
+    if cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    """Deterministic sample rendering (ints stay ints; +Inf per spec)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_openmetrics(
+    metrics: Optional[MetricsRegistry],
+    extra: Optional[Mapping[str, float]] = None,
+) -> str:
+    """The registry (+ *extra* scalar gauges) as exposition text.
+
+    *extra* maps dotted names (e.g. ``serving.counts.shed`` or
+    ``slo.default.budget_remaining``) to numbers; each becomes a
+    ``repro_``-prefixed gauge.  Non-finite extras are skipped — they
+    carry no magnitude a scraper could alert on.
+    """
+    lines: List[str] = []
+    rendered: Dict[str, bool] = {}
+
+    def emit(name: str, kind: str, samples: List[str]) -> None:
+        if name in rendered:
+            raise ValueError(f"duplicate exposition metric {name!r}")
+        rendered[name] = True
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(samples)
+
+    if metrics is not None:
+        for metric in sorted(metrics, key=lambda m: m.name):
+            base = PREFIX + sanitize_metric_name(metric.name)
+            if isinstance(metric, Counter):
+                emit(
+                    f"{base}_total",
+                    "counter",
+                    [f"{base}_total {_format_value(metric.value)}"],
+                )
+            elif isinstance(metric, Gauge):
+                summary = metric.summary()
+                emit(
+                    base,
+                    "gauge",
+                    [
+                        f'{base}{{stat="last"}} '
+                        f"{_format_value(summary['last'])}",
+                        f'{base}{{stat="max"}} '
+                        f"{_format_value(summary['max'])}",
+                        f'{base}{{stat="mean"}} '
+                        f"{_format_value(summary['mean'])}",
+                    ],
+                )
+                emit(
+                    f"{base}_samples_total",
+                    "counter",
+                    [
+                        f"{base}_samples_total "
+                        f"{_format_value(summary['samples'])}"
+                    ],
+                )
+            elif isinstance(metric, Histogram):
+                samples = []
+                if metric.count:
+                    for quantile in SUMMARY_QUANTILES:
+                        samples.append(
+                            f'{base}{{quantile="{quantile:g}"}} '
+                            f"{_format_value(metric.percentile(quantile))}"
+                        )
+                samples.append(
+                    f"{base}_sum {_format_value(metric.total)}"
+                )
+                samples.append(
+                    f"{base}_count {_format_value(metric.count)}"
+                )
+                emit(base, "summary", samples)
+            else:  # pragma: no cover — registry only creates the three
+                raise TypeError(
+                    f"cannot expose metric type {type(metric).__name__}"
+                )
+
+    if extra:
+        for name in sorted(extra):
+            value = extra[name]
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                continue
+            if not math.isfinite(value):
+                continue
+            base = PREFIX + sanitize_metric_name(name)
+            if base in rendered:
+                continue  # the registry's series wins
+            emit(base, "gauge", [f"{base} {_format_value(value)}"])
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(
+    metrics: Optional[MetricsRegistry],
+    path: str,
+    extra: Optional[Mapping[str, float]] = None,
+) -> None:
+    """Write the exposition text to *path* (byte-deterministic)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_openmetrics(metrics, extra=extra))
+
+
+def flatten_scalars(
+    doc: Mapping, prefix: str = ""
+) -> Dict[str, float]:
+    """Numeric leaves of a nested section, dotted-keyed — the bridge
+    from a report section (serving, slo) to exposition gauges."""
+    flat: Dict[str, float] = {}
+
+    def walk(node, path: str) -> None:
+        if isinstance(node, Mapping):
+            for key in node:
+                walk(node[key], f"{path}.{key}" if path else str(key))
+        elif isinstance(node, bool):
+            return
+        elif isinstance(node, (int, float)):
+            flat[path] = node
+
+    walk(dict(doc), prefix)
+    return flat

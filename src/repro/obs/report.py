@@ -74,6 +74,7 @@ def build_run_report(
     health=None,
     hedge=None,
     rebuild=None,
+    slo=None,
 ) -> Dict[str, object]:
     """Distil one workload run into a JSON-ready RunReport document.
 
@@ -109,6 +110,13 @@ def build_run_report(
         read counters, online-rebuild progress).  Embedded top-level so
         ``repro diff`` gates ``health.*`` / ``hedge.*`` / ``rebuild.*``
         paths; absent keys keep pre-PR8 reports byte-identical.
+    :param slo: optional JSON-ready SLO section (see
+        :meth:`repro.obs.slo.SLOTracker.section`) — per-class error
+        budgets and multi-window burn rates.  Embedded under ``"slo"``
+        so ``repro diff`` gates burn-rate (up-bad) and
+        budget-remaining / goodput-margin (down-bad); like ``explain``,
+        the flag is not part of the config digest, so an SLO-tracked
+        run stays comparable like-for-like with a plain one.
     """
     records = result.records
     report: Dict[str, object] = {
@@ -176,6 +184,8 @@ def build_run_report(
         report["hedge"] = dict(hedge)
     if rebuild is not None:
         report["rebuild"] = dict(rebuild)
+    if slo is not None:
+        report["slo"] = dict(slo)
     return report
 
 
@@ -272,10 +282,11 @@ def format_report_details(doc: Mapping) -> str:
     """The full terminal rendering of a RunReport (``repro report show``).
 
     Extends :func:`format_report` with the identity digests, per-query
-    counts, the mean breakdown, per-disk utilizations, and — when the
-    run was recorded with ``--explain`` — the aggregated EXPLAIN
-    section (pruning efficiency, threshold tightness, declustering
-    heatmap).
+    counts, the mean breakdown, per-disk utilizations, the serving /
+    tail-tolerance (``health`` / ``hedge`` / ``rebuild``) and ``slo``
+    sections when the run recorded them, and — when the run was
+    recorded with ``--explain`` — the aggregated EXPLAIN section
+    (pruning efficiency, threshold tightness, declustering heatmap).
     """
     lines = [format_report(doc)]
     digest = doc.get("answer_digest")
@@ -313,6 +324,81 @@ def format_report_details(doc: Mapping) -> str:
             lines.append("  metrics   :")
             for key in sorted(scalars):
                 lines.append(f"    {key:<34} {scalars[key]:g}")
+    serving = doc.get("serving")
+    if serving:
+        lines.append("  serving   :")
+        s_counts = serving.get("counts") or {}
+        lines.append(
+            "    outcomes: "
+            + "  ".join(
+                f"{key} {s_counts.get(key, 0)}"
+                for key in ("complete", "degraded", "shed", "rejected")
+            )
+        )
+        s_latency = serving.get("latency") or {}
+        if s_latency:
+            lines.append(
+                "    latency : "
+                + "  ".join(
+                    f"{key} {s_latency[key]:.4f}s"
+                    for key in ("mean", "p50", "p95", "p99", "max")
+                    if key in s_latency
+                )
+            )
+        io = serving.get("io") or {}
+        if io:
+            lines.append(
+                f"    io      : {io.get('transactions', 0)} transactions, "
+                f"{io.get('logical_pages', 0)} logical pages "
+                f"({io.get('transactions_per_page', 0.0):.3f} tx/page)"
+            )
+        lines.append(f"    goodput : {serving.get('goodput', 0.0):.2f}/s")
+        batching = serving.get("batching")
+        if batching:
+            lines.append(
+                f"    batching: {batching.get('batched_transactions', 0)} "
+                f"shared transactions, "
+                f"{batching.get('shared_pages', 0)} piggybacked pages, "
+                f"max dispatch wait "
+                f"{batching.get('max_dispatch_wait', 0.0):.4f}s"
+            )
+    health = doc.get("health")
+    if health:
+        lines.append(
+            f"  health    : {health.get('opens', 0)} breaker opens, "
+            f"{health.get('closes', 0)} closes, "
+            f"{health.get('ejected', 0)} ejected fetches, "
+            f"{health.get('open_drives', 0)} drive(s) open, "
+            f"time in open {health.get('time_in_open', 0.0):.4f}s"
+        )
+        for drive in health.get("drives") or ():
+            lines.append(
+                f"    drive {str(drive.get('disk', '?')):<5} "
+                f"state {drive.get('state', '?'):<9} "
+                f"opens {drive.get('opens', 0)} "
+                f"ewma {drive.get('ewma_latency', 0.0) or 0.0:.5f}s"
+            )
+    hedge = doc.get("hedge")
+    if hedge:
+        lines.append(
+            f"  hedge     : {hedge.get('issued', 0)} issued, "
+            f"{hedge.get('won', 0)} won, "
+            f"{hedge.get('cancelled', 0)} cancelled, "
+            f"{hedge.get('wasted_reads', 0)} wasted reads"
+        )
+    rebuild = doc.get("rebuild")
+    if rebuild:
+        lines.append(
+            f"  rebuild   : {rebuild.get('completed', 0)} completed, "
+            f"{rebuild.get('pages_streamed', 0):.0f} pages streamed, "
+            f"duration {rebuild.get('duration', 0.0):.4f}s, "
+            f"time-to-healthy {rebuild.get('time_to_healthy', 0.0):.4f}s"
+        )
+    slo = doc.get("slo")
+    if slo:
+        from repro.obs.slo import format_slo_section
+
+        lines.append("  " + format_slo_section(slo).replace("\n", "\n  "))
     explain = doc.get("explain")
     if explain:
         from repro.obs.explain import format_workload_explain

@@ -119,6 +119,21 @@ class TimelineTrack:
         """Time-weighted mean from the first sample to *until*."""
         return self.gauge.mean(until)
 
+    def value_at(self, ts: float) -> float:
+        """The step function's value at *ts* (0.0 before the first
+        sample; the last sample's value from its timestamp onward).
+
+        This is how the SLO engine reads trailing-window counts off a
+        cumulative track: ``value_at(end) - value_at(end - window)``,
+        with windows straddling the start of the run clamping to 0.
+        """
+        if not self._ts:
+            return 0.0
+        index = bisect_right(self._ts, ts) - 1
+        if index < 0:
+            return 0.0
+        return self._values[index]
+
     def integral(self, start: float, end: float) -> float:
         """Exact integral of the step function over ``[start, end]``.
 

@@ -108,7 +108,54 @@ class CounterRecord:
         }
 
 
-TraceRecord = Union[SpanRecord, InstantRecord, CounterRecord]
+@dataclass(frozen=True)
+class AsyncRecord:
+    """One phase of a Chrome **async** span (``b`` / ``n`` / ``e``).
+
+    Async spans model intervals that hop between tracks — a query's
+    lifecycle arc from admission through fetch rounds to settlement —
+    which a single-track :class:`SpanRecord` cannot express.  Events
+    sharing ``(category, scope, id)`` pair up: one ``b`` (begin), any
+    number of ``n`` (instant) beads, one ``e`` (end).  The exporter
+    maps the phase letter straight onto the Chrome trace-event ``ph``;
+    :func:`~repro.obs.export.validate_chrome_trace` checks the pairing.
+    """
+
+    track: str
+    name: str
+    category: str
+    #: "b" (begin), "n" (instant), or "e" (end).
+    phase: str
+    ts: float
+    #: Pairing id (the lifecycle span id — the qid).
+    id: int
+    #: Pairing scope — ids are only unique within a scope.
+    scope: str = ""
+    args: Optional[Mapping[str, Any]] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for JSONL export (empty optionals omitted)."""
+        record: Dict[str, Any] = {
+            "kind": "async",
+            "track": self.track,
+            "name": self.name,
+            "cat": self.category,
+            "ph": self.phase,
+            "ts": self.ts,
+            "id": self.id,
+        }
+        if self.scope:
+            record["scope"] = self.scope
+        if self.args:
+            record["args"] = dict(self.args)
+        return record
+
+
+#: Valid :attr:`AsyncRecord.phase` letters.
+ASYNC_PHASES = ("b", "n", "e")
+
+
+TraceRecord = Union[SpanRecord, InstantRecord, CounterRecord, AsyncRecord]
 
 
 class NullTracer:
@@ -131,6 +178,11 @@ class NullTracer:
         """No-op."""
 
     def counter(self, track, name, ts, value):
+        """No-op."""
+
+    def async_event(
+        self, track, name, category, phase, ts, id, scope="", args=None
+    ):
         """No-op."""
 
     @property
@@ -214,6 +266,27 @@ class Tracer:
         """Record a sampled value on *track*."""
         self.track(track)
         self._records.append(CounterRecord(track, name, ts, value))
+
+    def async_event(
+        self,
+        track: str,
+        name: str,
+        category: str,
+        phase: str,
+        ts: float,
+        id: int,
+        scope: str = "",
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Record one phase of an async span (``b`` / ``n`` / ``e``)."""
+        if phase not in ASYNC_PHASES:
+            raise ValueError(
+                f"async phase must be one of {ASYNC_PHASES}, got {phase!r}"
+            )
+        self.track(track)
+        self._records.append(
+            AsyncRecord(track, name, category, phase, ts, id, scope, args)
+        )
 
     def __len__(self) -> int:
         return len(self._records)

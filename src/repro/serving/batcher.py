@@ -122,6 +122,11 @@ class FetchBroker:
         transaction (``None`` → unbounded).
     :param timeline: optional sampler driving the
         ``serving.backlog`` track (pages awaiting dispatch).
+    :param lifecycle: optional
+        :class:`~repro.obs.lifecycle.LifecycleLog`; each submit appends
+        a ``batch`` event carrying this round's *dedup credits* — the
+        pages that piggybacked on another query's pending or in-flight
+        fetch (write-only; attaching one is bit-identity-neutral).
     """
 
     def __init__(
@@ -132,6 +137,7 @@ class FetchBroker:
         window: float = 0.0,
         max_group_pages: Optional[int] = None,
         timeline=None,
+        lifecycle=None,
     ):
         if window < 0:
             raise ValueError(f"window must be >= 0, got {window}")
@@ -145,6 +151,7 @@ class FetchBroker:
         self.window = window
         self.max_group_pages = max_group_pages
         self.timeline = timeline
+        self.lifecycle = lifecycle
         self._pages_spanned = getattr(tree, "pages_spanned", lambda pid: 1)
         self._flights: Dict[int, _Flight] = {}
         #: Pages awaiting dispatch, strict arrival order (aging).
@@ -176,6 +183,7 @@ class FetchBroker:
         ticket = RoundTicket(qid, self.env.event(), len(pages), now)
         self.rounds_submitted += 1
         self.pages_submitted += len(pages)
+        shared_this_round = 0
         for page_id in pages:
             flight = self._flights.get(page_id)
             if flight is None:
@@ -184,7 +192,10 @@ class FetchBroker:
                 self._backlog.append(page_id)
             else:
                 self.shared_pages += 1
+                shared_this_round += 1
             flight.tickets.append(ticket)
+        if self.lifecycle is not None:
+            self.lifecycle.batch(qid, now, len(pages), shared_this_round)
         if self.timeline is not None:
             self.timeline.record("serving.backlog", now, len(self._backlog))
         self._kick()

@@ -179,6 +179,9 @@ class ServingResult:
     rebuild: Optional[Dict[str, object]] = None
     #: Queries shed on arrival because a rebuild was streaming.
     rebuild_shed: int = 0
+    #: SLO section (None without an SLOTracker attached, keeping
+    #: pre-PR10 report bodies byte-identical).
+    slo: Optional[Dict[str, object]] = None
 
     def outcome_counts(self) -> Dict[str, int]:
         """How many offered queries ended in each outcome."""
@@ -309,6 +312,8 @@ class ServingFrontend:
         metrics=None,
         timeline=None,
         deadline: Optional[float] = None,
+        lifecycle=None,
+        slo=None,
     ):
         self.env = env
         self.system = system
@@ -318,6 +323,11 @@ class ServingFrontend:
         self.policy = policy
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.timeline = timeline
+        #: Write-only observers (PR10): a LifecycleLog and an SLOTracker.
+        #: Neither schedules events nor consumes RNG — attaching them is
+        #: bit-identity-neutral (golden-asserted).
+        self.lifecycle = lifecycle
+        self.slo = slo
         self.controller = AdmissionController(policy)
         self.broker: Optional[FetchBroker] = None
         if policy.cross_query_batching:
@@ -328,6 +338,7 @@ class ServingFrontend:
                 window=policy.batch_window,
                 max_group_pages=policy.max_group_pages,
                 timeline=timeline,
+                lifecycle=lifecycle,
             )
             self.executor: SimulatedExecutor = BatchedExecutor(
                 env,
@@ -337,6 +348,7 @@ class ServingFrontend:
                 metrics=metrics,
                 timeline=timeline,
                 deadline=deadline,
+                lifecycle=lifecycle,
                 broker=self.broker,
             )
         else:
@@ -348,6 +360,7 @@ class ServingFrontend:
                 metrics=metrics,
                 timeline=timeline,
                 deadline=deadline,
+                lifecycle=lifecycle,
             )
         self.served: List[Optional[ServedQuery]] = [None] * len(
             scenario.queries
@@ -413,6 +426,8 @@ class ServingFrontend:
     def _on_arrival(self, qid: int) -> None:
         now = self.env.now
         klass = self.policy.class_named(self.scenario.class_of(qid))
+        if self.lifecycle is not None:
+            self.lifecycle.arrival(qid, now, klass.name)
         deadline_at = (
             now + klass.deadline if klass.deadline is not None else None
         )
@@ -425,6 +440,8 @@ class ServingFrontend:
             # pages back, low-priority arrivals are shed at the door so
             # foreground urgency and the rebuild share the spindles.
             self.rebuild_shed += 1
+            if self.lifecycle is not None:
+                self.lifecycle.shed(qid, now, "rebuild")
             self._settle(
                 ServedQuery(
                     qid=qid,
@@ -442,8 +459,12 @@ class ServingFrontend:
         )
         verdict = self.controller.offer(entry)
         if verdict == "admit":
+            if self.lifecycle is not None:
+                self.lifecycle.admitted(qid, now, 0.0)
             self.env.process(self._run_admitted(entry))
         elif verdict == "reject":
+            if self.lifecycle is not None:
+                self.lifecycle.rejected(qid, now)
             self._settle(
                 ServedQuery(
                     qid=qid,
@@ -456,6 +477,8 @@ class ServingFrontend:
                 )
             )
         else:  # queued
+            if self.lifecycle is not None:
+                self.lifecycle.queued(qid, now, self.controller.queued)
             self._sample_queue()
 
     def _run_admitted(self, entry: QueueEntry) -> Generator:
@@ -497,6 +520,8 @@ class ServingFrontend:
         entry, shed = self.controller.pop_next(self.env.now)
         now = self.env.now
         for dropped in shed:
+            if self.lifecycle is not None:
+                self.lifecycle.shed(dropped.qid, now, "queue")
             self._settle(
                 ServedQuery(
                     qid=dropped.qid,
@@ -509,11 +534,30 @@ class ServingFrontend:
                 )
             )
         if entry is not None:
+            if self.lifecycle is not None:
+                self.lifecycle.popped(
+                    entry.qid, now, now - entry.arrival
+                )
             self.env.process(self._run_admitted(entry))
         self._sample_queue()
 
     def _settle(self, served: ServedQuery) -> None:
         self.served[served.qid] = served
+        if self.slo is not None:
+            self.slo.observe(
+                served.klass,
+                served.completion,
+                served.served,
+                served.response_time,
+            )
+        if self.lifecycle is not None:
+            self.lifecycle.outcome(
+                served.qid,
+                served.completion,
+                served.outcome,
+                served.certified_radius,
+                len(served.answers),
+            )
         done = self._done.pop(served.qid, None)
         if done is not None:
             done.succeed(served)
@@ -541,6 +585,8 @@ def serve_scenario(
     health: Optional[HealthPolicy] = None,
     hedge: Optional[HedgePolicy] = None,
     rebuild: Optional[RebuildPolicy] = None,
+    lifecycle=None,
+    slo=None,
 ) -> ServingResult:
     """Serve a traffic scenario over the simulated disk array.
 
@@ -570,6 +616,13 @@ def serve_scenario(
     :param rebuild: optional
         :class:`~repro.faults.health.RebuildPolicy` enabling online
         rebuild of finite-repair crash windows (RAID-1 only).
+    :param lifecycle: optional
+        :class:`~repro.obs.lifecycle.LifecycleLog` recording each
+        query's causal chain (write-only observer; gains the health
+        monitor for breaker annotations when one is attached).
+    :param slo: optional :class:`~repro.obs.slo.SLOTracker`; when
+        attached, :attr:`ServingResult.slo` carries the evaluated
+        section (write-only observer).
     :returns: a :class:`ServingResult`.
     """
     if policy is None:
@@ -630,6 +683,9 @@ def serve_scenario(
             retry_policy=retry_policy,
             health=monitor,
         )
+    if lifecycle is not None and monitor is not None:
+        # Round events annotate the breaker states of non-closed drives.
+        lifecycle.monitor = monitor
     frontend = ServingFrontend(
         env,
         system,
@@ -640,6 +696,8 @@ def serve_scenario(
         tracer=tracer,
         metrics=metrics,
         timeline=timeline,
+        lifecycle=lifecycle,
+        slo=slo,
     )
     frontend.start()
     env.run()
@@ -674,6 +732,7 @@ def serve_scenario(
             system.rebuild_section() if rebuild is not None else None
         ),
         rebuild_shed=frontend.rebuild_shed,
+        slo=(slo.section(result.makespan) if slo is not None else None),
     )
     # Ride-along for tests and benches (not a dataclass field, never
     # serialized): the simulated array, e.g. for buffer-pool invariants.

@@ -277,6 +277,13 @@ class SimulatedExecutor:
         pending at the next fetch round resolves as unreachable at zero
         simulated cost and the query returns its best-effort partial
         answer with a certified radius.
+    :param lifecycle: optional
+        :class:`~repro.obs.lifecycle.LifecycleLog`; when given, every
+        fetch round appends one event to the query's lifecycle record
+        (pages requested/hit/fetched/failed, retries, failovers, hedges
+        issued during the round, deadline cuts).  Write-only — it
+        schedules nothing and consumes no RNG, so attaching one is
+        bit-identity-neutral.
     """
 
     def __init__(
@@ -288,6 +295,7 @@ class SimulatedExecutor:
         metrics=None,
         timeline=None,
         deadline: Optional[float] = None,
+        lifecycle=None,
     ):
         if deadline is not None and deadline <= 0:
             raise ValueError(f"deadline must be positive, got {deadline}")
@@ -307,6 +315,7 @@ class SimulatedExecutor:
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.timeline = timeline
         self.deadline = deadline
+        self.lifecycle = lifecycle
         #: Timeline state: queries currently inside the system, and the
         #: candidate-stack contribution of each in-flight query (so the
         #: aggregate track updates in O(1) per round).
@@ -516,6 +525,18 @@ class SimulatedExecutor:
                     round_end = round_start
                     fetches_issued = 0
                     hits_this_round = 0
+                    if self.lifecycle is not None:
+                        self.lifecycle.round(
+                            qid, round_start, round_end,
+                            requested=len(request.pages),
+                            buffer_hits=0,
+                            pages_fetched=0,
+                            failed=len(failed_pages),
+                            retries=0,
+                            failovers=0,
+                            fetch_failures=0,
+                            deadline_cut=True,
+                        )
                 else:
                     # The buffer gate: exactly one lookup per requested
                     # page — a page that later fails (or is retried
@@ -540,6 +561,11 @@ class SimulatedExecutor:
                         timeline.record(
                             "buffer.hit_rate", round_start, buffer.hit_rate
                         )
+                    hedges_before = (
+                        getattr(self.system, "hedges_issued", 0)
+                        if self.lifecycle is not None
+                        else 0
+                    )
                     io = yield from self._issue_round(qid, missed)
                     round_end = self.env.now
                     self._attribute_round(
@@ -551,6 +577,21 @@ class SimulatedExecutor:
                     fetch_failures += io.fetch_failures
                     failed_pages = io.failed_pages
                     fetches_issued = io.fetches_issued
+                    if self.lifecycle is not None:
+                        self.lifecycle.round(
+                            qid, round_start, round_end,
+                            requested=len(request.pages),
+                            buffer_hits=hits_this_round,
+                            pages_fetched=io.pages_fetched,
+                            failed=len(failed_pages),
+                            retries=io.retries,
+                            failovers=io.failovers,
+                            fetch_failures=io.fetch_failures,
+                            hedges=(
+                                getattr(self.system, "hedges_issued", 0)
+                                - hedges_before
+                            ),
+                        )
                 fetched = {
                     pid: None if pid in failed_pages else self.tree.page(pid)
                     for pid in request.pages

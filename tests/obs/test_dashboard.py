@@ -1,0 +1,139 @@
+"""Tests for the ``repro top`` dashboard renderer.
+
+Frames are pure functions of the report dict, so every assertion here
+is a string-equality/`in` check — no terminal, no timing.
+"""
+
+import pytest
+
+from repro.obs.dashboard import (
+    burn_bar,
+    outcome_bar,
+    render_frame,
+    replay,
+)
+
+
+class TestBurnBar:
+    def test_empty_full_and_overspent(self):
+        assert "0.0% spent" in burn_bar(0.0)
+        assert "!!" not in burn_bar(1.0)
+        blown = burn_bar(2.5)
+        assert "!!" in blown
+        assert "250.0% spent" in blown
+
+    def test_negative_clamps_to_empty(self):
+        assert burn_bar(-1.0).count("█") == 0
+
+    def test_width_respected(self):
+        bar = burn_bar(0.5, width=10)
+        assert bar.count("█") + bar.count("░") == 10
+
+
+class TestOutcomeBar:
+    def test_proportional_letters(self):
+        bar = outcome_bar(
+            {"complete": 3, "degraded": 1, "shed": 0, "rejected": 0},
+            width=8,
+        )
+        assert bar.count("C") > bar.count("D") > 0
+        assert "C 3" in bar and "D 1" in bar
+
+    def test_no_queries(self):
+        assert outcome_bar({}) == "(no queries)"
+
+
+def _report():
+    return {
+        "kind": "serve",
+        "label": "CRSS/test",
+        "config_digest": "deadbeefdeadbeef",
+        "latency": {"makespan": 2.0},
+        "serving": {
+            "counts": {"complete": 4, "degraded": 1, "shed": 1,
+                       "rejected": 0},
+            "goodput": 2.5,
+        },
+        "slo": {
+            "windows": [0.25],
+            "horizon": 2.0,
+            "classes": {
+                "default": {
+                    "counts": {"total": 6, "bad": 2, "served": 5},
+                    "compliance": 2 / 3,
+                    "budget": {
+                        "allowed_fraction": 0.1,
+                        "spent": 0.5,
+                        "budget_remaining": 0.5,
+                    },
+                    "burn_rate": {"w0.25": 1.5, "full": 0.5},
+                    "latency": {"quantile": 0.99, "target": 0.1,
+                                "achieved": 0.12},
+                    "goodput": {"target": 0.9, "achieved": 5 / 6,
+                                "margin": 5 / 6 - 0.9},
+                }
+            },
+            "worst_burn_rate": 1.5,
+            "worst_budget_remaining": 0.5,
+        },
+        "timelines": {
+            "disk0.queue_depth": {"values": [0, 1, 2, 1], "max": 2},
+            "slo.default.total": {"values": [1, 2, 4, 6], "max": 6},
+            "slo.default.bad": {"values": [0, 1, 1, 2], "max": 2},
+        },
+    }
+
+
+class TestRenderFrame:
+    def test_final_frame_sections(self):
+        frame = render_frame(_report(), fraction=1.0)
+        assert "repro top — serve CRSS/test" in frame
+        assert "(100%)" in frame
+        assert "slo burn:" in frame
+        assert "burn full=0.50 w0.25=1.50" in frame
+        assert "outcomes:" in frame
+        assert "goodput 2.5 answered/s" in frame
+        assert "disk0.queue_depth" in frame
+
+    def test_intermediate_frame_estimates_burn_from_tracks(self):
+        # At fraction 0.5 the replay reads the merged slo.* tracks:
+        # 1 bad / 2 settled over budget 0.1 → 500% spent.
+        frame = render_frame(_report(), fraction=0.5)
+        assert "500.0% spent" in frame
+        assert "outcomes:" not in frame  # final-frame only
+        assert "burn full=" not in frame
+
+    def test_without_slo_section_no_burn_block(self):
+        report = _report()
+        del report["slo"]
+        frame = render_frame(report, fraction=1.0)
+        assert "slo burn:" not in frame
+        assert "outcomes:" in frame
+
+    def test_lifecycle_tail_only_in_final_frame(self):
+        records = [
+            {"qid": 3, "arrival": 0.0, "completion": 0.9,
+             "outcome": "shed", "class": "default", "events": [1, 2]},
+            {"qid": 1, "arrival": 0.0, "completion": 0.2,
+             "outcome": "complete", "class": "default", "events": [1]},
+        ]
+        final = render_frame(_report(), 1.0, lifecycle=records, tail=1)
+        assert "slowest 1 queries:" in final
+        assert "q3" in final and "q1" not in final.split("slowest")[1]
+        mid = render_frame(_report(), 0.5, lifecycle=records)
+        assert "slowest" not in mid
+
+    def test_deterministic(self):
+        assert render_frame(_report(), 0.7) == render_frame(_report(), 0.7)
+
+
+class TestReplay:
+    def test_frame_count_and_final_last(self):
+        frames = replay(_report(), frames=3)
+        assert len(frames) == 3
+        assert "(100%)" in frames[-1]
+        assert "(100%)" not in frames[0]
+
+    def test_rejects_non_positive_frames(self):
+        with pytest.raises(ValueError, match="positive"):
+            replay(_report(), frames=0)

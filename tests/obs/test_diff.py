@@ -315,3 +315,55 @@ class TestPaperSaturationRegime:
         assert analyses["FPSS"]["bound"] == "bus-bound"
         assert analyses["FPSS"]["bus_util"] > analyses["FPSS"]["disk_util_max"]
         assert analyses["CRSS"]["bound"] == "unsaturated"
+
+
+class TestSloGating:
+    """The PR10 SLO gate: burn up-bad, remaining/margin/compliance
+    down-bad — across every class and window path."""
+
+    def _report(self, burn=1.0, remaining=0.5, margin=0.1,
+                compliance=0.99):
+        return _report(
+            slo={
+                "classes": {
+                    "gold": {
+                        "compliance": compliance,
+                        "budget": {"budget_remaining": remaining},
+                        "burn_rate": {"w0.25": burn, "full": burn / 2},
+                        "goodput": {"margin": margin},
+                    }
+                },
+                "worst_burn_rate": burn,
+                "worst_budget_remaining": remaining,
+            }
+        )
+
+    def test_burn_rate_increase_regresses(self):
+        diff = diff_reports(self._report(), self._report(burn=3.0))
+        names = {d.name for d in diff.regressions}
+        assert "slo.classes.gold.burn_rate.w0.25" in names
+        assert "slo.worst_burn_rate" in names
+        assert diff.exit_code == 1
+
+    def test_budget_remaining_drop_regresses(self):
+        diff = diff_reports(self._report(), self._report(remaining=-0.5))
+        names = {d.name for d in diff.regressions}
+        assert "slo.classes.gold.budget.budget_remaining" in names
+        assert "slo.worst_budget_remaining" in names
+
+    def test_goodput_margin_and_compliance_drop_regress(self):
+        diff = diff_reports(
+            self._report(), self._report(margin=-0.2, compliance=0.5)
+        )
+        names = {d.name for d in diff.regressions}
+        assert "slo.classes.gold.goodput.margin" in names
+        assert "slo.classes.gold.compliance" in names
+
+    def test_improvements_stay_clean(self):
+        diff = diff_reports(
+            self._report(),
+            self._report(burn=0.1, remaining=0.9, margin=0.2,
+                         compliance=0.999),
+        )
+        assert not diff.regressions
+        assert diff.exit_code == 0

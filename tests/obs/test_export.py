@@ -243,3 +243,112 @@ class TestTimelineCounterRoundTrip:
             document["traceEvents"]
         )
         assert any(e["ph"] == "C" for e in document["traceEvents"])
+
+
+def _async_event(**overrides):
+    event = {"ph": "b", "pid": 1, "ts": 1.0, "name": "life q0",
+             "cat": "lifecycle", "id": 0, "scope": "q"}
+    event.update(overrides)
+    return event
+
+
+class TestAsyncValidation:
+    """Async b/n/e events pair by (cat, scope, id) and must nest."""
+
+    def test_valid_span_accepted(self):
+        events = [
+            _async_event(),
+            _async_event(ph="n", ts=2.0, name="round"),
+            _async_event(ph="e", ts=3.0),
+        ]
+        assert validate_chrome_trace({"traceEvents": events}) == 3
+
+    def test_same_id_different_cat_or_scope_is_distinct(self):
+        events = [
+            _async_event(),
+            _async_event(cat="other"),
+            _async_event(scope="x"),
+            _async_event(ph="e", ts=2.0),
+            _async_event(ph="e", ts=2.0, cat="other"),
+            _async_event(ph="e", ts=2.0, scope="x"),
+        ]
+        assert validate_chrome_trace({"traceEvents": events}) == 6
+
+    def test_rejects_missing_id_name_cat(self):
+        event = _async_event()
+        del event["id"]
+        with pytest.raises(ValueError, match="need an 'id'"):
+            validate_chrome_trace({"traceEvents": [event]})
+        with pytest.raises(ValueError, match="'name' and 'cat'"):
+            validate_chrome_trace({"traceEvents": [_async_event(name="")]})
+
+    def test_rejects_non_string_scope(self):
+        with pytest.raises(ValueError, match="scope must be a string"):
+            validate_chrome_trace({"traceEvents": [_async_event(scope=3)]})
+
+    def test_rejects_bead_or_end_before_begin(self):
+        with pytest.raises(ValueError, match="without an open 'b'"):
+            validate_chrome_trace(
+                {"traceEvents": [_async_event(ph="n")]}
+            )
+        with pytest.raises(ValueError, match="without an open 'b'"):
+            validate_chrome_trace(
+                {"traceEvents": [_async_event(ph="e")]}
+            )
+
+    def test_rejects_double_begin(self):
+        events = [_async_event(), _async_event(ts=2.0)]
+        with pytest.raises(ValueError, match="begun twice"):
+            validate_chrome_trace({"traceEvents": events})
+
+    def test_rejects_time_travelling_end(self):
+        events = [_async_event(ts=5.0), _async_event(ph="e", ts=1.0)]
+        with pytest.raises(ValueError, match="precedes its 'b'"):
+            validate_chrome_trace({"traceEvents": events})
+
+    def test_rejects_dangling_span(self):
+        with pytest.raises(ValueError, match="never ended"):
+            validate_chrome_trace({"traceEvents": [_async_event()]})
+
+    def test_span_reopens_after_close(self):
+        events = [
+            _async_event(),
+            _async_event(ph="e", ts=2.0),
+            _async_event(ts=3.0),
+            _async_event(ph="e", ts=4.0),
+        ]
+        assert validate_chrome_trace({"traceEvents": events}) == 4
+
+
+class TestAsyncRoundTrip:
+    """Tracer.async_event → chrome_trace → validator → Perfetto shape."""
+
+    def test_exported_async_events_carry_scope_and_microseconds(self):
+        tracer = Tracer()
+        tracer.async_event("query0", "life q0", "lifecycle", "b", 0.5, 0,
+                           scope="q", args={"class": "default"})
+        tracer.async_event("query0", "round", "lifecycle", "n", 0.75, 0,
+                           scope="q")
+        tracer.async_event("query0", "life q0", "lifecycle", "e", 1.0, 0,
+                           scope="q", args={"outcome": "complete"})
+        document = chrome_trace(tracer)
+        assert validate_chrome_trace(document) == len(
+            document["traceEvents"]
+        )
+        span = [e for e in document["traceEvents"] if e["ph"] == "b"][0]
+        assert span["ts"] == pytest.approx(0.5e6)
+        assert span["scope"] == "q"
+        assert span["args"] == {"class": "default"}
+
+    def test_round_trips_through_disk(self, tmp_path):
+        tracer = Tracer()
+        tracer.async_event("q", "s", "lifecycle", "b", 0.0, 7, scope="q")
+        tracer.async_event("q", "s", "lifecycle", "e", 1.0, 7, scope="q")
+        path = tmp_path / "async.json"
+        write_chrome_trace(tracer, str(path))
+        with open(path) as handle:
+            assert validate_chrome_trace(handle) > 0
+
+    def test_tracer_rejects_unknown_async_phase(self):
+        with pytest.raises(ValueError, match="phase"):
+            Tracer().async_event("q", "s", "c", "x", 0.0, 1)

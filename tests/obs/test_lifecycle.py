@@ -1,0 +1,175 @@
+"""Tests for the per-query lifecycle log.
+
+Determinism is the contract: records serialize qid-ordered with sorted
+keys, round-trip through JSONL, and flush into the Chrome exporter as
+schema-valid async spans.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer
+from repro.obs.export import chrome_trace, validate_chrome_trace
+from repro.obs.lifecycle import (
+    ASYNC_SCOPE,
+    LifecycleLog,
+    format_lifecycle_record,
+    load_lifecycle_jsonl,
+    slowest_queries,
+)
+
+
+def _sample_log():
+    log = LifecycleLog()
+    # q1: queued then popped, two rounds, completes.
+    log.arrival(1, 0.00, "default")
+    log.queued(1, 0.00, 2)
+    log.popped(1, 0.01, 0.01)
+    log.batch(1, 0.011, 4, 1)
+    log.round(1, 0.011, 0.02, requested=4, buffer_hits=1, pages_fetched=3,
+              failed=0, retries=0, failovers=0, fetch_failures=0)
+    log.round(1, 0.02, 0.05, requested=2, buffer_hits=0, pages_fetched=2,
+              failed=1, retries=2, failovers=1, fetch_failures=1, hedges=1)
+    log.outcome(1, 0.05, "complete", float("inf"), 10)
+    # q0: admitted straight away, shed at the deadline.
+    log.arrival(0, 0.005, "bulk")
+    log.admitted(0, 0.005, 0.0)
+    log.round(0, 0.006, 0.006, requested=3, buffer_hits=0, pages_fetched=0,
+              failed=3, retries=0, failovers=0, fetch_failures=0,
+              deadline_cut=True)
+    log.outcome(0, 0.10, "shed", 0.25, 4)
+    # q2: rejected at the door.
+    log.arrival(2, 0.02, "default")
+    log.rejected(2, 0.02)
+    log.outcome(2, 0.02, "rejected", 0.0, 0)
+    return log
+
+
+class TestLifecycleLog:
+    def test_records_are_qid_ordered(self):
+        log = _sample_log()
+        assert [r["qid"] for r in log.records] == [0, 1, 2]
+        assert len(log) == 3
+
+    def test_event_chain_preserves_causal_order(self):
+        record = _sample_log().records[1]
+        kinds = [e["event"] for e in record["events"]]
+        assert kinds == [
+            "arrival", "queued", "popped", "batch", "round", "round",
+            "outcome",
+        ]
+
+    def test_fault_annotations_only_when_fired(self):
+        record = _sample_log().records[1]
+        clean, faulty = record["events"][4], record["events"][5]
+        assert "retries" not in clean and "hedges" not in clean
+        assert faulty["retries"] == 2
+        assert faulty["failovers"] == 1
+        assert faulty["fetch_failures"] == 1
+        assert faulty["hedges"] == 1
+        shed_round = _sample_log().records[0]["events"][2]
+        assert shed_round["deadline_cut"] is True
+
+    def test_batch_event_carries_dedup_credits(self):
+        record = _sample_log().records[1]
+        batch = record["events"][3]
+        assert batch == {
+            "ts": 0.011, "event": "batch", "pages": 4, "dedup_credits": 1
+        }
+
+    def test_infinite_certified_radius_serializes_as_null(self):
+        log = _sample_log()
+        assert log.records[1]["certified_radius"] is None
+        assert log.records[0]["certified_radius"] == 0.25
+
+    def test_jsonl_round_trip_and_determinism(self, tmp_path):
+        log = _sample_log()
+        text = log.to_jsonl()
+        assert text == _sample_log().to_jsonl()  # rebuild → same bytes
+        path = tmp_path / "lifecycle.jsonl"
+        log.write_jsonl(str(path))
+        records = load_lifecycle_jsonl(str(path))
+        assert records == log.records
+        # Each line is valid JSON with sorted keys.
+        for line in text.strip().splitlines():
+            doc = json.loads(line)
+            assert list(doc) == sorted(doc)
+
+    def test_empty_log_writes_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        LifecycleLog().write_jsonl(str(path))
+        assert path.read_text() == ""
+        assert load_lifecycle_jsonl(str(path)) == []
+
+    def test_breaker_annotation_reads_monitor(self):
+        class FakeMonitor:
+            num_disks = 3
+
+            def state_of(self, disk_id):
+                return 1 if disk_id == 2 else 0
+
+            def state_name(self, disk_id):
+                return "open" if disk_id == 2 else "closed"
+
+        log = LifecycleLog(monitor=FakeMonitor())
+        log.arrival(5, 0.0, "default")
+        log.round(5, 0.0, 0.1, requested=1, buffer_hits=0, pages_fetched=1,
+                  failed=0, retries=0, failovers=0, fetch_failures=0)
+        event = log.records[0]["events"][1]
+        assert event["breakers"] == {"2": "open"}
+
+
+class TestFlushToTracer:
+    def test_emits_schema_valid_async_spans(self, tmp_path):
+        log = _sample_log()
+        tracer = Tracer()
+        emitted = log.flush_to_tracer(tracer)
+        doc = chrome_trace(tracer)
+        validate_chrome_trace(doc)  # must not raise
+        events = [e for e in doc["traceEvents"] if e["ph"] in "bne"]
+        assert emitted == len(events)
+        # One b and one e per settled query, paired by (cat, scope, id).
+        begins = [e for e in events if e["ph"] == "b"]
+        ends = [e for e in events if e["ph"] == "e"]
+        assert len(begins) == len(ends) == 3
+        assert {e["id"] for e in begins} == {0, 1, 2}
+        assert all(e["scope"] == ASYNC_SCOPE for e in events)
+        assert begins[0]["args"] == {"class": "bulk"}
+        assert {e["args"]["outcome"] for e in ends} == {
+            "complete", "shed", "rejected"
+        }
+
+    def test_unsettled_query_is_skipped(self):
+        log = LifecycleLog()
+        log.arrival(9, 0.0, "default")  # no outcome → no span
+        tracer = Tracer()
+        assert log.flush_to_tracer(tracer) == 0
+        validate_chrome_trace(chrome_trace(tracer))
+
+
+class TestTailHelpers:
+    def test_slowest_queries_orders_by_response_time(self):
+        records = _sample_log().records
+        slow = slowest_queries(records, limit=2)
+        assert [r["qid"] for r in slow] == [0, 1]  # 0.095s > 0.05s
+
+    def test_outcome_filter(self):
+        records = _sample_log().records
+        assert [r["qid"] for r in slowest_queries(records, outcome="shed")] \
+            == [0]
+        assert slowest_queries(records, outcome="degraded") == []
+
+    def test_ties_break_by_qid(self):
+        records = [
+            {"qid": 7, "arrival": 0.0, "completion": 1.0},
+            {"qid": 3, "arrival": 0.0, "completion": 1.0},
+        ]
+        assert [r["qid"] for r in slowest_queries(records)] == [3, 7]
+
+    def test_format_lifecycle_record_renders_chain(self):
+        text = format_lifecycle_record(_sample_log().records[1])
+        assert text.startswith("q1 [default] complete")
+        assert "popped" in text
+        assert "dedup_credits=1" in text
+        assert "retries=2" in text

@@ -1,0 +1,151 @@
+"""Tests for the OpenMetrics / Prometheus text exposition.
+
+The format contract: every series ``repro_``-prefixed and sanitized,
+``# TYPE`` before samples, ``# EOF`` terminator, and byte-identical
+output for identical inputs (the CI smoke job ``cmp``'s two runs).
+"""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.openmetrics import (
+    PREFIX,
+    flatten_scalars,
+    render_openmetrics,
+    sanitize_metric_name,
+    write_openmetrics,
+)
+
+
+class TestSanitize:
+    def test_folds_punctuation_to_underscores(self):
+        assert sanitize_metric_name("serving.counts.shed") == \
+            "serving_counts_shed"
+        assert sanitize_metric_name("disk-0/queue depth") == \
+            "disk_0_queue_depth"
+
+    def test_leading_digit_and_empty(self):
+        assert sanitize_metric_name("99th") == "_99th"
+        assert sanitize_metric_name("") == "_"
+
+    def test_idempotent(self):
+        once = sanitize_metric_name("a.b.c")
+        assert sanitize_metric_name(once) == once
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.counter("queries.offered").inc(10)
+    gauge = registry.gauge("queue.depth")
+    gauge.set(0.0, 1.0)
+    gauge.set(1.0, 3.0)
+    histogram = registry.histogram("latency")
+    for value in (0.01, 0.02, 0.03, 0.04):
+        histogram.observe(value)
+    return registry
+
+
+class TestRender:
+    def test_counter_mapping(self):
+        text = render_openmetrics(_registry())
+        assert "# TYPE repro_queries_offered_total counter" in text
+        assert "repro_queries_offered_total 10" in text
+
+    def test_gauge_mapping(self):
+        text = render_openmetrics(_registry())
+        assert '# TYPE repro_queue_depth gauge' in text
+        assert 'repro_queue_depth{stat="last"} 3' in text
+        assert 'repro_queue_depth{stat="max"} 3' in text
+        assert "repro_queue_depth_samples_total 2" in text
+
+    def test_histogram_as_summary(self):
+        text = render_openmetrics(_registry())
+        assert "# TYPE repro_latency summary" in text
+        assert 'repro_latency{quantile="0.5"}' in text
+        assert 'repro_latency{quantile="0.99"}' in text
+        assert "repro_latency_sum 0.1" in text
+        assert "repro_latency_count 4" in text
+
+    def test_type_line_precedes_samples_and_eof_terminates(self):
+        lines = render_openmetrics(_registry()).splitlines()
+        assert lines[-1] == "# EOF"
+        seen_types = set()
+        for line in lines[:-1]:
+            if line.startswith("# TYPE"):
+                seen_types.add(line.split()[2])
+            else:
+                family = line.split("{")[0].split(" ")[0]
+                assert any(
+                    family == name or family.startswith(name)
+                    for name in seen_types
+                ), f"sample {line!r} before its # TYPE"
+
+    def test_extras_become_gauges(self):
+        text = render_openmetrics(
+            None, extra={"slo.default.budget.spent": 0.25}
+        )
+        assert "# TYPE repro_slo_default_budget_spent gauge" in text
+        assert "repro_slo_default_budget_spent 0.25" in text
+
+    def test_non_finite_and_non_numeric_extras_skipped(self):
+        text = render_openmetrics(
+            None,
+            extra={
+                "bad.inf": float("inf"),
+                "bad.nan": float("nan"),
+                "bad.flag": True,
+                "good": 1.5,
+            },
+        )
+        assert "repro_good 1.5" in text
+        assert "bad_inf" not in text
+        assert "bad_nan" not in text
+        assert "bad_flag" not in text
+
+    def test_registry_series_wins_name_collisions(self):
+        registry = MetricsRegistry()
+        registry.gauge("queue.depth").set(0.0, 7.0)
+        text = render_openmetrics(
+            registry, extra={"queue.depth": 99.0}
+        )
+        assert "repro_queue_depth 99" not in text
+        assert 'repro_queue_depth{stat="last"} 7' in text
+
+    def test_empty_exposition_is_just_eof(self):
+        assert render_openmetrics(None) == "# EOF\n"
+
+    def test_byte_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.prom", tmp_path / "b.prom"
+        extra = {"z.last": 1.0, "a.first": 2.0}
+        write_openmetrics(_registry(), str(a), extra=extra)
+        write_openmetrics(_registry(), str(b), extra=extra)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_all_names_prefixed(self):
+        for line in render_openmetrics(
+            _registry(), extra={"x": 1}
+        ).splitlines():
+            if line.startswith("#"):
+                continue
+            assert line.startswith(PREFIX)
+
+
+class TestFlattenScalars:
+    def test_numeric_leaves_dotted(self):
+        flat = flatten_scalars(
+            {"counts": {"shed": 2, "note": "text"}, "goodput": 4.5},
+            prefix="serving",
+        )
+        assert flat == {
+            "serving.counts.shed": 2,
+            "serving.goodput": 4.5,
+        }
+
+    def test_bools_and_strings_skipped(self):
+        assert flatten_scalars({"a": True, "b": "x", "c": None}) == {}
+
+    def test_deep_nesting(self):
+        flat = flatten_scalars({"a": {"b": {"c": 1}}})
+        assert flat == {"a.b.c": 1}

@@ -238,3 +238,98 @@ class TestFormatReportDetails:
     def test_plain_report_has_no_explain_section(self, report_run):
         text = format_report_details(report_run())
         assert "efficiency" not in text
+
+
+class TestSloSection:
+    def _slo_section(self):
+        return {
+            "windows": [0.25, 1.0],
+            "horizon": 1.5,
+            "classes": {
+                "default": {
+                    "objective": {
+                        "class": "default",
+                        "latency_target": 0.1,
+                        "quantile": 0.99,
+                        "compliance_target": 0.95,
+                        "goodput_target": 0.9,
+                    },
+                    "counts": {"total": 10, "bad": 1, "served": 9},
+                    "compliance": 0.9,
+                    "budget": {
+                        "allowed_fraction": 0.05,
+                        "spent": 2.0,
+                        "budget_remaining": -1.0,
+                    },
+                    "burn_rate": {"w0.25": 4.0, "w1": 2.0, "full": 2.0},
+                    "latency": {
+                        "quantile": 0.99,
+                        "target": 0.1,
+                        "achieved": 0.12,
+                    },
+                    "goodput": {
+                        "target": 0.9,
+                        "achieved": 0.9,
+                        "margin": 0.0,
+                    },
+                }
+            },
+            "worst_burn_rate": 4.0,
+            "worst_budget_remaining": -1.0,
+        }
+
+    def test_embedded_only_when_given(self, report_run):
+        doc = report_run()
+        assert "slo" not in doc
+        with_slo = build_run_report(
+            "serve", {"seed": 4}, _result_stub(), slo=self._slo_section()
+        )
+        assert with_slo["slo"]["worst_burn_rate"] == 4.0
+        # The opt-in section never shifts the config digest.
+        without = build_run_report("serve", {"seed": 4}, _result_stub())
+        assert with_slo["config_digest"] == without["config_digest"]
+
+    def test_details_render_slo_section(self, report_run):
+        doc = report_run()
+        doc["slo"] = self._slo_section()
+        text = format_report_details(doc)
+        assert "slo" in text
+        assert "budget remaining -1.000" in text
+        assert "burn:" in text
+        assert "goodput" in text
+
+    def test_details_without_slo_stay_silent(self, report_run):
+        assert "budget remaining" not in format_report_details(report_run())
+
+
+def _result_stub():
+    """Minimal WorkloadResult duck type for report assembly."""
+
+    class _Breakdown:
+        def as_dict(self):
+            return {}
+
+    class _Stub:
+        records = ()
+        mean_response = 0.0
+        max_response = 0.0
+        makespan = 1.0
+        breakdown = _Breakdown()
+        total_buffer_hits = 0
+        coalesced_fetches = 0
+        mean_seek_distance = 0.0
+        throughput = 0.0
+        total_retries = 0
+        total_fetch_failures = 0
+        total_failovers = 0
+        partial_queries = 0
+        aborted_queries = 0
+        deadline_exceeded_queries = 0
+        disk_utilizations = ()
+        bus_utilization = 0.0
+        cpu_utilization = 0.0
+
+        def percentile(self, fraction):
+            return 0.0
+
+    return _Stub()

@@ -1,0 +1,247 @@
+"""Tests for the SLO engine: objectives, budgets, burn windows.
+
+The arithmetic must be deterministic simulated-time bookkeeping (no
+wall clock, no RNG), and the tracker's step tracks must answer window
+queries correctly even when the window straddles the start of the run.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.slo import (
+    DEFAULT_BURN_WINDOWS,
+    SLOObjective,
+    SLOPolicy,
+    SLOTracker,
+    format_slo_section,
+    slo_from_policy,
+)
+from repro.obs.timeline import TimelineSampler
+from repro.serving.admission import PriorityClass, ServingPolicy
+
+
+class TestSLOObjective:
+    def test_error_budget_is_complement_of_compliance(self):
+        obj = SLOObjective(compliance_target=0.99)
+        assert obj.error_budget == pytest.approx(0.01)
+
+    def test_sli_latency_criterion(self):
+        obj = SLOObjective(latency_target=0.1)
+        assert obj.is_good(True, 0.05)
+        assert obj.is_good(True, 0.1)  # inclusive boundary
+        assert not obj.is_good(True, 0.1001)
+        assert not obj.is_good(False, 0.0)  # unanswered is always bad
+
+    def test_no_latency_target_only_requires_an_answer(self):
+        obj = SLOObjective(latency_target=None)
+        assert obj.is_good(True, 1e9)
+        assert not obj.is_good(False, 0.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"klass": ""},
+            {"latency_target": 0.0},
+            {"latency_target": -1.0},
+            {"quantile": 0.0},
+            {"quantile": 1.5},
+            {"compliance_target": 0.0},
+            {"compliance_target": 1.0},
+            {"goodput_target": 0.0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            SLOObjective(**kwargs)
+
+
+class TestSLOPolicy:
+    def test_rejects_duplicate_classes(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOPolicy(
+                objectives=(
+                    SLOObjective(klass="a"),
+                    SLOObjective(klass="a"),
+                )
+            )
+
+    def test_rejects_empty_and_bad_windows(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SLOPolicy(objectives=())
+        with pytest.raises(ValueError, match="positive"):
+            SLOPolicy(windows=(0.0,))
+
+    def test_objective_for_empty_class_falls_back_to_first(self):
+        policy = SLOPolicy(objectives=(SLOObjective(klass="gold"),))
+        assert policy.objective_for("").klass == "gold"
+        assert policy.objective_for("gold").klass == "gold"
+        with pytest.raises(KeyError, match="no SLO objective"):
+            policy.objective_for("lead")
+
+    def test_describe_round_trips_through_json(self):
+        doc = SLOPolicy().describe()
+        assert json.loads(json.dumps(doc)) == doc
+
+
+class TestSloFromPolicy:
+    def test_inherits_class_deadlines(self):
+        serving = ServingPolicy(
+            classes=(
+                PriorityClass(name="gold", deadline=0.1),
+                PriorityClass(name="bulk", deadline=None),
+            )
+        )
+        policy = slo_from_policy(serving, default_latency_target=0.5)
+        by_name = {o.klass: o for o in policy.objectives}
+        assert by_name["gold"].latency_target == pytest.approx(0.1)
+        assert by_name["bulk"].latency_target == pytest.approx(0.5)
+
+    def test_no_default_leaves_latency_unset(self):
+        serving = ServingPolicy(
+            classes=(PriorityClass(name="bulk", deadline=None),)
+        )
+        policy = slo_from_policy(serving)
+        assert policy.objectives[0].latency_target is None
+        assert policy.windows == DEFAULT_BURN_WINDOWS
+
+
+def _tracker(latency_target=0.1, compliance=0.9, windows=(1.0,)):
+    return SLOTracker(
+        SLOPolicy(
+            objectives=(
+                SLOObjective(
+                    klass="default",
+                    latency_target=latency_target,
+                    compliance_target=compliance,
+                ),
+            ),
+            windows=windows,
+        )
+    )
+
+
+class TestSLOTracker:
+    def test_counts_good_bad_and_served(self):
+        tracker = _tracker()
+        tracker.observe("default", 0.1, True, 0.05)  # good
+        tracker.observe("default", 0.2, True, 0.50)  # served but late
+        tracker.observe("default", 0.3, False, 0.0)  # shed
+        section = tracker.section(1.0)
+        counts = section["classes"]["default"]["counts"]
+        assert counts == {"total": 3, "bad": 2, "served": 2}
+        assert section["classes"]["default"]["compliance"] == pytest.approx(
+            1 / 3
+        )
+
+    def test_budget_spent_is_bad_fraction_over_allowance(self):
+        tracker = _tracker(compliance=0.9)  # budget = 0.1
+        for i in range(9):
+            tracker.observe("default", 0.1 * i, True, 0.01)
+        tracker.observe("default", 0.95, True, 0.50)  # 1 bad in 10
+        budget = tracker.section(1.0)["classes"]["default"]["budget"]
+        assert budget["allowed_fraction"] == pytest.approx(0.1)
+        assert budget["spent"] == pytest.approx(1.0)  # exactly all of it
+        assert budget["budget_remaining"] == pytest.approx(0.0)
+
+    def test_burn_rate_windows_localize_an_incident(self):
+        # Clean first half, every query bad in the second half: the
+        # trailing half-second window burns at twice the full-run rate.
+        tracker = _tracker(compliance=0.9, windows=(0.5, 2.0))
+        for i in range(10):
+            ts = 0.05 + 0.1 * i
+            tracker.observe("default", ts, True, 0.5 if ts > 0.5 else 0.01)
+        assert tracker.burn_rate("default", 0.5, 1.0) == pytest.approx(10.0)
+        assert tracker.burn_rate("default", 1.0, 1.0) == pytest.approx(5.0)
+
+    def test_window_straddling_run_start_clamps_to_horizon(self):
+        # A window longer than the run sees exactly the full history:
+        # value_at before the first sample reads 0.
+        tracker = _tracker(compliance=0.9, windows=(100.0,))
+        tracker.observe("default", 0.2, True, 0.5)  # bad
+        tracker.observe("default", 0.4, True, 0.01)  # good
+        assert tracker.burn_rate("default", 100.0, 0.5) == pytest.approx(
+            tracker.burn_rate("default", 0.5, 0.5)
+        )
+
+    def test_empty_window_burns_nothing(self):
+        tracker = _tracker()
+        tracker.observe("default", 0.1, True, 0.5)
+        assert tracker.burn_rate("default", 0.05, 5.0) == 0.0
+
+    def test_section_shape_and_worst_aggregates(self):
+        tracker = SLOTracker(
+            SLOPolicy(
+                objectives=(
+                    SLOObjective(klass="gold", latency_target=0.05),
+                    SLOObjective(klass="bulk", latency_target=None),
+                ),
+                windows=(0.5,),
+            )
+        )
+        tracker.observe("gold", 0.1, True, 0.2)  # bad
+        tracker.observe("bulk", 0.2, True, 0.2)  # good (no latency SLO)
+        section = tracker.section(0.3)
+        assert set(section) == {
+            "windows",
+            "horizon",
+            "classes",
+            "worst_burn_rate",
+            "worst_budget_remaining",
+        }
+        gold = section["classes"]["gold"]
+        bulk = section["classes"]["bulk"]
+        assert gold["budget"]["budget_remaining"] < bulk["budget"][
+            "budget_remaining"
+        ]
+        assert section["worst_budget_remaining"] == pytest.approx(
+            gold["budget"]["budget_remaining"]
+        )
+        assert section["worst_burn_rate"] == pytest.approx(
+            max(gold["burn_rate"].values())
+        )
+        assert json.loads(json.dumps(section)) == section
+
+    def test_section_horizon_clamps_up_to_last_settle(self):
+        tracker = _tracker()
+        tracker.observe("default", 2.0, True, 0.01)
+        assert tracker.section(1.0)["horizon"] == pytest.approx(2.0)
+
+    def test_untouched_class_reports_clean(self):
+        section = _tracker().section(1.0)
+        doc = section["classes"]["default"]
+        assert doc["counts"]["total"] == 0
+        assert doc["compliance"] == 1.0
+        assert doc["budget"]["spent"] == 0.0
+        assert section["worst_burn_rate"] == 0.0
+
+    def test_merge_into_copies_step_tracks(self):
+        tracker = _tracker()
+        tracker.observe("default", 0.1, True, 0.01)
+        tracker.observe("default", 0.2, False, 0.0)
+        timeline = TimelineSampler()
+        copied = tracker.merge_into(timeline)
+        assert copied == 6  # 2 settles x 3 tracks
+        assert timeline.track("slo.default.total").samples == (
+            (0.1, 1),
+            (0.2, 2),
+        )
+        assert timeline.track("slo.default.bad").value_at(0.15) == 0
+        assert timeline.track("slo.default.bad").value_at(0.2) == 1
+
+
+class TestFormatSloSection:
+    def test_renders_classes_and_burns(self):
+        tracker = _tracker()
+        tracker.observe("default", 0.1, True, 0.5)
+        text = format_slo_section(tracker.section(1.0))
+        assert "slo" in text
+        assert "default" in text
+        assert "budget remaining" in text
+        assert "burn:" in text
+        assert "goodput" in text
+
+    def test_handles_latency_free_objective(self):
+        tracker = _tracker(latency_target=None)
+        tracker.observe("default", 0.1, True, 0.5)
+        assert "vs target -" in format_slo_section(tracker.section(1.0))

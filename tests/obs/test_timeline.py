@@ -329,3 +329,90 @@ class TestTailToleranceTracks:
             ]
 
         assert run(None) == run(TimelineSampler())
+
+
+class TestValueAt:
+    """The step-function read-back the SLO window arithmetic rides on."""
+
+    def test_zero_before_first_sample(self):
+        track = TimelineTrack("q")
+        track.set(1.0, 5.0)
+        assert track.value_at(0.0) == 0.0
+        assert track.value_at(0.999) == 0.0
+
+    def test_inclusive_at_sample_and_held_after(self):
+        track = TimelineTrack("q")
+        track.set(1.0, 5.0)
+        track.set(2.0, 7.0)
+        assert track.value_at(1.0) == 5.0
+        assert track.value_at(1.5) == 5.0
+        assert track.value_at(2.0) == 7.0
+        assert track.value_at(100.0) == 7.0  # held past the last sample
+
+    def test_empty_track_reads_zero_everywhere(self):
+        track = TimelineTrack("q")
+        assert track.value_at(-1.0) == 0.0
+        assert track.value_at(123.0) == 0.0
+
+    def test_duplicate_ts_reads_last_write(self):
+        track = TimelineTrack("q")
+        track.set(1.0, 5.0)
+        track.set(1.0, 2.0)
+        assert track.value_at(1.0) == 2.0
+
+    def test_window_difference_on_cumulative_track(self):
+        # The exact idiom SLOTracker._window_counts uses.
+        track = TimelineTrack("slo.default.total")
+        for i in range(1, 6):
+            track.set(float(i), i)
+        end = 5.0
+        assert track.value_at(end) - track.value_at(end - 2.0) == 2
+        # A window straddling the run start clamps to "nothing yet".
+        assert track.value_at(end) - track.value_at(end - 100.0) == 5
+
+
+class TestEndEdgeCases:
+    """`end` must survive background samples past the makespan."""
+
+    def test_track_end_advances_with_samples(self):
+        track = TimelineTrack("q")
+        assert track.end == 0.0
+        track.set(1.0, 1.0)
+        track.set(3.0, 1.0)
+        assert track.end == 3.0
+
+    def test_set_before_end_is_rejected(self):
+        # Simulated time is monotone; a sample landing before the
+        # track's end would corrupt the step function silently.
+        track = TimelineTrack("q")
+        track.set(3.0, 1.0)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            track.set(1.0, 2.0)
+        assert track.end == 3.0  # the failed set mutated nothing
+
+    def test_double_set_at_end_keeps_single_sample(self):
+        track = TimelineTrack("q")
+        track.set(2.0, 1.0)
+        track.set(2.0, 9.0)
+        assert track.end == 2.0
+        assert len(track) == 1
+
+    def test_sampler_end_spans_all_tracks(self):
+        sampler = TimelineSampler()
+        assert sampler.end == 0.0
+        sampler.record("foreground", 1.0, 1.0)
+        sampler.record("rebuild.pages", 7.5, 4.0)  # past the makespan
+        assert sampler.end == 7.5
+
+    def test_sampling_after_makespan_extends_snapshot_horizon(self):
+        # A rebuild streaming after the last response must not be cut
+        # off: snapshot(until=max(makespan, end)) sees the tail.
+        sampler = TimelineSampler()
+        sampler.record("rebuild.pages", 0.0, 0.0)
+        sampler.record("rebuild.pages", 5.0, 100.0)
+        makespan = 2.0
+        horizon = max(makespan, sampler.end)
+        assert horizon == 5.0
+        snapshot = sampler.snapshot(until=horizon, buckets=4)
+        assert snapshot["rebuild.pages"]["last"] == 100.0
+        assert snapshot["rebuild.pages"]["max"] == 100.0

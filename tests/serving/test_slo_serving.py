@@ -1,0 +1,169 @@
+"""PR10 contract tests: observers are free, and the SLO gate bites.
+
+Two load-bearing properties:
+
+* **bit-identity neutrality** — attaching the whole observability
+  quartet (SLO tracker, lifecycle log, tracer) to a serving run
+  changes *nothing* the simulation computes: same answers, same
+  serving section, same RunReport body (minus the opt-in ``slo`` key);
+* **the diff gate bites** — an injected fail-slow fault plan burns the
+  error budget, and ``repro diff`` flags the ``slo.*`` movement as a
+  regression, while a clean run self-diffs clean (exit 0).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.setup import build_tree, dataset, make_factory
+from repro.faults.plan import FaultPlan, SlowWindow
+from repro.faults.policy import RetryPolicy
+from repro.obs import Tracer
+from repro.obs.diff import diff_reports
+from repro.obs.export import chrome_trace, validate_chrome_trace
+from repro.obs.lifecycle import LifecycleLog
+from repro.obs.report import build_run_report
+from repro.obs.slo import SLOTracker, slo_from_policy
+from repro.serving.admission import full_serving_policy
+from repro.serving.frontend import serve_scenario
+from repro.serving.traffic import make_scenario
+from repro.simulation.parameters import SystemParameters
+
+
+@pytest.fixture(scope="module")
+def slo_data():
+    return dataset("gaussian", 800, 2, seed=7)
+
+
+@pytest.fixture(scope="module")
+def slo_tree():
+    return build_tree("gaussian", 800, 2, 4, seed=7)
+
+
+def _serve(tree, data, observe=False, fault_plan=None, retry_policy=None):
+    policy = full_serving_policy(max_in_flight=8, deadline=0.3)
+    scenario = make_scenario("bursty", data, rate=60.0, horizon=1.0, seed=8)
+    slo = lifecycle = tracer = None
+    if observe:
+        slo = SLOTracker(slo_from_policy(policy))
+        lifecycle = LifecycleLog()
+        tracer = Tracer()
+    serving = serve_scenario(
+        tree,
+        make_factory("CRSS", tree, 5),
+        scenario,
+        policy=policy,
+        params=SystemParameters(coalesce=True),
+        seed=7,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
+        tracer=tracer,
+        lifecycle=lifecycle,
+        slo=slo,
+    )
+    return serving, lifecycle, tracer
+
+
+def _report_json(serving, with_slo=False):
+    report = build_run_report(
+        "serve",
+        {"what": "pr10-slo"},
+        serving.result,
+        serving=serving.serving_section(),
+        slo=serving.slo if with_slo else None,
+    )
+    return json.dumps(report, indent=2, sort_keys=True)
+
+
+class TestObserversAreFree:
+    def test_full_quartet_is_bit_identity_neutral(self, slo_tree, slo_data):
+        plain, _, _ = _serve(slo_tree, slo_data, observe=False)
+        observed, lifecycle, tracer = _serve(
+            slo_tree, slo_data, observe=True
+        )
+        # The simulation-owned outputs are byte-identical.
+        assert _report_json(plain) == _report_json(observed)
+        # ... and the observers actually observed the run.
+        assert observed.slo is not None
+        assert observed.slo["classes"]["default"]["counts"]["total"] == len(
+            observed.queries
+        )
+        assert len(lifecycle) == len(observed.queries)
+
+    def test_faulty_run_stays_neutral_too(self, slo_tree, slo_data):
+        plan = FaultPlan(
+            seed=3, slow_windows=(SlowWindow(1, 0.0, 5.0, 6.0),)
+        )
+        retry = RetryPolicy(max_attempts=2, attempt_timeout=0.05)
+        plain, _, _ = _serve(
+            slo_tree, slo_data, fault_plan=plan, retry_policy=retry
+        )
+        observed, _, _ = _serve(
+            slo_tree, slo_data, observe=True, fault_plan=plan,
+            retry_policy=retry,
+        )
+        assert _report_json(plain) == _report_json(observed)
+
+    def test_lifecycle_jsonl_and_trace_are_deterministic(
+        self, slo_tree, slo_data
+    ):
+        _, first, _ = _serve(slo_tree, slo_data, observe=True)
+        _, second, tracer = _serve(slo_tree, slo_data, observe=True)
+        assert first.to_jsonl() == second.to_jsonl()
+        second.flush_to_tracer(tracer)
+        validate_chrome_trace(chrome_trace(tracer))
+
+    def test_lifecycle_stitches_batching_and_outcomes(
+        self, slo_tree, slo_data
+    ):
+        serving, lifecycle, _ = _serve(slo_tree, slo_data, observe=True)
+        records = lifecycle.records
+        outcomes = {r["outcome"] for r in records}
+        assert None not in outcomes  # every offered query settled
+        kinds = {e["event"] for r in records for e in r["events"]}
+        # Admission, broker and executor hooks all fired.
+        assert {"arrival", "admitted", "batch", "round", "outcome"} <= kinds
+        credits = sum(
+            e.get("dedup_credits", 0)
+            for r in records
+            for e in r["events"]
+            if e["event"] == "batch"
+        )
+        assert credits == serving.batching["shared_pages"]
+
+
+class TestSloGate:
+    def test_clean_run_self_diffs_clean(self, slo_tree, slo_data):
+        serving, _, _ = _serve(slo_tree, slo_data, observe=True)
+        report = json.loads(_report_json(serving, with_slo=True))
+        diff = diff_reports(report, report)
+        assert diff.exit_code == 0
+        assert not diff.regressions
+
+    def test_fail_slow_plan_trips_the_burn_gate(self, slo_tree, slo_data):
+        baseline_run, _, _ = _serve(slo_tree, slo_data, observe=True)
+        faulty_run, _, _ = _serve(
+            slo_tree,
+            slo_data,
+            observe=True,
+            fault_plan=FaultPlan(
+                seed=3, slow_windows=(SlowWindow(1, 0.0, 5.0, 6.0),)
+            ),
+            retry_policy=RetryPolicy(max_attempts=2, attempt_timeout=0.05),
+        )
+        baseline = json.loads(_report_json(baseline_run, with_slo=True))
+        candidate = json.loads(_report_json(faulty_run, with_slo=True))
+        # The fault plan visibly burned budget.
+        assert (
+            candidate["slo"]["worst_burn_rate"]
+            > baseline["slo"]["worst_burn_rate"]
+        )
+        diff = diff_reports(baseline, candidate)
+        assert diff.exit_code == 1
+        slo_regressions = [
+            d.name for d in diff.regressions if d.name.startswith("slo.")
+        ]
+        assert any("burn_rate" in name for name in slo_regressions)
+        assert any(
+            "budget_remaining" in name for name in slo_regressions
+        )

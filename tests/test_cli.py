@@ -666,3 +666,190 @@ class TestTailToleranceCli:
                  "--rebuild", "--report", str(path)]
             ) == 0
         assert a.read_bytes() == b.read_bytes()
+
+
+class TestSloObservabilityCli:
+    """PR10: serve --slo/--lifecycle-log/--metrics-out/--trace,
+    repro top, repro bench index."""
+
+    SERVE_FAST = [
+        "serve", "--n", "400", "--disks", "3", "--k", "4",
+        "--scenario", "bursty", "--rate", "40", "--horizon", "0.5",
+        "--coalesce", "--max-in-flight", "4", "--deadline", "0.2",
+        "--shed", "--cross-batch",
+    ]
+
+    def test_slo_section_printed_and_embedded(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "serve.json"
+        assert main(
+            [*self.SERVE_FAST, "--slo", "--report", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "slo" in out
+        assert "budget remaining" in out
+        report = json.loads(path.read_text())
+        slo = report["slo"]
+        assert "default" in slo["classes"]
+        assert slo["classes"]["default"]["latency"]["target"] == 0.2
+        # The slo.* step tracks were merged into the report timelines.
+        assert any(
+            name.startswith("slo.") for name in report["timelines"]
+        )
+
+    def test_slo_flag_does_not_shift_config_digest(self, capsys, tmp_path):
+        import json
+
+        plain, tracked = tmp_path / "plain.json", tmp_path / "slo.json"
+        assert main([*self.SERVE_FAST, "--report", str(plain)]) == 0
+        assert main(
+            [*self.SERVE_FAST, "--slo", "--report", str(tracked)]
+        ) == 0
+        capsys.readouterr()
+        a, b = json.loads(plain.read_text()), json.loads(tracked.read_text())
+        assert a["config_digest"] == b["config_digest"]
+        assert a["answer_digest"] == b["answer_digest"]
+        assert a["serving"] == b["serving"]
+
+    def test_lifecycle_metrics_trace_artifacts(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+        from repro.obs.lifecycle import load_lifecycle_jsonl
+
+        lifecycle = tmp_path / "lifecycle.jsonl"
+        metrics = tmp_path / "metrics.prom"
+        trace = tmp_path / "trace.json"
+        assert main(
+            [*self.SERVE_FAST, "--slo",
+             "--lifecycle-log", str(lifecycle),
+             "--metrics-out", str(metrics),
+             "--trace", str(trace)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "lifecycle log written" in out
+        assert "metrics written" in out
+        assert "trace written" in out
+        records = load_lifecycle_jsonl(str(lifecycle))
+        assert records and all(r["outcome"] for r in records)
+        text = metrics.read_text()
+        assert text.endswith("# EOF\n")
+        assert "repro_serving_counts_complete" in text
+        assert "repro_slo_worst_burn_rate" in text
+        with open(trace) as handle:
+            assert validate_chrome_trace(json.load(handle)) > 0
+
+    def test_artifacts_byte_identical_across_runs(self, capsys, tmp_path):
+        names = ("lifecycle.jsonl", "metrics.prom", "report.json")
+        for run in ("a", "b"):
+            base = tmp_path / run
+            base.mkdir()
+            assert main(
+                [*self.SERVE_FAST, "--slo",
+                 "--lifecycle-log", str(base / names[0]),
+                 "--metrics-out", str(base / names[1]),
+                 "--report", str(base / names[2])]
+            ) == 0
+        capsys.readouterr()
+        for name in names:
+            assert (tmp_path / "a" / name).read_bytes() == (
+                tmp_path / "b" / name
+            ).read_bytes(), name
+
+    def test_missing_artifact_directories_rejected_up_front(self):
+        for flag in ("--lifecycle-log", "--metrics-out", "--trace"):
+            with pytest.raises(SystemExit, match="directory"):
+                main([*self.SERVE_FAST, flag, "/nonexistent/dir/x"])
+
+    def test_bad_slo_quantile_rejected(self):
+        with pytest.raises(SystemExit, match="quantile"):
+            main([*self.SERVE_FAST, "--slo", "--slo-quantile", "2.0"])
+
+
+class TestTopCli:
+    def _report(self, tmp_path, capsys):
+        path = tmp_path / "serve.json"
+        assert main(
+            [*TestSloObservabilityCli.SERVE_FAST, "--slo",
+             "--lifecycle-log", str(tmp_path / "lifecycle.jsonl"),
+             "--report", str(path)]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    def test_replays_frames(self, capsys, tmp_path):
+        path = self._report(tmp_path, capsys)
+        assert main(["top", str(path), "--frames", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("repro top — serve") == 3
+        assert "slo burn:" in out
+        assert "(100%)" in out
+
+    def test_lifecycle_tail_panel(self, capsys, tmp_path):
+        path = self._report(tmp_path, capsys)
+        assert main(
+            ["top", str(path), "--frames", "1", "--tail", "2",
+             "--lifecycle", str(tmp_path / "lifecycle.jsonl")]
+        ) == 0
+        assert "slowest 2 queries:" in capsys.readouterr().out
+
+    def test_deterministic_output(self, capsys, tmp_path):
+        path = self._report(tmp_path, capsys)
+        assert main(["top", str(path), "--frames", "2"]) == 0
+        first = capsys.readouterr().out
+        assert main(["top", str(path), "--frames", "2"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_bad_path_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["top", "/nonexistent/report.json"])
+
+    def test_bad_frames_rejected(self, capsys, tmp_path):
+        path = self._report(tmp_path, capsys)
+        with pytest.raises(SystemExit, match="frames"):
+            main(["top", str(path), "--frames", "0"])
+
+
+class TestBenchIndexCli:
+    def _write_bench(self, tmp_path, name, doc):
+        import json
+
+        (tmp_path / name).write_text(json.dumps(doc))
+
+    def test_lists_artifacts_with_headlines(self, capsys, tmp_path):
+        self._write_bench(
+            tmp_path, "BENCH_PR7.json",
+            {"schema": "repro-serving-bench/1", "label": "PR7",
+             "seed": 3, "smoke": True,
+             "dominance_at_top_load": {
+                 "p99_ratio": 0.5, "offered_load": 200}},
+        )
+        self._write_bench(
+            tmp_path, "BENCH_PR2.json",
+            {"schema": "repro-bench/1", "label": "PR2", "seed": 0,
+             "microbench": {"scan": {"speedup": 12.0}}},
+        )
+        assert main(["bench", "index", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_PR2.json" in out and "BENCH_PR7.json" in out
+        assert "p99_ratio 0.500 @ load 200" in out
+        assert "kernel speedup up to 12.0x" in out
+        assert "yes" in out  # the smoke column
+
+    def test_empty_directory_exits_nonzero(self, capsys, tmp_path):
+        assert main(["bench", "index", "--dir", str(tmp_path)]) == 1
+        assert "no BENCH_*.json" in capsys.readouterr().out
+
+    def test_unreadable_artifact_is_reported_not_fatal(
+        self, capsys, tmp_path
+    ):
+        (tmp_path / "BENCH_BAD.json").write_text("{not json")
+        self._write_bench(
+            tmp_path, "BENCH_OK.json",
+            {"schema": "repro-bench/1", "label": "X", "seed": 1},
+        )
+        assert main(["bench", "index", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "unreadable" in out
+        assert "BENCH_OK.json" in out
